@@ -1,0 +1,41 @@
+//===- bench/compensated_latency.cpp - Emulation-cost compensation --------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The software HTM charges ~10-20 ns per instrumented access where real
+// HTM tracks accesses for free, inflating every system's compute by
+// roughly an order of magnitude relative to the 300 ns NVM write-back
+// latency. The paper's results live in the regime where persist latency,
+// not transaction compute, dominates. This bench restores that regime by
+// scaling the emulated drain latency by the measured per-access inflation
+// (sweeping 300 ns -> 1/3/10 us), so the orderings the paper reports can
+// be read at the compensated points. See EXPERIMENTS.md for the
+// calibration argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Emulation-cost-compensated latency sweep: the paper's 300 ns"
+              " regime corresponds to roughly 3 us here\n");
+  for (uint64_t Latency : {300ull, 1000ull, 3000ull, 10000ull}) {
+    std::printf("\n##### drain latency %llu ns #####\n",
+                (unsigned long long)Latency);
+    for (WorkloadKind Kind :
+         {WorkloadKind::BankHigh, WorkloadKind::BankNone,
+          WorkloadKind::BTreeInsert, WorkloadKind::VacationLow}) {
+      SweepOptions O;
+      O.Workload = Kind;
+      O.DrainLatencyNs = Latency;
+      O.ThreadCounts = {1, 2, 4, 8, 16};
+      runThroughputSweep(O, stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+//===- bench/fig22_24_latency100.cpp - Figures 22-24 reproduction ---------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the appendix latency-sensitivity study (Figures 22-24): the
+// Figure 6-8 sweeps with 100 ns emulated NVM write-back latency, the
+// expected cost if the NVM controller's buffer is part of the persistence
+// domain (paper Section 2.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Figures 22-24: all workloads at 100 ns drain latency\n");
+  for (WorkloadKind Kind : AllWorkloads) {
+    SweepOptions O;
+    O.Workload = Kind;
+    O.DrainLatencyNs = 100;
+    runThroughputSweep(O, stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/fig6_bank.cpp - Figure 6 reproduction ------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 6: throughput of all six configurations on the bank
+// microbenchmark at three contention levels (high: 1024 accounts, medium:
+// 4096 accounts, none: partitioned), 300 ns emulated NVM latency,
+// normalized to single-thread Non-durable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Figure 6: bank microbenchmark, 5 transfers (10 writes) per "
+              "transaction, 300 ns drain\n");
+  for (WorkloadKind Kind : {WorkloadKind::BankHigh, WorkloadKind::BankMedium,
+                            WorkloadKind::BankNone}) {
+    SweepOptions O;
+    O.Workload = Kind;
+    runThroughputSweep(O, stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===- bench/fig7_btree.cpp - Figure 7 reproduction -----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 7: throughput on the B+tree microbenchmark, insert
+// only and mixed lookup/insert/remove, 300 ns emulated NVM latency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Figure 7: B+tree microbenchmark, 300 ns drain\n");
+  for (WorkloadKind Kind :
+       {WorkloadKind::BTreeInsert, WorkloadKind::BTreeMixed}) {
+    SweepOptions O;
+    O.Workload = Kind;
+    runThroughputSweep(O, stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+//===- bench/fig8_stamp.cpp - Figure 8 reproduction -----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 8: throughput on the STAMP-style kernels (kmeans
+// high/low, vacation high/low, labyrinth, ssca2, genome, intruder),
+// 300 ns emulated NVM latency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Figure 8: STAMP-style kernels, 300 ns drain\n");
+  for (WorkloadKind Kind :
+       {WorkloadKind::KMeansHigh, WorkloadKind::KMeansLow,
+        WorkloadKind::VacationHigh, WorkloadKind::VacationLow,
+        WorkloadKind::Labyrinth, WorkloadKind::Ssca2, WorkloadKind::Genome,
+        WorkloadKind::Intruder}) {
+    SweepOptions O;
+    O.Workload = Kind;
+    runThroughputSweep(O, stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- bench/fig9_21_breakdowns.cpp - Figures 9-21 reproduction -----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the appendix breakdowns (Figures 9-21): for every workload
+// and thread count, how each persistent transaction completed (Non-Crafty
+// / Read Only / Redo / Validate / SGL) and the outcome of every hardware
+// transaction (Commit / Conflict / Capacity / Explicit / Zero).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Figures 9-21: persistent- and hardware-transaction "
+              "breakdowns (appendix)\n");
+  for (WorkloadKind Kind : AllWorkloads) {
+    SweepOptions O;
+    O.Workload = Kind;
+    O.PrintBreakdowns = true;
+    // The appendix figures accompany the 300 ns runs; breakdowns are
+    // latency independent, so run at 0 ns to keep the sweep fast.
+    O.DrainLatencyNs = 0;
+    runThroughputSweep(O, stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+//===- bench/micro_ops.cpp - Microbenchmarks of the building blocks -------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the individual mechanisms: emulated
+// hardware-transaction operations, undo-log encoding, persist operations
+// at both emulated latencies, one full persistent transaction on each
+// system, and a recovery scan. These quantify the constants behind the
+// figure-level results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+#include "core/Crafty.h"
+#include "log/LogEntry.h"
+#include "recovery/Recovery.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace crafty;
+
+namespace {
+
+void BM_HtmReadOnlyTxn(benchmark::State &State) {
+  HtmRuntime Rt((HtmConfig()));
+  HtmTx Tx(Rt, 0);
+  alignas(64) static uint64_t Data[64];
+  for (auto _ : State) {
+    TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+      uint64_t Sum = 0;
+      for (unsigned I = 0; I != 8; ++I)
+        Sum += T.load(&Data[I * 8]);
+      benchmark::DoNotOptimize(Sum);
+    });
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_HtmReadOnlyTxn);
+
+void BM_HtmWritingTxn(benchmark::State &State) {
+  HtmRuntime Rt((HtmConfig()));
+  HtmTx Tx(Rt, 0);
+  alignas(64) static uint64_t Data[64 * 8];
+  int64_t Writes = State.range(0);
+  for (auto _ : State) {
+    TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+      for (int64_t I = 0; I != Writes; ++I)
+        T.store(&Data[I * 8], (uint64_t)I);
+    });
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * Writes);
+}
+BENCHMARK(BM_HtmWritingTxn)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_NonTxStore(benchmark::State &State) {
+  HtmRuntime Rt((HtmConfig()));
+  alignas(64) static uint64_t Word;
+  uint64_t V = 0;
+  for (auto _ : State)
+    Rt.nonTxStore(&Word, ++V);
+}
+BENCHMARK(BM_NonTxStore);
+
+void BM_UndoEntryEncodeDecode(benchmark::State &State) {
+  alignas(8) static uint64_t Var;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Var);
+  uint64_t V = 0;
+  for (auto _ : State) {
+    EncodedEntry E = encodeDataEntry(Addr, ++V, V & 1);
+    DecodedEntry D = decodeEntry(E.AddrWord, E.ValWord);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_UndoEntryEncodeDecode);
+
+void BM_PersistOp(benchmark::State &State) {
+  PMemConfig PC;
+  PC.PoolBytes = 1 << 20;
+  PC.DrainLatencyNs = (uint64_t)State.range(0);
+  PMemPool Pool(PC);
+  auto *W = static_cast<uint64_t *>(Pool.carve(64));
+  for (auto _ : State)
+    Pool.persist(0, W, 8);
+}
+BENCHMARK(BM_PersistOp)->Arg(0)->Arg(100)->Arg(300);
+
+void BM_OneTransaction(benchmark::State &State) {
+  SystemKind Kind = (SystemKind)State.range(0);
+  PMemConfig PC;
+  PC.PoolBytes = 64 << 20;
+  PC.DrainLatencyNs = 300;
+  PMemPool Pool(PC);
+  HtmRuntime Htm((HtmConfig()));
+  BackendOptions BO;
+  BO.NumThreads = 1;
+  std::unique_ptr<PtmBackend> Backend = createBackend(Kind, Pool, Htm, BO);
+  auto *Data = static_cast<uint64_t *>(Pool.carve(16 * CacheLineBytes));
+  uint64_t I = 0;
+  for (auto _ : State) {
+    ++I;
+    Backend->run(0, [&](TxnContext &Tx) {
+      for (unsigned W = 0; W != 10; ++W) // Bank-profile: 10 writes.
+        Tx.store(&Data[W * 8], I + W);
+    });
+  }
+  State.SetLabel(systemKindName(Kind));
+  Backend->quiesce();
+}
+BENCHMARK(BM_OneTransaction)
+    ->DenseRange(0, 5, 1)
+    ->Iterations(20000) // Bounded: the durable baselines' redo logs are
+                        // finite (no truncation support).
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RecoveryScan(benchmark::State &State) {
+  PMemConfig PC;
+  PC.PoolBytes = 32 << 20;
+  PC.Mode = PMemMode::Tracked;
+  PC.DrainLatencyNs = 0;
+  PMemPool Pool(PC);
+  HtmRuntime Htm((HtmConfig()));
+  CraftyConfig CC;
+  CC.NumThreads = 2;
+  CraftyRuntime Rt(Pool, Htm, CC);
+  auto *Data = static_cast<uint64_t *>(Rt.carve(64 * CacheLineBytes));
+  for (int I = 0; I != 1000; ++I)
+    Rt.run(0, [&](TxnContext &Tx) {
+      for (unsigned W = 0; W != 8; ++W)
+        Tx.store(&Data[W * 8], (uint64_t)I + W);
+    });
+  std::vector<uint8_t> Image = Pool.imageSnapshot();
+  for (auto _ : State) {
+    RecoveryObserver Obs(Image.data(), Image.size());
+    auto Seqs = Obs.scanSequences();
+    benchmark::DoNotOptimize(Seqs);
+  }
+  State.SetLabel("sequences over a 2x16Ki-entry log");
+}
+BENCHMARK(BM_RecoveryScan)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

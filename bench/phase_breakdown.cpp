@@ -1,0 +1,54 @@
+//===- bench/phase_breakdown.cpp - Crafty phase-time breakdown ------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Where does a Crafty persistent transaction's time go? For each workload
+// and thread count, the wall-clock share of the Log / Redo / Validate /
+// SGL phases (including aborted attempts). Complements the appendix's
+// outcome-count breakdowns (Figures 9-21) with timing, which the paper
+// discusses qualitatively ("the Redo phase is often short and can execute
+// concurrently with Log and Validate phases").
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Crafty phase-time breakdown (share of total phase time; "
+              "includes aborted attempts)\n");
+  std::printf("%-26s %4s %8s %8s %8s %8s %10s\n", "workload", "t", "log%",
+              "redo%", "valid%", "sgl%", "ns/txn");
+  for (WorkloadKind Kind :
+       {WorkloadKind::BankHigh, WorkloadKind::BankNone,
+        WorkloadKind::BTreeInsert, WorkloadKind::KMeansHigh,
+        WorkloadKind::VacationLow, WorkloadKind::Ssca2,
+        WorkloadKind::Labyrinth, WorkloadKind::Intruder}) {
+    std::unique_ptr<Workload> Named = createWorkload(Kind);
+    for (unsigned T : {1u, 4u, 16u}) {
+      ExperimentConfig C;
+      C.Workload = Kind;
+      C.System = SystemKind::Crafty;
+      C.Threads = T;
+      C.OpsPerThread = defaultOpsPerThread(Kind);
+      C.CollectPhaseTimings = true;
+      ExperimentResult R = runExperiment(C);
+      double Total = (double)(R.Txn.LogPhaseNs + R.Txn.RedoPhaseNs +
+                              R.Txn.ValidatePhaseNs + R.Txn.SglNs);
+      if (Total <= 0 || R.Txn.transactions() == 0)
+        continue;
+      std::printf("%-26s %4u %7.1f%% %7.1f%% %7.1f%% %7.1f%% %10.0f\n",
+                  Named->name(), T, 100.0 * R.Txn.LogPhaseNs / Total,
+                  100.0 * R.Txn.RedoPhaseNs / Total,
+                  100.0 * R.Txn.ValidatePhaseNs / Total,
+                  100.0 * R.Txn.SglNs / Total,
+                  Total / (double)R.Txn.transactions());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+//===- bench/table1_writes.cpp - Table 1 reproduction ---------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 1: average persistent writes per executed persistent
+// transaction, for every workload at every evaluated thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+using namespace crafty;
+
+int main() {
+  std::printf("Table 1: persistent writes per transaction (average)\n");
+  std::printf("%-26s", "workload \\ threads");
+  for (unsigned T : PaperThreadCounts)
+    std::printf("%7u", T);
+  std::printf("\n");
+  for (WorkloadKind Kind : AllWorkloads)
+    runWritesPerTxnRow(Kind, PaperThreadCounts, stdout);
+  std::printf("\nPaper reference: bank 10.0, B+tree 13.2-14.0, kmeans 25.0,"
+              "\n  vacation 5.5-8.0, labyrinth ~177, ssca2 2.0, genome ~2.1,"
+              " intruder 1.8\n");
+  return 0;
+}

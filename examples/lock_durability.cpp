@@ -1,0 +1,94 @@
+//===- examples/lock_durability.cpp - Thread-unsafe mode with locks -------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Crafty's thread-unsafe mode (paper Section 4.4 and Figure 4): the
+// application already provides atomicity with its own locks, and Crafty
+// adds only durability, executing each region through the chunked
+// Log/Redo flow -- hardware transactions of up to k persistent writes,
+// halving k after aborts, down to a no-HTM k = 1 path. The demo guards a
+// persistent append-only event journal with a mutex, crashes, recovers,
+// and checks that the journal is a clean prefix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Crafty.h"
+#include "recovery/Recovery.h"
+
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+int main() {
+  constexpr unsigned NumThreads = 3;
+  constexpr int EventsPerThread = 400;
+
+  PMemConfig PoolCfg;
+  PoolCfg.PoolBytes = 32 << 20;
+  PoolCfg.Mode = PMemMode::Tracked;
+  PMemPool Pool(PoolCfg);
+  HtmRuntime Htm{HtmConfig{}};
+  CraftyConfig Cfg;
+  Cfg.Mode = CraftyMode::ThreadUnsafe; // Locks provide atomicity.
+  Cfg.NumThreads = NumThreads;
+  Cfg.MaxLag = 1000; // Bound rollback of idle threads (Section 5.2).
+  CraftyRuntime Crafty(Pool, Htm, Cfg);
+
+  // Persistent journal: [0] = length, then ⟨producer, seq⟩ pairs.
+  auto *Journal = static_cast<uint64_t *>(Crafty.carve(1 << 20));
+  std::mutex JournalLock;
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != EventsPerThread; ++I) {
+        std::lock_guard<std::mutex> G(JournalLock);
+        // The critical section is the failure-atomic unit.
+        Crafty.thread(T).run([&](TxnContext &Tx) {
+          uint64_t Len = Tx.load(&Journal[0]);
+          Tx.store(&Journal[1 + 2 * Len], T + 1);
+          Tx.store(&Journal[2 + 2 * Len], (uint64_t)I);
+          Tx.store(&Journal[0], Len + 1);
+        });
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+
+  std::printf("journal length before crash: %llu\n",
+              (unsigned long long)Journal[0]);
+  Pool.crash();
+  RecoveryReport Rep = RecoveryObserver::recoverPool(Pool);
+  std::printf("recovery rolled back %zu sequences\n",
+              Rep.SequencesRolledBack);
+
+  // The recovered journal must be a clean prefix: length L, and entries
+  // 1..L fully populated with per-producer sequence numbers in order.
+  uint64_t Len = Journal[0];
+  uint64_t NextSeq[NumThreads + 1] = {};
+  for (uint64_t E = 0; E != Len; ++E) {
+    uint64_t Producer = Journal[1 + 2 * E];
+    uint64_t Seq = Journal[2 + 2 * E];
+    if (Producer == 0 || Producer > NumThreads) {
+      std::printf("CORRUPT JOURNAL: bad producer at entry %llu\n",
+                  (unsigned long long)E);
+      return 1;
+    }
+    if (Seq != NextSeq[Producer]++) {
+      std::printf("CORRUPT JOURNAL: producer %llu out of order\n",
+                  (unsigned long long)Producer);
+      return 1;
+    }
+  }
+  std::printf("recovered journal is a clean prefix of length %llu\n",
+              (unsigned long long)Len);
+  std::printf("lock_durability OK\n");
+  return 0;
+}

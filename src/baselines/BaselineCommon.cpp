@@ -1,0 +1,158 @@
+//===- baselines/BaselineCommon.cpp - Shared baseline machinery -----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BaselineCommon.h"
+
+#include "support/Spin.h"
+
+using namespace crafty;
+
+namespace {
+constexpr uint32_t AbortBaselineSglHeld = 101;
+} // namespace
+
+/// TxnContext for baselines: loads/stores through the hardware
+/// transaction (or directly under the SGL), recording writes for the redo
+/// pipelines.
+class BaselineBackend::Ctx final : public TxnContext {
+public:
+  Ctx(BaselineBackend &B, ThreadState &TS, unsigned Tid)
+      : B(B), TS(TS), Tid(Tid) {}
+
+  uint64_t load(const uint64_t *Addr) override {
+    return TS.Direct ? B.Htm.nonTxLoad(Addr) : TS.Tx.load(Addr);
+  }
+
+  void store(uint64_t *Addr, uint64_t Val) override {
+    TS.WriteLog.push_back(RedoEntry{Addr, Val});
+    if (TS.Direct)
+      B.Htm.nonTxStore(Addr, Val);
+    else
+      TS.Tx.store(Addr, Val);
+  }
+
+  void *alloc(size_t Bytes) override {
+    if (!B.Alloc)
+      fatalError("TxnContext::alloc without a configured allocator arena");
+    void *P = B.Alloc->alloc(Tid, Bytes);
+    if (P)
+      TS.AllocLog.push_back(P);
+    return P;
+  }
+
+  void dealloc(void *Ptr) override {
+    if (Ptr)
+      TS.FreeLog.push_back(Ptr);
+  }
+
+private:
+  BaselineBackend &B;
+  ThreadState &TS;
+  unsigned Tid;
+};
+
+BaselineBackend::BaselineBackend(PMemPool &Pool, HtmRuntime &Htm,
+                                 unsigned NumThreads,
+                                 size_t ArenaBytesPerThread,
+                                 unsigned SglAttemptThreshold)
+    : Pool(Pool), Htm(Htm), NumThreads(NumThreads),
+      SglAttemptThreshold(SglAttemptThreshold) {
+  Htm.setMemoryHooks(Pool.htmHooks());
+  if (ArenaBytesPerThread)
+    Alloc = std::make_unique<PMemAllocator>(Pool, NumThreads,
+                                            ArenaBytesPerThread);
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.push_back(std::make_unique<ThreadState>(Htm, I));
+}
+
+BaselineBackend::~BaselineBackend() = default;
+
+PtmStats BaselineBackend::txnStats() const {
+  PtmStats S;
+  for (const auto &T : Threads)
+    S += T->Stats;
+  return S;
+}
+
+HtmStats BaselineBackend::htmStats() const {
+  HtmStats S;
+  for (const auto &T : Threads)
+    S += T->Tx.stats();
+  return S;
+}
+
+void BaselineBackend::resetAttempt(unsigned Tid, ThreadState &TS) {
+  TS.WriteLog.clear();
+  if (Alloc)
+    for (void *P : TS.AllocLog)
+      Alloc->dealloc(Tid, P);
+  TS.AllocLog.clear();
+  TS.FreeLog.clear();
+}
+
+void BaselineBackend::finishCommit(unsigned Tid, ThreadState &TS) {
+  if (Alloc)
+    for (void *P : TS.FreeLog)
+      Alloc->dealloc(Tid, P);
+  TS.FreeLog.clear();
+  TS.AllocLog.clear();
+  TS.Stats.Writes += TS.WriteLog.size();
+}
+
+void BaselineBackend::waitSglFree() {
+  SpinBackoff Backoff;
+  while (HtmRuntime::plainLoad(&Sgl) != 0)
+    Backoff.pause();
+}
+
+BaselineBackend::ExecResult BaselineBackend::execute(unsigned Tid,
+                                                     TxnBody Body) {
+  ThreadState &TS = state(Tid);
+  Ctx Context(*this, TS, Tid);
+  unsigned Attempts = 0;
+  while (Attempts < SglAttemptThreshold) {
+    resetAttempt(Tid, TS);
+    TS.Direct = false;
+    bool HasWrites = false;
+    TxResult R = runHtmTx(TS.Tx, [&](HtmTx &T) {
+      if (T.load(&Sgl) != 0)
+        T.abortExplicit(AbortBaselineSglHeld);
+      preBody(Tid, &T);
+      Body(Context);
+      HasWrites = !TS.WriteLog.empty();
+      postBody(Tid, &T, HasWrites);
+    });
+    if (R.Committed) {
+      ++TS.Stats.NonCrafty;
+      finishCommit(Tid, TS);
+      return ExecResult{false, HasWrites, R.CommitVersion};
+    }
+    if (R.Code == AbortCode::Explicit && R.UserCode == AbortBaselineSglHeld) {
+      waitSglFree();
+      continue; // Not charged as an attempt.
+    }
+    ++Attempts;
+  }
+
+  // Single-global-lock fallback: direct execution.
+  SpinBackoff Backoff;
+  while (!Htm.nonTxCas(&Sgl, 0, 1))
+    Backoff.pause();
+  resetAttempt(Tid, TS);
+  TS.Direct = true;
+  preBody(Tid, nullptr);
+  Body(Context);
+  bool HasWrites = !TS.WriteLog.empty();
+  postBody(Tid, nullptr, HasWrites);
+  uint64_t Version = Htm.advanceClock();
+  TS.Direct = false;
+  ++TS.Stats.Sgl;
+  finishCommit(Tid, TS);
+  Htm.nonTxStore(&Sgl, 0);
+  return ExecResult{true, HasWrites, Version};
+}

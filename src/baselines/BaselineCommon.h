@@ -1,0 +1,101 @@
+//===- baselines/BaselineCommon.h - Shared baseline machinery --*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machinery shared by the evaluated baseline systems (paper Section 7.1):
+/// Non-durable, NV-HTM [Castro et al., IPDPS'18] and DudeTM [Liu et al.,
+/// ASPLOS'17]. All three execute transaction bodies in a hardware
+/// transaction with a single-global-lock fallback; the durable ones
+/// additionally record each write in a volatile redo log for their
+/// decoupled persistence pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_BASELINECOMMON_H
+#define CRAFTY_BASELINES_BASELINECOMMON_H
+
+#include "core/Ptm.h"
+#include "htm/Htm.h"
+#include "log/RedoLog.h"
+#include "pmem/PMemAllocator.h"
+#include "pmem/PMemPool.h"
+
+#include <memory>
+#include <vector>
+
+namespace crafty {
+
+/// Base class implementing HTM-with-SGL-fallback execution and write
+/// recording; concrete baselines add their timestamping (preBody /
+/// postBody) and their durability tail after each committed transaction.
+class BaselineBackend : public PtmBackend {
+public:
+  BaselineBackend(PMemPool &Pool, HtmRuntime &Htm, unsigned NumThreads,
+                  size_t ArenaBytesPerThread, unsigned SglAttemptThreshold);
+  ~BaselineBackend() override;
+
+  unsigned maxThreads() const override { return NumThreads; }
+  PtmStats txnStats() const override;
+  HtmStats htmStats() const override;
+
+  PMemPool &pool() { return Pool; }
+
+protected:
+  struct ThreadState;
+
+  /// Result of executing a body to completion (always commits).
+  struct ExecResult {
+    bool UsedSgl = false;
+    bool HasWrites = false;
+    uint64_t CommitVersion = 0;
+  };
+
+  /// Executes \p Body atomically on behalf of \p Tid: hardware
+  /// transaction attempts with retries, then the SGL. The thread state's
+  /// WriteLog holds the committed writes afterwards.
+  ExecResult execute(unsigned Tid, TxnBody Body);
+
+  /// Called after begin (or before a direct SGL execution); \p T is null
+  /// in the direct case.
+  virtual void preBody(unsigned Tid, HtmTx *T) {}
+
+  /// Called after the body ran, inside the still-open transaction (or
+  /// directly under the SGL when \p T is null). \p HasWrites tells
+  /// whether the body performed any store.
+  virtual void postBody(unsigned Tid, HtmTx *T, bool HasWrites) {}
+
+  struct ThreadState {
+    explicit ThreadState(HtmRuntime &Htm, unsigned Tid)
+        : Tx(Htm, Tid, Tid + 7777) {}
+    HtmTx Tx;
+    std::vector<RedoEntry> WriteLog;
+    std::vector<void *> AllocLog;
+    std::vector<void *> FreeLog;
+    PtmStats Stats;
+    bool Direct = false; // Executing under the SGL.
+  };
+
+  ThreadState &state(unsigned Tid) { return *Threads[Tid]; }
+
+  PMemPool &Pool;
+  HtmRuntime &Htm;
+  unsigned NumThreads;
+  unsigned SglAttemptThreshold;
+  std::unique_ptr<PMemAllocator> Alloc;
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  alignas(CacheLineBytes) uint64_t Sgl = 0;
+
+private:
+  class Ctx;
+  void resetAttempt(unsigned Tid, ThreadState &TS);
+  void finishCommit(unsigned Tid, ThreadState &TS);
+  void waitSglFree();
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_BASELINECOMMON_H

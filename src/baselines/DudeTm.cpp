@@ -1,0 +1,100 @@
+//===- baselines/DudeTm.cpp - DudeTM baseline -----------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DudeTm.h"
+
+using namespace crafty;
+
+DudeTmBackend::DudeTmBackend(PMemPool &Pool, HtmRuntime &Htm,
+                             unsigned NumThreads, size_t ArenaBytesPerThread,
+                             unsigned SglAttemptThreshold,
+                             size_t LogBytesTotal)
+    : BaselineBackend(Pool, Htm, NumThreads, ArenaBytesPerThread,
+                      SglAttemptThreshold),
+      Pipeline(Pool, NumThreads, PipelineOrder::Dense,
+               /*PersistThreadId=*/Pool.config().MaxThreads - 2) {
+  CurTs = std::make_unique<uint64_t[]>(NumThreads);
+  // The persist stage's redo log: one region, written only by the
+  // pipeline thread, in dense timestamp order; the same record format
+  // as NV-HTM so one replayer recovers both (baselines/NvHtmRecovery.h).
+  auto *LayoutMem =
+      static_cast<NvHtmLayout *>(Pool.carve(sizeof(NvHtmLayout)));
+  LogWords = LogBytesTotal / 8;
+  LogRegion = static_cast<uint64_t *>(Pool.carve(LogBytesTotal));
+  NvHtmLayout Layout;
+  Layout.MagicWord = NvHtmLayout::Magic;
+  Layout.NumThreads = 1; // Single log, written by the pipeline.
+  Layout.LogWordsPerThread = LogWords;
+  Layout.LogsOffset = reinterpret_cast<uint8_t *>(LogRegion) - Pool.base();
+  Layout.MappedBase = reinterpret_cast<uint64_t>(Pool.base());
+  Pool.persistDirect(LayoutMem, &Layout, sizeof(Layout));
+  LayoutOff = reinterpret_cast<uint8_t *>(LayoutMem) - Pool.base();
+  LogPersistThreadId = Pool.config().MaxThreads - 2;
+  Pipeline.setRecordSink(&DudeTmBackend::persistRecord, this);
+  Pipeline.start();
+}
+
+void DudeTmBackend::persistRecord(void *Ctx, const RedoTxnRecord &R) {
+  // DudeTM's persist stage: write the record and its COMMIT marker to
+  // the persistent log and drain before the writeback stage applies it.
+  auto *Self = static_cast<DudeTmBackend *>(Ctx);
+  size_t Needed = 2 * R.Writes.size() + 3;
+  if (Self->LogCursor + Needed > Self->LogWords)
+    fatalError("DudeTM redo log exhausted; enlarge LogBytesTotal "
+               "(log truncation needs writeback metadata this "
+               "reproduction does not model)");
+  uint64_t *Out = Self->LogRegion + Self->LogCursor;
+  uint64_t *Start = Out;
+  Out[0] = NvHtmRecordMagic | (uint64_t)R.Writes.size();
+  Self->Pool.onCommittedStore(&Out[0]);
+  Out += 1;
+  for (const RedoEntry &E : R.Writes) {
+    Out[0] = reinterpret_cast<uint64_t>(E.Addr);
+    Out[1] = E.Val;
+    Self->Pool.onCommittedStore(Out);
+    Out += 2;
+  }
+  Out[0] = R.Ts;
+  Out[1] = R.Ts | NvHtmMarkerBit;
+  Self->Pool.onCommittedStore(Out);
+  Self->Pool.onCommittedStore(Out + 1);
+  Self->LogCursor += Needed;
+  Self->Pool.clwbRange(Self->LogPersistThreadId, Start, Needed * 8);
+  Self->Pool.drain(Self->LogPersistThreadId);
+}
+
+DudeTmBackend::~DudeTmBackend() { Pipeline.stop(); }
+
+void DudeTmBackend::postBody(unsigned Tid, HtmTx *T, bool HasWrites) {
+  if (!HasWrites)
+    return;
+  // The DudeTM timestamp: increment a global counter inside the hardware
+  // transaction. Every pair of writing transactions now conflicts on this
+  // line, serializing them through aborts.
+  if (T) {
+    uint64_t Ts = T->load(&GlobalCounter) + 1;
+    T->store(&GlobalCounter, Ts);
+    CurTs[Tid] = Ts;
+    return;
+  }
+  // SGL path: transactions are already excluded; plain bump.
+  uint64_t Ts = Htm.nonTxLoad(&GlobalCounter) + 1;
+  Htm.nonTxStore(&GlobalCounter, Ts);
+  CurTs[Tid] = Ts;
+}
+
+void DudeTmBackend::run(unsigned ThreadId, TxnBody Body) {
+  ExecResult R = execute(ThreadId, Body);
+  if (!R.HasWrites)
+    return;
+  // Durability is decoupled: hand the redo record to the background
+  // persist/apply pipeline and return immediately.
+  RedoTxnRecord Record;
+  Record.Ts = CurTs[ThreadId];
+  Record.Writes = state(ThreadId).WriteLog;
+  Pipeline.enqueue(ThreadId, std::move(Record));
+}

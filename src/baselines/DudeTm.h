@@ -1,0 +1,63 @@
+//===- baselines/DudeTm.h - DudeTM baseline --------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of DudeTM (Liu et al., ASPLOS 2017) as described in
+/// the paper's Section 2.3. Transactions execute in hardware against the
+/// DRAM shadow; each writing transaction obtains its timestamp by
+/// *incrementing a global counter inside the hardware transaction*, which
+/// makes every pair of writing transactions conflict -- the property that
+/// renders DudeTM "effectively incompatible with commodity HTM" and is
+/// deliberately reproduced here. Durability is fully decoupled: a
+/// background thread persists the redo logs and applies them to the
+/// persistent heap in (dense) timestamp order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_DUDETM_H
+#define CRAFTY_BASELINES_DUDETM_H
+
+#include "baselines/BaselineCommon.h"
+#include "baselines/NvHtmRecovery.h"
+#include "baselines/RedoPipeline.h"
+
+namespace crafty {
+
+class DudeTmBackend final : public BaselineBackend {
+public:
+  DudeTmBackend(PMemPool &Pool, HtmRuntime &Htm, unsigned NumThreads,
+                size_t ArenaBytesPerThread = 0,
+                unsigned SglAttemptThreshold = 10,
+                size_t LogBytesTotal = 16 << 20);
+  ~DudeTmBackend() override;
+
+  const char *name() const override { return "DudeTM"; }
+  void run(unsigned ThreadId, TxnBody Body) override;
+  void quiesce() override { Pipeline.quiesce(); }
+
+  /// Offset of the persistent layout header within the pool; pass to
+  /// replayNvHtmPool / replayNvHtmImage (DudeTM's persist stage writes
+  /// the same record format, in dense timestamp order).
+  size_t layoutOffset() const { return LayoutOff; }
+
+private:
+  void postBody(unsigned Tid, HtmTx *T, bool HasWrites) override;
+  static void persistRecord(void *Ctx, const RedoTxnRecord &R);
+
+  alignas(CacheLineBytes) uint64_t GlobalCounter = 0;
+  std::unique_ptr<uint64_t[]> CurTs; // Per-thread, volatile.
+  uint64_t *LogRegion = nullptr;     // Persistent redo log (pipeline-owned).
+  size_t LogWords = 0;
+  size_t LogCursor = 0;
+  size_t LayoutOff = 0;
+  uint32_t LogPersistThreadId = 0;
+  RedoPipeline Pipeline;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_DUDETM_H

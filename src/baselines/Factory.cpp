@@ -1,0 +1,66 @@
+//===- baselines/Factory.cpp - Backend factory ----------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+
+#include "baselines/DudeTm.h"
+#include "baselines/NonDurable.h"
+#include "baselines/NvHtm.h"
+#include "core/Crafty.h"
+
+using namespace crafty;
+
+const char *crafty::systemKindName(SystemKind Kind) {
+  switch (Kind) {
+  case SystemKind::NonDurable:
+    return "Non-durable";
+  case SystemKind::DudeTm:
+    return "DudeTM";
+  case SystemKind::NvHtm:
+    return "NV-HTM";
+  case SystemKind::Crafty:
+    return "Crafty";
+  case SystemKind::CraftyNoValidate:
+    return "Crafty-NoValidate";
+  case SystemKind::CraftyNoRedo:
+    return "Crafty-NoRedo";
+  }
+  CRAFTY_UNREACHABLE("bad system kind");
+}
+
+std::unique_ptr<PtmBackend>
+crafty::createBackend(SystemKind Kind, PMemPool &Pool, HtmRuntime &Htm,
+                      const BackendOptions &Options) {
+  switch (Kind) {
+  case SystemKind::NonDurable:
+    return std::make_unique<NonDurableBackend>(
+        Pool, Htm, Options.NumThreads, Options.ArenaBytesPerThread,
+        Options.SglAttemptThreshold);
+  case SystemKind::DudeTm:
+    return std::make_unique<DudeTmBackend>(
+        Pool, Htm, Options.NumThreads, Options.ArenaBytesPerThread,
+        Options.SglAttemptThreshold, Options.DudeTmLogBytesTotal);
+  case SystemKind::NvHtm:
+    return std::make_unique<NvHtmBackend>(
+        Pool, Htm, Options.NumThreads, Options.ArenaBytesPerThread,
+        Options.NvHtmLogBytesPerThread, Options.SglAttemptThreshold);
+  case SystemKind::Crafty:
+  case SystemKind::CraftyNoValidate:
+  case SystemKind::CraftyNoRedo: {
+    CraftyConfig C;
+    C.NumThreads = Options.NumThreads;
+    C.LogEntriesPerThread = Options.LogEntriesPerThread;
+    C.ArenaBytesPerThread = Options.ArenaBytesPerThread;
+    C.SglAttemptThreshold = Options.SglAttemptThreshold;
+    C.DisableValidate = Kind == SystemKind::CraftyNoValidate;
+    C.DisableRedo = Kind == SystemKind::CraftyNoRedo;
+    C.CollectPhaseTimings = Options.CollectPhaseTimings;
+    return std::make_unique<CraftyRuntime>(Pool, Htm, C);
+  }
+  }
+  CRAFTY_UNREACHABLE("bad system kind");
+}

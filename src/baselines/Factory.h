@@ -1,0 +1,69 @@
+//===- baselines/Factory.h - Backend factory -------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates any of the six evaluated configurations (paper Section 7.1):
+/// Non-durable, DudeTM, NV-HTM, Crafty, Crafty-NoValidate, Crafty-NoRedo.
+/// The harness, benches and tests construct systems only through this
+/// factory so every experiment runs each configuration identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_FACTORY_H
+#define CRAFTY_BASELINES_FACTORY_H
+
+#include "core/Ptm.h"
+#include "htm/Htm.h"
+#include "pmem/PMemPool.h"
+
+#include <array>
+#include <memory>
+
+namespace crafty {
+
+/// The evaluated persistent-transaction systems.
+enum class SystemKind : uint8_t {
+  NonDurable,
+  DudeTm,
+  NvHtm,
+  Crafty,
+  CraftyNoValidate,
+  CraftyNoRedo,
+};
+
+inline constexpr std::array<SystemKind, 6> AllSystems = {
+    SystemKind::NonDurable,     SystemKind::DudeTm,
+    SystemKind::NvHtm,          SystemKind::Crafty,
+    SystemKind::CraftyNoValidate, SystemKind::CraftyNoRedo,
+};
+
+const char *systemKindName(SystemKind Kind);
+
+/// Options common to all backends.
+struct BackendOptions {
+  unsigned NumThreads = 1;
+  size_t ArenaBytesPerThread = 0;
+  /// Crafty: per-thread circular undo-log entries (power of two).
+  size_t LogEntriesPerThread = 1 << 14;
+  /// NV-HTM: per-thread persistent redo-log bytes.
+  size_t NvHtmLogBytesPerThread = 8 << 20;
+  /// DudeTM: total persistent redo-log bytes (single pipeline writer).
+  size_t DudeTmLogBytesTotal = 16 << 20;
+  unsigned SglAttemptThreshold = 10;
+  /// Crafty: collect per-phase wall-clock times into PtmStats.
+  bool CollectPhaseTimings = false;
+};
+
+/// Creates a backend of the requested kind over \p Pool and \p Htm (both
+/// must outlive the backend and be freshly constructed per experiment).
+std::unique_ptr<PtmBackend> createBackend(SystemKind Kind, PMemPool &Pool,
+                                          HtmRuntime &Htm,
+                                          const BackendOptions &Options);
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_FACTORY_H

@@ -1,0 +1,40 @@
+//===- baselines/NonDurable.h - HTM with no durability ---------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Non-durable configuration (paper Section 6): each persistent
+/// transaction simply runs in a hardware transaction with an SGL
+/// fallback, providing no crash-consistency guarantee. It is the
+/// normalization baseline of every throughput figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_NONDURABLE_H
+#define CRAFTY_BASELINES_NONDURABLE_H
+
+#include "baselines/BaselineCommon.h"
+
+namespace crafty {
+
+class NonDurableBackend final : public BaselineBackend {
+public:
+  NonDurableBackend(PMemPool &Pool, HtmRuntime &Htm, unsigned NumThreads,
+                    size_t ArenaBytesPerThread = 0,
+                    unsigned SglAttemptThreshold = 10)
+      : BaselineBackend(Pool, Htm, NumThreads, ArenaBytesPerThread,
+                        SglAttemptThreshold) {}
+
+  const char *name() const override { return "Non-durable"; }
+
+  void run(unsigned ThreadId, TxnBody Body) override {
+    execute(ThreadId, Body);
+  }
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_NONDURABLE_H

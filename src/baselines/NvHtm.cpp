@@ -1,0 +1,132 @@
+//===- baselines/NvHtm.cpp - NV-HTM baseline ------------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NvHtm.h"
+
+#include "support/Spin.h"
+
+using namespace crafty;
+
+NvHtmBackend::NvHtmBackend(PMemPool &Pool, HtmRuntime &Htm,
+                           unsigned NumThreads, size_t ArenaBytesPerThread,
+                           size_t LogBytesPerThread,
+                           unsigned SglAttemptThreshold)
+    : BaselineBackend(Pool, Htm, NumThreads, ArenaBytesPerThread,
+                      SglAttemptThreshold),
+      Pipeline(Pool, NumThreads, PipelineOrder::SafeTs,
+               /*PersistThreadId=*/Pool.config().MaxThreads - 1) {
+  Extra = std::make_unique<PerThread[]>(NumThreads);
+  // One contiguous block of per-thread log regions plus a persistent
+  // layout header so the recovery replayer can find them in a crash
+  // image (baselines/NvHtmRecovery.h).
+  auto *LayoutMem = static_cast<NvHtmLayout *>(Pool.carve(sizeof(NvHtmLayout)));
+  auto *Logs = static_cast<uint64_t *>(
+      Pool.carve((size_t)NumThreads * LogBytesPerThread));
+  for (unsigned I = 0; I != NumThreads; ++I) {
+    Extra[I].LogRegion = Logs + (size_t)I * (LogBytesPerThread / 8);
+    Extra[I].LogWords = LogBytesPerThread / 8;
+  }
+  NvHtmLayout Layout;
+  Layout.MagicWord = NvHtmLayout::Magic;
+  Layout.NumThreads = NumThreads;
+  Layout.LogWordsPerThread = LogBytesPerThread / 8;
+  Layout.LogsOffset = reinterpret_cast<uint8_t *>(Logs) - Pool.base();
+  Layout.MappedBase = reinterpret_cast<uint64_t>(Pool.base());
+  Pool.persistDirect(LayoutMem, &Layout, sizeof(Layout));
+  LayoutOff = reinterpret_cast<uint8_t *>(LayoutMem) - Pool.base();
+  Pipeline.setSafeTsBound(&NvHtmBackend::safeTsBound, this);
+  Pipeline.start();
+}
+
+NvHtmBackend::~NvHtmBackend() { Pipeline.stop(); }
+
+uint64_t NvHtmBackend::safeTsBound(void *Ctx) {
+  auto *Self = static_cast<NvHtmBackend *>(Ctx);
+  uint64_t Min = TsInfinity;
+  for (unsigned I = 0; I != Self->NumThreads; ++I) {
+    uint64_t V = Self->Extra[I].PublishedTs.load(std::memory_order_acquire);
+    if (V < Min)
+      Min = V;
+  }
+  return Min;
+}
+
+void NvHtmBackend::preBody(unsigned Tid, HtmTx *T) {
+  // Read the clock inside the transaction (the RDTSC analogue): the
+  // timestamp is *not* the serialization order, which is why the commit
+  // fence below is needed for correct recovery ordering.
+  uint64_t Ts = (Htm.globalClock() + 1) * NumThreads + Tid;
+  Extra[Tid].CurTs = Ts;
+  Extra[Tid].PublishedTs.store(Ts, std::memory_order_release);
+}
+
+void NvHtmBackend::appendLogAndPersist(unsigned Tid, uint64_t Ts) {
+  // Write a redo record (header, entries, timestamp; see
+  // baselines/NvHtmRecovery.h for the layout), then flush and drain it:
+  // entries must be durable before the COMMIT marker may be written.
+  PerThread &PT = Extra[Tid];
+  const std::vector<RedoEntry> &Writes = state(Tid).WriteLog;
+  size_t Needed = 2 * Writes.size() + 3;
+  if (PT.LogCursor + Needed > PT.LogWords)
+    fatalError("NV-HTM redo log exhausted; enlarge LogBytesPerThread "
+               "(log truncation needs checkpointer metadata this "
+               "reproduction does not model)");
+  uint64_t *Out = PT.LogRegion + PT.LogCursor;
+  uint64_t *Start = Out;
+  Out[0] = NvHtmRecordMagic | (uint64_t)Writes.size();
+  Pool.onCommittedStore(&Out[0]);
+  Out += 1;
+  for (const RedoEntry &E : Writes) {
+    Out[0] = reinterpret_cast<uint64_t>(E.Addr);
+    Out[1] = E.Val;
+    Pool.onCommittedStore(Out);
+    Out += 2;
+  }
+  Out[0] = Ts; // The COMMIT marker slot (Out[1]) stays zero until after
+  Pool.onCommittedStore(Out); // the fence.
+  Out += 1;
+  PT.LogCursor = (Out - PT.LogRegion) + 1;
+  Pool.clwbRange(Tid, Start, (Out - Start) * 8);
+  Pool.drain(Tid);
+}
+
+void NvHtmBackend::run(unsigned ThreadId, TxnBody Body) {
+  PerThread &PT = Extra[ThreadId];
+  ExecResult R = execute(ThreadId, Body);
+  if (!R.HasWrites) {
+    PT.PublishedTs.store(TsInfinity, std::memory_order_release);
+    return;
+  }
+  uint64_t Ts = PT.CurTs;
+  appendLogAndPersist(ThreadId, Ts);
+
+  // The commit fence (paper Section 2.3): this transaction cannot write
+  // its COMMIT marker until no ongoing transaction may still commit with
+  // an earlier timestamp.
+  SpinBackoff Backoff;
+  for (unsigned U = 0; U != NumThreads; ++U) {
+    if (U == ThreadId)
+      continue;
+    while (Extra[U].PublishedTs.load(std::memory_order_acquire) <= Ts)
+      Backoff.pause();
+  }
+
+  // COMMIT marker: one persistent word, flushed without drain (recovery
+  // tolerates missing markers via the stop-timestamp rule).
+  uint64_t *Marker = PT.LogRegion + (PT.LogCursor - 1);
+  *Marker = Ts | NvHtmMarkerBit;
+  Pool.onCommittedStore(Marker);
+  Pool.clwb(ThreadId, Marker);
+
+  // Hand the writes to the checkpointer before unpublishing so the
+  // safe-timestamp bound can never pass an unqueued transaction.
+  RedoTxnRecord Record;
+  Record.Ts = Ts;
+  Record.Writes = state(ThreadId).WriteLog;
+  Pipeline.enqueue(ThreadId, std::move(Record));
+  PT.PublishedTs.store(TsInfinity, std::memory_order_release);
+}

@@ -1,0 +1,75 @@
+//===- baselines/NvHtm.h - NV-HTM baseline ---------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of NV-HTM (Castro, Romano, Barreto; IPDPS 2018) as
+/// described in the paper's Section 2.3. Transactions execute in hardware
+/// transactions against the DRAM working copy; after commit each
+/// transaction persists a timestamped redo log, then *waits* until no
+/// ongoing transaction may still commit with an earlier timestamp before
+/// writing its COMMIT marker -- the first scalability bottleneck the
+/// paper identifies. A background checkpointer applies the logs to the
+/// persistent heap in timestamp order -- the second one.
+///
+/// Timestamps are read from the global clock inside the transaction (the
+/// design's RDTSC analogue), so commit order and timestamp order can
+/// disagree, which is exactly why the commit fence exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_NVHTM_H
+#define CRAFTY_BASELINES_NVHTM_H
+
+#include "baselines/BaselineCommon.h"
+#include "baselines/NvHtmRecovery.h"
+#include "baselines/RedoPipeline.h"
+
+#include <atomic>
+
+namespace crafty {
+
+class NvHtmBackend final : public BaselineBackend {
+public:
+  /// \p LogBytesPerThread: size of each thread's persistent redo-log
+  /// region, carved from \p Pool.
+  NvHtmBackend(PMemPool &Pool, HtmRuntime &Htm, unsigned NumThreads,
+               size_t ArenaBytesPerThread = 0,
+               size_t LogBytesPerThread = 1 << 20,
+               unsigned SglAttemptThreshold = 10);
+  ~NvHtmBackend() override;
+
+  const char *name() const override { return "NV-HTM"; }
+  void run(unsigned ThreadId, TxnBody Body) override;
+  void quiesce() override { Pipeline.quiesce(); }
+
+  /// Offset of the persistent layout header within the pool; pass to
+  /// replayNvHtmPool / replayNvHtmImage for crash recovery.
+  size_t layoutOffset() const { return LayoutOff; }
+
+private:
+  void preBody(unsigned Tid, HtmTx *T) override;
+  void appendLogAndPersist(unsigned Tid, uint64_t Ts);
+  static uint64_t safeTsBound(void *Ctx);
+
+  static constexpr uint64_t TsInfinity = ~0ull;
+
+  struct alignas(CacheLineBytes) PerThread {
+    std::atomic<uint64_t> PublishedTs{~0ull};
+    uint64_t CurTs = 0;
+    uint64_t *LogRegion = nullptr; // Persistent redo-log words.
+    size_t LogWords = 0;
+    size_t LogCursor = 0;
+  };
+
+  std::unique_ptr<PerThread[]> Extra;
+  size_t LayoutOff = 0;
+  RedoPipeline Pipeline;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_NVHTM_H

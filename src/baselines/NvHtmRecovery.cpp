@@ -1,0 +1,128 @@
+//===- baselines/NvHtmRecovery.cpp - NV-HTM redo-replay recovery ----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NvHtmRecovery.h"
+
+#include "support/CacheLine.h"
+#include "support/FunctionRef.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace crafty;
+
+namespace {
+
+struct ScannedRecord {
+  uint64_t Ts = 0;
+  const uint64_t *Pairs = nullptr;
+  uint32_t NumWrites = 0;
+};
+
+/// Scans one thread's log. Appends complete records to \p Out and lowers
+/// \p StopTs to the first incomplete (unmarked) record's timestamp: the
+/// commit fence guarantees every *written* marker has a smaller timestamp
+/// than any unmarked record, but markers are flushed without draining, so
+/// the image can lack marker S while holding a later marker T -- records
+/// at or above an unmarked tail's timestamp must not replay.
+void scanThreadLog(const uint64_t *Log, uint64_t LogWords,
+                   std::vector<ScannedRecord> &Out, uint64_t &StopTs) {
+  uint64_t Cursor = 0;
+  while (Cursor + 3 <= LogWords) {
+    uint64_t Header = Log[Cursor];
+    if ((Header & NvHtmRecordMagicMask) != NvHtmRecordMagic)
+      return; // End of this thread's records (or an unpersisted header).
+    uint64_t NumWrites = Header & ~NvHtmRecordMagicMask;
+    if (Cursor + 2 * NumWrites + 3 > LogWords)
+      return; // Corrupt length; treat as tail.
+    uint64_t Ts = Log[Cursor + 2 * NumWrites + 1];
+    uint64_t Marker = Log[Cursor + 2 * NumWrites + 2];
+    if (Marker != (Ts | NvHtmMarkerBit)) {
+      // Unmarked tail: its entries and timestamp are persisted (they are
+      // drained before the fence), but the transaction never completed.
+      StopTs = std::min(StopTs, Ts);
+      return;
+    }
+    ScannedRecord R;
+    R.Ts = Ts;
+    R.Pairs = Log + Cursor + 1;
+    R.NumWrites = (uint32_t)NumWrites;
+    Out.push_back(R);
+    Cursor += 2 * NumWrites + 3;
+  }
+}
+
+} // namespace
+
+namespace {
+
+NvHtmRecoveryReport
+replayWith(uint8_t *Base, size_t Bytes, size_t LayoutOffset,
+           FunctionRef<void(uint64_t *Addr, uint64_t Val)> WriteWord) {
+  NvHtmRecoveryReport Rep;
+  if (LayoutOffset + sizeof(NvHtmLayout) > Bytes)
+    return Rep;
+  NvHtmLayout Layout;
+  std::memcpy(&Layout, Base + LayoutOffset, sizeof(Layout));
+  if (Layout.MagicWord != NvHtmLayout::Magic || Layout.NumThreads == 0)
+    return Rep;
+  size_t LogsEnd = Layout.LogsOffset + (size_t)Layout.NumThreads *
+                                           Layout.LogWordsPerThread * 8;
+  if (LogsEnd > Bytes)
+    return Rep;
+  Rep.HeaderValid = true;
+
+  std::vector<ScannedRecord> Records;
+  uint64_t StopTs = ~0ull;
+  unsigned Tails = 0;
+  for (unsigned T = 0; T != Layout.NumThreads; ++T) {
+    uint64_t PrevStop = StopTs;
+    const auto *Log = reinterpret_cast<const uint64_t *>(
+        Base + Layout.LogsOffset + (size_t)T * Layout.LogWordsPerThread * 8);
+    scanThreadLog(Log, Layout.LogWordsPerThread, Records, StopTs);
+    if (StopTs != PrevStop)
+      ++Tails;
+  }
+  Rep.RecordsFound = Records.size();
+  Rep.TailRecords = Tails;
+
+  std::sort(Records.begin(), Records.end(),
+            [](const ScannedRecord &A, const ScannedRecord &B) {
+              return A.Ts < B.Ts;
+            });
+  for (const ScannedRecord &R : Records) {
+    if (R.Ts >= StopTs)
+      break; // An earlier transaction's marker may be missing.
+    for (uint32_t I = 0; I != R.NumWrites; ++I) {
+      uint64_t Addr = R.Pairs[2 * I];
+      uint64_t Val = R.Pairs[2 * I + 1];
+      uint64_t Off = Addr - Layout.MappedBase;
+      if (Off >= Bytes || (Off & 7) != 0)
+        continue; // Tolerate corruption.
+      WriteWord(reinterpret_cast<uint64_t *>(Base + Off), Val);
+      ++Rep.WordsApplied;
+    }
+    ++Rep.RecordsReplayed;
+  }
+  return Rep;
+}
+
+} // namespace
+
+NvHtmRecoveryReport crafty::replayNvHtmImage(uint8_t *Base, size_t Bytes,
+                                             size_t LayoutOffset) {
+  return replayWith(Base, Bytes, LayoutOffset,
+                    [](uint64_t *Addr, uint64_t Val) { *Addr = Val; });
+}
+
+NvHtmRecoveryReport crafty::replayNvHtmPool(PMemPool &Pool,
+                                            size_t LayoutOffset) {
+  return replayWith(Pool.base(), Pool.size(), LayoutOffset,
+                    [&Pool](uint64_t *Addr, uint64_t Val) {
+                      Pool.persistDirect(Addr, &Val, sizeof(Val));
+                    });
+}

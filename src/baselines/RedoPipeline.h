@@ -1,0 +1,126 @@
+//===- baselines/RedoPipeline.h - Asynchronous redo appliers ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous persistence pipeline shared by the NV-HTM and DudeTM
+/// baselines: a background thread consumes committed transactions' redo
+/// records and applies them to the persistent heap in timestamp order --
+/// the inherently serialized stage the paper identifies as their
+/// scalability bottleneck (Section 2.3).
+///
+/// Two ordering disciplines are supported:
+///  - SafeTs (NV-HTM): a record with timestamp T may be applied once no
+///    in-flight transaction can still commit with a timestamp <= T; the
+///    bound comes from the per-thread published-timestamp table.
+///  - Dense (DudeTM): timestamps are consecutive integers from the global
+///    counter incremented inside each hardware transaction; records apply
+///    strictly in counter order.
+///
+/// Applying a record costs NVM write-backs: the pipeline issues CLWBs for
+/// every written line and a drain per batch, on its own persistence
+/// context, so the simulator charges realistic latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_BASELINES_REDOPIPELINE_H
+#define CRAFTY_BASELINES_REDOPIPELINE_H
+
+#include "log/RedoLog.h"
+#include "pmem/PMemPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crafty {
+
+/// One committed transaction's redo record.
+struct RedoTxnRecord {
+  uint64_t Ts = 0;
+  std::vector<RedoEntry> Writes;
+};
+
+/// Ordering discipline; see the file comment.
+enum class PipelineOrder : uint8_t { SafeTs, Dense };
+
+class RedoPipeline {
+public:
+  /// \p SafeTsBound (SafeTs mode): returns a timestamp such that no
+  /// in-flight transaction can still commit at or below it.
+  /// \p PersistThreadId: the pool persistence context the applier uses.
+  RedoPipeline(PMemPool &Pool, unsigned NumProducers, PipelineOrder Order,
+               uint32_t PersistThreadId, size_t QueueCapacity = 256);
+  ~RedoPipeline();
+  RedoPipeline(const RedoPipeline &) = delete;
+  RedoPipeline &operator=(const RedoPipeline &) = delete;
+
+  /// SafeTs mode: installs the bound callback (must outlive the
+  /// pipeline). Call before start().
+  void setSafeTsBound(uint64_t (*Fn)(void *), void *Ctx) {
+    SafeTsFn = Fn;
+    SafeTsCtx = Ctx;
+  }
+
+  /// Optional persist stage: invoked for each record, in apply order,
+  /// before its writes reach the persistent heap. DudeTM uses it to
+  /// write and drain its persistent redo log (the "persist" stage of its
+  /// decoupled pipeline). Call before start().
+  void setRecordSink(void (*Fn)(void *, const RedoTxnRecord &), void *Ctx) {
+    SinkFn = Fn;
+    SinkCtx = Ctx;
+  }
+
+  /// Starts the applier thread.
+  void start();
+
+  /// Enqueues a committed transaction from \p Producer; blocks while the
+  /// producer's queue is full (checkpointer backpressure).
+  void enqueue(unsigned Producer, RedoTxnRecord Record);
+
+  /// Blocks until every enqueued record has been applied.
+  void quiesce();
+
+  /// Stops the applier (implies quiesce).
+  void stop();
+
+  uint64_t appliedTxns() const {
+    return Applied.load(std::memory_order_relaxed);
+  }
+
+private:
+  void applierMain();
+  /// Collects the next batch to apply, in timestamp order. Returns an
+  /// empty batch when nothing is currently eligible.
+  std::vector<RedoTxnRecord> collectBatch();
+
+  struct ProducerQueue {
+    std::mutex Mu;
+    std::deque<RedoTxnRecord> Q;
+  };
+
+  PMemPool &Pool;
+  PipelineOrder Order;
+  uint32_t PersistThreadId;
+  size_t QueueCapacity;
+  uint64_t (*SafeTsFn)(void *) = nullptr;
+  void *SafeTsCtx = nullptr;
+  void (*SinkFn)(void *, const RedoTxnRecord &) = nullptr;
+  void *SinkCtx = nullptr;
+  std::vector<std::unique_ptr<ProducerQueue>> Queues;
+  std::thread Applier;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Enqueued{0};
+  std::atomic<uint64_t> Applied{0};
+  uint64_t NextDenseTs = 1; // Dense mode cursor.
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_BASELINES_REDOPIPELINE_H

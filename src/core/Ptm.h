@@ -1,0 +1,150 @@
+//===- core/Ptm.h - Persistent-transaction backend interface ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend-generic persistent-transaction interface. Crafty (and its
+/// NoRedo / NoValidate variants) and the baselines (Non-durable, NV-HTM,
+/// DudeTM) all implement PtmBackend, so examples, tests, workloads and the
+/// evaluation harness are written once against this interface -- mirroring
+/// how the paper evaluates every system on the same benchmarks.
+///
+/// Transactions are expressed as callables receiving a TxnContext, through
+/// which all persistent loads and stores go (8-byte aligned words, as in
+/// the paper's implementation). A body may run more than once (Crafty's
+/// Log and Validate phases re-execute it; aborted attempts restart it), so
+/// bodies must be idempotent with respect to function-local state, exactly
+/// as the paper requires (Section 6). Allocation inside transactions must
+/// go through TxnContext::alloc/dealloc so Crafty can log and replay it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_CORE_PTM_H
+#define CRAFTY_CORE_PTM_H
+
+#include "htm/Htm.h"
+#include "support/FunctionRef.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crafty {
+
+/// How a persistent transaction completed; categories match the paper's
+/// appendix breakdowns (Figures 9-21).
+struct PtmStats {
+  /// Completed in a plain hardware transaction (Non-durable / NV-HTM /
+  /// DudeTM; labeled "Non-Crafty" in the paper's figures).
+  uint64_t NonCrafty = 0;
+  /// Read-only fast path (Crafty skips Redo and Validate).
+  uint64_t ReadOnly = 0;
+  /// Crafty: committed by the Redo phase.
+  uint64_t Redo = 0;
+  /// Crafty: committed by the Validate phase.
+  uint64_t Validate = 0;
+  /// Completed under the single-global-lock fallback.
+  uint64_t Sgl = 0;
+  /// Total persistent writes executed by committed transactions.
+  uint64_t Writes = 0;
+  /// Wall-clock nanoseconds spent in each Crafty phase (including aborted
+  /// attempts); populated only when phase timing is enabled
+  /// (CraftyConfig::CollectPhaseTimings) and zero for the baselines.
+  uint64_t LogPhaseNs = 0;
+  uint64_t RedoPhaseNs = 0;
+  uint64_t ValidatePhaseNs = 0;
+  uint64_t SglNs = 0;
+
+  uint64_t transactions() const {
+    return NonCrafty + ReadOnly + Redo + Validate + Sgl;
+  }
+
+  PtmStats &operator+=(const PtmStats &O) {
+    NonCrafty += O.NonCrafty;
+    ReadOnly += O.ReadOnly;
+    Redo += O.Redo;
+    Validate += O.Validate;
+    Sgl += O.Sgl;
+    Writes += O.Writes;
+    LogPhaseNs += O.LogPhaseNs;
+    RedoPhaseNs += O.RedoPhaseNs;
+    ValidatePhaseNs += O.ValidatePhaseNs;
+    SglNs += O.SglNs;
+    return *this;
+  }
+};
+
+/// Handle through which a transaction body accesses persistent memory.
+class TxnContext {
+public:
+  /// Reads the 8-byte word at \p Addr.
+  virtual uint64_t load(const uint64_t *Addr) = 0;
+
+  /// Writes the 8-byte word at \p Addr.
+  virtual void store(uint64_t *Addr, uint64_t Val) = 0;
+
+  /// Allocates \p Bytes of persistent memory. The allocation is logged:
+  /// if the body re-executes (Crafty's Validate phase), the same pointer
+  /// is returned again. Returns nullptr when the arena is exhausted.
+  virtual void *alloc(size_t Bytes) = 0;
+
+  /// Frees a persistent allocation. The free is deferred until the
+  /// transaction commits, so an aborted or re-executed body never
+  /// double-frees.
+  virtual void dealloc(void *Ptr) = 0;
+
+  /// Convenience typed accessors for word-sized values.
+  template <typename T> T loadAs(const T *Addr) {
+    static_assert(sizeof(T) == 8, "transactional accesses are 8-byte words");
+    uint64_t V = load(reinterpret_cast<const uint64_t *>(Addr));
+    T Out;
+    __builtin_memcpy(&Out, &V, sizeof(T));
+    return Out;
+  }
+  template <typename T> void storeAs(T *Addr, T Val) {
+    static_assert(sizeof(T) == 8, "transactional accesses are 8-byte words");
+    uint64_t V;
+    __builtin_memcpy(&V, &Val, sizeof(Val));
+    store(reinterpret_cast<uint64_t *>(Addr), V);
+  }
+
+protected:
+  ~TxnContext() = default;
+};
+
+/// A transaction body: may run several times; see the file comment.
+using TxnBody = FunctionRef<void(TxnContext &)>;
+
+/// A persistent-transaction system under evaluation.
+class PtmBackend {
+public:
+  virtual ~PtmBackend();
+
+  /// Short configuration name as used in the paper's figures, e.g.
+  /// "Crafty", "NV-HTM".
+  virtual const char *name() const = 0;
+
+  /// Number of worker threads this backend instance supports.
+  virtual unsigned maxThreads() const = 0;
+
+  /// Executes \p Body as one persistent transaction on behalf of worker
+  /// \p ThreadId. Blocks until the transaction has committed (durability
+  /// semantics beyond that point are backend-specific, as in the paper).
+  virtual void run(unsigned ThreadId, TxnBody Body) = 0;
+
+  /// Drains background work (checkpointers, log appliers). Called before
+  /// reading final statistics or simulating a clean shutdown.
+  virtual void quiesce() {}
+
+  /// Aggregated persistent-transaction completion statistics.
+  virtual PtmStats txnStats() const = 0;
+
+  /// Aggregated hardware-transaction statistics.
+  virtual HtmStats htmStats() const = 0;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_CORE_PTM_H

@@ -1,0 +1,207 @@
+//===- harness/Harness.cpp - Evaluation harness ---------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+#include "support/Clock.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+using namespace crafty;
+
+uint64_t crafty::defaultOpsPerThread(WorkloadKind Kind) {
+  uint64_t Ops;
+  switch (Kind) {
+  case WorkloadKind::Labyrinth:
+    Ops = 60; // ~170 writes per transaction.
+    break;
+  case WorkloadKind::BTreeInsert:
+  case WorkloadKind::BTreeMixed:
+  case WorkloadKind::KMeansHigh:
+  case WorkloadKind::KMeansLow:
+  case WorkloadKind::VacationHigh:
+  case WorkloadKind::VacationLow:
+    Ops = 600;
+    break;
+  default:
+    Ops = 1000;
+    break;
+  }
+  if (const char *Scale = std::getenv("CRAFTY_BENCH_OPS_SCALE")) {
+    double F = std::atof(Scale);
+    if (F > 0)
+      Ops = (uint64_t)((double)Ops * F);
+  }
+  return Ops;
+}
+
+ExperimentResult crafty::runExperiment(const ExperimentConfig &Config) {
+  PMemConfig PC;
+  PC.PoolBytes = Config.PoolBytes;
+  PC.Mode = PMemMode::LatencyOnly;
+  PC.DrainLatencyNs = Config.DrainLatencyNs;
+  PC.MaxThreads = Config.Threads + 4; // Background persistence contexts.
+  PMemPool Pool(PC);
+  HtmRuntime Htm(Config.Htm);
+
+  std::unique_ptr<Workload> W = createWorkload(Config.Workload);
+  BackendOptions BO;
+  BO.NumThreads = Config.Threads;
+  BO.ArenaBytesPerThread = W->arenaBytesPerThread();
+  BO.CollectPhaseTimings = Config.CollectPhaseTimings;
+  // Size the baseline redo logs for the run: records cost at most
+  // ~2 words per write plus headers; budget generously (the formats do
+  // not support truncation; see baselines/NvHtmRecovery.h).
+  size_t RecordBudget = (size_t)Config.OpsPerThread * 800 * 8;
+  BO.NvHtmLogBytesPerThread =
+      std::max<size_t>(BO.NvHtmLogBytesPerThread, RecordBudget);
+  BO.DudeTmLogBytesTotal = std::max<size_t>(
+      BO.DudeTmLogBytesTotal, RecordBudget * Config.Threads);
+  std::unique_ptr<PtmBackend> Backend =
+      createBackend(Config.System, Pool, Htm, BO);
+  W->setup(Pool, Config.Threads);
+
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  Threads.reserve(Config.Threads);
+  for (unsigned T = 0; T != Config.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      Rng R(Config.Seed * 7919 + T * 104729 + 1);
+      Ready.fetch_add(1, std::memory_order_release);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (uint64_t I = 0; I != Config.OpsPerThread; ++I)
+        W->runOp(*Backend, T, R);
+    });
+  }
+  while (Ready.load(std::memory_order_acquire) != Config.Threads)
+    std::this_thread::yield();
+  uint64_t T0 = monotonicNanos();
+  Go.store(true, std::memory_order_release);
+  for (auto &Th : Threads)
+    Th.join();
+  Backend->quiesce();
+  uint64_t T1 = monotonicNanos();
+
+  ExperimentResult Res;
+  Res.Seconds = (double)(T1 - T0) * 1e-9;
+  Res.Ops = Config.OpsPerThread * Config.Threads;
+  Res.OpsPerSecond = Res.Seconds > 0 ? (double)Res.Ops / Res.Seconds : 0;
+  Res.Txn = Backend->txnStats();
+  Res.Hw = Backend->htmStats();
+  Res.Pmem = Pool.stats();
+  Res.VerifyError = W->verify(Config.Threads, Res.Ops);
+  return Res;
+}
+
+static void printBreakdowns(const char *System, unsigned Threads,
+                            const ExperimentResult &R, std::FILE *Out) {
+  double Txns = R.Txn.transactions() ? (double)R.Txn.transactions() : 1.0;
+  std::fprintf(Out,
+               "    %-18s t=%-2u  txns: nonCrafty=%llu readOnly=%llu "
+               "redo=%llu validate=%llu sgl=%llu | hw: commit=%llu "
+               "conflict=%llu capacity=%llu explicit=%llu zero=%llu | "
+               "pmem/txn: clwb=%.1f drain=%.2f\n",
+               System, Threads, (unsigned long long)R.Txn.NonCrafty,
+               (unsigned long long)R.Txn.ReadOnly,
+               (unsigned long long)R.Txn.Redo,
+               (unsigned long long)R.Txn.Validate,
+               (unsigned long long)R.Txn.Sgl,
+               (unsigned long long)R.Hw.Commits,
+               (unsigned long long)R.Hw.AbortConflict,
+               (unsigned long long)R.Hw.AbortCapacity,
+               (unsigned long long)R.Hw.AbortExplicit,
+               (unsigned long long)R.Hw.AbortZero,
+               (double)R.Pmem.Clwbs / Txns,
+               (double)R.Pmem.DrainsWithWork / Txns);
+}
+
+void crafty::runThroughputSweep(const SweepOptions &Options, std::FILE *Out) {
+  uint64_t Ops = Options.OpsPerThread ? Options.OpsPerThread
+                                      : defaultOpsPerThread(Options.Workload);
+  std::unique_ptr<Workload> Named = createWorkload(Options.Workload);
+  std::fprintf(Out,
+               "\n== %s | drain %llu ns | %llu ops/thread | normalized to "
+               "1-thread Non-durable ==\n",
+               Named->name(), (unsigned long long)Options.DrainLatencyNs,
+               (unsigned long long)Ops);
+
+  // Normalization baseline.
+  ExperimentConfig Base;
+  Base.Workload = Options.Workload;
+  Base.System = SystemKind::NonDurable;
+  Base.Threads = 1;
+  Base.OpsPerThread = Ops;
+  Base.DrainLatencyNs = Options.DrainLatencyNs;
+  ExperimentResult BaseRes = runExperiment(Base);
+  double BaseTput = BaseRes.OpsPerSecond;
+  if (!BaseRes.VerifyError.empty())
+    std::fprintf(Out, "  [verify] Non-durable baseline: %s\n",
+                 BaseRes.VerifyError.c_str());
+
+  std::fprintf(Out, "%-18s", "threads");
+  for (unsigned T : Options.ThreadCounts)
+    std::fprintf(Out, "%8u", T);
+  std::fprintf(Out, "\n");
+
+  std::vector<std::pair<std::string, ExperimentResult>> BreakdownRows;
+  for (SystemKind System : Options.Systems) {
+    std::fprintf(Out, "%-18s", systemKindName(System));
+    for (unsigned T : Options.ThreadCounts) {
+      ExperimentConfig C = Base;
+      C.System = System;
+      C.Threads = T;
+      ExperimentResult R = runExperiment(C);
+      double Norm = BaseTput > 0 ? R.OpsPerSecond / BaseTput : 0;
+      std::fprintf(Out, "%8.2f", Norm);
+      std::fflush(Out);
+      if (!R.VerifyError.empty())
+        std::fprintf(Out, "\n  [verify] %s t=%u: %s\n",
+                     systemKindName(System), T, R.VerifyError.c_str());
+      if (Options.PrintBreakdowns)
+        BreakdownRows.emplace_back(
+            std::string(systemKindName(System)) + "/" + std::to_string(T),
+            R);
+    }
+    std::fprintf(Out, "\n");
+  }
+  if (Options.PrintBreakdowns) {
+    std::fprintf(Out, "  breakdowns (persistent txn / hardware txn):\n");
+    for (auto &[Label, R] : BreakdownRows) {
+      auto Slash = Label.find('/');
+      printBreakdowns(Label.substr(0, Slash).c_str(),
+                      (unsigned)std::atoi(Label.c_str() + Slash + 1), R,
+                      Out);
+    }
+  }
+}
+
+void crafty::runWritesPerTxnRow(WorkloadKind Kind,
+                                const std::vector<unsigned> &Threads,
+                                std::FILE *Out) {
+  std::unique_ptr<Workload> Named = createWorkload(Kind);
+  std::fprintf(Out, "%-26s", Named->name());
+  for (unsigned T : Threads) {
+    ExperimentConfig C;
+    C.Workload = Kind;
+    C.System = SystemKind::Crafty;
+    C.Threads = T;
+    C.OpsPerThread = defaultOpsPerThread(Kind);
+    C.DrainLatencyNs = 0; // Writes/txn is latency independent.
+    ExperimentResult R = runExperiment(C);
+    double Avg = R.Txn.transactions()
+                     ? (double)R.Txn.Writes / (double)R.Txn.transactions()
+                     : 0;
+    std::fprintf(Out, "%7.1f", Avg);
+    std::fflush(Out);
+  }
+  std::fprintf(Out, "\n");
+}

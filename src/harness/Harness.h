@@ -1,0 +1,93 @@
+//===- harness/Harness.h - Evaluation harness ------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation harness: runs one (workload x system x thread-count)
+/// experiment with the paper's methodology (Section 7.1) -- every
+/// configuration executes identical workload code; NVM write-back latency
+/// is emulated at drains; throughput is the inverse of wall-clock time,
+/// normalized to single-thread Non-durable -- and the sweep drivers that
+/// regenerate each figure's series.
+///
+/// Host note: the reproduction machine exposes one hardware core, so
+/// multi-thread points measure time-sliced execution; see EXPERIMENTS.md
+/// for how that affects each figure's interpretation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_HARNESS_HARNESS_H
+#define CRAFTY_HARNESS_HARNESS_H
+
+#include "baselines/Factory.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace crafty {
+
+/// One experiment cell.
+struct ExperimentConfig {
+  WorkloadKind Workload = WorkloadKind::BankMedium;
+  SystemKind System = SystemKind::Crafty;
+  unsigned Threads = 1;
+  uint64_t OpsPerThread = 1000;
+  uint64_t DrainLatencyNs = 300; // Paper default; 100 for Appendix A.
+  size_t PoolBytes = 512ull << 20;
+  HtmConfig Htm;
+  uint64_t Seed = 1;
+  /// Crafty backends: collect per-phase wall-clock times.
+  bool CollectPhaseTimings = false;
+};
+
+/// Measurements from one experiment cell.
+struct ExperimentResult {
+  double Seconds = 0;
+  uint64_t Ops = 0;
+  double OpsPerSecond = 0;
+  PtmStats Txn;
+  HtmStats Hw;
+  PMemStats Pmem;
+  /// Empty on success; a workload-invariant violation otherwise.
+  std::string VerifyError;
+};
+
+/// Runs one cell: fresh pool + HTM runtime + backend + workload.
+ExperimentResult runExperiment(const ExperimentConfig &Config);
+
+/// Standard thread counts of every figure in the paper.
+inline const std::vector<unsigned> PaperThreadCounts = {1, 2, 4,
+                                                        8, 12, 15, 16};
+
+/// A full figure panel: all systems across the thread counts.
+struct SweepOptions {
+  WorkloadKind Workload = WorkloadKind::BankMedium;
+  std::vector<SystemKind> Systems{AllSystems.begin(), AllSystems.end()};
+  std::vector<unsigned> ThreadCounts = PaperThreadCounts;
+  uint64_t OpsPerThread = 0; // 0: per-workload default.
+  uint64_t DrainLatencyNs = 300;
+  bool PrintBreakdowns = false;
+};
+
+/// Default operations per thread for a workload (sized so a full panel
+/// completes in seconds on the reproduction host; scale with the
+/// CRAFTY_BENCH_OPS_SCALE environment variable).
+uint64_t defaultOpsPerThread(WorkloadKind Kind);
+
+/// Runs a panel and prints its normalized-throughput series (and, when
+/// requested, the appendix-style breakdown tables) to \p Out.
+void runThroughputSweep(const SweepOptions &Options, std::FILE *Out);
+
+/// Prints the Table 1 row for a workload: average persistent writes per
+/// transaction across thread counts.
+void runWritesPerTxnRow(WorkloadKind Kind, const std::vector<unsigned> &Threads,
+                        std::FILE *Out);
+
+} // namespace crafty
+
+#endif // CRAFTY_HARNESS_HARNESS_H

@@ -1,0 +1,404 @@
+//===- htm/Htm.cpp - Software emulation of commodity HTM ------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "htm/Htm.h"
+
+#include "support/Spin.h"
+
+#include <algorithm>
+
+using namespace crafty;
+
+const char *crafty::abortCodeName(AbortCode Code) {
+  switch (Code) {
+  case AbortCode::None:
+    return "none";
+  case AbortCode::Conflict:
+    return "conflict";
+  case AbortCode::Capacity:
+    return "capacity";
+  case AbortCode::Explicit:
+    return "explicit";
+  case AbortCode::Zero:
+    return "zero";
+  }
+  CRAFTY_UNREACHABLE("bad abort code");
+}
+
+static size_t nextPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// HtmRuntime
+//===----------------------------------------------------------------------===//
+
+HtmRuntime::HtmRuntime(HtmConfig Config) : Config(Config) {
+  size_t Entries = (size_t)1 << Config.LockTableBits;
+  TableMask = Entries - 1;
+  Table = std::make_unique<std::atomic<uint64_t>[]>(Entries);
+  for (size_t I = 0; I != Entries; ++I)
+    Table[I].store(0, std::memory_order_relaxed);
+}
+
+void HtmRuntime::nonTxStore(uint64_t *Addr, uint64_t Val) {
+  std::atomic<uint64_t> &Stripe = stripeFor(Addr);
+  uint64_t OwnedTag = reinterpret_cast<uintptr_t>(this) | 1;
+  SpinBackoff Backoff;
+  for (;;) {
+    uint64_t Cur = Stripe.load(std::memory_order_acquire);
+    if ((Cur & 1) == 0 &&
+        Stripe.compare_exchange_weak(Cur, OwnedTag,
+                                     std::memory_order_acq_rel))
+      break;
+    Backoff.pause();
+  }
+  uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
+  if (Hooks.OnStore)
+    Hooks.OnStore(Hooks.Ctx, Addr);
+  Stripe.store(Version << 1, std::memory_order_release);
+}
+
+bool HtmRuntime::nonTxCas(uint64_t *Addr, uint64_t Expected,
+                          uint64_t Desired) {
+  std::atomic<uint64_t> &Stripe = stripeFor(Addr);
+  uint64_t OwnedTag = reinterpret_cast<uintptr_t>(this) | 1;
+  SpinBackoff Backoff;
+  uint64_t PreLock;
+  for (;;) {
+    uint64_t Cur = Stripe.load(std::memory_order_acquire);
+    if ((Cur & 1) == 0) {
+      PreLock = Cur;
+      if (Stripe.compare_exchange_weak(Cur, OwnedTag,
+                                       std::memory_order_acq_rel))
+        break;
+    }
+    Backoff.pause();
+  }
+  uint64_t Cur = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+  if (Cur != Expected) {
+    Stripe.store(PreLock, std::memory_order_release);
+    return false;
+  }
+  uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  __atomic_store_n(Addr, Desired, __ATOMIC_RELEASE);
+  if (Hooks.OnStore)
+    Hooks.OnStore(Hooks.Ctx, Addr);
+  Stripe.store(Version << 1, std::memory_order_release);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// HtmTx
+//===----------------------------------------------------------------------===//
+
+HtmTx::HtmTx(HtmRuntime &Runtime, uint32_t ThreadId, uint64_t RngSeed)
+    : Runtime(Runtime), ThreadId(ThreadId),
+      SpuriousRng(RngSeed * 0x9e3779b97f4a7c15ull + ThreadId + 1) {
+  const HtmConfig &C = Runtime.config();
+  size_t MaxWords = C.MaxWriteSetLines * (CacheLineBytes / 8);
+  size_t BufSize = std::max<size_t>(64, nextPow2(MaxWords * 2));
+  WriteBuf.resize(BufSize);
+  WriteBufMask = BufSize - 1;
+  WriteOrder.reserve(MaxWords + 1);
+  size_t LineSlots = std::max<size_t>(64, nextPow2(C.MaxWriteSetLines * 2));
+  WriteLines.resize(LineSlots);
+  WriteLinesMask = LineSlots - 1;
+  size_t ReadSlots = std::max<size_t>(64, nextPow2(C.MaxReadSetLines * 2));
+  ReadSet.resize(ReadSlots);
+  ReadSetMask = ReadSlots - 1;
+  LockedStripes.reserve(MaxWords);
+  PreLockVersions.reserve(MaxWords);
+}
+
+HtmTx::~HtmTx() = default;
+
+void HtmTx::begin() {
+  assert(!Active && "nested hardware transactions are not supported");
+  ++Epoch;
+  Active = true;
+  SnapshotVersion = Runtime.Clock.load(std::memory_order_acquire);
+  WriteOrder.clear();
+  StreamWrites.clear();
+  LastWrittenLine = ~(uintptr_t)0;
+  WriteLineCount = 0;
+  ReadCount = 0;
+  LockedStripes.clear();
+  PreLockVersions.clear();
+}
+
+void HtmTx::maybeInjectSpuriousAbort() {
+  uint32_t P = Runtime.config().SpuriousAbortPerMillion;
+  if (CRAFTY_LIKELY(P == 0))
+    return;
+  if (SpuriousRng.chance(P, 1000000))
+    abortTx(AbortCode::Zero);
+}
+
+HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, bool Insert) {
+  uint64_t H = reinterpret_cast<uintptr_t>(Addr) * 0x9e3779b97f4a7c15ull;
+  size_t Idx = (H >> 32) & WriteBufMask;
+  for (;;) {
+    WriteSlot &Slot = WriteBuf[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Addr == Addr)
+        return &Slot;
+      Idx = (Idx + 1) & WriteBufMask;
+      continue;
+    }
+    if (!Insert)
+      return nullptr;
+    // Empty slot: claim it. The buffer is sized 2x the word capacity and
+    // the capacity check below keeps the load factor bounded.
+    if (WriteOrder.size() + StreamWrites.size() >=
+        Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
+      abortTx(AbortCode::Capacity);
+    Slot.Addr = Addr;
+    Slot.Epoch = Epoch;
+    Slot.Val = 0;
+    Slot.IsCommitVersion = false;
+    WriteOrder.push_back((uint32_t)Idx);
+    return &Slot;
+  }
+}
+
+void HtmTx::noteWrittenLine(const void *Addr) {
+  uintptr_t Line = lineOf(Addr);
+  if (Line == LastWrittenLine)
+    return;
+  LastWrittenLine = Line;
+  uint64_t H = (uint64_t)Line * 0x9e3779b97f4a7c15ull;
+  size_t Idx = (H >> 32) & WriteLinesMask;
+  for (;;) {
+    LineSlot &Slot = WriteLines[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Line == Line)
+        return;
+      Idx = (Idx + 1) & WriteLinesMask;
+      continue;
+    }
+    if (WriteLineCount >= Runtime.config().MaxWriteSetLines)
+      abortTx(AbortCode::Capacity);
+    Slot.Line = Line;
+    Slot.Epoch = Epoch;
+    ++WriteLineCount;
+    return;
+  }
+}
+
+void HtmTx::recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version) {
+  uint64_t H = reinterpret_cast<uintptr_t>(Stripe) * 0x9e3779b97f4a7c15ull;
+  size_t Idx = (H >> 32) & ReadSetMask;
+  for (;;) {
+    ReadSlot &Slot = ReadSet[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Stripe == Stripe)
+        return; // Re-read of a known stripe; the first version suffices.
+      Idx = (Idx + 1) & ReadSetMask;
+      continue;
+    }
+    if (ReadCount >= Runtime.config().MaxReadSetLines)
+      abortTx(AbortCode::Capacity);
+    Slot.Stripe = Stripe;
+    Slot.Version = Version;
+    Slot.Epoch = Epoch;
+    ++ReadCount;
+    return;
+  }
+}
+
+uint64_t HtmTx::load(const uint64_t *Addr) {
+  assert(Active && "transactional load outside a transaction");
+  maybeInjectSpuriousAbort();
+  if (WriteSlot *Slot = findWriteSlot(const_cast<uint64_t *>(Addr), false)) {
+    // A commit-version slot's value is unknown until commit; the paper's
+    // algorithms never read those words back within the same transaction.
+    return Slot->IsCommitVersion ? 0 : Slot->Val;
+  }
+  std::atomic<uint64_t> &Stripe = Runtime.stripeFor(Addr);
+  uint64_t V1 = Stripe.load(std::memory_order_acquire);
+  if (CRAFTY_UNLIKELY(V1 & 1))
+    abortTx(AbortCode::Conflict);
+  if (CRAFTY_UNLIKELY((V1 >> 1) > SnapshotVersion))
+    abortTx(AbortCode::Conflict);
+  uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t V2 = Stripe.load(std::memory_order_acquire);
+  if (CRAFTY_UNLIKELY(V1 != V2))
+    abortTx(AbortCode::Conflict);
+  recordRead(&Stripe, V1);
+  return Val;
+}
+
+void HtmTx::store(uint64_t *Addr, uint64_t Val) {
+  assert(Active && "transactional store outside a transaction");
+  maybeInjectSpuriousAbort();
+  WriteSlot *Slot = findWriteSlot(Addr, true);
+  Slot->Val = Val;
+  Slot->IsCommitVersion = false;
+  noteWrittenLine(Addr);
+}
+
+void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
+  assert(Active && "transactional store outside a transaction");
+  if (WriteOrder.size() + StreamWrites.size() >=
+      Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
+    abortTx(AbortCode::Capacity);
+  StreamWrites.emplace_back(Addr, Val);
+  noteWrittenLine(Addr);
+}
+
+void HtmTx::storeCommitVersion(uint64_t *Addr, unsigned Shift,
+                               uint64_t OrMask) {
+  assert(Active && "transactional store outside a transaction");
+  WriteSlot *Slot = findWriteSlot(Addr, true);
+  Slot->IsCommitVersion = true;
+  Slot->Shift = (uint8_t)Shift;
+  Slot->OrMask = OrMask;
+  noteWrittenLine(Addr);
+}
+
+void HtmTx::abortExplicit(uint32_t UserCode) {
+  abortTx(AbortCode::Explicit, UserCode);
+}
+
+void HtmTx::abortTx(AbortCode Code, uint32_t UserCode) {
+  assert(Active && "abort outside a transaction");
+  // Release any commit-time locks, restoring pre-lock versions (no
+  // write-back has happened).
+  for (size_t I = 0, E = LockedStripes.size(); I != E; ++I)
+    LockedStripes[I]->store(PreLockVersions[I], std::memory_order_release);
+  LockedStripes.clear();
+  PreLockVersions.clear();
+  Active = false;
+  LastAbort = Code;
+  LastUserCode = UserCode;
+  switch (Code) {
+  case AbortCode::Conflict:
+    ++Stats.AbortConflict;
+    break;
+  case AbortCode::Capacity:
+    ++Stats.AbortCapacity;
+    break;
+  case AbortCode::Explicit:
+    ++Stats.AbortExplicit;
+    break;
+  case AbortCode::Zero:
+    ++Stats.AbortZero;
+    break;
+  case AbortCode::None:
+    CRAFTY_UNREACHABLE("abort with no cause");
+  }
+  longjmp(Env, 1);
+}
+
+bool HtmTx::validateReadSet(uint64_t OwnedTag) {
+  for (ReadSlot &Slot : ReadSet) {
+    if (Slot.Epoch != Epoch)
+      continue;
+    uint64_t Cur = Slot.Stripe->load(std::memory_order_acquire);
+    if (Cur == OwnedTag) {
+      // We hold this stripe's lock; judge by its pre-lock version.
+      auto It = std::lower_bound(LockedStripes.begin(), LockedStripes.end(),
+                                 Slot.Stripe);
+      assert(It != LockedStripes.end() && *It == Slot.Stripe &&
+             "owned tag without a lock record");
+      Cur = PreLockVersions[It - LockedStripes.begin()];
+    }
+    if (Cur & 1)
+      return false; // Locked by a concurrent committer.
+    if ((Cur >> 1) > SnapshotVersion)
+      return false; // Overwritten since our snapshot.
+  }
+  return true;
+}
+
+uint64_t HtmTx::commit() {
+  assert(Active && "commit outside a transaction");
+  maybeInjectSpuriousAbort();
+  const MemoryHooks &Hooks = Runtime.memoryHooks();
+  if (WriteOrder.empty() && StreamWrites.empty()) {
+    // Read-only: reads were validated at access time against the snapshot.
+    Active = false;
+    ++Stats.Commits;
+    if (Hooks.OnCommitFence)
+      Hooks.OnCommitFence(Hooks.Ctx, ThreadId);
+    return SnapshotVersion;
+  }
+
+  // Gather and lock the distinct write stripes in address order (avoids
+  // deadlock between committers).
+  for (uint32_t Idx : WriteOrder)
+    LockedStripes.push_back(&Runtime.stripeFor(WriteBuf[Idx].Addr));
+  for (const auto &[Addr, Val] : StreamWrites)
+    LockedStripes.push_back(&Runtime.stripeFor(Addr));
+  std::sort(LockedStripes.begin(), LockedStripes.end());
+  LockedStripes.erase(
+      std::unique(LockedStripes.begin(), LockedStripes.end()),
+      LockedStripes.end());
+
+  uint64_t OwnedTag = reinterpret_cast<uintptr_t>(this) | 1;
+  size_t NumLocked = 0;
+  for (std::atomic<uint64_t> *Stripe : LockedStripes) {
+    unsigned Spins = 0;
+    for (;;) {
+      uint64_t Cur = Stripe->load(std::memory_order_acquire);
+      if ((Cur & 1) == 0) {
+        if (Stripe->compare_exchange_weak(Cur, OwnedTag,
+                                          std::memory_order_acq_rel)) {
+          PreLockVersions.push_back(Cur);
+          break;
+        }
+        continue;
+      }
+      if (++Spins > Runtime.config().CommitLockSpinLimit) {
+        LockedStripes.resize(NumLocked);
+        abortTx(AbortCode::Conflict);
+      }
+      std::this_thread::yield();
+    }
+    ++NumLocked;
+  }
+
+  uint64_t CommitVersion =
+      Runtime.Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (CommitVersion != SnapshotVersion + 1 && !validateReadSet(OwnedTag))
+    abortTx(AbortCode::Conflict);
+
+  // SFENCE semantics of an RTM commit: the committing thread's pending
+  // cache-line write-backs complete before its stores become visible.
+  if (Hooks.OnCommitFence)
+    Hooks.OnCommitFence(Hooks.Ctx, ThreadId);
+
+  for (uint32_t Idx : WriteOrder) {
+    WriteSlot &Slot = WriteBuf[Idx];
+    uint64_t Val = Slot.IsCommitVersion
+                       ? (CommitVersion << Slot.Shift) | Slot.OrMask
+                       : Slot.Val;
+    __atomic_store_n(Slot.Addr, Val, __ATOMIC_RELEASE);
+    if (Hooks.OnStore)
+      Hooks.OnStore(Hooks.Ctx, Slot.Addr);
+  }
+  for (const auto &[Addr, Val] : StreamWrites) {
+    __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
+    if (Hooks.OnStore)
+      Hooks.OnStore(Hooks.Ctx, Addr);
+  }
+
+  uint64_t NewStripeVersion = CommitVersion << 1;
+  for (std::atomic<uint64_t> *Stripe : LockedStripes)
+    Stripe->store(NewStripeVersion, std::memory_order_release);
+  LockedStripes.clear();
+  PreLockVersions.clear();
+  Active = false;
+  ++Stats.Commits;
+  return CommitVersion;
+}

@@ -1,0 +1,389 @@
+//===- htm/Htm.h - Software emulation of commodity HTM ---------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A software emulation of commodity hardware transactional memory (Intel
+/// RTM), used as the substrate for every persistent-transaction system in
+/// this repository (Crafty and the NV-HTM / DudeTM / Non-durable baselines).
+///
+/// The reproduction host has no TSX, so we provide the four HTM properties
+/// the paper's algorithms rely on with a TL2-style engine:
+///
+///  1. Committed transactions are atomic and isolated (opacity: per-read
+///     version checks plus commit-time read-set validation).
+///  2. Transactional writes are buffered and invisible to memory and other
+///     threads until commit -- the property nondestructive undo logging
+///     exploits to keep rolled-back writes out of persistent memory.
+///  3. An abort discards all buffered writes.
+///  4. Transactions abort for the same causes commodity HTM aborts:
+///     conflicts, read/write-set capacity overflow, explicit XABORT, and
+///     spurious ("zero") events, which can be injected for testing.
+///
+/// Conflict detection is cache-line granular by default (configurable for
+/// the granularity ablation). Commit timestamps come from the global
+/// version clock and are totally ordered consistently with transaction
+/// serialization; they replace the paper's RDTSC-based Lamport timestamps
+/// (see DESIGN.md Section 2). A transaction may request that its commit
+/// version be stored to chosen words atomically with its write-back
+/// (storeCommitVersion), which implements the paper's "getTimestamp()
+/// inside the transaction" idiom exactly.
+///
+/// Commit has drain (SFENCE) semantics like an RTM commit: a registered
+/// commit-fence hook runs before the write-back, which the persistent
+/// memory simulator uses to complete the committing thread's pending cache
+/// line write-backs -- the ordering lever the paper's flush-without-drain
+/// optimization depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_HTM_HTM_H
+#define CRAFTY_HTM_HTM_H
+
+#include "support/CacheLine.h"
+#include "support/Compiler.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cassert>
+#include <csetjmp>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace crafty {
+
+/// Why a hardware transaction aborted; matches the categories the paper's
+/// appendix reports (Commit / Conflict / Capacity / Explicit / Zero).
+enum class AbortCode : uint8_t {
+  None = 0,
+  /// Another transaction or a non-transactional store touched an accessed
+  /// cache line.
+  Conflict,
+  /// The transaction accessed more cache lines than the emulated hardware
+  /// can track.
+  Capacity,
+  /// The program requested an abort (XABORT), e.g. a failed Redo/Validate
+  /// check or an SGL observed held.
+  Explicit,
+  /// A spurious event (interrupt, page fault); injected probabilistically.
+  Zero,
+};
+
+/// Returns a short human-readable name for \p Code.
+const char *abortCodeName(AbortCode Code);
+
+/// Configuration of the emulated hardware.
+struct HtmConfig {
+  /// log2 of the number of versioned-lock stripes.
+  unsigned LockTableBits = 20;
+  /// Maximum distinct cache lines a transaction may write (Skylake L1 can
+  /// hold 512 lines; exceeding this raises a Capacity abort).
+  size_t MaxWriteSetLines = 512;
+  /// Maximum distinct cache lines a transaction may read.
+  size_t MaxReadSetLines = 8192;
+  /// Conflict-detection granularity as a byte shift; 6 = 64-byte lines,
+  /// 3 = word granularity (used by the granularity ablation).
+  unsigned ConflictGranularityShift = CacheLineShift;
+  /// Probability of a spurious ("zero") abort per transactional operation,
+  /// expressed per million operations. 0 disables injection.
+  uint32_t SpuriousAbortPerMillion = 0;
+  /// Bounded spin iterations when acquiring a write lock at commit before
+  /// declaring a conflict.
+  unsigned CommitLockSpinLimit = 64;
+};
+
+/// Per-transaction-context statistics (cumulative across transactions).
+struct HtmStats {
+  uint64_t Commits = 0;
+  uint64_t AbortConflict = 0;
+  uint64_t AbortCapacity = 0;
+  uint64_t AbortExplicit = 0;
+  uint64_t AbortZero = 0;
+
+  uint64_t aborts() const {
+    return AbortConflict + AbortCapacity + AbortExplicit + AbortZero;
+  }
+  uint64_t started() const { return Commits + aborts(); }
+
+  HtmStats &operator+=(const HtmStats &O) {
+    Commits += O.Commits;
+    AbortConflict += O.AbortConflict;
+    AbortCapacity += O.AbortCapacity;
+    AbortExplicit += O.AbortExplicit;
+    AbortZero += O.AbortZero;
+    return *this;
+  }
+};
+
+/// Hooks that let the persistent-memory simulator observe committed stores
+/// (to track dirty lines) and commit fences (SFENCE semantics of an RTM
+/// commit, which complete the thread's pending CLWBs).
+struct MemoryHooks {
+  void *Ctx = nullptr;
+  /// Called (with the runtime-internal stripe still locked) for every word
+  /// stored by a committing transaction or a non-transactional store.
+  void (*OnStore)(void *Ctx, void *Addr) = nullptr;
+  /// Called once per successful commit, before the transaction's write-back
+  /// becomes visible. \p ThreadId identifies the committing context.
+  void (*OnCommitFence)(void *Ctx, uint32_t ThreadId) = nullptr;
+};
+
+class HtmTx;
+
+/// Shared state of the emulated HTM: the global version clock and the
+/// striped versioned-lock table.
+class HtmRuntime {
+public:
+  explicit HtmRuntime(HtmConfig Config = HtmConfig());
+  HtmRuntime(const HtmRuntime &) = delete;
+  HtmRuntime &operator=(const HtmRuntime &) = delete;
+
+  const HtmConfig &config() const { return Config; }
+
+  /// Installs the persistent-memory observation hooks. Must be called
+  /// before any transaction runs.
+  void setMemoryHooks(const MemoryHooks &Hooks) { this->Hooks = Hooks; }
+  const MemoryHooks &memoryHooks() const { return Hooks; }
+
+  /// Current value of the global version clock. Commit timestamps are
+  /// values of this clock; a later-serialized writing transaction always
+  /// has a larger timestamp.
+  uint64_t globalClock() const {
+    return Clock.load(std::memory_order_acquire);
+  }
+
+  /// Advances the global version clock and returns the new value: a fresh
+  /// timestamp ordered after every committed transaction and before every
+  /// later one. Used by the SGL path, which commits outside hardware
+  /// transactions.
+  uint64_t advanceClock() {
+    return Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Stores \p Val to \p Addr outside any transaction while keeping
+  /// concurrent transactions consistent: the word's stripe version is
+  /// advanced so conflicting transactional readers abort or fail
+  /// validation. This emulates HTM's strong isolation for the SGL path,
+  /// recovery, and initialization done while transactions may run.
+  void nonTxStore(uint64_t *Addr, uint64_t Val);
+
+  /// Atomic compare-and-swap with the same strong-isolation guarantee as
+  /// nonTxStore. Returns true if the swap happened.
+  bool nonTxCas(uint64_t *Addr, uint64_t Expected, uint64_t Desired);
+
+  /// Non-transactional load with strong-isolation semantics: waits out a
+  /// concurrent committer's write-back of the word's stripe and re-checks
+  /// the version, so the caller can never observe the middle of a commit.
+  /// Real HTM commits are atomic at an instant; the emulation's commit
+  /// has a validate/write-back window, and the SGL path reads directly,
+  /// so its loads must serialize against in-flight write-backs (a plain
+  /// load could read a pre-commit value whose transaction then finishes
+  /// write-back, losing the SGL section's update).
+  uint64_t nonTxLoad(const uint64_t *Addr) {
+    std::atomic<uint64_t> &Stripe = stripeFor(Addr);
+    for (;;) {
+      uint64_t V1 = Stripe.load(std::memory_order_acquire);
+      if (V1 & 1)
+        continue; // A committer owns the stripe; wait out its write-back.
+      uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (Stripe.load(std::memory_order_acquire) == V1)
+        return Val;
+    }
+  }
+
+  /// Plain atomic load with no consistency guarantee: only for spin-wait
+  /// monitoring where a stale value merely retries the loop.
+  static uint64_t plainLoad(const uint64_t *Addr) {
+    return __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+  }
+
+private:
+  friend class HtmTx;
+
+  /// A stripe is either a version (LSB 0; version = clock value << 1) or a
+  /// lock owned by a committing transaction (LSB 1; owner = ptr | 1).
+  std::atomic<uint64_t> &stripeFor(const void *Addr) {
+    uintptr_t Key = reinterpret_cast<uintptr_t>(Addr) >>
+                    Config.ConflictGranularityShift;
+    uint64_t H = (uint64_t)Key * 0x9e3779b97f4a7c15ull;
+    return Table[(H >> 32) & TableMask];
+  }
+
+  HtmConfig Config;
+  MemoryHooks Hooks;
+  size_t TableMask;
+  std::unique_ptr<std::atomic<uint64_t>[]> Table;
+  alignas(CacheLineBytes) std::atomic<uint64_t> Clock{0};
+};
+
+/// Outcome of runHtmTx.
+struct TxResult {
+  bool Committed = false;
+  /// Commit version (the transaction's timestamp) for writing commits;
+  /// the snapshot version for read-only commits.
+  uint64_t CommitVersion = 0;
+  AbortCode Code = AbortCode::None;
+  /// User payload of an Explicit abort.
+  uint32_t UserCode = 0;
+};
+
+/// A per-thread transaction context. Not thread-safe; each thread owns one.
+///
+/// Usage (or use the runHtmTx helper below):
+/// \code
+///   if (setjmp(Tx.jmpEnv()) != 0) { /* aborted: Tx.abortCode() */ }
+///   else { Tx.begin(); ... Tx.load/store ...; uint64_t V = Tx.commit(); }
+/// \endcode
+class HtmTx {
+public:
+  HtmTx(HtmRuntime &Runtime, uint32_t ThreadId, uint64_t RngSeed = 1);
+  ~HtmTx();
+  HtmTx(const HtmTx &) = delete;
+  HtmTx &operator=(const HtmTx &) = delete;
+
+  HtmRuntime &runtime() { return Runtime; }
+  uint32_t threadId() const { return ThreadId; }
+
+  /// The jump environment an abort unwinds to. Callers must setjmp on it
+  /// immediately before begin(). Aborts longjmp with value 1.
+  jmp_buf &jmpEnv() { return Env; }
+
+  /// Starts a transaction: captures the snapshot version and resets the
+  /// read/write sets.
+  void begin();
+
+  /// True between begin() and commit()/abort.
+  bool inTransaction() const { return Active; }
+
+  /// Transactional load of an 8-byte word. Returns the transaction's own
+  /// buffered value if the word was written. Aborts (longjmp) on conflict,
+  /// capacity overflow, or injected spurious events.
+  uint64_t load(const uint64_t *Addr);
+
+  /// Transactional store of an 8-byte word; buffered until commit.
+  void store(uint64_t *Addr, uint64_t Val);
+
+  /// Streaming transactional store for write-once words that the
+  /// transaction never loads back (undo-log staging): buffered in an
+  /// append-only list with no read-your-write support, which keeps the
+  /// emulation's cost for these plain-on-real-HTM stores low. Conflict
+  /// detection, capacity accounting, atomicity and abort semantics are
+  /// identical to store(). Storing the same word again within the
+  /// transaction (via either API) is unsupported.
+  void storeStream(uint64_t *Addr, uint64_t Val);
+
+  /// Like store, except the value written at commit is derived from the
+  /// transaction's commit version V as (V << Shift) | OrMask. Reading the
+  /// word back inside the same transaction returns 0 (the version is
+  /// unknown until commit). This implements the paper's "write
+  /// getTimestamp() inside the hardware transaction" uses (LOGGED /
+  /// COMMITTED timestamps and gLastRedoTS) with timestamps that are
+  /// exactly serialization-consistent; Shift/OrMask support the undo log's
+  /// stolen-bit timestamp encoding.
+  void storeCommitVersion(uint64_t *Addr, unsigned Shift = 0,
+                          uint64_t OrMask = 0);
+
+  /// Explicit abort (XABORT) carrying \p UserCode; does not return.
+  [[noreturn]] void abortExplicit(uint32_t UserCode);
+
+  /// Attempts to commit. On success returns the commit version (writing
+  /// transactions) or the snapshot version (read-only transactions). On
+  /// validation/lock failure, aborts via longjmp.
+  uint64_t commit();
+
+  /// Abort cause of the most recent abort.
+  AbortCode abortCode() const { return LastAbort; }
+  uint32_t abortUserCode() const { return LastUserCode; }
+
+  /// Cumulative statistics for this context.
+  const HtmStats &stats() const { return Stats; }
+  void resetStats() { Stats = HtmStats(); }
+
+  /// Number of distinct words written by the current transaction.
+  size_t writeSetWords() const {
+    return WriteOrder.size() + StreamWrites.size();
+  }
+
+private:
+  struct WriteSlot {
+    uint64_t *Addr = nullptr;
+    uint64_t Val = 0;
+    uint64_t Epoch = 0;
+    uint64_t OrMask = 0;
+    uint8_t Shift = 0;
+    bool IsCommitVersion = false;
+  };
+  struct ReadSlot {
+    std::atomic<uint64_t> *Stripe = nullptr;
+    uint64_t Version = 0;
+    uint64_t Epoch = 0;
+  };
+  struct LineSlot {
+    uintptr_t Line = 0;
+    uint64_t Epoch = 0;
+  };
+
+  [[noreturn]] void abortTx(AbortCode Code, uint32_t UserCode = 0);
+  void maybeInjectSpuriousAbort();
+  WriteSlot *findWriteSlot(uint64_t *Addr, bool Insert);
+  void noteWrittenLine(const void *Addr);
+  void recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version);
+  bool validateReadSet(uint64_t OwnedTag);
+
+  HtmRuntime &Runtime;
+  uint32_t ThreadId;
+  bool Active = false;
+  uint64_t SnapshotVersion = 0;
+  uint64_t Epoch = 0;
+  AbortCode LastAbort = AbortCode::None;
+  uint32_t LastUserCode = 0;
+  HtmStats Stats;
+  Rng SpuriousRng;
+
+  // Write buffer: open-addressed, epoch-validated; WriteOrder preserves
+  // insertion order for the write-back.
+  std::vector<WriteSlot> WriteBuf;
+  std::vector<uint32_t> WriteOrder;
+  size_t WriteBufMask;
+  // Append-only streaming writes (storeStream), written back after the
+  // buffered writes.
+  std::vector<std::pair<uint64_t *, uint64_t>> StreamWrites;
+  // One-entry cache for written-line capacity accounting.
+  uintptr_t LastWrittenLine = ~(uintptr_t)0;
+  // Distinct written lines (capacity accounting).
+  std::vector<LineSlot> WriteLines;
+  size_t WriteLinesMask;
+  size_t WriteLineCount = 0;
+  // Read set: open-addressed over stripe pointers.
+  std::vector<ReadSlot> ReadSet;
+  size_t ReadSetMask;
+  size_t ReadCount = 0;
+  // Commit-time scratch: locked stripes and their pre-lock versions.
+  std::vector<std::atomic<uint64_t> *> LockedStripes;
+  std::vector<uint64_t> PreLockVersions;
+
+  jmp_buf Env;
+};
+
+/// Runs \p Body in a hardware transaction on \p Tx, converting the
+/// longjmp-based abort path into a TxResult. \p Body receives the HtmTx.
+///
+/// \warning An abort unwinds via longjmp: \p Body must not rely on
+/// destructors of local objects created inside the transaction.
+template <typename Fn> TxResult runHtmTx(HtmTx &Tx, Fn &&Body) {
+  if (setjmp(Tx.jmpEnv()) != 0)
+    return TxResult{false, 0, Tx.abortCode(), Tx.abortUserCode()};
+  Tx.begin();
+  Body(Tx);
+  uint64_t Version = Tx.commit();
+  return TxResult{true, Version, AbortCode::None, 0};
+}
+
+} // namespace crafty
+
+#endif // CRAFTY_HTM_HTM_H

@@ -1,0 +1,127 @@
+//===- log/LogEntry.h - Undo-log entry encoding ----------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding of persistent undo-log entries (paper Sections 5.2 and 6).
+///
+/// Each entry is two 8-byte words. Because every logged address is 8-byte
+/// aligned, its low three bits are stolen:
+///
+///   AddrWord: [addr bits 63..3 | stolen-value-LSB | wraparound bit W]
+///   ValWord:  [value bits 63..1                   | wraparound bit W]
+///
+/// The value word's real low bit lives in the addr word (bit 1) so both
+/// words carry the wraparound bit. NVM persists at word granularity, so
+/// the recovery observer checks both words' W bits: if they disagree the
+/// entry is torn (only one word persisted) and is not part of any fully
+/// persisted sequence. If both words still carry the previous pass's W,
+/// the position holds the complete *previous-pass* entry, which is equally
+/// decodable -- that is why a single wraparound bit suffices.
+///
+/// LOGGED and COMMITTED tags are reserved, 8-byte-aligned "addresses".
+/// A tag's value word holds the sequence timestamp shifted left by one
+/// (timestamps are commit versions; keeping the payload LSB zero means a
+/// torn stolen bit can never corrupt a timestamp). The implementation
+/// merges LOGGED and COMMITTED into one entry whose timestamp is
+/// overwritten on commit (paper Section 6); a separate COMMITTED tag marks
+/// the end of an SGL section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LOG_LOGENTRY_H
+#define CRAFTY_LOG_LOGENTRY_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace crafty {
+
+/// Reserved tag "addresses" (8-byte aligned, never real heap addresses).
+inline constexpr uint64_t TagLogged = 8;
+inline constexpr uint64_t TagCommitted = 16;
+
+/// One encoded undo-log entry: two words as laid out in persistent memory.
+struct EncodedEntry {
+  uint64_t AddrWord;
+  uint64_t ValWord;
+};
+
+/// Encodes a data entry ⟨Addr, OldValue⟩ for wraparound pass \p Pass.
+inline EncodedEntry encodeDataEntry(uint64_t Addr, uint64_t OldValue,
+                                    unsigned Pass) {
+  assert((Addr & 7) == 0 && "logged addresses must be 8-byte aligned");
+  assert(Addr != 0 && Addr != TagLogged && Addr != TagCommitted &&
+         "address collides with a reserved tag");
+  EncodedEntry E;
+  E.AddrWord = Addr | ((OldValue & 1) << 1) | (Pass & 1);
+  E.ValWord = (OldValue & ~1ull) | (Pass & 1);
+  return E;
+}
+
+/// Encodes a LOGGED or COMMITTED tag carrying timestamp \p Ts.
+inline EncodedEntry encodeTagEntry(uint64_t Tag, uint64_t Ts, unsigned Pass) {
+  assert((Tag == TagLogged || Tag == TagCommitted) && "not a tag");
+  assert(Ts < (1ull << 62) && "timestamp overflows the shifted payload");
+  EncodedEntry E;
+  E.AddrWord = Tag | (Pass & 1); // Payload LSB is always zero.
+  E.ValWord = (Ts << 1) | (Pass & 1);
+  return E;
+}
+
+/// The timestamp payload of a tag entry whose value word will be written
+/// with HtmTx::storeCommitVersion: Shift = 1 and OrMask = Pass reproduce
+/// encodeTagEntry's ValWord for Ts = the commit version.
+inline constexpr unsigned TagTsCommitVersionShift = 1;
+
+/// A decoded undo-log entry.
+struct DecodedEntry {
+  enum class Kind : uint8_t {
+    /// Torn (wraparound bits disagree) or never written.
+    Invalid,
+    /// ⟨addr, oldValue⟩ data entry.
+    Data,
+    Logged,
+    Committed,
+  };
+  Kind K = Kind::Invalid;
+  /// Wraparound pass bit carried by the entry (valid unless Invalid).
+  unsigned Pass = 0;
+  /// Data entries: the logged address and old value.
+  uint64_t Addr = 0;
+  uint64_t Value = 0;
+  /// Tag entries: the sequence timestamp.
+  uint64_t Ts = 0;
+
+  bool isTag() const { return K == Kind::Logged || K == Kind::Committed; }
+};
+
+/// Decodes the two words of a log slot as the recovery observer sees them
+/// in the persistent image.
+inline DecodedEntry decodeEntry(uint64_t AddrWord, uint64_t ValWord) {
+  DecodedEntry D;
+  unsigned WA = AddrWord & 1, WV = ValWord & 1;
+  if (WA != WV)
+    return D; // Torn: only one word of the entry persisted.
+  D.Pass = WA;
+  uint64_t AddrField = AddrWord & ~7ull;
+  if (AddrField == 0)
+    return D; // Never written (zero-initialized log, pass-0 region).
+  if (AddrField == TagLogged || AddrField == TagCommitted) {
+    D.K = AddrField == TagLogged ? DecodedEntry::Kind::Logged
+                                 : DecodedEntry::Kind::Committed;
+    D.Ts = ValWord >> 1;
+    return D;
+  }
+  D.K = DecodedEntry::Kind::Data;
+  D.Addr = AddrField;
+  D.Value = (ValWord & ~1ull) | ((AddrWord >> 1) & 1);
+  return D;
+}
+
+} // namespace crafty
+
+#endif // CRAFTY_LOG_LOGENTRY_H

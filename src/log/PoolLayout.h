@@ -1,0 +1,97 @@
+//===- log/PoolLayout.h - On-pmem pool layout -------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layout of a Crafty-formatted persistent pool. A header at offset zero
+/// locates each thread's circular undo log and the persistent heap, so the
+/// recovery observer can find them in a crash image without any volatile
+/// state. The header is persisted once at format time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LOG_POOLLAYOUT_H
+#define CRAFTY_LOG_POOLLAYOUT_H
+
+#include "log/LogEntry.h"
+#include "pmem/PMemPool.h"
+
+#include <cstdint>
+
+namespace crafty {
+
+inline constexpr uint64_t PoolMagic = 0xC7AF77F0C7AF77F0ull;
+
+/// Pool header, at pool offset zero. All offsets are from the pool base.
+struct PoolHeader {
+  uint64_t Magic = 0;
+  uint32_t NumThreads = 0;
+  uint32_t LogEntriesPerThread = 0; // Power of two.
+  uint64_t LogsOffset = 0;          // NumThreads consecutive log regions.
+  uint64_t HeapOffset = 0;
+  uint64_t HeapBytes = 0;
+  /// Virtual address the pool was mapped at when the logs were written.
+  /// Undo-log entries hold virtual addresses; a recovery observer working
+  /// on a crash image mapped elsewhere translates through this base.
+  uint64_t MappedBase = 0;
+};
+
+/// Geometry of one thread's circular undo-log region (2 words per entry).
+struct UndoLogRegion {
+  uint64_t *Slots = nullptr;
+  size_t NumEntries = 0; // Power of two.
+
+  uint64_t *addrWordAt(size_t Slot) const { return Slots + 2 * Slot; }
+  uint64_t *valWordAt(size_t Slot) const { return Slots + 2 * Slot + 1; }
+
+  size_t slotFor(uint64_t AbsPos) const { return AbsPos & (NumEntries - 1); }
+
+  /// Wraparound pass bit for an absolute (monotonic) log position. The
+  /// first pass writes W = 1 so zero-initialized slots (W = 0) read as
+  /// never written.
+  unsigned passFor(uint64_t AbsPos) const {
+    return 1 ^ (unsigned)((AbsPos / NumEntries) & 1);
+  }
+
+  size_t regionBytes() const { return NumEntries * 16; }
+};
+
+/// Formats \p Pool: carves the header, \p NumThreads undo logs of
+/// \p LogEntries entries each, and a heap of \p HeapBytes; persists the
+/// header. Returns a pointer to the in-pool header.
+inline PoolHeader *formatPool(PMemPool &Pool, unsigned NumThreads,
+                              size_t LogEntries, size_t HeapBytes) {
+  assert((LogEntries & (LogEntries - 1)) == 0 &&
+         "log entry count must be a power of two");
+  auto *Header = static_cast<PoolHeader *>(Pool.carve(sizeof(PoolHeader)));
+  void *Logs = Pool.carve(NumThreads * LogEntries * 16);
+  void *Heap = HeapBytes ? Pool.carve(HeapBytes) : nullptr;
+  PoolHeader H;
+  H.Magic = PoolMagic;
+  H.NumThreads = NumThreads;
+  H.LogEntriesPerThread = (uint32_t)LogEntries;
+  H.LogsOffset = static_cast<uint8_t *>(Logs) - Pool.base();
+  H.HeapOffset = Heap ? static_cast<uint8_t *>(Heap) - Pool.base() : 0;
+  H.HeapBytes = HeapBytes;
+  H.MappedBase = reinterpret_cast<uint64_t>(Pool.base());
+  Pool.persistDirect(Header, &H, sizeof(H));
+  return Header;
+}
+
+/// Returns thread \p ThreadId's undo-log region for a pool whose base is
+/// \p PoolBase (either the live pool or a crash image).
+inline UndoLogRegion logRegionFor(uint8_t *PoolBase, const PoolHeader &H,
+                                  unsigned ThreadId) {
+  UndoLogRegion R;
+  R.NumEntries = H.LogEntriesPerThread;
+  R.Slots = reinterpret_cast<uint64_t *>(PoolBase + H.LogsOffset +
+                                         (size_t)ThreadId * R.regionBytes());
+  return R;
+}
+
+} // namespace crafty
+
+#endif // CRAFTY_LOG_POOLLAYOUT_H

@@ -1,0 +1,50 @@
+//===- log/RedoLog.h - Volatile per-transaction redo log --------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The volatile redo log Crafty's Log phase builds while rolling back its
+/// writes (paper Section 4.1). It is not needed once the persistent
+/// transaction completes, so each transaction reuses it from the start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LOG_REDOLOG_H
+#define CRAFTY_LOG_REDOLOG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crafty {
+
+/// A ⟨address, new value⟩ pair to be applied by the Redo phase.
+struct RedoEntry {
+  uint64_t *Addr;
+  uint64_t Val;
+};
+
+/// Volatile, thread-local redo log.
+class RedoLog {
+public:
+  void clear() { Entries.clear(); }
+  void append(uint64_t *Addr, uint64_t Val) {
+    Entries.push_back(RedoEntry{Addr, Val});
+  }
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  /// Entries in the order the Log phase recorded them (reverse program
+  /// order); the Redo phase iterates them in reverse, i.e. program order.
+  const std::vector<RedoEntry> &entries() const { return Entries; }
+
+private:
+  std::vector<RedoEntry> Entries;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_LOG_REDOLOG_H

@@ -1,0 +1,276 @@
+//===- pds/DurableBTree.h - Persistent B+tree ------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash-safe B+tree of ⟨uint64_t → uint64_t⟩ over persistent
+/// transactions: every node access goes through the transactional API,
+/// and nodes are allocated through TxnContext::alloc so Crafty's
+/// Validate phase can replay splits. Inserts split preemptively while
+/// descending; removals are leaf-local (no rebalancing). This is the
+/// reusable core behind the Figure 7 B+tree microbenchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PDS_DURABLEBTREE_H
+#define CRAFTY_PDS_DURABLEBTREE_H
+
+#include "core/Ptm.h"
+#include "pmem/PMemPool.h"
+#include "support/Compiler.h"
+
+#include <string>
+
+namespace crafty {
+
+/// B+tree with a fixed fanout; see the file comment. The backing
+/// allocator (TxnContext::alloc) supplies node storage, so the creating
+/// backend must be configured with per-thread arenas.
+class DurableBTree {
+public:
+  /// Keys per node.
+  static constexpr unsigned Order = 8;
+
+  /// Carves the root pointer and an empty root leaf from \p Pool
+  /// (setup-time; not transactional).
+  explicit DurableBTree(PMemPool &Pool) {
+    RootPtr = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
+    auto *Root = static_cast<uint64_t *>(Pool.carve(NodeWords * 8));
+    uint64_t Meta = makeMeta(/*Leaf=*/true, 0);
+    Pool.persistDirect(Root, &Meta, sizeof(Meta));
+    uint64_t RootVal = reinterpret_cast<uint64_t>(Root);
+    Pool.persistDirect(RootPtr, &RootVal, sizeof(RootVal));
+  }
+
+  /// Inserts inside an open transaction; returns false (and writes
+  /// nothing at the key) when the key is already present.
+  bool insertTx(TxnContext &Tx, uint64_t Key, uint64_t Val) {
+    auto *Cur = reinterpret_cast<uint64_t *>(Tx.load(RootPtr));
+    uint64_t Meta = Tx.load(metaWord(Cur));
+    if (countOf(Meta) == Order) {
+      uint64_t *NewRoot = allocNode(Tx, /*Leaf=*/false);
+      Tx.store(slotWord(NewRoot, 0), reinterpret_cast<uint64_t>(Cur));
+      Tx.store(RootPtr, reinterpret_cast<uint64_t>(NewRoot));
+      splitChild(Tx, NewRoot, 0);
+      Cur = NewRoot;
+      Meta = Tx.load(metaWord(Cur));
+    }
+    while (!isLeaf(Meta)) {
+      unsigned Count = countOf(Meta);
+      unsigned Idx = 0;
+      while (Idx < Count && Key >= Tx.load(keyWord(Cur, Idx)))
+        ++Idx;
+      auto *Child =
+          reinterpret_cast<uint64_t *>(Tx.load(slotWord(Cur, Idx)));
+      if (countOf(Tx.load(metaWord(Child))) == Order) {
+        splitChild(Tx, Cur, Idx);
+        if (Key >= Tx.load(keyWord(Cur, Idx)))
+          ++Idx;
+        Child = reinterpret_cast<uint64_t *>(Tx.load(slotWord(Cur, Idx)));
+      }
+      Cur = Child;
+      Meta = Tx.load(metaWord(Cur));
+    }
+    unsigned Count = countOf(Meta);
+    unsigned Pos = 0;
+    while (Pos < Count && Tx.load(keyWord(Cur, Pos)) < Key)
+      ++Pos;
+    if (Pos < Count && Tx.load(keyWord(Cur, Pos)) == Key)
+      return false;
+    for (unsigned I = Count; I > Pos; --I) {
+      Tx.store(keyWord(Cur, I), Tx.load(keyWord(Cur, I - 1)));
+      Tx.store(slotWord(Cur, I), Tx.load(slotWord(Cur, I - 1)));
+    }
+    Tx.store(keyWord(Cur, Pos), Key);
+    Tx.store(slotWord(Cur, Pos), Val);
+    Tx.store(metaWord(Cur), makeMeta(true, Count + 1));
+    return true;
+  }
+
+  /// Looks up inside an open transaction.
+  bool lookupTx(TxnContext &Tx, uint64_t Key, uint64_t *ValOut) {
+    auto *Cur = reinterpret_cast<uint64_t *>(Tx.load(RootPtr));
+    uint64_t Meta = Tx.load(metaWord(Cur));
+    while (!isLeaf(Meta)) {
+      unsigned Count = countOf(Meta);
+      unsigned Idx = 0;
+      while (Idx < Count && Key >= Tx.load(keyWord(Cur, Idx)))
+        ++Idx;
+      Cur = reinterpret_cast<uint64_t *>(Tx.load(slotWord(Cur, Idx)));
+      Meta = Tx.load(metaWord(Cur));
+    }
+    unsigned Count = countOf(Meta);
+    for (unsigned I = 0; I != Count; ++I)
+      if (Tx.load(keyWord(Cur, I)) == Key) {
+        if (ValOut)
+          *ValOut = Tx.load(slotWord(Cur, I));
+        return true;
+      }
+    return false;
+  }
+
+  /// Removes inside an open transaction; returns true if present.
+  bool removeTx(TxnContext &Tx, uint64_t Key) {
+    auto *Cur = reinterpret_cast<uint64_t *>(Tx.load(RootPtr));
+    uint64_t Meta = Tx.load(metaWord(Cur));
+    while (!isLeaf(Meta)) {
+      unsigned Count = countOf(Meta);
+      unsigned Idx = 0;
+      while (Idx < Count && Key >= Tx.load(keyWord(Cur, Idx)))
+        ++Idx;
+      Cur = reinterpret_cast<uint64_t *>(Tx.load(slotWord(Cur, Idx)));
+      Meta = Tx.load(metaWord(Cur));
+    }
+    unsigned Count = countOf(Meta);
+    for (unsigned I = 0; I != Count; ++I) {
+      if (Tx.load(keyWord(Cur, I)) != Key)
+        continue;
+      for (unsigned J = I; J + 1 < Count; ++J) {
+        Tx.store(keyWord(Cur, J), Tx.load(keyWord(Cur, J + 1)));
+        Tx.store(slotWord(Cur, J), Tx.load(slotWord(Cur, J + 1)));
+      }
+      Tx.store(metaWord(Cur), makeMeta(true, Count - 1));
+      return true;
+    }
+    return false;
+  }
+
+  // Convenience single-transaction wrappers.
+  bool insert(PtmBackend &B, unsigned Tid, uint64_t Key, uint64_t Val) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = insertTx(Tx, Key, Val); });
+    return Ok;
+  }
+  bool lookup(PtmBackend &B, unsigned Tid, uint64_t Key,
+              uint64_t *ValOut = nullptr) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = lookupTx(Tx, Key, ValOut); });
+    return Ok;
+  }
+  bool remove(PtmBackend &B, unsigned Tid, uint64_t Key) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = removeTx(Tx, Key); });
+    return Ok;
+  }
+
+  /// Non-transactional structural audit over raw memory (single-threaded,
+  /// post-run / post-recovery): checks ordering, range and value
+  /// integrity via \p CheckValue; returns the key count, or sets \p Err.
+  uint64_t auditCount(std::string &Err,
+                      FunctionRef<bool(uint64_t Key, uint64_t Val)>
+                          CheckValue = FunctionRef<bool(uint64_t,
+                                                        uint64_t)>()) const {
+    return walkCount(reinterpret_cast<const uint64_t *>(*RootPtr), 0, ~0ull,
+                     Err, CheckValue);
+  }
+
+private:
+  // Node layout (8-byte words):
+  //   [0]            meta: (isLeaf << 32) | count
+  //   [1 .. Order]   keys
+  //   [Order+1 ..]   leaf: values[Order]; inner: children[Order+1]
+  static constexpr size_t NodeWords = 1 + Order + (Order + 1);
+
+  static uint64_t *metaWord(uint64_t *N) { return N; }
+  static uint64_t *keyWord(uint64_t *N, unsigned I) { return N + 1 + I; }
+  static uint64_t *slotWord(uint64_t *N, unsigned I) {
+    return N + 1 + Order + I;
+  }
+  static bool isLeaf(uint64_t Meta) { return (Meta >> 32) != 0; }
+  static unsigned countOf(uint64_t Meta) { return (unsigned)(Meta & ~0u); }
+  static uint64_t makeMeta(bool Leaf, unsigned Count) {
+    return ((uint64_t)(Leaf ? 1 : 0) << 32) | Count;
+  }
+
+  uint64_t *allocNode(TxnContext &Tx, bool Leaf) {
+    auto *N = static_cast<uint64_t *>(Tx.alloc(NodeWords * 8));
+    if (!N)
+      fatalError("DurableBTree: allocator arena exhausted");
+    Tx.store(metaWord(N), makeMeta(Leaf, 0));
+    return N;
+  }
+
+  void splitChild(TxnContext &Tx, uint64_t *Parent, unsigned Idx) {
+    auto *Child =
+        reinterpret_cast<uint64_t *>(Tx.load(slotWord(Parent, Idx)));
+    bool Leaf = isLeaf(Tx.load(metaWord(Child)));
+    constexpr unsigned H = Order / 2;
+    uint64_t *Right = allocNode(Tx, Leaf);
+    uint64_t Separator;
+    if (Leaf) {
+      for (unsigned I = H; I != Order; ++I) {
+        Tx.store(keyWord(Right, I - H), Tx.load(keyWord(Child, I)));
+        Tx.store(slotWord(Right, I - H), Tx.load(slotWord(Child, I)));
+      }
+      Tx.store(metaWord(Right), makeMeta(true, Order - H));
+      Tx.store(metaWord(Child), makeMeta(true, H));
+      Separator = Tx.load(keyWord(Right, 0));
+    } else {
+      Separator = Tx.load(keyWord(Child, H));
+      for (unsigned I = H + 1; I != Order; ++I) {
+        Tx.store(keyWord(Right, I - H - 1), Tx.load(keyWord(Child, I)));
+        Tx.store(slotWord(Right, I - H - 1), Tx.load(slotWord(Child, I)));
+      }
+      Tx.store(slotWord(Right, Order - H - 1),
+               Tx.load(slotWord(Child, Order)));
+      Tx.store(metaWord(Right), makeMeta(false, Order - H - 1));
+      Tx.store(metaWord(Child), makeMeta(false, H));
+    }
+    uint64_t ParentMeta = Tx.load(metaWord(Parent));
+    unsigned PCount = countOf(ParentMeta);
+    for (unsigned I = PCount; I > Idx; --I) {
+      Tx.store(keyWord(Parent, I), Tx.load(keyWord(Parent, I - 1)));
+      Tx.store(slotWord(Parent, I + 1), Tx.load(slotWord(Parent, I)));
+    }
+    Tx.store(keyWord(Parent, Idx), Separator);
+    Tx.store(slotWord(Parent, Idx + 1), reinterpret_cast<uint64_t>(Right));
+    Tx.store(metaWord(Parent), makeMeta(false, PCount + 1));
+  }
+
+  uint64_t walkCount(const uint64_t *Node, uint64_t Lo, uint64_t Hi,
+                     std::string &Err,
+                     FunctionRef<bool(uint64_t, uint64_t)> CheckValue) const {
+    uint64_t Meta = Node[0];
+    unsigned Count = countOf(Meta);
+    if (isLeaf(Meta)) {
+      uint64_t Prev = Lo;
+      for (unsigned I = 0; I != Count; ++I) {
+        uint64_t K = Node[1 + I];
+        if (K < Lo || K >= Hi || (I > 0 && K <= Prev)) {
+          Err = "leaf key out of order or out of range";
+          return 0;
+        }
+        Prev = K;
+        if (CheckValue && !CheckValue(K, Node[1 + Order + I])) {
+          Err = "leaf value fails the integrity check";
+          return 0;
+        }
+      }
+      return Count;
+    }
+    uint64_t Total = 0;
+    uint64_t ChildLo = Lo;
+    for (unsigned I = 0; I <= Count; ++I) {
+      uint64_t ChildHi = I < Count ? Node[1 + I] : Hi;
+      if (ChildHi < ChildLo) {
+        Err = "inner separators out of order";
+        return 0;
+      }
+      auto *Child = reinterpret_cast<const uint64_t *>(Node[1 + Order + I]);
+      Total += walkCount(Child, ChildLo, ChildHi, Err, CheckValue);
+      if (!Err.empty())
+        return 0;
+      ChildLo = ChildHi;
+    }
+    return Total;
+  }
+
+  uint64_t *RootPtr = nullptr;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PDS_DURABLEBTREE_H

@@ -1,0 +1,174 @@
+//===- pds/DurableHashMap.h - Persistent open-addressed map ----*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, crash-safe hash map over persistent transactions.
+/// Every operation comes in two flavors: a `*Tx` primitive taking a
+/// TxnContext, composable inside larger transactions (move a value
+/// between structures atomically), and a convenience wrapper that runs
+/// its own transaction on a backend. All state lives in persistent
+/// memory; keys are uint64_t (a reserved empty/tombstone encoding), and
+/// values are uint64_t words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PDS_DURABLEHASHMAP_H
+#define CRAFTY_PDS_DURABLEHASHMAP_H
+
+#include "core/Ptm.h"
+#include "pmem/PMemPool.h"
+#include "support/Compiler.h"
+
+#include <optional>
+
+namespace crafty {
+
+/// Open-addressed ⟨uint64_t → uint64_t⟩ map with linear probing and
+/// tombstones. Capacity is fixed at creation (power of two slots; keep
+/// load below ~70% for sane probe lengths).
+class DurableHashMap {
+public:
+  /// Lays the map out in \p Pool (setup-time; not transactional).
+  /// \p Slots must be a power of two.
+  DurableHashMap(PMemPool &Pool, size_t Slots) : NumSlots(Slots) {
+    if (Slots == 0 || (Slots & (Slots - 1)) != 0)
+      fatalError("DurableHashMap: slot count must be a power of two");
+    Table = static_cast<uint64_t *>(Pool.carve(Slots * 16));
+    Meta = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
+    // Freshly carved memory is zero; persist the (zero) metadata word so
+    // a crash image always decodes an empty map.
+    uint64_t Zero = 0;
+    Pool.persistDirect(Meta, &Zero, sizeof(Zero));
+  }
+
+  /// Attaches to an existing layout (after recovery): same carve order.
+  static constexpr size_t bytesFor(size_t Slots) {
+    return Slots * 16 + CacheLineBytes;
+  }
+
+  size_t capacity() const { return NumSlots; }
+
+  /// Inserts or overwrites inside an open transaction. Returns false if
+  /// the table is full.
+  bool putTx(TxnContext &Tx, uint64_t Key, uint64_t Value) {
+    size_t Tomb = NumSlots;
+    for (size_t P = 0; P != NumSlots; ++P) {
+      size_t I = slotOf(Key, P);
+      uint64_t K = Tx.load(keyWord(I));
+      if (K == encode(Key)) {
+        Tx.store(valWord(I), Value);
+        return true;
+      }
+      if (K == Tombstone && Tomb == NumSlots)
+        Tomb = I;
+      if (K == Empty) {
+        size_t Dst = Tomb != NumSlots ? Tomb : I;
+        Tx.store(keyWord(Dst), encode(Key));
+        Tx.store(valWord(Dst), Value);
+        Tx.store(Meta, Tx.load(Meta) + 1);
+        return true;
+      }
+    }
+    if (Tomb != NumSlots) {
+      Tx.store(keyWord(Tomb), encode(Key));
+      Tx.store(valWord(Tomb), Value);
+      Tx.store(Meta, Tx.load(Meta) + 1);
+      return true;
+    }
+    return false;
+  }
+
+  /// Looks a key up inside an open transaction.
+  std::optional<uint64_t> getTx(TxnContext &Tx, uint64_t Key) {
+    for (size_t P = 0; P != NumSlots; ++P) {
+      size_t I = slotOf(Key, P);
+      uint64_t K = Tx.load(keyWord(I));
+      if (K == encode(Key))
+        return Tx.load(valWord(I));
+      if (K == Empty)
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Erases a key inside an open transaction; returns true if present.
+  bool eraseTx(TxnContext &Tx, uint64_t Key) {
+    for (size_t P = 0; P != NumSlots; ++P) {
+      size_t I = slotOf(Key, P);
+      uint64_t K = Tx.load(keyWord(I));
+      if (K == encode(Key)) {
+        Tx.store(keyWord(I), Tombstone);
+        Tx.store(Meta, Tx.load(Meta) - 1);
+        return true;
+      }
+      if (K == Empty)
+        return false;
+    }
+    return false;
+  }
+
+  /// Number of live keys inside an open transaction.
+  uint64_t sizeTx(TxnContext &Tx) { return Tx.load(Meta); }
+
+  // Convenience single-transaction wrappers.
+  bool put(PtmBackend &B, unsigned Tid, uint64_t Key, uint64_t Value) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = putTx(Tx, Key, Value); });
+    return Ok;
+  }
+  std::optional<uint64_t> get(PtmBackend &B, unsigned Tid, uint64_t Key) {
+    std::optional<uint64_t> Out;
+    B.run(Tid, [&](TxnContext &Tx) { Out = getTx(Tx, Key); });
+    return Out;
+  }
+  bool erase(PtmBackend &B, unsigned Tid, uint64_t Key) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = eraseTx(Tx, Key); });
+    return Ok;
+  }
+  uint64_t size(PtmBackend &B, unsigned Tid) {
+    uint64_t N = 0;
+    B.run(Tid, [&](TxnContext &Tx) { N = sizeTx(Tx); });
+    return N;
+  }
+
+  /// Non-transactional audit over raw memory (post-recovery checks):
+  /// returns the live-key count or ~0ull if the slot states are corrupt.
+  uint64_t auditCount() const {
+    uint64_t Live = 0;
+    for (size_t I = 0; I != NumSlots; ++I) {
+      uint64_t K = Table[2 * I];
+      if (K != Empty && K != Tombstone)
+        ++Live;
+    }
+    return Live == *Meta ? Live : ~0ull;
+  }
+
+private:
+  // Slot key encoding: 0 = never used, 1 = tombstone, else Key + 2.
+  static constexpr uint64_t Empty = 0;
+  static constexpr uint64_t Tombstone = 1;
+  static uint64_t encode(uint64_t Key) {
+    assert(Key < ~1ull && "key too large for the reserved encoding");
+    return Key + 2;
+  }
+
+  size_t slotOf(uint64_t Key, size_t Probe) const {
+    uint64_t H = (Key + 2) * 0x9e3779b97f4a7c15ull;
+    return ((H >> 32) + Probe) & (NumSlots - 1);
+  }
+  uint64_t *keyWord(size_t I) { return &Table[2 * I]; }
+  uint64_t *valWord(size_t I) { return &Table[2 * I + 1]; }
+
+  size_t NumSlots;
+  uint64_t *Table = nullptr; // ⟨encoded key, value⟩ pairs.
+  uint64_t *Meta = nullptr;  // [0] live-key count.
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PDS_DURABLEHASHMAP_H

@@ -1,0 +1,102 @@
+//===- pds/DurableQueue.h - Persistent bounded FIFO queue ------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash-safe, multi-producer multi-consumer bounded FIFO over
+/// persistent transactions. Transactional atomicity makes the classic
+/// ring-buffer races trivial: an enqueue/dequeue is one transaction over
+/// the head/tail words and a slot. `*Tx` primitives compose inside larger
+/// transactions (e.g. atomically dequeue a job and record its result).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PDS_DURABLEQUEUE_H
+#define CRAFTY_PDS_DURABLEQUEUE_H
+
+#include "core/Ptm.h"
+#include "pmem/PMemPool.h"
+#include "support/Compiler.h"
+
+#include <optional>
+
+namespace crafty {
+
+/// Bounded FIFO of uint64_t values in persistent memory.
+class DurableQueue {
+public:
+  /// Lays the queue out in \p Pool. \p Slots must be a power of two.
+  DurableQueue(PMemPool &Pool, size_t Slots) : NumSlots(Slots) {
+    if (Slots == 0 || (Slots & (Slots - 1)) != 0)
+      fatalError("DurableQueue: slot count must be a power of two");
+    Ring = static_cast<uint64_t *>(Pool.carve(Slots * 8));
+    Meta = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
+    uint64_t Zero[2] = {0, 0};
+    Pool.persistDirect(Meta, Zero, sizeof(Zero));
+  }
+
+  size_t capacity() const { return NumSlots; }
+
+  /// Appends inside an open transaction; false when full.
+  bool enqueueTx(TxnContext &Tx, uint64_t Value) {
+    uint64_t Tail = Tx.load(tailWord());
+    uint64_t Head = Tx.load(headWord());
+    if (Tail - Head >= NumSlots)
+      return false;
+    Tx.store(&Ring[Tail & (NumSlots - 1)], Value);
+    Tx.store(tailWord(), Tail + 1);
+    return true;
+  }
+
+  /// Pops inside an open transaction; nullopt when empty.
+  std::optional<uint64_t> dequeueTx(TxnContext &Tx) {
+    uint64_t Head = Tx.load(headWord());
+    uint64_t Tail = Tx.load(tailWord());
+    if (Head == Tail)
+      return std::nullopt;
+    uint64_t Value = Tx.load(&Ring[Head & (NumSlots - 1)]);
+    Tx.store(headWord(), Head + 1);
+    return Value;
+  }
+
+  uint64_t sizeTx(TxnContext &Tx) {
+    return Tx.load(tailWord()) - Tx.load(headWord());
+  }
+
+  bool enqueue(PtmBackend &B, unsigned Tid, uint64_t Value) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = enqueueTx(Tx, Value); });
+    return Ok;
+  }
+  std::optional<uint64_t> dequeue(PtmBackend &B, unsigned Tid) {
+    std::optional<uint64_t> Out;
+    B.run(Tid, [&](TxnContext &Tx) { Out = dequeueTx(Tx); });
+    return Out;
+  }
+  uint64_t size(PtmBackend &B, unsigned Tid) {
+    uint64_t N = 0;
+    B.run(Tid, [&](TxnContext &Tx) { N = sizeTx(Tx); });
+    return N;
+  }
+
+  /// Non-transactional audit: head <= tail and length within capacity.
+  bool auditShape() const {
+    uint64_t Head = Meta[0], Tail = Meta[1];
+    return Head <= Tail && Tail - Head <= NumSlots;
+  }
+
+private:
+  uint64_t *headWord() { return &Meta[0]; }
+  uint64_t *tailWord() { return &Meta[1]; }
+
+  size_t NumSlots;
+  uint64_t *Ring = nullptr;
+  uint64_t *Meta = nullptr; // [0] head, [1] tail (monotone counters).
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PDS_DURABLEQUEUE_H

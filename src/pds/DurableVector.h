@@ -1,0 +1,97 @@
+//===- pds/DurableVector.h - Persistent append-only vector -----*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash-safe append-only vector (a durable log of words): the size
+/// word and the appended elements move atomically, so a recovered vector
+/// is always a clean prefix of the appends -- the canonical shape for
+/// write-ahead application logs and event journals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PDS_DURABLEVECTOR_H
+#define CRAFTY_PDS_DURABLEVECTOR_H
+
+#include "core/Ptm.h"
+#include "pmem/PMemPool.h"
+#include "support/Compiler.h"
+
+#include <optional>
+
+namespace crafty {
+
+/// Fixed-capacity append-only vector of uint64_t in persistent memory.
+class DurableVector {
+public:
+  DurableVector(PMemPool &Pool, size_t Capacity) : Cap(Capacity) {
+    Data = static_cast<uint64_t *>(Pool.carve(Capacity * 8));
+    Meta = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
+    uint64_t Zero = 0;
+    Pool.persistDirect(Meta, &Zero, sizeof(Zero));
+  }
+
+  size_t capacity() const { return Cap; }
+
+  /// Appends inside an open transaction; false when full.
+  bool pushBackTx(TxnContext &Tx, uint64_t Value) {
+    uint64_t N = Tx.load(Meta);
+    if (N >= Cap)
+      return false;
+    Tx.store(&Data[N], Value);
+    Tx.store(Meta, N + 1);
+    return true;
+  }
+
+  /// Appends several words as one atomic record; false when they do not
+  /// all fit.
+  bool appendRecordTx(TxnContext &Tx, const uint64_t *Words, size_t Len) {
+    uint64_t N = Tx.load(Meta);
+    if (N + Len > Cap)
+      return false;
+    for (size_t I = 0; I != Len; ++I)
+      Tx.store(&Data[N + I], Words[I]);
+    Tx.store(Meta, N + Len);
+    return true;
+  }
+
+  std::optional<uint64_t> atTx(TxnContext &Tx, uint64_t Index) {
+    if (Index >= Tx.load(Meta))
+      return std::nullopt;
+    return Tx.load(&Data[Index]);
+  }
+
+  uint64_t sizeTx(TxnContext &Tx) { return Tx.load(Meta); }
+
+  bool pushBack(PtmBackend &B, unsigned Tid, uint64_t Value) {
+    bool Ok = false;
+    B.run(Tid, [&](TxnContext &Tx) { Ok = pushBackTx(Tx, Value); });
+    return Ok;
+  }
+  std::optional<uint64_t> at(PtmBackend &B, unsigned Tid, uint64_t Index) {
+    std::optional<uint64_t> Out;
+    B.run(Tid, [&](TxnContext &Tx) { Out = atTx(Tx, Index); });
+    return Out;
+  }
+  uint64_t size(PtmBackend &B, unsigned Tid) {
+    uint64_t N = 0;
+    B.run(Tid, [&](TxnContext &Tx) { N = sizeTx(Tx); });
+    return N;
+  }
+
+  /// Non-transactional audit access (post-recovery checks).
+  uint64_t rawSize() const { return *Meta; }
+  uint64_t rawAt(uint64_t Index) const { return Data[Index]; }
+
+private:
+  size_t Cap;
+  uint64_t *Data = nullptr;
+  uint64_t *Meta = nullptr; // [0] size.
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PDS_DURABLEVECTOR_H

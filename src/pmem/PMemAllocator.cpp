@@ -1,0 +1,81 @@
+//===- pmem/PMemAllocator.cpp - Allocator over persistent memory ----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmem/PMemAllocator.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace crafty;
+
+// Block layout: an 8-byte header holding the size class, followed by the
+// user block. Free blocks link through their first user word.
+
+PMemAllocator::PMemAllocator(PMemPool &Pool, unsigned NumThreads,
+                             size_t ArenaBytes) {
+  Arenas.resize(NumThreads);
+  for (Arena &A : Arenas) {
+    A.Cursor = static_cast<uint8_t *>(Pool.carve(ArenaBytes));
+    A.End = A.Cursor + ArenaBytes;
+  }
+}
+
+unsigned PMemAllocator::classFor(size_t Bytes) {
+  unsigned Class = 0;
+  size_t Size = 16;
+  while (Size < Bytes) {
+    Size <<= 1;
+    ++Class;
+  }
+  return Class;
+}
+
+void *PMemAllocator::alloc(unsigned ThreadId, size_t Bytes) {
+  assert(ThreadId < Arenas.size() && "thread id out of range");
+  if (Bytes == 0)
+    Bytes = 8;
+  unsigned Class = classFor(Bytes);
+  if (Class >= NumClasses)
+    fatalError("PMemAllocator: allocation larger than the largest class");
+  Arena &A = Arenas[ThreadId];
+  size_t Size = classSize(Class);
+  if (void *Head = A.FreeLists[Class]) {
+    A.FreeLists[Class] = *static_cast<void **>(Head);
+    A.InUse += Size;
+    return Head;
+  }
+  if (A.Cursor + 8 + Size > A.End)
+    return nullptr;
+  auto *Header = reinterpret_cast<uint64_t *>(A.Cursor);
+  *Header = Class;
+  void *User = A.Cursor + 8;
+  A.Cursor += 8 + Size;
+  A.InUse += Size;
+  return User;
+}
+
+void PMemAllocator::dealloc(unsigned ThreadId, void *Ptr) {
+  assert(ThreadId < Arenas.size() && "thread id out of range");
+  if (!Ptr)
+    return;
+  auto *Header = reinterpret_cast<uint64_t *>(Ptr) - 1;
+  unsigned Class = (unsigned)*Header;
+  assert(Class < NumClasses && "corrupt allocation header");
+  Arena &A = Arenas[ThreadId];
+  *static_cast<void **>(Ptr) = A.FreeLists[Class];
+  A.FreeLists[Class] = Ptr;
+  A.InUse -= classSize(Class);
+}
+
+size_t PMemAllocator::bytesInUse() const {
+  size_t Total = 0;
+  for (const Arena &A : Arenas)
+    Total += A.InUse;
+  return Total;
+}

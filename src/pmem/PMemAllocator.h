@@ -1,0 +1,71 @@
+//===- pmem/PMemAllocator.h - Allocator over persistent memory -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A size-class allocator over a PMemPool with per-thread arenas, used by
+/// workloads that allocate inside persistent transactions (B+tree nodes,
+/// vacation reservations, ...). Per-thread arenas mean allocator calls
+/// inside hardware transactions never conflict across threads.
+///
+/// The allocator's *metadata* (free lists, bump pointers) is volatile: the
+/// paper's prototype likewise does not make allocator metadata crash
+/// consistent (its Log phase logs malloc/free calls only so the Validate
+/// phase can replay them; Section 6). Applications that must survive
+/// crashes either carve static structures or rebuild allocator metadata
+/// from their own persistent structures at recovery, as our crash tests
+/// do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PMEM_PMEMALLOCATOR_H
+#define CRAFTY_PMEM_PMEMALLOCATOR_H
+
+#include "pmem/PMemPool.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crafty {
+
+/// Per-thread size-class allocator over a PMemPool region.
+class PMemAllocator {
+public:
+  /// Creates arenas for \p NumThreads threads, each \p ArenaBytes large,
+  /// carved from \p Pool.
+  PMemAllocator(PMemPool &Pool, unsigned NumThreads, size_t ArenaBytes);
+  PMemAllocator(const PMemAllocator &) = delete;
+  PMemAllocator &operator=(const PMemAllocator &) = delete;
+
+  /// Allocates \p Bytes (8-byte aligned) from \p ThreadId's arena.
+  /// Returns nullptr when the arena is exhausted and no freed block fits.
+  void *alloc(unsigned ThreadId, size_t Bytes);
+
+  /// Returns \p Ptr (from alloc) to \p ThreadId's free lists.
+  void dealloc(unsigned ThreadId, void *Ptr);
+
+  /// Bytes currently handed out across all arenas.
+  size_t bytesInUse() const;
+
+private:
+  static constexpr unsigned NumClasses = 12; // 16 B .. 32 KiB.
+  static unsigned classFor(size_t Bytes);
+  static size_t classSize(unsigned Class) { return (size_t)16 << Class; }
+
+  struct Arena {
+    uint8_t *Cursor = nullptr;
+    uint8_t *End = nullptr;
+    void *FreeLists[NumClasses] = {};
+    size_t InUse = 0;
+  };
+
+  std::vector<Arena> Arenas;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PMEM_PMEMALLOCATOR_H

@@ -1,0 +1,288 @@
+//===- pmem/PMemPool.cpp - Persistent-memory simulator --------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmem/PMemPool.h"
+
+#include "support/Clock.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace crafty;
+
+static size_t roundUp(size_t N, size_t Align) {
+  return (N + Align - 1) & ~(Align - 1);
+}
+
+PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
+  Bytes = roundUp(Config.PoolBytes, CacheLineBytes);
+  NumLines = Bytes / CacheLineBytes;
+  void *Mem = nullptr;
+  if (posix_memalign(&Mem, CacheLineBytes, Bytes) != 0)
+    fatalError("PMemPool: out of memory");
+  Base = static_cast<uint8_t *>(Mem);
+  std::memset(Base, 0, Bytes);
+  if (Config.Mode == PMemMode::Tracked) {
+    Image = std::make_unique<uint8_t[]>(Bytes);
+    std::memset(Image.get(), 0, Bytes);
+    Dirty = std::make_unique<std::atomic<uint8_t>[]>(NumLines);
+    for (size_t I = 0; I != NumLines; ++I)
+      Dirty[I].store(0, std::memory_order_relaxed);
+  }
+  Threads = std::make_unique<ThreadSlot[]>(Config.MaxThreads);
+  for (unsigned I = 0; I != Config.MaxThreads; ++I) {
+    Threads[I].EvictRng.reseed(Config.EvictionSeed * 1315423911u + I);
+    Threads[I].PendingLines.reserve(256);
+  }
+}
+
+PMemPool::~PMemPool() { std::free(Base); }
+
+void *PMemPool::carve(size_t CarveBytes, size_t Align) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  size_t Cur = CarveOffset.load(std::memory_order_relaxed);
+  for (;;) {
+    size_t Aligned = roundUp(Cur, Align);
+    size_t Next = Aligned + CarveBytes;
+    if (Next > Bytes)
+      fatalError("PMemPool: carve exhausted the pool");
+    if (CarveOffset.compare_exchange_weak(Cur, Next,
+                                          std::memory_order_relaxed))
+      return Base + Aligned;
+  }
+}
+
+void PMemPool::clwb(uint32_t ThreadId, const void *Addr) {
+  assert(contains(Addr) && "clwb outside the pool");
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  ClwbCount.fetch_add(1, std::memory_order_relaxed);
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  if (Config.Mode == PMemMode::Tracked)
+    Slot.PendingLines.push_back((uint32_t)lineIndex(Addr));
+  Slot.HasPending = true;
+  // The write-back completes asynchronously after the NVM round trip.
+  if (Config.DrainLatencyNs)
+    Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  Slot.unlock();
+}
+
+void PMemPool::clwbRange(uint32_t ThreadId, const void *Addr, size_t Len) {
+  if (Len == 0)
+    return;
+  uintptr_t First = lineOf(Addr);
+  uintptr_t Last =
+      lineOf(reinterpret_cast<const uint8_t *>(Addr) + Len - 1);
+  for (uintptr_t Line = First; Line <= Last; Line += CacheLineBytes)
+    clwb(ThreadId, reinterpret_cast<const void *>(Line));
+}
+
+void PMemPool::drain(uint32_t ThreadId) {
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  if (!Slot.HasPending) {
+    Slot.unlock();
+    return;
+  }
+  if (Config.Mode == PMemMode::Tracked) {
+    for (uint32_t Line : Slot.PendingLines)
+      copyLineToImage(Line);
+    Slot.PendingLines.clear();
+  }
+  bool HadPending = Slot.HasPending;
+  uint64_t Deadline = Slot.PendingDeadline;
+  Slot.HasPending = false;
+  Slot.unlock();
+  DrainCount.fetch_add(1, std::memory_order_relaxed);
+  // SFENCE semantics: wait only for write-backs still in flight; CLWBs
+  // issued long enough ago have already completed.
+  if (HadPending && Config.DrainLatencyNs) {
+    uint64_t Now = monotonicNanos();
+    if (Now < Deadline)
+      spinForNanos(Deadline - Now);
+  }
+}
+
+void PMemPool::drainRemote(uint32_t ThreadId) {
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  if (Config.Mode == PMemMode::Tracked) {
+    for (uint32_t Line : Slot.PendingLines)
+      copyLineToImage(Line);
+    Slot.PendingLines.clear();
+  }
+  Slot.HasPending = false;
+  Slot.unlock();
+}
+
+void PMemPool::copyLineToImage(size_t Line) {
+  // Clear the dirty flag before copying: a racing store re-marks the line.
+  Dirty[Line].store(0, std::memory_order_relaxed);
+  auto *Src = reinterpret_cast<const uint64_t *>(Base + Line * CacheLineBytes);
+  auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Line * CacheLineBytes);
+  // Word-granular copies: NVM guarantees persistence at word granularity
+  // (paper Section 5.2), so a line may land torn at word boundaries --
+  // exactly the states recovery must tolerate.
+  for (size_t W = 0; W != CacheLineBytes / 8; ++W) {
+    uint64_t V = __atomic_load_n(Src + W, __ATOMIC_RELAXED);
+    __atomic_store_n(Dst + W, V, __ATOMIC_RELAXED);
+  }
+}
+
+namespace {
+/// Per-thread eviction RNG: deterministic given thread creation order.
+thread_local Rng *EvictionRngPtr = nullptr;
+thread_local Rng EvictionRngStorage;
+} // namespace
+
+static std::atomic<uint64_t> EvictionThreadCounter{0};
+
+void PMemPool::onCommittedStore(void *Addr) {
+  if (Config.Mode != PMemMode::Tracked || !contains(Addr))
+    return;
+  size_t Line = lineIndex(Addr);
+  Dirty[Line].store(1, std::memory_order_relaxed);
+  if (Config.EvictionPerMillion == 0)
+    return;
+  if (!EvictionRngPtr) {
+    EvictionRngStorage.reseed(
+        Config.EvictionSeed +
+        EvictionThreadCounter.fetch_add(1, std::memory_order_relaxed) * 7919);
+    EvictionRngPtr = &EvictionRngStorage;
+  }
+  if (EvictionRngPtr->chance(Config.EvictionPerMillion, 1000000)) {
+    copyLineToImage(Line);
+    EvictCount.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PMemPool::persistImageWord(uint32_t ThreadId, uint64_t *Addr,
+                                uint64_t Val) {
+  assert(contains(Addr) && "persistImageWord outside the pool");
+  assert(isWordAligned(Addr) && "persistImageWord needs an aligned word");
+  ClwbCount.fetch_add(1, std::memory_order_relaxed);
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  if (Config.Mode == PMemMode::Tracked) {
+    size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
+    auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Off);
+    __atomic_store_n(Dst, Val, __ATOMIC_RELAXED);
+  }
+  Slot.HasPending = true;
+  if (Config.DrainLatencyNs)
+    Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  Slot.unlock();
+}
+
+void PMemPool::persistDirect(void *Addr, const void *Src, size_t Len) {
+  assert(contains(Addr) && "persistDirect outside the pool");
+  std::memcpy(Addr, Src, Len);
+  if (Config.Mode == PMemMode::Tracked) {
+    size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
+    std::memcpy(Image.get() + Off, Src, Len);
+  }
+}
+
+void PMemPool::evictRandomLines(size_t MaxLines) {
+  if (Config.Mode != PMemMode::Tracked)
+    return;
+  if (!EvictionRngPtr) {
+    EvictionRngStorage.reseed(
+        Config.EvictionSeed +
+        EvictionThreadCounter.fetch_add(1, std::memory_order_relaxed) * 7919);
+    EvictionRngPtr = &EvictionRngStorage;
+  }
+  for (size_t I = 0; I != MaxLines; ++I) {
+    size_t Line = EvictionRngPtr->nextBounded(NumLines);
+    if (Dirty[Line].load(std::memory_order_relaxed)) {
+      copyLineToImage(Line);
+      EvictCount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void PMemPool::flushEverything() {
+  if (Config.Mode == PMemMode::Tracked) {
+    for (size_t Line = 0; Line != NumLines; ++Line)
+      if (Dirty[Line].load(std::memory_order_relaxed)) {
+        copyLineToImage(Line);
+        EvictCount.fetch_add(1, std::memory_order_relaxed);
+      }
+  }
+  DrainCount.fetch_add(1, std::memory_order_relaxed);
+  spinForNanos(Config.DrainLatencyNs);
+}
+
+void PMemPool::crash() {
+  if (Config.Mode != PMemMode::Tracked)
+    fatalError("PMemPool::crash requires Tracked mode");
+  // Callers must have quiesced all threads (a real crash stops the world).
+  std::memcpy(Base, Image.get(), Bytes);
+  for (size_t I = 0; I != NumLines; ++I)
+    Dirty[I].store(0, std::memory_order_relaxed);
+  for (unsigned I = 0; I != Config.MaxThreads; ++I) {
+    Threads[I].PendingLines.clear();
+    Threads[I].HasPending = false;
+  }
+}
+
+std::vector<uint8_t> PMemPool::imageSnapshot() const {
+  if (Config.Mode != PMemMode::Tracked)
+    fatalError("PMemPool::imageSnapshot requires Tracked mode");
+  return std::vector<uint8_t>(Image.get(), Image.get() + Bytes);
+}
+
+bool PMemPool::isLineDirty(const void *Addr) const {
+  if (Config.Mode != PMemMode::Tracked)
+    return false;
+  return Dirty[lineIndex(Addr)].load(std::memory_order_relaxed) != 0;
+}
+
+PMemStats PMemPool::stats() const {
+  PMemStats S;
+  S.Clwbs = ClwbCount.load(std::memory_order_relaxed);
+  S.DrainsWithWork = DrainCount.load(std::memory_order_relaxed);
+  S.EvictedLines = EvictCount.load(std::memory_order_relaxed);
+  return S;
+}
+
+void PMemPool::reset() {
+  std::memset(Base, 0, Bytes);
+  CarveOffset.store(0, std::memory_order_relaxed);
+  if (Config.Mode == PMemMode::Tracked) {
+    std::memset(Image.get(), 0, Bytes);
+    for (size_t I = 0; I != NumLines; ++I)
+      Dirty[I].store(0, std::memory_order_relaxed);
+  }
+  for (unsigned I = 0; I != Config.MaxThreads; ++I) {
+    Threads[I].PendingLines.clear();
+    Threads[I].HasPending = false;
+  }
+  ClwbCount.store(0, std::memory_order_relaxed);
+  DrainCount.store(0, std::memory_order_relaxed);
+  EvictCount.store(0, std::memory_order_relaxed);
+}
+
+static void hookOnStore(void *Ctx, void *Addr) {
+  static_cast<PMemPool *>(Ctx)->onCommittedStore(Addr);
+}
+
+static void hookOnCommitFence(void *Ctx, uint32_t ThreadId) {
+  static_cast<PMemPool *>(Ctx)->drain(ThreadId);
+}
+
+MemoryHooks PMemPool::htmHooks() {
+  MemoryHooks Hooks;
+  Hooks.Ctx = this;
+  Hooks.OnStore = hookOnStore;
+  Hooks.OnCommitFence = hookOnCommitFence;
+  return Hooks;
+}

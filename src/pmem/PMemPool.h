@@ -1,0 +1,221 @@
+//===- pmem/PMemPool.h - Persistent-memory simulator -----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A byte-addressable persistent-memory simulator. The reproduction host
+/// has no NVDIMM, so the pool provides two modes:
+///
+///  - LatencyOnly reproduces the paper's evaluation methodology (Section
+///    6): NVM lives in DRAM and each drain that follows at least one CLWB
+///    busy-waits for the configured write-back latency (300 ns by default;
+///    100 ns for the appendix sensitivity study).
+///
+///  - Tracked additionally maintains a *persistent image*: a shadow copy
+///    holding exactly the bytes that would survive a power failure.
+///    Program stores update only the volatile view. clwb() schedules a
+///    cache line; drain() copies scheduled lines into the image. A seeded
+///    evictor may copy any dirty line at any time, modeling write-back
+///    caches persisting lines spontaneously -- the behavior that makes
+///    undo logging necessary in the first place. crash() freezes the
+///    image so the recovery observer (recovery/Recovery.h) can be tested
+///    against every state a real crash could expose.
+///
+/// The pool integrates with the HTM emulation through MemoryHooks: a
+/// committed transactional store marks its line dirty, and a commit fence
+/// (RTM's SFENCE semantics) completes the committing thread's pending
+/// CLWBs before the transaction's stores become visible. That ordering is
+/// what lets Crafty flush undo-log entries without draining: the next
+/// hardware transaction's commit is the drain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_PMEM_PMEMPOOL_H
+#define CRAFTY_PMEM_PMEMPOOL_H
+
+#include "htm/Htm.h"
+#include "support/CacheLine.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace crafty {
+
+/// Operating mode of the simulator; see the file comment.
+enum class PMemMode : uint8_t { LatencyOnly, Tracked };
+
+/// Configuration of a PMemPool.
+struct PMemConfig {
+  /// Pool size in bytes (rounded up to a cache-line multiple).
+  size_t PoolBytes = 16 << 20;
+  PMemMode Mode = PMemMode::LatencyOnly;
+  /// NVM write-back completion latency: a CLWB issued at time t completes
+  /// at t + DrainLatencyNs, and a drain (SFENCE) waits only for CLWBs
+  /// still in flight -- so flushes overlapped with enough computation
+  /// drain for free, the property Crafty's flush-without-drain design
+  /// exploits and the paper's 300 ns busy-wait methodology measures
+  /// (Section 6; 100 ns in Appendix A).
+  uint64_t DrainLatencyNs = 300;
+  /// In Tracked mode, probability (per million committed stores) that the
+  /// stored line is immediately written back to the persistent image,
+  /// modeling spontaneous cache eviction. 0 disables.
+  uint32_t EvictionPerMillion = 0;
+  uint64_t EvictionSeed = 42;
+  /// Maximum threads that may issue CLWBs (per-thread pending queues).
+  unsigned MaxThreads = 64;
+};
+
+/// Cumulative persistence-operation statistics.
+struct PMemStats {
+  uint64_t Clwbs = 0;
+  uint64_t DrainsWithWork = 0;
+  uint64_t EvictedLines = 0;
+};
+
+/// The persistent-memory pool. See the file comment for the model.
+class PMemPool {
+public:
+  explicit PMemPool(PMemConfig Config = PMemConfig());
+  ~PMemPool();
+  PMemPool(const PMemPool &) = delete;
+  PMemPool &operator=(const PMemPool &) = delete;
+
+  const PMemConfig &config() const { return Config; }
+  uint8_t *base() { return Base; }
+  size_t size() const { return Bytes; }
+
+  /// True if \p Addr lies inside the pool.
+  bool contains(const void *Addr) const {
+    auto P = reinterpret_cast<const uint8_t *>(Addr);
+    return P >= Base && P < Base + Bytes;
+  }
+
+  /// Carves \p CarveBytes from the pool (setup-time bump allocation used
+  /// to lay out logs, heaps and workload data). Fatal if exhausted.
+  void *carve(size_t CarveBytes, size_t Align = CacheLineBytes);
+
+  /// Bytes still available to carve.
+  size_t remaining() const { return Bytes - CarveOffset; }
+
+  /// Schedules a write-back (CLWB) of the cache line containing \p Addr,
+  /// issued by \p ThreadId. Completion requires a drain by the same
+  /// thread (explicitly or via an HTM commit fence).
+  void clwb(uint32_t ThreadId, const void *Addr);
+
+  /// Schedules write-backs for every line of [Addr, Addr + Len).
+  void clwbRange(uint32_t ThreadId, const void *Addr, size_t Len);
+
+  /// Completes \p ThreadId's scheduled write-backs (SFENCE after CLWBs).
+  /// Charges DrainLatencyNs if any work was pending.
+  void drain(uint32_t ThreadId);
+
+  /// Completes another thread's scheduled write-backs without latency.
+  /// Models the hardware fact that CLWBs issued long ago have finished on
+  /// their own: Section 5.2's forced commits rely on a delinquent
+  /// thread's old flushes having reached NVM. Safe concurrently with the
+  /// owner (scheduled lines may always persist early).
+  void drainRemote(uint32_t ThreadId);
+
+  /// clwbRange followed by drain: a full persist operation.
+  void persist(uint32_t ThreadId, const void *Addr, size_t Len) {
+    clwbRange(ThreadId, Addr, Len);
+    drain(ThreadId);
+  }
+
+  /// Returns MemoryHooks wiring this pool into an HtmRuntime.
+  MemoryHooks htmHooks();
+
+  /// Marks the line of a committed store dirty and possibly evicts it
+  /// (Tracked mode). Called by the HTM write-back hook; also call it for
+  /// any direct store to pool memory made outside transactions.
+  void onCommittedStore(void *Addr);
+
+  /// Writes \p Len bytes at \p Addr directly to the persistent image and
+  /// the volatile view, bypassing the cache model. Used by recovery and
+  /// setup. Not transactional.
+  void persistDirect(void *Addr, const void *Src, size_t Len);
+
+  /// Queues a logged word for the persistent image only, leaving the
+  /// volatile view untouched: how the NV-HTM / DudeTM checkpointers write
+  /// the NVM heap (a *separate* physical copy from the DRAM snapshot the
+  /// program runs on) with values taken from the redo log. Costs like a
+  /// CLWB; completion requires \p ThreadId's drain.
+  void persistImageWord(uint32_t ThreadId, uint64_t *Addr, uint64_t Val);
+
+  /// Tracked mode: copies up to \p MaxLines random dirty lines to the
+  /// image. Test hook for adversarial persist orderings.
+  void evictRandomLines(size_t MaxLines);
+
+  /// Persists every dirty line (models writing back the entire cache).
+  /// Used by on-demand immediate persistence. In LatencyOnly mode this
+  /// just charges one drain latency.
+  void flushEverything();
+
+  /// Tracked mode: simulates a power failure: the volatile view is
+  /// replaced with the persistent image (every non-persisted store is
+  /// lost) and all pending CLWBs and dirty state are discarded. The
+  /// process keeps running; recovery code can then inspect and repair the
+  /// pool as a real restart would.
+  void crash();
+
+  /// Tracked mode: returns a copy of the current persistent image.
+  std::vector<uint8_t> imageSnapshot() const;
+
+  /// Tracked mode: true if the line containing \p Addr has unpersisted
+  /// data (dirty or pending).
+  bool isLineDirty(const void *Addr) const;
+
+  /// Statistics (reads are racy-but-monotonic; fine for reporting).
+  PMemStats stats() const;
+
+  /// Resets carve state, image, dirty state and statistics; the pool
+  /// content is zeroed. Not thread-safe.
+  void reset();
+
+private:
+  size_t lineIndex(const void *Addr) const {
+    return (reinterpret_cast<const uint8_t *>(Addr) - Base) >>
+           CacheLineShift;
+  }
+  void copyLineToImage(size_t Line);
+
+  PMemConfig Config;
+  size_t Bytes;
+  size_t NumLines;
+  uint8_t *Base = nullptr;
+  std::unique_ptr<uint8_t[]> Image; // Tracked mode only.
+  std::unique_ptr<std::atomic<uint8_t>[]> Dirty;
+  std::atomic<size_t> CarveOffset{0};
+
+  struct alignas(CacheLineBytes) ThreadSlot {
+    /// Guards PendingLines/HasPending: the owner issues clwb/drain, but
+    /// drainRemote and crash may touch the queue from other threads.
+    std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+    std::vector<uint32_t> PendingLines; // Tracked mode.
+    bool HasPending = false;
+    /// Completion time of the latest pending CLWB (monotonic ns).
+    uint64_t PendingDeadline = 0;
+    Rng EvictRng;
+
+    void lock() {
+      while (Lock.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() { Lock.clear(std::memory_order_release); }
+  };
+  std::unique_ptr<ThreadSlot[]> Threads; // Config.MaxThreads slots.
+
+  std::atomic<uint64_t> ClwbCount{0};
+  std::atomic<uint64_t> DrainCount{0};
+  std::atomic<uint64_t> EvictCount{0};
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_PMEM_PMEMPOOL_H

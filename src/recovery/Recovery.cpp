@@ -1,0 +1,219 @@
+//===- recovery/Recovery.cpp - Crash-recovery observer --------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "recovery/Recovery.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace crafty;
+
+RecoveryObserver::RecoveryObserver(uint8_t *Base, size_t Bytes)
+    : Base(Base), Bytes(Bytes) {
+  if (Bytes < sizeof(PoolHeader))
+    return;
+  std::memcpy(&Header, Base, sizeof(Header));
+  if (Header.Magic != PoolMagic)
+    return;
+  size_t LogsEnd = Header.LogsOffset +
+                   (size_t)Header.NumThreads *
+                       (size_t)Header.LogEntriesPerThread * 16;
+  if (LogsEnd > Bytes || Header.LogEntriesPerThread == 0 ||
+      (Header.LogEntriesPerThread & (Header.LogEntriesPerThread - 1)) != 0)
+    return;
+  HeaderOk = true;
+}
+
+std::vector<RecoveredSequence>
+RecoveryObserver::scanThread(unsigned ThreadId) const {
+  UndoLogRegion R = logRegionFor(Base, Header, ThreadId);
+  size_t N = R.NumEntries;
+  std::vector<DecodedEntry> D(N);
+  for (size_t I = 0; I != N; ++I)
+    D[I] = decodeEntry(*R.addrWordAt(I), *R.valWordAt(I));
+
+  std::vector<RecoveredSequence> Out;
+  for (size_t T = 0; T != N; ++T) {
+    if (!D[T].isTag())
+      continue;
+    RecoveredSequence Seq;
+    Seq.ThreadId = ThreadId;
+    Seq.Ts = D[T].Ts;
+    Seq.TagSlot = T;
+    Seq.TagIsCommitted = D[T].K == DecodedEntry::Kind::Committed;
+    // Walk backward over the sequence's data entries. The wraparound
+    // pass bit flips when the walk crosses from slot 0 to slot N-1.
+    unsigned ExpPass = D[T].Pass;
+    size_t Cur = T;
+    std::vector<std::pair<uint64_t, uint64_t>> Rev;
+    for (size_t Step = 1; Step != N; ++Step) {
+      if (Cur == 0)
+        ExpPass ^= 1;
+      size_t Prev = (Cur + N - 1) & (N - 1);
+      const DecodedEntry &E = D[Prev];
+      if (E.K != DecodedEntry::Kind::Data || E.Pass != ExpPass)
+        break; // Tag, torn, never-written, or older-pass entry.
+      Rev.emplace_back(E.Addr, E.Value);
+      Cur = Prev;
+    }
+    Seq.Entries.assign(Rev.rbegin(), Rev.rend());
+    Out.push_back(std::move(Seq));
+  }
+  return Out;
+}
+
+std::vector<RecoveredSequence> RecoveryObserver::scanSequences() const {
+  std::vector<RecoveredSequence> All;
+  if (!HeaderOk)
+    return All;
+  for (unsigned T = 0; T != Header.NumThreads; ++T) {
+    std::vector<RecoveredSequence> S = scanThread(T);
+    All.insert(All.end(), std::make_move_iterator(S.begin()),
+               std::make_move_iterator(S.end()));
+  }
+  return All;
+}
+
+namespace {
+/// Orders the tag slots of an equal-timestamp group (one SGL section's
+/// chunks) chronologically. The group spans less than half the circular
+/// log, so the largest circular gap between occupied slots separates the
+/// newest chunk from the oldest one.
+std::vector<size_t> chronologicalOrder(std::vector<size_t> Slots,
+                                       size_t LogEntries) {
+  std::sort(Slots.begin(), Slots.end());
+  size_t M = Slots.size();
+  if (M <= 1)
+    return Slots;
+  size_t BestGap = 0, BestIdx = 0;
+  for (size_t I = 0; I != M; ++I) {
+    size_t Next = Slots[(I + 1) % M];
+    size_t Gap = (Next + LogEntries - Slots[I]) % LogEntries;
+    if (Gap > BestGap) {
+      BestGap = Gap;
+      BestIdx = I;
+    }
+  }
+  std::vector<size_t> Order;
+  Order.reserve(M);
+  for (size_t I = 0; I != M; ++I)
+    Order.push_back(Slots[(BestIdx + 1 + I) % M]);
+  return Order;
+}
+} // namespace
+
+RecoveryReport RecoveryObserver::recover(
+    FunctionRef<void(uint64_t *Addr, uint64_t Val)> WriteWord) {
+  RecoveryReport Rep;
+  Rep.HeaderValid = HeaderOk;
+  if (!HeaderOk)
+    return Rep;
+
+  std::vector<RecoveredSequence> All = scanSequences();
+  Rep.SequencesFound = All.size();
+
+  // Rollback threshold (Section 5.1): each thread's newest sequence must
+  // be rolled back because its writes may be only partially persisted;
+  // the closure rule ("roll back everything with ts >= any rolled-back
+  // ts") makes the set everything at or above the minimum of those.
+  uint64_t Threshold = ~0ull;
+  bool Any = false;
+  for (unsigned T = 0; T != Header.NumThreads; ++T) {
+    uint64_t MaxTs = 0;
+    bool Has = false;
+    for (const RecoveredSequence &S : All) {
+      if (S.ThreadId != T)
+        continue;
+      Has = true;
+      MaxTs = std::max(MaxTs, S.Ts);
+    }
+    if (Has) {
+      Any = true;
+      Threshold = std::min(Threshold, MaxTs);
+    }
+  }
+  if (!Any) {
+    zeroLogs(WriteWord);
+    return Rep;
+  }
+  Rep.ThresholdTs = Threshold;
+
+  std::vector<const RecoveredSequence *> Roll;
+  for (const RecoveredSequence &S : All)
+    if (S.Ts >= Threshold)
+      Roll.push_back(&S);
+
+  // Newest first. Timestamps are unique across threads except within one
+  // SGL section (one thread); equal-timestamp chunks unwind in reverse
+  // chronological log order.
+  std::sort(Roll.begin(), Roll.end(),
+            [](const RecoveredSequence *A, const RecoveredSequence *B) {
+              return A->Ts > B->Ts;
+            });
+  std::vector<const RecoveredSequence *> Ordered;
+  Ordered.reserve(Roll.size());
+  for (size_t I = 0; I != Roll.size();) {
+    size_t J = I;
+    while (J != Roll.size() && Roll[J]->Ts == Roll[I]->Ts)
+      ++J;
+    if (J - I == 1) {
+      Ordered.push_back(Roll[I]);
+    } else {
+      std::vector<size_t> Slots;
+      for (size_t K = I; K != J; ++K)
+        Slots.push_back(Roll[K]->TagSlot);
+      std::vector<size_t> Chrono =
+          chronologicalOrder(std::move(Slots), Header.LogEntriesPerThread);
+      for (auto It = Chrono.rbegin(); It != Chrono.rend(); ++It)
+        for (size_t K = I; K != J; ++K)
+          if (Roll[K]->TagSlot == *It)
+            Ordered.push_back(Roll[K]);
+    }
+    I = J;
+  }
+
+  for (const RecoveredSequence *S : Ordered) {
+    ++Rep.SequencesRolledBack;
+    for (auto It = S->Entries.rbegin(); It != S->Entries.rend(); ++It) {
+      uint64_t Off = It->first - Header.MappedBase;
+      if (Off >= Bytes || (Off & 7) != 0)
+        continue; // Tolerate a corrupt entry rather than abort recovery.
+      WriteWord(reinterpret_cast<uint64_t *>(Base + Off), It->second);
+      ++Rep.WordsRestored;
+    }
+  }
+
+  zeroLogs(WriteWord);
+  return Rep;
+}
+
+void RecoveryObserver::zeroLogs(
+    FunctionRef<void(uint64_t *Addr, uint64_t Val)> WriteWord) {
+  // A restarted runtime must observe clean wraparound state: stale
+  // entries from before the crash would otherwise alias future passes.
+  for (unsigned T = 0; T != Header.NumThreads; ++T) {
+    UndoLogRegion R = logRegionFor(Base, Header, T);
+    for (size_t S = 0; S != R.NumEntries; ++S) {
+      WriteWord(R.addrWordAt(S), 0);
+      WriteWord(R.valWordAt(S), 0);
+    }
+  }
+}
+
+RecoveryReport RecoveryObserver::recoverPool(PMemPool &Pool) {
+  RecoveryObserver Obs(Pool.base(), Pool.size());
+  return Obs.recover([&Pool](uint64_t *Addr, uint64_t Val) {
+    Pool.persistDirect(Addr, &Val, sizeof(Val));
+  });
+}
+
+RecoveryReport RecoveryObserver::recoverImage(std::vector<uint8_t> &Image) {
+  RecoveryObserver Obs(Image.data(), Image.size());
+  return Obs.recover([](uint64_t *Addr, uint64_t Val) { *Addr = Val; });
+}

@@ -1,0 +1,118 @@
+//===- recovery/Recovery.h - Crash-recovery observer -----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recovery observer (paper Section 5). The paper describes the
+/// algorithm but leaves its implementation and evaluation to future work;
+/// this module implements and tests it.
+///
+/// Given a crash image of a Crafty-formatted pool, recovery:
+///
+///  1. Scans each thread's circular undo log, decoding entries through
+///     the wraparound-bit scheme (log/LogEntry.h). A position holds a
+///     complete current-pass entry, a complete previous-pass entry, or a
+///     torn entry (wraparound bits disagree). A *fully persisted
+///     sequence* is a maximal run of complete data entries concluded by a
+///     complete LOGGED/COMMITTED tag (which carries the sequence
+///     timestamp).
+///
+///  2. Computes the rollback threshold: the minimum, over threads with at
+///     least one sequence, of each thread's newest sequence timestamp --
+///     each thread's last transaction must be rolled back because its
+///     writes may be only partially persisted (Crafty flushes without
+///     draining), and the Section 5.1 closure rule ("roll back every
+///     sequence with a timestamp >= that of any rolled-back sequence")
+///     makes the set upward closed.
+///
+///  3. Rolls back every sequence with timestamp >= threshold, newest
+///     first (sequences with equal timestamps -- an SGL section's chunks
+///     -- are unwound in reverse log order), applying each sequence's
+///     ⟨addr, oldValue⟩ entries in reverse. Sequences whose transactions
+///     never performed writes (abandoned Log phases, chunks whose writes
+///     did not persist) roll back as no-ops by construction: at their
+///     point in the rollback order, memory already holds the logged old
+///     values. The recovered state is the consistent transaction
+///     snapshot at the threshold.
+///
+/// Logged addresses are virtual addresses of the original mapping; they
+/// are translated through PoolHeader::MappedBase, so recovery works both
+/// in-place on a crashed PMemPool and on a relocated image buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_RECOVERY_RECOVERY_H
+#define CRAFTY_RECOVERY_RECOVERY_H
+
+#include "log/PoolLayout.h"
+#include "pmem/PMemPool.h"
+#include "support/FunctionRef.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace crafty {
+
+/// One fully persisted sequence found in a thread's log.
+struct RecoveredSequence {
+  unsigned ThreadId = 0;
+  uint64_t Ts = 0;
+  /// Slot of the concluding tag entry.
+  size_t TagSlot = 0;
+  bool TagIsCommitted = false;
+  /// ⟨virtual address, old value⟩ in the order they were logged.
+  std::vector<std::pair<uint64_t, uint64_t>> Entries;
+};
+
+/// Summary of a recovery run.
+struct RecoveryReport {
+  bool HeaderValid = false;
+  uint64_t ThresholdTs = 0;
+  size_t SequencesFound = 0;
+  size_t SequencesRolledBack = 0;
+  size_t WordsRestored = 0;
+};
+
+/// Scans and repairs a Crafty pool image after a (simulated) crash.
+class RecoveryObserver {
+public:
+  /// \p Base points at a pool image of \p Bytes bytes whose offset zero
+  /// holds a PoolHeader.
+  RecoveryObserver(uint8_t *Base, size_t Bytes);
+
+  /// True if the image carries a valid pool header.
+  bool valid() const { return HeaderOk; }
+
+  /// Scans all logs and returns every fully persisted sequence, in no
+  /// particular order. Analysis only; does not modify the image.
+  std::vector<RecoveredSequence> scanSequences() const;
+
+  /// Full recovery: scan, compute the threshold, roll back, and zero the
+  /// logs so a restarted runtime begins with clean wraparound state.
+  /// Writes go through \p WriteWord so callers control persistence.
+  RecoveryReport
+  recover(FunctionRef<void(uint64_t *Addr, uint64_t Val)> WriteWord);
+
+  /// Convenience: recovery in place on a crashed pool (after
+  /// PMemPool::crash()), persisting every repair.
+  static RecoveryReport recoverPool(PMemPool &Pool);
+
+  /// Convenience: recovery on a detached image buffer (plain stores).
+  static RecoveryReport recoverImage(std::vector<uint8_t> &Image);
+
+private:
+  std::vector<RecoveredSequence> scanThread(unsigned ThreadId) const;
+  void zeroLogs(FunctionRef<void(uint64_t *Addr, uint64_t Val)> WriteWord);
+
+  uint8_t *Base;
+  size_t Bytes;
+  bool HeaderOk = false;
+  PoolHeader Header;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_RECOVERY_RECOVERY_H

@@ -1,0 +1,40 @@
+//===- support/CacheLine.h - Cache-line geometry helpers -------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line geometry constants and address arithmetic used by the HTM
+/// emulation (line-granular conflict detection) and the persistent-memory
+/// simulator (line-granular flush/drain/eviction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_CACHELINE_H
+#define CRAFTY_SUPPORT_CACHELINE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crafty {
+
+/// Cache-line size assumed throughout the project (x86).
+inline constexpr size_t CacheLineBytes = 64;
+inline constexpr size_t CacheLineShift = 6;
+
+/// Returns the byte address of the cache line containing \p Addr.
+inline uintptr_t lineOf(const void *Addr) {
+  return reinterpret_cast<uintptr_t>(Addr) & ~(uintptr_t)(CacheLineBytes - 1);
+}
+
+/// Returns true if \p Addr is aligned to an 8-byte word, the granularity at
+/// which all persistent writes are expressed (paper Section 6).
+inline bool isWordAligned(const void *Addr) {
+  return (reinterpret_cast<uintptr_t>(Addr) & 7) == 0;
+}
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_CACHELINE_H

@@ -1,0 +1,31 @@
+//===- support/Clock.cpp - Timestamp sources ------------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <ctime>
+
+namespace crafty {
+
+uint64_t monotonicNanos() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return (uint64_t)Ts.tv_sec * 1000000000ull + (uint64_t)Ts.tv_nsec;
+}
+
+void spinForNanos(uint64_t Nanos) {
+  if (Nanos == 0)
+    return;
+  uint64_t Deadline = monotonicNanos() + Nanos;
+  while (monotonicNanos() < Deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+} // namespace crafty

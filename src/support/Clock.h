@@ -1,0 +1,52 @@
+//===- support/Clock.h - Timestamp sources ---------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timestamp sources. The paper's prototype takes Lamport timestamps from
+/// RDTSC inside hardware transactions. In this reproduction, transaction
+/// commit timestamps come from the HTM emulation's global version clock
+/// (see htm/Htm.h), which is exactly consistent with the serialization
+/// order. The wall-clock here is used only for measurement and for
+/// MAX_LAG-style bounds where a physical-time notion is convenient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_CLOCK_H
+#define CRAFTY_SUPPORT_CLOCK_H
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace crafty {
+
+/// Reads the processor timestamp counter, or a monotonic nanosecond clock on
+/// platforms without one. Values from different calls on the same core are
+/// monotonically increasing.
+inline uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return (uint64_t)Ts.tv_sec * 1000000000ull + (uint64_t)Ts.tv_nsec;
+#endif
+}
+
+/// Returns a monotonic wall-clock reading in nanoseconds.
+uint64_t monotonicNanos();
+
+/// Busy-waits for approximately \p Nanos nanoseconds. Used by the
+/// persistent-memory simulator to emulate NVM write-back latency exactly as
+/// the paper's methodology does (300 ns per drain by default).
+void spinForNanos(uint64_t Nanos);
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_CLOCK_H

@@ -1,0 +1,46 @@
+//===- support/Compiler.h - Compiler portability annotations ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability layer for compiler builtins used across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_COMPILER_H
+#define CRAFTY_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CRAFTY_LIKELY(x) __builtin_expect(!!(x), 1)
+#define CRAFTY_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define CRAFTY_NOINLINE __attribute__((noinline))
+#define CRAFTY_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define CRAFTY_LIKELY(x) (x)
+#define CRAFTY_UNLIKELY(x) (x)
+#define CRAFTY_NOINLINE
+#define CRAFTY_ALWAYS_INLINE inline
+#endif
+
+namespace crafty {
+
+/// Aborts the process after printing \p Msg. Used for invariant violations
+/// that must be diagnosable even in release builds (the library is built
+/// without exceptions in spirit; fatal errors terminate).
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "crafty fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace crafty
+
+/// Marks a point in code that must be unreachable if program invariants hold.
+#define CRAFTY_UNREACHABLE(msg) ::crafty::fatalError("unreachable: " msg)
+
+#endif // CRAFTY_SUPPORT_COMPILER_H

@@ -1,0 +1,56 @@
+//===- support/FunctionRef.h - Non-owning callable reference ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal function_ref in the spirit of llvm::function_ref: a cheap,
+/// non-owning reference to a callable, used to pass transaction bodies
+/// without allocation. The referenced callable must outlive the call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_FUNCTIONREF_H
+#define CRAFTY_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace crafty {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+public:
+  FunctionRef() = default;
+
+  template <typename Callable>
+  FunctionRef(Callable &&Fn,
+              std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callable>,
+                                               FunctionRef>> * = nullptr)
+      : Callback(callbackFn<std::remove_reference_t<Callable>>),
+        Callee(reinterpret_cast<void *>(&Fn)) {}
+
+  Ret operator()(Params... Args) const {
+    return Callback(Callee, std::forward<Params>(Args)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+
+private:
+  template <typename Callable>
+  static Ret callbackFn(void *Callee, Params... Args) {
+    return (*reinterpret_cast<Callable *>(Callee))(
+        std::forward<Params>(Args)...);
+  }
+
+  Ret (*Callback)(void *, Params...) = nullptr;
+  void *Callee = nullptr;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_FUNCTIONREF_H

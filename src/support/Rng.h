@@ -1,0 +1,72 @@
+//===- support/Rng.h - Deterministic pseudo-random generator ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable xoshiro256** generator. Workload generators,
+/// failure injection (spurious "zero" aborts), and the persistent-memory
+/// evictor all use explicit seeds so experiments and crash tests replay
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_RNG_H
+#define CRAFTY_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace crafty {
+
+/// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Resets the generator state from \p Seed using splitmix64 expansion.
+  void reseed(uint64_t Seed) {
+    for (auto &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBounded(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns true with probability \p Numer / \p Denom.
+  bool chance(uint64_t Numer, uint64_t Denom) {
+    return nextBounded(Denom) < Numer;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_RNG_H

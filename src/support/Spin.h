@@ -1,0 +1,46 @@
+//===- support/Spin.h - Spin-wait helpers ----------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spin-wait helpers. Every spin loop in the project yields to the scheduler
+/// after a short burst: the reproduction host may have fewer cores than
+/// runnable threads (the evaluation sweeps up to 16 threads), and a pure
+/// busy-wait would starve the thread being waited on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_SPIN_H
+#define CRAFTY_SUPPORT_SPIN_H
+
+#include <cstdint>
+#include <thread>
+
+namespace crafty {
+
+/// Cooperative exponential-ish backoff: pause a few times, then yield.
+class SpinBackoff {
+public:
+  void pause() {
+    if (++Count < 16) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+      return;
+    }
+    Count = 0;
+    std::this_thread::yield();
+  }
+
+  void reset() { Count = 0; }
+
+private:
+  uint32_t Count = 0;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_SPIN_H

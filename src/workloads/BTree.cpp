@@ -1,0 +1,49 @@
+//===- workloads/BTree.cpp - B+tree microbenchmark ------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BTree.h"
+
+#include <string>
+
+using namespace crafty;
+
+void BTreeWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  Tree.emplace(Pool);
+  NetInserted.store(0, std::memory_order_relaxed);
+}
+
+void BTreeWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  uint64_t Key = R.nextBounded(KeySpace);
+  unsigned Dice =
+      Mix == BTreeMix::InsertOnly ? 0 : (unsigned)R.nextBounded(100);
+  // Mixed: 60% insert, 20% lookup, 20% remove.
+  if (Dice < 60) {
+    if (Tree->insert(Backend, Tid, Key, Key * 2 + 1))
+      NetInserted.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (Dice < 80) {
+    (void)Tree->lookup(Backend, Tid, Key);
+    return;
+  }
+  if (Tree->remove(Backend, Tid, Key))
+    NetInserted.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string BTreeWorkload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  std::string Err;
+  uint64_t Keys = Tree->auditCount(Err, [](uint64_t Key, uint64_t Val) {
+    return Val == Key * 2 + 1;
+  });
+  if (!Err.empty())
+    return Err;
+  auto Net = NetInserted.load(std::memory_order_relaxed);
+  if ((int64_t)Keys != Net)
+    return "tree holds " + std::to_string(Keys) + " keys, ledger says " +
+           std::to_string(Net);
+  return std::string();
+}

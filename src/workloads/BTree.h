@@ -1,0 +1,54 @@
+//===- workloads/BTree.h - B+tree microbenchmark ---------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The B+tree microbenchmark (paper Section 7.1, adapted from Zardoshti
+/// et al.): transactions insert into / look up / remove from a persistent
+/// B+tree (pds/DurableBTree.h) whose every node access goes through the
+/// transactional API. Two variants match Figure 7: insert-only, and a
+/// mixed lookup/insert/remove workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_BTREE_H
+#define CRAFTY_WORKLOADS_BTREE_H
+
+#include "pds/DurableBTree.h"
+#include "workloads/Workload.h"
+
+#include <atomic>
+#include <optional>
+
+namespace crafty {
+
+/// Operation mix of the B+tree microbenchmark (Figure 7).
+enum class BTreeMix : uint8_t { InsertOnly, Mixed };
+
+class BTreeWorkload final : public Workload {
+public:
+  explicit BTreeWorkload(BTreeMix Mix) : Mix(Mix) {}
+
+  const char *name() const override {
+    return Mix == BTreeMix::InsertOnly ? "B+tree (insert only)"
+                                       : "B+tree (mixed ops)";
+  }
+  size_t arenaBytesPerThread() const override { return 8 << 20; }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr uint64_t KeySpace = 1 << 20;
+
+private:
+  BTreeMix Mix;
+  std::optional<DurableBTree> Tree;
+  std::atomic<int64_t> NetInserted{0};
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_BTREE_H

@@ -1,0 +1,83 @@
+//===- workloads/Bank.cpp - Bank transfer microbenchmark ------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Bank.h"
+
+#include <string>
+
+using namespace crafty;
+
+BankWorkload::BankWorkload(BankContention Level) : Level(Level) {
+  switch (Level) {
+  case BankContention::High:
+    NumAccounts = 1024;
+    break;
+  case BankContention::Medium:
+    NumAccounts = 4096;
+    break;
+  case BankContention::None:
+    NumAccounts = 4096; // Partitioned among threads at op time.
+    break;
+  }
+}
+
+const char *BankWorkload::name() const {
+  switch (Level) {
+  case BankContention::High:
+    return "bank (high contention)";
+  case BankContention::Medium:
+    return "bank (medium contention)";
+  case BankContention::None:
+    return "bank (no contention)";
+  }
+  CRAFTY_UNREACHABLE("bad contention level");
+}
+
+void BankWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  this->NumThreads = NumThreads;
+  Accounts = static_cast<uint64_t *>(
+      Pool.carve((size_t)NumAccounts * CacheLineBytes));
+  for (unsigned I = 0; I != NumAccounts; ++I) {
+    uint64_t V = InitialBalance;
+    Pool.persistDirect(accountWord(I), &V, sizeof(V));
+  }
+}
+
+void BankWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  // Pick the five transfers up front so re-executions (Crafty's Validate
+  // phase re-runs the body) are deterministic.
+  unsigned From[TransfersPerTxn], To[TransfersPerTxn];
+  unsigned Lo = 0, Range = NumAccounts;
+  if (Level == BankContention::None) {
+    Range = NumAccounts / NumThreads;
+    Lo = Tid * Range;
+  }
+  for (unsigned I = 0; I != TransfersPerTxn; ++I) {
+    From[I] = Lo + (unsigned)R.nextBounded(Range);
+    To[I] = Lo + (unsigned)((From[I] - Lo + 1 + R.nextBounded(Range - 1)) %
+                            Range);
+  }
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    for (unsigned I = 0; I != TransfersPerTxn; ++I) {
+      uint64_t *F = accountWord(From[I]);
+      uint64_t *T = accountWord(To[I]);
+      Tx.store(F, Tx.load(F) - 1);
+      Tx.store(T, Tx.load(T) + 1);
+    }
+  });
+}
+
+std::string BankWorkload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != NumAccounts; ++I)
+    Total += *accountWord(I);
+  uint64_t Expected = InitialBalance * NumAccounts;
+  if (Total != Expected)
+    return "bank total " + std::to_string(Total) + " != expected " +
+           std::to_string(Expected);
+  return std::string();
+}

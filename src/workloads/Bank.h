@@ -1,0 +1,52 @@
+//===- workloads/Bank.h - Bank transfer microbenchmark ---------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bank microbenchmark from the NV-HTM distribution as configured by
+/// the paper (Section 7.1): each transaction performs five random
+/// transfers (ten persistent writes) between cache-line-aligned accounts.
+/// Contention is set by the account count -- 1024 (high), 4096 (medium)
+/// -- or eliminated by partitioning the accounts among threads (none).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_BANK_H
+#define CRAFTY_WORKLOADS_BANK_H
+
+#include "workloads/Workload.h"
+
+namespace crafty {
+
+/// Contention level of the bank microbenchmark (Figure 6).
+enum class BankContention : uint8_t { High, Medium, None };
+
+class BankWorkload final : public Workload {
+public:
+  explicit BankWorkload(BankContention Level);
+
+  const char *name() const override;
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr unsigned TransfersPerTxn = 5;
+  static constexpr uint64_t InitialBalance = 1000;
+
+private:
+  uint64_t *accountWord(unsigned Idx) {
+    return Accounts + (size_t)Idx * (CacheLineBytes / 8);
+  }
+
+  BankContention Level;
+  unsigned NumAccounts = 0;
+  unsigned NumThreads = 0;
+  uint64_t *Accounts = nullptr;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_BANK_H

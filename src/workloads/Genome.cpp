@@ -1,0 +1,75 @@
+//===- workloads/Genome.cpp - genome segment-dedup kernel -----------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Genome.h"
+
+#include <string>
+#include <vector>
+
+using namespace crafty;
+
+void GenomeWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  size_t Bytes = TableSlots * 2 * 8;
+  Table = static_cast<uint64_t *>(Pool.carve(Bytes));
+  std::vector<uint8_t> Zero(Bytes, 0);
+  Pool.persistDirect(Table, Zero.data(), Bytes);
+  DistinctInserted.store(0, std::memory_order_relaxed);
+  TotalCounted.store(0, std::memory_order_relaxed);
+}
+
+void GenomeWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  // Segments are drawn from a bounded pool, so duplicates become the
+  // common case as the run progresses (as in genome's dedup phase).
+  uint64_t Segment = R.nextBounded(SegmentPool) * 0x9e3779b97f4a7c15ull;
+  uint64_t Key = (Segment >> 8) + 1; // Nonzero.
+  size_t Start = (Segment * 0xff51afd7ed558ccdull >> 32) % TableSlots;
+  bool Inserted = false, Counted = false;
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    Inserted = Counted = false;
+    for (unsigned P = 0; P != MaxProbe; ++P) {
+      uint64_t *S = slot((Start + P) % TableSlots);
+      uint64_t Cur = Tx.load(&S[0]);
+      if (Cur == Key) {
+        Tx.store(&S[1], Tx.load(&S[1]) + 1);
+        Counted = true;
+        return;
+      }
+      if (Cur == 0) {
+        Tx.store(&S[0], Key);
+        Tx.store(&S[1], 1);
+        Inserted = Counted = true;
+        return;
+      }
+    }
+    // Probe limit hit: dropped segment (read-only transaction).
+  });
+  if (Inserted)
+    DistinctInserted.fetch_add(1, std::memory_order_relaxed);
+  if (Counted)
+    TotalCounted.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string GenomeWorkload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  uint64_t Distinct = 0, Occurrences = 0;
+  for (size_t I = 0; I != TableSlots; ++I) {
+    const uint64_t *S = slot(I);
+    if (S[0] == 0) {
+      if (S[1] != 0)
+        return "empty slot with a nonzero count";
+      continue;
+    }
+    ++Distinct;
+    Occurrences += S[1];
+  }
+  if (Distinct != DistinctInserted.load(std::memory_order_relaxed))
+    return "distinct segments " + std::to_string(Distinct) +
+           " != ledger " +
+           std::to_string(DistinctInserted.load(std::memory_order_relaxed));
+  if (Occurrences != TotalCounted.load(std::memory_order_relaxed))
+    return "occurrence total inconsistent with the ledger";
+  return std::string();
+}

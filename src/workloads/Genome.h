@@ -1,0 +1,48 @@
+//===- workloads/Genome.h - genome segment-dedup kernel --------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sequence-assembly kernel reproducing STAMP genome's dominant
+/// transactional phase: deduplicating DNA segments through a shared hash
+/// set. Inserting a new segment writes its key and occurrence count (~2
+/// writes, Table 1 reports 2.1); duplicate segments -- increasingly
+/// common as the table fills -- update only the count or are read-only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_GENOME_H
+#define CRAFTY_WORKLOADS_GENOME_H
+
+#include "workloads/Workload.h"
+
+#include <atomic>
+
+namespace crafty {
+
+class GenomeWorkload final : public Workload {
+public:
+  const char *name() const override { return "genome"; }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr size_t TableSlots = 1 << 17;
+  static constexpr unsigned SegmentPool = 1 << 15; // Distinct segments.
+  static constexpr unsigned MaxProbe = 64;
+
+private:
+  /// Two words per slot: [0] segment key (+1), [1] occurrence count.
+  uint64_t *slot(size_t I) { return Table + 2 * I; }
+
+  uint64_t *Table = nullptr;
+  std::atomic<uint64_t> DistinctInserted{0};
+  std::atomic<uint64_t> TotalCounted{0};
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_GENOME_H

@@ -1,0 +1,48 @@
+//===- workloads/Intruder.h - intruder packet kernel -----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A packet-processing kernel reproducing STAMP intruder's transactional
+/// structure: tiny transactions popping packets off one shared queue (a
+/// single hot word -- the benchmark's notorious contention point)
+/// followed by a fragment-reassembly insertion into a flow table.
+/// Averages ~1.8 writes per transaction (Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_INTRUDER_H
+#define CRAFTY_WORKLOADS_INTRUDER_H
+
+#include "workloads/Workload.h"
+
+#include <atomic>
+
+namespace crafty {
+
+class IntruderWorkload final : public Workload {
+public:
+  const char *name() const override { return "intruder"; }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr size_t NumFlows = 1 << 12;
+  static constexpr unsigned FragmentsPerFlow = 6;
+
+private:
+  /// Per flow: [0] fragments seen, [1] bytes, [2] completions,
+  /// [3] big-packet count.
+  uint64_t *flowBlock(size_t F) { return Flows + F * BlockWords; }
+  static constexpr size_t BlockWords = 8;
+
+  uint64_t *QueueHead = nullptr; // The hot word.
+  uint64_t *Flows = nullptr;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_INTRUDER_H

@@ -1,0 +1,71 @@
+//===- workloads/KMeans.cpp - kmeans clustering kernel --------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KMeans.h"
+
+#include <string>
+
+using namespace crafty;
+
+void KMeansWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  Accums = static_cast<uint64_t *>(
+      Pool.carve(NumClusters * BlockWords * 8, 256));
+  for (unsigned C = 0; C != NumClusters; ++C)
+    for (unsigned W = 0; W != BlockWords; ++W) {
+      uint64_t Z = 0;
+      Pool.persistDirect(&clusterBlock(C)[W], &Z, sizeof(Z));
+    }
+  // Deterministic synthetic data: points clustered around the centroids.
+  Rng R(12345);
+  Centroids.resize(NumClusters * Dims);
+  for (auto &V : Centroids)
+    V = (uint32_t)R.nextBounded(1 << 16);
+  Points.resize((size_t)NumPoints * Dims);
+  for (unsigned P = 0; P != NumPoints; ++P) {
+    unsigned Home = (unsigned)R.nextBounded(NumClusters);
+    for (unsigned D = 0; D != Dims; ++D)
+      Points[(size_t)P * Dims + D] =
+          Centroids[(size_t)Home * Dims + D] + (uint32_t)R.nextBounded(512);
+  }
+}
+
+void KMeansWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  unsigned P = (unsigned)R.nextBounded(NumPoints);
+  const uint32_t *Pt = &Points[(size_t)P * Dims];
+  // Nearest centroid: volatile computation, outside the transaction (the
+  // STAMP kernel computes assignments from a read-only snapshot too).
+  unsigned Best = 0;
+  uint64_t BestDist = ~0ull;
+  for (unsigned C = 0; C != NumClusters; ++C) {
+    uint64_t Dist = 0;
+    const uint32_t *Cen = &Centroids[(size_t)C * Dims];
+    for (unsigned D = 0; D != Dims; ++D) {
+      int64_t Diff = (int64_t)Pt[D] - (int64_t)Cen[D];
+      Dist += (uint64_t)(Diff * Diff);
+    }
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = C;
+    }
+  }
+  uint64_t *Block = clusterBlock(Best);
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    Tx.store(&Block[0], Tx.load(&Block[0]) + 1);
+    for (unsigned D = 0; D != Dims; ++D)
+      Tx.store(&Block[1 + D], Tx.load(&Block[1 + D]) + Pt[D]);
+  });
+}
+
+std::string KMeansWorkload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  uint64_t Members = 0;
+  for (unsigned C = 0; C != NumClusters; ++C)
+    Members += clusterBlock(C)[0];
+  if (Members != OpsDone)
+    return "kmeans membership " + std::to_string(Members) +
+           " != operations " + std::to_string(OpsDone);
+  return std::string();
+}

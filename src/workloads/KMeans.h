@@ -1,0 +1,61 @@
+//===- workloads/KMeans.h - kmeans clustering kernel -----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A kmeans kernel reproducing the STAMP benchmark's transactional
+/// structure: each transaction adds one point to its nearest centroid's
+/// persistent accumulator (the per-dimension sums plus the membership
+/// count -- 25 writes with 24 dimensions, matching Table 1). Contention
+/// is set by the cluster count: few clusters (high) make concurrent
+/// updates collide; many clusters (low) spread them out, as in Figure
+/// 8(a)/(b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_KMEANS_H
+#define CRAFTY_WORKLOADS_KMEANS_H
+
+#include "workloads/Workload.h"
+
+#include <vector>
+
+namespace crafty {
+
+class KMeansWorkload final : public Workload {
+public:
+  /// \p HighContention selects the 4-cluster (vs 40-cluster) config.
+  explicit KMeansWorkload(bool HighContention)
+      : NumClusters(HighContention ? 4 : 40), High(HighContention) {}
+
+  const char *name() const override {
+    return High ? "kmeans (high contention)" : "kmeans (low contention)";
+  }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr unsigned Dims = 24;
+  static constexpr unsigned NumPoints = 4096;
+
+private:
+  /// Accumulator layout per cluster: [count, sum[0..Dims)], one aligned
+  /// block per cluster.
+  uint64_t *clusterBlock(unsigned C) {
+    return Accums + (size_t)C * BlockWords;
+  }
+  static constexpr size_t BlockWords = 32; // 25 used; cache-line padded.
+
+  unsigned NumClusters;
+  bool High;
+  uint64_t *Accums = nullptr;
+  std::vector<uint32_t> Points;    // NumPoints x Dims coordinates.
+  std::vector<uint32_t> Centroids; // NumClusters x Dims coordinates.
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_KMEANS_H

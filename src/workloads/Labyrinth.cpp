@@ -1,0 +1,94 @@
+//===- workloads/Labyrinth.cpp - labyrinth routing kernel -----------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Labyrinth.h"
+
+#include <string>
+
+using namespace crafty;
+
+void LabyrinthWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  size_t Bytes = (size_t)GridDim * GridDim * 8;
+  Grid = static_cast<uint64_t *>(Pool.carve(Bytes));
+  std::vector<uint8_t> Zero(Bytes, 0);
+  Pool.persistDirect(Grid, Zero.data(), Bytes);
+  Claimed.assign(NumThreads, {});
+  CellsHeld.store(0, std::memory_order_relaxed);
+}
+
+void LabyrinthWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  std::vector<Route> &Mine = Claimed[Tid];
+  bool Release = !Mine.empty() && R.chance(1, 2);
+  if (Release) {
+    Route Rt = Mine.back();
+    Mine.pop_back();
+    size_t Cells = 0;
+    Backend.run(Tid, [&](TxnContext &Tx) {
+      Cells = 0;
+      forEachCell(Rt, [&](unsigned X, unsigned Y) {
+        Tx.store(cell(X, Y), 0);
+        ++Cells;
+      });
+    });
+    CellsHeld.fetch_sub((int64_t)Cells, std::memory_order_relaxed);
+    return;
+  }
+  Route Rt;
+  Rt.Sx = (unsigned)R.nextBounded(GridDim);
+  Rt.Sy = (unsigned)R.nextBounded(GridDim);
+  Rt.Dx = (unsigned)R.nextBounded(GridDim);
+  Rt.Dy = (unsigned)R.nextBounded(GridDim);
+  Rt.Id = ((uint64_t)(Tid + 1) << 48) | R.next() >> 32;
+  bool Ok = false;
+  size_t Cells = 0;
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    // First pass: the route must be entirely free (reads only). A taken
+    // cell turns this into a failed, read-only routing attempt.
+    bool Free = true;
+    forEachCell(Rt, [&](unsigned X, unsigned Y) {
+      if (Tx.load(cell(X, Y)) != 0)
+        Free = false;
+    });
+    Ok = Free;
+    Cells = 0;
+    if (!Free)
+      return;
+    forEachCell(Rt, [&](unsigned X, unsigned Y) {
+      Tx.store(cell(X, Y), Rt.Id);
+      ++Cells;
+    });
+  });
+  if (Ok) {
+    Mine.push_back(Rt);
+    CellsHeld.fetch_add((int64_t)Cells, std::memory_order_relaxed);
+  }
+}
+
+std::string LabyrinthWorkload::verify(unsigned NumThreads,
+                                      uint64_t OpsDone) {
+  int64_t Occupied = 0;
+  for (unsigned Y = 0; Y != GridDim; ++Y)
+    for (unsigned X = 0; X != GridDim; ++X)
+      if (*cell(X, Y) != 0)
+        ++Occupied;
+  int64_t Held = CellsHeld.load(std::memory_order_relaxed);
+  if (Occupied != Held)
+    return "grid holds " + std::to_string(Occupied) +
+           " claimed cells, ledger says " + std::to_string(Held);
+  // Every claimed route must be wholly present with its own id.
+  for (const auto &Stack : Claimed)
+    for (const Route &Rt : Stack) {
+      bool Intact = true;
+      forEachCell(Rt, [&](unsigned X, unsigned Y) {
+        if (*cell(X, Y) != Rt.Id)
+          Intact = false;
+      });
+      if (!Intact)
+        return "a committed route is not wholly present";
+    }
+  return std::string();
+}

@@ -1,0 +1,85 @@
+//===- workloads/Registry.cpp - Workload catalogue ------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/Bank.h"
+#include "workloads/BTree.h"
+#include "workloads/Genome.h"
+#include "workloads/Intruder.h"
+#include "workloads/KMeans.h"
+#include "workloads/Labyrinth.h"
+#include "workloads/Ssca2.h"
+#include "workloads/Vacation.h"
+
+using namespace crafty;
+
+Workload::~Workload() = default;
+
+const char *crafty::workloadKindName(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::BankHigh:
+    return "bank-high";
+  case WorkloadKind::BankMedium:
+    return "bank-medium";
+  case WorkloadKind::BankNone:
+    return "bank-none";
+  case WorkloadKind::BTreeInsert:
+    return "btree-insert";
+  case WorkloadKind::BTreeMixed:
+    return "btree-mixed";
+  case WorkloadKind::KMeansHigh:
+    return "kmeans-high";
+  case WorkloadKind::KMeansLow:
+    return "kmeans-low";
+  case WorkloadKind::VacationHigh:
+    return "vacation-high";
+  case WorkloadKind::VacationLow:
+    return "vacation-low";
+  case WorkloadKind::Labyrinth:
+    return "labyrinth";
+  case WorkloadKind::Ssca2:
+    return "ssca2";
+  case WorkloadKind::Genome:
+    return "genome";
+  case WorkloadKind::Intruder:
+    return "intruder";
+  }
+  CRAFTY_UNREACHABLE("bad workload kind");
+}
+
+std::unique_ptr<Workload> crafty::createWorkload(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::BankHigh:
+    return std::make_unique<BankWorkload>(BankContention::High);
+  case WorkloadKind::BankMedium:
+    return std::make_unique<BankWorkload>(BankContention::Medium);
+  case WorkloadKind::BankNone:
+    return std::make_unique<BankWorkload>(BankContention::None);
+  case WorkloadKind::BTreeInsert:
+    return std::make_unique<BTreeWorkload>(BTreeMix::InsertOnly);
+  case WorkloadKind::BTreeMixed:
+    return std::make_unique<BTreeWorkload>(BTreeMix::Mixed);
+  case WorkloadKind::KMeansHigh:
+    return std::make_unique<KMeansWorkload>(/*HighContention=*/true);
+  case WorkloadKind::KMeansLow:
+    return std::make_unique<KMeansWorkload>(/*HighContention=*/false);
+  case WorkloadKind::VacationHigh:
+    return std::make_unique<VacationWorkload>(/*HighContention=*/true);
+  case WorkloadKind::VacationLow:
+    return std::make_unique<VacationWorkload>(/*HighContention=*/false);
+  case WorkloadKind::Labyrinth:
+    return std::make_unique<LabyrinthWorkload>();
+  case WorkloadKind::Ssca2:
+    return std::make_unique<Ssca2Workload>();
+  case WorkloadKind::Genome:
+    return std::make_unique<GenomeWorkload>();
+  case WorkloadKind::Intruder:
+    return std::make_unique<IntruderWorkload>();
+  }
+  CRAFTY_UNREACHABLE("bad workload kind");
+}

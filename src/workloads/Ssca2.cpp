@@ -1,0 +1,58 @@
+//===- workloads/Ssca2.cpp - ssca2 graph kernel ---------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Ssca2.h"
+
+#include <string>
+#include <vector>
+
+using namespace crafty;
+
+void Ssca2Workload::setup(PMemPool &Pool, unsigned NumThreads) {
+  size_t Bytes = (size_t)NumNodes * BlockWords * 8;
+  Adjacency = static_cast<uint64_t *>(Pool.carve(Bytes));
+  std::vector<uint8_t> Zero(Bytes, 0);
+  Pool.persistDirect(Adjacency, Zero.data(), Bytes);
+  EdgesAdded.store(0, std::memory_order_relaxed);
+}
+
+void Ssca2Workload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  unsigned U = (unsigned)R.nextBounded(NumNodes);
+  unsigned V = (unsigned)R.nextBounded(NumNodes);
+  uint64_t *Block = nodeBlock(U);
+  bool Added = false;
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    uint64_t Degree = Tx.load(&Block[0]);
+    Added = false;
+    if (Degree >= AdjCapacity)
+      return; // Saturated: read-only.
+    Tx.store(&Block[1 + Degree], (uint64_t)V + 1);
+    Tx.store(&Block[0], Degree + 1);
+    Added = true;
+  });
+  if (Added)
+    EdgesAdded.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Ssca2Workload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  uint64_t Total = 0;
+  for (unsigned N = 0; N != NumNodes; ++N) {
+    const uint64_t *Block = nodeBlock(N);
+    uint64_t Degree = Block[0];
+    if (Degree > AdjCapacity)
+      return "node degree exceeds capacity";
+    for (uint64_t I = 0; I != Degree; ++I)
+      if (Block[1 + I] == 0)
+        return "missing neighbor below the recorded degree";
+    Total += Degree;
+  }
+  uint64_t Ledger = EdgesAdded.load(std::memory_order_relaxed);
+  if (Total != Ledger)
+    return "graph holds " + std::to_string(Total) + " edges, ledger says " +
+           std::to_string(Ledger);
+  return std::string();
+}

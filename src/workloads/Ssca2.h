@@ -1,0 +1,48 @@
+//===- workloads/Ssca2.h - ssca2 graph kernel ------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A graph-construction kernel reproducing STAMP ssca2's transactional
+/// structure: tiny transactions appending one edge to a node's adjacency
+/// list (two writes -- Table 1 reports 2.0), with very low contention
+/// because endpoints are drawn uniformly from a large node set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_SSCA2_H
+#define CRAFTY_WORKLOADS_SSCA2_H
+
+#include "workloads/Workload.h"
+
+#include <atomic>
+
+namespace crafty {
+
+class Ssca2Workload final : public Workload {
+public:
+  const char *name() const override { return "ssca2"; }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr unsigned NumNodes = 1 << 14;
+  static constexpr unsigned AdjCapacity = 22;
+
+private:
+  /// Per node: [0] degree, [1 .. AdjCapacity] neighbors (stored + 1).
+  uint64_t *nodeBlock(unsigned N) {
+    return Adjacency + (size_t)N * BlockWords;
+  }
+  static constexpr size_t BlockWords = 24; // 64-byte multiple.
+
+  uint64_t *Adjacency = nullptr;
+  std::atomic<uint64_t> EdgesAdded{0};
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_SSCA2_H

@@ -1,0 +1,98 @@
+//===- workloads/Vacation.cpp - vacation reservation kernel ---------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Vacation.h"
+
+#include <string>
+
+using namespace crafty;
+
+void VacationWorkload::setup(PMemPool &Pool, unsigned NumThreads) {
+  Resources = static_cast<uint64_t *>(
+      Pool.carve((size_t)NumTables * RowsPerTable * CacheLineBytes));
+  Customers = static_cast<uint64_t *>(
+      Pool.carve((size_t)NumCustomers * CacheLineBytes));
+  for (unsigned T = 0; T != NumTables; ++T)
+    for (unsigned R = 0; R != RowsPerTable; ++R) {
+      uint64_t Free = InitialFree, P = Price;
+      Pool.persistDirect(&rowWord(T, R)[0], &Free, sizeof(Free));
+      Pool.persistDirect(&rowWord(T, R)[1], &P, sizeof(P));
+    }
+  for (unsigned C = 0; C != NumCustomers; ++C) {
+    uint64_t Zero = 0;
+    Pool.persistDirect(&customerWord(C)[0], &Zero, sizeof(Zero));
+    Pool.persistDirect(&customerWord(C)[1], &Zero, sizeof(Zero));
+  }
+}
+
+void VacationWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
+  // 20% of operations are cancellations (as in STAMP vacation's
+  // make/cancel mix): return one seat and refund the customer.
+  if (R.chance(1, 5)) {
+    unsigned Customer = (unsigned)R.nextBounded(NumCustomers);
+    unsigned Table = (unsigned)R.nextBounded(NumTables);
+    unsigned Row = (unsigned)R.nextBounded(High ? 64 : RowsPerTable);
+    Backend.run(Tid, [&](TxnContext &Tx) {
+      uint64_t *Cust = customerWord(Customer);
+      uint64_t Held = Tx.load(&Cust[1]);
+      if (Held == 0)
+        return; // Nothing to cancel: read-only.
+      uint64_t *Res = rowWord(Table, Row);
+      Tx.store(&Res[0], Tx.load(&Res[0]) + 1);
+      Tx.store(&Cust[0], Tx.load(&Cust[0]) - Tx.load(&Res[1]));
+      Tx.store(&Cust[1], Held - 1);
+    });
+    return;
+  }
+  // High contention: 6 bookings from a 64-row hot range; low: 3 or 4
+  // bookings across the whole table (Table 1: 8 vs 5.5 writes/txn,
+  // counting the two customer words).
+  unsigned Bookings = High ? 6 : (3 + (unsigned)R.nextBounded(2));
+  unsigned Range = High ? 64 : RowsPerTable;
+  unsigned Customer = (unsigned)R.nextBounded(NumCustomers);
+  unsigned Table[8], Row[8];
+  for (unsigned I = 0; I != Bookings; ++I) {
+    Table[I] = (unsigned)R.nextBounded(NumTables);
+    Row[I] = (unsigned)R.nextBounded(Range);
+  }
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    uint64_t Charged = 0;
+    uint64_t Booked = 0;
+    for (unsigned I = 0; I != Bookings; ++I) {
+      uint64_t *Res = rowWord(Table[I], Row[I]);
+      uint64_t Free = Tx.load(&Res[0]);
+      if (Free == 0)
+        continue;
+      Tx.store(&Res[0], Free - 1);
+      Charged += Tx.load(&Res[1]);
+      ++Booked;
+    }
+    if (Booked == 0)
+      return; // Nothing available: read-only transaction.
+    uint64_t *Cust = customerWord(Customer);
+    Tx.store(&Cust[0], Tx.load(&Cust[0]) + Charged);
+    Tx.store(&Cust[1], Tx.load(&Cust[1]) + Booked);
+  });
+}
+
+std::string VacationWorkload::verify(unsigned NumThreads, uint64_t OpsDone) {
+  uint64_t SeatsSold = 0;
+  for (unsigned T = 0; T != NumTables; ++T)
+    for (unsigned R = 0; R != RowsPerTable; ++R)
+      SeatsSold += InitialFree - rowWord(T, R)[0];
+  uint64_t Reservations = 0, Spent = 0;
+  for (unsigned C = 0; C != NumCustomers; ++C) {
+    Spent += customerWord(C)[0];
+    Reservations += customerWord(C)[1];
+  }
+  if (SeatsSold != Reservations)
+    return "seats sold " + std::to_string(SeatsSold) +
+           " != customer reservations " + std::to_string(Reservations);
+  if (Spent != SeatsSold * Price)
+    return "customer spend inconsistent with bookings";
+  return std::string();
+}

@@ -1,0 +1,62 @@
+//===- workloads/Vacation.h - vacation reservation kernel ------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A travel-reservation kernel reproducing STAMP vacation's transactional
+/// structure: each transaction books a handful of resources (cars,
+/// flights, rooms) for a customer, decrementing availability and charging
+/// the customer. The high-contention configuration books more resources
+/// per transaction from a small hot range; the low-contention one books
+/// fewer across the whole table (Figure 8(c)/(d); Table 1 reports 8 and
+/// 5.5 writes per transaction respectively).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_VACATION_H
+#define CRAFTY_WORKLOADS_VACATION_H
+
+#include "workloads/Workload.h"
+
+namespace crafty {
+
+class VacationWorkload final : public Workload {
+public:
+  explicit VacationWorkload(bool HighContention) : High(HighContention) {}
+
+  const char *name() const override {
+    return High ? "vacation (high contention)"
+                : "vacation (low contention)";
+  }
+  void setup(PMemPool &Pool, unsigned NumThreads) override;
+  void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) override;
+  std::string verify(unsigned NumThreads, uint64_t OpsDone) override;
+
+  static constexpr unsigned NumTables = 3; // Cars, flights, rooms.
+  static constexpr unsigned RowsPerTable = 1024;
+  static constexpr unsigned NumCustomers = 4096;
+  static constexpr uint64_t InitialFree = 1u << 30;
+  static constexpr uint64_t Price = 50;
+
+private:
+  // One cache line per row: [0] free seats, [1] price.
+  uint64_t *rowWord(unsigned Table, unsigned Row) {
+    return Resources +
+           ((size_t)Table * RowsPerTable + Row) * (CacheLineBytes / 8);
+  }
+  // One cache line per customer: [0] balance(signed), [1] reservations.
+  uint64_t *customerWord(unsigned C) {
+    return Customers + (size_t)C * (CacheLineBytes / 8);
+  }
+
+  bool High;
+  uint64_t *Resources = nullptr;
+  uint64_t *Customers = nullptr;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_VACATION_H

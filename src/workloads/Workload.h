@@ -1,0 +1,95 @@
+//===- workloads/Workload.h - Benchmark workload interface -----*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload interface used by the evaluation harness and benches. A
+/// workload lays out persistent data in the pool at setup, then worker
+/// threads repeatedly call runOp, each op issuing one (or more)
+/// persistent transactions through the backend-generic PtmBackend
+/// interface -- the same methodology as the paper's Section 7.1, where
+/// every configuration runs identical benchmark code.
+///
+/// The catalogue mirrors the paper's evaluated programs: the bank and
+/// B+tree microbenchmarks and self-contained kernels reproducing the
+/// transactional structure of the STAMP benchmarks (see DESIGN.md for the
+/// substitution rationale). Table 1's writes-per-transaction profile is
+/// the calibration target for each kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_WORKLOADS_WORKLOAD_H
+#define CRAFTY_WORKLOADS_WORKLOAD_H
+
+#include "core/Ptm.h"
+#include "pmem/PMemPool.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+
+namespace crafty {
+
+/// A benchmark workload; one instance drives all threads of one run.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Display name, e.g. "bank (high contention)".
+  virtual const char *name() const = 0;
+
+  /// Bytes of allocator arena each thread needs (0 if none).
+  virtual size_t arenaBytesPerThread() const { return 0; }
+
+  /// Lays out persistent data; called once before threads start.
+  virtual void setup(PMemPool &Pool, unsigned NumThreads) = 0;
+
+  /// Executes one operation (one or more persistent transactions) on
+  /// behalf of worker \p Tid. \p R is the worker's private generator.
+  virtual void runOp(PtmBackend &Backend, unsigned Tid, Rng &R) = 0;
+
+  /// Checks workload invariants after a run (and after quiesce); returns
+  /// an empty string on success, else a description of the violation.
+  virtual std::string verify(unsigned NumThreads, uint64_t OpsDone) {
+    return std::string();
+  }
+};
+
+/// The evaluated workload configurations, one per figure/panel.
+enum class WorkloadKind : uint8_t {
+  BankHigh,       // Fig. 6(a): 1024 accounts.
+  BankMedium,     // Fig. 6(b): 4096 accounts.
+  BankNone,       // Fig. 6(c): partitioned accounts.
+  BTreeInsert,    // Fig. 7(a): insert only.
+  BTreeMixed,     // Fig. 7(b): lookup/insert/remove.
+  KMeansHigh,     // Fig. 8(a).
+  KMeansLow,      // Fig. 8(b).
+  VacationHigh,   // Fig. 8(c).
+  VacationLow,    // Fig. 8(d).
+  Labyrinth,      // Fig. 8(e).
+  Ssca2,          // Fig. 8(f).
+  Genome,         // Fig. 8(g).
+  Intruder,       // Fig. 8(h).
+};
+
+inline constexpr WorkloadKind AllWorkloads[] = {
+    WorkloadKind::BankHigh,     WorkloadKind::BankMedium,
+    WorkloadKind::BankNone,     WorkloadKind::BTreeInsert,
+    WorkloadKind::BTreeMixed,   WorkloadKind::KMeansHigh,
+    WorkloadKind::KMeansLow,    WorkloadKind::VacationHigh,
+    WorkloadKind::VacationLow,  WorkloadKind::Labyrinth,
+    WorkloadKind::Ssca2,        WorkloadKind::Genome,
+    WorkloadKind::Intruder,
+};
+
+const char *workloadKindName(WorkloadKind Kind);
+
+/// Creates a workload instance of the requested kind.
+std::unique_ptr<Workload> createWorkload(WorkloadKind Kind);
+
+} // namespace crafty
+
+#endif // CRAFTY_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,350 @@
+//===- tests/BaselinesTest.cpp - Baseline backend tests -------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the Non-durable, NV-HTM and DudeTM baselines through the
+// backend-generic interface, including the mechanisms the paper's
+// analysis hinges on: NV-HTM's commit fence and checkpointer, and
+// DudeTM's in-transaction global counter serializing writers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+namespace {
+
+struct BackendFixture {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  std::unique_ptr<PtmBackend> Backend;
+
+  BackendFixture(SystemKind Kind, unsigned Threads,
+                 size_t ArenaBytes = 0)
+      : Pool(poolConfig()), Htm(HtmConfig()) {
+    BackendOptions O;
+    O.NumThreads = Threads;
+    O.ArenaBytesPerThread = ArenaBytes;
+    O.LogEntriesPerThread = 1 << 12;
+    Backend = createBackend(Kind, Pool, Htm, O);
+  }
+
+  static PMemConfig poolConfig() {
+    PMemConfig PC;
+    PC.PoolBytes = 96 << 20;
+    PC.Mode = PMemMode::LatencyOnly;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+};
+
+class AllBackends : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(AllBackends, SingleThreadBasics) {
+  BackendFixture F(GetParam(), 1);
+  auto *Data = static_cast<uint64_t *>(F.Pool.carve(256));
+  F.Backend->run(0, [&](TxnContext &Tx) {
+    Tx.store(&Data[0], 7);
+    Tx.store(&Data[8], Tx.load(&Data[0]) * 2);
+  });
+  F.Backend->run(0, [&](TxnContext &Tx) {
+    Tx.store(&Data[16], Tx.load(&Data[8]) + 1);
+  });
+  F.Backend->quiesce();
+  EXPECT_EQ(Data[0], 7u);
+  EXPECT_EQ(Data[8], 14u);
+  EXPECT_EQ(Data[16], 15u);
+  EXPECT_EQ(F.Backend->txnStats().transactions(), 2u);
+  EXPECT_EQ(F.Backend->txnStats().Writes, 3u);
+}
+
+TEST_P(AllBackends, MultithreadedCounterIsExact) {
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 400;
+  BackendFixture F(GetParam(), NumThreads);
+  auto *Counter = static_cast<uint64_t *>(F.Pool.carve(64));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        F.Backend->run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  F.Backend->quiesce();
+  EXPECT_EQ(*Counter, NumThreads * PerThread);
+}
+
+TEST_P(AllBackends, AllocationAndFree) {
+  BackendFixture F(GetParam(), 1, /*ArenaBytes=*/64 << 10);
+  auto *Slot = static_cast<uint64_t *>(F.Pool.carve(64));
+  F.Backend->run(0, [&](TxnContext &Tx) {
+    auto *Node = static_cast<uint64_t *>(Tx.alloc(16));
+    ASSERT_NE(Node, nullptr);
+    Tx.store(&Node[0], 99);
+    Tx.store(Slot, reinterpret_cast<uint64_t>(Node));
+  });
+  F.Backend->quiesce();
+  auto *Node = reinterpret_cast<uint64_t *>(*Slot);
+  ASSERT_NE(Node, nullptr);
+  EXPECT_EQ(Node[0], 99u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, AllBackends,
+                         ::testing::ValuesIn(AllSystems),
+                         [](const auto &Info) {
+                           std::string N = systemKindName(Info.param);
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(NvHtm, ReadOnlyTransactionsSkipTheFence) {
+  BackendFixture F(SystemKind::NvHtm, 2);
+  auto *Data = static_cast<uint64_t *>(F.Pool.carve(64));
+  uint64_t Seen = 1;
+  F.Backend->run(0, [&](TxnContext &Tx) { Seen = Tx.load(&Data[0]); });
+  EXPECT_EQ(Seen, 0u);
+  EXPECT_EQ(F.Backend->txnStats().transactions(), 1u);
+}
+
+TEST(NvHtm, CheckpointerAppliesInTimestampOrder) {
+  // Many writing transactions from two threads; after quiesce the
+  // checkpointer must have applied them all.
+  BackendFixture F(SystemKind::NvHtm, 2);
+  auto *Data = static_cast<uint64_t *>(F.Pool.carve(64));
+  std::thread A([&] {
+    for (int I = 0; I != 200; ++I)
+      F.Backend->run(0, [&](TxnContext &Tx) {
+        Tx.store(&Data[0], Tx.load(&Data[0]) + 1);
+      });
+  });
+  std::thread B([&] {
+    for (int I = 0; I != 200; ++I)
+      F.Backend->run(1, [&](TxnContext &Tx) {
+        Tx.store(&Data[0], Tx.load(&Data[0]) + 1);
+      });
+  });
+  A.join();
+  B.join();
+  F.Backend->quiesce();
+  EXPECT_EQ(Data[0], 400u);
+  PMemStats S = F.Pool.stats();
+  EXPECT_GT(S.DrainsWithWork, 0u) << "checkpointer persists batches";
+}
+
+TEST(DudeTm, WritersSerializeOnTheGlobalCounter) {
+  // Two overlapping single-thread writers: both commit, and the hardware
+  // abort statistics must show conflicts induced by the counter even
+  // though the program data is disjoint (one writer per line).
+  BackendFixture F(SystemKind::DudeTm, 2);
+  auto *Data = static_cast<uint64_t *>(F.Pool.carve(2 * CacheLineBytes));
+  constexpr int Ops = 500;
+  std::thread A([&] {
+    for (int I = 0; I != Ops; ++I)
+      F.Backend->run(0, [&](TxnContext &Tx) {
+        Tx.store(&Data[0], Tx.load(&Data[0]) + 1);
+      });
+  });
+  std::thread B([&] {
+    for (int I = 0; I != Ops; ++I)
+      F.Backend->run(1, [&](TxnContext &Tx) {
+        Tx.store(&Data[8], Tx.load(&Data[8]) + 1);
+      });
+  });
+  A.join();
+  B.join();
+  F.Backend->quiesce();
+  EXPECT_EQ(Data[0], (uint64_t)Ops);
+  EXPECT_EQ(Data[8], (uint64_t)Ops);
+}
+
+TEST(DudeTm, DisjointReadOnlyTransactionsDoNotConflict) {
+  BackendFixture F(SystemKind::DudeTm, 1);
+  auto *Data = static_cast<uint64_t *>(F.Pool.carve(64));
+  for (int I = 0; I != 10; ++I) {
+    uint64_t V = ~0ull;
+    F.Backend->run(0, [&](TxnContext &Tx) { V = Tx.load(&Data[0]); });
+    EXPECT_EQ(V, 0u);
+  }
+  EXPECT_EQ(F.Backend->htmStats().aborts(), 0u);
+}
+
+} // namespace
+
+namespace {
+
+// Regression: an SGL section's direct accesses must serialize against
+// in-flight hardware-transaction write-backs (a plain load once could
+// observe the middle of a commit and lose its update).
+TEST(SglRace, FrequentFallbackPreservesAtomicity) {
+  PMemConfig PC = BackendFixture::poolConfig();
+  PMemPool Pool(PC);
+  HtmConfig HC;
+  HC.SpuriousAbortPerMillion = 30000; // Frequent spurious aborts...
+  HtmRuntime Htm(HC);
+  BackendOptions O;
+  O.NumThreads = 6;
+  O.SglAttemptThreshold = 2; // ...quickly falling back to the SGL.
+  std::unique_ptr<PtmBackend> Backend =
+      createBackend(SystemKind::NonDurable, Pool, Htm, O);
+  constexpr unsigned NumAccounts = 32;
+  auto *Accounts =
+      static_cast<uint64_t *>(Pool.carve(NumAccounts * CacheLineBytes));
+  for (unsigned I = 0; I != NumAccounts; ++I)
+    Accounts[I * 8] = 1000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 6; ++T)
+    Threads.emplace_back([&, T] {
+      Rng R(T + 21);
+      for (int I = 0; I != 1200; ++I) {
+        unsigned From = (unsigned)R.nextBounded(NumAccounts);
+        unsigned To = (unsigned)((From + 1 + R.nextBounded(NumAccounts - 1)) %
+                                 NumAccounts);
+        Backend->run(T, [&](TxnContext &Tx) {
+          Tx.store(&Accounts[From * 8], Tx.load(&Accounts[From * 8]) - 1);
+          Tx.store(&Accounts[To * 8], Tx.load(&Accounts[To * 8]) + 1);
+        });
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  Backend->quiesce();
+  EXPECT_GT(Backend->txnStats().Sgl, 0u) << "the fallback must be hit";
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != NumAccounts; ++I)
+    Total += Accounts[I * 8];
+  EXPECT_EQ(Total, 1000u * NumAccounts);
+}
+
+} // namespace
+
+#include "baselines/NvHtm.h"
+#include "baselines/NvHtmRecovery.h"
+
+namespace {
+
+// NV-HTM crash recovery: replay COMMIT-marked redo records forward.
+TEST(NvHtmRecovery, SingleThreadPrefixReplay) {
+  PMemConfig PC;
+  PC.PoolBytes = 32 << 20;
+  PC.Mode = PMemMode::Tracked;
+  PC.DrainLatencyNs = 0;
+  PMemPool Pool(PC);
+  HtmRuntime Htm{HtmConfig{}};
+  NvHtmBackend Backend(Pool, Htm, 1);
+  auto *Counter = static_cast<uint64_t *>(Pool.carve(64));
+  constexpr uint64_t N = 30;
+  for (uint64_t I = 0; I != N; ++I)
+    Backend.run(0, [&](TxnContext &Tx) {
+      Tx.store(Counter, Tx.load(Counter) + 1);
+    });
+  Backend.quiesce();
+  Pool.crash();
+  NvHtmRecoveryReport Rep = replayNvHtmPool(Pool, Backend.layoutOffset());
+  ASSERT_TRUE(Rep.HeaderValid);
+  // The last transaction's COMMIT marker was flushed but never drained:
+  // recovery replays exactly the first N-1 transactions.
+  EXPECT_EQ(Rep.RecordsReplayed, N - 1);
+  EXPECT_EQ(Rep.TailRecords, 1u);
+  EXPECT_EQ(*Counter, N - 1);
+}
+
+TEST(NvHtmRecovery, MultithreadedTransfersReplayConsistently) {
+  PMemConfig PC;
+  PC.PoolBytes = 64 << 20;
+  PC.Mode = PMemMode::Tracked;
+  PC.DrainLatencyNs = 0;
+  PMemPool Pool(PC);
+  HtmRuntime Htm{HtmConfig{}};
+  NvHtmBackend Backend(Pool, Htm, 3, /*ArenaBytesPerThread=*/0,
+                       /*LogBytesPerThread=*/8 << 20);
+  constexpr unsigned NumAccounts = 32;
+  auto *Accounts =
+      static_cast<uint64_t *>(Pool.carve(NumAccounts * CacheLineBytes));
+  for (unsigned I = 0; I != NumAccounts; ++I) {
+    uint64_t V = 1000;
+    Pool.persistDirect(&Accounts[I * 8], &V, sizeof(V));
+  }
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 3; ++T)
+    Threads.emplace_back([&, T] {
+      Rng R(T + 41);
+      for (int I = 0; I != 400; ++I) {
+        unsigned From = (unsigned)R.nextBounded(NumAccounts);
+        unsigned To = (unsigned)((From + 1 + R.nextBounded(NumAccounts - 1)) %
+                                 NumAccounts);
+        Backend.run(T, [&](TxnContext &Tx) {
+          Tx.store(&Accounts[From * 8], Tx.load(&Accounts[From * 8]) - 3);
+          Tx.store(&Accounts[To * 8], Tx.load(&Accounts[To * 8]) + 3);
+        });
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  Backend.quiesce();
+  Pool.crash();
+  NvHtmRecoveryReport Rep = replayNvHtmPool(Pool, Backend.layoutOffset());
+  ASSERT_TRUE(Rep.HeaderValid);
+  EXPECT_GT(Rep.RecordsReplayed, 0u);
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != NumAccounts; ++I)
+    Total += Accounts[I * 8];
+  EXPECT_EQ(Total, 1000u * NumAccounts)
+      << "the replayed prefix must be transaction consistent";
+}
+
+TEST(NvHtmRecovery, GarbageLayoutIsRejected) {
+  std::vector<uint8_t> Image(4096, 0xCD);
+  NvHtmRecoveryReport Rep = replayNvHtmImage(Image.data(), Image.size(), 0);
+  EXPECT_FALSE(Rep.HeaderValid);
+}
+
+} // namespace
+
+#include "baselines/DudeTm.h"
+
+namespace {
+
+TEST(DudeTmRecovery, DensePrefixReplay) {
+  PMemConfig PC;
+  PC.PoolBytes = 64 << 20;
+  PC.Mode = PMemMode::Tracked;
+  PC.DrainLatencyNs = 0;
+  PMemPool Pool(PC);
+  HtmRuntime Htm{HtmConfig{}};
+  DudeTmBackend Backend(Pool, Htm, 2);
+  auto *Counter = static_cast<uint64_t *>(Pool.carve(64));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 2; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != 200; ++I)
+        Backend.run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  Backend.quiesce();
+  Pool.crash();
+  NvHtmRecoveryReport Rep = replayNvHtmPool(Pool, Backend.layoutOffset());
+  ASSERT_TRUE(Rep.HeaderValid);
+  // The persist stage drains every record, so all 400 transactions are
+  // marked and replay in dense timestamp order.
+  EXPECT_EQ(Rep.RecordsReplayed, 400u);
+  EXPECT_EQ(*Counter, 400u);
+}
+
+} // namespace

@@ -1,0 +1,464 @@
+//===- tests/HtmTest.cpp - HTM emulation unit tests -----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the four HTM properties the Crafty algorithms rely on:
+// atomicity/isolation, write buffering until commit, abort discarding all
+// writes, and the abort taxonomy (conflict / capacity / explicit / zero).
+//
+//===----------------------------------------------------------------------===//
+
+#include "htm/Htm.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+namespace {
+
+class HtmTest : public ::testing::Test {
+protected:
+  HtmConfig Cfg;
+  std::unique_ptr<HtmRuntime> Rt;
+
+  void makeRuntime() { Rt = std::make_unique<HtmRuntime>(Cfg); }
+};
+
+TEST_F(HtmTest, CommitPublishesWrites) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 1, Y = 2;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 10);
+    T.store(&Y, T.load(&X) + 10); // Read-own-write.
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(X, 10u);
+  EXPECT_EQ(Y, 20u);
+  EXPECT_GT(R.CommitVersion, 0u);
+  EXPECT_EQ(Tx.stats().Commits, 1u);
+}
+
+TEST_F(HtmTest, WritesInvisibleBeforeCommit) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 7;
+  runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 99);
+    // Memory must still hold the old value while the transaction runs.
+    EXPECT_EQ(__atomic_load_n(&X, __ATOMIC_RELAXED), 7u);
+  });
+  EXPECT_EQ(X, 99u);
+}
+
+TEST_F(HtmTest, ExplicitAbortDiscardsWrites) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 7;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 99);
+    T.abortExplicit(42);
+  });
+  ASSERT_FALSE(R.Committed);
+  EXPECT_EQ(R.Code, AbortCode::Explicit);
+  EXPECT_EQ(R.UserCode, 42u);
+  EXPECT_EQ(X, 7u);
+  EXPECT_EQ(Tx.stats().AbortExplicit, 1u);
+}
+
+TEST_F(HtmTest, RollbackInsideTransactionCommitsOriginalValues) {
+  // The nondestructive-undo-logging pattern: write, then undo in reverse,
+  // then commit. Memory must be unchanged afterwards.
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 5, Y = 6;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 50);
+    T.store(&Y, 60);
+    EXPECT_EQ(T.load(&X), 50u);
+    T.store(&Y, 6); // Roll back in reverse order.
+    T.store(&X, 5);
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(X, 5u);
+  EXPECT_EQ(Y, 6u);
+}
+
+TEST_F(HtmTest, ConflictingCommitAbortsReader) {
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) uint64_t X = 0, Out = 0;
+  // A reads X, then B commits a write to X, then A tries to commit a
+  // dependent write: A must abort (its snapshot is stale).
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    uint64_t V = T.load(&X);
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) { T2.store(&X, 1); });
+    ASSERT_TRUE(RB.Committed);
+    T.store(&Out, V + 1);
+  });
+  EXPECT_FALSE(RA.Committed);
+  EXPECT_EQ(RA.Code, AbortCode::Conflict);
+  EXPECT_EQ(Out, 0u);
+}
+
+TEST_F(HtmTest, StaleReadAbortsImmediately) {
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) uint64_t X = 0;
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    // Start the snapshot: a harmless read.
+    alignas(64) static uint64_t Dummy = 0;
+    T.load(&Dummy);
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) { T2.store(&X, 1); });
+    ASSERT_TRUE(RB.Committed);
+    T.load(&X); // Newer than our snapshot: abort here.
+    FAIL() << "load of a stale line must abort";
+  });
+  EXPECT_FALSE(RA.Committed);
+  EXPECT_EQ(RA.Code, AbortCode::Conflict);
+}
+
+TEST_F(HtmTest, NonTxStoreAbortsConflictingReader) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t Sgl = 0, Data = 0;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    EXPECT_EQ(T.load(&Sgl), 0u); // Subscribe to the SGL word.
+    Rt->nonTxStore(&Sgl, 1);     // Lock acquired by another thread.
+    T.store(&Data, 1);
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(Data, 0u);
+  EXPECT_EQ(Rt->nonTxLoad(&Sgl), 1u);
+}
+
+TEST_F(HtmTest, NonTxCasSemantics) {
+  makeRuntime();
+  alignas(64) uint64_t W = 0;
+  EXPECT_TRUE(Rt->nonTxCas(&W, 0, 1));
+  EXPECT_FALSE(Rt->nonTxCas(&W, 0, 2));
+  EXPECT_EQ(Rt->nonTxLoad(&W), 1u);
+  EXPECT_TRUE(Rt->nonTxCas(&W, 1, 0));
+  EXPECT_EQ(Rt->nonTxLoad(&W), 0u);
+}
+
+TEST_F(HtmTest, WriteCapacityAbort) {
+  Cfg.MaxWriteSetLines = 4;
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  std::vector<uint64_t> Data(64 * 8, 0); // Plenty of cache lines.
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    for (size_t I = 0; I < Data.size(); I += 8) // One word per line.
+      T.store(&Data[I], I);
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.Code, AbortCode::Capacity);
+  for (uint64_t V : Data)
+    EXPECT_EQ(V, 0u);
+}
+
+TEST_F(HtmTest, ReadCapacityAbort) {
+  Cfg.MaxReadSetLines = 4;
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  std::vector<uint64_t> Data(64 * 8, 0);
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    uint64_t Sum = 0;
+    for (size_t I = 0; I < Data.size(); I += 8)
+      Sum += T.load(&Data[I]);
+    (void)Sum;
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.Code, AbortCode::Capacity);
+}
+
+TEST_F(HtmTest, SpuriousAbortInjection) {
+  Cfg.SpuriousAbortPerMillion = 1000000; // Always.
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 0;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) { T.store(&X, 1); });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.Code, AbortCode::Zero);
+}
+
+TEST_F(HtmTest, StoreCommitVersionWritesSerializationTimestamp) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t Ts = 0, Shifted = 0, X = 0;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 1);
+    T.storeCommitVersion(&Ts);
+    T.storeCommitVersion(&Shifted, 1, 1);
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(Ts, R.CommitVersion);
+  EXPECT_EQ(Shifted, (R.CommitVersion << 1) | 1);
+  // Commit versions strictly increase across writing transactions.
+  TxResult R2 = runHtmTx(Tx, [&](HtmTx &T) { T.store(&X, 2); });
+  ASSERT_TRUE(R2.Committed);
+  EXPECT_GT(R2.CommitVersion, R.CommitVersion);
+}
+
+TEST_F(HtmTest, ReadOnlyCommitNeedsNoClockTick) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 3;
+  uint64_t Before = Rt->globalClock();
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) { EXPECT_EQ(T.load(&X), 3u); });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(Rt->globalClock(), Before);
+}
+
+TEST_F(HtmTest, CommitFenceHookRunsBeforeWriteback) {
+  makeRuntime();
+  struct HookState {
+    uint64_t *Target = nullptr;
+    uint64_t SeenAtFence = ~0ull;
+    int Fences = 0;
+    int Stores = 0;
+  } State;
+  alignas(64) uint64_t X = 0;
+  State.Target = &X;
+  MemoryHooks Hooks;
+  Hooks.Ctx = &State;
+  Hooks.OnCommitFence = [](void *Ctx, uint32_t) {
+    auto *S = static_cast<HookState *>(Ctx);
+    ++S->Fences;
+    S->SeenAtFence = __atomic_load_n(S->Target, __ATOMIC_RELAXED);
+  };
+  Hooks.OnStore = [](void *Ctx, void *) {
+    ++static_cast<HookState *>(Ctx)->Stores;
+  };
+  Rt->setMemoryHooks(Hooks);
+  HtmTx Tx(*Rt, 0);
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) { T.store(&X, 5); });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(State.Fences, 1);
+  EXPECT_EQ(State.Stores, 1);
+  EXPECT_EQ(State.SeenAtFence, 0u) << "fence must precede write-back";
+}
+
+TEST_F(HtmTest, MultithreadedCounterIsExact) {
+  makeRuntime();
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 2000;
+  alignas(64) static uint64_t Counter;
+  Counter = 0;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([this, T] {
+      HtmTx Tx(*Rt, T);
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        for (;;) {
+          TxResult R = runHtmTx(Tx, [&](HtmTx &Txn) {
+            Txn.store(&Counter, Txn.load(&Counter) + 1);
+          });
+          if (R.Committed)
+            break;
+        }
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Counter, NumThreads * PerThread);
+}
+
+TEST_F(HtmTest, MultithreadedTransfersConserveTotal) {
+  makeRuntime();
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned NumAccounts = 32;
+  constexpr uint64_t PerThread = 1500;
+  struct alignas(64) Account {
+    uint64_t Balance;
+  };
+  static Account Accounts[NumAccounts];
+  for (auto &A : Accounts)
+    A.Balance = 100;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([this, T] {
+      HtmTx Tx(*Rt, T);
+      Rng R(T + 17);
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        unsigned From = R.nextBounded(NumAccounts);
+        unsigned To = (From + 1 + R.nextBounded(NumAccounts - 1)) %
+                      NumAccounts; // Distinct from From.
+        for (;;) {
+          TxResult Res = runHtmTx(Tx, [&](HtmTx &Txn) {
+            uint64_t F = Txn.load(&Accounts[From].Balance);
+            uint64_t G = Txn.load(&Accounts[To].Balance);
+            Txn.store(&Accounts[From].Balance, F - 1);
+            Txn.store(&Accounts[To].Balance, G + 1);
+          });
+          if (Res.Committed)
+            break;
+        }
+      }
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  uint64_t Total = 0;
+  for (auto &A : Accounts)
+    Total += A.Balance;
+  EXPECT_EQ(Total, 100u * NumAccounts);
+}
+
+// Conflict granularity: with word-granular detection, writes to different
+// words of one cache line do not conflict; with line granularity they do.
+TEST_F(HtmTest, GranularityAblation) {
+  Cfg.ConflictGranularityShift = 3; // Word granularity.
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) uint64_t Line[8] = {};
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    T.load(&Line[0]);
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) { T2.store(&Line[7], 1); });
+    ASSERT_TRUE(RB.Committed);
+    T.store(&Line[1], 2);
+  });
+  EXPECT_TRUE(RA.Committed) << "word granularity: no false sharing";
+}
+
+} // namespace
+
+namespace {
+
+TEST_F(HtmTest, StreamingStoresCommitAtomically) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) static uint64_t Log[8];
+  for (auto &W : Log)
+    W = 0;
+  alignas(64) uint64_t Data = 0;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.storeStream(&Log[0], 11);
+    T.storeStream(&Log[1], 22);
+    T.store(&Data, 33);
+    EXPECT_EQ(__atomic_load_n(&Log[0], __ATOMIC_RELAXED), 0u)
+        << "streaming stores stay buffered until commit";
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(Log[0], 11u);
+  EXPECT_EQ(Log[1], 22u);
+  EXPECT_EQ(Data, 33u);
+}
+
+TEST_F(HtmTest, StreamingStoresDiscardedOnAbort) {
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  alignas(64) static uint64_t Log[2];
+  Log[0] = Log[1] = 7;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.storeStream(&Log[0], 99);
+    T.abortExplicit(5);
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(Log[0], 7u);
+}
+
+TEST_F(HtmTest, StreamingStoresConflictLikeNormalStores) {
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) static uint64_t Slot;
+  Slot = 0;
+  // A streams a write to Slot; before A commits, B reads Slot and
+  // commits a dependent write: exactly one order survives. Here B
+  // commits first, so A's commit must still succeed (write-write only);
+  // then flip it: A commits first while B holds a stale read -> B aborts.
+  TxResult RB = runHtmTx(TxB, [&](HtmTx &T) {
+    T.load(&Slot);
+    TxResult RA = runHtmTx(TxA, [&](HtmTx &T2) {
+      T2.storeStream(&Slot, 1);
+    });
+    ASSERT_TRUE(RA.Committed);
+    T.store(&Slot, 2); // Stale snapshot: must fail validation.
+  });
+  EXPECT_FALSE(RB.Committed);
+  EXPECT_EQ(RB.Code, AbortCode::Conflict);
+  EXPECT_EQ(Slot, 1u);
+}
+
+TEST_F(HtmTest, StreamingStoresCountTowardCapacity) {
+  Cfg.MaxWriteSetLines = 2;
+  makeRuntime();
+  HtmTx Tx(*Rt, 0);
+  static uint64_t Lines[8 * 8];
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    for (unsigned I = 0; I != 8; ++I)
+      T.storeStream(&Lines[I * 8], I); // One cache line each.
+  });
+  EXPECT_FALSE(R.Committed);
+  EXPECT_EQ(R.Code, AbortCode::Capacity);
+}
+
+TEST_F(HtmTest, NonTxLoadNeverObservesMidCommit) {
+  // A committer that writes two words of an invariant (sum constant)
+  // with its write-back raced by non-transactional readers: every read
+  // pair must satisfy the invariant thanks to stripe-consistent loads.
+  makeRuntime();
+  struct alignas(64) Pair {
+    uint64_t A;
+  };
+  static Pair P[2];
+  P[0].A = 500;
+  P[1].A = 500;
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    HtmTx Tx(*Rt, 0);
+    for (int I = 0; I != 4000; ++I) {
+      runHtmTx(Tx, [&](HtmTx &T) {
+        uint64_t X = T.load(&P[0].A);
+        uint64_t Y = T.load(&P[1].A);
+        T.store(&P[0].A, X - 1);
+        T.store(&P[1].A, Y + 1);
+      });
+    }
+    Stop.store(true);
+  });
+  uint64_t Violations = 0;
+  while (!Stop.load()) {
+    // Single-word loads are individually consistent; the sum check needs
+    // both, so read them in one consistent snapshot loop.
+    uint64_t X = Rt->nonTxLoad(&P[0].A);
+    uint64_t Y = Rt->nonTxLoad(&P[1].A);
+    // X and Y are from different instants; only check bounds here.
+    if (X > 500 || Y < 500)
+      ++Violations; // Mid-write-back values would break monotonicity.
+  }
+  Writer.join();
+  EXPECT_EQ(Violations, 0u);
+  EXPECT_EQ(P[0].A + P[1].A, 1000u);
+}
+
+TEST_F(HtmTest, AbortDuringCommitRestoresStripeVersions) {
+  // Force a validation failure at commit and check that a subsequent
+  // transaction can still use the involved stripes normally.
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) static uint64_t X, Y;
+  X = Y = 0;
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    T.load(&X);
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) { T2.store(&X, 1); });
+    ASSERT_TRUE(RB.Committed);
+    T.store(&Y, 1); // Commit-time validation of X must fail.
+  });
+  EXPECT_FALSE(RA.Committed);
+  TxResult R2 = runHtmTx(TxA, [&](HtmTx &T) {
+    T.store(&Y, T.load(&X) + 5);
+  });
+  EXPECT_TRUE(R2.Committed);
+  EXPECT_EQ(Y, 6u);
+}
+
+} // namespace

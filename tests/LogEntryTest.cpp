@@ -1,0 +1,150 @@
+//===- tests/LogEntryTest.cpp - Undo-log encoding tests -------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "log/LogEntry.h"
+#include "log/PoolLayout.h"
+#include "pmem/PMemPool.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+#include <tuple>
+
+using namespace crafty;
+
+namespace {
+
+TEST(LogEntry, DataRoundTripPreservesAddressAndValue) {
+  alignas(8) static uint64_t Var;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Var);
+  for (unsigned Pass = 0; Pass != 2; ++Pass) {
+    for (uint64_t Value :
+         {0ull, 1ull, 2ull, 0xdeadbeefull, ~0ull, 0x8000000000000001ull}) {
+      EncodedEntry E = encodeDataEntry(Addr, Value, Pass);
+      EXPECT_EQ(E.AddrWord & 1, Pass);
+      EXPECT_EQ(E.ValWord & 1, Pass);
+      DecodedEntry D = decodeEntry(E.AddrWord, E.ValWord);
+      ASSERT_EQ(D.K, DecodedEntry::Kind::Data);
+      EXPECT_EQ(D.Addr, Addr);
+      EXPECT_EQ(D.Value, Value);
+      EXPECT_EQ(D.Pass, Pass);
+    }
+  }
+}
+
+TEST(LogEntry, TagRoundTripPreservesTimestamp) {
+  for (uint64_t Tag : {TagLogged, TagCommitted}) {
+    for (unsigned Pass = 0; Pass != 2; ++Pass) {
+      for (uint64_t Ts : {0ull, 1ull, 12345ull, (1ull << 61) - 1}) {
+        EncodedEntry E = encodeTagEntry(Tag, Ts, Pass);
+        DecodedEntry D = decodeEntry(E.AddrWord, E.ValWord);
+        ASSERT_TRUE(D.isTag());
+        EXPECT_EQ(D.K == DecodedEntry::Kind::Logged, Tag == TagLogged);
+        EXPECT_EQ(D.Ts, Ts);
+        EXPECT_EQ(D.Pass, Pass);
+      }
+    }
+  }
+}
+
+TEST(LogEntry, TornEntryIsInvalid) {
+  alignas(8) static uint64_t Var;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Var);
+  EncodedEntry New = encodeDataEntry(Addr, 77, /*Pass=*/1);
+  EncodedEntry Old = encodeDataEntry(Addr, 66, /*Pass=*/0);
+  // One word from each pass: wraparound bits disagree -> torn.
+  EXPECT_EQ(decodeEntry(New.AddrWord, Old.ValWord).K,
+            DecodedEntry::Kind::Invalid);
+  EXPECT_EQ(decodeEntry(Old.AddrWord, New.ValWord).K,
+            DecodedEntry::Kind::Invalid);
+}
+
+TEST(LogEntry, ZeroedSlotIsInvalid) {
+  EXPECT_EQ(decodeEntry(0, 0).K, DecodedEntry::Kind::Invalid);
+}
+
+TEST(LogEntry, TornTagTimestampCannotBeCorrupted) {
+  // The merged LOGGED/COMMITTED entry's timestamp is overwritten at
+  // commit; if only one of the two words persists, the entry must either
+  // decode with one of the two legitimate timestamps or be torn -- never
+  // a third timestamp. The shifted payload guarantees this because the
+  // stolen-value bit is always zero for tags.
+  uint64_t Ts1 = 1000, Ts2 = 1001;
+  EncodedEntry A = encodeTagEntry(TagLogged, Ts1, 1);
+  EncodedEntry B = encodeTagEntry(TagLogged, Ts2, 1);
+  DecodedEntry D = decodeEntry(A.AddrWord, B.ValWord);
+  ASSERT_TRUE(D.isTag());
+  EXPECT_EQ(D.Ts, Ts2); // The value word alone carries the timestamp.
+  D = decodeEntry(B.AddrWord, A.ValWord);
+  ASSERT_TRUE(D.isTag());
+  EXPECT_EQ(D.Ts, Ts1);
+}
+
+class LogEntrySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, unsigned>> {};
+
+TEST_P(LogEntrySweep, ValueBitPatternsSurviveStolenBits) {
+  auto [Value, Pass] = GetParam();
+  alignas(8) static uint64_t Var;
+  uint64_t Addr = reinterpret_cast<uint64_t>(&Var);
+  EncodedEntry E = encodeDataEntry(Addr, Value, Pass);
+  DecodedEntry D = decodeEntry(E.AddrWord, E.ValWord);
+  ASSERT_EQ(D.K, DecodedEntry::Kind::Data);
+  EXPECT_EQ(D.Value, Value);
+  EXPECT_EQ(D.Addr, Addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitPatterns, LogEntrySweep,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 3ull, 0xffull,
+                                         0xAAAAAAAAAAAAAAAAull,
+                                         0x5555555555555555ull, ~0ull,
+                                         1ull << 63, (1ull << 63) | 1),
+                       ::testing::Values(0u, 1u)));
+
+TEST(UndoLogRegion, GeometryAndPassBits) {
+  UndoLogRegion R;
+  alignas(64) static uint64_t Slots[2 * 64];
+  R.Slots = Slots;
+  R.NumEntries = 64;
+  EXPECT_EQ(R.slotFor(0), 0u);
+  EXPECT_EQ(R.slotFor(63), 63u);
+  EXPECT_EQ(R.slotFor(64), 0u);
+  EXPECT_EQ(R.slotFor(65), 1u);
+  // First pass writes W = 1; then alternating.
+  EXPECT_EQ(R.passFor(0), 1u);
+  EXPECT_EQ(R.passFor(63), 1u);
+  EXPECT_EQ(R.passFor(64), 0u);
+  EXPECT_EQ(R.passFor(128), 1u);
+  EXPECT_EQ(R.addrWordAt(3), &Slots[6]);
+  EXPECT_EQ(R.valWordAt(3), &Slots[7]);
+}
+
+TEST(PoolLayout, FormatAndRelocateRegions) {
+  PMemConfig C;
+  C.PoolBytes = 1 << 20;
+  C.Mode = PMemMode::Tracked;
+  C.DrainLatencyNs = 0;
+  PMemPool Pool(C);
+  PoolHeader *H = formatPool(Pool, 3, 256, 4096);
+  EXPECT_EQ(H->Magic, PoolMagic);
+  EXPECT_EQ(H->NumThreads, 3u);
+  EXPECT_EQ(H->MappedBase, reinterpret_cast<uint64_t>(Pool.base()));
+  UndoLogRegion R0 = logRegionFor(Pool.base(), *H, 0);
+  UndoLogRegion R2 = logRegionFor(Pool.base(), *H, 2);
+  EXPECT_EQ(reinterpret_cast<uint8_t *>(R2.Slots) -
+                reinterpret_cast<uint8_t *>(R0.Slots),
+            (ptrdiff_t)(2 * R0.regionBytes()));
+  // The header is persisted immediately (visible in the image).
+  std::vector<uint8_t> Img = Pool.imageSnapshot();
+  PoolHeader FromImage;
+  std::memcpy(&FromImage, Img.data(), sizeof(FromImage));
+  EXPECT_EQ(FromImage.Magic, PoolMagic);
+  EXPECT_EQ(FromImage.LogEntriesPerThread, 256u);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- tests/ModelCheckTest.cpp - Reference-model equivalence -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized reference-model testing: the persistent data structures are
+// driven with long random operation sequences mirrored into in-memory STL
+// models; results and final contents must match exactly. Runs over
+// several seeds and over the Crafty variants (whose Validate phase
+// re-executes bodies, exercising determinism requirements).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+#include "pds/DurableBTree.h"
+#include "pds/DurableHashMap.h"
+#include "pds/DurableQueue.h"
+
+#include "gtest/gtest.h"
+
+#include <deque>
+#include <map>
+
+using namespace crafty;
+
+namespace {
+
+struct ModelFixture {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  std::unique_ptr<PtmBackend> Backend;
+
+  explicit ModelFixture(SystemKind Kind)
+      : Pool(poolConfig()), Htm(HtmConfig()) {
+    BackendOptions O;
+    O.NumThreads = 1;
+    O.ArenaBytesPerThread = 16 << 20;
+    Backend = createBackend(Kind, Pool, Htm, O);
+  }
+
+  static PMemConfig poolConfig() {
+    PMemConfig PC;
+    PC.PoolBytes = 64 << 20;
+    PC.Mode = PMemMode::LatencyOnly;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+};
+
+class ModelCheck
+    : public ::testing::TestWithParam<std::tuple<SystemKind, uint64_t>> {};
+
+TEST_P(ModelCheck, BTreeMatchesStdMap) {
+  auto [Kind, Seed] = GetParam();
+  ModelFixture F(Kind);
+  DurableBTree Tree(F.Pool);
+  std::map<uint64_t, uint64_t> Model;
+  Rng R(Seed);
+  for (int Op = 0; Op != 3000; ++Op) {
+    uint64_t Key = R.nextBounded(400); // Dense keys: plenty of collisions.
+    switch (R.nextBounded(3)) {
+    case 0: {
+      bool Inserted = Tree.insert(*F.Backend, 0, Key, Key ^ Seed);
+      EXPECT_EQ(Inserted, Model.emplace(Key, Key ^ Seed).second);
+      break;
+    }
+    case 1: {
+      uint64_t Val = 0;
+      bool Found = Tree.lookup(*F.Backend, 0, Key, &Val);
+      auto It = Model.find(Key);
+      ASSERT_EQ(Found, It != Model.end());
+      if (Found)
+        EXPECT_EQ(Val, It->second);
+      break;
+    }
+    case 2: {
+      bool Removed = Tree.remove(*F.Backend, 0, Key);
+      EXPECT_EQ(Removed, Model.erase(Key) == 1);
+      break;
+    }
+    }
+  }
+  F.Backend->quiesce();
+  // Final structural audit + exact content equality.
+  std::string Err;
+  uint64_t Count = Tree.auditCount(Err);
+  EXPECT_EQ(Err, "");
+  EXPECT_EQ(Count, Model.size());
+  for (const auto &[K, V] : Model) {
+    uint64_t Val = 0;
+    ASSERT_TRUE(Tree.lookup(*F.Backend, 0, K, &Val)) << "key " << K;
+    EXPECT_EQ(Val, V);
+  }
+}
+
+TEST_P(ModelCheck, HashMapMatchesStdMap) {
+  auto [Kind, Seed] = GetParam();
+  ModelFixture F(Kind);
+  DurableHashMap Map(F.Pool, 1024);
+  std::map<uint64_t, uint64_t> Model;
+  Rng R(Seed * 7 + 3);
+  for (int Op = 0; Op != 3000; ++Op) {
+    uint64_t Key = R.nextBounded(300);
+    switch (R.nextBounded(3)) {
+    case 0:
+      ASSERT_TRUE(Map.put(*F.Backend, 0, Key, Op));
+      Model[Key] = (uint64_t)Op;
+      break;
+    case 1: {
+      auto Got = Map.get(*F.Backend, 0, Key);
+      auto It = Model.find(Key);
+      ASSERT_EQ(Got.has_value(), It != Model.end());
+      if (Got)
+        EXPECT_EQ(*Got, It->second);
+      break;
+    }
+    case 2:
+      EXPECT_EQ(Map.erase(*F.Backend, 0, Key), Model.erase(Key) == 1);
+      break;
+    }
+  }
+  EXPECT_EQ(Map.size(*F.Backend, 0), Model.size());
+  EXPECT_EQ(Map.auditCount(), Model.size());
+}
+
+TEST_P(ModelCheck, QueueMatchesStdDeque) {
+  auto [Kind, Seed] = GetParam();
+  ModelFixture F(Kind);
+  DurableQueue Q(F.Pool, 64);
+  std::deque<uint64_t> Model;
+  Rng R(Seed * 13 + 1);
+  for (int Op = 0; Op != 4000; ++Op) {
+    if (R.chance(1, 2)) {
+      bool Ok = Q.enqueue(*F.Backend, 0, Op);
+      EXPECT_EQ(Ok, Model.size() < 64);
+      if (Ok)
+        Model.push_back((uint64_t)Op);
+    } else {
+      auto Got = Q.dequeue(*F.Backend, 0);
+      ASSERT_EQ(Got.has_value(), !Model.empty());
+      if (Got) {
+        EXPECT_EQ(*Got, Model.front());
+        Model.pop_front();
+      }
+    }
+  }
+  EXPECT_EQ(Q.size(*F.Backend, 0), Model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelCheck,
+    ::testing::Combine(::testing::Values(SystemKind::Crafty,
+                                         SystemKind::CraftyNoRedo,
+                                         SystemKind::NonDurable),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const auto &Info) {
+      std::string N = systemKindName(std::get<0>(Info.param));
+      for (char &C : N)
+        if (C == '-')
+          C = '_';
+      return N + "_seed" + std::to_string(std::get<1>(Info.param));
+    });
+
+} // namespace

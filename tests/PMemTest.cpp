@@ -1,0 +1,201 @@
+//===- tests/PMemTest.cpp - Persistent-memory simulator tests -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmem/PMemAllocator.h"
+#include "pmem/PMemPool.h"
+#include "support/Clock.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace crafty;
+
+namespace {
+
+PMemConfig trackedConfig(size_t Bytes = 1 << 20) {
+  PMemConfig C;
+  C.PoolBytes = Bytes;
+  C.Mode = PMemMode::Tracked;
+  C.DrainLatencyNs = 0;
+  return C;
+}
+
+uint64_t imageWordAt(PMemPool &Pool, const uint64_t *Addr) {
+  std::vector<uint8_t> Img = Pool.imageSnapshot();
+  size_t Off = reinterpret_cast<const uint8_t *>(Addr) - Pool.base();
+  uint64_t V;
+  std::memcpy(&V, Img.data() + Off, sizeof(V));
+  return V;
+}
+
+TEST(PMemPool, CarveIsAlignedAndDisjoint) {
+  PMemPool Pool(trackedConfig());
+  void *A = Pool.carve(100);
+  void *B = Pool.carve(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(A) % CacheLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(B) % CacheLineBytes, 0u);
+  EXPECT_GE(reinterpret_cast<uint8_t *>(B),
+            reinterpret_cast<uint8_t *>(A) + 100);
+  EXPECT_TRUE(Pool.contains(A));
+  EXPECT_TRUE(Pool.contains(B));
+}
+
+TEST(PMemPool, StoreDoesNotPersistWithoutFlush) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 42;
+  Pool.onCommittedStore(W);
+  EXPECT_EQ(imageWordAt(Pool, W), 0u);
+  EXPECT_TRUE(Pool.isLineDirty(W));
+}
+
+TEST(PMemPool, ClwbAlonePersistsNothingUntilDrain) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 42;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W);
+  EXPECT_EQ(imageWordAt(Pool, W), 0u);
+  Pool.drain(0);
+  EXPECT_EQ(imageWordAt(Pool, W), 42u);
+  EXPECT_FALSE(Pool.isLineDirty(W));
+}
+
+TEST(PMemPool, DrainIsPerThread) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 7;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W);
+  Pool.drain(1); // A different thread's drain does not complete ours.
+  EXPECT_EQ(imageWordAt(Pool, W), 0u);
+  Pool.drain(0);
+  EXPECT_EQ(imageWordAt(Pool, W), 7u);
+}
+
+TEST(PMemPool, CrashDiscardsUnpersistedStores) {
+  PMemPool Pool(trackedConfig());
+  auto *A = static_cast<uint64_t *>(Pool.carve(8));
+  auto *B = static_cast<uint64_t *>(Pool.carve(8));
+  *A = 1;
+  Pool.onCommittedStore(A);
+  Pool.persist(0, A, 8);
+  *B = 2;
+  Pool.onCommittedStore(B);
+  Pool.crash();
+  EXPECT_EQ(*A, 1u) << "persisted store survives";
+  EXPECT_EQ(*B, 0u) << "unpersisted store is lost";
+}
+
+TEST(PMemPool, EvictionCanPersistDirtyLinesSpontaneously) {
+  PMemConfig C = trackedConfig(/*Bytes=*/64 << 10);
+  PMemPool Pool(C);
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 9;
+  Pool.onCommittedStore(W);
+  // Random probing: iterate until the dirty line is chosen.
+  for (int I = 0; I != 1000 && imageWordAt(Pool, W) != 9u; ++I)
+    Pool.evictRandomLines(64);
+  EXPECT_EQ(imageWordAt(Pool, W), 9u);
+  EXPECT_GT(Pool.stats().EvictedLines, 0u);
+}
+
+TEST(PMemPool, PersistDirectBypassesCache) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  uint64_t V = 1234;
+  Pool.persistDirect(W, &V, sizeof(V));
+  EXPECT_EQ(*W, 1234u);
+  EXPECT_EQ(imageWordAt(Pool, W), 1234u);
+}
+
+TEST(PMemPool, FlushEverythingPersistsAllDirtyLines) {
+  PMemPool Pool(trackedConfig());
+  auto *A = static_cast<uint64_t *>(Pool.carve(8));
+  auto *B = static_cast<uint64_t *>(Pool.carve(8));
+  *A = 5;
+  *B = 6;
+  Pool.onCommittedStore(A);
+  Pool.onCommittedStore(B);
+  Pool.flushEverything();
+  EXPECT_EQ(imageWordAt(Pool, A), 5u);
+  EXPECT_EQ(imageWordAt(Pool, B), 6u);
+}
+
+TEST(PMemPool, StatsCountOperations) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(128));
+  Pool.clwbRange(0, W, 128); // Two cache lines.
+  Pool.drain(0);
+  Pool.drain(0); // No pending work: not counted.
+  PMemStats S = Pool.stats();
+  EXPECT_EQ(S.Clwbs, 2u);
+  EXPECT_EQ(S.DrainsWithWork, 1u);
+}
+
+TEST(PMemPool, LatencyModeChargesDrain) {
+  PMemConfig C;
+  C.PoolBytes = 1 << 16;
+  C.Mode = PMemMode::LatencyOnly;
+  C.DrainLatencyNs = 200000; // 0.2 ms, measurable.
+  PMemPool Pool(C);
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  Pool.clwb(0, W);
+  uint64_t T0 = monotonicNanos();
+  Pool.drain(0);
+  uint64_t Elapsed = monotonicNanos() - T0;
+  EXPECT_GE(Elapsed, 200000u);
+  // Drain with no pending flush is free.
+  T0 = monotonicNanos();
+  Pool.drain(0);
+  EXPECT_LT(monotonicNanos() - T0, 200000u);
+}
+
+TEST(PMemAllocator, AllocFreeReuse) {
+  PMemPool Pool(trackedConfig());
+  PMemAllocator Alloc(Pool, 2, 64 << 10);
+  void *A = Alloc.alloc(0, 24);
+  void *B = Alloc.alloc(0, 24);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(Pool.contains(A));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(A) % 8, 0u);
+  Alloc.dealloc(0, A);
+  void *C = Alloc.alloc(0, 20); // Same size class: reuses A.
+  EXPECT_EQ(C, A);
+  EXPECT_GT(Alloc.bytesInUse(), 0u);
+}
+
+TEST(PMemAllocator, PerThreadArenasAreDisjoint) {
+  PMemPool Pool(trackedConfig());
+  PMemAllocator Alloc(Pool, 2, 4 << 10);
+  void *A = Alloc.alloc(0, 64);
+  void *B = Alloc.alloc(1, 64);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_GE(std::abs(reinterpret_cast<intptr_t>(A) -
+                     reinterpret_cast<intptr_t>(B)),
+            (intptr_t)(4 << 10) - 128);
+}
+
+TEST(PMemAllocator, ExhaustionReturnsNull) {
+  PMemPool Pool(trackedConfig());
+  PMemAllocator Alloc(Pool, 1, 1 << 10);
+  void *Last = nullptr;
+  int Count = 0;
+  while (void *P = Alloc.alloc(0, 128)) {
+    Last = P;
+    ++Count;
+  }
+  EXPECT_GT(Count, 0);
+  EXPECT_NE(Last, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,308 @@
+//===- tests/PdsTest.cpp - Persistent data structure tests ----------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests the persistent data-structures layer (src/pds/): unit behavior,
+// backend-generic operation, atomic composition of multiple structures in
+// one transaction, concurrency, and crash consistency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+#include "pds/DurableBTree.h"
+#include "pds/DurableHashMap.h"
+#include "pds/DurableQueue.h"
+#include "pds/DurableVector.h"
+#include "recovery/Recovery.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+
+using namespace crafty;
+
+namespace {
+
+struct PdsFixture {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  std::unique_ptr<PtmBackend> Backend;
+
+  explicit PdsFixture(SystemKind Kind = SystemKind::Crafty,
+                      unsigned Threads = 1, bool Tracked = false)
+      : Pool(poolConfig(Tracked)), Htm(HtmConfig()) {
+    BackendOptions O;
+    O.NumThreads = Threads;
+    O.ArenaBytesPerThread = 4 << 20;
+    O.LogEntriesPerThread = 1 << 12;
+    Backend = createBackend(Kind, Pool, Htm, O);
+  }
+
+  static PMemConfig poolConfig(bool Tracked) {
+    PMemConfig PC;
+    PC.PoolBytes = 64 << 20;
+    PC.Mode = Tracked ? PMemMode::Tracked : PMemMode::LatencyOnly;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DurableHashMap
+//===----------------------------------------------------------------------===//
+
+TEST(DurableHashMap, PutGetEraseBasics) {
+  PdsFixture F;
+  DurableHashMap Map(F.Pool, 256);
+  EXPECT_FALSE(Map.get(*F.Backend, 0, 5).has_value());
+  EXPECT_TRUE(Map.put(*F.Backend, 0, 5, 55));
+  EXPECT_TRUE(Map.put(*F.Backend, 0, 6, 66));
+  EXPECT_EQ(Map.get(*F.Backend, 0, 5).value(), 55u);
+  EXPECT_EQ(Map.size(*F.Backend, 0), 2u);
+  EXPECT_TRUE(Map.put(*F.Backend, 0, 5, 57)); // Overwrite.
+  EXPECT_EQ(Map.get(*F.Backend, 0, 5).value(), 57u);
+  EXPECT_EQ(Map.size(*F.Backend, 0), 2u);
+  EXPECT_TRUE(Map.erase(*F.Backend, 0, 5));
+  EXPECT_FALSE(Map.erase(*F.Backend, 0, 5));
+  EXPECT_FALSE(Map.get(*F.Backend, 0, 5).has_value());
+  EXPECT_EQ(Map.size(*F.Backend, 0), 1u);
+  EXPECT_EQ(Map.auditCount(), 1u);
+}
+
+TEST(DurableHashMap, TombstoneSlotsAreReused) {
+  PdsFixture F;
+  DurableHashMap Map(F.Pool, 64);
+  // Fill a good chunk, erase everything, refill: must not run out.
+  for (int Round = 0; Round != 8; ++Round) {
+    for (uint64_t K = 0; K != 40; ++K)
+      ASSERT_TRUE(Map.put(*F.Backend, 0, K, K)) << "round " << Round;
+    for (uint64_t K = 0; K != 40; ++K)
+      ASSERT_TRUE(Map.erase(*F.Backend, 0, K));
+  }
+  EXPECT_EQ(Map.size(*F.Backend, 0), 0u);
+}
+
+TEST(DurableHashMap, FullTableRejectsNewKeys) {
+  PdsFixture F;
+  DurableHashMap Map(F.Pool, 64);
+  for (uint64_t K = 0; K != 64; ++K)
+    ASSERT_TRUE(Map.put(*F.Backend, 0, K, K));
+  EXPECT_FALSE(Map.put(*F.Backend, 0, 999, 1));
+  EXPECT_TRUE(Map.put(*F.Backend, 0, 3, 33)) << "overwrites still work";
+}
+
+TEST(DurableHashMap, ConcurrentDisjointPuts) {
+  PdsFixture F(SystemKind::Crafty, 4);
+  DurableHashMap Map(F.Pool, 4096);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t K = 0; K != 300; ++K)
+        Map.put(*F.Backend, T, T * 1000 + K, K);
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Map.auditCount(), 1200u);
+}
+
+//===----------------------------------------------------------------------===//
+// DurableQueue
+//===----------------------------------------------------------------------===//
+
+TEST(DurableQueue, FifoOrderAndBounds) {
+  PdsFixture F;
+  DurableQueue Q(F.Pool, 8);
+  EXPECT_FALSE(Q.dequeue(*F.Backend, 0).has_value());
+  for (uint64_t I = 0; I != 8; ++I)
+    EXPECT_TRUE(Q.enqueue(*F.Backend, 0, 100 + I));
+  EXPECT_FALSE(Q.enqueue(*F.Backend, 0, 999)) << "full";
+  for (uint64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(Q.dequeue(*F.Backend, 0).value(), 100 + I);
+  EXPECT_FALSE(Q.dequeue(*F.Backend, 0).has_value());
+  EXPECT_TRUE(Q.auditShape());
+}
+
+TEST(DurableQueue, WrapsAroundManyTimes) {
+  PdsFixture F;
+  DurableQueue Q(F.Pool, 4);
+  for (uint64_t I = 0; I != 100; ++I) {
+    ASSERT_TRUE(Q.enqueue(*F.Backend, 0, I));
+    ASSERT_EQ(Q.dequeue(*F.Backend, 0).value(), I);
+  }
+  EXPECT_EQ(Q.size(*F.Backend, 0), 0u);
+}
+
+TEST(DurableQueue, ConcurrentProducersConsumers) {
+  PdsFixture F(SystemKind::Crafty, 4);
+  DurableQueue Q(F.Pool, 1024);
+  std::atomic<uint64_t> Consumed{0}, Sum{0};
+  constexpr uint64_t PerProducer = 400;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 2; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerProducer; ++I)
+        while (!Q.enqueue(*F.Backend, T, I + 1))
+          std::this_thread::yield();
+    });
+  for (unsigned T = 2; T != 4; ++T)
+    Threads.emplace_back([&, T] {
+      while (Consumed.load() < 2 * PerProducer) {
+        if (auto V = Q.dequeue(*F.Backend, T)) {
+          Sum.fetch_add(*V);
+          Consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Consumed.load(), 2 * PerProducer);
+  EXPECT_EQ(Sum.load(), 2 * (PerProducer * (PerProducer + 1) / 2));
+}
+
+//===----------------------------------------------------------------------===//
+// DurableVector
+//===----------------------------------------------------------------------===//
+
+TEST(DurableVector, PushBackAndRecords) {
+  PdsFixture F;
+  DurableVector V(F.Pool, 64);
+  EXPECT_TRUE(V.pushBack(*F.Backend, 0, 10));
+  uint64_t Rec[3] = {20, 21, 22};
+  bool Ok = false;
+  F.Backend->run(0, [&](TxnContext &Tx) {
+    Ok = V.appendRecordTx(Tx, Rec, 3);
+  });
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(V.size(*F.Backend, 0), 4u);
+  EXPECT_EQ(V.at(*F.Backend, 0, 0).value(), 10u);
+  EXPECT_EQ(V.at(*F.Backend, 0, 3).value(), 22u);
+  EXPECT_FALSE(V.at(*F.Backend, 0, 4).has_value());
+}
+
+TEST(DurableVector, CapacityIsEnforced) {
+  PdsFixture F;
+  DurableVector V(F.Pool, 4);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_TRUE(V.pushBack(*F.Backend, 0, I));
+  EXPECT_FALSE(V.pushBack(*F.Backend, 0, 99));
+  uint64_t Rec[2] = {1, 2};
+  bool Ok = true;
+  F.Backend->run(0, [&](TxnContext &Tx) {
+    Ok = V.appendRecordTx(Tx, Rec, 2);
+  });
+  EXPECT_FALSE(Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Composition and backend genericity
+//===----------------------------------------------------------------------===//
+
+class PdsAllBackends : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(PdsAllBackends, StructuresWorkOnEveryBackend) {
+  PdsFixture F(GetParam(), 2);
+  DurableHashMap Map(F.Pool, 512);
+  DurableQueue Q(F.Pool, 64);
+  DurableBTree Tree(F.Pool);
+  for (uint64_t K = 0; K != 50; ++K) {
+    EXPECT_TRUE(Map.put(*F.Backend, 0, K, K * 2));
+    EXPECT_TRUE(Q.enqueue(*F.Backend, 1, K));
+    EXPECT_TRUE(Tree.insert(*F.Backend, 0, K * 7, K));
+  }
+  F.Backend->quiesce();
+  EXPECT_EQ(Map.auditCount(), 50u);
+  EXPECT_EQ(Q.size(*F.Backend, 0), 50u);
+  std::string Err;
+  EXPECT_EQ(Tree.auditCount(Err), 50u);
+  EXPECT_EQ(Err, "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, PdsAllBackends,
+                         ::testing::ValuesIn(AllSystems),
+                         [](const auto &Info) {
+                           std::string N = systemKindName(Info.param);
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(PdsComposition, MoveBetweenStructuresIsAtomic) {
+  // Dequeue a job, record it in the map and journal it in the vector --
+  // all in ONE transaction; under concurrency and crash, a job is never
+  // duplicated or lost between structures.
+  PdsFixture F(SystemKind::Crafty, 3, /*Tracked=*/true);
+  DurableQueue Q(F.Pool, 2048);
+  DurableHashMap Done(F.Pool, 4096);
+  DurableVector Journal(F.Pool, 4096);
+  constexpr uint64_t Jobs = 600;
+  for (uint64_t J = 1; J <= Jobs; ++J)
+    ASSERT_TRUE(Q.enqueue(*F.Backend, 0, J));
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 3; ++T)
+    Threads.emplace_back([&, T] {
+      for (;;) {
+        bool Empty = false;
+        F.Backend->run(T, [&](TxnContext &Tx) {
+          auto Job = Q.dequeueTx(Tx);
+          Empty = !Job.has_value();
+          if (Empty)
+            return;
+          Done.putTx(Tx, *Job, T + 1);
+          Journal.pushBackTx(Tx, *Job);
+        });
+        if (Empty)
+          break;
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  F.Pool.crash();
+  RecoveryObserver::recoverPool(F.Pool);
+  // Post-crash invariant: processed jobs (map) == journaled jobs, and
+  // together with the queue remainder they cover each job exactly once.
+  uint64_t InMap = Done.auditCount();
+  ASSERT_NE(InMap, ~0ull) << "map metadata corrupt";
+  EXPECT_EQ(InMap, Journal.rawSize());
+  EXPECT_TRUE(Q.auditShape());
+  std::vector<bool> Seen(Jobs + 1, false);
+  for (uint64_t I = 0; I != Journal.rawSize(); ++I) {
+    uint64_t J = Journal.rawAt(I);
+    ASSERT_GE(J, 1u);
+    ASSERT_LE(J, Jobs);
+    EXPECT_FALSE(Seen[J]) << "job duplicated";
+    Seen[J] = true;
+  }
+}
+
+TEST(PdsCrash, MapSurvivesCrashConsistently) {
+  PdsFixture F(SystemKind::Crafty, 2, /*Tracked=*/true);
+  DurableHashMap Map(F.Pool, 2048);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 2; ++T)
+    Threads.emplace_back([&, T] {
+      Rng R(T + 5);
+      for (int I = 0; I != 400; ++I) {
+        uint64_t K = R.nextBounded(500);
+        if (R.chance(1, 4))
+          Map.erase(*F.Backend, T, K);
+        else
+          Map.put(*F.Backend, T, K, K + 1);
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  F.Pool.crash();
+  RecoveryObserver::recoverPool(F.Pool);
+  // The count word and the slots must agree after recovery.
+  EXPECT_NE(Map.auditCount(), ~0ull);
+}
+
+} // namespace

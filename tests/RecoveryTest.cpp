@@ -1,0 +1,370 @@
+//===- tests/RecoveryTest.cpp - Recovery observer unit tests --------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests the Section 5 recovery algorithm against hand-crafted log images:
+// sequence discovery, the rollback threshold, the closure rule, reverse
+// timestamp ordering, torn entries, wraparound, SGL equal-timestamp
+// groups, and relocated-image address translation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "recovery/Recovery.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+
+using namespace crafty;
+
+namespace {
+
+/// A test harness that formats a small tracked pool and lets tests write
+/// log entries and heap words directly into the persistent image.
+class RecoveryFixture : public ::testing::Test {
+protected:
+  static constexpr size_t LogEntries = 64;
+  static constexpr unsigned NumThreads = 2;
+
+  void SetUp() override {
+    PMemConfig PC;
+    PC.PoolBytes = 1 << 20;
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    Pool = std::make_unique<PMemPool>(PC);
+    Header = formatPool(*Pool, NumThreads, LogEntries, /*HeapBytes=*/4096);
+    Heap = reinterpret_cast<uint64_t *>(Pool->base() + Header->HeapOffset);
+  }
+
+  /// Persists heap word \p Idx with \p Val (pre-crash durable state).
+  void setHeap(size_t Idx, uint64_t Val) {
+    Pool->persistDirect(&Heap[Idx], &Val, sizeof(Val));
+  }
+
+  uint64_t *heapAddr(size_t Idx) { return &Heap[Idx]; }
+
+  /// Writes a data entry directly into thread \p Tid's log at absolute
+  /// position \p Abs, persisted.
+  void putData(unsigned Tid, uint64_t Abs, uint64_t *Addr, uint64_t Old) {
+    UndoLogRegion R = logRegionFor(Pool->base(), *Header, Tid);
+    EncodedEntry E = encodeDataEntry(reinterpret_cast<uint64_t>(Addr), Old,
+                                     R.passFor(Abs));
+    size_t S = R.slotFor(Abs);
+    Pool->persistDirect(R.addrWordAt(S), &E.AddrWord, 8);
+    Pool->persistDirect(R.valWordAt(S), &E.ValWord, 8);
+  }
+
+  void putTag(unsigned Tid, uint64_t Abs, uint64_t Tag, uint64_t Ts) {
+    UndoLogRegion R = logRegionFor(Pool->base(), *Header, Tid);
+    EncodedEntry E = encodeTagEntry(Tag, Ts, R.passFor(Abs));
+    size_t S = R.slotFor(Abs);
+    Pool->persistDirect(R.addrWordAt(S), &E.AddrWord, 8);
+    Pool->persistDirect(R.valWordAt(S), &E.ValWord, 8);
+  }
+
+  /// Corrupts an entry so only its addr word carries the current pass
+  /// (simulating a torn, partially persisted entry).
+  void tearEntry(unsigned Tid, uint64_t Abs) {
+    UndoLogRegion R = logRegionFor(Pool->base(), *Header, Tid);
+    size_t S = R.slotFor(Abs);
+    uint64_t Flipped = *R.valWordAt(S) ^ 1;
+    Pool->persistDirect(R.valWordAt(S), &Flipped, 8);
+  }
+
+  RecoveryReport recover() {
+    Pool->crash();
+    return RecoveryObserver::recoverPool(*Pool);
+  }
+
+  std::unique_ptr<PMemPool> Pool;
+  PoolHeader *Header = nullptr;
+  uint64_t *Heap = nullptr;
+};
+
+TEST_F(RecoveryFixture, EmptyLogsRecoverNothing) {
+  setHeap(0, 42);
+  RecoveryReport Rep = recover();
+  ASSERT_TRUE(Rep.HeaderValid);
+  EXPECT_EQ(Rep.SequencesFound, 0u);
+  EXPECT_EQ(Rep.SequencesRolledBack, 0u);
+  EXPECT_EQ(Heap[0], 42u);
+}
+
+TEST_F(RecoveryFixture, SingleSequenceIsRolledBack) {
+  setHeap(0, 10);
+  setHeap(1, 20);
+  // Transaction (ts=100) wrote heap[0]=11, heap[1]=21; both persisted.
+  putData(0, 0, heapAddr(0), 10);
+  putData(0, 1, heapAddr(1), 20);
+  putTag(0, 2, TagLogged, 100);
+  setHeap(0, 11);
+  setHeap(1, 21);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesFound, 1u);
+  EXPECT_EQ(Rep.SequencesRolledBack, 1u);
+  EXPECT_EQ(Rep.ThresholdTs, 100u);
+  EXPECT_EQ(Heap[0], 10u) << "last transaction must be rolled back";
+  EXPECT_EQ(Heap[1], 20u);
+}
+
+TEST_F(RecoveryFixture, ThresholdIsMinOfPerThreadNewest) {
+  // Thread 0: ts 100 then 200. Thread 1: ts 150.
+  // Threshold = min(200, 150) = 150: roll back 200 and 150, keep 100.
+  setHeap(0, 0);
+  setHeap(1, 0);
+  setHeap(2, 0);
+  putData(0, 0, heapAddr(0), 0); // ts 100 wrote heap[0] = 1.
+  putTag(0, 1, TagLogged, 100);
+  putData(0, 2, heapAddr(1), 0); // ts 200 wrote heap[1] = 2.
+  putTag(0, 3, TagLogged, 200);
+  putData(1, 0, heapAddr(2), 0); // ts 150 wrote heap[2] = 3.
+  putTag(1, 1, TagLogged, 150);
+  setHeap(0, 1);
+  setHeap(1, 2);
+  setHeap(2, 3);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesFound, 3u);
+  EXPECT_EQ(Rep.ThresholdTs, 150u);
+  EXPECT_EQ(Rep.SequencesRolledBack, 2u);
+  EXPECT_EQ(Heap[0], 1u) << "ts 100 predates the threshold: kept";
+  EXPECT_EQ(Heap[1], 0u) << "ts 200 rolled back";
+  EXPECT_EQ(Heap[2], 0u) << "ts 150 rolled back";
+}
+
+TEST_F(RecoveryFixture, ReverseTimestampOrderRestoresOldestValues) {
+  // Both transactions wrote heap[0]; rollback must end at the value the
+  // *older* one logged.
+  setHeap(0, 5);
+  putData(0, 0, heapAddr(0), 5); // ts 100: 5 -> 6.
+  putTag(0, 1, TagLogged, 100);
+  putData(1, 0, heapAddr(0), 6); // ts 150: 6 -> 7.
+  putTag(1, 1, TagLogged, 150);
+  setHeap(0, 7);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesRolledBack, 2u);
+  EXPECT_EQ(Heap[0], 5u);
+}
+
+TEST_F(RecoveryFixture, EntriesWithinSequenceUnwindInReverse) {
+  // One transaction wrote heap[0] twice: 1 -> 2 -> 3.
+  setHeap(0, 3);
+  putData(0, 0, heapAddr(0), 1);
+  putData(0, 1, heapAddr(0), 2);
+  putTag(0, 2, TagLogged, 100);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesRolledBack, 1u);
+  EXPECT_EQ(Heap[0], 1u) << "reverse order: final value is the oldest";
+}
+
+TEST_F(RecoveryFixture, TornEntryExcludesSequence) {
+  // The transaction's second entry only half-persisted: its sequence is
+  // not fully persisted, so nothing from it is applied.
+  setHeap(0, 10);
+  setHeap(1, 20);
+  putData(0, 0, heapAddr(0), 10);
+  putData(0, 1, heapAddr(1), 20);
+  putTag(0, 2, TagLogged, 100);
+  tearEntry(0, 1);
+  // Its writes never persisted either (the drain-before-writes ordering).
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Heap[0], 10u);
+  EXPECT_EQ(Heap[1], 20u);
+}
+
+TEST_F(RecoveryFixture, TornEntryBoundsOlderSequenceWalk) {
+  // A torn entry between two sequences must not let the newer sequence
+  // absorb the older one's entries.
+  setHeap(0, 1);
+  setHeap(1, 2);
+  putData(0, 0, heapAddr(0), 1);
+  putTag(0, 1, TagLogged, 100);
+  tearEntry(0, 0); // The ts-100 data entry is torn.
+  putData(0, 2, heapAddr(1), 2);
+  putTag(0, 3, TagLogged, 200);
+  setHeap(1, 22);
+  RecoveryReport Rep = recover();
+  // ts-200's sequence has exactly one entry; heap[1] reverts, heap[0]
+  // keeps its value.
+  EXPECT_EQ(Heap[1], 2u);
+  EXPECT_EQ(Heap[0], 1u);
+  EXPECT_EQ(Rep.WordsRestored, 1u);
+}
+
+TEST_F(RecoveryFixture, EqualTimestampChunksUnwindToSectionStart) {
+  // An SGL section: three chunks, same ts, each advancing heap[0].
+  // 0 -> 10 (chunk A), 10 -> 20 (chunk B), 20 -> 30 (chunk C).
+  setHeap(0, 30);
+  putData(0, 0, heapAddr(0), 0);
+  putTag(0, 1, TagLogged, 500);
+  putData(0, 2, heapAddr(0), 10);
+  putTag(0, 3, TagLogged, 500);
+  putData(0, 4, heapAddr(0), 20);
+  putTag(0, 5, TagLogged, 500);
+  putTag(0, 6, TagCommitted, 500);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesRolledBack, 4u);
+  EXPECT_EQ(Heap[0], 0u) << "the whole section unwinds";
+}
+
+TEST_F(RecoveryFixture, EqualTimestampChunksAcrossWraparound) {
+  // Same as above, but the section wraps the circular log: chunks at
+  // absolute positions LogEntries-2 .. LogEntries+3.
+  setHeap(0, 30);
+  uint64_t Base = LogEntries - 2;
+  putData(0, Base + 0, heapAddr(0), 0);
+  putTag(0, Base + 1, TagLogged, 500);
+  putData(0, Base + 2, heapAddr(0), 10); // Slot 0, pass flipped.
+  putTag(0, Base + 3, TagLogged, 500);
+  putData(0, Base + 4, heapAddr(0), 20);
+  putTag(0, Base + 5, TagCommitted, 500);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Heap[0], 0u);
+  (void)Rep;
+}
+
+TEST_F(RecoveryFixture, AbandonedSequenceRollsBackAsNoOp) {
+  // Thread 0's Log phase committed (ts 100) but its Redo never ran (the
+  // writes never happened); thread 1 then committed ts 150 writing the
+  // same word. Rolling back both must restore the ts-150 old value.
+  setHeap(0, 5);
+  putData(0, 0, heapAddr(0), 5); // Abandoned: writes never performed.
+  putTag(0, 1, TagLogged, 100);
+  putData(1, 0, heapAddr(0), 5); // ts 150: 5 -> 9, committed.
+  putTag(1, 1, TagLogged, 150);
+  setHeap(0, 9);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.SequencesRolledBack, 2u);
+  EXPECT_EQ(Heap[0], 5u);
+}
+
+TEST_F(RecoveryFixture, PreviousPassSequencesRemainDecodable) {
+  // Fill most of the log in pass 1, wrap into pass 0; sequences from the
+  // previous pass must still be discovered.
+  setHeap(0, 0);
+  uint64_t Abs = 0;
+  uint64_t Ts = 100;
+  // 40 one-write transactions: positions 0..79 (log holds 64).
+  for (int I = 0; I != 40; ++I) {
+    putData(0, Abs++, heapAddr(0), I);
+    putTag(0, Abs++, TagLogged, Ts++);
+  }
+  setHeap(0, 40);
+  RecoveryReport Rep = recover();
+  // Only the newest sequence (threshold) rolls back: value 40 -> 39.
+  EXPECT_EQ(Rep.ThresholdTs, 139u);
+  EXPECT_EQ(Heap[0], 39u);
+  EXPECT_GT(Rep.SequencesFound, 20u) << "older-pass sequences observable";
+}
+
+TEST_F(RecoveryFixture, RelocatedImageTranslatesAddresses) {
+  setHeap(0, 10);
+  putData(0, 0, heapAddr(0), 10);
+  putTag(0, 1, TagLogged, 100);
+  setHeap(0, 11);
+  Pool->crash();
+  std::vector<uint8_t> Image = Pool->imageSnapshot();
+  // Recover on the detached buffer: logged addresses point at the
+  // original mapping and must be translated via PoolHeader::MappedBase.
+  RecoveryReport Rep = RecoveryObserver::recoverImage(Image);
+  ASSERT_TRUE(Rep.HeaderValid);
+  EXPECT_EQ(Rep.WordsRestored, 1u);
+  uint64_t Recovered;
+  std::memcpy(&Recovered, Image.data() + Header->HeapOffset, 8);
+  EXPECT_EQ(Recovered, 10u);
+  // The live pool is untouched.
+  EXPECT_EQ(Heap[0], 11u);
+}
+
+TEST_F(RecoveryFixture, RecoveryZeroesLogsForRestart) {
+  putData(0, 0, heapAddr(0), 0);
+  putTag(0, 1, TagLogged, 100);
+  recover();
+  UndoLogRegion R = logRegionFor(Pool->base(), *Header, 0);
+  for (size_t S = 0; S != LogEntries; ++S) {
+    EXPECT_EQ(*R.addrWordAt(S), 0u);
+    EXPECT_EQ(*R.valWordAt(S), 0u);
+  }
+  // A second recovery over the cleaned pool is a no-op.
+  RecoveryReport Rep2 = RecoveryObserver::recoverPool(*Pool);
+  EXPECT_EQ(Rep2.SequencesFound, 0u);
+}
+
+TEST_F(RecoveryFixture, GarbageImageIsRejected) {
+  std::vector<uint8_t> Junk(4096, 0xAB);
+  RecoveryReport Rep = RecoveryObserver::recoverImage(Junk);
+  EXPECT_FALSE(Rep.HeaderValid);
+}
+
+TEST_F(RecoveryFixture, CorruptAddressIsSkippedNotFatal) {
+  // An entry whose address lies outside the pool is skipped.
+  setHeap(0, 1);
+  alignas(8) static uint64_t Outside;
+  putData(0, 0, &Outside, 99);
+  putData(0, 1, heapAddr(0), 1);
+  putTag(0, 2, TagLogged, 100);
+  setHeap(0, 2);
+  RecoveryReport Rep = recover();
+  EXPECT_EQ(Rep.WordsRestored, 1u);
+  EXPECT_EQ(Heap[0], 1u);
+}
+
+} // namespace
+
+namespace {
+
+// Robustness: recovery over arbitrarily corrupted log content must not
+// crash, must stay inside the pool, and must be idempotent.
+TEST(RecoveryFuzz, RandomLogBytesNeverCrashRecovery) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    PMemConfig PC;
+    PC.PoolBytes = 1 << 20;
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    PMemPool Pool(PC);
+    PoolHeader *H = formatPool(Pool, 2, 128, 4096);
+    Rng R(Seed * 77);
+    // Fill both logs (and a bit of heap) with random bytes, including
+    // words that look like tags, torn entries and wild addresses.
+    for (unsigned T = 0; T != 2; ++T) {
+      UndoLogRegion Region = logRegionFor(Pool.base(), *H, T);
+      for (size_t S = 0; S != Region.NumEntries; ++S) {
+        uint64_t W0 = R.next(), W1 = R.next();
+        if (R.chance(1, 4))
+          W0 = (W0 & 1) | (R.chance(1, 2) ? TagLogged : TagCommitted);
+        Pool.persistDirect(Region.addrWordAt(S), &W0, 8);
+        Pool.persistDirect(Region.valWordAt(S), &W1, 8);
+      }
+    }
+    Pool.crash();
+    RecoveryReport Rep = RecoveryObserver::recoverPool(Pool);
+    EXPECT_TRUE(Rep.HeaderValid);
+    // Second recovery is a no-op (logs were zeroed).
+    RecoveryReport Rep2 = RecoveryObserver::recoverPool(Pool);
+    EXPECT_EQ(Rep2.SequencesFound, 0u);
+  }
+}
+
+TEST(RecoveryFuzz, TruncatedImageIsRejectedGracefully) {
+  for (size_t Bytes : {0ul, 8ul, 63ul, sizeof(PoolHeader) - 1}) {
+    std::vector<uint8_t> Image(Bytes, 0x5A);
+    RecoveryReport Rep = RecoveryObserver::recoverImage(Image);
+    EXPECT_FALSE(Rep.HeaderValid);
+  }
+}
+
+TEST(RecoveryFuzz, HeaderWithHugeGeometryIsRejected) {
+  std::vector<uint8_t> Image(4096, 0);
+  PoolHeader H;
+  H.Magic = PoolMagic;
+  H.NumThreads = 1000;
+  H.LogEntriesPerThread = 1 << 20; // Logs would not fit in the image.
+  H.LogsOffset = 64;
+  std::memcpy(Image.data(), &H, sizeof(H));
+  RecoveryReport Rep = RecoveryObserver::recoverImage(Image);
+  EXPECT_FALSE(Rep.HeaderValid);
+}
+
+} // namespace

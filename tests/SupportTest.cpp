@@ -1,0 +1,113 @@
+//===- tests/SupportTest.cpp - Support utility tests ----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CacheLine.h"
+#include "support/Clock.h"
+#include "support/FunctionRef.h"
+#include "support/Rng.h"
+#include "support/Spin.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace crafty;
+
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  Rng A2(42), C2(43);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40})
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBounded(Bound), Bound);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  constexpr int Trials = 20000;
+  for (int I = 0; I != Trials; ++I)
+    if (R.chance(1, 4))
+      ++Hits;
+  EXPECT_GT(Hits, Trials / 4 - Trials / 20);
+  EXPECT_LT(Hits, Trials / 4 + Trials / 20);
+}
+
+TEST(Rng, ValuesAreWellSpread) {
+  Rng R(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.next());
+  EXPECT_EQ(Seen.size(), 1000u) << "64-bit outputs should not collide";
+}
+
+TEST(CacheLine, GeometryHelpers) {
+  alignas(64) static uint8_t Buf[192];
+  EXPECT_EQ(lineOf(&Buf[0]), reinterpret_cast<uintptr_t>(&Buf[0]));
+  EXPECT_EQ(lineOf(&Buf[63]), reinterpret_cast<uintptr_t>(&Buf[0]));
+  EXPECT_EQ(lineOf(&Buf[64]), reinterpret_cast<uintptr_t>(&Buf[64]));
+  EXPECT_TRUE(isWordAligned(&Buf[0]));
+  EXPECT_TRUE(isWordAligned(&Buf[8]));
+  EXPECT_FALSE(isWordAligned(&Buf[4]));
+}
+
+TEST(Clock, MonotonicNanosAdvances) {
+  uint64_t A = monotonicNanos();
+  spinForNanos(1000);
+  uint64_t B = monotonicNanos();
+  EXPECT_GE(B - A, 1000u);
+}
+
+TEST(Clock, SpinForZeroIsFree) {
+  uint64_t A = monotonicNanos();
+  spinForNanos(0);
+  EXPECT_LT(monotonicNanos() - A, 1000000u);
+}
+
+TEST(FunctionRef, ForwardsArgumentsAndResults) {
+  int Calls = 0;
+  auto Lambda = [&Calls](int X) {
+    ++Calls;
+    return X * 2;
+  };
+  FunctionRef<int(int)> Ref(Lambda);
+  EXPECT_EQ(Ref(21), 42);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_TRUE(static_cast<bool>(Ref));
+  FunctionRef<int(int)> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+}
+
+TEST(FunctionRef, ReferencesMutableState) {
+  uint64_t Sum = 0;
+  auto Add = [&Sum](uint64_t V) { Sum += V; };
+  FunctionRef<void(uint64_t)> Ref(Add);
+  Ref(5);
+  Ref(7);
+  EXPECT_EQ(Sum, 12u);
+}
+
+TEST(Spin, BackoffEventuallyYields) {
+  SpinBackoff B;
+  for (int I = 0; I != 100; ++I)
+    B.pause(); // Must not hang or crash; yields after bursts.
+  B.reset();
+  B.pause();
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/WorkloadsTest.cpp - Workload x system matrix -----------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Integration matrix: every evaluated workload runs on every evaluated
+// system with multiple threads, and its invariants must hold afterwards
+// -- the same code paths the figure benches exercise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+#include "gtest/gtest.h"
+
+#include <tuple>
+
+using namespace crafty;
+
+namespace {
+
+class Matrix
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, SystemKind>> {
+};
+
+TEST_P(Matrix, InvariantsHoldUnderConcurrency) {
+  auto [Workload, System] = GetParam();
+  ExperimentConfig C;
+  C.Workload = Workload;
+  C.System = System;
+  C.Threads = 3;
+  C.OpsPerThread = Workload == WorkloadKind::Labyrinth ? 30 : 120;
+  C.DrainLatencyNs = 0;
+  C.PoolBytes = 512ull << 20;
+  ExperimentResult R = runExperiment(C);
+  EXPECT_EQ(R.VerifyError, "") << "invariant violated";
+  EXPECT_EQ(R.Ops, C.OpsPerThread * C.Threads);
+  EXPECT_GT(R.OpsPerSecond, 0.0);
+}
+
+std::string
+matrixName(const ::testing::TestParamInfo<Matrix::ParamType> &Info) {
+  std::string N = workloadKindName(std::get<0>(Info.param));
+  N += "_";
+  N += systemKindName(std::get<1>(Info.param));
+  for (char &C : N)
+    if (C == '-' || C == '+')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, Matrix,
+    ::testing::Combine(::testing::ValuesIn(AllWorkloads),
+                       ::testing::ValuesIn(AllSystems)),
+    matrixName);
+
+TEST(WritesPerTxn, MatchTable1Profile) {
+  // Table 1 calibration: measured writes per transaction should land in
+  // the neighbourhood the paper reports for each workload.
+  struct Row {
+    WorkloadKind Kind;
+    double Lo, Hi;
+  };
+  const Row Rows[] = {
+      {WorkloadKind::BankHigh, 10.0, 10.0},   // Paper: 10.0
+      {WorkloadKind::BankMedium, 10.0, 10.0}, // Paper: 10.0
+      {WorkloadKind::BankNone, 10.0, 10.0},   // Paper: 10.0
+      {WorkloadKind::BTreeInsert, 8.0, 20.0}, // Paper: 14.0
+      {WorkloadKind::BTreeMixed, 6.0, 20.0},  // Paper: 13.3
+      {WorkloadKind::KMeansHigh, 25.0, 25.0}, // Paper: 25.0
+      {WorkloadKind::KMeansLow, 25.0, 25.0},  // Paper: 25.0
+      {WorkloadKind::VacationHigh, 6.0, 9.0}, // Paper: 8.0
+      {WorkloadKind::VacationLow, 4.0, 7.0},  // Paper: 5.5
+      {WorkloadKind::Labyrinth, 80.0, 260.0}, // Paper: ~177 (ours dilutes
+       // with failed read-only routes and releases)
+      {WorkloadKind::Ssca2, 1.5, 2.5},        // Paper: 2.0
+      {WorkloadKind::Genome, 1.0, 2.5},       // Paper: ~2.1
+      {WorkloadKind::Intruder, 1.2, 2.5},     // Paper: 1.8
+  };
+  for (const Row &R : Rows) {
+    ExperimentConfig C;
+    C.Workload = R.Kind;
+    C.System = SystemKind::Crafty;
+    C.Threads = 2;
+    C.OpsPerThread = R.Kind == WorkloadKind::Labyrinth ? 40 : 300;
+    C.DrainLatencyNs = 0;
+    ExperimentResult Res = runExperiment(C);
+    ASSERT_GT(Res.Txn.transactions(), 0u);
+    double Avg = (double)Res.Txn.Writes / (double)Res.Txn.transactions();
+    EXPECT_GE(Avg, R.Lo) << workloadKindName(R.Kind);
+    EXPECT_LE(Avg, R.Hi) << workloadKindName(R.Kind);
+  }
+}
+
+} // namespace
