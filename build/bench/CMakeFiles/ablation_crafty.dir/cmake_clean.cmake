@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_crafty.dir/ablation_crafty.cpp.o"
+  "CMakeFiles/ablation_crafty.dir/ablation_crafty.cpp.o.d"
+  "ablation_crafty"
+  "ablation_crafty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crafty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compensated_latency.dir/compensated_latency.cpp.o"
+  "CMakeFiles/compensated_latency.dir/compensated_latency.cpp.o.d"
+  "compensated_latency"
+  "compensated_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compensated_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig22_24_latency100.cpp" "bench/CMakeFiles/fig22_24_latency100.dir/fig22_24_latency100.cpp.o" "gcc" "bench/CMakeFiles/fig22_24_latency100.dir/fig22_24_latency100.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/crafty_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/crafty_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crafty_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/crafty_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crafty_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/crafty_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/crafty_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crafty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_24_latency100.dir/fig22_24_latency100.cpp.o"
+  "CMakeFiles/fig22_24_latency100.dir/fig22_24_latency100.cpp.o.d"
+  "fig22_24_latency100"
+  "fig22_24_latency100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_24_latency100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

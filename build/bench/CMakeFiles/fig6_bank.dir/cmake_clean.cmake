@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bank.dir/fig6_bank.cpp.o"
+  "CMakeFiles/fig6_bank.dir/fig6_bank.cpp.o.d"
+  "fig6_bank"
+  "fig6_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_btree.dir/fig7_btree.cpp.o"
+  "CMakeFiles/fig7_btree.dir/fig7_btree.cpp.o.d"
+  "fig7_btree"
+  "fig7_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

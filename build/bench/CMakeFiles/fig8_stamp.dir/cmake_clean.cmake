@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stamp.dir/fig8_stamp.cpp.o"
+  "CMakeFiles/fig8_stamp.dir/fig8_stamp.cpp.o.d"
+  "fig8_stamp"
+  "fig8_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

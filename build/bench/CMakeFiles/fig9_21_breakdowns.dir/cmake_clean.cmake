@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_21_breakdowns.dir/fig9_21_breakdowns.cpp.o"
+  "CMakeFiles/fig9_21_breakdowns.dir/fig9_21_breakdowns.cpp.o.d"
+  "fig9_21_breakdowns"
+  "fig9_21_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_21_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_writes.dir/table1_writes.cpp.o"
+  "CMakeFiles/table1_writes.dir/table1_writes.cpp.o.d"
+  "table1_writes"
+  "table1_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_bank.dir/concurrent_bank.cpp.o"
+  "CMakeFiles/concurrent_bank.dir/concurrent_bank.cpp.o.d"
+  "concurrent_bank"
+  "concurrent_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

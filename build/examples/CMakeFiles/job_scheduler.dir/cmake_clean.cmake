@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_scheduler.dir/job_scheduler.cpp.o"
+  "CMakeFiles/job_scheduler.dir/job_scheduler.cpp.o.d"
+  "job_scheduler"
+  "job_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_durability.dir/lock_durability.cpp.o"
+  "CMakeFiles/lock_durability.dir/lock_durability.cpp.o.d"
+  "lock_durability"
+  "lock_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

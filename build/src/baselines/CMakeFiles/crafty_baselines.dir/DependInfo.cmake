@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/BaselineCommon.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/BaselineCommon.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/BaselineCommon.cpp.o.d"
+  "/root/repo/src/baselines/DudeTm.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/DudeTm.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/DudeTm.cpp.o.d"
+  "/root/repo/src/baselines/Factory.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/Factory.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/Factory.cpp.o.d"
+  "/root/repo/src/baselines/NvHtm.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/NvHtm.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/NvHtm.cpp.o.d"
+  "/root/repo/src/baselines/NvHtmRecovery.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/NvHtmRecovery.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/NvHtmRecovery.cpp.o.d"
+  "/root/repo/src/baselines/RedoPipeline.cpp" "src/baselines/CMakeFiles/crafty_baselines.dir/RedoPipeline.cpp.o" "gcc" "src/baselines/CMakeFiles/crafty_baselines.dir/RedoPipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crafty_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/crafty_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/crafty_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crafty_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

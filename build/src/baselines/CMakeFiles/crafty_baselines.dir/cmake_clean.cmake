@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_baselines.dir/BaselineCommon.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/BaselineCommon.cpp.o.d"
+  "CMakeFiles/crafty_baselines.dir/DudeTm.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/DudeTm.cpp.o.d"
+  "CMakeFiles/crafty_baselines.dir/Factory.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/Factory.cpp.o.d"
+  "CMakeFiles/crafty_baselines.dir/NvHtm.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/NvHtm.cpp.o.d"
+  "CMakeFiles/crafty_baselines.dir/NvHtmRecovery.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/NvHtmRecovery.cpp.o.d"
+  "CMakeFiles/crafty_baselines.dir/RedoPipeline.cpp.o"
+  "CMakeFiles/crafty_baselines.dir/RedoPipeline.cpp.o.d"
+  "libcrafty_baselines.a"
+  "libcrafty_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_core.dir/Crafty.cpp.o"
+  "CMakeFiles/crafty_core.dir/Crafty.cpp.o.d"
+  "libcrafty_core.a"
+  "libcrafty_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_harness.dir/Harness.cpp.o"
+  "CMakeFiles/crafty_harness.dir/Harness.cpp.o.d"
+  "libcrafty_harness.a"
+  "libcrafty_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

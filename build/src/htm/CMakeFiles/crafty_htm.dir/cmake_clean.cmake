@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_htm.dir/Htm.cpp.o"
+  "CMakeFiles/crafty_htm.dir/Htm.cpp.o.d"
+  "libcrafty_htm.a"
+  "libcrafty_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_pmem.dir/PMemAllocator.cpp.o"
+  "CMakeFiles/crafty_pmem.dir/PMemAllocator.cpp.o.d"
+  "CMakeFiles/crafty_pmem.dir/PMemPool.cpp.o"
+  "CMakeFiles/crafty_pmem.dir/PMemPool.cpp.o.d"
+  "libcrafty_pmem.a"
+  "libcrafty_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

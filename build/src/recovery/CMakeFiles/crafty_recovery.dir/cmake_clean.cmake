@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_recovery.dir/Recovery.cpp.o"
+  "CMakeFiles/crafty_recovery.dir/Recovery.cpp.o.d"
+  "libcrafty_recovery.a"
+  "libcrafty_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

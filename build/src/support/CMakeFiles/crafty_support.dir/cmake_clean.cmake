@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_support.dir/Clock.cpp.o"
+  "CMakeFiles/crafty_support.dir/Clock.cpp.o.d"
+  "libcrafty_support.a"
+  "libcrafty_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BTree.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/BTree.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/BTree.cpp.o.d"
+  "/root/repo/src/workloads/Bank.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Bank.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Bank.cpp.o.d"
+  "/root/repo/src/workloads/Genome.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Genome.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Genome.cpp.o.d"
+  "/root/repo/src/workloads/Intruder.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Intruder.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Intruder.cpp.o.d"
+  "/root/repo/src/workloads/KMeans.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/KMeans.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/KMeans.cpp.o.d"
+  "/root/repo/src/workloads/Labyrinth.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Labyrinth.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Labyrinth.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Ssca2.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Ssca2.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Ssca2.cpp.o.d"
+  "/root/repo/src/workloads/Vacation.cpp" "src/workloads/CMakeFiles/crafty_workloads.dir/Vacation.cpp.o" "gcc" "src/workloads/CMakeFiles/crafty_workloads.dir/Vacation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crafty_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/crafty_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/crafty_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/crafty_htm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

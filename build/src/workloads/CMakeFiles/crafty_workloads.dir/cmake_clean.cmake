@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_workloads.dir/BTree.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/BTree.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Bank.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Bank.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Genome.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Genome.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Intruder.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Intruder.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/KMeans.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/KMeans.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Labyrinth.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Labyrinth.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Ssca2.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Ssca2.cpp.o.d"
+  "CMakeFiles/crafty_workloads.dir/Vacation.cpp.o"
+  "CMakeFiles/crafty_workloads.dir/Vacation.cpp.o.d"
+  "libcrafty_workloads.a"
+  "libcrafty_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_test.dir/CraftyTest.cpp.o"
+  "CMakeFiles/crafty_test.dir/CraftyTest.cpp.o.d"
+  "crafty_test"
+  "crafty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_entry_test.dir/LogEntryTest.cpp.o"
+  "CMakeFiles/log_entry_test.dir/LogEntryTest.cpp.o.d"
+  "log_entry_test"
+  "log_entry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

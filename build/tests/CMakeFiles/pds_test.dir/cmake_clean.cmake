@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_test.dir/PdsTest.cpp.o"
+  "CMakeFiles/pds_test.dir/PdsTest.cpp.o.d"
+  "pds_test"
+  "pds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redo_pipeline_test.dir/RedoPipelineTest.cpp.o"
+  "CMakeFiles/redo_pipeline_test.dir/RedoPipelineTest.cpp.o.d"
+  "redo_pipeline_test"
+  "redo_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redo_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

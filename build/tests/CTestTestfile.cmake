@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(htm_test "/root/repo/build/tests/htm_test")
+set_tests_properties(htm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pmem_test "/root/repo/build/tests/pmem_test")
+set_tests_properties(pmem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(log_entry_test "/root/repo/build/tests/log_entry_test")
+set_tests_properties(log_entry_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crafty_test "/root/repo/build/tests/crafty_test")
+set_tests_properties(crafty_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(recovery_test "/root/repo/build/tests/recovery_test")
+set_tests_properties(recovery_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crash_property_test "/root/repo/build/tests/crash_property_test")
+set_tests_properties(crash_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(redo_pipeline_test "/root/repo/build/tests/redo_pipeline_test")
+set_tests_properties(redo_pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pds_test "/root/repo/build/tests/pds_test")
+set_tests_properties(pds_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_check_test "/root/repo/build/tests/model_check_test")
+set_tests_properties(model_check_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;23;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;25;crafty_add_test;/root/repo/tests/CMakeLists.txt;0;")
