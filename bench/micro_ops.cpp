@@ -70,7 +70,8 @@ void BM_UndoEntryEncodeDecode(benchmark::State &State) {
   uint64_t Addr = reinterpret_cast<uint64_t>(&Var);
   uint64_t V = 0;
   for (auto _ : State) {
-    EncodedEntry E = encodeDataEntry(Addr, ++V, V & 1);
+    ++V;
+    EncodedEntry E = encodeDataEntry(Addr, V, V & 1);
     DecodedEntry D = decodeEntry(E.AddrWord, E.ValWord);
     benchmark::DoNotOptimize(D);
   }

@@ -49,19 +49,22 @@ void DudeTmBackend::persistRecord(void *Ctx, const RedoTxnRecord &R) {
                "reproduction does not model)");
   uint64_t *Out = Self->LogRegion + Self->LogCursor;
   uint64_t *Start = Out;
+  // Log slots are written once from their zeroed state (the log never
+  // wraps), so each store's old value is 0.
   Out[0] = NvHtmRecordMagic | (uint64_t)R.Writes.size();
-  Self->Pool.onCommittedStore(&Out[0]);
+  Self->Pool.onCommittedStore(&Out[0], 0, Out[0]);
   Out += 1;
   for (const RedoEntry &E : R.Writes) {
     Out[0] = reinterpret_cast<uint64_t>(E.Addr);
     Out[1] = E.Val;
-    Self->Pool.onCommittedStore(Out);
+    Self->Pool.onCommittedStore(&Out[0], 0, Out[0]);
+    Self->Pool.onCommittedStore(&Out[1], 0, Out[1]);
     Out += 2;
   }
   Out[0] = R.Ts;
   Out[1] = R.Ts | NvHtmMarkerBit;
-  Self->Pool.onCommittedStore(Out);
-  Self->Pool.onCommittedStore(Out + 1);
+  Self->Pool.onCommittedStore(&Out[0], 0, Out[0]);
+  Self->Pool.onCommittedStore(&Out[1], 0, Out[1]);
   Self->LogCursor += Needed;
   Self->Pool.clwbRange(Self->LogPersistThreadId, Start, Needed * 8);
   Self->Pool.drain(Self->LogPersistThreadId);

@@ -77,17 +77,20 @@ void NvHtmBackend::appendLogAndPersist(unsigned Tid, uint64_t Ts) {
                "reproduction does not model)");
   uint64_t *Out = PT.LogRegion + PT.LogCursor;
   uint64_t *Start = Out;
+  // Log slots are written once from their zeroed state (the log never
+  // wraps), so each store's old value is 0.
   Out[0] = NvHtmRecordMagic | (uint64_t)Writes.size();
-  Pool.onCommittedStore(&Out[0]);
+  Pool.onCommittedStore(&Out[0], 0, Out[0]);
   Out += 1;
   for (const RedoEntry &E : Writes) {
     Out[0] = reinterpret_cast<uint64_t>(E.Addr);
     Out[1] = E.Val;
-    Pool.onCommittedStore(Out);
+    Pool.onCommittedStore(&Out[0], 0, Out[0]);
+    Pool.onCommittedStore(&Out[1], 0, Out[1]);
     Out += 2;
   }
   Out[0] = Ts; // The COMMIT marker slot (Out[1]) stays zero until after
-  Pool.onCommittedStore(Out); // the fence.
+  Pool.onCommittedStore(&Out[0], 0, Out[0]); // the fence.
   Out += 1;
   PT.LogCursor = (Out - PT.LogRegion) + 1;
   Pool.clwbRange(Tid, Start, (Out - Start) * 8);
@@ -119,7 +122,7 @@ void NvHtmBackend::run(unsigned ThreadId, TxnBody Body) {
   // tolerates missing markers via the stop-timestamp rule).
   uint64_t *Marker = PT.LogRegion + (PT.LogCursor - 1);
   *Marker = Ts | NvHtmMarkerBit;
-  Pool.onCommittedStore(Marker);
+  Pool.onCommittedStore(Marker, 0, *Marker);
   Pool.clwb(ThreadId, Marker);
 
   // Hand the writes to the checkpointer before unpublishing so the

@@ -7,6 +7,7 @@
 
 #include "core/Crafty.h"
 
+#include "check/PersistCheck.h"
 #include "support/Clock.h"
 #include "support/Spin.h"
 
@@ -71,6 +72,14 @@ CraftyRuntime::CraftyRuntime(PMemPool &Pool, HtmRuntime &Htm,
       Alloc = std::make_unique<PMemAllocator>(Pool, Config.NumThreads,
                                               Config.ArenaBytesPerThread);
   }
+  if (Config.EnablePersistCheck) {
+    Checker = std::make_unique<PersistCheck>(Pool);
+    for (unsigned I = 0; I != Config.NumThreads; ++I) {
+      UndoLogRegion Region = logRegionFor(Pool.base(), *Header, I);
+      Checker->registerLogRegion(I, Region.Slots, Region.NumEntries);
+    }
+    Checker->attach();
+  }
   Threads.reserve(Config.NumThreads);
   for (unsigned I = 0; I != Config.NumThreads; ++I)
     Threads.push_back(std::make_unique<CraftyThread>(*this, I));
@@ -82,7 +91,10 @@ CraftyRuntime::attach(PMemPool &Pool, HtmRuntime &Htm, CraftyConfig Config) {
       new CraftyRuntime(Pool, Htm, Config, /*Attach=*/true));
 }
 
-CraftyRuntime::~CraftyRuntime() = default;
+CraftyRuntime::~CraftyRuntime() {
+  if (Checker)
+    Checker->detach();
+}
 
 const char *CraftyRuntime::name() const {
   if (Config.Mode == CraftyMode::ThreadUnsafe)
@@ -192,7 +204,7 @@ void CraftyRuntime::persistBarrier(unsigned CallerThreadId) {
 //===----------------------------------------------------------------------===//
 
 CraftyThread::CraftyThread(CraftyRuntime &Rt, unsigned ThreadId)
-    : Rt(Rt), ThreadId(ThreadId),
+    : Rt(Rt), ThreadId(ThreadId), Check(Rt.Checker.get()),
       Tx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1),
       ForceTx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1000003),
       Log(logRegionFor(Rt.Pool.base(), *Rt.Header, ThreadId)) {
@@ -395,13 +407,16 @@ void CraftyThread::maybeMaintainLog(uint64_t EntriesNeeded) {
 //===----------------------------------------------------------------------===//
 
 void CraftyThread::run(TxnBody Body) {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->beginTxn(ThreadId);
   if (Rt.Config.Mode == CraftyMode::ThreadUnsafe) {
     resetAttemptState();
     runChunkedSection(Body, /*AcquireSgl=*/false);
-    return;
-  }
-  if (!tryThreadSafe(Body))
+  } else if (!tryThreadSafe(Body)) {
     runChunkedSection(Body, /*AcquireSgl=*/true);
+  }
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->endTxn();
 }
 
 bool CraftyThread::tryThreadSafe(TxnBody Body) {
@@ -489,6 +504,8 @@ bool CraftyThread::tryThreadSafe(TxnBody Body) {
 }
 
 CraftyThread::LogOutcome CraftyThread::logPhase(TxnBody Body) {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->setPhase("log");
   maybeMaintainLog(maxSeqEntries() + 1);
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.LogPhaseNs);
   CurPhase = Phase::Log;
@@ -533,6 +550,8 @@ CraftyThread::LogOutcome CraftyThread::logPhase(TxnBody Body) {
 }
 
 CraftyThread::PhaseOutcome CraftyThread::redoPhase() {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->setPhase("redo");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.RedoPhaseNs);
   TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
     if (T.load(&Rt.SglWord) != 0)
@@ -563,6 +582,8 @@ CraftyThread::PhaseOutcome CraftyThread::redoPhase() {
 }
 
 CraftyThread::PhaseOutcome CraftyThread::validatePhase(TxnBody Body) {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->setPhase("validate");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.ValidatePhaseNs);
   CurPhase = Phase::Validate;
   TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
@@ -595,6 +616,8 @@ CraftyThread::PhaseOutcome CraftyThread::validatePhase(TxnBody Body) {
 }
 
 void CraftyThread::finishCommit(bool ViaRedo) {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->setPhase("commit");
   // Flush the program writes and the updated COMMITTED timestamp with no
   // drain; the next transaction's commit fence (or recovery's rollback of
   // the thread's last sequence) covers the rest (Section 4.2).
@@ -619,6 +642,8 @@ void CraftyThread::finishCommit(bool ViaRedo) {
 //===----------------------------------------------------------------------===//
 
 void CraftyThread::runChunkedSection(TxnBody Body, bool AcquireSgl) {
+  if (CRAFTY_UNLIKELY(Check != nullptr))
+    Check->setPhase("chunked");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.SglNs);
   if (AcquireSgl) {
     SpinBackoff Backoff;
@@ -742,8 +767,11 @@ void CraftyThread::writeEntryDirect(uint64_t AbsPos, uint64_t *Addr,
                                    Log.passFor(AbsPos));
   Rt.Htm.nonTxStore(Log.addrWordAt(Slot), E.AddrWord);
   Rt.Htm.nonTxStore(Log.valWordAt(Slot), E.ValWord);
-  if (AbsPos > 0) // Predecessor boundary; see flushStagedEntries.
-    Rt.Pool.clwb(ThreadId, Log.addrWordAt(Log.slotFor(AbsPos - 1)));
+  if (AbsPos > 0) { // Predecessor boundary; see flushStagedEntries.
+    uint64_t *Prev = Log.addrWordAt(Log.slotFor(AbsPos - 1));
+    if (lineOf(Prev) != lineOf(Log.addrWordAt(Slot)))
+      Rt.Pool.clwb(ThreadId, Prev);
+  }
   Rt.Pool.clwb(ThreadId, Log.addrWordAt(Slot));
 }
 

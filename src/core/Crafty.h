@@ -59,6 +59,7 @@
 namespace crafty {
 
 class CraftyRuntime;
+class PersistCheck;
 
 /// Per-thread Crafty execution context. Obtain via
 /// CraftyRuntime::thread(); use from one thread at a time.
@@ -145,6 +146,9 @@ private:
 
   CraftyRuntime &Rt;
   unsigned ThreadId;
+  /// Non-null when Config.EnablePersistCheck: the runtime's checker, to
+  /// which run() reports transaction scopes and phase transitions.
+  PersistCheck *Check;
   HtmTx Tx;
   /// Separate context for Section 5.2 forced-commit transactions: they
   /// may run while Tx's abort environment is armed across a chunked-mode
@@ -217,6 +221,9 @@ public:
   HtmRuntime &htm() { return Htm; }
   PMemAllocator *allocator() { return Alloc.get(); }
   PoolHeader *poolHeader() { return Header; }
+  /// The attached persist-ordering checker, or null when
+  /// Config.EnablePersistCheck is false.
+  PersistCheck *persistCheck() { return Checker.get(); }
 
   CraftyThread &thread(unsigned ThreadId) { return *Threads[ThreadId]; }
 
@@ -260,6 +267,7 @@ private:
   CraftyConfig Config;
   PoolHeader *Header = nullptr;
   std::unique_ptr<PMemAllocator> Alloc;
+  std::unique_ptr<PersistCheck> Checker;
   std::vector<std::unique_ptr<CraftyThread>> Threads;
 
   /// Timestamp of the last committed writes by any thread (Section 4.2).

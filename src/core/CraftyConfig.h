@@ -72,6 +72,13 @@ struct CraftyConfig {
   /// per phase; off by default to keep the hot path clean).
   bool CollectPhaseTimings = false;
 
+  /// Attach the PersistCheck persist-ordering checker (check/PersistCheck.h)
+  /// to the pool for this runtime's lifetime: every committed store, CLWB,
+  /// drain and eviction is validated against the Crafty durability
+  /// invariants. Near-zero cost when false (one predicted branch per
+  /// transaction); intended for tests and debugging, not production runs.
+  bool EnablePersistCheck = false;
+
   /// Test-only hook: invoked after a Log phase commits and its entries
   /// are flushed, before the Redo phase runs. Lets tests interleave
   /// conflicting commits deterministically into the Log->Redo window.

@@ -61,9 +61,10 @@ void HtmRuntime::nonTxStore(uint64_t *Addr, uint64_t Val) {
     Backoff.pause();
   }
   uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t Old = __atomic_load_n(Addr, __ATOMIC_RELAXED);
   __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
   if (Hooks.OnStore)
-    Hooks.OnStore(Hooks.Ctx, Addr);
+    Hooks.OnStore(Hooks.Ctx, Addr, Old, Val);
   Stripe.store(Version << 1, std::memory_order_release);
 }
 
@@ -91,7 +92,7 @@ bool HtmRuntime::nonTxCas(uint64_t *Addr, uint64_t Expected,
   uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
   __atomic_store_n(Addr, Desired, __ATOMIC_RELEASE);
   if (Hooks.OnStore)
-    Hooks.OnStore(Hooks.Ctx, Addr);
+    Hooks.OnStore(Hooks.Ctx, Addr, Cur, Desired);
   Stripe.store(Version << 1, std::memory_order_release);
   return true;
 }
@@ -383,14 +384,16 @@ uint64_t HtmTx::commit() {
     uint64_t Val = Slot.IsCommitVersion
                        ? (CommitVersion << Slot.Shift) | Slot.OrMask
                        : Slot.Val;
+    uint64_t Old = __atomic_load_n(Slot.Addr, __ATOMIC_RELAXED);
     __atomic_store_n(Slot.Addr, Val, __ATOMIC_RELEASE);
     if (Hooks.OnStore)
-      Hooks.OnStore(Hooks.Ctx, Slot.Addr);
+      Hooks.OnStore(Hooks.Ctx, Slot.Addr, Old, Val);
   }
   for (const auto &[Addr, Val] : StreamWrites) {
+    uint64_t Old = __atomic_load_n(Addr, __ATOMIC_RELAXED);
     __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
     if (Hooks.OnStore)
-      Hooks.OnStore(Hooks.Ctx, Addr);
+      Hooks.OnStore(Hooks.Ctx, Addr, Old, Val);
   }
 
   uint64_t NewStripeVersion = CommitVersion << 1;

@@ -126,7 +126,12 @@ struct MemoryHooks {
   void *Ctx = nullptr;
   /// Called (with the runtime-internal stripe still locked) for every word
   /// stored by a committing transaction or a non-transactional store.
-  void (*OnStore)(void *Ctx, void *Addr) = nullptr;
+  /// \p OldVal is the word's content immediately before the store and
+  /// \p NewVal the value stored; observers (persistence checking) use the
+  /// pair to tell value-changing stores from no-op ones (e.g. the Log
+  /// phase's rollback writes restore exactly the value already in memory).
+  void (*OnStore)(void *Ctx, void *Addr, uint64_t OldVal,
+                  uint64_t NewVal) = nullptr;
   /// Called once per successful commit, before the transaction's write-back
   /// becomes visible. \p ThreadId identifies the committing context.
   void (*OnCommitFence)(void *Ctx, uint32_t ThreadId) = nullptr;

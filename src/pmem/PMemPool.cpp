@@ -42,6 +42,8 @@ PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
   }
 }
 
+PMemObserver::~PMemObserver() = default;
+
 PMemPool::~PMemPool() { std::free(Base); }
 
 void *PMemPool::carve(size_t CarveBytes, size_t Align) {
@@ -70,6 +72,10 @@ void PMemPool::clwb(uint32_t ThreadId, const void *Addr) {
   // The write-back completes asynchronously after the NVM round trip.
   if (Config.DrainLatencyNs)
     Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  // Notified under the slot lock so the observer sees clwb/drain events
+  // for one thread slot in their true order.
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onClwb(ThreadId, Addr);
   Slot.unlock();
 }
 
@@ -99,6 +105,8 @@ void PMemPool::drain(uint32_t ThreadId) {
   bool HadPending = Slot.HasPending;
   uint64_t Deadline = Slot.PendingDeadline;
   Slot.HasPending = false;
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onDrain(ThreadId);
   Slot.unlock();
   DrainCount.fetch_add(1, std::memory_order_relaxed);
   // SFENCE semantics: wait only for write-backs still in flight; CLWBs
@@ -120,6 +128,8 @@ void PMemPool::drainRemote(uint32_t ThreadId) {
     Slot.PendingLines.clear();
   }
   Slot.HasPending = false;
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onDrain(ThreadId);
   Slot.unlock();
 }
 
@@ -146,7 +156,28 @@ thread_local Rng EvictionRngStorage;
 static std::atomic<uint64_t> EvictionThreadCounter{0};
 
 void PMemPool::onCommittedStore(void *Addr) {
-  if (Config.Mode != PMemMode::Tracked || !contains(Addr))
+  if (CRAFTY_LIKELY(Observer == nullptr) && Config.Mode != PMemMode::Tracked)
+    return;
+  if (!contains(Addr))
+    return;
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onStore(Addr, 0, 0, /*ValuesKnown=*/false);
+  committedStoreCommon(Addr);
+}
+
+void PMemPool::onCommittedStore(void *Addr, uint64_t OldVal,
+                                uint64_t NewVal) {
+  if (CRAFTY_LIKELY(Observer == nullptr) && Config.Mode != PMemMode::Tracked)
+    return;
+  if (!contains(Addr))
+    return;
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onStore(Addr, OldVal, NewVal, /*ValuesKnown=*/true);
+  committedStoreCommon(Addr);
+}
+
+void PMemPool::committedStoreCommon(void *Addr) {
+  if (Config.Mode != PMemMode::Tracked)
     return;
   size_t Line = lineIndex(Addr);
   Dirty[Line].store(1, std::memory_order_relaxed);
@@ -161,6 +192,8 @@ void PMemPool::onCommittedStore(void *Addr) {
   if (EvictionRngPtr->chance(Config.EvictionPerMillion, 1000000)) {
     copyLineToImage(Line);
     EvictCount.fetch_add(1, std::memory_order_relaxed);
+    if (CRAFTY_UNLIKELY(Observer != nullptr))
+      Observer->onEvict(Base + Line * CacheLineBytes);
   }
 }
 
@@ -179,6 +212,8 @@ void PMemPool::persistImageWord(uint32_t ThreadId, uint64_t *Addr,
   Slot.HasPending = true;
   if (Config.DrainLatencyNs)
     Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onPersistImageWord(ThreadId, Addr, Val);
   Slot.unlock();
 }
 
@@ -189,6 +224,8 @@ void PMemPool::persistDirect(void *Addr, const void *Src, size_t Len) {
     size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
     std::memcpy(Image.get() + Off, Src, Len);
   }
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onPersistDirect(Addr, Len);
 }
 
 void PMemPool::evictRandomLines(size_t MaxLines) {
@@ -205,6 +242,8 @@ void PMemPool::evictRandomLines(size_t MaxLines) {
     if (Dirty[Line].load(std::memory_order_relaxed)) {
       copyLineToImage(Line);
       EvictCount.fetch_add(1, std::memory_order_relaxed);
+      if (CRAFTY_UNLIKELY(Observer != nullptr))
+        Observer->onEvict(Base + Line * CacheLineBytes);
     }
   }
 }
@@ -218,6 +257,8 @@ void PMemPool::flushEverything() {
       }
   }
   DrainCount.fetch_add(1, std::memory_order_relaxed);
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onFlushEverything();
   spinForNanos(Config.DrainLatencyNs);
 }
 
@@ -232,6 +273,8 @@ void PMemPool::crash() {
     Threads[I].PendingLines.clear();
     Threads[I].HasPending = false;
   }
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onCrash();
 }
 
 std::vector<uint8_t> PMemPool::imageSnapshot() const {
@@ -269,10 +312,13 @@ void PMemPool::reset() {
   ClwbCount.store(0, std::memory_order_relaxed);
   DrainCount.store(0, std::memory_order_relaxed);
   EvictCount.store(0, std::memory_order_relaxed);
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onReset();
 }
 
-static void hookOnStore(void *Ctx, void *Addr) {
-  static_cast<PMemPool *>(Ctx)->onCommittedStore(Addr);
+static void hookOnStore(void *Ctx, void *Addr, uint64_t OldVal,
+                        uint64_t NewVal) {
+  static_cast<PMemPool *>(Ctx)->onCommittedStore(Addr, OldVal, NewVal);
 }
 
 static void hookOnCommitFence(void *Ctx, uint32_t ThreadId) {

@@ -78,6 +78,48 @@ struct PMemStats {
   uint64_t EvictedLines = 0;
 };
 
+/// Observer of every persistence-relevant event a PMemPool sees: committed
+/// stores (via the HTM hooks or direct onCommittedStore calls), CLWB
+/// scheduling, drains, spontaneous evictions, direct persists and crashes.
+/// Installed with PMemPool::setObserver; PersistCheck (src/check/) builds
+/// its persist-state machine on top of this interface. Callbacks may run
+/// concurrently from any thread and may be invoked while pool-internal
+/// locks are held, so implementations must be self-synchronizing and must
+/// never call back into the pool or the HTM runtime.
+class PMemObserver {
+public:
+  virtual ~PMemObserver();
+
+  /// A committed (post-HTM or non-transactional) store of the word at
+  /// \p Addr. \p ValuesKnown is true when \p OldVal / \p NewVal carry the
+  /// word's content before/after the store; legacy onCommittedStore(Addr)
+  /// callers report ValuesKnown = false.
+  virtual void onStore(void *Addr, uint64_t OldVal, uint64_t NewVal,
+                       bool ValuesKnown) = 0;
+  /// CLWB of the line containing \p Addr scheduled by \p ThreadId.
+  virtual void onClwb(uint32_t ThreadId, const void *Addr) = 0;
+  /// \p ThreadId's pending CLWBs completed (explicit drain, an HTM commit
+  /// fence, or another thread's drainRemote).
+  virtual void onDrain(uint32_t ThreadId) = 0;
+  /// Tracked mode: the line containing \p LineAddr was spontaneously
+  /// written back (seeded evictor or evictRandomLines).
+  virtual void onEvict(const void *LineAddr) = 0;
+  /// [Addr, Addr + Len) was written straight to the persistent image and
+  /// the volatile view (persistDirect).
+  virtual void onPersistDirect(const void *Addr, size_t Len) = 0;
+  /// \p ThreadId queued \p Val for the persistent image word at \p Addr
+  /// (persistImageWord; the checkpointer path -- volatile view untouched).
+  virtual void onPersistImageWord(uint32_t ThreadId, const void *Addr,
+                                  uint64_t Val) = 0;
+  /// Every dirty line was persisted (flushEverything).
+  virtual void onFlushEverything() = 0;
+  /// Simulated power failure: volatile state reverted to the image and
+  /// all pending CLWBs discarded.
+  virtual void onCrash() = 0;
+  /// The pool was reset to its pristine zeroed state.
+  virtual void onReset() = 0;
+};
+
 /// The persistent-memory pool. See the file comment for the model.
 class PMemPool {
 public:
@@ -131,10 +173,20 @@ public:
   /// Returns MemoryHooks wiring this pool into an HtmRuntime.
   MemoryHooks htmHooks();
 
+  /// Installs (or, with nullptr, removes) the persistence-event observer.
+  /// Not thread-safe: install before transactions run, remove after they
+  /// quiesce. Near-zero cost when no observer is installed (one branch
+  /// per operation).
+  void setObserver(PMemObserver *Obs) { Observer = Obs; }
+  PMemObserver *observer() const { return Observer; }
+
   /// Marks the line of a committed store dirty and possibly evicts it
   /// (Tracked mode). Called by the HTM write-back hook; also call it for
-  /// any direct store to pool memory made outside transactions.
+  /// any direct store to pool memory made outside transactions. The
+  /// three-argument form additionally reports the word's before/after
+  /// values to the observer (see PMemObserver::onStore).
   void onCommittedStore(void *Addr);
+  void onCommittedStore(void *Addr, uint64_t OldVal, uint64_t NewVal);
 
   /// Writes \p Len bytes at \p Addr directly to the persistent image and
   /// the volatile view, bypassing the cache model. Used by recovery and
@@ -184,10 +236,12 @@ private:
            CacheLineShift;
   }
   void copyLineToImage(size_t Line);
+  void committedStoreCommon(void *Addr);
 
   PMemConfig Config;
   size_t Bytes;
   size_t NumLines;
+  PMemObserver *Observer = nullptr;
   uint8_t *Base = nullptr;
   std::unique_ptr<uint8_t[]> Image; // Tracked mode only.
   std::unique_ptr<std::atomic<uint8_t>[]> Dirty;

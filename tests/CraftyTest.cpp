@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/PersistCheck.h"
 #include "core/Crafty.h"
 #include "recovery/Recovery.h"
 
@@ -33,6 +34,14 @@ struct TestSystem {
              PMemConfig PC = defaultPoolConfig())
       : Pool(PC), Htm(HC), Rt(Pool, Htm, CC) {}
 
+  ~TestSystem() {
+    // Every test in this file runs under PersistCheck (see config()); a
+    // correct runtime must produce no persist-ordering violations.
+    if (PersistCheck *PC = Rt.persistCheck()) {
+      EXPECT_EQ(PC->violationCount(), 0u) << PC->formatViolations();
+    }
+  }
+
   static PMemConfig defaultPoolConfig() {
     PMemConfig PC;
     PC.PoolBytes = 8 << 20;
@@ -46,6 +55,7 @@ CraftyConfig config(unsigned Threads = 1) {
   CraftyConfig C;
   C.NumThreads = Threads;
   C.LogEntriesPerThread = 1 << 12;
+  C.EnablePersistCheck = true;
   return C;
 }
 

@@ -128,9 +128,10 @@ TEST_P(CrashProperty, RecoveredStateIsConsistent) {
   // tight MAX_LAG the recovered prefix must be near the crash point.
   for (unsigned T = 0; T != P.Threads; ++T) {
     EXPECT_LE(Journal[T * 8], (uint64_t)OpsPerThread);
-    if (P.MaxLag && P.MaxLag <= 64)
+    if (P.MaxLag && P.MaxLag <= 64) {
       EXPECT_GE(Journal[T * 8], (uint64_t)OpsPerThread / 2)
           << "MAX_LAG must bound rollback (" << P.Name << ")";
+    }
   }
 
   // (c) Crash + recovery again: already-consistent state is a fixpoint.

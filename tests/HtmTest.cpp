@@ -234,8 +234,11 @@ TEST_F(HtmTest, CommitFenceHookRunsBeforeWriteback) {
     ++S->Fences;
     S->SeenAtFence = __atomic_load_n(S->Target, __ATOMIC_RELAXED);
   };
-  Hooks.OnStore = [](void *Ctx, void *) {
-    ++static_cast<HookState *>(Ctx)->Stores;
+  Hooks.OnStore = [](void *Ctx, void *, uint64_t OldVal, uint64_t NewVal) {
+    auto *S = static_cast<HookState *>(Ctx);
+    ++S->Stores;
+    EXPECT_EQ(OldVal, 0u);
+    EXPECT_EQ(NewVal, 5u);
   };
   Rt->setMemoryHooks(Hooks);
   HtmTx Tx(*Rt, 0);
@@ -409,9 +412,12 @@ TEST_F(HtmTest, NonTxLoadNeverObservesMidCommit) {
   struct alignas(64) Pair {
     uint64_t A;
   };
+  // Start high enough that 4000 decrements cannot wrap below zero: a
+  // wrapped value is a legitimately committed one and would break the
+  // monotonicity bounds below.
   static Pair P[2];
-  P[0].A = 500;
-  P[1].A = 500;
+  P[0].A = 4500;
+  P[1].A = 4500;
   std::atomic<bool> Stop{false};
   std::thread Writer([&] {
     HtmTx Tx(*Rt, 0);
@@ -432,12 +438,12 @@ TEST_F(HtmTest, NonTxLoadNeverObservesMidCommit) {
     uint64_t X = Rt->nonTxLoad(&P[0].A);
     uint64_t Y = Rt->nonTxLoad(&P[1].A);
     // X and Y are from different instants; only check bounds here.
-    if (X > 500 || Y < 500)
+    if (X > 4500 || Y < 4500)
       ++Violations; // Mid-write-back values would break monotonicity.
   }
   Writer.join();
   EXPECT_EQ(Violations, 0u);
-  EXPECT_EQ(P[0].A + P[1].A, 1000u);
+  EXPECT_EQ(P[0].A + P[1].A, 9000u);
 }
 
 TEST_F(HtmTest, AbortDuringCommitRestoresStripeVersions) {

@@ -71,8 +71,9 @@ TEST_P(ModelCheck, BTreeMatchesStdMap) {
       bool Found = Tree.lookup(*F.Backend, 0, Key, &Val);
       auto It = Model.find(Key);
       ASSERT_EQ(Found, It != Model.end());
-      if (Found)
+      if (Found) {
         EXPECT_EQ(Val, It->second);
+      }
       break;
     }
     case 2: {
@@ -112,8 +113,9 @@ TEST_P(ModelCheck, HashMapMatchesStdMap) {
       auto Got = Map.get(*F.Backend, 0, Key);
       auto It = Model.find(Key);
       ASSERT_EQ(Got.has_value(), It != Model.end());
-      if (Got)
+      if (Got) {
         EXPECT_EQ(*Got, It->second);
+      }
       break;
     }
     case 2:

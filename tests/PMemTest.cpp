@@ -146,8 +146,10 @@ TEST(PMemPool, LatencyModeChargesDrain) {
   C.DrainLatencyNs = 200000; // 0.2 ms, measurable.
   PMemPool Pool(C);
   auto *W = static_cast<uint64_t *>(Pool.carve(8));
-  Pool.clwb(0, W);
+  // The write-back's deadline starts at the CLWB (drain waits only for
+  // the remainder), so time the clwb+drain pair as a whole.
   uint64_t T0 = monotonicNanos();
+  Pool.clwb(0, W);
   Pool.drain(0);
   uint64_t Elapsed = monotonicNanos() - T0;
   EXPECT_GE(Elapsed, 200000u);

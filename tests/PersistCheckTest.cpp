@@ -1,0 +1,335 @@
+//===- tests/PersistCheckTest.cpp - PersistCheck checker tests ------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the PersistCheck persist-ordering checker: one seeded violation
+// per diagnostic class (each must yield exactly one source-tagged report),
+// false-positive hardening under adversarial eviction schedules, and
+// clean runs of the correct Crafty runtimes with the checker attached.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/PersistCheck.h"
+#include "core/Crafty.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+namespace {
+
+/// Direct-drive harness: a Tracked pool with the checker attached, a
+/// registered synthetic undo-log region, and helpers that issue hooked
+/// stores the way the runtimes do (write the word, then notify the pool).
+struct CheckerHarness {
+  PMemPool Pool;
+  PersistCheck Check;
+  uint64_t *LogSlots;
+  uint64_t *Data;
+
+  static constexpr size_t LogEntries = 64;
+
+  explicit CheckerHarness(uint32_t EvictionPerMillion = 0)
+      : Pool(poolConfig(EvictionPerMillion)), Check(Pool) {
+    LogSlots = static_cast<uint64_t *>(
+        Pool.carve(LogEntries * 2 * sizeof(uint64_t)));
+    Data = static_cast<uint64_t *>(Pool.carve(1024));
+    Check.registerLogRegion(0, LogSlots, LogEntries);
+    Check.attach();
+  }
+
+  static PMemConfig poolConfig(uint32_t EvictionPerMillion) {
+    PMemConfig PC;
+    PC.PoolBytes = 1 << 20;
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    PC.EvictionPerMillion = EvictionPerMillion;
+    return PC;
+  }
+
+  void store(uint64_t *Addr, uint64_t Val) {
+    uint64_t Old = *Addr;
+    *Addr = Val;
+    Pool.onCommittedStore(Addr, Old, Val);
+  }
+
+  /// Stages an undo-log entry covering \p Covered into \p Slot, the way
+  /// the runtime's write-back does: AddrWord (the covered address with
+  /// pass/old bits in the low bits), then ValWord.
+  void stageEntry(size_t Slot, uint64_t *Covered, uint64_t OldVal) {
+    store(&LogSlots[2 * Slot],
+          reinterpret_cast<uint64_t>(Covered) | ((OldVal & 1) << 1) | 1);
+    store(&LogSlots[2 * Slot + 1], (OldVal & ~1ull) | 1);
+  }
+};
+
+TEST(PersistCheckSeeded, UnflushedStoreAtCommit) {
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  // A properly covered write: the entry is staged, flushed and drained
+  // before the program store...
+  H.stageEntry(0, &H.Data[0], 0);
+  H.Pool.clwb(0, &H.LogSlots[0]);
+  H.Pool.drain(0);
+  H.Check.setPhase("seeded");
+  H.store(&H.Data[0], 41);
+  // ...but the write itself is never flushed before commit.
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.count(PersistDiag::UnflushedStore), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u);
+  ASSERT_EQ(H.Check.reports().size(), 1u);
+  PersistReport R = H.Check.reports()[0];
+  EXPECT_EQ(R.Kind, PersistDiag::UnflushedStore);
+  EXPECT_EQ(R.ThreadId, 0u);
+  EXPECT_STREQ(R.Phase, "seeded");
+  EXPECT_STREQ(R.Event, "commit");
+  EXPECT_NE(H.Check.formatReports().find("unflushed-store"),
+            std::string::npos);
+}
+
+TEST(PersistCheckSeeded, RedundantClwbOfCleanLine) {
+  CheckerHarness H;
+  H.store(&H.Data[0], 7);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.Pool.drain(0); // Line persisted: now clean.
+  H.Pool.clwb(0, &H.Data[0]); // Redundant.
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.lintCount(), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 0u);
+  ASSERT_EQ(H.Check.reports().size(), 1u);
+  EXPECT_EQ(H.Check.reports()[0].Kind, PersistDiag::RedundantClwb);
+  EXPECT_STREQ(H.Check.reports()[0].Event, "clwb");
+}
+
+TEST(PersistCheckSeeded, LinesNeverStoredAreNotLinted) {
+  CheckerHarness H;
+  // Setup writes bypass the instrumented store paths, so flushing a line
+  // the checker has never seen stored must not lint.
+  H.Pool.clwb(0, &H.Data[8]);
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.lintCount(), 0u);
+}
+
+TEST(PersistCheckSeeded, EarlyPersistableWrite) {
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  // The covering entry is staged and even flush-scheduled, but no drain
+  // has persisted it when the program write lands in the cache.
+  H.stageEntry(0, &H.Data[0], 0);
+  H.Pool.clwb(0, &H.LogSlots[0]);
+  H.store(&H.Data[0], 41);
+  H.store(&H.Data[0], 42); // Same word again: still one report.
+  H.Pool.clwb(0, &H.Data[0]); // Keep commit-time checks quiet.
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.count(PersistDiag::EarlyWrite), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u);
+  ASSERT_EQ(H.Check.reports().size(), 1u);
+  EXPECT_STREQ(H.Check.reports()[0].Event, "store");
+  EXPECT_EQ(H.Check.reports()[0].PoolOffset,
+            size_t(reinterpret_cast<uint8_t *>(&H.Data[0]) -
+                   H.Pool.base()));
+}
+
+TEST(PersistCheckSeeded, UnloggedStoreInTransaction) {
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  H.store(&H.Data[4], 9); // No undo entry covers this word.
+  H.store(&H.Data[4], 10); // Deduplicated: one report per word per scope.
+  H.Pool.clwb(0, &H.Data[4]);
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.count(PersistDiag::UnloggedStore), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u);
+  ASSERT_EQ(H.Check.reports().size(), 1u);
+  EXPECT_EQ(H.Check.reports()[0].Kind, PersistDiag::UnloggedStore);
+}
+
+TEST(PersistCheckSeeded, BrokenFlushChain) {
+  CheckerHarness H;
+  H.store(&H.Data[0], 1);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.store(&H.Data[0], 2); // Dirtied again after the CLWB...
+  H.Pool.drain(0); // ...and drained with no covering re-flush.
+  EXPECT_EQ(H.Check.count(PersistDiag::BrokenFlushChain), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u);
+  ASSERT_EQ(H.Check.reports().size(), 1u);
+  EXPECT_STREQ(H.Check.reports()[0].Event, "drain");
+}
+
+TEST(PersistCheck, ReflushedLateStoreIsNotABrokenChain) {
+  CheckerHarness H;
+  H.store(&H.Data[0], 1);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.store(&H.Data[0], 2);
+  H.Pool.clwb(0, &H.Data[0]); // Covering re-flush closes the chain.
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.violationCount(), 0u);
+}
+
+TEST(PersistCheck, NoOpStoresAreInvisible) {
+  // Crafty's Log phase relies on the write buffer merging a store and its
+  // rollback into a no-op; the checker must not see it as a program write.
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  H.store(&H.Data[0], 0); // Old == New == 0.
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.violationCount(), 0u);
+}
+
+TEST(PersistCheck, EvictionCleanedLinesDoNotFalsePositive) {
+  // Always-evict pool: every committed store persists spontaneously, the
+  // most adversarial early-persist schedule possible. No diagnostic class
+  // may misfire.
+  CheckerHarness H(/*EvictionPerMillion=*/1000000);
+  H.Check.beginTxn(0);
+  H.stageEntry(0, &H.Data[0], 0); // Entry persists via eviction at once.
+  H.store(&H.Data[0], 41); // Covered and entry persisted: no early-write.
+  // Eviction already persisted the write: no unflushed-store at commit
+  // even without a CLWB.
+  H.Check.endTxn();
+  // Flushing a line the evictor cleaned is not a lint: software cannot
+  // know the hardware already wrote it back.
+  H.Pool.clwb(0, &H.Data[0]);
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.violationCount(), 0u) << H.Check.formatReports();
+  EXPECT_EQ(H.Check.lintCount(), 0u) << H.Check.formatReports();
+}
+
+TEST(PersistCheck, PersistBetweenEntryWordsDoesNotCountAsCovered) {
+  // A persist that catches only the entry's AddrWord (a torn entry) must
+  // not count as "entry persisted": the covered write stays early until
+  // both entry words are durable.
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  H.store(&H.LogSlots[0],
+          reinterpret_cast<uint64_t>(&H.Data[0]) | 1); // AddrWord.
+  H.Pool.flushEverything(); // Persists the torn (AddrWord-only) entry.
+  H.store(&H.LogSlots[1], 1); // ValWord lands after the persist.
+  H.store(&H.Data[0], 5); // Entry not fully persisted -> early write.
+  H.Pool.clwb(0, &H.Data[0]);
+  H.Pool.clwb(0, &H.LogSlots[1]); // Keep commit-time checks quiet.
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.count(PersistDiag::EarlyWrite), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u) << H.Check.formatReports();
+}
+
+TEST(PersistCheck, CountersSurviveCrashAndReset) {
+  CheckerHarness H;
+  H.Check.beginTxn(0);
+  H.store(&H.Data[4], 9);
+  H.Pool.clwb(0, &H.Data[4]);
+  H.Check.endTxn();
+  EXPECT_EQ(H.Check.violationCount(), 1u);
+  H.Pool.crash();
+  EXPECT_EQ(H.Check.violationCount(), 1u); // Diagnostics survive.
+  H.Check.clearReports();
+  EXPECT_EQ(H.Check.violationCount(), 0u);
+  EXPECT_TRUE(H.Check.reports().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Full-runtime clean runs: the correct Crafty flows, driven hard, must
+// report zero violations under any eviction schedule.
+//===----------------------------------------------------------------------===//
+
+struct RuntimeHarness {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  CraftyRuntime Rt;
+
+  RuntimeHarness(CraftyConfig CC, uint32_t EvictionPerMillion)
+      : Pool(poolConfig(EvictionPerMillion)), Htm(), Rt(Pool, Htm, CC) {}
+
+  static PMemConfig poolConfig(uint32_t EvictionPerMillion) {
+    PMemConfig PC;
+    PC.PoolBytes = 8 << 20;
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    PC.EvictionPerMillion = EvictionPerMillion;
+    return PC;
+  }
+
+  static CraftyConfig runtimeConfig(unsigned Threads) {
+    CraftyConfig C;
+    C.NumThreads = Threads;
+    C.LogEntriesPerThread = 1 << 10;
+    C.EnablePersistCheck = true;
+    return C;
+  }
+};
+
+TEST(PersistCheckRuntime, ThreadSafeCleanUnderSeededEvictor) {
+  RuntimeHarness H(RuntimeHarness::runtimeConfig(4),
+                   /*EvictionPerMillion=*/250000);
+  auto *Data = static_cast<uint64_t *>(H.Rt.carve(4 * 64));
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != 4; ++T) {
+    Workers.emplace_back([&, T] {
+      uint64_t *Mine = Data + T * 8;
+      for (uint64_t I = 0; I != 400; ++I) {
+        H.Rt.run(T, [&](TxnContext &Tx) {
+          Tx.store(&Mine[0], I);
+          Tx.store(&Mine[1], Tx.load(&Mine[0]) * 3);
+          Tx.store(&Mine[2], I ^ 0xabcd);
+        });
+      }
+    });
+  }
+  for (auto &W : Workers)
+    W.join();
+  PersistCheck *PC = H.Rt.persistCheck();
+  ASSERT_NE(PC, nullptr);
+  EXPECT_EQ(PC->violationCount(), 0u) << PC->formatReports();
+}
+
+TEST(PersistCheckRuntime, ChunkedModeCleanUnderSeededEvictor) {
+  CraftyConfig C = RuntimeHarness::runtimeConfig(1);
+  C.Mode = CraftyMode::ThreadUnsafe;
+  C.InitialChunkK = 4; // Exercise chunk boundaries and the k = 1 path.
+  RuntimeHarness H(C, /*EvictionPerMillion=*/250000);
+  auto *Data = static_cast<uint64_t *>(H.Rt.carve(1024));
+  for (uint64_t I = 0; I != 100; ++I) {
+    H.Rt.run(0, [&](TxnContext &Tx) {
+      for (size_t W = 0; W != 10; ++W)
+        Tx.store(&Data[W], I + W);
+    });
+  }
+  PersistCheck *PC = H.Rt.persistCheck();
+  ASSERT_NE(PC, nullptr);
+  EXPECT_EQ(PC->violationCount(), 0u) << PC->formatReports();
+}
+
+TEST(PersistCheckRuntime, VariantsAndPersistBarrierClean) {
+  for (bool DisableRedo : {false, true}) {
+    CraftyConfig C = RuntimeHarness::runtimeConfig(2);
+    C.DisableRedo = DisableRedo;
+    RuntimeHarness H(C, /*EvictionPerMillion=*/100000);
+    auto *Data = static_cast<uint64_t *>(H.Rt.carve(256));
+    for (uint64_t I = 0; I != 50; ++I) {
+      H.Rt.run(0, [&](TxnContext &Tx) { Tx.store(&Data[0], I); });
+      H.Rt.run(1, [&](TxnContext &Tx) { Tx.store(&Data[8], I); });
+    }
+    H.Rt.persistBarrier(0);
+    PersistCheck *PC = H.Rt.persistCheck();
+    ASSERT_NE(PC, nullptr);
+    EXPECT_EQ(PC->violationCount(), 0u) << PC->formatReports();
+  }
+}
+
+TEST(PersistCheckRuntime, DisabledCheckerCostsNothingAndReportsNothing) {
+  CraftyConfig C = RuntimeHarness::runtimeConfig(1);
+  C.EnablePersistCheck = false;
+  RuntimeHarness H(C, /*EvictionPerMillion=*/0);
+  EXPECT_EQ(H.Rt.persistCheck(), nullptr);
+  EXPECT_EQ(H.Pool.observer(), nullptr);
+  auto *Data = static_cast<uint64_t *>(H.Rt.carve(64));
+  H.Rt.run(0, [&](TxnContext &Tx) { Tx.store(&Data[0], 1); });
+  EXPECT_EQ(Data[0], 1u);
+}
+
+} // namespace

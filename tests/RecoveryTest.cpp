@@ -169,7 +169,7 @@ TEST_F(RecoveryFixture, TornEntryExcludesSequence) {
   putTag(0, 2, TagLogged, 100);
   tearEntry(0, 1);
   // Its writes never persisted either (the drain-before-writes ordering).
-  RecoveryReport Rep = recover();
+  recover();
   EXPECT_EQ(Heap[0], 10u);
   EXPECT_EQ(Heap[1], 20u);
 }
