@@ -59,6 +59,8 @@ crafty::createBackend(SystemKind Kind, PMemPool &Pool, HtmRuntime &Htm,
     C.DisableValidate = Kind == SystemKind::CraftyNoValidate;
     C.DisableRedo = Kind == SystemKind::CraftyNoRedo;
     C.CollectPhaseTimings = Options.CollectPhaseTimings;
+    C.EnablePersistCheck = Options.EnablePersistCheck;
+    C.EnableTxRaceCheck = Options.EnableTxRaceCheck;
     return std::make_unique<CraftyRuntime>(Pool, Htm, C);
   }
   }

@@ -56,6 +56,10 @@ struct BackendOptions {
   unsigned SglAttemptThreshold = 10;
   /// Crafty: collect per-phase wall-clock times into PtmStats.
   bool CollectPhaseTimings = false;
+  /// Crafty: attach the PersistCheck persist-ordering checker.
+  bool EnablePersistCheck = false;
+  /// Crafty: attach the TxRaceCheck race/isolation checker.
+  bool EnableTxRaceCheck = false;
 };
 
 /// Creates a backend of the requested kind over \p Pool and \p Htm (both

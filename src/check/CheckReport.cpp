@@ -1,0 +1,111 @@
+//===- check/CheckReport.cpp - Machine-readable checker reports -----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/CheckReport.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace crafty;
+
+/// Appends \p S as a JSON string literal. The emitted strings are static
+/// diagnostic identifiers, but escape defensively anyway.
+static void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+static void appendUnsigned(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  Out += Buf;
+}
+
+std::string CheckReport::toJson() const {
+  std::string Out;
+  Out.reserve(256 + Entries.size() * 128);
+  Out += "{\n  \"checker\": ";
+  appendJsonString(Out, Checker);
+  Out += ",\n  \"violations\": ";
+  appendUnsigned(Out, Violations);
+  Out += ",\n  \"lints\": ";
+  appendUnsigned(Out, Lints);
+  Out += ",\n  \"counts\": {";
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    Out += I ? ", " : " ";
+    appendJsonString(Out, Counts[I].first);
+    Out += ": ";
+    appendUnsigned(Out, Counts[I].second);
+  }
+  Out += " },\n  \"reports\": [";
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const CheckReportEntry &E = Entries[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{ \"kind\": ";
+    appendJsonString(Out, E.Kind);
+    Out += ", \"violation\": ";
+    Out += E.Violation ? "true" : "false";
+    if (E.ThreadId != ~0u) {
+      Out += ", \"thread\": ";
+      appendUnsigned(Out, E.ThreadId);
+    }
+    if (E.OtherThreadId != ~0u) {
+      Out += ", \"otherThread\": ";
+      appendUnsigned(Out, E.OtherThreadId);
+    }
+    Out += ", \"txn\": ";
+    appendUnsigned(Out, E.TxnIndex);
+    Out += ", \"poolOffset\": ";
+    appendUnsigned(Out, E.PoolOffset);
+    Out += ", \"phase\": ";
+    appendJsonString(Out, E.Phase);
+    Out += ", \"event\": ";
+    appendJsonString(Out, E.Event);
+    Out += " }";
+  }
+  Out += Entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+bool CheckReport::writeJson(const char *Path) const {
+  std::string Json = toJson();
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool CheckReport::writeJsonToEnvDir(const char *FileStem) const {
+  // Read once at dump time; tests set this before threads spawn, so the
+  // thread-unsafety of getenv is immaterial here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char *Dir = std::getenv("CRAFTY_CHECK_REPORT_DIR");
+  if (!Dir || !*Dir)
+    return false;
+  std::string Path = Dir;
+  if (Path.back() != '/')
+    Path += '/';
+  Path += FileStem;
+  Path += ".json";
+  return writeJson(Path.c_str());
+}

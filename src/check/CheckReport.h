@@ -1,0 +1,80 @@
+//===- check/CheckReport.h - Machine-readable checker reports --*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A machine-readable (JSON) rendering of a dynamic checker's findings,
+/// shared by PersistCheck and TxRaceCheck. CI's sanitizer-matrix jobs run
+/// the checker-enabled tests with CRAFTY_CHECK_REPORT_DIR set and upload
+/// the dumped files as build artifacts, so a red run carries its evidence.
+///
+/// Schema (one object per file):
+/// \code{.json}
+///   {
+///     "checker": "txracecheck",
+///     "violations": 1,
+///     "lints": 0,
+///     "counts": { "tx-nontx-race": 1, ... },
+///     "reports": [
+///       { "kind": "tx-nontx-race", "violation": true, "thread": 0,
+///         "otherThread": 1, "txn": 3, "poolOffset": 4096,
+///         "phase": "log", "event": "store" }, ...
+///     ]
+///   }
+/// \endcode
+/// "otherThread" is omitted for single-thread diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_CHECK_CHECKREPORT_H
+#define CRAFTY_CHECK_CHECKREPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crafty {
+
+/// One diagnostic, in checker-independent form.
+struct CheckReportEntry {
+  const char *Kind = "";
+  bool Violation = true;
+  /// Pool thread id the event is attributed to; ~0u when unknown.
+  uint32_t ThreadId = ~0u;
+  /// Second thread of a race pair; ~0u for single-thread diagnostics.
+  uint32_t OtherThreadId = ~0u;
+  uint64_t TxnIndex = 0;
+  size_t PoolOffset = 0;
+  const char *Phase = "";
+  const char *Event = "";
+};
+
+/// A checker's complete findings, ready for serialization.
+struct CheckReport {
+  const char *Checker = "";
+  uint64_t Violations = 0;
+  uint64_t Lints = 0;
+  /// Exact per-diagnostic counters (stored entries may be capped).
+  std::vector<std::pair<const char *, uint64_t>> Counts;
+  std::vector<CheckReportEntry> Entries;
+
+  /// Serializes the report; see the file comment for the schema.
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path; false (with no partial file promise) on
+  /// I/O failure.
+  bool writeJson(const char *Path) const;
+
+  /// Writes to $CRAFTY_CHECK_REPORT_DIR/<FileStem>.json when that
+  /// environment variable is set; returns false (harmlessly) otherwise.
+  bool writeJsonToEnvDir(const char *FileStem) const;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_CHECK_CHECKREPORT_H

@@ -52,7 +52,7 @@ void PersistCheck::detach() {
 void PersistCheck::registerLogRegion(uint32_t ThreadId,
                                      const uint64_t *Slots,
                                      size_t NumEntries) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   auto Begin = reinterpret_cast<uintptr_t>(Slots);
   LogRegions.push_back(
       LogRegion{Begin, Begin + NumEntries * 2 * sizeof(uint64_t), ThreadId});
@@ -93,7 +93,7 @@ void PersistCheck::report(PersistDiag Kind, uint32_t ThreadId,
 }
 
 void PersistCheck::beginTxn(uint32_t ThreadId) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   TxnScope &S = Scopes[std::this_thread::get_id()];
   S.ThreadId = ThreadId;
   S.ScopeId = NextScopeId++;
@@ -106,13 +106,13 @@ void PersistCheck::beginTxn(uint32_t ThreadId) {
 }
 
 void PersistCheck::setPhase(const char *Tag) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   if (TxnScope *S = currentScope())
     S->Phase = Tag;
 }
 
 void PersistCheck::endTxn() {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   TxnScope *S = currentScope();
   if (!S)
     return;
@@ -166,7 +166,7 @@ void PersistCheck::decodeLogStore(const LogRegion &Region, uintptr_t Addr,
 
 void PersistCheck::onStore(void *Addr, uint64_t OldVal, uint64_t NewVal,
                            bool ValuesKnown) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   auto A = reinterpret_cast<uintptr_t>(Addr);
   const LogRegion *Region = findLogRegion(A);
   // A store that leaves the word unchanged is invisible to persistence:
@@ -209,7 +209,7 @@ void PersistCheck::onStore(void *Addr, uint64_t OldVal, uint64_t NewVal,
 }
 
 void PersistCheck::onClwb(uint32_t ThreadId, const void *Addr) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   uint64_t Seq = NextSeq++;
   size_t Line = lineIndexOf(Addr);
   LineState &LS = Lines[Line];
@@ -229,8 +229,8 @@ void PersistCheck::onClwb(uint32_t ThreadId, const void *Addr) {
   Pending[ThreadId].push_back(PendingClwb{Line, Seq});
 }
 
-void PersistCheck::onDrain(uint32_t ThreadId) {
-  std::lock_guard<std::mutex> Guard(M);
+void PersistCheck::onDrain(uint32_t ThreadId, bool Remote) {
+  MutexLock Guard(M);
   uint64_t Seq = NextSeq++;
   assert(ThreadId < Pending.size() && "thread id out of range");
   std::vector<PendingClwb> &Queue = Pending[ThreadId];
@@ -245,7 +245,12 @@ void PersistCheck::onDrain(uint32_t ThreadId) {
     // line is not flagged here: that store is the other thread's own
     // flush-chain (its commit-time check catches an unflushed claim).
     // Stores of unknown origin (outside any scope) stay eligible.
-    if (LS.LastStore > P.Seq &&
+    // Remote drains (forceEmptyCommit moving a delinquent thread's
+    // rollback horizon) are exempt entirely: they assert old CLWBs
+    // completed by the passage of time and sample the victim's chain at
+    // an arbitrary instant -- the victim may legitimately sit between a
+    // store and its own CLWB.
+    if (!Remote && LS.LastStore > P.Seq &&
         (LS.LastStoreTid == ThreadId || LS.LastStoreTid == ~0u) &&
         LS.LastClwb < LS.LastStore && LS.LastPersist < LS.LastStore) {
       bool AlreadyReported = false;
@@ -267,7 +272,7 @@ void PersistCheck::onDrain(uint32_t ThreadId) {
 }
 
 void PersistCheck::onEvict(const void *LineAddr) {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   uint64_t Seq = NextSeq++;
   markLinePersisted(Lines[lineIndexOf(LineAddr)], Seq, /*ByEvict=*/true);
 }
@@ -275,7 +280,7 @@ void PersistCheck::onEvict(const void *LineAddr) {
 void PersistCheck::onPersistDirect(const void *Addr, size_t Len) {
   if (Len == 0)
     return;
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   uint64_t Seq = NextSeq++;
   size_t First = lineIndexOf(Addr);
   size_t Last =
@@ -297,7 +302,7 @@ void PersistCheck::onPersistImageWord(uint32_t ThreadId, const void *Addr,
 }
 
 void PersistCheck::onFlushEverything() {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   uint64_t Seq = NextSeq++;
   for (auto &[Line, LS] : Lines) {
     (void)Line;
@@ -306,7 +311,7 @@ void PersistCheck::onFlushEverything() {
 }
 
 void PersistCheck::onCrash() {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   // The volatile view now equals the image and all pending CLWBs are
   // gone; diagnostics survive, transient state does not.
   Lines.clear();
@@ -319,7 +324,7 @@ void PersistCheck::onCrash() {
 void PersistCheck::onReset() { onCrash(); }
 
 uint64_t PersistCheck::violationCount() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   uint64_t N = 0;
   for (unsigned K = 0; K != NumPersistDiags; ++K)
     if (isPersistViolation(static_cast<PersistDiag>(K)))
@@ -328,17 +333,17 @@ uint64_t PersistCheck::violationCount() const {
 }
 
 uint64_t PersistCheck::lintCount() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Counts[static_cast<unsigned>(PersistDiag::RedundantClwb)];
 }
 
 uint64_t PersistCheck::count(PersistDiag Kind) const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Counts[static_cast<unsigned>(Kind)];
 }
 
 std::vector<PersistReport> PersistCheck::reports() const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return Reports;
 }
 
@@ -372,17 +377,36 @@ static std::string formatSelected(const std::vector<PersistReport> &Reports,
 }
 
 std::string PersistCheck::formatReports(size_t MaxLines) const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return formatSelected(Reports, MaxLines, /*ViolationsOnly=*/false);
 }
 
 std::string PersistCheck::formatViolations(size_t MaxLines) const {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   return formatSelected(Reports, MaxLines, /*ViolationsOnly=*/true);
 }
 
+CheckReport PersistCheck::checkReport() const {
+  MutexLock Guard(M);
+  CheckReport CR;
+  CR.Checker = "persistcheck";
+  for (unsigned K = 0; K != NumPersistDiags; ++K) {
+    auto Kind = static_cast<PersistDiag>(K);
+    CR.Counts.emplace_back(persistDiagName(Kind), Counts[K]);
+    if (isPersistViolation(Kind))
+      CR.Violations += Counts[K];
+    else
+      CR.Lints += Counts[K];
+  }
+  for (const PersistReport &R : Reports)
+    CR.Entries.push_back(CheckReportEntry{
+        persistDiagName(R.Kind), isPersistViolation(R.Kind), R.ThreadId,
+        /*OtherThreadId=*/~0u, R.TxnIndex, R.PoolOffset, R.Phase, R.Event});
+  return CR;
+}
+
 void PersistCheck::clearReports() {
-  std::lock_guard<std::mutex> Guard(M);
+  MutexLock Guard(M);
   Reports.clear();
   for (uint64_t &C : Counts)
     C = 0;

@@ -46,7 +46,9 @@
 ///                         commit fence *before* the line is dirtied
 ///                         again). Another thread's late store to a shared
 ///                         line is that thread's own chain and is judged
-///                         at its commit instead.
+///                         at its commit instead, and remote drains
+///                         (forceEmptyCommit) are exempt: they sample the
+///                         victim's chain at an arbitrary instant.
 ///
 /// Classes 1 and 3-5 are violations: correct runtimes must produce none,
 /// under any adversarial eviction schedule. Class 2 is a lint and is
@@ -63,9 +65,10 @@
 #ifndef CRAFTY_CHECK_PERSISTCHECK_H
 #define CRAFTY_CHECK_PERSISTCHECK_H
 
+#include "check/CheckReport.h"
 #include "pmem/PMemPool.h"
+#include "support/Mutex.h"
 
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -154,6 +157,8 @@ public:
   /// Like formatReports, but skips lints: only violations are rendered.
   /// Useful when a lint storm would push the violation past MaxLines.
   std::string formatViolations(size_t MaxLines = 32) const;
+  /// Machine-readable rendering (check/CheckReport.h).
+  CheckReport checkReport() const;
   void clearReports();
 
   /// Cap on stored (not counted) reports, to bound memory under lint
@@ -164,7 +169,7 @@ public:
   void onStore(void *Addr, uint64_t OldVal, uint64_t NewVal,
                bool ValuesKnown) override;
   void onClwb(uint32_t ThreadId, const void *Addr) override;
-  void onDrain(uint32_t ThreadId) override;
+  void onDrain(uint32_t ThreadId, bool Remote) override;
   void onEvict(const void *LineAddr) override;
   void onPersistDirect(const void *Addr, size_t Len) override;
   void onPersistImageWord(uint32_t ThreadId, const void *Addr,
@@ -229,33 +234,37 @@ private:
   };
 
   size_t lineIndexOf(const void *Addr) const;
-  const LogRegion *findLogRegion(uintptr_t Addr) const;
-  TxnScope *currentScope();
-  void markLinePersisted(LineState &LS, uint64_t Seq, bool ByEvict);
+  const LogRegion *findLogRegion(uintptr_t Addr) const CRAFTY_REQUIRES(M);
+  TxnScope *currentScope() CRAFTY_REQUIRES(M);
+  void markLinePersisted(LineState &LS, uint64_t Seq, bool ByEvict)
+      CRAFTY_REQUIRES(M);
   void decodeLogStore(const LogRegion &Region, uintptr_t Addr,
-                      uint64_t NewVal, uint64_t Seq, TxnScope *Scope);
+                      uint64_t NewVal, uint64_t Seq, TxnScope *Scope)
+      CRAFTY_REQUIRES(M);
   void report(PersistDiag Kind, uint32_t ThreadId, uint64_t TxnIndex,
-              size_t PoolOffset, const char *Phase, const char *Event);
+              size_t PoolOffset, const char *Phase, const char *Event)
+      CRAFTY_REQUIRES(M);
 
   PMemPool &Pool;
   const uintptr_t PoolBegin;
   const uintptr_t PoolEnd;
   bool Attached = false;
 
-  mutable std::mutex M;
-  uint64_t NextSeq = 1;
-  uint64_t NextScopeId = 1;
-  uint64_t TxnCounter = 0;
-  std::unordered_map<size_t, LineState> Lines;
-  std::vector<std::vector<PendingClwb>> Pending; // [pool thread id]
-  std::vector<LogRegion> LogRegions;
+  mutable Mutex M;
+  uint64_t NextSeq CRAFTY_GUARDED_BY(M) = 1;
+  uint64_t NextScopeId CRAFTY_GUARDED_BY(M) = 1;
+  uint64_t TxnCounter CRAFTY_GUARDED_BY(M) = 0;
+  std::unordered_map<size_t, LineState> Lines CRAFTY_GUARDED_BY(M);
+  std::vector<std::vector<PendingClwb>> Pending
+      CRAFTY_GUARDED_BY(M); // [pool thread id]
+  std::vector<LogRegion> LogRegions CRAFTY_GUARDED_BY(M);
   /// AddrWord slot address -> program word it currently covers (lets the
   /// ValWord store extend the entry's staging sequence).
-  std::unordered_map<uintptr_t, uintptr_t> SlotWord;
-  std::unordered_map<std::thread::id, TxnScope> Scopes;
+  std::unordered_map<uintptr_t, uintptr_t> SlotWord CRAFTY_GUARDED_BY(M);
+  std::unordered_map<std::thread::id, TxnScope> Scopes CRAFTY_GUARDED_BY(M);
 
-  uint64_t Counts[NumPersistDiags] = {};
-  std::vector<PersistReport> Reports;
+  uint64_t Counts[NumPersistDiags] CRAFTY_GUARDED_BY(M) = {};
+  std::vector<PersistReport> Reports CRAFTY_GUARDED_BY(M);
 };
 
 } // namespace crafty

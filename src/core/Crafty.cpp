@@ -8,6 +8,7 @@
 #include "core/Crafty.h"
 
 #include "check/PersistCheck.h"
+#include "check/TxRaceCheck.h"
 #include "support/Clock.h"
 #include "support/Spin.h"
 
@@ -80,6 +81,17 @@ CraftyRuntime::CraftyRuntime(PMemPool &Pool, HtmRuntime &Htm,
     }
     Checker->attach();
   }
+  if (Config.EnableTxRaceCheck) {
+    RaceChecker = std::make_unique<TxRaceCheck>(Pool);
+    // The per-thread undo logs are written by design from many threads'
+    // forced commits (Section 5.2), always transactionally; exempt them
+    // so only program data is race-checked.
+    for (unsigned I = 0; I != Config.NumThreads; ++I) {
+      UndoLogRegion Region = logRegionFor(Pool.base(), *Header, I);
+      RaceChecker->registerExemptRegion(Region.Slots, Region.regionBytes());
+    }
+    RaceChecker->installHtmHooks(Htm);
+  }
   Threads.reserve(Config.NumThreads);
   for (unsigned I = 0; I != Config.NumThreads; ++I)
     Threads.push_back(std::make_unique<CraftyThread>(*this, I));
@@ -92,6 +104,8 @@ CraftyRuntime::attach(PMemPool &Pool, HtmRuntime &Htm, CraftyConfig Config) {
 }
 
 CraftyRuntime::~CraftyRuntime() {
+  if (RaceChecker)
+    RaceChecker->removeHtmHooks(Htm);
   if (Checker)
     Checker->detach();
 }
@@ -205,6 +219,7 @@ void CraftyRuntime::persistBarrier(unsigned CallerThreadId) {
 
 CraftyThread::CraftyThread(CraftyRuntime &Rt, unsigned ThreadId)
     : Rt(Rt), ThreadId(ThreadId), Check(Rt.Checker.get()),
+      Race(Rt.RaceChecker.get()),
       Tx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1),
       ForceTx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1000003),
       Log(logRegionFor(Rt.Pool.base(), *Rt.Header, ThreadId)) {
@@ -257,11 +272,17 @@ void CraftyThread::ctxStore(uint64_t *Addr, uint64_t Val) {
     // Algorithm 3: the next undo entry must match this write's address
     // and the current memory value; otherwise another thread committed
     // conflicting writes since the Log phase.
-    if (ValidateCursor >= Mirror.size())
+    if (ValidateCursor >= Mirror.size()) {
+      if (CRAFTY_UNLIKELY(Race != nullptr))
+        Race->noteValidateDivergence(ThreadId, Addr, nullptr);
       Tx.abortExplicit(AbortUserValidateFail);
+    }
     const MirrorEntry &E = Mirror[ValidateCursor];
-    if (E.Addr != Addr || Tx.load(Addr) != E.Old)
+    if (E.Addr != Addr || Tx.load(Addr) != E.Old) {
+      if (CRAFTY_UNLIKELY(Race != nullptr))
+        Race->noteValidateDivergence(ThreadId, Addr, E.Addr);
       Tx.abortExplicit(AbortUserValidateFail);
+    }
     ++ValidateCursor;
     Tx.store(Addr, Val);
     return;
@@ -281,8 +302,11 @@ void *CraftyThread::ctxAlloc(size_t Bytes) {
     fatalError("TxnContext::alloc without a configured allocator arena");
   if (CurPhase == Phase::Validate) {
     // Reuse the memory allocated by the Log phase (paper Section 6).
-    if (AllocCursor >= AllocLog.size())
+    if (AllocCursor >= AllocLog.size()) {
+      if (CRAFTY_UNLIKELY(Race != nullptr))
+        Race->noteValidateDivergence(ThreadId, nullptr, nullptr);
       Tx.abortExplicit(AbortUserValidateFail);
+    }
     return AllocLog[AllocCursor++];
   }
   void *P = A->alloc(ThreadId, Bytes);
@@ -409,12 +433,16 @@ void CraftyThread::maybeMaintainLog(uint64_t EntriesNeeded) {
 void CraftyThread::run(TxnBody Body) {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->beginTxn(ThreadId);
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->beginTxn(ThreadId);
   if (Rt.Config.Mode == CraftyMode::ThreadUnsafe) {
     resetAttemptState();
     runChunkedSection(Body, /*AcquireSgl=*/false);
   } else if (!tryThreadSafe(Body)) {
     runChunkedSection(Body, /*AcquireSgl=*/true);
   }
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->endTxn(ThreadId);
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->endTxn();
 }
@@ -506,6 +534,8 @@ bool CraftyThread::tryThreadSafe(TxnBody Body) {
 CraftyThread::LogOutcome CraftyThread::logPhase(TxnBody Body) {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->setPhase("log");
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->setPhase(ThreadId, "log");
   maybeMaintainLog(maxSeqEntries() + 1);
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.LogPhaseNs);
   CurPhase = Phase::Log;
@@ -552,6 +582,8 @@ CraftyThread::LogOutcome CraftyThread::logPhase(TxnBody Body) {
 CraftyThread::PhaseOutcome CraftyThread::redoPhase() {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->setPhase("redo");
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->setPhase(ThreadId, "redo");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.RedoPhaseNs);
   TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
     if (T.load(&Rt.SglWord) != 0)
@@ -584,6 +616,8 @@ CraftyThread::PhaseOutcome CraftyThread::redoPhase() {
 CraftyThread::PhaseOutcome CraftyThread::validatePhase(TxnBody Body) {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->setPhase("validate");
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->setPhase(ThreadId, "validate");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.ValidatePhaseNs);
   CurPhase = Phase::Validate;
   TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
@@ -594,8 +628,12 @@ CraftyThread::PhaseOutcome CraftyThread::validatePhase(TxnBody Body) {
     FreeLog.clear(); // Re-recorded by this execution.
     Body(Ctx);
     // Algorithm 3 line 8: all log entries must have been consumed.
-    if (ValidateCursor != Mirror.size())
+    if (ValidateCursor != Mirror.size()) {
+      if (CRAFTY_UNLIKELY(Race != nullptr))
+        Race->noteValidateDivergence(ThreadId, nullptr,
+                                     Mirror[ValidateCursor].Addr);
       T.abortExplicit(AbortUserValidateFail);
+    }
     T.storeCommitVersion(&Rt.GLastRedoTs);
     T.storeCommitVersion(Log.valWordAt(Log.slotFor(TagAbs)),
                          TagTsCommitVersionShift, TagPass);
@@ -618,6 +656,8 @@ CraftyThread::PhaseOutcome CraftyThread::validatePhase(TxnBody Body) {
 void CraftyThread::finishCommit(bool ViaRedo) {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->setPhase("commit");
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->setPhase(ThreadId, "commit");
   // Flush the program writes and the updated COMMITTED timestamp with no
   // drain; the next transaction's commit fence (or recovery's rollback of
   // the thread's last sequence) covers the rest (Section 4.2).
@@ -644,12 +684,33 @@ void CraftyThread::finishCommit(bool ViaRedo) {
 void CraftyThread::runChunkedSection(TxnBody Body, bool AcquireSgl) {
   if (CRAFTY_UNLIKELY(Check != nullptr))
     Check->setPhase("chunked");
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->setPhase(ThreadId, "chunked");
   PhaseTimer Timer(Rt.Config.CollectPhaseTimings, Stats.SglNs);
   if (AcquireSgl) {
-    SpinBackoff Backoff;
-    while (!Rt.Htm.nonTxCas(&Rt.SglWord, 0, 1))
-      Backoff.pause();
+    acquireSgl();
+    chunkedSectionBody(Body);
+    releaseSgl();
+  } else {
+    chunkedSectionBody(Body);
   }
+}
+
+void CraftyThread::acquireSgl() {
+  SpinBackoff Backoff;
+  while (!Rt.Htm.nonTxCas(&Rt.SglWord, 0, 1))
+    Backoff.pause();
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->sglAcquired(ThreadId);
+}
+
+void CraftyThread::releaseSgl() {
+  if (CRAFTY_UNLIKELY(Race != nullptr))
+    Race->sglReleased(ThreadId);
+  Rt.Htm.nonTxStore(&Rt.SglWord, 0);
+}
+
+void CraftyThread::chunkedSectionBody(TxnBody Body) {
   // One timestamp for the whole section: recovery rolls back all or none
   // of its sequences (Section 4.4).
   SectionTs = Rt.Htm.advanceClock();
@@ -661,9 +722,16 @@ void CraftyThread::runChunkedSection(TxnBody Body, bool AcquireSgl) {
       break;
     // A chunk aborted. The open chunk's writes were buffered in the
     // hardware transaction and are gone; undo the applied chunks, rewind
-    // the log, halve k, and re-execute the body (Figure 4).
-    for (size_t I = SectionMirror.size(); I-- > 0;)
+    // the log, halve k, and re-execute the body (Figure 4). The rollback
+    // stores are flushed and drained before the head rewind: the retry
+    // overwrites the aborted attempt's log entries, so the old values
+    // must be back in place durably before the entries that could
+    // restore them are gone.
+    for (size_t I = SectionMirror.size(); I-- > 0;) {
       Rt.Htm.nonTxStore(SectionMirror[I].Addr, SectionMirror[I].Old);
+      Rt.Pool.clwb(ThreadId, SectionMirror[I].Addr);
+    }
+    Rt.Pool.drain(ThreadId);
     Rt.Htm.nonTxStore(&HeadShared, SectionStartAbs);
     SectionMirror.clear();
     resetAttemptState();
@@ -678,8 +746,6 @@ void CraftyThread::runChunkedSection(TxnBody Body, bool AcquireSgl) {
   Stats.Writes += SectionMirror.size();
   ++Stats.Sgl;
   performDeferredFrees();
-  if (AcquireSgl)
-    Rt.Htm.nonTxStore(&Rt.SglWord, 0);
 }
 
 bool CraftyThread::chunkedAttempt(TxnBody Body) {

@@ -52,6 +52,7 @@
 #include "log/RedoLog.h"
 #include "pmem/PMemAllocator.h"
 #include "pmem/PMemPool.h"
+#include "support/Compiler.h"
 
 #include <memory>
 #include <vector>
@@ -60,6 +61,12 @@ namespace crafty {
 
 class CraftyRuntime;
 class PersistCheck;
+class TxRaceCheck;
+
+/// Thread-safety-analysis token for the single global lock (an annotation
+/// anchor only; the lock word itself lives in CraftyRuntime::SglWord and
+/// is manipulated with nonTxCas/nonTxStore).
+class CRAFTY_CAPABILITY("mutex") SglCapability {};
 
 /// Per-thread Crafty execution context. Obtain via
 /// CraftyRuntime::thread(); use from one thread at a time.
@@ -114,6 +121,9 @@ private:
 
   // Chunked flow (SGL fallback and thread-unsafe mode).
   void runChunkedSection(TxnBody Body, bool AcquireSgl);
+  void chunkedSectionBody(TxnBody Body);
+  void acquireSgl() CRAFTY_ACQUIRE(Rt.SglCap);
+  void releaseSgl() CRAFTY_RELEASE(Rt.SglCap);
   bool chunkedAttempt(TxnBody Body);
   void chunkedStore(uint64_t *Addr, uint64_t Val);
   void closeChunk();
@@ -149,6 +159,10 @@ private:
   /// Non-null when Config.EnablePersistCheck: the runtime's checker, to
   /// which run() reports transaction scopes and phase transitions.
   PersistCheck *Check;
+  /// Non-null when Config.EnableTxRaceCheck: the runtime's race checker,
+  /// fed the same scope/phase stream plus SGL and Validate-divergence
+  /// events (its access stream arrives via the HtmRuntime hooks).
+  TxRaceCheck *Race;
   HtmTx Tx;
   /// Separate context for Section 5.2 forced-commit transactions: they
   /// may run while Tx's abort environment is armed across a chunked-mode
@@ -224,6 +238,9 @@ public:
   /// The attached persist-ordering checker, or null when
   /// Config.EnablePersistCheck is false.
   PersistCheck *persistCheck() { return Checker.get(); }
+  /// The attached race/isolation checker, or null when
+  /// Config.EnableTxRaceCheck is false.
+  TxRaceCheck *raceCheck() { return RaceChecker.get(); }
 
   CraftyThread &thread(unsigned ThreadId) { return *Threads[ThreadId]; }
 
@@ -268,12 +285,15 @@ private:
   PoolHeader *Header = nullptr;
   std::unique_ptr<PMemAllocator> Alloc;
   std::unique_ptr<PersistCheck> Checker;
+  std::unique_ptr<TxRaceCheck> RaceChecker;
   std::vector<std::unique_ptr<CraftyThread>> Threads;
 
   /// Timestamp of the last committed writes by any thread (Section 4.2).
   alignas(CacheLineBytes) uint64_t GLastRedoTs = 0;
   /// The single global lock (Section 4.4): 0 free, 1 held.
   alignas(CacheLineBytes) uint64_t SglWord = 0;
+  /// Annotation anchor for SglWord (see SglCapability).
+  SglCapability SglCap;
   /// Lower bound on the earliest timestamp recovery may roll back to.
   alignas(CacheLineBytes) std::atomic<uint64_t> TsLowerBound{0};
 };

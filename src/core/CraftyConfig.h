@@ -79,6 +79,15 @@ struct CraftyConfig {
   /// transaction); intended for tests and debugging, not production runs.
   bool EnablePersistCheck = false;
 
+  /// Attach the TxRaceCheck happens-before race and isolation checker
+  /// (check/TxRaceCheck.h) to the HTM runtime for this runtime's
+  /// lifetime: every transactional and non-transactional pool access is
+  /// checked for weak-isolation races, missing SGL/sync exclusion in the
+  /// chunked mode, and nondeterministic Validate re-execution. Near-zero
+  /// cost when false (a null-hook check per access); intended for tests
+  /// and debugging, not production runs.
+  bool EnableTxRaceCheck = false;
+
   /// Test-only hook: invoked after a Log phase commits and its entries
   /// are flushed, before the Redo phase runs. Lets tests interleave
   /// conflicting commits deterministically into the Log->Redo window.

@@ -7,6 +7,9 @@
 
 #include "harness/Harness.h"
 
+#include "check/PersistCheck.h"
+#include "check/TxRaceCheck.h"
+#include "core/Crafty.h"
 #include "support/Clock.h"
 
 #include <algorithm>
@@ -34,6 +37,9 @@ uint64_t crafty::defaultOpsPerThread(WorkloadKind Kind) {
     Ops = 1000;
     break;
   }
+  // Read once per experiment before worker threads spawn, so the
+  // thread-unsafety of getenv is immaterial here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char *Scale = std::getenv("CRAFTY_BENCH_OPS_SCALE")) {
     double F = std::atof(Scale);
     if (F > 0)
@@ -56,6 +62,8 @@ ExperimentResult crafty::runExperiment(const ExperimentConfig &Config) {
   BO.NumThreads = Config.Threads;
   BO.ArenaBytesPerThread = W->arenaBytesPerThread();
   BO.CollectPhaseTimings = Config.CollectPhaseTimings;
+  BO.EnablePersistCheck = Config.EnablePersistCheck;
+  BO.EnableTxRaceCheck = Config.EnableTxRaceCheck;
   // Size the baseline redo logs for the run: records cost at most
   // ~2 words per write plus headers; budget generously (the formats do
   // not support truncation; see baselines/NvHtmRecovery.h).
@@ -99,6 +107,20 @@ ExperimentResult crafty::runExperiment(const ExperimentConfig &Config) {
   Res.Hw = Backend->htmStats();
   Res.Pmem = Pool.stats();
   Res.VerifyError = W->verify(Config.Threads, Res.Ops);
+  if (auto *CR = dynamic_cast<CraftyRuntime *>(Backend.get())) {
+    if (PersistCheck *PC2 = CR->persistCheck()) {
+      Res.CheckViolations += PC2->violationCount();
+      Res.CheckLints += PC2->lintCount();
+      Res.CheckReportText += PC2->formatReports();
+      PC2->checkReport().writeJsonToEnvDir("persistcheck_experiment");
+    }
+    if (TxRaceCheck *RC = CR->raceCheck()) {
+      Res.CheckViolations += RC->violationCount();
+      Res.CheckLints += RC->lintCount();
+      Res.CheckReportText += RC->formatReports();
+      RC->checkReport().writeJsonToEnvDir("txracecheck_experiment");
+    }
+  }
   return Res;
 }
 

@@ -43,6 +43,12 @@ struct ExperimentConfig {
   uint64_t Seed = 1;
   /// Crafty backends: collect per-phase wall-clock times.
   bool CollectPhaseTimings = false;
+  /// Crafty backends: run under the PersistCheck persist-ordering checker
+  /// and report its findings in the result.
+  bool EnablePersistCheck = false;
+  /// Crafty backends: run under the TxRaceCheck race/isolation checker
+  /// and report its findings in the result.
+  bool EnableTxRaceCheck = false;
 };
 
 /// Measurements from one experiment cell.
@@ -55,6 +61,11 @@ struct ExperimentResult {
   PMemStats Pmem;
   /// Empty on success; a workload-invariant violation otherwise.
   std::string VerifyError;
+  /// Checker findings (zero unless the matching Enable*Check was set).
+  uint64_t CheckViolations = 0;
+  uint64_t CheckLints = 0;
+  /// Human-readable checker reports; empty when clean.
+  std::string CheckReportText;
 };
 
 /// Runs one cell: fresh pool + HTM runtime + backend + workload.

@@ -65,6 +65,8 @@ void HtmRuntime::nonTxStore(uint64_t *Addr, uint64_t Val) {
   __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
   if (Hooks.OnStore)
     Hooks.OnStore(Hooks.Ctx, Addr, Old, Val);
+  if (CRAFTY_UNLIKELY(AHooks.OnNonTxStore != nullptr))
+    AHooks.OnNonTxStore(AHooks.Ctx, Addr, Version);
   Stripe.store(Version << 1, std::memory_order_release);
 }
 
@@ -87,12 +89,16 @@ bool HtmRuntime::nonTxCas(uint64_t *Addr, uint64_t Expected,
   uint64_t Cur = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
   if (Cur != Expected) {
     Stripe.store(PreLock, std::memory_order_release);
+    if (CRAFTY_UNLIKELY(AHooks.OnNonTxLoad != nullptr))
+      AHooks.OnNonTxLoad(AHooks.Ctx, Addr);
     return false;
   }
   uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
   __atomic_store_n(Addr, Desired, __ATOMIC_RELEASE);
   if (Hooks.OnStore)
     Hooks.OnStore(Hooks.Ctx, Addr, Cur, Desired);
+  if (CRAFTY_UNLIKELY(AHooks.OnNonTxStore != nullptr))
+    AHooks.OnNonTxStore(AHooks.Ctx, Addr, Version);
   Stripe.store(Version << 1, std::memory_order_release);
   return true;
 }
@@ -134,6 +140,9 @@ void HtmTx::begin() {
   ReadCount = 0;
   LockedStripes.clear();
   PreLockVersions.clear();
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxBegin != nullptr))
+    AHooks.OnTxBegin(AHooks.Ctx, ThreadId, SnapshotVersion);
 }
 
 void HtmTx::maybeInjectSpuriousAbort() {
@@ -236,6 +245,9 @@ uint64_t HtmTx::load(const uint64_t *Addr) {
   if (CRAFTY_UNLIKELY(V1 != V2))
     abortTx(AbortCode::Conflict);
   recordRead(&Stripe, V1);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxLoad != nullptr))
+    AHooks.OnTxLoad(AHooks.Ctx, ThreadId, Addr);
   return Val;
 }
 
@@ -246,6 +258,9 @@ void HtmTx::store(uint64_t *Addr, uint64_t Val) {
   Slot->Val = Val;
   Slot->IsCommitVersion = false;
   noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
 }
 
 void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
@@ -255,6 +270,9 @@ void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
     abortTx(AbortCode::Capacity);
   StreamWrites.emplace_back(Addr, Val);
   noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
 }
 
 void HtmTx::storeCommitVersion(uint64_t *Addr, unsigned Shift,
@@ -265,6 +283,9 @@ void HtmTx::storeCommitVersion(uint64_t *Addr, unsigned Shift,
   Slot->Shift = (uint8_t)Shift;
   Slot->OrMask = OrMask;
   noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
 }
 
 void HtmTx::abortExplicit(uint32_t UserCode) {
@@ -298,6 +319,9 @@ void HtmTx::abortTx(AbortCode Code, uint32_t UserCode) {
   case AbortCode::None:
     CRAFTY_UNREACHABLE("abort with no cause");
   }
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxAbort != nullptr))
+    AHooks.OnTxAbort(AHooks.Ctx, ThreadId);
   longjmp(Env, 1);
 }
 
@@ -326,12 +350,16 @@ uint64_t HtmTx::commit() {
   assert(Active && "commit outside a transaction");
   maybeInjectSpuriousAbort();
   const MemoryHooks &Hooks = Runtime.memoryHooks();
+  const AccessHooks &AHooks = Runtime.accessHooks();
   if (WriteOrder.empty() && StreamWrites.empty()) {
     // Read-only: reads were validated at access time against the snapshot.
     Active = false;
     ++Stats.Commits;
     if (Hooks.OnCommitFence)
       Hooks.OnCommitFence(Hooks.Ctx, ThreadId);
+    if (CRAFTY_UNLIKELY(AHooks.OnTxCommit != nullptr))
+      AHooks.OnTxCommit(AHooks.Ctx, ThreadId, SnapshotVersion,
+                        /*HadWrites=*/false);
     return SnapshotVersion;
   }
 
@@ -395,6 +423,13 @@ uint64_t HtmTx::commit() {
     if (Hooks.OnStore)
       Hooks.OnStore(Hooks.Ctx, Addr, Old, Val);
   }
+
+  // Observer notification precedes the stripe release: any conflicting
+  // access serializes after this commit only once the stripes are free, so
+  // the observer sees hook events in serialization order (AccessHooks).
+  if (CRAFTY_UNLIKELY(AHooks.OnTxCommit != nullptr))
+    AHooks.OnTxCommit(AHooks.Ctx, ThreadId, CommitVersion,
+                      /*HadWrites=*/true);
 
   uint64_t NewStripeVersion = CommitVersion << 1;
   for (std::atomic<uint64_t> *Stripe : LockedStripes)

@@ -137,6 +137,44 @@ struct MemoryHooks {
   void (*OnCommitFence)(void *Ctx, uint32_t ThreadId) = nullptr;
 };
 
+/// Hooks that let a dynamic race/isolation checker (check/TxRaceCheck.h)
+/// observe every memory access the runtime mediates: transactional loads
+/// and stores, transaction begin/commit/abort with their clock versions,
+/// and the strong-isolation non-transactional operations. All hooks are
+/// optional; unset entries cost one predicted-not-taken branch per event.
+///
+/// Ordering guarantees the observer may rely on:
+///  - OnTxLoad/OnTxStore fire at access time, while the transaction is
+///    still speculative; an observer must treat them as provisional until
+///    the matching OnTxCommit (OnTxAbort discards them). A load served
+///    from the transaction's own write buffer fires no hook (it touches
+///    no shared memory).
+///  - OnTxCommit and OnNonTxStore fire *before* the involved stripes are
+///    released, so for any two conflicting operations the hook order
+///    matches the serialization order.
+///  - A successful nonTxCas reports through OnNonTxStore; a failed one
+///    through OnNonTxLoad (it observed the word and changed nothing).
+struct AccessHooks {
+  void *Ctx = nullptr;
+  /// A transaction began with the given snapshot version.
+  void (*OnTxBegin)(void *Ctx, uint32_t ThreadId, uint64_t Snapshot) = nullptr;
+  /// Speculative transactional load of \p Addr from shared memory.
+  void (*OnTxLoad)(void *Ctx, uint32_t ThreadId, const void *Addr) = nullptr;
+  /// Speculative transactional store to \p Addr (buffered until commit).
+  void (*OnTxStore)(void *Ctx, uint32_t ThreadId, void *Addr) = nullptr;
+  /// The transaction committed at \p Version (the snapshot version for
+  /// read-only commits, which publish nothing: HadWrites is false).
+  void (*OnTxCommit)(void *Ctx, uint32_t ThreadId, uint64_t Version,
+                     bool HadWrites) = nullptr;
+  /// The transaction aborted; its speculative accesses never happened.
+  void (*OnTxAbort)(void *Ctx, uint32_t ThreadId) = nullptr;
+  /// Strong-isolation non-transactional load of \p Addr.
+  void (*OnNonTxLoad)(void *Ctx, const void *Addr) = nullptr;
+  /// Strong-isolation non-transactional store; \p Version is the global
+  /// clock value the store's stripe was stamped with.
+  void (*OnNonTxStore)(void *Ctx, void *Addr, uint64_t Version) = nullptr;
+};
+
 class HtmTx;
 
 /// Shared state of the emulated HTM: the global version clock and the
@@ -153,6 +191,12 @@ public:
   /// before any transaction runs.
   void setMemoryHooks(const MemoryHooks &Hooks) { this->Hooks = Hooks; }
   const MemoryHooks &memoryHooks() const { return Hooks; }
+
+  /// Installs (or, with a default-constructed value, removes) the
+  /// access-observer hooks. Not thread-safe: install before transactions
+  /// run, remove after they quiesce.
+  void setAccessHooks(const AccessHooks &Hooks) { AHooks = Hooks; }
+  const AccessHooks &accessHooks() const { return AHooks; }
 
   /// Current value of the global version clock. Commit timestamps are
   /// values of this clock; a later-serialized writing transaction always
@@ -190,15 +234,19 @@ public:
   /// write-back, losing the SGL section's update).
   uint64_t nonTxLoad(const uint64_t *Addr) {
     std::atomic<uint64_t> &Stripe = stripeFor(Addr);
+    uint64_t Val;
     for (;;) {
       uint64_t V1 = Stripe.load(std::memory_order_acquire);
       if (V1 & 1)
         continue; // A committer owns the stripe; wait out its write-back.
-      uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+      Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (Stripe.load(std::memory_order_acquire) == V1)
-        return Val;
+        break;
     }
+    if (CRAFTY_UNLIKELY(AHooks.OnNonTxLoad != nullptr))
+      AHooks.OnNonTxLoad(AHooks.Ctx, Addr);
+    return Val;
   }
 
   /// Plain atomic load with no consistency guarantee: only for spin-wait
@@ -221,6 +269,7 @@ private:
 
   HtmConfig Config;
   MemoryHooks Hooks;
+  AccessHooks AHooks;
   size_t TableMask;
   std::unique_ptr<std::atomic<uint64_t>[]> Table;
   alignas(CacheLineBytes) std::atomic<uint64_t> Clock{0};

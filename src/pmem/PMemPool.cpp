@@ -37,8 +37,11 @@ PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
   }
   Threads = std::make_unique<ThreadSlot[]>(Config.MaxThreads);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
-    Threads[I].EvictRng.reseed(Config.EvictionSeed * 1315423911u + I);
-    Threads[I].PendingLines.reserve(256);
+    ThreadSlot &Slot = Threads[I];
+    Slot.lock(); // No concurrency yet; taken for the analysis' benefit.
+    Slot.EvictRng.reseed(Config.EvictionSeed * 1315423911u + I);
+    Slot.PendingLines.reserve(256);
+    Slot.unlock();
   }
 }
 
@@ -106,7 +109,7 @@ void PMemPool::drain(uint32_t ThreadId) {
   uint64_t Deadline = Slot.PendingDeadline;
   Slot.HasPending = false;
   if (CRAFTY_UNLIKELY(Observer != nullptr))
-    Observer->onDrain(ThreadId);
+    Observer->onDrain(ThreadId, /*Remote=*/false);
   Slot.unlock();
   DrainCount.fetch_add(1, std::memory_order_relaxed);
   // SFENCE semantics: wait only for write-backs still in flight; CLWBs
@@ -129,7 +132,7 @@ void PMemPool::drainRemote(uint32_t ThreadId) {
   }
   Slot.HasPending = false;
   if (CRAFTY_UNLIKELY(Observer != nullptr))
-    Observer->onDrain(ThreadId);
+    Observer->onDrain(ThreadId, /*Remote=*/true);
   Slot.unlock();
 }
 
@@ -270,8 +273,11 @@ void PMemPool::crash() {
   for (size_t I = 0; I != NumLines; ++I)
     Dirty[I].store(0, std::memory_order_relaxed);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
-    Threads[I].PendingLines.clear();
-    Threads[I].HasPending = false;
+    ThreadSlot &Slot = Threads[I];
+    Slot.lock();
+    Slot.PendingLines.clear();
+    Slot.HasPending = false;
+    Slot.unlock();
   }
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onCrash();
@@ -306,8 +312,11 @@ void PMemPool::reset() {
       Dirty[I].store(0, std::memory_order_relaxed);
   }
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
-    Threads[I].PendingLines.clear();
-    Threads[I].HasPending = false;
+    ThreadSlot &Slot = Threads[I];
+    Slot.lock();
+    Slot.PendingLines.clear();
+    Slot.HasPending = false;
+    Slot.unlock();
   }
   ClwbCount.store(0, std::memory_order_relaxed);
   DrainCount.store(0, std::memory_order_relaxed);

@@ -38,6 +38,7 @@
 
 #include "htm/Htm.h"
 #include "support/CacheLine.h"
+#include "support/Mutex.h"
 #include "support/Rng.h"
 
 #include <atomic>
@@ -98,9 +99,12 @@ public:
                        bool ValuesKnown) = 0;
   /// CLWB of the line containing \p Addr scheduled by \p ThreadId.
   virtual void onClwb(uint32_t ThreadId, const void *Addr) = 0;
-  /// \p ThreadId's pending CLWBs completed (explicit drain, an HTM commit
-  /// fence, or another thread's drainRemote).
-  virtual void onDrain(uint32_t ThreadId) = 0;
+  /// \p ThreadId's pending CLWBs completed. \p Remote is false for the
+  /// thread's own SFENCE (explicit drain or an HTM commit fence) and true
+  /// for another thread's drainRemote, which asserts completion by the
+  /// passage of time and makes no claim about \p ThreadId's own
+  /// store/flush ordering.
+  virtual void onDrain(uint32_t ThreadId, bool Remote) = 0;
   /// Tracked mode: the line containing \p LineAddr was spontaneously
   /// written back (seeded evictor or evictRandomLines).
   virtual void onEvict(const void *LineAddr) = 0;
@@ -248,20 +252,18 @@ private:
   std::atomic<size_t> CarveOffset{0};
 
   struct alignas(CacheLineBytes) ThreadSlot {
-    /// Guards PendingLines/HasPending: the owner issues clwb/drain, but
-    /// drainRemote and crash may touch the queue from other threads.
-    std::atomic_flag Lock = ATOMIC_FLAG_INIT;
-    std::vector<uint32_t> PendingLines; // Tracked mode.
-    bool HasPending = false;
+    /// Guards PendingLines/HasPending/PendingDeadline/EvictRng: the owner
+    /// issues clwb/drain, but drainRemote, crash and reset may touch the
+    /// queue from other threads.
+    SpinLock Lock;
+    std::vector<uint32_t> PendingLines CRAFTY_GUARDED_BY(Lock); // Tracked.
+    bool HasPending CRAFTY_GUARDED_BY(Lock) = false;
     /// Completion time of the latest pending CLWB (monotonic ns).
-    uint64_t PendingDeadline = 0;
-    Rng EvictRng;
+    uint64_t PendingDeadline CRAFTY_GUARDED_BY(Lock) = 0;
+    Rng EvictRng CRAFTY_GUARDED_BY(Lock);
 
-    void lock() {
-      while (Lock.test_and_set(std::memory_order_acquire)) {
-      }
-    }
-    void unlock() { Lock.clear(std::memory_order_release); }
+    void lock() CRAFTY_ACQUIRE(Lock) { Lock.lock(); }
+    void unlock() CRAFTY_RELEASE(Lock) { Lock.unlock(); }
   };
   std::unique_ptr<ThreadSlot[]> Threads; // Config.MaxThreads slots.
 

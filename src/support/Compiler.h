@@ -28,6 +28,44 @@
 #define CRAFTY_ALWAYS_INLINE inline
 #endif
 
+// Clang Thread Safety Analysis annotations (-Wthread-safety). GCC accepts
+// none of these attributes, so they expand to nothing there; the dedicated
+// Clang CI lane enforces them. See https://clang.llvm.org/docs/
+// ThreadSafetyAnalysis.html for the attribute semantics.
+#if defined(__clang__)
+#define CRAFTY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CRAFTY_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define CRAFTY_CAPABILITY(x) CRAFTY_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define CRAFTY_SCOPED_CAPABILITY CRAFTY_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the given capability.
+#define CRAFTY_GUARDED_BY(x) CRAFTY_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by the given capability.
+#define CRAFTY_PT_GUARDED_BY(x) CRAFTY_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability and does not release it.
+#define CRAFTY_ACQUIRE(...)                                                  \
+  CRAFTY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a capability acquired earlier.
+#define CRAFTY_RELEASE(...)                                                  \
+  CRAFTY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function attempts acquisition; the first argument is the success value.
+#define CRAFTY_TRY_ACQUIRE(...)                                              \
+  CRAFTY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must hold the capability when calling the function.
+#define CRAFTY_REQUIRES(...)                                                 \
+  CRAFTY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (non-reentrant acquisition).
+#define CRAFTY_EXCLUDES(...)                                                 \
+  CRAFTY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for functions whose locking is deliberately unusual.
+#define CRAFTY_NO_THREAD_SAFETY_ANALYSIS                                     \
+  CRAFTY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
 namespace crafty {
 
 /// Aborts the process after printing \p Msg. Used for invariant violations

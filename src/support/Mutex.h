@@ -1,0 +1,73 @@
+//===- support/Mutex.h - Annotated locking primitives ----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin locking wrappers carrying Clang Thread Safety Analysis capability
+/// annotations (support/Compiler.h). libstdc++'s std::mutex is not
+/// annotated, so code that wants -Wthread-safety coverage uses these
+/// instead; under GCC the annotations vanish and the wrappers compile to
+/// the underlying primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_MUTEX_H
+#define CRAFTY_SUPPORT_MUTEX_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace crafty {
+
+/// An annotated std::mutex.
+class CRAFTY_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() CRAFTY_ACQUIRE() { M.lock(); }
+  void unlock() CRAFTY_RELEASE() { M.unlock(); }
+
+private:
+  std::mutex M;
+};
+
+/// Annotated scoped lock (std::lock_guard equivalent) over Mutex.
+class CRAFTY_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) CRAFTY_ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() CRAFTY_RELEASE() { M.unlock(); }
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &M;
+};
+
+/// An annotated test-and-set spin lock (used where the critical section is
+/// a few loads/stores and blocking primitives would dominate).
+class CRAFTY_CAPABILITY("mutex") SpinLock {
+public:
+  SpinLock() = default;
+  SpinLock(const SpinLock &) = delete;
+  SpinLock &operator=(const SpinLock &) = delete;
+
+  void lock() CRAFTY_ACQUIRE() {
+    while (Flag.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() CRAFTY_RELEASE() { Flag.clear(std::memory_order_release); }
+
+private:
+  std::atomic_flag Flag = ATOMIC_FLAG_INIT;
+};
+
+} // namespace crafty
+
+#endif // CRAFTY_SUPPORT_MUTEX_H

@@ -1,0 +1,569 @@
+//===- tests/TxRaceCheckTest.cpp - TxRaceCheck tests ----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the TxRaceCheck happens-before race and isolation checker.
+//
+// The first half drives the checker's public event API directly (no
+// runtime), seeding each diagnostic class and its adversarial clean twin.
+// The second half runs the real Crafty runtime with EnableTxRaceCheck: a
+// seeded weak-isolation race the checker must catch, plus contended
+// thread-safe, SGL-fallback, validate-path and externally synchronized
+// thread-unsafe runs it must keep silent on. The final test sweeps every
+// STAMP-style workload under both checkers.
+//
+// Attribution note for the direct-drive tests: beginTxn(Tid) binds the
+// calling OS thread to pool thread Tid and endTxn does not unbind, so a
+// single gtest thread can impersonate several pool threads by opening
+// their scopes in sequence; nonTxLoad/nonTxStore are attributed to the
+// most recently bound id.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/TxRaceCheck.h"
+#include "check/PersistCheck.h"
+#include "core/Crafty.h"
+#include "harness/Harness.h"
+#include "workloads/Workload.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Direct-drive harness
+//===----------------------------------------------------------------------===//
+
+struct CheckerFixture {
+  PMemPool Pool;
+  TxRaceCheck Check;
+  uint64_t *W; // Pool data words.
+
+  CheckerFixture() : Pool(poolConfig()), Check(Pool) {
+    W = reinterpret_cast<uint64_t *>(Pool.base());
+  }
+
+  static PMemConfig poolConfig() {
+    PMemConfig PC;
+    PC.PoolBytes = 1 << 20;
+    PC.Mode = PMemMode::LatencyOnly;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+};
+
+TEST(TxRaceCheck, SeededTxNonTxRaceIsReported) {
+  CheckerFixture F;
+  // Thread 1 stores non-transactionally (stripe version 1), then thread 0
+  // commits a transactional write to the same word with a snapshot that
+  // predates the store: no happens-before edge in either direction.
+  F.Check.beginTxn(1);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/1);
+  F.Check.endTxn(1);
+
+  F.Check.beginTxn(0);
+  F.Check.txBegin(0, /*Snapshot=*/0);
+  F.Check.txStore(0, &F.W[0]);
+  F.Check.txCommit(0, /*Version=*/2, /*HadWrites=*/true);
+  F.Check.endTxn(0);
+
+  EXPECT_EQ(F.Check.count(RaceDiag::TxNonTxRace), 1u);
+  EXPECT_EQ(F.Check.violationCount(), 1u);
+  EXPECT_EQ(F.Check.lintCount(), 0u);
+  ASSERT_EQ(F.Check.reports().size(), 1u);
+  TxRaceReport R = F.Check.reports()[0];
+  EXPECT_EQ(R.Kind, RaceDiag::TxNonTxRace);
+  EXPECT_EQ(R.ThreadId, 0u);
+  EXPECT_EQ(R.OtherThreadId, 1u);
+  EXPECT_EQ(R.PoolOffset, 0u);
+  EXPECT_STREQ(R.Event, "commit");
+  EXPECT_NE(F.Check.formatReports().find("tx-nontx-race"), std::string::npos);
+}
+
+TEST(TxRaceCheck, SnapshotCoveringTheStoreIsClean) {
+  CheckerFixture F;
+  // Identical to the seeded case except the transaction's snapshot covers
+  // the non-transactional store's stripe version: TL2 validated the read
+  // stripe, so the commit is genuinely ordered after the store.
+  F.Check.beginTxn(1);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/1);
+  F.Check.endTxn(1);
+
+  F.Check.beginTxn(0);
+  F.Check.txBegin(0, /*Snapshot=*/1);
+  F.Check.txStore(0, &F.W[0]);
+  F.Check.txCommit(0, /*Version=*/2, /*HadWrites=*/true);
+  F.Check.endTxn(0);
+
+  EXPECT_EQ(F.Check.violationCount(), 0u) << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, AbortedTransactionLeavesNoTrace) {
+  CheckerFixture F;
+  // The aborted speculative write must not race anything: HTM discards it.
+  F.Check.beginTxn(0);
+  F.Check.txBegin(0, /*Snapshot=*/0);
+  F.Check.txStore(0, &F.W[0]);
+  F.Check.txAbort(0);
+  F.Check.endTxn(0);
+
+  F.Check.beginTxn(1);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/1);
+  F.Check.endTxn(1);
+
+  EXPECT_EQ(F.Check.violationCount(), 0u) << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, SeededNonTxRaceIsReportedOncePerWord) {
+  CheckerFixture F;
+  // Two unsynchronized non-transactional stores to the same word from
+  // different threads; a third racy store checks per-word deduplication.
+  F.Check.beginTxn(1);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/1);
+  F.Check.endTxn(1);
+  F.Check.beginTxn(2);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/2);
+  F.Check.endTxn(2);
+  F.Check.beginTxn(3);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/3);
+  F.Check.endTxn(3);
+
+  EXPECT_EQ(F.Check.count(RaceDiag::NonTxRace), 1u)
+      << F.Check.formatReports();
+  EXPECT_EQ(F.Check.lintCount(), 0u); // All stores were inside scopes.
+}
+
+TEST(TxRaceCheck, AnnotatedSyncOrdersNonTxStores) {
+  CheckerFixture F;
+  int LockTag = 0; // Stands in for an application mutex.
+  // The same contended pattern as the seeded nontx-race, but each store
+  // is bracketed by syncAcquire/syncRelease on a shared object -- the
+  // lock_durability.cpp discipline. The release/acquire clock handoff
+  // orders the stores, so nothing may be reported.
+  for (uint32_t Tid = 1; Tid <= 3; ++Tid) {
+    F.Check.beginTxn(Tid);
+    F.Check.syncAcquire(Tid, &LockTag);
+    F.Check.nonTxStore(&F.W[0], /*Version=*/Tid);
+    F.Check.syncRelease(Tid, &LockTag);
+    F.Check.endTxn(Tid);
+  }
+  EXPECT_EQ(F.Check.violationCount(), 0u) << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, SeededChunkedAccessWithoutSglIsReportedOncePerScope) {
+  CheckerFixture F;
+  // Two chunked-phase scopes concurrently active; scope 1 touches the
+  // pool holding neither the SGL nor any annotated sync object.
+  F.Check.beginTxn(1);
+  F.Check.setPhase(1, "chunked");
+  F.Check.beginTxn(2);
+  F.Check.setPhase(2, "chunked");
+
+  F.Check.txBegin(1, /*Snapshot=*/0);
+  F.Check.txStore(1, &F.W[1]);
+  F.Check.txStore(1, &F.W[2]); // Same scope: deduplicated.
+  F.Check.txAbort(1);
+
+  EXPECT_EQ(F.Check.count(RaceDiag::SglNotHeld), 1u)
+      << F.Check.formatReports();
+  ASSERT_FALSE(F.Check.reports().empty());
+  EXPECT_STREQ(F.Check.reports()[0].Phase, "chunked");
+
+  F.Check.endTxn(2);
+  F.Check.endTxn(1);
+}
+
+TEST(TxRaceCheck, LoneChunkedScopeIsClean) {
+  CheckerFixture F;
+  // Single-threaded thread-unsafe mode is legal: with no other scope
+  // concurrently active there is nobody to race.
+  F.Check.beginTxn(1);
+  F.Check.setPhase(1, "chunked");
+  F.Check.txBegin(1, /*Snapshot=*/0);
+  F.Check.txStore(1, &F.W[1]);
+  F.Check.txCommit(1, /*Version=*/1, /*HadWrites=*/true);
+  F.Check.endTxn(1);
+  EXPECT_EQ(F.Check.count(RaceDiag::SglNotHeld), 0u)
+      << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, ChunkedAccessHoldingSglOrSyncIsClean) {
+  CheckerFixture F;
+  int LockTag = 0;
+  F.Check.beginTxn(1);
+  F.Check.setPhase(1, "chunked");
+  F.Check.beginTxn(2);
+  F.Check.setPhase(2, "chunked");
+
+  // Scope 1 under the SGL.
+  F.Check.sglAcquired(1);
+  F.Check.txBegin(1, /*Snapshot=*/0);
+  F.Check.txStore(1, &F.W[1]);
+  F.Check.txCommit(1, /*Version=*/1, /*HadWrites=*/true);
+  F.Check.sglReleased(1);
+
+  // Scope 2 under an annotated application lock.
+  F.Check.syncAcquire(2, &LockTag);
+  F.Check.txBegin(2, /*Snapshot=*/1);
+  F.Check.txStore(2, &F.W[2]);
+  F.Check.txCommit(2, /*Version=*/2, /*HadWrites=*/true);
+  F.Check.syncRelease(2, &LockTag);
+
+  F.Check.endTxn(2);
+  F.Check.endTxn(1);
+  EXPECT_EQ(F.Check.count(RaceDiag::SglNotHeld), 0u)
+      << F.Check.formatReports();
+  EXPECT_EQ(F.Check.violationCount(), 0u) << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, SglSectionAndReadOnlyCommitDoNotRace) {
+  CheckerFixture F;
+  // A read-only transaction publishes no clock, so an SGL section's
+  // all-published join cannot cover it; lock subscription still orders
+  // the pair, and the checker must know that. The section writes the
+  // word the read-only transaction read.
+  F.Check.beginTxn(1);
+  F.Check.txBegin(1, /*Snapshot=*/0);
+  F.Check.txLoad(1, &F.W[3]);
+  F.Check.txCommit(1, /*Version=*/0, /*HadWrites=*/false);
+  F.Check.endTxn(1);
+
+  F.Check.beginTxn(2);
+  F.Check.setPhase(2, "chunked");
+  F.Check.sglAcquired(2);
+  F.Check.nonTxStore(&F.W[3], /*Version=*/1);
+  F.Check.sglReleased(2);
+  F.Check.endTxn(2);
+
+  EXPECT_EQ(F.Check.violationCount(), 0u) << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, SeededNondetValidateIsReported) {
+  CheckerFixture F;
+  // A Validate-phase divergence with no foreign write to the scope's
+  // footprint since the Log phase began: the body is nondeterministic.
+  F.Check.beginTxn(0);
+  F.Check.setPhase(0, "log");
+  F.Check.txBegin(0, /*Snapshot=*/0);
+  F.Check.txLoad(0, &F.W[3]);
+  F.Check.txAbort(0);
+  F.Check.setPhase(0, "validate");
+  F.Check.noteValidateDivergence(0, &F.W[3], &F.W[4]);
+  F.Check.endTxn(0);
+
+  EXPECT_EQ(F.Check.count(RaceDiag::NondetValidate), 1u);
+  ASSERT_FALSE(F.Check.reports().empty());
+  EXPECT_STREQ(F.Check.reports()[0].Event, "validate");
+}
+
+TEST(TxRaceCheck, ForeignWriteExplainsValidateDivergence) {
+  CheckerFixture F;
+  // Same divergence, but another thread committed a write to the scope's
+  // footprint after the Log phase began -- a legitimate conflict, not
+  // nondeterminism; Crafty handles it by aborting and retrying.
+  F.Check.beginTxn(0);
+  F.Check.setPhase(0, "log");
+  F.Check.txBegin(0, /*Snapshot=*/0);
+  F.Check.txLoad(0, &F.W[3]);
+
+  F.Check.txBegin(1, /*Snapshot=*/0);
+  F.Check.txStore(1, &F.W[3]);
+  F.Check.txCommit(1, /*Version=*/5, /*HadWrites=*/true);
+
+  F.Check.setPhase(0, "validate");
+  F.Check.noteValidateDivergence(0, &F.W[3], &F.W[4]);
+  F.Check.txAbort(0);
+  F.Check.endTxn(0);
+
+  EXPECT_EQ(F.Check.count(RaceDiag::NondetValidate), 0u)
+      << F.Check.formatReports();
+}
+
+TEST(TxRaceCheck, UnscopedStoreLintsOnceAndExemptRegionsAreIgnored) {
+  CheckerFixture F;
+  // No scope was ever opened on this OS thread: the store is attributed
+  // to a synthetic thread id and linted (setup code pattern).
+  F.Check.nonTxStore(&F.W[5], /*Version=*/1);
+  F.Check.nonTxStore(&F.W[5], /*Version=*/2); // Same word: deduplicated.
+  EXPECT_EQ(F.Check.count(RaceDiag::UnscopedStore), 1u);
+  EXPECT_EQ(F.Check.lintCount(), 1u);
+  EXPECT_EQ(F.Check.violationCount(), 0u);
+  ASSERT_FALSE(F.Check.reports().empty());
+  EXPECT_GE(F.Check.reports()[0].ThreadId, TxRaceCheck::FirstSyntheticTid);
+
+  // Exempt regions (undo logs) and out-of-pool addresses are invisible.
+  F.Check.registerExemptRegion(&F.W[8], 64);
+  F.Check.nonTxStore(&F.W[8], /*Version=*/3);
+  uint64_t Stack = 0;
+  F.Check.nonTxStore(&Stack, /*Version=*/4);
+  EXPECT_EQ(F.Check.lintCount(), 1u);
+  EXPECT_EQ(F.Check.violationCount(), 0u);
+}
+
+TEST(TxRaceCheck, CheckReportSerializesToJson) {
+  CheckerFixture F;
+  F.Check.beginTxn(1);
+  F.Check.nonTxStore(&F.W[0], /*Version=*/1);
+  F.Check.endTxn(1);
+  F.Check.beginTxn(0);
+  F.Check.txBegin(0, /*Snapshot=*/0);
+  F.Check.txStore(0, &F.W[0]);
+  F.Check.txCommit(0, /*Version=*/2, /*HadWrites=*/true);
+  F.Check.endTxn(0);
+
+  CheckReport R = F.Check.checkReport();
+  EXPECT_STREQ(R.Checker, "txracecheck");
+  EXPECT_EQ(R.Violations, 1u);
+  std::string Json = R.toJson();
+  EXPECT_NE(Json.find("\"checker\""), std::string::npos);
+  EXPECT_NE(Json.find("txracecheck"), std::string::npos);
+  EXPECT_NE(Json.find("tx-nontx-race"), std::string::npos);
+
+  std::string Path = testing::TempDir() + "txracecheck_test_report.json";
+  ASSERT_TRUE(R.writeJson(Path.c_str()));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Json);
+  std::remove(Path.c_str());
+
+  F.Check.clearReports();
+  EXPECT_EQ(F.Check.violationCount(), 0u);
+  EXPECT_TRUE(F.Check.reports().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration
+//===----------------------------------------------------------------------===//
+
+struct RaceSystem {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  CraftyRuntime Rt;
+
+  explicit RaceSystem(CraftyConfig CC, HtmConfig HC = HtmConfig())
+      : Pool(poolConfig()), Htm(HC), Rt(Pool, Htm, CC) {}
+
+  ~RaceSystem() {
+    if (PersistCheck *PC = Rt.persistCheck()) {
+      EXPECT_EQ(PC->violationCount(), 0u) << PC->formatViolations();
+    }
+  }
+
+  TxRaceCheck &race() { return *Rt.raceCheck(); }
+
+  static PMemConfig poolConfig() {
+    PMemConfig PC;
+    PC.PoolBytes = 8 << 20;
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+};
+
+CraftyConfig raceConfig(unsigned Threads = 1, bool PersistToo = true) {
+  CraftyConfig C;
+  C.NumThreads = Threads;
+  C.LogEntriesPerThread = 1 << 12;
+  C.EnableTxRaceCheck = true;
+  C.EnablePersistCheck = PersistToo;
+  return C;
+}
+
+TEST(TxRaceCheckRuntime, DisabledByDefault) {
+  CraftyConfig C;
+  C.NumThreads = 1;
+  RaceSystem S(C);
+  EXPECT_EQ(S.Rt.raceCheck(), nullptr);
+}
+
+TEST(TxRaceCheckRuntime, SeededWeakIsolationRaceIsCaught) {
+  // EnablePersistCheck off: the seeded raw store is deliberately outside
+  // any scope and would (correctly) upset the persist checker too.
+  RaceSystem S(raceConfig(1, /*PersistToo=*/false));
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(64));
+  S.Rt.run(0, [&](TxnContext &Tx) { Tx.store(&Data[0], 7); });
+
+  // A foreign thread stores to the committed word behind Crafty's back:
+  // no transaction, no scope, no synchronization. This is the
+  // weak-isolation hazard of mixing transactional and plain access.
+  std::thread Rogue([&] { S.Htm.nonTxStore(&Data[0], 99); });
+  Rogue.join();
+
+  EXPECT_EQ(S.race().count(RaceDiag::TxNonTxRace), 1u)
+      << S.race().formatReports();
+  EXPECT_EQ(S.race().count(RaceDiag::UnscopedStore), 1u);
+  EXPECT_EQ(S.race().violationCount(), 1u);
+}
+
+TEST(TxRaceCheckRuntime, ContendedThreadSafeCountersAreRaceFree) {
+  constexpr unsigned NumThreads = 4;
+  constexpr int OpsPerThread = 250;
+  RaceSystem S(raceConfig(NumThreads));
+  auto *Counter = static_cast<uint64_t *>(S.Rt.carve(64));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != OpsPerThread; ++I)
+        S.Rt.run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(*Counter, (uint64_t)NumThreads * OpsPerThread);
+  EXPECT_EQ(S.race().violationCount(), 0u) << S.race().formatReports();
+  EXPECT_EQ(S.race().lintCount(), 0u) << S.race().formatReports();
+}
+
+TEST(TxRaceCheckRuntime, ContendedValidatePathHasNoFalseNondetReports) {
+  // DisableRedo forces every writing commit through Validate; under
+  // contention the re-execution legitimately diverges (foreign commits
+  // land between Log and Validate) and Crafty retries. None of those
+  // divergences may be classified as nondeterminism.
+  constexpr unsigned NumThreads = 3;
+  constexpr int OpsPerThread = 150;
+  CraftyConfig C = raceConfig(NumThreads);
+  C.DisableRedo = true;
+  RaceSystem S(C);
+  auto *Counter = static_cast<uint64_t *>(S.Rt.carve(64));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != OpsPerThread; ++I)
+        S.Rt.run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(*Counter, (uint64_t)NumThreads * OpsPerThread);
+  EXPECT_GT(S.Rt.txnStats().Validate, 0u);
+  EXPECT_EQ(S.race().count(RaceDiag::NondetValidate), 0u)
+      << S.race().formatReports();
+  EXPECT_EQ(S.race().violationCount(), 0u) << S.race().formatReports();
+}
+
+TEST(TxRaceCheckRuntime, SglFallbackSectionsAreRaceFree) {
+  // Every hardware transaction aborts, driving both threads through the
+  // SGL chunked path (down to k = 1 plain stores). The SGL edges must
+  // order the sections: no races, and no sgl-not-held reports since the
+  // lock is genuinely held.
+  HtmConfig HC;
+  HC.SpuriousAbortPerMillion = 1000000;
+  constexpr unsigned NumThreads = 2;
+  constexpr int OpsPerThread = 40;
+  CraftyConfig C = raceConfig(NumThreads);
+  C.SglAttemptThreshold = 2;
+  RaceSystem S(C, HC);
+  auto *Counter = static_cast<uint64_t *>(S.Rt.carve(64));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != OpsPerThread; ++I)
+        S.Rt.run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(*Counter, (uint64_t)NumThreads * OpsPerThread);
+  EXPECT_GT(S.Rt.txnStats().Sgl, 0u);
+  EXPECT_EQ(S.race().violationCount(), 0u) << S.race().formatReports();
+}
+
+TEST(TxRaceCheckRuntime, ThreadUnsafeWithoutAnnotationIsReported) {
+  // Thread-unsafe mode with k = 1: every write is a plain store. Two
+  // threads run strictly one after the other, but the checker cannot see
+  // the std::thread join edge -- exactly the situation syncAcquire /
+  // syncRelease exist for. Unannotated, this must be flagged.
+  CraftyConfig C = raceConfig(2, /*PersistToo=*/true);
+  C.Mode = CraftyMode::ThreadUnsafe;
+  C.InitialChunkK = 1;
+  RaceSystem S(C);
+  auto *Counter = static_cast<uint64_t *>(S.Rt.carve(64));
+  std::thread A([&] {
+    S.Rt.run(0, [&](TxnContext &Tx) {
+      Tx.store(Counter, Tx.load(Counter) + 1);
+    });
+  });
+  A.join();
+  std::thread B([&] {
+    S.Rt.run(1, [&](TxnContext &Tx) {
+      Tx.store(Counter, Tx.load(Counter) + 1);
+    });
+  });
+  B.join();
+  EXPECT_EQ(*Counter, 2u);
+  EXPECT_GE(S.race().count(RaceDiag::NonTxRace) +
+                S.race().count(RaceDiag::TxNonTxRace),
+            1u)
+      << S.race().formatReports();
+}
+
+TEST(TxRaceCheckRuntime, ThreadUnsafeWithAnnotatedLockIsClean) {
+  // The lock_durability.cpp discipline: the application provides
+  // atomicity with a mutex and declares it via syncAcquire/syncRelease.
+  // Same contended counter as the unannotated case; zero reports allowed.
+  constexpr unsigned NumThreads = 3;
+  constexpr int OpsPerThread = 100;
+  CraftyConfig C = raceConfig(NumThreads);
+  C.Mode = CraftyMode::ThreadUnsafe;
+  C.InitialChunkK = 1;
+  RaceSystem S(C);
+  auto *Counter = static_cast<uint64_t *>(S.Rt.carve(64));
+  std::mutex Lock;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != OpsPerThread; ++I) {
+        std::lock_guard<std::mutex> G(Lock);
+        S.race().syncAcquire(T, &Lock);
+        S.Rt.run(T, [&](TxnContext &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+        S.race().syncRelease(T, &Lock);
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(*Counter, (uint64_t)NumThreads * OpsPerThread);
+  EXPECT_EQ(S.race().violationCount(), 0u) << S.race().formatReports();
+  EXPECT_EQ(S.race().lintCount(), 0u) << S.race().formatReports();
+}
+
+//===----------------------------------------------------------------------===//
+// Workload sweep under both checkers
+//===----------------------------------------------------------------------===//
+
+TEST(TxRaceCheckWorkloads, AllWorkloadsAreRaceFreeUnderChecker) {
+  for (WorkloadKind Kind : AllWorkloads) {
+    ExperimentConfig C;
+    C.Workload = Kind;
+    C.System = SystemKind::Crafty;
+    C.Threads = 4;
+    C.OpsPerThread = Kind == WorkloadKind::Labyrinth ? 8 : 120;
+    C.DrainLatencyNs = 0;
+    C.EnablePersistCheck = true;
+    C.EnableTxRaceCheck = true;
+    ExperimentResult R = runExperiment(C);
+    std::unique_ptr<Workload> W = createWorkload(Kind);
+    EXPECT_EQ(R.VerifyError, "") << W->name();
+    EXPECT_EQ(R.CheckViolations, 0u)
+        << W->name() << ":\n" << R.CheckReportText;
+  }
+}
+
+} // namespace
