@@ -1,0 +1,326 @@
+//===- bench/hotpath.cpp - Hot-path perf-trajectory benchmark -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Machine-readable hot-path benchmark: one committed persistent
+// transaction per operation, wall-clock timed, emitted as JSON so every
+// PR can append a trajectory point to BENCH_hotpath.json and the
+// project's "as fast as the hardware allows" goal has a measured history.
+//
+// Three transaction shapes bracket the hot paths the runtime optimizes:
+//
+//  - bank_10w:     10 writes to distinct cache lines (the micro_ops /
+//                  Figure 6 bank profile) -- undo staging, rollback and
+//                  two hardware transactions per op on Crafty.
+//  - ssca2_2w:     2 writes (the Figure 8 ssca2 profile) -- fixed
+//                  per-transaction overhead dominates.
+//  - btree_lookup: 16 strided reads, 1 write every 16th op (a B+tree
+//                  lookup-heavy mix) -- the read-only fast path and the
+//                  write-set-empty load path dominate.
+//
+// Persist latency is emulated at zero and (except for checker rows) the
+// pool runs in latency-only mode: the bench isolates instruction-path
+// cost, which is what hot-path PRs change; figure-level orderings with
+// realistic persist latency remain the harness benches' job.
+//
+// Output schema (see README "Hot-path perf trajectory"):
+//   {"schema": "crafty-hotpath-bench-v1", "points": [
+//      {"label": ..., "ops_scale": ..., "results": [
+//         {"shape": ..., "system": ..., "threads": N, "checkers": bool,
+//          "ops": N, "ns_per_op": X, "ops_per_sec": Y}, ...]}, ...]}
+//
+// Usage: hotpath [--label NAME] [--out FILE | --append FILE]
+//   --out    write a fresh single-point trajectory file
+//   --append splice the point into FILE's points array (creating FILE
+//            if absent); this is how BENCH_hotpath.json accumulates
+// CRAFTY_BENCH_OPS_SCALE scales the per-cell operation counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+#include "core/Crafty.h"
+#include "support/Clock.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace crafty;
+
+namespace {
+
+constexpr unsigned WordsPerLine = CacheLineBytes / 8;
+
+struct Shape {
+  const char *Name;
+  unsigned WritesPerOp; // Upper bound; sizes the baselines' redo logs.
+  uint64_t BaseOps;
+};
+
+const Shape Shapes[] = {
+    {"bank_10w", 10, 20000},
+    {"ssca2_2w", 2, 40000},
+    {"btree_lookup", 1, 40000},
+};
+
+struct Cell {
+  SystemKind System;
+  unsigned Threads;
+  bool Checkers;
+};
+
+// Crafty + baselines single-threaded; Crafty again with both dynamic
+// checkers attached (their "on" cost is part of the trajectory) and at
+// two threads, where commit-time read-set validation actually runs
+// (single-threaded commits are serialization-adjacent to their snapshot
+// and skip it).
+const Cell Cells[] = {
+    {SystemKind::NonDurable, 1, false}, {SystemKind::DudeTm, 1, false},
+    {SystemKind::NvHtm, 1, false},      {SystemKind::Crafty, 1, false},
+    {SystemKind::Crafty, 1, true},      {SystemKind::Crafty, 2, false},
+};
+
+double opsScale() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read before threads spawn.
+  if (const char *Scale = std::getenv("CRAFTY_BENCH_OPS_SCALE")) {
+    double F = std::atof(Scale);
+    if (F > 0)
+      return F;
+  }
+  return 1.0;
+}
+
+struct CellResult {
+  const char *ShapeName;
+  const char *SystemName;
+  unsigned Threads;
+  bool Checkers;
+  uint64_t Ops;
+  double NsPerOp;
+  double OpsPerSec;
+};
+
+CellResult runCell(const Shape &S, const Cell &C, uint64_t Ops) {
+  // Per-thread data: bank/ssca2 write disjoint lines (the contention-free
+  // shape isolates per-access cost; conflicts are the figure benches'
+  // subject), btree_lookup reads a shared array.
+  constexpr unsigned DataLinesPerThread = 64;
+  constexpr unsigned LookupLines = 4096;
+
+  size_t RedoBudget =
+      (size_t)Ops * (S.WritesPerOp + 2) * 32 + (1 << 20);
+  PMemConfig PC;
+  PC.PoolBytes = (64ull << 20) + (uint64_t)RedoBudget * (C.Threads + 1) +
+                 (uint64_t)LookupLines * CacheLineBytes;
+  // Checker rows need tracked line state (PersistCheck audits real CLWB
+  // and eviction traffic); plain rows run latency-only.
+  PC.Mode = C.Checkers ? PMemMode::Tracked : PMemMode::LatencyOnly;
+  PC.DrainLatencyNs = 0;
+  PC.MaxThreads = C.Threads + 4;
+  PMemPool Pool(PC);
+  HtmRuntime Htm((HtmConfig()));
+
+  BackendOptions BO;
+  BO.NumThreads = C.Threads;
+  BO.EnablePersistCheck = C.Checkers;
+  BO.EnableTxRaceCheck = C.Checkers;
+  BO.NvHtmLogBytesPerThread =
+      std::max<size_t>(BO.NvHtmLogBytesPerThread, RedoBudget);
+  BO.DudeTmLogBytesTotal = std::max<size_t>(BO.DudeTmLogBytesTotal,
+                                            RedoBudget * C.Threads);
+  std::unique_ptr<PtmBackend> Backend = createBackend(C.System, Pool, Htm, BO);
+
+  auto *Data = static_cast<uint64_t *>(Pool.carve(
+      (size_t)C.Threads * DataLinesPerThread * CacheLineBytes));
+  auto *Lookup =
+      static_cast<uint64_t *>(Pool.carve(LookupLines * CacheLineBytes));
+
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != C.Threads; ++T) {
+    Threads.emplace_back([&, T] {
+      uint64_t *Mine = Data + (size_t)T * DataLinesPerThread * WordsPerLine;
+      Ready.fetch_add(1, std::memory_order_release);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      if (std::strcmp(S.Name, "bank_10w") == 0) {
+        for (uint64_t I = 0; I != Ops; ++I)
+          Backend->run(T, [&](TxnContext &Tx) {
+            for (unsigned W = 0; W != 10; ++W)
+              Tx.store(&Mine[W * WordsPerLine], I + W);
+          });
+      } else if (std::strcmp(S.Name, "ssca2_2w") == 0) {
+        for (uint64_t I = 0; I != Ops; ++I)
+          Backend->run(T, [&](TxnContext &Tx) {
+            Tx.store(&Mine[(I % 32) * WordsPerLine], I);
+            Tx.store(&Mine[(I % 32 + 32) * WordsPerLine], I + 1);
+          });
+      } else { // btree_lookup
+        for (uint64_t I = 0; I != Ops; ++I) {
+          uint64_t Root = (I * 2654435761ull) % LookupLines;
+          Backend->run(T, [&](TxnContext &Tx) {
+            uint64_t Sum = 0;
+            for (unsigned D = 0; D != 16; ++D)
+              Sum += Tx.load(
+                  &Lookup[((Root + D * 37) % LookupLines) * WordsPerLine]);
+            if (I % 16 == 0)
+              Tx.store(&Mine[(I / 16 % DataLinesPerThread) * WordsPerLine],
+                       Sum + I);
+          });
+        }
+      }
+    });
+  }
+  while (Ready.load(std::memory_order_acquire) != C.Threads)
+    std::this_thread::yield();
+  uint64_t T0 = monotonicNanos();
+  Go.store(true, std::memory_order_release);
+  for (auto &Th : Threads)
+    Th.join();
+  Backend->quiesce();
+  uint64_t T1 = monotonicNanos();
+
+  CellResult R;
+  R.ShapeName = S.Name;
+  R.SystemName = Backend->name();
+  R.Threads = C.Threads;
+  R.Checkers = C.Checkers;
+  R.Ops = Ops * C.Threads;
+  R.NsPerOp = R.Ops ? (double)(T1 - T0) / (double)R.Ops : 0;
+  R.OpsPerSec = T1 > T0 ? (double)R.Ops * 1e9 / (double)(T1 - T0) : 0;
+  return R;
+}
+
+std::string formatPoint(const std::string &Label, double Scale,
+                        const std::vector<CellResult> &Results) {
+  std::ostringstream Out;
+  char Buf[256];
+  Out << "    {\n      \"label\": \"" << Label << "\",\n";
+  std::snprintf(Buf, sizeof(Buf), "      \"ops_scale\": %g,\n", Scale);
+  Out << Buf;
+  Out << "      \"results\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const CellResult &R = Results[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "        {\"shape\": \"%s\", \"system\": \"%s\", "
+                  "\"threads\": %u, \"checkers\": %s, \"ops\": %llu, "
+                  "\"ns_per_op\": %.1f, \"ops_per_sec\": %.0f}%s\n",
+                  R.ShapeName, R.SystemName, R.Threads,
+                  R.Checkers ? "true" : "false",
+                  (unsigned long long)R.Ops, R.NsPerOp, R.OpsPerSec,
+                  I + 1 == Results.size() ? "" : ",");
+    Out << Buf;
+  }
+  Out << "      ]\n    }";
+  return Out.str();
+}
+
+std::string trajectoryFile(const std::string &PointJson) {
+  return std::string("{\n  \"schema\": \"crafty-hotpath-bench-v1\",\n"
+                     "  \"unit\": \"ns_per_op = wall nanoseconds per "
+                     "committed transaction; drain latency 0\",\n"
+                     "  \"points\": [\n") +
+         PointJson + "\n  ]\n}\n";
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Content;
+  return Out.good();
+}
+
+/// Splices \p PointJson before the closing "]" of the points array. The
+/// file format is produced only by this tool, so a textual splice against
+/// the fixed layout is reliable (and keeps the bench dependency-free).
+bool appendPoint(const std::string &Path, const std::string &PointJson) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return writeFile(Path, trajectoryFile(PointJson));
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string File = Buf.str();
+  const std::string Marker = "\n  ]\n}";
+  size_t Pos = File.rfind(Marker);
+  if (Pos == std::string::npos) {
+    std::fprintf(stderr,
+                 "hotpath: %s does not look like a trajectory file\n",
+                 Path.c_str());
+    return false;
+  }
+  File.insert(Pos, ",\n" + PointJson);
+  return writeFile(Path, File);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Label = "unlabeled";
+  std::string OutPath, AppendPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "hotpath: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--label")
+      Label = Next();
+    else if (Arg == "--out")
+      OutPath = Next();
+    else if (Arg == "--append")
+      AppendPath = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: hotpath [--label NAME] [--out FILE | --append "
+                   "FILE]\n");
+      return 2;
+    }
+  }
+
+  double Scale = opsScale();
+  std::vector<CellResult> Results;
+  for (const Shape &S : Shapes) {
+    uint64_t Ops = (uint64_t)((double)S.BaseOps * Scale);
+    if (Ops == 0)
+      Ops = 1;
+    for (const Cell &C : Cells) {
+      // Checker rows run a fraction of the ops: the checkers' shadow
+      // bookkeeping is O(accesses) and their absolute ns/op would
+      // otherwise dominate wall time without adding information.
+      uint64_t CellOps = C.Checkers ? std::max<uint64_t>(Ops / 10, 1) : Ops;
+      CellResult R = runCell(S, C, CellOps);
+      std::fprintf(stderr, "%-14s %-18s t=%u checkers=%d  %9.1f ns/op\n",
+                   R.ShapeName, R.SystemName, R.Threads, (int)R.Checkers,
+                   R.NsPerOp);
+      Results.push_back(R);
+    }
+  }
+
+  std::string Point = formatPoint(Label, Scale, Results);
+  if (!AppendPath.empty()) {
+    if (!appendPoint(AppendPath, Point))
+      return 1;
+    std::fprintf(stderr, "appended point '%s' to %s\n", Label.c_str(),
+                 AppendPath.c_str());
+  } else if (!OutPath.empty()) {
+    if (!writeFile(OutPath, trajectoryFile(Point)))
+      return 1;
+    std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  } else {
+    std::printf("%s\n", trajectoryFile(Point).c_str());
+  }
+  return 0;
+}
