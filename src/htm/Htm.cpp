@@ -122,6 +122,7 @@ HtmTx::HtmTx(HtmRuntime &Runtime, uint32_t ThreadId, uint64_t RngSeed)
   size_t ReadSlots = std::max<size_t>(64, nextPow2(C.MaxReadSetLines * 2));
   ReadSet.resize(ReadSlots);
   ReadSetMask = ReadSlots - 1;
+  ReadOrder.reserve(C.MaxReadSetLines);
   LockedStripes.reserve(MaxWords);
   PreLockVersions.reserve(MaxWords);
 }
@@ -137,7 +138,7 @@ void HtmTx::begin() {
   StreamWrites.clear();
   LastWrittenLine = ~(uintptr_t)0;
   WriteLineCount = 0;
-  ReadCount = 0;
+  ReadOrder.clear();
   LockedStripes.clear();
   PreLockVersions.clear();
   const AccessHooks &AHooks = Runtime.accessHooks();
@@ -215,12 +216,12 @@ void HtmTx::recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version) {
       Idx = (Idx + 1) & ReadSetMask;
       continue;
     }
-    if (ReadCount >= Runtime.config().MaxReadSetLines)
+    if (ReadOrder.size() >= Runtime.config().MaxReadSetLines)
       abortTx(AbortCode::Capacity);
     Slot.Stripe = Stripe;
     Slot.Version = Version;
     Slot.Epoch = Epoch;
-    ++ReadCount;
+    ReadOrder.push_back((uint32_t)Idx);
     return;
   }
 }
@@ -326,9 +327,12 @@ void HtmTx::abortTx(AbortCode Code, uint32_t UserCode) {
 }
 
 bool HtmTx::validateReadSet(uint64_t OwnedTag) {
-  for (ReadSlot &Slot : ReadSet) {
-    if (Slot.Epoch != Epoch)
-      continue;
+  // Walk only the occupied slots (dense index), not the whole table: the
+  // table is sized for the capacity limit (16K slots by default), while a
+  // typical transaction reads a handful of stripes.
+  Stats.ValidatedReadSlots += ReadOrder.size();
+  for (uint32_t Idx : ReadOrder) {
+    ReadSlot &Slot = ReadSet[Idx];
     uint64_t Cur = Slot.Stripe->load(std::memory_order_acquire);
     if (Cur == OwnedTag) {
       // We hold this stripe's lock; judge by its pre-lock version.

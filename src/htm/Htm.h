@@ -103,6 +103,10 @@ struct HtmStats {
   uint64_t AbortCapacity = 0;
   uint64_t AbortExplicit = 0;
   uint64_t AbortZero = 0;
+  /// Read-set entries examined by commit-time validation (one per distinct
+  /// stripe read, per validating commit). With the dense occupied-slot
+  /// index this grows with reads performed, not with read-set table size.
+  uint64_t ValidatedReadSlots = 0;
 
   uint64_t aborts() const {
     return AbortConflict + AbortCapacity + AbortExplicit + AbortZero;
@@ -115,6 +119,7 @@ struct HtmStats {
     AbortCapacity += O.AbortCapacity;
     AbortExplicit += O.AbortExplicit;
     AbortZero += O.AbortZero;
+    ValidatedReadSlots += O.ValidatedReadSlots;
     return *this;
   }
 };
@@ -413,10 +418,12 @@ private:
   std::vector<LineSlot> WriteLines;
   size_t WriteLinesMask;
   size_t WriteLineCount = 0;
-  // Read set: open-addressed over stripe pointers.
+  // Read set: open-addressed over stripe pointers. ReadOrder is the dense
+  // index of occupied slots, so commit-time validation is O(reads
+  // performed) instead of a scan of the whole table.
   std::vector<ReadSlot> ReadSet;
   size_t ReadSetMask;
-  size_t ReadCount = 0;
+  std::vector<uint32_t> ReadOrder;
   // Commit-time scratch: locked stripes and their pre-lock versions.
   std::vector<std::atomic<uint64_t> *> LockedStripes;
   std::vector<uint64_t> PreLockVersions;
