@@ -260,15 +260,34 @@ void CraftyThread::ctxStore(uint64_t *Addr, uint64_t Val) {
          "transactional writes must target persistent memory");
   switch (CurPhase) {
   case Phase::Log: {
+    ++DynWrites;
+    // Coalesce repeated stores to one word into a single undo entry (the
+    // first old value is all recovery's undo replay needs): update the
+    // redo value in place and skip the load + two streaming stores a
+    // fresh entry would cost. The body's stores are exactly the
+    // transaction's buffered writes at this point, so the HTM write
+    // buffer doubles as the word -> Mirror-index map via storeTagged.
+    if (uint32_t *MirrorIdx = Tx.writtenWordTag(Addr)) {
+      Mirror[*MirrorIdx].New = Val;
+      Tx.store(Addr, Val);
+      return;
+    }
     if (Mirror.size() >= maxSeqEntries())
       Tx.abortExplicit(AbortUserSeqOverflow);
     uint64_t Old = Tx.load(Addr);
     stageUndoEntry(HeadAtStart + Mirror.size(), Addr, Old);
     Mirror.push_back(MirrorEntry{Addr, Old, Val});
-    Tx.store(Addr, Val);
+    Tx.storeTagged(Addr, Val, (uint32_t)(Mirror.size() - 1));
     return;
   }
   case Phase::Validate: {
+    // A repeat store to an already-written word was coalesced by the Log
+    // phase: the deterministic re-execution reproduces it, and only the
+    // word's first store has an undo entry to match.
+    if (Tx.writtenWordTag(Addr)) {
+      Tx.store(Addr, Val);
+      return;
+    }
     // Algorithm 3: the next undo entry must match this write's address
     // and the current memory value; otherwise another thread committed
     // conflicting writes since the Log phase.
@@ -329,6 +348,7 @@ void CraftyThread::resetAttemptState() {
   AllocCursor = 0;
   FreeLog.clear();
   Mirror.clear();
+  DynWrites = 0;
   ValidateCursor = 0;
 }
 
@@ -673,7 +693,7 @@ void CraftyThread::finishCommit(bool ViaRedo) {
     ++Stats.Redo;
   else
     ++Stats.Validate;
-  Stats.Writes += Mirror.size();
+  Stats.Writes += DynWrites;
   performDeferredFrees();
 }
 
@@ -716,6 +736,7 @@ void CraftyThread::chunkedSectionBody(TxnBody Body) {
   SectionTs = Rt.Htm.advanceClock();
   SectionStartAbs = sharedHead();
   SectionMirror.clear();
+  DynWrites = 0;
   ChunkK = Rt.Config.InitialChunkK;
   for (;;) {
     if (chunkedAttempt(Body))
@@ -743,7 +764,7 @@ void CraftyThread::chunkedSectionBody(TxnBody Body) {
   // Make later Redo-phase checks of pre-section Log phases fail: the
   // section's writes committed after them.
   Rt.Htm.nonTxStore(&Rt.GLastRedoTs, Rt.Htm.advanceClock());
-  Stats.Writes += SectionMirror.size();
+  Stats.Writes += DynWrites;
   ++Stats.Sgl;
   performDeferredFrees();
 }
@@ -763,6 +784,7 @@ bool CraftyThread::chunkedAttempt(TxnBody Body) {
 }
 
 void CraftyThread::chunkedStore(uint64_t *Addr, uint64_t Val) {
+  ++DynWrites;
   // A section's sequences all carry one timestamp and are rolled back all
   // or none; they must therefore never wrap over their own entries.
   if (sharedHead() - SectionStartAbs + ChunkMirror.size() + 2 >=
@@ -791,10 +813,19 @@ void CraftyThread::chunkedStore(uint64_t *Addr, uint64_t Val) {
     ChunkStartAbs = Tx.load(&HeadShared);
     ChunkMirror.clear();
   }
+  // Coalesce repeats within the open chunk only: earlier chunks' entries
+  // are already persisted and their writes applied, so a word revisited
+  // across chunks needs a fresh entry (whose old value is the prior
+  // chunk's result -- exactly what stepwise rollback must restore).
+  if (uint32_t *ChunkIdx = Tx.writtenWordTag(Addr)) {
+    ChunkMirror[*ChunkIdx].New = Val;
+    Tx.store(Addr, Val);
+    return;
+  }
   uint64_t Old = Tx.load(Addr);
   stageUndoEntry(ChunkStartAbs + ChunkMirror.size(), Addr, Old);
   ChunkMirror.push_back(MirrorEntry{Addr, Old, Val});
-  Tx.store(Addr, Val);
+  Tx.storeTagged(Addr, Val, (uint32_t)(ChunkMirror.size() - 1));
   if (ChunkMirror.size() >= ChunkK)
     closeChunk();
 }

@@ -184,6 +184,9 @@ private:
   /// no transactional re-loads are needed (and the Redo phase applies New
   /// in program order).
   std::vector<MirrorEntry> Mirror;
+  /// Dynamic program stores of the current attempt (repeats included):
+  /// coalescing shrinks Mirror, but Table 1 counts writes as executed.
+  uint64_t DynWrites = 0;
   size_t ValidateCursor = 0;
   std::vector<void *> AllocLog;
   size_t AllocCursor = 0;

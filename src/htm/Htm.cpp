@@ -116,6 +116,7 @@ HtmTx::HtmTx(HtmRuntime &Runtime, uint32_t ThreadId, uint64_t RngSeed)
   WriteBuf.resize(BufSize);
   WriteBufMask = BufSize - 1;
   WriteOrder.reserve(MaxWords + 1);
+  StreamWrites.reserve(MaxWords + 1);
   size_t LineSlots = std::max<size_t>(64, nextPow2(C.MaxWriteSetLines * 2));
   WriteLines.resize(LineSlots);
   WriteLinesMask = LineSlots - 1;
@@ -135,6 +136,7 @@ void HtmTx::begin() {
   Active = true;
   SnapshotVersion = Runtime.Clock.load(std::memory_order_acquire);
   WriteOrder.clear();
+  WriteFilter = 0;
   StreamWrites.clear();
   LastWrittenLine = ~(uintptr_t)0;
   WriteLineCount = 0;
@@ -144,149 +146,6 @@ void HtmTx::begin() {
   const AccessHooks &AHooks = Runtime.accessHooks();
   if (CRAFTY_UNLIKELY(AHooks.OnTxBegin != nullptr))
     AHooks.OnTxBegin(AHooks.Ctx, ThreadId, SnapshotVersion);
-}
-
-void HtmTx::maybeInjectSpuriousAbort() {
-  uint32_t P = Runtime.config().SpuriousAbortPerMillion;
-  if (CRAFTY_LIKELY(P == 0))
-    return;
-  if (SpuriousRng.chance(P, 1000000))
-    abortTx(AbortCode::Zero);
-}
-
-HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, bool Insert) {
-  uint64_t H = reinterpret_cast<uintptr_t>(Addr) * 0x9e3779b97f4a7c15ull;
-  size_t Idx = (H >> 32) & WriteBufMask;
-  for (;;) {
-    WriteSlot &Slot = WriteBuf[Idx];
-    if (Slot.Epoch == Epoch) {
-      if (Slot.Addr == Addr)
-        return &Slot;
-      Idx = (Idx + 1) & WriteBufMask;
-      continue;
-    }
-    if (!Insert)
-      return nullptr;
-    // Empty slot: claim it. The buffer is sized 2x the word capacity and
-    // the capacity check below keeps the load factor bounded.
-    if (WriteOrder.size() + StreamWrites.size() >=
-        Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
-      abortTx(AbortCode::Capacity);
-    Slot.Addr = Addr;
-    Slot.Epoch = Epoch;
-    Slot.Val = 0;
-    Slot.IsCommitVersion = false;
-    WriteOrder.push_back((uint32_t)Idx);
-    return &Slot;
-  }
-}
-
-void HtmTx::noteWrittenLine(const void *Addr) {
-  uintptr_t Line = lineOf(Addr);
-  if (Line == LastWrittenLine)
-    return;
-  LastWrittenLine = Line;
-  uint64_t H = (uint64_t)Line * 0x9e3779b97f4a7c15ull;
-  size_t Idx = (H >> 32) & WriteLinesMask;
-  for (;;) {
-    LineSlot &Slot = WriteLines[Idx];
-    if (Slot.Epoch == Epoch) {
-      if (Slot.Line == Line)
-        return;
-      Idx = (Idx + 1) & WriteLinesMask;
-      continue;
-    }
-    if (WriteLineCount >= Runtime.config().MaxWriteSetLines)
-      abortTx(AbortCode::Capacity);
-    Slot.Line = Line;
-    Slot.Epoch = Epoch;
-    ++WriteLineCount;
-    return;
-  }
-}
-
-void HtmTx::recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version) {
-  uint64_t H = reinterpret_cast<uintptr_t>(Stripe) * 0x9e3779b97f4a7c15ull;
-  size_t Idx = (H >> 32) & ReadSetMask;
-  for (;;) {
-    ReadSlot &Slot = ReadSet[Idx];
-    if (Slot.Epoch == Epoch) {
-      if (Slot.Stripe == Stripe)
-        return; // Re-read of a known stripe; the first version suffices.
-      Idx = (Idx + 1) & ReadSetMask;
-      continue;
-    }
-    if (ReadOrder.size() >= Runtime.config().MaxReadSetLines)
-      abortTx(AbortCode::Capacity);
-    Slot.Stripe = Stripe;
-    Slot.Version = Version;
-    Slot.Epoch = Epoch;
-    ReadOrder.push_back((uint32_t)Idx);
-    return;
-  }
-}
-
-uint64_t HtmTx::load(const uint64_t *Addr) {
-  assert(Active && "transactional load outside a transaction");
-  maybeInjectSpuriousAbort();
-  if (WriteSlot *Slot = findWriteSlot(const_cast<uint64_t *>(Addr), false)) {
-    // A commit-version slot's value is unknown until commit; the paper's
-    // algorithms never read those words back within the same transaction.
-    return Slot->IsCommitVersion ? 0 : Slot->Val;
-  }
-  std::atomic<uint64_t> &Stripe = Runtime.stripeFor(Addr);
-  uint64_t V1 = Stripe.load(std::memory_order_acquire);
-  if (CRAFTY_UNLIKELY(V1 & 1))
-    abortTx(AbortCode::Conflict);
-  if (CRAFTY_UNLIKELY((V1 >> 1) > SnapshotVersion))
-    abortTx(AbortCode::Conflict);
-  uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
-  std::atomic_thread_fence(std::memory_order_acquire);
-  uint64_t V2 = Stripe.load(std::memory_order_acquire);
-  if (CRAFTY_UNLIKELY(V1 != V2))
-    abortTx(AbortCode::Conflict);
-  recordRead(&Stripe, V1);
-  const AccessHooks &AHooks = Runtime.accessHooks();
-  if (CRAFTY_UNLIKELY(AHooks.OnTxLoad != nullptr))
-    AHooks.OnTxLoad(AHooks.Ctx, ThreadId, Addr);
-  return Val;
-}
-
-void HtmTx::store(uint64_t *Addr, uint64_t Val) {
-  assert(Active && "transactional store outside a transaction");
-  maybeInjectSpuriousAbort();
-  WriteSlot *Slot = findWriteSlot(Addr, true);
-  Slot->Val = Val;
-  Slot->IsCommitVersion = false;
-  noteWrittenLine(Addr);
-  const AccessHooks &AHooks = Runtime.accessHooks();
-  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
-    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
-}
-
-void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
-  assert(Active && "transactional store outside a transaction");
-  if (WriteOrder.size() + StreamWrites.size() >=
-      Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
-    abortTx(AbortCode::Capacity);
-  StreamWrites.emplace_back(Addr, Val);
-  noteWrittenLine(Addr);
-  const AccessHooks &AHooks = Runtime.accessHooks();
-  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
-    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
-}
-
-void HtmTx::storeCommitVersion(uint64_t *Addr, unsigned Shift,
-                               uint64_t OrMask) {
-  assert(Active && "transactional store outside a transaction");
-  WriteSlot *Slot = findWriteSlot(Addr, true);
-  Slot->IsCommitVersion = true;
-  Slot->Shift = (uint8_t)Shift;
-  Slot->OrMask = OrMask;
-  noteWrittenLine(Addr);
-  const AccessHooks &AHooks = Runtime.accessHooks();
-  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
-    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
 }
 
 void HtmTx::abortExplicit(uint32_t UserCode) {
@@ -368,11 +227,22 @@ uint64_t HtmTx::commit() {
   }
 
   // Gather and lock the distinct write stripes in address order (avoids
-  // deadlock between committers).
-  for (uint32_t Idx : WriteOrder)
-    LockedStripes.push_back(&Runtime.stripeFor(WriteBuf[Idx].Addr));
-  for (const auto &[Addr, Val] : StreamWrites)
-    LockedStripes.push_back(&Runtime.stripeFor(Addr));
+  // deadlock between committers). Consecutive writes usually land on the
+  // same stripe (adjacent words of an undo-log entry, fields of one
+  // object), so drop consecutive duplicates before the sort.
+  std::atomic<uint64_t> *PrevStripe = nullptr;
+  for (uint32_t Idx : WriteOrder) {
+    std::atomic<uint64_t> *Stripe = &Runtime.stripeFor(WriteBuf[Idx].Addr);
+    if (Stripe != PrevStripe)
+      LockedStripes.push_back(Stripe);
+    PrevStripe = Stripe;
+  }
+  for (const auto &[Addr, Val] : StreamWrites) {
+    std::atomic<uint64_t> *Stripe = &Runtime.stripeFor(Addr);
+    if (Stripe != PrevStripe)
+      LockedStripes.push_back(Stripe);
+    PrevStripe = Stripe;
+  }
   std::sort(LockedStripes.begin(), LockedStripes.end());
   LockedStripes.erase(
       std::unique(LockedStripes.begin(), LockedStripes.end()),

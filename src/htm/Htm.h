@@ -46,6 +46,7 @@
 #include "support/CacheLine.h"
 #include "support/Compiler.h"
 #include "support/Rng.h"
+#include "support/Spin.h"
 
 #include <atomic>
 #include <cassert>
@@ -240,14 +241,22 @@ public:
   uint64_t nonTxLoad(const uint64_t *Addr) {
     std::atomic<uint64_t> &Stripe = stripeFor(Addr);
     uint64_t Val;
+    SpinBackoff Backoff;
     for (;;) {
       uint64_t V1 = Stripe.load(std::memory_order_acquire);
-      if (V1 & 1)
-        continue; // A committer owns the stripe; wait out its write-back.
+      if (V1 & 1) {
+        // A committer owns the stripe; wait out its write-back. Back off
+        // (pause, then yield) rather than re-load hot: on an oversubscribed
+        // host a bare spin burns the waiter's whole quantum while the
+        // committer is descheduled.
+        Backoff.pause();
+        continue;
+      }
       Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (Stripe.load(std::memory_order_acquire) == V1)
         break;
+      Backoff.pause();
     }
     if (CRAFTY_UNLIKELY(AHooks.OnNonTxLoad != nullptr))
       AHooks.OnNonTxLoad(AHooks.Ctx, Addr);
@@ -327,6 +336,26 @@ public:
   /// Transactional store of an 8-byte word; buffered until commit.
   void store(uint64_t *Addr, uint64_t Val);
 
+  /// Like store(), additionally associating the caller tag \p Tag with the
+  /// buffered word. The tag is retrievable through writtenWordTag() until
+  /// commit or abort; a later untagged store() to the word preserves it.
+  /// Undo-log coalescing uses this to map a written word back to its undo
+  /// entry without a second hash table.
+  void storeTagged(uint64_t *Addr, uint64_t Val, uint32_t Tag);
+
+  /// If the current transaction has a buffered write of \p Addr (via
+  /// store, storeTagged, or storeCommitVersion), returns a pointer to the
+  /// word's caller tag; otherwise null. The pointer is valid until the
+  /// next store into the buffer. storeStream words are never found (they
+  /// are not read-your-write).
+  uint32_t *writtenWordTag(uint64_t *Addr) {
+    uint64_t Hash = addrHash(Addr);
+    if (CRAFTY_LIKELY((WriteFilter & filterBit(Hash)) == 0))
+      return nullptr;
+    WriteSlot *Slot = findWriteSlot(Addr, Hash, /*Insert=*/false);
+    return Slot ? &Slot->UserTag : nullptr;
+  }
+
   /// Streaming transactional store for write-once words that the
   /// transaction never loads back (undo-log staging): buffered in an
   /// append-only list with no read-your-write support, which keeps the
@@ -374,6 +403,7 @@ private:
     uint64_t Val = 0;
     uint64_t Epoch = 0;
     uint64_t OrMask = 0;
+    uint32_t UserTag = 0;
     uint8_t Shift = 0;
     bool IsCommitVersion = false;
   };
@@ -387,9 +417,17 @@ private:
     uint64_t Epoch = 0;
   };
 
+  /// Fibonacci hash shared by the write buffer and the write filter.
+  static uint64_t addrHash(const void *Addr) {
+    return (uint64_t)reinterpret_cast<uintptr_t>(Addr) *
+           0x9e3779b97f4a7c15ull;
+  }
+  /// The write-filter bit for a hashed address (top 6 hash bits).
+  static uint64_t filterBit(uint64_t Hash) { return 1ull << (Hash >> 58); }
+
   [[noreturn]] void abortTx(AbortCode Code, uint32_t UserCode = 0);
   void maybeInjectSpuriousAbort();
-  WriteSlot *findWriteSlot(uint64_t *Addr, bool Insert);
+  WriteSlot *findWriteSlot(uint64_t *Addr, uint64_t Hash, bool Insert);
   void noteWrittenLine(const void *Addr);
   void recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version);
   bool validateReadSet(uint64_t OwnedTag);
@@ -409,6 +447,13 @@ private:
   std::vector<WriteSlot> WriteBuf;
   std::vector<uint32_t> WriteOrder;
   size_t WriteBufMask;
+  // 64-bit summary of buffered-write addresses (bit filterBit(addrHash)).
+  // Zero means no buffered writes; a clear bit proves the address was not
+  // written by store/storeCommitVersion, so load skips the write-buffer
+  // probe. No false negatives: every buffered write sets its bit.
+  // storeStream words are deliberately absent -- reading them back is
+  // unsupported, so loads need not find them.
+  uint64_t WriteFilter = 0;
   // Append-only streaming writes (storeStream), written back after the
   // buffered writes.
   std::vector<std::pair<uint64_t *, uint64_t>> StreamWrites;
@@ -430,6 +475,182 @@ private:
 
   jmp_buf Env;
 };
+
+//===----------------------------------------------------------------------===//
+// HtmTx per-access fast paths
+//
+// Every transactional system in the tree funnels each load and store
+// through these, so they are defined inline. The cold control paths
+// (begin, commit, abort) live in Htm.cpp.
+//===----------------------------------------------------------------------===//
+
+inline void HtmTx::maybeInjectSpuriousAbort() {
+  uint32_t P = Runtime.config().SpuriousAbortPerMillion;
+  if (CRAFTY_LIKELY(P == 0))
+    return;
+  if (SpuriousRng.chance(P, 1000000))
+    abortTx(AbortCode::Zero);
+}
+
+inline HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, uint64_t Hash,
+                                              bool Insert) {
+  size_t Idx = (Hash >> 32) & WriteBufMask;
+  for (;;) {
+    WriteSlot &Slot = WriteBuf[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Addr == Addr)
+        return &Slot;
+      Idx = (Idx + 1) & WriteBufMask;
+      continue;
+    }
+    if (!Insert)
+      return nullptr;
+    // Empty slot: claim it. The buffer is sized 2x the word capacity and
+    // the capacity check below keeps the load factor bounded.
+    if (WriteOrder.size() + StreamWrites.size() >=
+        Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
+      abortTx(AbortCode::Capacity);
+    Slot.Addr = Addr;
+    Slot.Epoch = Epoch;
+    Slot.Val = 0;
+    Slot.UserTag = ~0u;
+    Slot.IsCommitVersion = false;
+    WriteOrder.push_back((uint32_t)Idx);
+    return &Slot;
+  }
+}
+
+inline void HtmTx::noteWrittenLine(const void *Addr) {
+  uintptr_t Line = lineOf(Addr);
+  if (Line == LastWrittenLine)
+    return;
+  LastWrittenLine = Line;
+  uint64_t H = (uint64_t)Line * 0x9e3779b97f4a7c15ull;
+  size_t Idx = (H >> 32) & WriteLinesMask;
+  for (;;) {
+    LineSlot &Slot = WriteLines[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Line == Line)
+        return;
+      Idx = (Idx + 1) & WriteLinesMask;
+      continue;
+    }
+    if (WriteLineCount >= Runtime.config().MaxWriteSetLines)
+      abortTx(AbortCode::Capacity);
+    Slot.Line = Line;
+    Slot.Epoch = Epoch;
+    ++WriteLineCount;
+    return;
+  }
+}
+
+inline void HtmTx::recordRead(std::atomic<uint64_t> *Stripe,
+                              uint64_t Version) {
+  uint64_t H = addrHash(Stripe);
+  size_t Idx = (H >> 32) & ReadSetMask;
+  for (;;) {
+    ReadSlot &Slot = ReadSet[Idx];
+    if (Slot.Epoch == Epoch) {
+      if (Slot.Stripe == Stripe)
+        return; // Re-read of a known stripe; the first version suffices.
+      Idx = (Idx + 1) & ReadSetMask;
+      continue;
+    }
+    if (ReadOrder.size() >= Runtime.config().MaxReadSetLines)
+      abortTx(AbortCode::Capacity);
+    Slot.Stripe = Stripe;
+    Slot.Version = Version;
+    Slot.Epoch = Epoch;
+    ReadOrder.push_back((uint32_t)Idx);
+    return;
+  }
+}
+
+inline uint64_t HtmTx::load(const uint64_t *Addr) {
+  assert(Active && "transactional load outside a transaction");
+  maybeInjectSpuriousAbort();
+  uint64_t Hash = addrHash(Addr);
+  if (CRAFTY_UNLIKELY((WriteFilter & filterBit(Hash)) != 0)) {
+    if (WriteSlot *Slot =
+            findWriteSlot(const_cast<uint64_t *>(Addr), Hash, false)) {
+      // A commit-version slot's value is unknown until commit; the paper's
+      // algorithms never read those words back within the same transaction.
+      return Slot->IsCommitVersion ? 0 : Slot->Val;
+    }
+  }
+  std::atomic<uint64_t> &Stripe = Runtime.stripeFor(Addr);
+  uint64_t V1 = Stripe.load(std::memory_order_acquire);
+  if (CRAFTY_UNLIKELY(V1 & 1))
+    abortTx(AbortCode::Conflict);
+  if (CRAFTY_UNLIKELY((V1 >> 1) > SnapshotVersion))
+    abortTx(AbortCode::Conflict);
+  uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t V2 = Stripe.load(std::memory_order_acquire);
+  if (CRAFTY_UNLIKELY(V1 != V2))
+    abortTx(AbortCode::Conflict);
+  recordRead(&Stripe, V1);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxLoad != nullptr))
+    AHooks.OnTxLoad(AHooks.Ctx, ThreadId, Addr);
+  return Val;
+}
+
+inline void HtmTx::store(uint64_t *Addr, uint64_t Val) {
+  assert(Active && "transactional store outside a transaction");
+  maybeInjectSpuriousAbort();
+  uint64_t Hash = addrHash(Addr);
+  WriteFilter |= filterBit(Hash);
+  WriteSlot *Slot = findWriteSlot(Addr, Hash, true);
+  Slot->Val = Val;
+  Slot->IsCommitVersion = false;
+  noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
+}
+
+inline void HtmTx::storeTagged(uint64_t *Addr, uint64_t Val, uint32_t Tag) {
+  assert(Active && "transactional store outside a transaction");
+  maybeInjectSpuriousAbort();
+  uint64_t Hash = addrHash(Addr);
+  WriteFilter |= filterBit(Hash);
+  WriteSlot *Slot = findWriteSlot(Addr, Hash, true);
+  Slot->Val = Val;
+  Slot->IsCommitVersion = false;
+  Slot->UserTag = Tag;
+  noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
+}
+
+inline void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
+  assert(Active && "transactional store outside a transaction");
+  if (WriteOrder.size() + StreamWrites.size() >=
+      Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
+    abortTx(AbortCode::Capacity);
+  StreamWrites.emplace_back(Addr, Val);
+  noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
+}
+
+inline void HtmTx::storeCommitVersion(uint64_t *Addr, unsigned Shift,
+                                      uint64_t OrMask) {
+  assert(Active && "transactional store outside a transaction");
+  uint64_t Hash = addrHash(Addr);
+  WriteFilter |= filterBit(Hash);
+  WriteSlot *Slot = findWriteSlot(Addr, Hash, true);
+  Slot->IsCommitVersion = true;
+  Slot->Shift = (uint8_t)Shift;
+  Slot->OrMask = OrMask;
+  noteWrittenLine(Addr);
+  const AccessHooks &AHooks = Runtime.accessHooks();
+  if (CRAFTY_UNLIKELY(AHooks.OnTxStore != nullptr))
+    AHooks.OnTxStore(AHooks.Ctx, ThreadId, Addr);
+}
 
 /// Runs \p Body in a hardware transaction on \p Tx, converting the
 /// longjmp-based abort path into a TxResult. \p Body receives the HtmTx.

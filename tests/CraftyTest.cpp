@@ -615,3 +615,143 @@ TEST(CraftyPhases, PaperFigure5Interleaving) {
 }
 
 } // namespace
+
+namespace {
+
+// Log-phase undo coalescing: repeated stores to one word must produce a
+// single undo entry carrying the word's first (pre-transaction) old value,
+// with the redo value updated in place.
+
+TEST(CraftyCoalesce, RepeatedStoresProduceOneUndoEntryPerWord) {
+  TestSystem S(config());
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(2 * CacheLineBytes));
+  uint64_t *A = &Data[0], *B = &Data[8];
+  uint64_t InitA = 100, InitB = 200;
+  S.Pool.persistDirect(A, &InitA, 8);
+  S.Pool.persistDirect(B, &InitB, 8);
+  S.Rt.run(0, [&](TxnContext &Tx) {
+    Tx.store(A, 1);
+    Tx.store(A, 2);
+    Tx.store(B, 3);
+    Tx.store(A, 4);
+    Tx.store(B, 5);
+  });
+  EXPECT_EQ(*A, 4u);
+  EXPECT_EQ(*B, 5u);
+  // Two data entries (first old values, first-store order), then the tag.
+  UndoLogRegion Log =
+      logRegionFor(S.Pool.base(), *S.Rt.poolHeader(), /*ThreadId=*/0);
+  DecodedEntry E0 = decodeEntry(*Log.addrWordAt(0), *Log.valWordAt(0));
+  ASSERT_EQ(E0.K, DecodedEntry::Kind::Data);
+  EXPECT_EQ(E0.Addr, reinterpret_cast<uint64_t>(A));
+  EXPECT_EQ(E0.Value, InitA);
+  DecodedEntry E1 = decodeEntry(*Log.addrWordAt(1), *Log.valWordAt(1));
+  ASSERT_EQ(E1.K, DecodedEntry::Kind::Data);
+  EXPECT_EQ(E1.Addr, reinterpret_cast<uint64_t>(B));
+  EXPECT_EQ(E1.Value, InitB);
+  DecodedEntry E2 = decodeEntry(*Log.addrWordAt(2), *Log.valWordAt(2));
+  EXPECT_TRUE(E2.isTag()) << "coalescing must not emit extra data entries";
+  // Table 1 semantics: writes are counted as executed, not as coalesced.
+  EXPECT_EQ(S.Rt.txnStats().Writes, 5u);
+}
+
+TEST(CraftyCoalesce, ValidatePassesOnReExecutionWithRepeats) {
+  // A non-conflicting commit in the Log->Redo window forces the Validate
+  // phase; the deterministic re-execution repeats the same stores and must
+  // match the coalesced undo entries.
+  CraftyConfig C = config(2);
+  HookState Hook;
+  C.TestAfterLogCommit = commitConflictingWrite;
+  C.TestHookCtx = &Hook;
+  TestSystem S(C);
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(2 * CacheLineBytes));
+  uint64_t *X = &Data[0], *Unrelated = &Data[8];
+  Hook = HookState{&S, Unrelated, 9, true};
+  S.Rt.run(0, [&](TxnContext &Tx) {
+    Tx.store(X, 1);
+    Tx.store(X, Tx.load(X) + 1);
+    Tx.store(X, Tx.load(X) + 1);
+  });
+  EXPECT_EQ(*X, 3u);
+  EXPECT_EQ(*Unrelated, 9u);
+  PtmStats St = S.Rt.txnStats();
+  EXPECT_EQ(St.Validate, 1u) << "Redo check must fail, Validate must pass";
+}
+
+TEST(CraftyCoalesce, ValidateFailsOnConflictingCommitWithRepeats) {
+  // The conflicting commit rewrites the repeatedly-stored word itself: the
+  // single coalesced undo entry no longer matches the memory value, the
+  // Validate phase fails, and the transaction restarts on the new value.
+  CraftyConfig C = config(2);
+  HookState Hook;
+  C.TestAfterLogCommit = commitConflictingWrite;
+  C.TestHookCtx = &Hook;
+  TestSystem S(C);
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(CacheLineBytes));
+  uint64_t *X = &Data[0];
+  Hook = HookState{&S, X, 77, true};
+  S.Rt.run(0, [&](TxnContext &Tx) {
+    Tx.store(X, Tx.load(X) + 1);
+    Tx.store(X, Tx.load(X) + 1);
+  });
+  EXPECT_EQ(*X, 79u) << "restart must re-apply both increments on top of 77";
+  PtmStats St = S.Rt.txnStats();
+  EXPECT_EQ(St.transactions(), 2u);
+  EXPECT_GE(S.Rt.htmStats().AbortExplicit, 2u)
+      << "failed Redo check plus failed Validate";
+}
+
+TEST(CraftyCoalesce, ChunkedOpenChunkCoalesces) {
+  // Thread-unsafe mode uses the chunked flow; repeats within one open
+  // chunk share an undo entry while the chunk boundary still splits them.
+  CraftyConfig C = config();
+  C.Mode = CraftyMode::ThreadUnsafe;
+  C.InitialChunkK = 4;
+  TestSystem S(C);
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(2 * CacheLineBytes));
+  uint64_t *A = &Data[0], *B = &Data[8];
+  uint64_t InitA = 50;
+  S.Pool.persistDirect(A, &InitA, 8);
+  S.Rt.run(0, [&](TxnContext &Tx) {
+    Tx.store(A, 1);
+    Tx.store(A, 2); // Coalesced into the first entry.
+    Tx.store(B, 3);
+  });
+  EXPECT_EQ(*A, 2u);
+  EXPECT_EQ(*B, 3u);
+  UndoLogRegion Log =
+      logRegionFor(S.Pool.base(), *S.Rt.poolHeader(), /*ThreadId=*/0);
+  DecodedEntry E0 = decodeEntry(*Log.addrWordAt(0), *Log.valWordAt(0));
+  ASSERT_EQ(E0.K, DecodedEntry::Kind::Data);
+  EXPECT_EQ(E0.Addr, reinterpret_cast<uint64_t>(A));
+  EXPECT_EQ(E0.Value, InitA);
+  DecodedEntry E1 = decodeEntry(*Log.addrWordAt(1), *Log.valWordAt(1));
+  ASSERT_EQ(E1.K, DecodedEntry::Kind::Data);
+  EXPECT_EQ(E1.Addr, reinterpret_cast<uint64_t>(B));
+  EXPECT_EQ(E1.Value, 0u);
+  EXPECT_EQ(S.Rt.txnStats().Writes, 3u);
+}
+
+TEST(CraftyCoalesce, CrashDuringRepeatedStoreBodyRecoversCleanly) {
+  // Commit transactions with heavy repetition, crash, recover: undo replay
+  // needs exactly one pre-transaction value per word.
+  TestSystem S(config());
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(4 * CacheLineBytes));
+  for (int Round = 0; Round != 50; ++Round) {
+    S.Rt.run(0, [&](TxnContext &Tx) {
+      for (int K = 0; K != 4; ++K)
+        for (int W = 0; W != 4; ++W)
+          Tx.store(&Data[W * 8], Tx.load(&Data[W * 8]) + 1);
+    });
+  }
+  S.Pool.crash();
+  RecoveryReport Rep = RecoveryObserver::recoverPool(S.Pool);
+  ASSERT_TRUE(Rep.HeaderValid);
+  // Each surviving round added exactly 4 to every word; recovery must not
+  // leave a word mid-round.
+  EXPECT_EQ(Data[0] % 4, 0u);
+  for (int W = 1; W != 4; ++W)
+    EXPECT_EQ(Data[W * 8], Data[0]) << "words must recover to one round";
+}
+
+} // namespace

@@ -104,7 +104,12 @@ TEST_P(CrashProperty, RecoveredStateIsConsistent) {
                                  NumAccounts);
         uint64_t Amount = 1 + R.nextBounded(9);
         Rt.run(T, [&](TxnContext &Tx) {
-          Tx.store(&Accounts[From * 8], Tx.load(&Accounts[From * 8]) - Amount);
+          // The From account is debited in two steps so every transaction
+          // repeats a store to the same word, exercising Log-phase undo
+          // coalescing in the crash/recovery sweep.
+          Tx.store(&Accounts[From * 8], Tx.load(&Accounts[From * 8]) - 1);
+          Tx.store(&Accounts[From * 8],
+                   Tx.load(&Accounts[From * 8]) - (Amount - 1));
           Tx.store(&Accounts[To * 8], Tx.load(&Accounts[To * 8]) + Amount);
           Tx.store(&Journal[T * 8], (uint64_t)I + 1);
         });
