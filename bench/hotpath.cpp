@@ -30,12 +30,20 @@
 //   {"schema": "crafty-hotpath-bench-v1", "points": [
 //      {"label": ..., "ops_scale": ..., "results": [
 //         {"shape": ..., "system": ..., "threads": N, "checkers": bool,
-//          "ops": N, "ns_per_op": X, "ops_per_sec": Y}, ...]}, ...]}
+//          "ops": N, "ns_per_op": X, "ops_per_sec": Y,
+//          "clwb_calls": N, "lines_scheduled": N, "drains": N,
+//          "empty_drains": N}, ...]}, ...]}
+// (the flush counters appear on points recorded since the coalescing
+// layer landed; earlier points lack them).
 //
 // Usage: hotpath [--label NAME] [--out FILE | --append FILE]
-//   --out    write a fresh single-point trajectory file
-//   --append splice the point into FILE's points array (creating FILE
-//            if absent); this is how BENCH_hotpath.json accumulates
+//                [--stats-out FILE]
+//   --out       write a fresh single-point trajectory file
+//   --append    splice the point into FILE's points array (creating FILE
+//               if absent); this is how BENCH_hotpath.json accumulates
+//   --stats-out additionally write a crafty-flush-stats-v1 JSON with the
+//               per-cell flush counters and coalescing ratios (the CI
+//               perf-smoke artifact)
 // CRAFTY_BENCH_OPS_SCALE scales the per-cell operation counts.
 //
 //===----------------------------------------------------------------------===//
@@ -108,6 +116,10 @@ struct CellResult {
   uint64_t Ops;
   double NsPerOp;
   double OpsPerSec;
+  /// Flush-pipeline counters for the whole cell (PMemPool::stats()):
+  /// requests vs write-backs actually scheduled after coalescing, and
+  /// drain traffic split into useful and empty fences.
+  PMemStats Flush;
 };
 
 CellResult runCell(const Shape &S, const Cell &C, uint64_t Ops) {
@@ -199,6 +211,7 @@ CellResult runCell(const Shape &S, const Cell &C, uint64_t Ops) {
   R.Ops = Ops * C.Threads;
   R.NsPerOp = R.Ops ? (double)(T1 - T0) / (double)R.Ops : 0;
   R.OpsPerSec = T1 > T0 ? (double)R.Ops * 1e9 / (double)(T1 - T0) : 0;
+  R.Flush = Pool.stats();
   return R;
 }
 
@@ -215,14 +228,58 @@ std::string formatPoint(const std::string &Label, double Scale,
     std::snprintf(Buf, sizeof(Buf),
                   "        {\"shape\": \"%s\", \"system\": \"%s\", "
                   "\"threads\": %u, \"checkers\": %s, \"ops\": %llu, "
-                  "\"ns_per_op\": %.1f, \"ops_per_sec\": %.0f}%s\n",
+                  "\"ns_per_op\": %.1f, \"ops_per_sec\": %.0f, "
+                  "\"clwb_calls\": %llu, \"lines_scheduled\": %llu, "
+                  "\"drains\": %llu, \"empty_drains\": %llu}%s\n",
                   R.ShapeName, R.SystemName, R.Threads,
                   R.Checkers ? "true" : "false",
                   (unsigned long long)R.Ops, R.NsPerOp, R.OpsPerSec,
+                  (unsigned long long)R.Flush.ClwbCalls,
+                  (unsigned long long)R.Flush.LinesScheduled,
+                  (unsigned long long)R.Flush.Drains,
+                  (unsigned long long)R.Flush.EmptyDrains,
                   I + 1 == Results.size() ? "" : ",");
     Out << Buf;
   }
   Out << "      ]\n    }";
+  return Out.str();
+}
+
+/// Standalone flush-counter report (--stats-out): the same cells with
+/// per-operation flush rates and the coalescing ratio, for the CI
+/// artifact alongside the trajectory point.
+std::string formatStats(const std::string &Label, double Scale,
+                        const std::vector<CellResult> &Results) {
+  std::ostringstream Out;
+  char Buf[384];
+  Out << "{\n  \"schema\": \"crafty-flush-stats-v1\",\n  \"label\": \""
+      << Label << "\",\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"ops_scale\": %g,\n", Scale);
+  Out << Buf << "  \"results\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const CellResult &R = Results[I];
+    double Ops = R.Ops ? (double)R.Ops : 1.0;
+    double Coalesced =
+        R.Flush.ClwbCalls
+            ? 1.0 - (double)R.Flush.LinesScheduled / (double)R.Flush.ClwbCalls
+            : 0.0;
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"shape\": \"%s\", \"system\": \"%s\", \"threads\": %u, "
+        "\"checkers\": %s, \"clwb_calls\": %llu, \"lines_scheduled\": "
+        "%llu, \"drains\": %llu, \"empty_drains\": %llu, "
+        "\"clwb_calls_per_op\": %.2f, \"lines_scheduled_per_op\": %.2f, "
+        "\"coalesced_fraction\": %.3f}%s\n",
+        R.ShapeName, R.SystemName, R.Threads, R.Checkers ? "true" : "false",
+        (unsigned long long)R.Flush.ClwbCalls,
+        (unsigned long long)R.Flush.LinesScheduled,
+        (unsigned long long)R.Flush.Drains,
+        (unsigned long long)R.Flush.EmptyDrains,
+        (double)R.Flush.ClwbCalls / Ops, (double)R.Flush.LinesScheduled / Ops,
+        Coalesced, I + 1 == Results.size() ? "" : ",");
+    Out << Buf;
+  }
+  Out << "  ]\n}\n";
   return Out.str();
 }
 
@@ -266,7 +323,7 @@ bool appendPoint(const std::string &Path, const std::string &PointJson) {
 
 int main(int argc, char **argv) {
   std::string Label = "unlabeled";
-  std::string OutPath, AppendPath;
+  std::string OutPath, AppendPath, StatsPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
@@ -282,10 +339,12 @@ int main(int argc, char **argv) {
       OutPath = Next();
     else if (Arg == "--append")
       AppendPath = Next();
+    else if (Arg == "--stats-out")
+      StatsPath = Next();
     else {
       std::fprintf(stderr,
                    "usage: hotpath [--label NAME] [--out FILE | --append "
-                   "FILE]\n");
+                   "FILE] [--stats-out FILE]\n");
       return 2;
     }
   }
@@ -307,6 +366,12 @@ int main(int argc, char **argv) {
                    R.NsPerOp);
       Results.push_back(R);
     }
+  }
+
+  if (!StatsPath.empty()) {
+    if (!writeFile(StatsPath, formatStats(Label, Scale, Results)))
+      return 1;
+    std::fprintf(stderr, "wrote flush stats to %s\n", StatsPath.c_str());
   }
 
   std::string Point = formatPoint(Label, Scale, Results);

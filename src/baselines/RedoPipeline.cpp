@@ -101,8 +101,18 @@ void RedoPipeline::applierMain() {
     for (const RedoTxnRecord &R : Batch) {
       if (SinkFn)
         SinkFn(SinkCtx, R); // Persist stage (e.g. DudeTM's redo log).
+      PersistScratch.clear();
       for (const RedoEntry &E : R.Writes)
-        Pool.persistImageWord(PersistThreadId, E.Addr, E.Val);
+        PersistScratch.push_back(PMemWordWrite{E.Addr, E.Val});
+      // Line-sort so same-line words form runs the pool counts as one
+      // scheduled write-back each; stable keeps repeated writes to a
+      // word in order (last-write-wins is preserved).
+      std::stable_sort(PersistScratch.begin(), PersistScratch.end(),
+                       [](const PMemWordWrite &A, const PMemWordWrite &B) {
+                         return lineOf(A.Addr) < lineOf(B.Addr);
+                       });
+      Pool.persistImageWords(PersistThreadId, PersistScratch.data(),
+                             PersistScratch.size());
       Pool.drain(PersistThreadId);
     }
     Applied.fetch_add(Batch.size(), std::memory_order_release);

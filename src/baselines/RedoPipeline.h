@@ -115,6 +115,8 @@ private:
   void *SinkCtx = nullptr;
   std::vector<std::unique_ptr<ProducerQueue>> Queues;
   std::thread Applier;
+  /// Applier-thread scratch for one record's line-sorted word persists.
+  std::vector<PMemWordWrite> PersistScratch;
   std::atomic<bool> Stop{false};
   std::atomic<uint64_t> Enqueued{0};
   std::atomic<uint64_t> Applied{0};

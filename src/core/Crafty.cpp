@@ -390,14 +390,35 @@ void CraftyThread::flushStagedEntries(uint64_t FromAbs, uint64_t ToAbs) {
   // boundary persisted no later than our entries.
   if (FromAbs > 0)
     --FromAbs;
-  uintptr_t PrevLine = ~(uintptr_t)0;
-  for (uint64_t A = FromAbs; A <= ToAbs; ++A) {
-    void *W = Log.addrWordAt(Log.slotFor(A));
-    if (lineOf(W) != PrevLine) {
-      Rt.Pool.clwb(ThreadId, W);
-      PrevLine = lineOf(W);
-    }
-  }
+  // The staged slots are contiguous in the circular log (each entry's
+  // addr and val words share one 16-byte-aligned slot), so the whole
+  // flush is one line-stepped range -- two when the sequence wraps the
+  // log end. A sequence never exceeds half the log (maxSeqEntries), so
+  // the two pieces cannot overlap.
+  size_t First = Log.slotFor(FromAbs);
+  uint64_t Count = ToAbs - FromAbs + 1;
+  uint64_t Tail = std::min<uint64_t>(Count, Log.NumEntries - First);
+  Rt.Pool.clwbRange(ThreadId, Log.addrWordAt(First),
+                    Tail * UndoLogRegion::EntryBytes);
+  if (Count > Tail)
+    Rt.Pool.clwbRange(ThreadId, Log.addrWordAt(0),
+                      (Count - Tail) * UndoLogRegion::EntryBytes);
+}
+
+void CraftyThread::flushDataLines(const std::vector<MirrorEntry> &Entries,
+                                  void *ExtraWord) {
+  FlushLineScratch.clear();
+  for (const MirrorEntry &E : Entries)
+    FlushLineScratch.push_back(E.Addr);
+  if (ExtraWord)
+    FlushLineScratch.push_back(ExtraWord);
+  // Sort by line index so same-line addresses are adjacent: the pool's
+  // pending-line filter then coalesces each line's repeats into one
+  // scheduled write-back regardless of filter collisions.
+  std::sort(FlushLineScratch.begin(), FlushLineScratch.end(),
+            [](const void *A, const void *B) { return lineOf(A) < lineOf(B); });
+  Rt.Pool.clwbLines(ThreadId, FlushLineScratch.data(),
+                    FlushLineScratch.size());
 }
 
 void CraftyThread::noteTagWritten(uint64_t TagAbsPos, uint64_t Ts) {
@@ -681,14 +702,7 @@ void CraftyThread::finishCommit(bool ViaRedo) {
   // Flush the program writes and the updated COMMITTED timestamp with no
   // drain; the next transaction's commit fence (or recovery's rollback of
   // the thread's last sequence) covers the rest (Section 4.2).
-  uintptr_t PrevLine = ~(uintptr_t)0;
-  for (const MirrorEntry &E : Mirror) {
-    if (lineOf(E.Addr) != PrevLine) {
-      Rt.Pool.clwb(ThreadId, E.Addr);
-      PrevLine = lineOf(E.Addr);
-    }
-  }
-  Rt.Pool.clwb(ThreadId, Log.valWordAt(Log.slotFor(TagAbs)));
+  flushDataLines(Mirror, Log.valWordAt(Log.slotFor(TagAbs)));
   if (ViaRedo)
     ++Stats.Redo;
   else
@@ -748,10 +762,9 @@ void CraftyThread::chunkedSectionBody(TxnBody Body) {
     // overwrites the aborted attempt's log entries, so the old values
     // must be back in place durably before the entries that could
     // restore them are gone.
-    for (size_t I = SectionMirror.size(); I-- > 0;) {
+    for (size_t I = SectionMirror.size(); I-- > 0;)
       Rt.Htm.nonTxStore(SectionMirror[I].Addr, SectionMirror[I].Old);
-      Rt.Pool.clwb(ThreadId, SectionMirror[I].Addr);
-    }
+    flushDataLines(SectionMirror, nullptr);
     Rt.Pool.drain(ThreadId);
     Rt.Htm.nonTxStore(&HeadShared, SectionStartAbs);
     SectionMirror.clear();
@@ -846,12 +859,11 @@ void CraftyThread::closeChunk() {
   // (flushStagedEntries covers the predecessor boundary slot too).
   flushStagedEntries(ChunkStartAbs, TagA);
   Rt.Pool.drain(ThreadId);
-  // Thread-unsafe Redo (Algorithm 2): perform the writes directly, flush
-  // without drain.
-  for (const MirrorEntry &E : ChunkMirror) { // Program order.
+  // Thread-unsafe Redo (Algorithm 2): perform the writes directly, then
+  // flush their lines as one batch without drain.
+  for (const MirrorEntry &E : ChunkMirror) // Program order.
     Rt.Htm.nonTxStore(E.Addr, E.New);
-    Rt.Pool.clwb(ThreadId, E.Addr);
-  }
+  flushDataLines(ChunkMirror, nullptr);
   for (const MirrorEntry &M : ChunkMirror)
     SectionMirror.push_back(M);
   ChunkMirror.clear();

@@ -146,6 +146,10 @@ private:
   // Undo-log staging helpers.
   void stageUndoEntry(uint64_t AbsPos, uint64_t *Addr, uint64_t Old);
   void flushStagedEntries(uint64_t FromAbs, uint64_t ToAbs);
+  /// Flushes the data lines of \p Entries (plus \p ExtraWord's line when
+  /// non-null) as one line-sorted clwbLines batch; no drain.
+  void flushDataLines(const std::vector<MirrorEntry> &Entries,
+                      void *ExtraWord);
   void noteTagWritten(uint64_t TagAbs, uint64_t Ts);
   uint64_t sharedHead() const;
 
@@ -187,6 +191,9 @@ private:
   /// Dynamic program stores of the current attempt (repeats included):
   /// coalescing shrinks Mirror, but Table 1 counts writes as executed.
   uint64_t DynWrites = 0;
+  /// Scratch for batched data-line flushes (flushDataLines): reused so
+  /// the commit path never allocates.
+  std::vector<const void *> FlushLineScratch;
   size_t ValidateCursor = 0;
   std::vector<void *> AllocLog;
   size_t AllocCursor = 0;

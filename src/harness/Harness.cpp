@@ -142,8 +142,8 @@ static void printBreakdowns(const char *System, unsigned Threads,
                (unsigned long long)R.Hw.AbortCapacity,
                (unsigned long long)R.Hw.AbortExplicit,
                (unsigned long long)R.Hw.AbortZero,
-               (double)R.Pmem.Clwbs / Txns,
-               (double)R.Pmem.DrainsWithWork / Txns);
+               (double)R.Pmem.ClwbCalls / Txns,
+               (double)R.Pmem.drainsWithWork() / Txns);
 }
 
 void crafty::runThroughputSweep(const SweepOptions &Options, std::FILE *Out) {

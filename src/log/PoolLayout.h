@@ -41,6 +41,11 @@ struct PoolHeader {
 
 /// Geometry of one thread's circular undo-log region (2 words per entry).
 struct UndoLogRegion {
+  /// Bytes per slot: the addr word and val word are adjacent, so a slot
+  /// never straddles a cache line and flushing a slot run is one
+  /// contiguous byte range.
+  static constexpr size_t EntryBytes = 2 * sizeof(uint64_t);
+
   uint64_t *Slots = nullptr;
   size_t NumEntries = 0; // Power of two.
 
@@ -56,7 +61,7 @@ struct UndoLogRegion {
     return 1 ^ (unsigned)((AbsPos / NumEntries) & 1);
   }
 
-  size_t regionBytes() const { return NumEntries * 16; }
+  size_t regionBytes() const { return NumEntries * EntryBytes; }
 };
 
 /// Formats \p Pool: carves the header, \p NumThreads undo logs of
@@ -67,7 +72,7 @@ inline PoolHeader *formatPool(PMemPool &Pool, unsigned NumThreads,
   assert((LogEntries & (LogEntries - 1)) == 0 &&
          "log entry count must be a power of two");
   auto *Header = static_cast<PoolHeader *>(Pool.carve(sizeof(PoolHeader)));
-  void *Logs = Pool.carve(NumThreads * LogEntries * 16);
+  void *Logs = Pool.carve(NumThreads * LogEntries * UndoLogRegion::EntryBytes);
   void *Heap = HeapBytes ? Pool.carve(HeapBytes) : nullptr;
   PoolHeader H;
   H.Magic = PoolMagic;

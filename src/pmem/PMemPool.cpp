@@ -35,14 +35,23 @@ PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
   }
+  if (Config.Mode == PMemMode::Tracked)
+    LineGen = std::make_unique<std::atomic<uint32_t>[]>(NumLines);
   Threads = std::make_unique<ThreadSlot[]>(Config.MaxThreads);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
     ThreadSlot &Slot = Threads[I];
     Slot.lock(); // No concurrency yet; taken for the analysis' benefit.
     Slot.EvictRng.reseed(Config.EvictionSeed * 1315423911u + I);
     Slot.PendingLines.reserve(256);
+    Slot.Filter = std::make_unique<FilterEntry[]>(FlushFilterSize);
     Slot.unlock();
   }
+}
+
+void PMemPool::setObserver(PMemObserver *Obs) {
+  if (Obs && !LineGen)
+    LineGen = std::make_unique<std::atomic<uint32_t>[]>(NumLines);
+  Observer = Obs;
 }
 
 PMemObserver::~PMemObserver() = default;
@@ -63,58 +72,123 @@ void *PMemPool::carve(size_t CarveBytes, size_t Align) {
   }
 }
 
+bool PMemPool::armLineLocked(ThreadSlot &Slot, uint32_t ThreadId,
+                             const void *Addr) {
+  uint32_t Line = (uint32_t)lineIndex(Addr);
+  uint32_t Gen =
+      LineGen ? LineGen[Line].load(std::memory_order_relaxed) : 0;
+  FilterEntry &E = Slot.Filter[Line & (FlushFilterSize - 1)];
+  // Coalesce: the line is already in flight this epoch and nothing stored
+  // to it since (generation unchanged), so the pending write-back already
+  // covers its content.
+  if (E.Epoch == Slot.Epoch && E.Line == Line && E.Gen == Gen)
+    return false;
+  E.Epoch = Slot.Epoch;
+  E.Line = Line;
+  E.Gen = Gen;
+  LineSchedCount.fetch_add(1, std::memory_order_relaxed);
+  if (Config.Mode == PMemMode::Tracked) {
+    if (Config.EagerWriteback)
+      copyLineToImage(Line);
+    else
+      Slot.PendingLines.push_back(Line);
+  }
+  Slot.HasPending = true;
+  // Notified under the slot lock so the observer sees clwb/drain events
+  // for one thread slot in their true order. Coalesced repeats are not
+  // reported: with an observer installed the generation check guarantees
+  // a suppressed CLWB is indistinguishable from the armed one it joins.
+  if (CRAFTY_UNLIKELY(Observer != nullptr))
+    Observer->onClwb(ThreadId, Addr);
+  return true;
+}
+
 void PMemPool::clwb(uint32_t ThreadId, const void *Addr) {
   assert(contains(Addr) && "clwb outside the pool");
   assert(ThreadId < Config.MaxThreads && "thread id out of range");
   ClwbCount.fetch_add(1, std::memory_order_relaxed);
   ThreadSlot &Slot = Threads[ThreadId];
   Slot.lock();
-  if (Config.Mode == PMemMode::Tracked)
-    Slot.PendingLines.push_back((uint32_t)lineIndex(Addr));
-  Slot.HasPending = true;
   // The write-back completes asynchronously after the NVM round trip.
-  if (Config.DrainLatencyNs)
+  if (armLineLocked(Slot, ThreadId, Addr) && Config.DrainLatencyNs)
     Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
-  // Notified under the slot lock so the observer sees clwb/drain events
-  // for one thread slot in their true order.
-  if (CRAFTY_UNLIKELY(Observer != nullptr))
-    Observer->onClwb(ThreadId, Addr);
   Slot.unlock();
 }
 
 void PMemPool::clwbRange(uint32_t ThreadId, const void *Addr, size_t Len) {
   if (Len == 0)
     return;
+  assert(contains(Addr) && "clwbRange outside the pool");
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
   uintptr_t First = lineOf(Addr);
   uintptr_t Last =
       lineOf(reinterpret_cast<const uint8_t *>(Addr) + Len - 1);
+  assert(contains(reinterpret_cast<const void *>(Last)) &&
+         "clwbRange end outside the pool");
+  ClwbCount.fetch_add((Last - First) / CacheLineBytes + 1,
+                      std::memory_order_relaxed);
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  bool Armed = false;
   for (uintptr_t Line = First; Line <= Last; Line += CacheLineBytes)
-    clwb(ThreadId, reinterpret_cast<const void *>(Line));
+    Armed |=
+        armLineLocked(Slot, ThreadId, reinterpret_cast<const void *>(Line));
+  // One issue timestamp for the whole batch: the lines are in flight
+  // together, so the batch shares a single NVM round-trip deadline.
+  if (Armed && Config.DrainLatencyNs)
+    Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  Slot.unlock();
+}
+
+void PMemPool::clwbLines(uint32_t ThreadId, const void *const *Addrs,
+                         size_t N) {
+  if (N == 0)
+    return;
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  ClwbCount.fetch_add(N, std::memory_order_relaxed);
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  bool Armed = false;
+  for (size_t I = 0; I != N; ++I) {
+    assert(contains(Addrs[I]) && "clwbLines address outside the pool");
+    Armed |= armLineLocked(Slot, ThreadId, Addrs[I]);
+  }
+  if (Armed && Config.DrainLatencyNs)
+    Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  Slot.unlock();
 }
 
 void PMemPool::drain(uint32_t ThreadId) {
   assert(ThreadId < Config.MaxThreads && "thread id out of range");
   ThreadSlot &Slot = Threads[ThreadId];
   Slot.lock();
+  DrainCount.fetch_add(1, std::memory_order_relaxed);
   if (!Slot.HasPending) {
+    // Free on hardware too: SFENCE with no CLWBs in flight. No epoch bump
+    // needed -- arming is what sets HasPending, so an empty queue implies
+    // no live filter entries in the current epoch.
+    EmptyDrainCount.fetch_add(1, std::memory_order_relaxed);
     Slot.unlock();
     return;
   }
   if (Config.Mode == PMemMode::Tracked) {
+    // Under EagerWriteback the lines were copied at CLWB issue time and
+    // PendingLines stayed empty; the drain then only pays the fence.
     for (uint32_t Line : Slot.PendingLines)
       copyLineToImage(Line);
     Slot.PendingLines.clear();
   }
-  bool HadPending = Slot.HasPending;
   uint64_t Deadline = Slot.PendingDeadline;
   Slot.HasPending = false;
+  // New flush epoch: every pending-line filter entry is invalidated in
+  // O(1), so the next CLWB of any line re-arms a fresh write-back.
+  ++Slot.Epoch;
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onDrain(ThreadId, /*Remote=*/false);
   Slot.unlock();
-  DrainCount.fetch_add(1, std::memory_order_relaxed);
   // SFENCE semantics: wait only for write-backs still in flight; CLWBs
   // issued long enough ago have already completed.
-  if (HadPending && Config.DrainLatencyNs) {
+  if (Config.DrainLatencyNs) {
     uint64_t Now = monotonicNanos();
     if (Now < Deadline)
       spinForNanos(Deadline - Now);
@@ -131,6 +205,7 @@ void PMemPool::drainRemote(uint32_t ThreadId) {
     Slot.PendingLines.clear();
   }
   Slot.HasPending = false;
+  ++Slot.Epoch; // Invalidate the owner's coalescing filter.
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onDrain(ThreadId, /*Remote=*/true);
   Slot.unlock();
@@ -180,9 +255,14 @@ void PMemPool::onCommittedStore(void *Addr, uint64_t OldVal,
 }
 
 void PMemPool::committedStoreCommon(void *Addr) {
+  size_t Line = lineIndex(Addr);
+  // Bump the line's store generation first: any CLWB already armed for
+  // this line no longer covers its content, so the coalescing filter must
+  // let the next flush of it through.
+  if (LineGen)
+    LineGen[Line].fetch_add(1, std::memory_order_relaxed);
   if (Config.Mode != PMemMode::Tracked)
     return;
-  size_t Line = lineIndex(Addr);
   Dirty[Line].store(1, std::memory_order_relaxed);
   if (Config.EvictionPerMillion == 0)
     return;
@@ -202,21 +282,45 @@ void PMemPool::committedStoreCommon(void *Addr) {
 
 void PMemPool::persistImageWord(uint32_t ThreadId, uint64_t *Addr,
                                 uint64_t Val) {
-  assert(contains(Addr) && "persistImageWord outside the pool");
-  assert(isWordAligned(Addr) && "persistImageWord needs an aligned word");
-  ClwbCount.fetch_add(1, std::memory_order_relaxed);
+  PMemWordWrite W{Addr, Val};
+  persistImageWords(ThreadId, &W, 1);
+}
+
+void PMemPool::persistImageWords(uint32_t ThreadId,
+                                 const PMemWordWrite *Writes, size_t N) {
+  if (N == 0)
+    return;
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  ClwbCount.fetch_add(N, std::memory_order_relaxed);
   ThreadSlot &Slot = Threads[ThreadId];
   Slot.lock();
-  if (Config.Mode == PMemMode::Tracked) {
-    size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
-    auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Off);
-    __atomic_store_n(Dst, Val, __ATOMIC_RELAXED);
+  // Image-only word persists never touch the CLWB coalescing filter: a
+  // suppressed entry there would drop a volatile->image copy outright.
+  // Consecutive same-line words still count as one scheduled write-back
+  // (the checkpointer applies its log in address-sorted runs).
+  size_t PrevLine = SIZE_MAX;
+  uint64_t Scheduled = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t *Addr = Writes[I].Addr;
+    assert(contains(Addr) && "persistImageWord outside the pool");
+    assert(isWordAligned(Addr) && "persistImageWord needs an aligned word");
+    if (Config.Mode == PMemMode::Tracked) {
+      size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
+      auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Off);
+      __atomic_store_n(Dst, Writes[I].Val, __ATOMIC_RELAXED);
+    }
+    size_t Line = lineIndex(Addr);
+    if (Line != PrevLine) {
+      ++Scheduled;
+      PrevLine = Line;
+    }
+    if (CRAFTY_UNLIKELY(Observer != nullptr))
+      Observer->onPersistImageWord(ThreadId, Addr, Writes[I].Val);
   }
+  LineSchedCount.fetch_add(Scheduled, std::memory_order_relaxed);
   Slot.HasPending = true;
   if (Config.DrainLatencyNs)
     Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
-  if (CRAFTY_UNLIKELY(Observer != nullptr))
-    Observer->onPersistImageWord(ThreadId, Addr, Val);
   Slot.unlock();
 }
 
@@ -277,6 +381,7 @@ void PMemPool::crash() {
     Slot.lock();
     Slot.PendingLines.clear();
     Slot.HasPending = false;
+    ++Slot.Epoch; // Discarded CLWBs must not coalesce post-crash repeats.
     Slot.unlock();
   }
   if (CRAFTY_UNLIKELY(Observer != nullptr))
@@ -297,8 +402,10 @@ bool PMemPool::isLineDirty(const void *Addr) const {
 
 PMemStats PMemPool::stats() const {
   PMemStats S;
-  S.Clwbs = ClwbCount.load(std::memory_order_relaxed);
-  S.DrainsWithWork = DrainCount.load(std::memory_order_relaxed);
+  S.ClwbCalls = ClwbCount.load(std::memory_order_relaxed);
+  S.LinesScheduled = LineSchedCount.load(std::memory_order_relaxed);
+  S.Drains = DrainCount.load(std::memory_order_relaxed);
+  S.EmptyDrains = EmptyDrainCount.load(std::memory_order_relaxed);
   S.EvictedLines = EvictCount.load(std::memory_order_relaxed);
   return S;
 }
@@ -311,15 +418,21 @@ void PMemPool::reset() {
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
   }
+  if (LineGen)
+    for (size_t I = 0; I != NumLines; ++I)
+      LineGen[I].store(0, std::memory_order_relaxed);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
     ThreadSlot &Slot = Threads[I];
     Slot.lock();
     Slot.PendingLines.clear();
     Slot.HasPending = false;
+    ++Slot.Epoch; // Invalidate filter entries from before the reset.
     Slot.unlock();
   }
   ClwbCount.store(0, std::memory_order_relaxed);
+  LineSchedCount.store(0, std::memory_order_relaxed);
   DrainCount.store(0, std::memory_order_relaxed);
+  EmptyDrainCount.store(0, std::memory_order_relaxed);
   EvictCount.store(0, std::memory_order_relaxed);
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onReset();

@@ -70,13 +70,40 @@ struct PMemConfig {
   uint64_t EvictionSeed = 42;
   /// Maximum threads that may issue CLWBs (per-thread pending queues).
   unsigned MaxThreads = 64;
+  /// Tracked mode: copy a line to the persistent image at CLWB issue time
+  /// instead of at the drain. Hardware may perform the write-back at any
+  /// instant between the CLWB and the fence; the default (drain-time)
+  /// models the latest legal instant, this option the earliest. Under it
+  /// a store to a line *after* its CLWB is not covered by the next drain
+  /// unless a fresh CLWB follows the store -- the re-dirty-after-clwb
+  /// hazard correct flush disciplines must already tolerate.
+  bool EagerWriteback = false;
 };
 
 /// Cumulative persistence-operation statistics.
 struct PMemStats {
-  uint64_t Clwbs = 0;
-  uint64_t DrainsWithWork = 0;
+  /// Line-flush requests software issued (clwb, and one per line of
+  /// clwbRange / clwbLines / persistImageWords batches), including
+  /// requests the pending-line filter coalesced away.
+  uint64_t ClwbCalls = 0;
+  /// Line write-backs actually armed after coalescing: repeated flushes
+  /// of a line within one flush epoch (the span between two drains of the
+  /// issuing thread) with no intervening store to it are O(1) no-ops and
+  /// count only as ClwbCalls.
+  uint64_t LinesScheduled = 0;
+  /// Own-thread drains, including empty ones (remote drains not counted).
+  uint64_t Drains = 0;
+  /// Drains that found no pending write-backs (free on hardware too).
+  uint64_t EmptyDrains = 0;
   uint64_t EvictedLines = 0;
+
+  uint64_t drainsWithWork() const { return Drains - EmptyDrains; }
+};
+
+/// One word-granular image persist for persistImageWords batches.
+struct PMemWordWrite {
+  uint64_t *Addr;
+  uint64_t Val;
 };
 
 /// Observer of every persistence-relevant event a PMemPool sees: committed
@@ -151,11 +178,25 @@ public:
 
   /// Schedules a write-back (CLWB) of the cache line containing \p Addr,
   /// issued by \p ThreadId. Completion requires a drain by the same
-  /// thread (explicitly or via an HTM commit fence).
+  /// thread (explicitly or via an HTM commit fence). A repeat CLWB of a
+  /// line already scheduled in the current flush epoch (since the
+  /// thread's last drain) with no intervening store to it is coalesced
+  /// into the in-flight write-back: an O(1) no-op that counts in
+  /// PMemStats::ClwbCalls but not LinesScheduled. A line re-dirtied after
+  /// its CLWB always re-arms (tracked per-line store generations; see
+  /// DESIGN.md section 7.2 for the epoch rules).
   void clwb(uint32_t ThreadId, const void *Addr);
 
-  /// Schedules write-backs for every line of [Addr, Addr + Len).
+  /// Schedules write-backs for every line of [Addr, Addr + Len) under one
+  /// queue-lock acquisition and one shared issue timestamp (the batched
+  /// fast path; same coalescing rules as clwb).
   void clwbRange(uint32_t ThreadId, const void *Addr, size_t Len);
+
+  /// Schedules write-backs for the lines containing each of \p Addrs[0 ..
+  /// \p N) as one batch (one lock acquisition, one issue timestamp).
+  /// Addresses may repeat and may alias lines freely; the pending-line
+  /// filter coalesces duplicates.
+  void clwbLines(uint32_t ThreadId, const void *const *Addrs, size_t N);
 
   /// Completes \p ThreadId's scheduled write-backs (SFENCE after CLWBs).
   /// Charges DrainLatencyNs if any work was pending.
@@ -180,8 +221,10 @@ public:
   /// Installs (or, with nullptr, removes) the persistence-event observer.
   /// Not thread-safe: install before transactions run, remove after they
   /// quiesce. Near-zero cost when no observer is installed (one branch
-  /// per operation).
-  void setObserver(PMemObserver *Obs) { Observer = Obs; }
+  /// per operation). Installing an observer enables per-line store
+  /// generations (as Tracked mode always does) so coalescing never
+  /// suppresses the onClwb of a line re-dirtied since its last flush.
+  void setObserver(PMemObserver *Obs);
   PMemObserver *observer() const { return Observer; }
 
   /// Marks the line of a committed store dirty and possibly evicts it
@@ -203,6 +246,15 @@ public:
   /// program runs on) with values taken from the redo log. Costs like a
   /// CLWB; completion requires \p ThreadId's drain.
   void persistImageWord(uint32_t ThreadId, uint64_t *Addr, uint64_t Val);
+
+  /// Batched persistImageWord: applies \p Writes[0 .. \p N) under one
+  /// lock acquisition and one issue timestamp. Word order is preserved
+  /// (a word written twice keeps last-write-wins), every word still
+  /// reaches the observer, and ClwbCalls counts one request per word
+  /// while LinesScheduled counts the batch's line-deduplicated flush
+  /// traffic -- the same accounting the coalesced CLWB paths use.
+  void persistImageWords(uint32_t ThreadId, const PMemWordWrite *Writes,
+                         size_t N);
 
   /// Tracked mode: copies up to \p MaxLines random dirty lines to the
   /// image. Test hook for adversarial persist orderings.
@@ -242,6 +294,11 @@ private:
   void copyLineToImage(size_t Line);
   void committedStoreCommon(void *Addr);
 
+  /// Pending-line filter entries per thread slot. Direct-mapped: a
+  /// collision only forgets that a line is pending (re-arming it, which
+  /// is always safe), never invents a pending line.
+  static constexpr size_t FlushFilterSize = 1024; // Power of two.
+
   PMemConfig Config;
   size_t Bytes;
   size_t NumLines;
@@ -251,24 +308,53 @@ private:
   std::unique_ptr<std::atomic<uint8_t>[]> Dirty;
   std::atomic<size_t> CarveOffset{0};
 
+  /// One pending-line filter entry: line \p Line is armed in epoch
+  /// \p Epoch, issued when the line's store generation was \p Gen.
+  struct FilterEntry {
+    uint64_t Epoch = 0; // 0 never matches (epochs start at 1).
+    uint32_t Line = 0;
+    uint32_t Gen = 0;
+  };
+
   struct alignas(CacheLineBytes) ThreadSlot {
-    /// Guards PendingLines/HasPending/PendingDeadline/EvictRng: the owner
-    /// issues clwb/drain, but drainRemote, crash and reset may touch the
-    /// queue from other threads.
+    /// Guards PendingLines/HasPending/PendingDeadline/EvictRng and the
+    /// flush filter: the owner issues clwb/drain, but drainRemote, crash
+    /// and reset may touch the queue from other threads.
     SpinLock Lock;
     std::vector<uint32_t> PendingLines CRAFTY_GUARDED_BY(Lock); // Tracked.
     bool HasPending CRAFTY_GUARDED_BY(Lock) = false;
     /// Completion time of the latest pending CLWB (monotonic ns).
     uint64_t PendingDeadline CRAFTY_GUARDED_BY(Lock) = 0;
+    /// Current flush epoch; bumping it invalidates every filter entry in
+    /// O(1). Starts at 1 so default-constructed entries never match.
+    uint64_t Epoch CRAFTY_GUARDED_BY(Lock) = 1;
+    /// Direct-mapped pending-line filter (see FilterEntry).
+    std::unique_ptr<FilterEntry[]> Filter CRAFTY_GUARDED_BY(Lock);
     Rng EvictRng CRAFTY_GUARDED_BY(Lock);
 
     void lock() CRAFTY_ACQUIRE(Lock) { Lock.lock(); }
     void unlock() CRAFTY_RELEASE(Lock) { Lock.unlock(); }
   };
+
+  /// Arms a write-back of the line containing \p Addr in \p Slot's queue,
+  /// or coalesces it into an in-flight one (see clwb). Returns true when
+  /// the line was armed (the caller then refreshes the issue deadline).
+  bool armLineLocked(ThreadSlot &Slot, uint32_t ThreadId, const void *Addr)
+      CRAFTY_REQUIRES(Slot.Lock);
+
   std::unique_ptr<ThreadSlot[]> Threads; // Config.MaxThreads slots.
 
+  /// Per-line committed-store generations, maintained in Tracked mode and
+  /// whenever an observer is installed; null otherwise (LatencyOnly with
+  /// no observer, where nothing can observe a suppressed re-flush). The
+  /// filter compares the generation captured at arm time so a re-dirtied
+  /// line is never coalesced away.
+  std::unique_ptr<std::atomic<uint32_t>[]> LineGen;
+
   std::atomic<uint64_t> ClwbCount{0};
+  std::atomic<uint64_t> LineSchedCount{0};
   std::atomic<uint64_t> DrainCount{0};
+  std::atomic<uint64_t> EmptyDrainCount{0};
   std::atomic<uint64_t> EvictCount{0};
 };
 

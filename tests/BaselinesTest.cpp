@@ -142,7 +142,7 @@ TEST(NvHtm, CheckpointerAppliesInTimestampOrder) {
   F.Backend->quiesce();
   EXPECT_EQ(Data[0], 400u);
   PMemStats S = F.Pool.stats();
-  EXPECT_GT(S.DrainsWithWork, 0u) << "checkpointer persists batches";
+  EXPECT_GT(S.drainsWithWork(), 0u) << "checkpointer persists batches";
 }
 
 TEST(DudeTm, WritersSerializeOnTheGlobalCounter) {

@@ -655,6 +655,24 @@ TEST(CraftyCoalesce, RepeatedStoresProduceOneUndoEntryPerWord) {
   EXPECT_EQ(S.Rt.txnStats().Writes, 5u);
 }
 
+TEST(CraftyCoalesce, FlushesFewerLinesThanClwbCalls) {
+  // A transaction writing several distinct words per cache line must
+  // schedule fewer line write-backs than it issues flush requests: the
+  // undo entries flush as a contiguous slot range and the data flushes
+  // coalesce by line in the pool's pending-line filter.
+  TestSystem S(config());
+  auto *Data = static_cast<uint64_t *>(S.Rt.carve(2 * CacheLineBytes));
+  S.Rt.run(0, [&](TxnContext &Tx) {
+    for (size_t I = 0; I != 12; ++I) // Six distinct words per line.
+      Tx.store(&Data[I % 2 ? 8 + I / 2 : I / 2], I + 1);
+  });
+  PMemStats PS = S.Pool.stats();
+  EXPECT_LT(PS.LinesScheduled, PS.ClwbCalls)
+      << "multi-write-per-line transaction must coalesce";
+  EXPECT_GT(PS.LinesScheduled, 0u);
+  EXPECT_EQ(S.Rt.txnStats().Writes, 12u);
+}
+
 TEST(CraftyCoalesce, ValidatePassesOnReExecutionWithRepeats) {
   // A non-conflicting commit in the Log->Redo window forces the Validate
   // phase; the deterministic re-execution repeats the same stores and must

@@ -42,6 +42,10 @@ struct CrashParams {
   uint32_t EvictionPerMillion;
   bool DisableRedo;
   bool DisableValidate;
+  /// Write lines back at CLWB issue time (the earliest legal instant):
+  /// any flush the coalescing filter wrongly suppressed after a re-dirty
+  /// becomes lost data here, so recovery would fail loudly.
+  bool EagerWriteback = false;
 };
 
 const CrashParams ParamTable[] = {
@@ -54,6 +58,8 @@ const CrashParams ParamTable[] = {
     {"no_validate_variant", 3, 1 << 10, 0, 30000, false, true},
     {"heavy_eviction", 3, 1 << 10, 0, 200000, false, false},
     {"no_eviction", 3, 1 << 10, 0, 0, false, false},
+    {"eager_writeback", 3, 1 << 10, 0, 30000, false, false, true},
+    {"eager_writeback_tiny_log", 2, 128, 0, 30000, false, false, true},
 };
 
 class CrashProperty
@@ -69,6 +75,7 @@ TEST_P(CrashProperty, RecoveredStateIsConsistent) {
   PC.DrainLatencyNs = 0;
   PC.EvictionPerMillion = P.EvictionPerMillion;
   PC.EvictionSeed = Seed * 31 + 7;
+  PC.EagerWriteback = P.EagerWriteback;
   PMemPool Pool(PC);
   HtmRuntime Htm{HtmConfig{}};
   CraftyConfig CC;

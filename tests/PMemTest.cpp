@@ -133,10 +133,110 @@ TEST(PMemPool, StatsCountOperations) {
   auto *W = static_cast<uint64_t *>(Pool.carve(128));
   Pool.clwbRange(0, W, 128); // Two cache lines.
   Pool.drain(0);
-  Pool.drain(0); // No pending work: not counted.
+  Pool.drain(0); // No pending work: an empty drain.
   PMemStats S = Pool.stats();
-  EXPECT_EQ(S.Clwbs, 2u);
-  EXPECT_EQ(S.DrainsWithWork, 1u);
+  EXPECT_EQ(S.ClwbCalls, 2u);
+  EXPECT_EQ(S.LinesScheduled, 2u);
+  EXPECT_EQ(S.Drains, 2u);
+  EXPECT_EQ(S.EmptyDrains, 1u);
+  EXPECT_EQ(S.drainsWithWork(), 1u);
+}
+
+TEST(PMemPool, RepeatedClwbsOfOneLineCoalesce) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
+  *W = 1;
+  Pool.onCommittedStore(W);
+  for (int I = 0; I != 100; ++I)
+    Pool.clwb(0, W);
+  PMemStats S = Pool.stats();
+  EXPECT_EQ(S.ClwbCalls, 100u);
+  EXPECT_EQ(S.LinesScheduled, 1u) << "repeats within one epoch coalesce";
+  Pool.drain(0);
+  EXPECT_EQ(imageWordAt(Pool, W), 1u);
+  Pool.clwb(0, W); // New epoch: re-arms even with no intervening store.
+  EXPECT_EQ(Pool.stats().LinesScheduled, 2u);
+}
+
+TEST(PMemPool, LinesScheduledBoundedByDistinctDirtyLines) {
+  // PendingLines used to accumulate one entry per clwb call; with the
+  // filter, repeats of an unchanged line never schedule new write-backs.
+  PMemPool Pool(trackedConfig());
+  auto *Base = static_cast<uint64_t *>(Pool.carve(3 * CacheLineBytes));
+  const size_t WordsPerLine = CacheLineBytes / sizeof(uint64_t);
+  std::vector<uint64_t *> Words;
+  for (size_t L = 0; L != 3; ++L)
+    for (size_t I = 0; I != 4; ++I) {
+      uint64_t *W = Base + L * WordsPerLine + I;
+      *W = L * 10 + I + 1;
+      Pool.onCommittedStore(W);
+      Words.push_back(W);
+    }
+  for (int Round = 0; Round != 50; ++Round)
+    for (uint64_t *W : Words)
+      Pool.clwb(0, W);
+  PMemStats S = Pool.stats();
+  EXPECT_EQ(S.ClwbCalls, 50u * Words.size());
+  EXPECT_EQ(S.LinesScheduled, 3u) << "<= distinct dirty lines";
+  Pool.drain(0);
+  for (uint64_t *W : Words)
+    EXPECT_EQ(imageWordAt(Pool, W), *W);
+}
+
+TEST(PMemPool, RedirtiedLineRearmsWithinEpoch) {
+  PMemPool Pool(trackedConfig());
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 1;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W);
+  EXPECT_EQ(Pool.stats().LinesScheduled, 1u);
+  *W = 2;
+  Pool.onCommittedStore(W); // Bumps the line's store generation.
+  Pool.clwb(0, W);          // Same epoch, but the line changed: re-arm.
+  EXPECT_EQ(Pool.stats().LinesScheduled, 2u);
+  Pool.clwb(0, W); // Unchanged again: coalesced.
+  EXPECT_EQ(Pool.stats().LinesScheduled, 2u);
+  Pool.drain(0);
+  EXPECT_EQ(imageWordAt(Pool, W), 2u);
+}
+
+TEST(PMemPool, EagerWritebackExposesRedirtyAfterClwbHazard) {
+  // Hardware may write a line back at any instant between the CLWB and
+  // the fence. EagerWriteback models the earliest instant: a store after
+  // the clwb is then NOT covered by the next drain, so a crash must be
+  // allowed to expose it as unpersisted.
+  PMemConfig C = trackedConfig();
+  C.EagerWriteback = true;
+  PMemPool Pool(C);
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 1;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W); // Written back now.
+  *W = 2;
+  Pool.onCommittedStore(W); // Re-dirtied after the clwb.
+  Pool.drain(0);            // Covers nothing new.
+  Pool.crash();
+  EXPECT_EQ(*W, 1u) << "second store lost: no covering re-flush";
+}
+
+TEST(PMemPool, EagerWritebackHonorsCoveringReflush) {
+  // The dual of the hazard test: a fresh clwb after the re-dirtying
+  // store must never be coalesced away (same line, same epoch -- only
+  // the store generation distinguishes it).
+  PMemConfig C = trackedConfig();
+  C.EagerWriteback = true;
+  PMemPool Pool(C);
+  auto *W = static_cast<uint64_t *>(Pool.carve(8));
+  *W = 1;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W);
+  *W = 2;
+  Pool.onCommittedStore(W);
+  Pool.clwb(0, W); // Covering re-flush.
+  Pool.drain(0);
+  Pool.crash();
+  EXPECT_EQ(*W, 2u) << "re-flush re-armed despite the coalescing filter";
+  EXPECT_EQ(Pool.stats().LinesScheduled, 2u);
 }
 
 TEST(PMemPool, LatencyModeChargesDrain) {

@@ -171,6 +171,48 @@ TEST(PersistCheck, ReflushedLateStoreIsNotABrokenChain) {
   EXPECT_EQ(H.Check.violationCount(), 0u);
 }
 
+TEST(PersistCheck, CoalescedDuplicateClwbsStayClean) {
+  // A repeated clwb of an unchanged pending line is coalesced by the
+  // pool (one scheduled write-back, one observed onClwb); the checker
+  // must see a perfectly ordinary flush chain.
+  CheckerHarness H;
+  H.store(&H.Data[0], 1);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.violationCount(), 0u) << H.Check.formatReports();
+  EXPECT_EQ(H.Check.lintCount(), 0u) << H.Check.formatReports();
+  EXPECT_EQ(H.Pool.stats().LinesScheduled, 1u);
+  EXPECT_EQ(H.Pool.stats().ClwbCalls, 2u);
+}
+
+TEST(PersistCheckSeeded, OverCoalescedDroppedReflushIsCaught) {
+  // An over-coalescing bug would treat the covering re-flush after a
+  // re-dirtying store as a duplicate and drop it; model the drop at the
+  // call site. The drain must still report a broken flush chain -- the
+  // checker guards exactly the condition the filter's store-generation
+  // test enforces.
+  CheckerHarness H;
+  H.store(&H.Data[0], 1);
+  H.Pool.clwb(0, &H.Data[0]);
+  H.store(&H.Data[0], 2);
+  // (A correct discipline issues the re-flush here; this run drops it.)
+  H.Pool.drain(0);
+  EXPECT_EQ(H.Check.count(PersistDiag::BrokenFlushChain), 1u);
+  EXPECT_EQ(H.Check.violationCount(), 1u) << H.Check.formatReports();
+  // The same sequence with the re-flush actually issued through the
+  // coalescing pool is clean: the filter re-arms on the generation
+  // change instead of suppressing the call.
+  CheckerHarness H2;
+  H2.store(&H2.Data[0], 1);
+  H2.Pool.clwb(0, &H2.Data[0]);
+  H2.store(&H2.Data[0], 2);
+  H2.Pool.clwb(0, &H2.Data[0]);
+  H2.Pool.drain(0);
+  EXPECT_EQ(H2.Check.violationCount(), 0u) << H2.Check.formatReports();
+  EXPECT_EQ(H2.Pool.stats().LinesScheduled, 2u);
+}
+
 TEST(PersistCheck, NoOpStoresAreInvisible) {
   // Crafty's Log phase relies on the write buffer merging a store and its
   // rollback into a no-op; the checker must not see it as a program write.

@@ -43,7 +43,7 @@ TEST(RedoPipeline, DenseOrderAppliesConsecutiveTimestamps) {
   EXPECT_EQ(Pipe.appliedTxns(), 3u);
   // The records' lines were persisted: the volatile view holds nothing
   // (records do not write program memory here), but the drains ran.
-  EXPECT_GE(Pool.stats().DrainsWithWork, 3u);
+  EXPECT_GE(Pool.stats().drainsWithWork(), 3u);
   Pipe.stop();
 }
 
