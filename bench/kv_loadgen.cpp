@@ -1,0 +1,618 @@
+//===- bench/kv_loadgen.cpp - KV service load generator -------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Load generator and crash auditor for the src/kv/ service.
+//
+// Bench mode (default): for each cell of {backend} x {shard count} x
+// {SET batch size}, fork a KvServer child process, drive it over loopback
+// TCP with M concurrent connections running a read/write mix, and record
+// ops/s plus request-latency p50/p99. Points append into BENCH_kv.json
+// with the same trajectory conventions as BENCH_hotpath.json (schema
+// header + points array; --append splices, CRAFTY_BENCH_OPS_SCALE scales
+// the op counts).
+//
+//   {"schema": "crafty-kv-bench-v1", "points": [
+//     {"label": ..., "ops_scale": ..., "results": [
+//       {"system": ..., "shards": N, "conns": M, "batch": B,
+//        "read_pct": P, "value_bytes": V, "ops": N,
+//        "ops_per_sec": X, "p50_us": X, "p99_us": X}, ...]}, ...]}
+//
+// Crash mode (--crash-after N): fork a file-backed Crafty server, drive
+// write-heavy load, SIGKILL the server after N acknowledged writes,
+// restart it over the same data directory (attach + undo-log replay),
+// and audit the recovered state against per-connection ledgers:
+//
+//  - every ACKNOWLEDGED write must be present: each key must hold a
+//    value at least as new as the last acked write to it (the keyspace is
+//    partitioned across connections, so per-key write order is total);
+//  - every UNACKNOWLEDGED write must be absent-or-complete: a key may
+//    hold any value from the unacked suffix of its write sequence,
+//    byte-for-byte complete -- never a torn or fabricated value.
+//
+// Usage: kv_loadgen [--label NAME] [--append FILE | --out FILE]
+//                   [--ops N] [--conns M] [--value-bytes V]
+//                   [--read-pct P] [--keyspace K]
+//                   [--crash-after N] [--datadir DIR]
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvClient.h"
+#include "kv/KvServer.h"
+#include "support/Clock.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <signal.h>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+namespace {
+
+struct Options {
+  std::string Label = "unlabeled";
+  std::string OutPath, AppendPath;
+  uint64_t OpsPerCell = 20000;
+  unsigned Conns = 4;
+  size_t ValueBytes = 64;
+  unsigned ReadPct = 50;
+  uint64_t Keyspace = 8192;
+  uint64_t CrashAfter = 0; // 0 = bench mode.
+  std::string DataDir;
+};
+
+struct BenchCell {
+  SystemKind System;
+  unsigned Shards;
+  size_t Batch;
+};
+
+const BenchCell Cells[] = {
+    {SystemKind::Crafty, 1, 1},     {SystemKind::Crafty, 1, 8},
+    {SystemKind::Crafty, 4, 1},     {SystemKind::Crafty, 4, 8},
+    {SystemKind::NvHtm, 1, 1},      {SystemKind::NvHtm, 1, 8},
+    {SystemKind::NvHtm, 4, 1},      {SystemKind::NvHtm, 4, 8},
+    {SystemKind::NonDurable, 1, 1}, {SystemKind::NonDurable, 1, 8},
+    {SystemKind::NonDurable, 4, 1}, {SystemKind::NonDurable, 4, 8},
+};
+
+struct CellResult {
+  const char *SystemName;
+  unsigned Shards;
+  unsigned Conns;
+  size_t Batch;
+  unsigned ReadPct;
+  size_t ValueBytes;
+  uint64_t Ops;
+  double OpsPerSec;
+  double P50Us;
+  double P99Us;
+};
+
+double opsScale() {
+  if (const char *Scale = std::getenv("CRAFTY_BENCH_OPS_SCALE")) {
+    double F = std::atof(Scale);
+    if (F > 0)
+      return F;
+  }
+  return 1.0;
+}
+
+KvConfig storeConfig(SystemKind System, unsigned Shards,
+                     const std::string &DataDir) {
+  KvConfig KC;
+  KC.NumShards = Shards;
+  KC.SlotsPerShard = 1 << 14;
+  KC.Backend = System;
+  // Each server worker owns Tid = worker index on every shard.
+  KC.ThreadsPerShard = Shards;
+  KC.DataDir = DataDir;
+  return KC;
+}
+
+//===----------------------------------------------------------------------===//
+// Forked server lifecycle
+//===----------------------------------------------------------------------===//
+
+struct ServerProc {
+  pid_t Pid = -1;
+  uint16_t Port = 0;
+  int CtlWrite = -1; // Closing it asks the child to shut down cleanly.
+};
+
+/// Forks a child that serves \p Cfg; the child reports its port over a
+/// pipe and runs until the control pipe closes (or it is killed).
+ServerProc spawnServer(const KvConfig &Cfg) {
+  int PortPipe[2], CtlPipe[2];
+  if (pipe(PortPipe) != 0 || pipe(CtlPipe) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (Pid == 0) {
+    close(PortPipe[0]);
+    close(CtlPipe[1]);
+    {
+      KvStore Store(Cfg);
+      KvServer Server(Store, KvServerConfig{});
+      Server.start();
+      char Msg[16];
+      int N = std::snprintf(Msg, sizeof(Msg), "%u\n", Server.port());
+      if (write(PortPipe[1], Msg, (size_t)N) != N)
+        _exit(1);
+      close(PortPipe[1]);
+      // Serve until the parent closes the control pipe (or SIGKILLs us,
+      // which is the whole point of crash mode).
+      char Junk;
+      while (read(CtlPipe[0], &Junk, 1) > 0)
+        ;
+      Server.stop();
+    }
+    _exit(0);
+  }
+  close(PortPipe[1]);
+  close(CtlPipe[0]);
+  ServerProc P;
+  P.Pid = Pid;
+  P.CtlWrite = CtlPipe[1];
+  std::string PortStr;
+  char C;
+  while (read(PortPipe[0], &C, 1) == 1 && C != '\n')
+    PortStr += C;
+  close(PortPipe[0]);
+  P.Port = (uint16_t)std::atoi(PortStr.c_str());
+  if (P.Port == 0) {
+    std::fprintf(stderr, "kv_loadgen: server child failed to start\n");
+    std::exit(1);
+  }
+  return P;
+}
+
+void stopServer(ServerProc &P) {
+  if (P.CtlWrite >= 0)
+    close(P.CtlWrite);
+  P.CtlWrite = -1;
+  if (P.Pid > 0) {
+    int St = 0;
+    waitpid(P.Pid, &St, 0);
+    P.Pid = -1;
+  }
+}
+
+void killServer(ServerProc &P) {
+  if (P.Pid > 0) {
+    kill(P.Pid, SIGKILL);
+    int St = 0;
+    waitpid(P.Pid, &St, 0);
+    P.Pid = -1;
+  }
+  if (P.CtlWrite >= 0)
+    close(P.CtlWrite);
+  P.CtlWrite = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Bench mode
+//===----------------------------------------------------------------------===//
+
+std::string makeValue(uint64_t Key, uint64_t Seq, size_t Bytes) {
+  char Head[64];
+  int N = std::snprintf(Head, sizeof(Head), "k%llu-s%llu-",
+                        (unsigned long long)Key, (unsigned long long)Seq);
+  std::string V(Head, (size_t)N);
+  // Deterministic tail derived from (key, seq): a torn or cross-wired
+  // value cannot also have a consistent tail.
+  uint64_t X = Key * 0x9e3779b97f4a7c15ull + Seq;
+  while (V.size() < Bytes) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    V += (char)('a' + (X % 26));
+  }
+  V.resize(Bytes);
+  return V;
+}
+
+CellResult runBenchCell(const Options &Opt, const BenchCell &Cell,
+                        uint64_t Ops) {
+  ServerProc Server = spawnServer(storeConfig(Cell.System, Cell.Shards, ""));
+
+  std::atomic<uint64_t> OpsIssued{0};
+  std::atomic<bool> Failed{false};
+  std::vector<std::vector<double>> Lat(Opt.Conns);
+  std::vector<std::thread> Threads;
+  uint64_t T0 = monotonicNanos();
+  for (unsigned T = 0; T != Opt.Conns; ++T) {
+    Threads.emplace_back([&, T] {
+      KvClient Client;
+      if (!Client.connect(Server.Port)) {
+        Failed.store(true);
+        return;
+      }
+      Rng R(0x9e3779b9u + T * 1013904223u);
+      std::vector<std::pair<uint64_t, std::string>> Pairs;
+      std::vector<uint64_t> Keys;
+      std::vector<KvStatus> Statuses;
+      uint64_t Seq = 0;
+      while (!Failed.load(std::memory_order_relaxed)) {
+        // Claim a whole batch of ops so all cells do identical work.
+        uint64_t Claim =
+            OpsIssued.fetch_add(Cell.Batch, std::memory_order_relaxed);
+        if (Claim >= Ops)
+          break;
+        bool IsRead = R.next() % 100 < Opt.ReadPct;
+        uint64_t Start = monotonicNanos();
+        bool Ok = true;
+        if (IsRead) {
+          if (Cell.Batch == 1) {
+            std::string Out;
+            KvStatus St = Client.get(R.next() % Opt.Keyspace, Out);
+            Ok = St == KvStatus::Ok || St == KvStatus::NotFound;
+          } else {
+            Keys.clear();
+            for (size_t I = 0; I != Cell.Batch; ++I)
+              Keys.push_back(R.next() % Opt.Keyspace);
+            std::vector<std::pair<KvStatus, std::string>> Out;
+            Ok = Client.mget(Keys, Out);
+          }
+        } else {
+          if (Cell.Batch == 1) {
+            KvStatus St = Client.set(R.next() % Opt.Keyspace,
+                                     makeValue(Claim, Seq, Opt.ValueBytes));
+            Ok = St == KvStatus::Ok;
+          } else {
+            Pairs.clear();
+            for (size_t I = 0; I != Cell.Batch; ++I)
+              Pairs.emplace_back(R.next() % Opt.Keyspace,
+                                 makeValue(Claim + I, Seq, Opt.ValueBytes));
+            Ok = Client.mset(Pairs, Statuses);
+            for (KvStatus St : Statuses)
+              Ok = Ok && St == KvStatus::Ok;
+          }
+        }
+        Lat[T].push_back((double)(monotonicNanos() - Start) / 1000.0);
+        ++Seq;
+        if (!Ok) {
+          Failed.store(true);
+          break;
+        }
+      }
+      Client.quit();
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  uint64_t T1 = monotonicNanos();
+  stopServer(Server);
+  if (Failed.load()) {
+    std::fprintf(stderr, "kv_loadgen: cell failed (%s shards=%u batch=%zu)\n",
+                 systemKindName(Cell.System), Cell.Shards, Cell.Batch);
+    std::exit(1);
+  }
+
+  std::vector<double> All;
+  for (auto &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  auto Pct = [&](double P) {
+    if (All.empty())
+      return 0.0;
+    size_t I = (size_t)((double)(All.size() - 1) * P);
+    return All[I];
+  };
+
+  uint64_t Done = std::min<uint64_t>(OpsIssued.load(), Ops);
+  CellResult R;
+  R.SystemName = systemKindName(Cell.System);
+  R.Shards = Cell.Shards;
+  R.Conns = Opt.Conns;
+  R.Batch = Cell.Batch;
+  R.ReadPct = Opt.ReadPct;
+  R.ValueBytes = Opt.ValueBytes;
+  R.Ops = Done;
+  R.OpsPerSec = T1 > T0 ? (double)Done * 1e9 / (double)(T1 - T0) : 0;
+  R.P50Us = Pct(0.50);
+  R.P99Us = Pct(0.99);
+  return R;
+}
+
+std::string formatPoint(const std::string &Label, double Scale,
+                        const std::vector<CellResult> &Results) {
+  std::ostringstream Out;
+  char Buf[320];
+  Out << "    {\n      \"label\": \"" << Label << "\",\n";
+  std::snprintf(Buf, sizeof(Buf), "      \"ops_scale\": %g,\n", Scale);
+  Out << Buf << "      \"results\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const CellResult &R = Results[I];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "        {\"system\": \"%s\", \"shards\": %u, \"conns\": %u, "
+        "\"batch\": %zu, \"read_pct\": %u, \"value_bytes\": %zu, "
+        "\"ops\": %llu, \"ops_per_sec\": %.0f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f}%s\n",
+        R.SystemName, R.Shards, R.Conns, R.Batch, R.ReadPct, R.ValueBytes,
+        (unsigned long long)R.Ops, R.OpsPerSec, R.P50Us, R.P99Us,
+        I + 1 == Results.size() ? "" : ",");
+    Out << Buf;
+  }
+  Out << "      ]\n    }";
+  return Out.str();
+}
+
+std::string trajectoryFile(const std::string &PointJson) {
+  return std::string(
+             "{\n  \"schema\": \"crafty-kv-bench-v1\",\n"
+             "  \"unit\": \"ops_per_sec = completed key operations per "
+             "second over loopback TCP; latencies per request\",\n"
+             "  \"points\": [\n") +
+         PointJson + "\n  ]\n}\n";
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Content;
+  return Out.good();
+}
+
+bool appendPoint(const std::string &Path, const std::string &PointJson) {
+  std::ifstream In(Path);
+  if (!In.good())
+    return writeFile(Path, trajectoryFile(PointJson));
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string File = Buf.str();
+  const std::string Marker = "\n  ]\n}";
+  size_t Pos = File.rfind(Marker);
+  if (Pos == std::string::npos) {
+    std::fprintf(stderr,
+                 "kv_loadgen: %s does not look like a trajectory file\n",
+                 Path.c_str());
+    return false;
+  }
+  File.insert(Pos, ",\n" + PointJson);
+  return writeFile(Path, File);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash mode
+//===----------------------------------------------------------------------===//
+
+/// One write in a connection's ledger. Acked flips once the OK response
+/// arrives; writes the server never answered stay unacked.
+struct LedgerEntry {
+  uint64_t Key;
+  std::string Val;
+  bool Acked = false;
+};
+
+int runCrashAudit(const Options &Opt) {
+  std::string DataDir = Opt.DataDir;
+  if (DataDir.empty()) {
+    char Tmpl[] = "/tmp/kv_loadgen.XXXXXX";
+    if (!mkdtemp(Tmpl)) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    DataDir = Tmpl;
+  }
+  const unsigned Shards = 2;
+  std::fprintf(stderr,
+               "crash audit: datadir=%s shards=%u conns=%u target=%llu "
+               "acked writes\n",
+               DataDir.c_str(), Shards, Opt.Conns,
+               (unsigned long long)Opt.CrashAfter);
+
+  ServerProc Server =
+      spawnServer(storeConfig(SystemKind::Crafty, Shards, DataDir));
+
+  // Phase 1: write-heavy load until the kill threshold. The keyspace is
+  // partitioned: connection T owns keys {T, T + Conns, T + 2*Conns, ...},
+  // so each key's write order is one connection's FIFO.
+  std::atomic<uint64_t> Acked{0};
+  std::atomic<bool> Killed{false};
+  std::vector<std::vector<LedgerEntry>> Ledgers(Opt.Conns);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Opt.Conns; ++T) {
+    Threads.emplace_back([&, T] {
+      KvClient Client;
+      if (!Client.connect(Server.Port))
+        return;
+      Rng R(0xdecafbadu + T);
+      uint64_t Seq = 0;
+      while (!Killed.load(std::memory_order_relaxed)) {
+        uint64_t Slot = R.next() % (Opt.Keyspace / Opt.Conns + 1);
+        uint64_t Key = T + Slot * Opt.Conns;
+        Ledgers[T].push_back(
+            LedgerEntry{Key, makeValue(Key, Seq++, Opt.ValueBytes), false});
+        LedgerEntry &E = Ledgers[T].back();
+        KvStatus St = Client.set(Key, E.Val);
+        if (St == KvStatus::Ok) {
+          E.Acked = true;
+          Acked.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Transport death (the kill) or a full shard; either way this
+          // write is unacknowledged.
+          break;
+        }
+      }
+    });
+  }
+  while (Acked.load(std::memory_order_relaxed) < Opt.CrashAfter)
+    std::this_thread::yield();
+  killServer(Server);
+  Killed.store(true);
+  for (auto &Th : Threads)
+    Th.join();
+  uint64_t TotalAcked = Acked.load();
+  std::fprintf(stderr, "crash audit: SIGKILLed server after %llu acked\n",
+               (unsigned long long)TotalAcked);
+
+  // Phase 2: restart over the same images; the store attaches and
+  // replays every shard's undo log before serving.
+  ServerProc Server2 =
+      spawnServer(storeConfig(SystemKind::Crafty, Shards, DataDir));
+
+  // Phase 3: audit. For each key, the recovered value must be a complete
+  // value from the suffix of its write sequence starting at the last
+  // acked write (acked-durability + absent-or-complete for the unacked
+  // tail; rollback of a suffix of unacked writes is legal, losing an
+  // acked one is not).
+  KvClient Audit;
+  if (!Audit.connect(Server2.Port)) {
+    std::fprintf(stderr, "crash audit: cannot connect to restarted server\n");
+    return 1;
+  }
+  uint64_t KeysAudited = 0, Violations = 0;
+  for (unsigned T = 0; T != Opt.Conns; ++T) {
+    // Per-key write sequences, in order.
+    std::map<uint64_t, std::vector<const LedgerEntry *>> PerKey;
+    for (const LedgerEntry &E : Ledgers[T])
+      PerKey[E.Key].push_back(&E);
+    for (const auto &[Key, Writes] : PerKey) {
+      ++KeysAudited;
+      size_t LastAcked = Writes.size();
+      for (size_t I = Writes.size(); I-- > 0;)
+        if (Writes[I]->Acked) {
+          LastAcked = I;
+          break;
+        }
+      std::string Got;
+      KvStatus St = Audit.get(Key, Got);
+      bool Ok;
+      if (LastAcked == Writes.size()) {
+        // Nothing acked: absent, or any complete unacked value.
+        Ok = St == KvStatus::NotFound;
+        if (!Ok && St == KvStatus::Ok)
+          for (const LedgerEntry *W : Writes)
+            Ok = Ok || W->Val == Got;
+      } else {
+        // Acked: must hold a value from the acked write or any later one.
+        Ok = false;
+        if (St == KvStatus::Ok)
+          for (size_t I = LastAcked; I != Writes.size(); ++I)
+            Ok = Ok || Writes[I]->Val == Got;
+      }
+      if (!Ok) {
+        ++Violations;
+        std::fprintf(stderr,
+                     "  VIOLATION key=%llu status=%s got=%zu bytes "
+                     "(last acked write %s)\n",
+                     (unsigned long long)Key, kvStatusName(St), Got.size(),
+                     LastAcked == Writes.size() ? "none" : "exists");
+      }
+    }
+  }
+  Audit.quit();
+  stopServer(Server2);
+
+  std::fprintf(stderr,
+               "crash audit: %llu keys audited, %llu acked writes, "
+               "%llu violations -> %s\n",
+               (unsigned long long)KeysAudited,
+               (unsigned long long)TotalAcked,
+               (unsigned long long)Violations,
+               Violations ? "FAILED" : "PASSED");
+  return Violations ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  signal(SIGPIPE, SIG_IGN);
+  Options Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "kv_loadgen: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--label")
+      Opt.Label = Next();
+    else if (Arg == "--out")
+      Opt.OutPath = Next();
+    else if (Arg == "--append")
+      Opt.AppendPath = Next();
+    else if (Arg == "--ops")
+      Opt.OpsPerCell = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--conns")
+      Opt.Conns = (unsigned)std::atoi(Next());
+    else if (Arg == "--value-bytes")
+      Opt.ValueBytes = (size_t)std::atoi(Next());
+    else if (Arg == "--read-pct")
+      Opt.ReadPct = (unsigned)std::atoi(Next());
+    else if (Arg == "--keyspace")
+      Opt.Keyspace = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--crash-after")
+      Opt.CrashAfter = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--datadir")
+      Opt.DataDir = Next();
+    else {
+      std::fprintf(
+          stderr,
+          "usage: kv_loadgen [--label NAME] [--append FILE | --out FILE]\n"
+          "                  [--ops N] [--conns M] [--value-bytes V]\n"
+          "                  [--read-pct P] [--keyspace K]\n"
+          "                  [--crash-after N] [--datadir DIR]\n");
+      return 2;
+    }
+  }
+  if (Opt.Conns == 0)
+    Opt.Conns = 1;
+
+  if (Opt.CrashAfter)
+    return runCrashAudit(Opt);
+
+  double Scale = opsScale();
+  uint64_t Ops = (uint64_t)((double)Opt.OpsPerCell * Scale);
+  if (Ops == 0)
+    Ops = 1;
+  std::vector<CellResult> Results;
+  for (const BenchCell &Cell : Cells) {
+    CellResult R = runBenchCell(Opt, Cell, Ops);
+    std::fprintf(stderr,
+                 "%-12s shards=%u batch=%zu  %9.0f ops/s  p50 %6.1fus  "
+                 "p99 %6.1fus\n",
+                 R.SystemName, R.Shards, R.Batch, R.OpsPerSec, R.P50Us,
+                 R.P99Us);
+    Results.push_back(R);
+  }
+
+  std::string Point = formatPoint(Opt.Label, Scale, Results);
+  if (!Opt.AppendPath.empty()) {
+    if (!appendPoint(Opt.AppendPath, Point))
+      return 1;
+    std::fprintf(stderr, "appended point '%s' to %s\n", Opt.Label.c_str(),
+                 Opt.AppendPath.c_str());
+  } else if (!Opt.OutPath.empty()) {
+    if (!writeFile(Opt.OutPath, trajectoryFile(Point)))
+      return 1;
+    std::fprintf(stderr, "wrote %s\n", Opt.OutPath.c_str());
+  } else {
+    std::printf("%s\n", trajectoryFile(Point).c_str());
+  }
+  return 0;
+}

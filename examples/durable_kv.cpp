@@ -1,145 +1,85 @@
-//===- examples/durable_kv.cpp - A crash-safe key-value store -------------===//
+//===- examples/durable_kv.cpp - The sharded KV service, crash-audited ----===//
 //
 // Part of the Crafty reproduction project.
 // SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
 //
-// A small persistent key-value store built on Crafty transactions: a
-// fixed-capacity open-addressed hash table in persistent memory. Each
-// put/erase is one ACID transaction, so the store survives simulated
-// power failures; the demo crashes it mid-workload, recovers, and audits
-// the table against a ledger of transactions known to have committed
-// before the last persist barrier.
+// The crash-and-audit demo on the real KV service (src/kv/): a two-shard
+// kv::KvStore holding byte-string values, each mutation one Crafty
+// transaction on its shard. The demo writes a guaranteed phase (ended by
+// a persist barrier), layers speculative overwrites on top, kills the
+// machine mid-workload, recovers every shard's undo log, and audits the
+// recovered store against a ledger: every guaranteed write present and
+// untorn, speculative writes either absent or complete.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Crafty.h"
-#include "recovery/Recovery.h"
+#include "kv/KvStore.h"
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 using namespace crafty;
+using namespace crafty::kv;
 
 namespace {
 
-/// A persistent open-addressed hash table: slots of ⟨key+1, value⟩.
-class DurableKv {
-public:
-  static constexpr size_t Slots = 1 << 12;
-
-  DurableKv(CraftyRuntime &Rt) : Rt(Rt) {
-    Table = static_cast<uint64_t *>(Rt.carve(Slots * 16));
-  }
-
-  void put(unsigned Tid, uint64_t Key, uint64_t Value) {
-    Rt.run(Tid, [&](TxnContext &Tx) {
-      size_t I = probe(Tx, Key, /*ForInsert=*/true);
-      Tx.store(keyWord(I), Key + 1);
-      Tx.store(valWord(I), Value);
-    });
-  }
-
-  bool get(unsigned Tid, uint64_t Key, uint64_t *Out) {
-    bool Found = false;
-    Rt.run(Tid, [&](TxnContext &Tx) {
-      size_t I = probe(Tx, Key, /*ForInsert=*/false);
-      Found = I != Slots;
-      if (Found && Out)
-        *Out = Tx.load(valWord(I));
-    });
-    return Found;
-  }
-
-  /// Direct (non-transactional) read for post-recovery audits.
-  bool peek(uint64_t Key, uint64_t *Out) const {
-    for (size_t P = 0; P != Slots; ++P) {
-      size_t I = (slotOf(Key) + P) % Slots;
-      if (Table[2 * I] == 0)
-        return false;
-      if (Table[2 * I] == Key + 1) {
-        *Out = Table[2 * I + 1];
-        return true;
-      }
-    }
-    return false;
-  }
-
-private:
-  static size_t slotOf(uint64_t Key) {
-    return (Key * 0x9e3779b97f4a7c15ull >> 32) % Slots;
-  }
-  uint64_t *keyWord(size_t I) { return &Table[2 * I]; }
-  uint64_t *valWord(size_t I) { return &Table[2 * I + 1]; }
-
-  /// Returns the slot holding Key, or (ForInsert) the first free slot.
-  /// Returns Slots when a lookup misses.
-  size_t probe(TxnContext &Tx, uint64_t Key, bool ForInsert) {
-    for (size_t P = 0; P != Slots; ++P) {
-      size_t I = (slotOf(Key) + P) % Slots;
-      uint64_t K = Tx.load(keyWord(I));
-      if (K == Key + 1)
-        return I;
-      if (K == 0)
-        return ForInsert ? I : Slots;
-    }
-    fatalError("durable_kv: table full");
-  }
-
-  CraftyRuntime &Rt;
-  uint64_t *Table = nullptr;
-};
+std::string valueOf(uint64_t Key, unsigned Gen) {
+  std::string V = "gen" + std::to_string(Gen) + "-key" +
+                  std::to_string(Key) + "-";
+  V.append(24 + Key % 17, (char)('a' + (Key + Gen) % 26));
+  return V;
+}
 
 } // namespace
 
 int main() {
-  PMemConfig PoolCfg;
-  PoolCfg.PoolBytes = 16 << 20;
-  PoolCfg.Mode = PMemMode::Tracked;
-  PoolCfg.EvictionPerMillion = 5000; // Spontaneous cache write-backs.
-  PMemPool Pool(PoolCfg);
-  HtmRuntime Htm{HtmConfig{}};
-  CraftyConfig Cfg;
-  Cfg.NumThreads = 1;
-  CraftyRuntime Crafty(Pool, Htm, Cfg);
+  KvConfig Cfg;
+  Cfg.NumShards = 2;
+  Cfg.SlotsPerShard = 1 << 12;
+  Cfg.Mode = PMemMode::Tracked;
+  Cfg.EvictionPerMillion = 5000; // Spontaneous cache write-backs.
+  KvStore Store(Cfg);
 
-  DurableKv Kv(Crafty);
-  std::map<uint64_t, uint64_t> Ledger; // What is guaranteed durable.
+  std::map<uint64_t, std::string> Ledger; // What is guaranteed durable.
 
-  // Phase 1: 500 puts, then a persist barrier: everything so far must
-  // survive any later crash.
+  // Phase 1: 500 sets, then persist barriers on every shard: everything
+  // so far must survive any later crash.
   for (uint64_t K = 0; K != 500; ++K) {
-    Kv.put(0, K, K * 3 + 1);
-    Ledger[K] = K * 3 + 1;
+    if (Store.set(0, K, valueOf(K, 1)) != KvStatus::Ok) {
+      std::printf("phase-1 set failed\n");
+      return 1;
+    }
+    Ledger[K] = valueOf(K, 1);
   }
-  Crafty.persistBarrier(0);
+  Store.persistAll();
 
-  // Phase 2: more puts and overwrites that a crash may or may not keep.
+  // Phase 2: overwrites and inserts that a crash may or may not keep.
   for (uint64_t K = 400; K != 700; ++K)
-    Kv.put(0, K, K * 7 + 5);
+    Store.set(0, K, valueOf(K, 2));
 
-  std::printf("crash after %zu guaranteed and 300 speculative puts...\n",
+  std::printf("crash after %zu guaranteed and 300 speculative sets...\n",
               Ledger.size());
-  Pool.crash();
-  RecoveryReport Rep = RecoveryObserver::recoverPool(Pool);
-  std::printf("recovery rolled back %zu of %zu sequences (threshold ts "
-              "%llu)\n",
-              Rep.SequencesRolledBack, Rep.SequencesFound,
-              (unsigned long long)Rep.ThresholdTs);
+  Store.simulateCrash();
+  size_t RolledBack = Store.recover();
+  std::printf("recovery rolled back %zu undo-log sequences across %u "
+              "shards\n",
+              RolledBack, Store.numShards());
 
-  // Audit: every pre-barrier put must be present with a sane value (the
-  // original, or a committed overwrite from phase 2).
+  // Audit: every guaranteed key present with its ledger value or a
+  // complete phase-2 overwrite -- never absent, never torn.
   unsigned Overwrites = 0;
   for (const auto &[K, V] : Ledger) {
-    uint64_t Got = 0;
-    if (!Kv.peek(K, &Got)) {
+    std::string Got;
+    if (!Store.shard(Store.shardOf(K)).peek(K, Got)) {
       std::printf("DURABILITY VIOLATION: key %llu lost\n",
                   (unsigned long long)K);
       return 1;
     }
     if (Got != V) {
-      if (Got != K * 7 + 5) {
+      if (Got != valueOf(K, 2)) {
         std::printf("ATOMICITY VIOLATION: key %llu has torn value\n",
                     (unsigned long long)K);
         return 1;
@@ -151,11 +91,11 @@ int main() {
               "overwrites retained\n",
               Ledger.size(), Overwrites);
 
-  // The store keeps working after recovery.
-  Kv.put(0, 9999, 42);
-  uint64_t V = 0;
-  if (!Kv.get(0, 9999, &V) || V != 42) {
-    std::printf("post-recovery put/get failed\n");
+  // The store keeps serving after recovery.
+  std::string Out;
+  if (Store.set(0, 9999, "post-recovery") != KvStatus::Ok ||
+      Store.get(0, 9999, Out) != KvStatus::Ok || Out != "post-recovery") {
+    std::printf("post-recovery set/get failed\n");
     return 1;
   }
   std::printf("durable_kv OK\n");

@@ -1,0 +1,247 @@
+//===- kv/KvClient.cpp - Minimal blocking KV client -----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvClient.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+bool KvClient::connect(uint16_t Port) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    close();
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return true;
+}
+
+void KvClient::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  SendBuf.clear();
+  RecvBuf.clear();
+  RecvPos = 0;
+}
+
+bool KvClient::writeAll(const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      close();
+      return false;
+    }
+    Data += N;
+    Len -= (size_t)N;
+  }
+  return true;
+}
+
+bool KvClient::fill() {
+  if (RecvPos == RecvBuf.size()) {
+    RecvBuf.clear();
+    RecvPos = 0;
+  }
+  char Buf[16384];
+  ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+  if (N <= 0) {
+    if (N < 0 && errno == EINTR)
+      return true;
+    close();
+    return false;
+  }
+  RecvBuf.append(Buf, (size_t)N);
+  return true;
+}
+
+bool KvClient::readLine(std::string &Line) {
+  while (Fd >= 0) {
+    size_t Nl = RecvBuf.find('\n', RecvPos);
+    if (Nl != std::string::npos) {
+      Line.assign(RecvBuf, RecvPos, Nl - RecvPos);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      RecvPos = Nl + 1;
+      return true;
+    }
+    if (!fill())
+      return false;
+  }
+  return false;
+}
+
+bool KvClient::readBlock(size_t N, std::string &Out) {
+  while (Fd >= 0 && RecvBuf.size() - RecvPos < N + 1)
+    if (!fill())
+      return false;
+  if (Fd < 0)
+    return false;
+  Out.assign(RecvBuf, RecvPos, N);
+  RecvPos += N;
+  if (RecvBuf[RecvPos] != '\n') {
+    close();
+    return false;
+  }
+  ++RecvPos;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline mode
+//===----------------------------------------------------------------------===//
+
+void KvClient::sendGet(uint64_t Key) { appendGet(SendBuf, Key); }
+
+void KvClient::sendSet(uint64_t Key, std::string_view Val) {
+  appendSet(SendBuf, Key, Val);
+}
+
+void KvClient::sendMset(
+    const std::vector<std::pair<uint64_t, std::string>> &Pairs) {
+  appendMset(SendBuf, Pairs);
+}
+
+bool KvClient::flush() {
+  if (Fd < 0)
+    return false;
+  bool Ok = writeAll(SendBuf.data(), SendBuf.size());
+  SendBuf.clear();
+  return Ok;
+}
+
+KvStatus KvClient::recvStatus() {
+  std::string Line;
+  if (!readLine(Line))
+    return KvStatus::Err;
+  return parseStatusLine(Line);
+}
+
+KvStatus KvClient::recvValue(std::string &Out) {
+  std::string Line;
+  if (!readLine(Line))
+    return KvStatus::Err;
+  if (Line.rfind("VALUE ", 0) == 0) {
+    size_t Len = std::strtoull(Line.c_str() + 6, nullptr, 10);
+    if (!readBlock(Len, Out))
+      return KvStatus::Err;
+    return KvStatus::Ok;
+  }
+  return parseStatusLine(Line);
+}
+
+bool KvClient::recvStatuses(size_t N, std::vector<KvStatus> &Statuses) {
+  std::string Line;
+  if (!readLine(Line) || Line.rfind("STATUSES ", 0) != 0)
+    return false;
+  if (std::strtoull(Line.c_str() + 9, nullptr, 10) != N)
+    return false;
+  Statuses.clear();
+  Statuses.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    if (!readLine(Line))
+      return false;
+    Statuses.push_back(parseStatusLine(Line));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronous operations
+//===----------------------------------------------------------------------===//
+
+KvStatus KvClient::get(uint64_t Key, std::string &Out) {
+  sendGet(Key);
+  if (!flush())
+    return KvStatus::Err;
+  return recvValue(Out);
+}
+
+KvStatus KvClient::set(uint64_t Key, std::string_view Val) {
+  sendSet(Key, Val);
+  if (!flush())
+    return KvStatus::Err;
+  return recvStatus();
+}
+
+KvStatus KvClient::del(uint64_t Key) {
+  appendDel(SendBuf, Key);
+  if (!flush())
+    return KvStatus::Err;
+  return recvStatus();
+}
+
+KvStatus KvClient::cas(uint64_t Key, std::string_view Expect,
+                       std::string_view Desired) {
+  appendCas(SendBuf, Key, Expect, Desired);
+  if (!flush())
+    return KvStatus::Err;
+  return recvStatus();
+}
+
+bool KvClient::mget(const std::vector<uint64_t> &Keys,
+                    std::vector<std::pair<KvStatus, std::string>> &Out) {
+  appendMget(SendBuf, Keys);
+  if (!flush())
+    return false;
+  std::string Line;
+  if (!readLine(Line) || Line.rfind("VALUES ", 0) != 0)
+    return false;
+  if (std::strtoull(Line.c_str() + 7, nullptr, 10) != Keys.size())
+    return false;
+  Out.clear();
+  Out.resize(Keys.size());
+  for (size_t I = 0; I != Keys.size(); ++I)
+    Out[I].first = recvValue(Out[I].second);
+  return connected();
+}
+
+bool KvClient::mset(
+    const std::vector<std::pair<uint64_t, std::string>> &Pairs,
+    std::vector<KvStatus> &Statuses) {
+  sendMset(Pairs);
+  if (!flush())
+    return false;
+  return recvStatuses(Pairs.size(), Statuses);
+}
+
+bool KvClient::ping() {
+  SendBuf += "PING\n";
+  if (!flush())
+    return false;
+  std::string Line;
+  return readLine(Line) && Line == "PONG";
+}
+
+void KvClient::quit() {
+  if (Fd < 0)
+    return;
+  SendBuf += "QUIT\n";
+  flush();
+  std::string Line;
+  readLine(Line);
+  close();
+}

@@ -1,0 +1,83 @@
+//===- kv/KvClient.h - Minimal blocking KV client --------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the kv/KvProtocol.h line protocol: one
+/// TCP connection, synchronous request/response, plus an explicit
+/// pipeline mode (sendMset/sendSet + recv*) used by the load generator to
+/// keep many requests in flight per connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_KV_KVCLIENT_H
+#define CRAFTY_KV_KVCLIENT_H
+
+#include "kv/KvProtocol.h"
+
+#include <string>
+#include <vector>
+
+namespace crafty {
+namespace kv {
+
+class KvClient {
+public:
+  KvClient() = default;
+  ~KvClient() { close(); }
+  KvClient(const KvClient &) = delete;
+  KvClient &operator=(const KvClient &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port. Returns false on failure.
+  bool connect(uint16_t Port);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  // Synchronous operations; KvStatus::Err also covers transport failure.
+  KvStatus get(uint64_t Key, std::string &Out);
+  KvStatus set(uint64_t Key, std::string_view Val);
+  KvStatus del(uint64_t Key);
+  KvStatus cas(uint64_t Key, std::string_view Expect,
+               std::string_view Desired);
+  /// MGET; \p Out receives one result per key. False on transport error.
+  bool mget(const std::vector<uint64_t> &Keys,
+            std::vector<std::pair<KvStatus, std::string>> &Out);
+  /// Batched MSET; returns per-pair statuses. False on transport error.
+  bool mset(const std::vector<std::pair<uint64_t, std::string>> &Pairs,
+            std::vector<KvStatus> &Statuses);
+  bool ping();
+  void quit();
+
+  // Pipeline mode: queue requests, flush, then collect responses in
+  // order with the matching recv call per queued request.
+  void sendGet(uint64_t Key);
+  void sendSet(uint64_t Key, std::string_view Val);
+  void sendMset(const std::vector<std::pair<uint64_t, std::string>> &Pairs);
+  /// Queues raw bytes (tests: exercise the server's malformed-input path).
+  void sendRaw(std::string_view Bytes) { SendBuf.append(Bytes); }
+  bool flush();
+  KvStatus recvStatus();
+  KvStatus recvValue(std::string &Out);
+  bool recvStatuses(size_t N, std::vector<KvStatus> &Statuses);
+
+private:
+  bool writeAll(const char *Data, size_t Len);
+  /// Reads until a '\n'-terminated line is buffered; false on EOF/error.
+  bool readLine(std::string &Line);
+  /// Reads exactly \p N payload bytes plus the '\n' terminator.
+  bool readBlock(size_t N, std::string &Out);
+  bool fill();
+
+  int Fd = -1;
+  std::string SendBuf;
+  std::string RecvBuf;
+  size_t RecvPos = 0;
+};
+
+} // namespace kv
+} // namespace crafty
+
+#endif // CRAFTY_KV_KVCLIENT_H

@@ -1,0 +1,300 @@
+//===- kv/KvProtocol.cpp - KV wire protocol -------------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvProtocol.h"
+
+#include <cstring>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+namespace {
+
+/// Hard cap on any length field: a malformed line must not make the
+/// server buffer gigabytes waiting for a block that never arrives.
+constexpr uint64_t MaxBlockBytes = 1 << 20;
+constexpr uint64_t MaxMultiKeys = 1 << 16;
+
+/// Splits the token up to the next space (or end) off the front of \p S.
+std::string_view nextToken(std::string_view &S) {
+  size_t B = 0;
+  while (B != S.size() && S[B] == ' ')
+    ++B;
+  size_t E = B;
+  while (E != S.size() && S[E] != ' ')
+    ++E;
+  std::string_view Tok = S.substr(B, E - B);
+  S.remove_prefix(E);
+  return Tok;
+}
+
+bool parseU64(std::string_view Tok, uint64_t &Out) {
+  if (Tok.empty() || Tok.size() > 20)
+    return false;
+  uint64_t V = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t D = (uint64_t)(C - '0');
+    if (V > (~0ull - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[21];
+  int N = std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  Out.append(Buf, (size_t)N);
+}
+
+/// Consumes a length-prefixed block of \p Len bytes plus its '\n'
+/// terminator starting at \p Pos. Returns Ok/NeedMore/Malformed.
+ParseResult::Kind takeBlock(std::string_view Buf, size_t &Pos, uint64_t Len,
+                            std::string &Out) {
+  if (Len > MaxBlockBytes)
+    return ParseResult::Malformed;
+  if (Buf.size() - Pos < Len + 1)
+    return ParseResult::NeedMore;
+  Out.assign(Buf.data() + Pos, Len);
+  Pos += Len;
+  if (Buf[Pos] != '\n')
+    return ParseResult::Malformed;
+  ++Pos;
+  return ParseResult::Ok;
+}
+
+/// Finds the '\n'-terminated line starting at \p Pos; NeedMore if it has
+/// not fully arrived.
+ParseResult::Kind takeLine(std::string_view Buf, size_t &Pos,
+                           std::string_view &Line) {
+  size_t Nl = Buf.find('\n', Pos);
+  if (Nl == std::string_view::npos)
+    return Buf.size() - Pos > 4096 ? ParseResult::Malformed
+                                   : ParseResult::NeedMore;
+  Line = Buf.substr(Pos, Nl - Pos);
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  Pos = Nl + 1;
+  return ParseResult::Ok;
+}
+
+} // namespace
+
+ParseResult kv::parseRequest(std::string_view Buf, KvRequest &Out) {
+  Out = KvRequest();
+  size_t Pos = 0;
+  std::string_view Line;
+  ParseResult::Kind K = takeLine(Buf, Pos, Line);
+  if (K != ParseResult::Ok)
+    return {K, 0};
+
+  std::string_view Rest = Line;
+  std::string_view Cmd = nextToken(Rest);
+  auto Done = [&]() -> ParseResult {
+    return {ParseResult::Ok, Pos};
+  };
+  auto Fail = []() -> ParseResult { return {ParseResult::Malformed, 0}; };
+
+  if (Cmd == "GET" || Cmd == "DEL") {
+    if (!parseU64(nextToken(Rest), Out.Key) || !nextToken(Rest).empty())
+      return Fail();
+    Out.Op = Cmd == "GET" ? KvOp::Get : KvOp::Del;
+    return Done();
+  }
+  if (Cmd == "SET") {
+    uint64_t Len = 0;
+    if (!parseU64(nextToken(Rest), Out.Key) ||
+        !parseU64(nextToken(Rest), Len) || !nextToken(Rest).empty())
+      return Fail();
+    K = takeBlock(Buf, Pos, Len, Out.Val);
+    if (K != ParseResult::Ok)
+      return {K, 0};
+    Out.Op = KvOp::Set;
+    return Done();
+  }
+  if (Cmd == "CAS") {
+    uint64_t ELen = 0, DLen = 0;
+    if (!parseU64(nextToken(Rest), Out.Key) ||
+        !parseU64(nextToken(Rest), ELen) ||
+        !parseU64(nextToken(Rest), DLen) || !nextToken(Rest).empty())
+      return Fail();
+    if (ELen > MaxBlockBytes || DLen > MaxBlockBytes)
+      return Fail();
+    // Both blocks share one terminator: <expect><desired>\n.
+    if (Buf.size() - Pos < ELen + DLen + 1)
+      return {ParseResult::NeedMore, 0};
+    Out.Expect.assign(Buf.data() + Pos, ELen);
+    Out.Val.assign(Buf.data() + Pos + ELen, DLen);
+    Pos += ELen + DLen;
+    if (Buf[Pos] != '\n')
+      return Fail();
+    ++Pos;
+    Out.Op = KvOp::Cas;
+    return Done();
+  }
+  if (Cmd == "MGET") {
+    uint64_t N = 0;
+    if (!parseU64(nextToken(Rest), N) || N > MaxMultiKeys)
+      return Fail();
+    Out.Keys.reserve(N);
+    for (uint64_t I = 0; I != N; ++I) {
+      uint64_t Key = 0;
+      if (!parseU64(nextToken(Rest), Key))
+        return Fail();
+      Out.Keys.push_back(Key);
+    }
+    if (!nextToken(Rest).empty())
+      return Fail();
+    Out.Op = KvOp::Mget;
+    return Done();
+  }
+  if (Cmd == "MSET") {
+    uint64_t N = 0;
+    if (!parseU64(nextToken(Rest), N) || N > MaxMultiKeys ||
+        !nextToken(Rest).empty())
+      return Fail();
+    Out.Pairs.reserve(N);
+    for (uint64_t I = 0; I != N; ++I) {
+      std::string_view ItemLine;
+      K = takeLine(Buf, Pos, ItemLine);
+      if (K != ParseResult::Ok)
+        return {K, 0};
+      uint64_t Key = 0, Len = 0;
+      std::string_view ItemRest = ItemLine;
+      if (!parseU64(nextToken(ItemRest), Key) ||
+          !parseU64(nextToken(ItemRest), Len) ||
+          !nextToken(ItemRest).empty())
+        return Fail();
+      std::string Val;
+      K = takeBlock(Buf, Pos, Len, Val);
+      if (K != ParseResult::Ok)
+        return {K, 0};
+      Out.Pairs.emplace_back(Key, std::move(Val));
+    }
+    Out.Op = KvOp::Mset;
+    return Done();
+  }
+  if (Cmd == "PING" && Rest.empty()) {
+    Out.Op = KvOp::Ping;
+    return Done();
+  }
+  if (Cmd == "QUIT" && Rest.empty()) {
+    Out.Op = KvOp::Quit;
+    return Done();
+  }
+  return Fail();
+}
+
+void kv::appendStatus(std::string &Out, KvStatus S) {
+  Out += kvStatusName(S);
+  Out += '\n';
+}
+
+void kv::appendValue(std::string &Out, std::string_view Val) {
+  Out += "VALUE ";
+  appendU64(Out, Val.size());
+  Out += '\n';
+  Out.append(Val.data(), Val.size());
+  Out += '\n';
+}
+
+void kv::appendNotFound(std::string &Out) { Out += "NOTFOUND\n"; }
+
+void kv::appendValuesHeader(std::string &Out, size_t K) {
+  Out += "VALUES ";
+  appendU64(Out, K);
+  Out += '\n';
+}
+
+void kv::appendStatusesHeader(std::string &Out, size_t K) {
+  Out += "STATUSES ";
+  appendU64(Out, K);
+  Out += '\n';
+}
+
+void kv::appendPong(std::string &Out) { Out += "PONG\n"; }
+
+void kv::appendProtocolError(std::string &Out) { Out += "ERR proto\n"; }
+
+void kv::appendGet(std::string &Out, uint64_t Key) {
+  Out += "GET ";
+  appendU64(Out, Key);
+  Out += '\n';
+}
+
+void kv::appendSet(std::string &Out, uint64_t Key, std::string_view Val) {
+  Out += "SET ";
+  appendU64(Out, Key);
+  Out += ' ';
+  appendU64(Out, Val.size());
+  Out += '\n';
+  Out.append(Val.data(), Val.size());
+  Out += '\n';
+}
+
+void kv::appendDel(std::string &Out, uint64_t Key) {
+  Out += "DEL ";
+  appendU64(Out, Key);
+  Out += '\n';
+}
+
+void kv::appendCas(std::string &Out, uint64_t Key, std::string_view Expect,
+                   std::string_view Desired) {
+  Out += "CAS ";
+  appendU64(Out, Key);
+  Out += ' ';
+  appendU64(Out, Expect.size());
+  Out += ' ';
+  appendU64(Out, Desired.size());
+  Out += '\n';
+  Out.append(Expect.data(), Expect.size());
+  Out.append(Desired.data(), Desired.size());
+  Out += '\n';
+}
+
+void kv::appendMget(std::string &Out, const std::vector<uint64_t> &Keys) {
+  Out += "MGET ";
+  appendU64(Out, Keys.size());
+  for (uint64_t K : Keys) {
+    Out += ' ';
+    appendU64(Out, K);
+  }
+  Out += '\n';
+}
+
+void kv::appendMset(
+    std::string &Out,
+    const std::vector<std::pair<uint64_t, std::string>> &Pairs) {
+  Out += "MSET ";
+  appendU64(Out, Pairs.size());
+  Out += '\n';
+  for (const auto &[Key, Val] : Pairs) {
+    appendU64(Out, Key);
+    Out += ' ';
+    appendU64(Out, Val.size());
+    Out += '\n';
+    Out.append(Val.data(), Val.size());
+    Out += '\n';
+  }
+}
+
+KvStatus kv::parseStatusLine(std::string_view Line) {
+  if (Line == "OK")
+    return KvStatus::Ok;
+  if (Line == "NOTFOUND")
+    return KvStatus::NotFound;
+  if (Line == "MISMATCH")
+    return KvStatus::Mismatch;
+  if (Line == "ERR full")
+    return KvStatus::Full;
+  if (Line == "ERR toobig")
+    return KvStatus::TooBig;
+  return KvStatus::Err;
+}

@@ -1,0 +1,96 @@
+//===- kv/KvProtocol.h - KV wire protocol ----------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RESP-like line protocol spoken between KvServer and KvClient over
+/// loopback TCP. Commands are a text line terminated by '\n'; values are
+/// length-prefixed byte blocks (so they may contain any bytes, newlines
+/// included), each followed by a '\n' terminator byte:
+///
+///   GET <key>                      -> VALUE <n>\n<bytes>\n | NOTFOUND
+///   SET <key> <n>\n<bytes>\n       -> OK | ERR full | ERR toobig
+///   DEL <key>                      -> OK | NOTFOUND
+///   CAS <key> <en> <dn>\n<e><d>\n  -> OK | MISMATCH | NOTFOUND
+///   MGET <k> <key>*k               -> VALUES <k>\n then k of
+///                                     VALUE <n>\n<bytes>\n | NOTFOUND\n
+///   MSET <k>\n then k of
+///        <key> <n>\n<bytes>\n      -> STATUSES <k>\n then k status lines
+///   PING                           -> PONG
+///   QUIT                           -> OK (server closes after flushing)
+///
+/// Keys are decimal uint64. The parser is incremental: it consumes
+/// complete requests from a connection's read buffer and reports
+/// NeedMore for partial ones, so request framing is independent of how
+/// the bytes arrive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_KV_KVPROTOCOL_H
+#define CRAFTY_KV_KVPROTOCOL_H
+
+#include "kv/KvTypes.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crafty {
+namespace kv {
+
+enum class KvOp : uint8_t { Get, Set, Del, Cas, Mget, Mset, Ping, Quit };
+
+/// One parsed request.
+struct KvRequest {
+  KvOp Op = KvOp::Ping;
+  uint64_t Key = 0;
+  std::string Val;    // SET payload / CAS desired value.
+  std::string Expect; // CAS expected value.
+  std::vector<uint64_t> Keys;                           // MGET.
+  std::vector<std::pair<uint64_t, std::string>> Pairs;  // MSET.
+};
+
+/// Outcome of one parse attempt over the front of a read buffer.
+struct ParseResult {
+  enum Kind : uint8_t {
+    Ok,       ///< One request parsed; Consumed bytes are spent.
+    NeedMore, ///< The buffer holds a prefix of a request; read more.
+    Malformed ///< The buffer front is not a valid request.
+  };
+  Kind St = NeedMore;
+  size_t Consumed = 0;
+};
+
+/// Parses one request from the front of \p Buf into \p Out.
+ParseResult parseRequest(std::string_view Buf, KvRequest &Out);
+
+// Response formatting (appends to an output buffer).
+void appendStatus(std::string &Out, KvStatus S);
+void appendValue(std::string &Out, std::string_view Val);
+void appendNotFound(std::string &Out);
+void appendValuesHeader(std::string &Out, size_t K);
+void appendStatusesHeader(std::string &Out, size_t K);
+void appendPong(std::string &Out);
+void appendProtocolError(std::string &Out);
+
+// Request formatting (client side).
+void appendGet(std::string &Out, uint64_t Key);
+void appendSet(std::string &Out, uint64_t Key, std::string_view Val);
+void appendDel(std::string &Out, uint64_t Key);
+void appendCas(std::string &Out, uint64_t Key, std::string_view Expect,
+               std::string_view Desired);
+void appendMget(std::string &Out, const std::vector<uint64_t> &Keys);
+void appendMset(std::string &Out,
+                const std::vector<std::pair<uint64_t, std::string>> &Pairs);
+
+/// Parses a status line (without the '\n') back into a KvStatus;
+/// KvStatus::Err for anything unrecognized.
+KvStatus parseStatusLine(std::string_view Line);
+
+} // namespace kv
+} // namespace crafty
+
+#endif // CRAFTY_KV_KVPROTOCOL_H

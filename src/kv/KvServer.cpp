@@ -1,0 +1,447 @@
+//===- kv/KvServer.cpp - Networked KV front end ---------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvServer.h"
+
+#include "support/Compiler.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+namespace {
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+KvServer::KvServer(KvStore &Store, const KvServerConfig &Cfg)
+    : Store(Store), Cfg(Cfg) {
+  if (Store.config().ThreadsPerShard < Store.numShards())
+    fatalError("KvServer: the store needs ThreadsPerShard >= numShards so "
+               "each worker owns a Tid on every shard");
+}
+
+KvServer::~KvServer() { stop(); }
+
+void KvServer::start() {
+  if (Started.exchange(true))
+    return;
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    fatalError("KvServer: socket() failed");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Cfg.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0)
+    fatalError("KvServer: bind() failed");
+  socklen_t AddrLen = sizeof(Addr);
+  ::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen);
+  BoundPort = ntohs(Addr.sin_port);
+  if (::listen(ListenFd, Cfg.ListenBacklog) < 0)
+    fatalError("KvServer: listen() failed");
+  setNonBlocking(ListenFd);
+
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (EpollFd < 0 || WakeFd < 0)
+    fatalError("KvServer: epoll/eventfd setup failed");
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = ListenFd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
+  Ev.data.fd = WakeFd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+
+  // Populate Workers fully before spawning any thread: workerLoop indexes
+  // the vector, and a later push_back would reallocate it under a running
+  // worker.
+  for (unsigned W = 0; W != Store.numShards(); ++W)
+    Workers.push_back(std::make_unique<Worker>());
+  for (unsigned W = 0; W != Store.numShards(); ++W)
+    Workers[W]->Thread = std::thread([this, W] { workerLoop(W); });
+  IoThread = std::thread([this] { ioLoop(); });
+}
+
+void KvServer::stop() {
+  if (!Started.load() || Stopping.exchange(true))
+    return;
+  // Workers first: they drain their queues and post their last
+  // completions; the IO thread then flushes everything and exits.
+  for (auto &W : Workers)
+    W->Cv.notify_all();
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+  uint64_t One = 1;
+  (void)!::write(WakeFd, &One, sizeof(One));
+  if (IoThread.joinable())
+    IoThread.join();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  ListenFd = EpollFd = WakeFd = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// IO thread
+//===----------------------------------------------------------------------===//
+
+void KvServer::ioLoop() {
+  std::vector<epoll_event> Events(64);
+  while (true) {
+    int N = ::epoll_wait(EpollFd, Events.data(), (int)Events.size(), 100);
+    if (N < 0 && errno != EINTR)
+      break;
+    for (int I = 0; I < N; ++I) {
+      int Fd = Events[I].data.fd;
+      uint32_t Mask = Events[I].events;
+      if (Fd == WakeFd) {
+        uint64_t Junk;
+        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0)
+          ;
+        drainCompletions();
+        continue;
+      }
+      if (Fd == ListenFd) {
+        acceptReady();
+        continue;
+      }
+      auto It = Conns.find(Fd);
+      if (It == Conns.end())
+        continue;
+      std::shared_ptr<Conn> C = It->second;
+      if (Mask & (EPOLLHUP | EPOLLERR)) {
+        closeConn(C);
+        continue;
+      }
+      if (Mask & EPOLLIN)
+        readReady(C);
+      if (!C->Closed.load(std::memory_order_relaxed) && (Mask & EPOLLOUT))
+        writeReady(C);
+    }
+    if (Stopping.load(std::memory_order_acquire)) {
+      // Workers are joined before the wake that lands us here, so every
+      // completion is already posted; deliver them, flush, and leave.
+      drainCompletions();
+      for (auto &[Fd, C] : Conns) {
+        int Spins = 0;
+        while (!C->Closed.load(std::memory_order_relaxed) &&
+               !C->OutBuf.empty() && Spins++ < 100) {
+          writeReady(C);
+          if (!C->OutBuf.empty()) {
+            pollfd P{C->Fd, POLLOUT, 0};
+            ::poll(&P, 1, 50);
+          }
+        }
+        if (!C->Closed.load(std::memory_order_relaxed)) {
+          ::close(C->Fd);
+          C->Closed.store(true, std::memory_order_relaxed);
+        }
+      }
+      Conns.clear();
+      return;
+    }
+  }
+}
+
+void KvServer::acceptReady() {
+  while (true) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return;
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+    Conns[Fd] = std::move(C);
+  }
+}
+
+void KvServer::readReady(const std::shared_ptr<Conn> &C) {
+  char Buf[16384];
+  while (true) {
+    ssize_t N = ::recv(C->Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C->In.append(Buf, (size_t)N);
+      if (C->In.size() > Cfg.MaxBufferedBytes)
+        return closeConn(C);
+      continue;
+    }
+    if (N == 0)
+      return closeConn(C);
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    return closeConn(C);
+  }
+  // Frame and dispatch every complete request at the buffer front.
+  size_t Off = 0;
+  while (Off < C->In.size()) {
+    KvRequest Req;
+    ParseResult R = parseRequest(
+        std::string_view(C->In).substr(Off), Req);
+    if (R.St == ParseResult::NeedMore)
+      break;
+    if (R.St == ParseResult::Malformed) {
+      uint64_t Seq = C->NextSeq++;
+      std::string Resp;
+      appendProtocolError(Resp);
+      Completion Comp{C, Seq, std::move(Resp), /*CloseAfter=*/true};
+      deliver(Comp);
+      C->In.clear();
+      return;
+    }
+    Off += R.Consumed;
+    dispatch(C, std::move(Req));
+  }
+  C->In.erase(0, Off);
+}
+
+void KvServer::dispatch(const std::shared_ptr<Conn> &C, KvRequest &&Req) {
+  uint64_t Seq = C->NextSeq++;
+  if (Req.Op == KvOp::Ping || Req.Op == KvOp::Quit) {
+    std::string Resp;
+    if (Req.Op == KvOp::Ping)
+      appendPong(Resp);
+    else
+      appendStatus(Resp, KvStatus::Ok);
+    Served.fetch_add(1, std::memory_order_relaxed);
+    Completion Comp{C, Seq, std::move(Resp), Req.Op == KvOp::Quit};
+    deliver(Comp);
+    return;
+  }
+  unsigned W = 0;
+  switch (Req.Op) {
+  case KvOp::Get:
+  case KvOp::Set:
+  case KvOp::Del:
+  case KvOp::Cas:
+    W = Store.shardOf(Req.Key);
+    break;
+  case KvOp::Mget:
+    W = Req.Keys.empty() ? 0 : Store.shardOf(Req.Keys[0]);
+    break;
+  case KvOp::Mset:
+    W = Req.Pairs.empty() ? 0 : Store.shardOf(Req.Pairs[0].first);
+    break;
+  default:
+    break;
+  }
+  Worker &Wk = *Workers[W];
+  {
+    std::lock_guard<std::mutex> Lk(Wk.Mu);
+    Wk.Queue.push_back(Work{C, Seq, std::move(Req)});
+  }
+  Wk.Cv.notify_one();
+}
+
+void KvServer::writeReady(const std::shared_ptr<Conn> &C) {
+  while (!C->OutBuf.empty()) {
+    ssize_t N = ::send(C->Fd, C->OutBuf.data(), C->OutBuf.size(),
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      C->OutBuf.erase(0, (size_t)N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    return closeConn(C);
+  }
+  if (C->OutBuf.empty() && C->CloseAfterFlush)
+    return closeConn(C);
+  updateWriteInterest(*C);
+}
+
+void KvServer::updateWriteInterest(Conn &C) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN | (C.OutBuf.empty() ? 0u : (uint32_t)EPOLLOUT);
+  Ev.data.fd = C.Fd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+void KvServer::deliver(Completion &Comp) {
+  Conn &C = *Comp.C;
+  if (C.Closed.load(std::memory_order_relaxed))
+    return;
+  C.Ready.emplace(Comp.Seq, std::move(Comp.Resp));
+  if (Comp.CloseAfter)
+    C.CloseAfterSeq = Comp.Seq;
+  // Transmit strictly in request order.
+  for (auto It = C.Ready.begin();
+       It != C.Ready.end() && It->first == C.NextSend;
+       It = C.Ready.erase(It), ++C.NextSend) {
+    C.OutBuf += It->second;
+    if (C.CloseAfterSeq == It->first)
+      C.CloseAfterFlush = true;
+  }
+  writeReady(Comp.C);
+}
+
+void KvServer::drainCompletions() {
+  std::vector<Completion> Batch;
+  {
+    std::lock_guard<std::mutex> Lk(CompMu);
+    Batch.swap(Completions);
+  }
+  for (Completion &Comp : Batch)
+    deliver(Comp);
+}
+
+void KvServer::closeConn(const std::shared_ptr<Conn> &C) {
+  if (C->Closed.exchange(true, std::memory_order_relaxed))
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
+  ::close(C->Fd);
+  Conns.erase(C->Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void KvServer::postCompletion(Completion &&Comp) {
+  {
+    std::lock_guard<std::mutex> Lk(CompMu);
+    Completions.push_back(std::move(Comp));
+  }
+  uint64_t One = 1;
+  (void)!::write(WakeFd, &One, sizeof(One));
+}
+
+void KvServer::workerLoop(unsigned W) {
+  Worker &Wk = *Workers[W];
+  std::vector<Work> Batch;
+  std::vector<bool> Touched(Store.numShards(), false);
+  while (true) {
+    Batch.clear();
+    {
+      std::unique_lock<std::mutex> Lk(Wk.Mu);
+      Wk.Cv.wait(Lk, [&] {
+        return !Wk.Queue.empty() || Stopping.load(std::memory_order_acquire);
+      });
+      if (Wk.Queue.empty() && Stopping.load(std::memory_order_acquire))
+        return;
+      Batch.swap(Wk.Queue);
+    }
+    // Execute the whole drained batch, then make it durable with one
+    // persist barrier per touched shard, then publish every response:
+    // group commit -- no acknowledgement precedes durability.
+    std::fill(Touched.begin(), Touched.end(), false);
+    std::vector<Completion> Comps;
+    Comps.reserve(Batch.size());
+    for (Work &Item : Batch) {
+      std::string Resp;
+      execute(W, Item.Req, Resp, Touched);
+      Comps.push_back(Completion{std::move(Item.C), Item.Seq,
+                                 std::move(Resp), false});
+    }
+    for (unsigned S = 0; S != Touched.size(); ++S)
+      if (Touched[S])
+        Store.shard(S).persistAck(W);
+    Served.fetch_add(Comps.size(), std::memory_order_relaxed);
+    for (Completion &Comp : Comps)
+      postCompletion(std::move(Comp));
+  }
+}
+
+void KvServer::execute(unsigned W, const KvRequest &Req, std::string &Resp,
+                       std::vector<bool> &Touched) {
+  switch (Req.Op) {
+  case KvOp::Get: {
+    std::string Val;
+    KvStatus St = Store.get(W, Req.Key, Val);
+    if (St == KvStatus::Ok)
+      appendValue(Resp, Val);
+    else
+      appendStatus(Resp, St);
+    break;
+  }
+  case KvOp::Set: {
+    KvStatus St = Store.set(W, Req.Key, Req.Val);
+    if (St == KvStatus::Ok)
+      Touched[Store.shardOf(Req.Key)] = true;
+    appendStatus(Resp, St);
+    break;
+  }
+  case KvOp::Del: {
+    KvStatus St = Store.del(W, Req.Key);
+    if (St == KvStatus::Ok)
+      Touched[Store.shardOf(Req.Key)] = true;
+    appendStatus(Resp, St);
+    break;
+  }
+  case KvOp::Cas: {
+    KvStatus St = Store.cas(W, Req.Key, Req.Expect, Req.Val);
+    if (St == KvStatus::Ok)
+      Touched[Store.shardOf(Req.Key)] = true;
+    appendStatus(Resp, St);
+    break;
+  }
+  case KvOp::Mget: {
+    std::vector<KvResult> Results = Store.mget(W, Req.Keys);
+    appendValuesHeader(Resp, Results.size());
+    for (const KvResult &R : Results) {
+      if (R.Status == KvStatus::Ok)
+        appendValue(Resp, R.Value);
+      else
+        appendNotFound(Resp);
+    }
+    break;
+  }
+  case KvOp::Mset: {
+    std::vector<KvBatchItem> Items;
+    Items.reserve(Req.Pairs.size());
+    for (const auto &[Key, Val] : Req.Pairs)
+      Items.push_back(KvBatchItem{Key, Val, KvStatus::Err});
+    // Durability comes from the group-commit barrier after the batch.
+    Store.msetBatch(W, Items, /*Durable=*/false);
+    appendStatusesHeader(Resp, Items.size());
+    for (const KvBatchItem &Item : Items) {
+      if (Item.Status == KvStatus::Ok)
+        Touched[Store.shardOf(Item.Key)] = true;
+      appendStatus(Resp, Item.Status);
+    }
+    break;
+  }
+  case KvOp::Ping:
+    appendPong(Resp);
+    break;
+  case KvOp::Quit:
+    appendStatus(Resp, KvStatus::Ok);
+    break;
+  }
+}

@@ -1,0 +1,163 @@
+//===- kv/KvServer.h - Networked KV front end ------------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The KV service front end: a loopback TCP server speaking the
+/// kv/KvProtocol.h line protocol over a KvStore.
+///
+/// Threading model:
+///
+///  - One IO thread runs an epoll event loop: accepts connections, reads
+///    into per-connection buffers, frames complete requests with the
+///    incremental parser, and writes queued responses (non-blocking, with
+///    per-connection output buffering and EPOLLOUT backpressure).
+///
+///  - One worker thread per shard executes transactions. A request is
+///    dispatched to the worker of its key's shard (multi-key requests to
+///    the first key's shard worker); worker W uses transaction context
+///    Tid = W on every shard it touches, so contexts are never shared
+///    (this is why the store must be built with ThreadsPerShard >= the
+///    shard count).
+///
+///  - Group commit: a worker drains its whole queue, executes every
+///    request, then runs ONE persist barrier per touched shard before
+///    publishing any response (writes are never acknowledged before they
+///    are durable; the barrier cost amortizes over the drained batch).
+///
+///  - Responses flow back to the IO thread through a completion queue +
+///    eventfd wakeup. Each connection's responses carry the request
+///    sequence number and are transmitted strictly in request order.
+///
+/// Shutdown is graceful: stop() closes the listener, lets workers drain
+/// their queues, flushes every connection's pending output, then joins
+/// all threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_KV_KVSERVER_H
+#define CRAFTY_KV_KVSERVER_H
+
+#include "kv/KvProtocol.h"
+#include "kv/KvStore.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crafty {
+namespace kv {
+
+struct KvServerConfig {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t Port = 0;
+  int ListenBacklog = 128;
+  /// Read-buffer bytes above which a connection is dropped as abusive.
+  size_t MaxBufferedBytes = 4 << 20;
+};
+
+class KvServer {
+public:
+  /// \p Store must be built with ThreadsPerShard >= numShards() (each
+  /// worker uses its own Tid on every shard) and outlive the server.
+  KvServer(KvStore &Store, const KvServerConfig &Cfg);
+  ~KvServer();
+  KvServer(const KvServer &) = delete;
+  KvServer &operator=(const KvServer &) = delete;
+
+  /// Binds, listens and launches the IO + worker threads.
+  void start();
+  /// Graceful shutdown: stop accepting, drain workers, flush and close
+  /// every connection, join all threads. Idempotent.
+  void stop();
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::string In;        // Unparsed request bytes.
+    std::string OutBuf;    // Bytes queued for transmission.
+    uint64_t NextSeq = 0;  // Next request sequence to assign.
+    uint64_t NextSend = 0; // Next sequence to transmit.
+    /// Out-of-order completions waiting for their turn (IO thread only).
+    std::map<uint64_t, std::string> Ready;
+    /// Sequence whose transmission should end the connection (QUIT /
+    /// protocol error), or ~0 for none.
+    uint64_t CloseAfterSeq = ~0ull;
+    bool CloseAfterFlush = false;
+    std::atomic<bool> Closed{false};
+  };
+
+  struct Work {
+    std::shared_ptr<Conn> C;
+    uint64_t Seq = 0;
+    KvRequest Req;
+  };
+
+  struct Completion {
+    std::shared_ptr<Conn> C;
+    uint64_t Seq = 0;
+    std::string Resp;
+    bool CloseAfter = false;
+  };
+
+  struct Worker {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    std::vector<Work> Queue;
+    std::thread Thread;
+  };
+
+  void ioLoop();
+  void workerLoop(unsigned W);
+  void execute(unsigned W, const KvRequest &Req, std::string &Resp,
+               std::vector<bool> &TouchedShards);
+  void dispatch(const std::shared_ptr<Conn> &C, KvRequest &&Req);
+  void postCompletion(Completion &&Comp);
+  void acceptReady();
+  void readReady(const std::shared_ptr<Conn> &C);
+  void writeReady(const std::shared_ptr<Conn> &C);
+  void deliver(Completion &Comp);
+  void drainCompletions();
+  void closeConn(const std::shared_ptr<Conn> &C);
+  void updateWriteInterest(Conn &C);
+
+  KvStore &Store;
+  KvServerConfig Cfg;
+  uint16_t BoundPort = 0;
+
+  int ListenFd = -1;
+  int EpollFd = -1;
+  int WakeFd = -1; // eventfd: completions posted / stop requested.
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Started{false};
+  std::atomic<uint64_t> Served{0};
+
+  std::thread IoThread;
+  std::vector<std::unique_ptr<Worker>> Workers;
+
+  std::mutex CompMu;
+  std::vector<Completion> Completions;
+
+  /// Live connections, keyed by fd (IO thread only).
+  std::map<int, std::shared_ptr<Conn>> Conns;
+};
+
+} // namespace kv
+} // namespace crafty
+
+#endif // CRAFTY_KV_KVSERVER_H

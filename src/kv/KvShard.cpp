@@ -1,0 +1,325 @@
+//===- kv/KvShard.cpp - One durable key-value shard -----------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvShard.h"
+
+#include "core/Crafty.h"
+#include "log/PoolLayout.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+namespace {
+
+/// Pool bytes a shard needs: header + undo logs (or baseline redo logs) +
+/// map + cells + freelist + slack for backend-internal carves.
+size_t poolBytesFor(const KvConfig &Cfg) {
+  size_t Cells = DurableHashMap::roundUpPow2(Cfg.SlotsPerShard);
+  size_t Kv = DurableHashMap::bytesFor(Cfg.SlotsPerShard) +
+              Cells * Cfg.cellBytes() + Cells * 8 + CacheLineBytes;
+  size_t Backend = 0;
+  switch (Cfg.Backend) {
+  case SystemKind::Crafty:
+  case SystemKind::CraftyNoValidate:
+  case SystemKind::CraftyNoRedo:
+    Backend = (size_t)Cfg.ThreadsPerShard * Cfg.LogEntriesPerThread *
+              UndoLogRegion::EntryBytes;
+    break;
+  case SystemKind::NvHtm:
+    Backend = (size_t)Cfg.ThreadsPerShard * (8 << 20);
+    break;
+  case SystemKind::DudeTm:
+    Backend = 16 << 20;
+    break;
+  case SystemKind::NonDurable:
+    break;
+  }
+  return Kv + Backend + (1 << 20); // Header + slack.
+}
+
+bool isCraftyKind(SystemKind K) {
+  return K == SystemKind::Crafty || K == SystemKind::CraftyNoValidate ||
+         K == SystemKind::CraftyNoRedo;
+}
+
+BackendOptions backendOptionsFor(const KvConfig &Cfg) {
+  BackendOptions BO;
+  BO.NumThreads = Cfg.ThreadsPerShard;
+  BO.LogEntriesPerThread = Cfg.LogEntriesPerThread;
+  BO.EnablePersistCheck = Cfg.EnablePersistCheck;
+  BO.EnableTxRaceCheck = Cfg.EnableTxRaceCheck;
+  return BO;
+}
+
+} // namespace
+
+KvShard::KvShard(const KvConfig &Cfg, unsigned ShardIdx)
+    : Cfg(Cfg), ShardIdx(ShardIdx), CellBytes(Cfg.cellBytes()),
+      NumCells(DurableHashMap::roundUpPow2(Cfg.SlotsPerShard)),
+      Stats(Cfg.ThreadsPerShard) {
+  PMemConfig PC;
+  PC.PoolBytes = poolBytesFor(Cfg);
+  PC.Mode = Cfg.Mode;
+  PC.DrainLatencyNs = Cfg.DrainLatencyNs;
+  PC.EvictionPerMillion = Cfg.EvictionPerMillion;
+  PC.EvictionSeed = Cfg.EvictionSeed + ShardIdx * 7919;
+  PC.MaxThreads = Cfg.ThreadsPerShard + 4;
+  if (!Cfg.DataDir.empty())
+    PC.BackingPath =
+        Cfg.DataDir + "/shard" + std::to_string(ShardIdx) + ".img";
+  Pool = std::make_unique<PMemPool>(PC);
+  if (Pool->attachedFromImage())
+    openAttached();
+  else
+    openFresh();
+}
+
+KvShard::~KvShard() = default;
+
+void KvShard::openFresh() {
+  Htm = std::make_unique<HtmRuntime>(HtmConfig{});
+  Backend = createBackend(Cfg.Backend, *Pool, *Htm, backendOptionsFor(Cfg));
+  carveKvRegions(/*Attach=*/false);
+}
+
+void KvShard::openAttached() {
+  if (!isCraftyKind(Cfg.Backend))
+    fatalError("KvShard: attaching to an existing image requires a Crafty "
+               "backend (undo-log recovery)");
+  LastRecovery = RecoveryObserver::recoverPool(*Pool);
+  if (!LastRecovery.HeaderValid)
+    fatalError("KvShard: image backing file holds no valid pool header");
+  // Undo-log entries hold virtual addresses of the mapping that wrote
+  // them; recovery translated the old ones, and entries written from now
+  // on must translate through *this* process's base.
+  auto *Header = reinterpret_cast<PoolHeader *>(Pool->base());
+  uint64_t NewBase = reinterpret_cast<uint64_t>(Pool->base());
+  Pool->persistDirect(&Header->MappedBase, &NewBase, sizeof(NewBase));
+  RecoveredOnOpen = true;
+  attachBackend();
+  // A fresh process's carve pointer starts at zero; advance it past the
+  // regions formatPool carved (header, undo logs; no heap, no arenas) so
+  // the KV regions re-carve at their formatted offsets.
+  void *H = Pool->carve(sizeof(PoolHeader));
+  Pool->carve((size_t)Cfg.ThreadsPerShard * Cfg.LogEntriesPerThread *
+              UndoLogRegion::EntryBytes);
+  if (H != Pool->base())
+    fatalError("KvShard: attach carve layout does not match the image");
+  carveKvRegions(/*Attach=*/true);
+}
+
+void KvShard::attachBackend() {
+  Htm = std::make_unique<HtmRuntime>(HtmConfig{});
+  CraftyConfig CC;
+  CC.NumThreads = Cfg.ThreadsPerShard;
+  CC.LogEntriesPerThread = Cfg.LogEntriesPerThread;
+  CC.DisableValidate = Cfg.Backend == SystemKind::CraftyNoValidate;
+  CC.DisableRedo = Cfg.Backend == SystemKind::CraftyNoRedo;
+  CC.EnablePersistCheck = Cfg.EnablePersistCheck;
+  CC.EnableTxRaceCheck = Cfg.EnableTxRaceCheck;
+  Backend = CraftyRuntime::attach(*Pool, *Htm, CC);
+}
+
+void KvShard::carveKvRegions(bool Attach) {
+  // Fixed carve order (format and attach must match): map, cells,
+  // freelist links, freelist head. The backend carved its own regions
+  // (header, logs) first in both paths.
+  Map = std::make_unique<DurableHashMap>(*Pool, Cfg.SlotsPerShard, Attach);
+  CellsBase = static_cast<uint8_t *>(Pool->carve(NumCells * CellBytes));
+  NextFree = static_cast<uint64_t *>(Pool->carve(NumCells * 8));
+  FreeHead = static_cast<uint64_t *>(Pool->carve(CacheLineBytes));
+  if (!Attach) {
+    // Chain every cell onto the freelist; setup-time direct persists.
+    std::vector<uint64_t> Links(NumCells);
+    for (size_t I = 0; I + 1 < NumCells; ++I)
+      Links[I] = I + 2;
+    Links[NumCells - 1] = 0;
+    Pool->persistDirect(NextFree, Links.data(), NumCells * 8);
+    uint64_t Head = 1;
+    Pool->persistDirect(FreeHead, &Head, sizeof(Head));
+  }
+}
+
+CraftyRuntime *KvShard::crafty() {
+  if (!isCraftyKind(Cfg.Backend))
+    return nullptr;
+  return static_cast<CraftyRuntime *>(Backend.get());
+}
+
+void KvShard::writeCellTx(TxnContext &Tx, uint64_t CellIdx,
+                          std::string_view Val) {
+  uint64_t *Cell = cellAt(CellIdx);
+  Tx.store(Cell, Val.size());
+  for (size_t W = 0; W * 8 < Val.size(); ++W) {
+    uint64_t Word = 0;
+    size_t N = std::min<size_t>(8, Val.size() - W * 8);
+    std::memcpy(&Word, Val.data() + W * 8, N);
+    Tx.store(Cell + 1 + W, Word);
+  }
+}
+
+bool KvShard::readCellTx(TxnContext &Tx, uint64_t CellIdx,
+                         std::string &Out) {
+  uint64_t *Cell = cellAt(CellIdx);
+  uint64_t Len = Tx.load(Cell);
+  if (Len > Cfg.MaxValueBytes)
+    return false;
+  Out.resize(Len);
+  for (size_t W = 0; W * 8 < Len; ++W) {
+    uint64_t Word = Tx.load(Cell + 1 + W);
+    size_t N = std::min<size_t>(8, Len - W * 8);
+    std::memcpy(Out.data() + W * 8, &Word, N);
+  }
+  return true;
+}
+
+KvStatus KvShard::setInTx(TxnContext &Tx, uint64_t Key,
+                          std::string_view Val) {
+  std::optional<uint64_t> Existing = Map->getTx(Tx, Key);
+  uint64_t CellIdx;
+  if (Existing) {
+    // Overwrite in place: transaction atomicity makes the partial states
+    // invisible, and no freelist traffic is needed.
+    CellIdx = *Existing;
+  } else {
+    uint64_t Head = Tx.load(FreeHead);
+    if (Head == 0)
+      return KvStatus::Full;
+    CellIdx = Head - 1;
+    Tx.store(FreeHead, Tx.load(&NextFree[CellIdx]));
+    if (!Map->putTx(Tx, Key, CellIdx)) {
+      // Table full: push the popped cell back and report recoverably.
+      Tx.store(&NextFree[CellIdx], Tx.load(FreeHead));
+      Tx.store(FreeHead, CellIdx + 1);
+      return KvStatus::Full;
+    }
+  }
+  writeCellTx(Tx, CellIdx, Val);
+  return KvStatus::Ok;
+}
+
+KvStatus KvShard::get(unsigned Tid, uint64_t Key, std::string &Out) {
+  KvStatus St = KvStatus::NotFound;
+  Backend->run(Tid, [&](TxnContext &Tx) {
+    St = KvStatus::NotFound; // Bodies may re-execute; restart clean.
+    Out.clear();
+    if (std::optional<uint64_t> Cell = Map->getTx(Tx, Key))
+      St = readCellTx(Tx, *Cell, Out) ? KvStatus::Ok : KvStatus::Err;
+  });
+  ++Stats[Tid].Gets;
+  ++(St == KvStatus::Ok ? Stats[Tid].Hits : Stats[Tid].Misses);
+  return St;
+}
+
+KvStatus KvShard::set(unsigned Tid, uint64_t Key, std::string_view Val) {
+  if (Val.size() > Cfg.MaxValueBytes)
+    return KvStatus::TooBig;
+  KvStatus St = KvStatus::Err;
+  Backend->run(Tid, [&](TxnContext &Tx) { St = setInTx(Tx, Key, Val); });
+  ++Stats[Tid].Sets;
+  return St;
+}
+
+KvStatus KvShard::del(unsigned Tid, uint64_t Key) {
+  KvStatus St = KvStatus::NotFound;
+  Backend->run(Tid, [&](TxnContext &Tx) {
+    St = KvStatus::NotFound;
+    std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
+    if (!Cell)
+      return;
+    Map->eraseTx(Tx, Key);
+    Tx.store(&NextFree[*Cell], Tx.load(FreeHead));
+    Tx.store(FreeHead, *Cell + 1);
+    St = KvStatus::Ok;
+  });
+  ++Stats[Tid].Dels;
+  return St;
+}
+
+KvStatus KvShard::cas(unsigned Tid, uint64_t Key, std::string_view Expect,
+                      std::string_view Desired) {
+  if (Desired.size() > Cfg.MaxValueBytes)
+    return KvStatus::TooBig;
+  KvStatus St = KvStatus::NotFound;
+  std::string Cur;
+  Backend->run(Tid, [&](TxnContext &Tx) {
+    St = KvStatus::NotFound;
+    std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
+    if (!Cell)
+      return;
+    if (!readCellTx(Tx, *Cell, Cur)) {
+      St = KvStatus::Err;
+      return;
+    }
+    if (Cur != Expect) {
+      St = KvStatus::Mismatch;
+      return;
+    }
+    writeCellTx(Tx, *Cell, Desired);
+    St = KvStatus::Ok;
+  });
+  ++Stats[Tid].Cas;
+  return St;
+}
+
+void KvShard::setBatch(unsigned Tid, KvBatchItem *Items, size_t N) {
+  size_t Limit = Cfg.BatchTxnLimit ? Cfg.BatchTxnLimit : 1;
+  for (size_t Begin = 0; Begin != N;) {
+    size_t End = std::min(N, Begin + Limit);
+    Backend->run(Tid, [&](TxnContext &Tx) {
+      for (size_t I = Begin; I != End; ++I) {
+        KvBatchItem &Item = Items[I];
+        Item.Status = Item.Val.size() > Cfg.MaxValueBytes
+                          ? KvStatus::TooBig
+                          : setInTx(Tx, Item.Key, Item.Val);
+      }
+    });
+    Stats[Tid].Sets += End - Begin;
+    Stats[Tid].BatchedSets += End - Begin;
+    Begin = End;
+  }
+}
+
+void KvShard::persistAck(unsigned Tid) {
+  if (CraftyRuntime *Rt = crafty())
+    Rt->persistBarrier(Tid);
+  // NV-HTM / DudeTM persist their redo log inside run(); Non-durable
+  // promises nothing. Neither needs (or has) an on-demand barrier.
+}
+
+void KvShard::simulateCrash() { Pool->crash(); }
+
+void KvShard::recoverInPlace() {
+  // The pool survives in place (same mapping, same carve offsets), so
+  // map/cell/freelist pointers stay valid; only the runtime state is
+  // rebuilt, exactly as a restarted process would attach.
+  Backend.reset();
+  LastRecovery = RecoveryObserver::recoverPool(*Pool);
+  attachBackend();
+}
+
+bool KvShard::peek(uint64_t Key, std::string &Out) const {
+  std::optional<uint64_t> Cell = Map->peek(Key);
+  if (!Cell)
+    return false;
+  const uint64_t *C = cellAt(*Cell);
+  uint64_t Len = C[0];
+  if (Len > Cfg.MaxValueBytes)
+    return false;
+  Out.assign(reinterpret_cast<const char *>(C + 1), Len);
+  return true;
+}
+
+KvOpStats KvShard::opStats() const {
+  KvOpStats S;
+  for (const KvOpStats &T : Stats)
+    S += T;
+  return S;
+}

@@ -1,0 +1,162 @@
+//===- kv/KvShard.h - One durable key-value shard --------------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard of the durable KV service: a PMemPool (optionally file-backed
+/// so it survives process death), an HtmRuntime, a persistent-transaction
+/// backend created through baselines::Factory (so Crafty and the baseline
+/// systems are comparable end-to-end), a pds::DurableHashMap from keys to
+/// value-cell indices, and a persistent value-cell arena with a
+/// transactional freelist.
+///
+/// Every mutation is one persistent transaction: the map update, the cell
+/// bytes and the freelist manipulation commit or vanish together, so a
+/// crash never exposes a torn value or a leaked cell. Overwrites reuse the
+/// existing cell in place (transactional atomicity makes that safe);
+/// inserts pop a cell from the freelist and deletes push it back, all
+/// inside the same transaction as the map update -- which is what makes
+/// recovery free: rolling back the undo log restores map, cells and
+/// freelist to one consistent snapshot, with no allocator rebuild.
+///
+/// Durability of acknowledgements is explicit: commit alone does not make
+/// a Crafty transaction durable (recovery may roll back a tail of
+/// committed transactions, bounded by MAX_LAG). persistAck() runs the
+/// on-demand persist barrier; the server calls it once per drained batch
+/// of requests before acknowledging any of them (group commit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_KV_KVSHARD_H
+#define CRAFTY_KV_KVSHARD_H
+
+#include "kv/KvTypes.h"
+#include "pds/DurableHashMap.h"
+#include "recovery/Recovery.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crafty {
+
+class CraftyRuntime;
+class HtmRuntime;
+
+namespace kv {
+
+/// One SET of a batched per-shard pipeline; Status is filled in by
+/// setBatch.
+struct KvBatchItem {
+  uint64_t Key = 0;
+  std::string_view Val;
+  KvStatus Status = KvStatus::Err;
+};
+
+class KvShard {
+public:
+  /// Opens shard \p ShardIdx under \p Cfg. With a DataDir configured and
+  /// an existing image file, the shard *attaches*: the undo logs in the
+  /// image are replayed (recovery observer), the runtime re-attaches to
+  /// the recovered pool, and the map adopts the surviving layout. A fresh
+  /// shard is formatted and its freelist initialized.
+  KvShard(const KvConfig &Cfg, unsigned ShardIdx);
+  ~KvShard();
+  KvShard(const KvShard &) = delete;
+  KvShard &operator=(const KvShard &) = delete;
+
+  unsigned shardIndex() const { return ShardIdx; }
+
+  /// True when the shard was opened over an existing image and went
+  /// through recovery; lastRecovery() then describes the replay.
+  bool recoveredOnOpen() const { return RecoveredOnOpen; }
+  const RecoveryReport &lastRecovery() const { return LastRecovery; }
+
+  // Engine operations. \p Tid selects a backend worker context
+  // (< KvConfig::ThreadsPerShard); use each Tid from one thread at a time.
+  KvStatus get(unsigned Tid, uint64_t Key, std::string &Out);
+  KvStatus set(unsigned Tid, uint64_t Key, std::string_view Val);
+  KvStatus del(unsigned Tid, uint64_t Key);
+  KvStatus cas(unsigned Tid, uint64_t Key, std::string_view Expect,
+               std::string_view Desired);
+  /// Batched SET pipeline: runs \p Items in transactions of up to
+  /// KvConfig::BatchTxnLimit SETs each -- one undo-log sequence and one
+  /// flush per chunk instead of one per key -- filling in each item's
+  /// Status. Call persistAck afterwards before acknowledging.
+  void setBatch(unsigned Tid, KvBatchItem *Items, size_t N);
+
+  /// Makes every transaction committed so far durable (Crafty: the
+  /// Section 5.2 on-demand persist barrier). Acknowledgements must not be
+  /// sent before this returns. No-op for the non-Crafty backends, whose
+  /// commit already persists their redo log (their ack-durability story),
+  /// and for Non-durable, which makes no durability promise at all.
+  void persistAck(unsigned Tid);
+
+  /// Simulated power failure (Tracked pools; quiesce all workers first).
+  void simulateCrash();
+  /// In-place recovery after simulateCrash(): replays the undo logs,
+  /// re-creates the HTM runtime and re-attaches the backend. The map and
+  /// cell regions keep their (recovered) content.
+  void recoverInPlace();
+
+  /// Quiesced, non-transactional audit read (post-recovery ledgers).
+  bool peek(uint64_t Key, std::string &Out) const;
+  /// Quiesced raw live-key count; ~0ull if map metadata is corrupt.
+  uint64_t auditCount() const { return Map->auditCount(); }
+
+  PMemPool &pool() { return *Pool; }
+  PtmBackend &backend() { return *Backend; }
+  /// The backend as a CraftyRuntime, or null for non-Crafty backends.
+  CraftyRuntime *crafty();
+  KvOpStats opStats() const;
+
+private:
+  void openFresh();
+  void openAttached();
+  void carveKvRegions(bool Attach);
+  void attachBackend();
+
+  uint64_t *cellAt(uint64_t CellIdx) {
+    return reinterpret_cast<uint64_t *>(CellsBase + CellIdx * CellBytes);
+  }
+  const uint64_t *cellAt(uint64_t CellIdx) const {
+    return reinterpret_cast<const uint64_t *>(CellsBase +
+                                              CellIdx * CellBytes);
+  }
+  /// Writes len + value bytes into a cell inside an open transaction.
+  void writeCellTx(TxnContext &Tx, uint64_t CellIdx, std::string_view Val);
+  /// Reads a cell's value inside an open transaction; false on corrupt
+  /// length metadata.
+  bool readCellTx(TxnContext &Tx, uint64_t CellIdx, std::string &Out);
+  /// The SET engine shared by set/setBatch; runs inside an open txn.
+  KvStatus setInTx(TxnContext &Tx, uint64_t Key, std::string_view Val);
+
+  KvConfig Cfg;
+  unsigned ShardIdx;
+  size_t CellBytes;
+  size_t NumCells;
+
+  std::unique_ptr<PMemPool> Pool;
+  std::unique_ptr<HtmRuntime> Htm;
+  std::unique_ptr<PtmBackend> Backend;
+  std::unique_ptr<DurableHashMap> Map;
+  uint8_t *CellsBase = nullptr;
+  uint64_t *NextFree = nullptr; // NumCells words; idx+1 encoding, 0 = end.
+  uint64_t *FreeHead = nullptr; // One word; idx+1 encoding, 0 = empty.
+
+  bool RecoveredOnOpen = false;
+  RecoveryReport LastRecovery;
+
+  /// Per-worker op counters (each Tid is single-threaded by contract).
+  std::vector<KvOpStats> Stats;
+};
+
+} // namespace kv
+} // namespace crafty
+
+#endif // CRAFTY_KV_KVSHARD_H

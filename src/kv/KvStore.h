@@ -1,0 +1,108 @@
+//===- kv/KvStore.h - Sharded durable key-value store ----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded store: KvConfig::NumShards KvShards, with keys hash-routed
+/// by a splitmix64 of the key (so shard load stays balanced even for
+/// sequential keyspaces). Each shard is an independent persistence domain
+/// -- its own pool, undo logs and backend -- so shards never conflict and
+/// scale is embarrassing by construction; cross-shard multi-key requests
+/// (MGET, batched MSET) decompose into per-shard pieces with no
+/// cross-shard atomicity (documented service semantics, as in production
+/// sharded caches).
+///
+/// With KvConfig::DataDir set, each shard is file-backed and
+/// KvStore::recover() / the constructor replay every shard's undo log on
+/// startup, so the store as a whole survives process death.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_KV_KVSTORE_H
+#define CRAFTY_KV_KVSTORE_H
+
+#include "kv/KvShard.h"
+
+#include <memory>
+#include <vector>
+
+namespace crafty {
+namespace kv {
+
+/// Result of one element of a multi-key operation.
+struct KvResult {
+  KvStatus Status = KvStatus::Err;
+  std::string Value; // GET/MGET payload when Status == Ok.
+};
+
+class KvStore {
+public:
+  /// Opens (and, for existing file-backed shard images, recovers) all
+  /// shards.
+  explicit KvStore(const KvConfig &Cfg);
+  ~KvStore();
+  KvStore(const KvStore &) = delete;
+  KvStore &operator=(const KvStore &) = delete;
+
+  const KvConfig &config() const { return Cfg; }
+  unsigned numShards() const { return (unsigned)Shards.size(); }
+  KvShard &shard(unsigned I) { return *Shards[I]; }
+  /// The shard a key routes to.
+  unsigned shardOf(uint64_t Key) const;
+
+  /// True when any shard attached to an existing image and replayed its
+  /// log during construction (the startup recovery path).
+  bool recoveredOnOpen() const;
+  /// Sum of undo-log sequences rolled back across all shards' last
+  /// recoveries.
+  size_t sequencesRolledBack() const;
+
+  // Single-key operations. \p Tid indexes every shard's worker contexts,
+  // so a caller owning Tid T may touch any shard with it.
+  KvStatus get(unsigned Tid, uint64_t Key, std::string &Out);
+  KvStatus set(unsigned Tid, uint64_t Key, std::string_view Val);
+  KvStatus del(unsigned Tid, uint64_t Key);
+  KvStatus cas(unsigned Tid, uint64_t Key, std::string_view Expect,
+               std::string_view Desired);
+
+  /// MGET: looks every key up (one transaction each, grouped by shard).
+  std::vector<KvResult> mget(unsigned Tid,
+                             const std::vector<uint64_t> &Keys);
+
+  /// Batched multi-SET: groups \p Items by shard and runs each group
+  /// through KvShard::setBatch (few transactions, one ack drain per shard
+  /// via persistAck when \p Durable). Statuses are written back into
+  /// \p Items in their original order.
+  void msetBatch(unsigned Tid, std::vector<KvBatchItem> &Items,
+                 bool Durable = true);
+
+  /// Persist barrier on every shard's worker \p Tid (call before
+  /// acknowledging writes performed with that Tid).
+  void persistAck(unsigned Tid);
+  /// Persist barrier on all shards for workers [0, ThreadsPerShard).
+  void persistAll();
+
+  /// Simulated power failure on every shard (quiesce first).
+  void simulateCrash();
+  /// In-place recovery of every shard after simulateCrash(); returns the
+  /// total sequences rolled back.
+  size_t recover();
+
+  /// Total dynamic-checker violations across all shards (0 when the
+  /// checkers are disabled or clean).
+  uint64_t checkerViolations();
+
+  KvOpStats opStats() const;
+
+private:
+  KvConfig Cfg;
+  std::vector<std::unique_ptr<KvShard>> Shards;
+};
+
+} // namespace kv
+} // namespace crafty
+
+#endif // CRAFTY_KV_KVSTORE_H

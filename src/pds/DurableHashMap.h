@@ -28,26 +28,41 @@
 namespace crafty {
 
 /// Open-addressed ⟨uint64_t → uint64_t⟩ map with linear probing and
-/// tombstones. Capacity is fixed at creation (power of two slots; keep
-/// load below ~70% for sane probe lengths).
+/// tombstones. Capacity is fixed at creation (slot counts round up to a
+/// power of two; keep load below ~70% for sane probe lengths). A full
+/// table is a recoverable condition: putTx returns false and callers
+/// surface it (the KV layer answers `ERR full`), never a process abort.
 class DurableHashMap {
 public:
-  /// Lays the map out in \p Pool (setup-time; not transactional).
-  /// \p Slots must be a power of two.
-  DurableHashMap(PMemPool &Pool, size_t Slots) : NumSlots(Slots) {
-    if (Slots == 0 || (Slots & (Slots - 1)) != 0)
-      fatalError("DurableHashMap: slot count must be a power of two");
-    Table = static_cast<uint64_t *>(Pool.carve(Slots * 16));
+  /// Lays the map out in \p Pool (setup-time; not transactional), or --
+  /// with \p Attach -- adopts an existing layout after recovery: the same
+  /// slot count carved in the same order, with the persisted slot and
+  /// metadata content left untouched.
+  DurableHashMap(PMemPool &Pool, size_t Slots, bool Attach = false)
+      : NumSlots(roundUpPow2(Slots)) {
+    Table = static_cast<uint64_t *>(Pool.carve(NumSlots * 16));
     Meta = static_cast<uint64_t *>(Pool.carve(CacheLineBytes));
-    // Freshly carved memory is zero; persist the (zero) metadata word so
-    // a crash image always decodes an empty map.
-    uint64_t Zero = 0;
-    Pool.persistDirect(Meta, &Zero, sizeof(Zero));
+    if (!Attach) {
+      // Freshly carved memory is zero; persist the (zero) metadata word so
+      // a crash image always decodes an empty map.
+      uint64_t Zero = 0;
+      Pool.persistDirect(Meta, &Zero, sizeof(Zero));
+    }
   }
 
-  /// Attaches to an existing layout (after recovery): same carve order.
+  /// Smallest power of two >= \p Slots (and >= 2, so the reserved
+  /// encodings always leave room for at least one live key).
+  static constexpr size_t roundUpPow2(size_t Slots) {
+    size_t N = 2;
+    while (N < Slots)
+      N *= 2;
+    return N;
+  }
+
+  /// Pool bytes a map of \p Slots (rounded up) occupies: use to size
+  /// pools and to re-carve on attach (same carve order).
   static constexpr size_t bytesFor(size_t Slots) {
-    return Slots * 16 + CacheLineBytes;
+    return roundUpPow2(Slots) * 16 + CacheLineBytes;
   }
 
   size_t capacity() const { return NumSlots; }
@@ -134,6 +149,20 @@ public:
     uint64_t N = 0;
     B.run(Tid, [&](TxnContext &Tx) { N = sizeTx(Tx); });
     return N;
+  }
+
+  /// Non-transactional raw-memory lookup for quiesced post-recovery
+  /// audits (no isolation; never call concurrently with transactions).
+  std::optional<uint64_t> peek(uint64_t Key) const {
+    for (size_t P = 0; P != NumSlots; ++P) {
+      size_t I = slotOf(Key, P);
+      uint64_t K = Table[2 * I];
+      if (K == encode(Key))
+        return Table[2 * I + 1];
+      if (K == Empty)
+        return std::nullopt;
+    }
+    return std::nullopt;
   }
 
   /// Non-transactional audit over raw memory (post-recovery checks):

@@ -14,6 +14,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 using namespace crafty;
 
 static size_t roundUp(size_t N, size_t Align) {
@@ -29,11 +34,45 @@ PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
   Base = static_cast<uint8_t *>(Mem);
   std::memset(Base, 0, Bytes);
   if (Config.Mode == PMemMode::Tracked) {
-    Image = std::make_unique<uint8_t[]>(Bytes);
-    std::memset(Image.get(), 0, Bytes);
+    if (!Config.BackingPath.empty()) {
+      // File-backed image: attach when the file already exists with the
+      // right geometry, create-and-zero otherwise.
+      BackingFd = ::open(Config.BackingPath.c_str(), O_RDWR | O_CREAT |
+                         O_CLOEXEC, 0644);
+      if (BackingFd < 0)
+        fatalError("PMemPool: cannot open the image backing file");
+      struct stat St;
+      if (fstat(BackingFd, &St) != 0)
+        fatalError("PMemPool: cannot stat the image backing file");
+      if (St.st_size == 0) {
+        if (ftruncate(BackingFd, (off_t)Bytes) != 0)
+          fatalError("PMemPool: cannot size the image backing file");
+      } else if ((size_t)St.st_size == Bytes) {
+        AttachedFromImage = true;
+      } else {
+        fatalError("PMemPool: image backing file size does not match the "
+                   "pool geometry");
+      }
+      void *Map = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       BackingFd, 0);
+      if (Map == MAP_FAILED)
+        fatalError("PMemPool: cannot map the image backing file");
+      Image = static_cast<uint8_t *>(Map);
+      if (AttachedFromImage) {
+        // The volatile view a restarted machine sees is exactly the
+        // persisted image: every unflushed line died with the old cache.
+        std::memcpy(Base, Image, Bytes);
+      }
+    } else {
+      HeapImage = std::make_unique<uint8_t[]>(Bytes);
+      Image = HeapImage.get();
+      std::memset(Image, 0, Bytes);
+    }
     Dirty = std::make_unique<std::atomic<uint8_t>[]>(NumLines);
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
+  } else if (!Config.BackingPath.empty()) {
+    fatalError("PMemPool: BackingPath requires Tracked mode");
   }
   if (Config.Mode == PMemMode::Tracked)
     LineGen = std::make_unique<std::atomic<uint32_t>[]>(NumLines);
@@ -56,7 +95,13 @@ void PMemPool::setObserver(PMemObserver *Obs) {
 
 PMemObserver::~PMemObserver() = default;
 
-PMemPool::~PMemPool() { std::free(Base); }
+PMemPool::~PMemPool() {
+  if (Image && !HeapImage)
+    munmap(Image, Bytes);
+  if (BackingFd >= 0)
+    ::close(BackingFd);
+  std::free(Base);
+}
 
 void *PMemPool::carve(size_t CarveBytes, size_t Align) {
   assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
@@ -215,7 +260,7 @@ void PMemPool::copyLineToImage(size_t Line) {
   // Clear the dirty flag before copying: a racing store re-marks the line.
   Dirty[Line].store(0, std::memory_order_relaxed);
   auto *Src = reinterpret_cast<const uint64_t *>(Base + Line * CacheLineBytes);
-  auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Line * CacheLineBytes);
+  auto *Dst = reinterpret_cast<uint64_t *>(Image + Line * CacheLineBytes);
   // Word-granular copies: NVM guarantees persistence at word granularity
   // (paper Section 5.2), so a line may land torn at word boundaries --
   // exactly the states recovery must tolerate.
@@ -306,7 +351,7 @@ void PMemPool::persistImageWords(uint32_t ThreadId,
     assert(isWordAligned(Addr) && "persistImageWord needs an aligned word");
     if (Config.Mode == PMemMode::Tracked) {
       size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
-      auto *Dst = reinterpret_cast<uint64_t *>(Image.get() + Off);
+      auto *Dst = reinterpret_cast<uint64_t *>(Image + Off);
       __atomic_store_n(Dst, Writes[I].Val, __ATOMIC_RELAXED);
     }
     size_t Line = lineIndex(Addr);
@@ -329,7 +374,7 @@ void PMemPool::persistDirect(void *Addr, const void *Src, size_t Len) {
   std::memcpy(Addr, Src, Len);
   if (Config.Mode == PMemMode::Tracked) {
     size_t Off = reinterpret_cast<uint8_t *>(Addr) - Base;
-    std::memcpy(Image.get() + Off, Src, Len);
+    std::memcpy(Image + Off, Src, Len);
   }
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onPersistDirect(Addr, Len);
@@ -373,7 +418,7 @@ void PMemPool::crash() {
   if (Config.Mode != PMemMode::Tracked)
     fatalError("PMemPool::crash requires Tracked mode");
   // Callers must have quiesced all threads (a real crash stops the world).
-  std::memcpy(Base, Image.get(), Bytes);
+  std::memcpy(Base, Image, Bytes);
   for (size_t I = 0; I != NumLines; ++I)
     Dirty[I].store(0, std::memory_order_relaxed);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
@@ -391,7 +436,7 @@ void PMemPool::crash() {
 std::vector<uint8_t> PMemPool::imageSnapshot() const {
   if (Config.Mode != PMemMode::Tracked)
     fatalError("PMemPool::imageSnapshot requires Tracked mode");
-  return std::vector<uint8_t>(Image.get(), Image.get() + Bytes);
+  return std::vector<uint8_t>(Image, Image + Bytes);
 }
 
 bool PMemPool::isLineDirty(const void *Addr) const {
@@ -414,7 +459,7 @@ void PMemPool::reset() {
   std::memset(Base, 0, Bytes);
   CarveOffset.store(0, std::memory_order_relaxed);
   if (Config.Mode == PMemMode::Tracked) {
-    std::memset(Image.get(), 0, Bytes);
+    std::memset(Image, 0, Bytes);
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
   }

@@ -44,6 +44,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace crafty {
@@ -78,6 +79,16 @@ struct PMemConfig {
   /// unless a fresh CLWB follows the store -- the re-dirty-after-clwb
   /// hazard correct flush disciplines must already tolerate.
   bool EagerWriteback = false;
+  /// Tracked mode: back the persistent image with a MAP_SHARED file
+  /// mapping at this path instead of anonymous heap memory, so the image
+  /// survives the *process* dying (the KV service's SIGKILL crash tests).
+  /// If the file already exists with the right size the pool attaches to
+  /// it: the volatile view starts as a copy of the image (the state a
+  /// machine restart would see) and PMemPool::attachedFromImage() returns
+  /// true so the owner knows to run recovery instead of formatting.
+  /// Page-cache writes survive SIGKILL, so no msync discipline is needed;
+  /// only whole-machine failure is outside the model.
+  std::string BackingPath;
 };
 
 /// Cumulative persistence-operation statistics.
@@ -162,6 +173,11 @@ public:
   const PMemConfig &config() const { return Config; }
   uint8_t *base() { return Base; }
   size_t size() const { return Bytes; }
+
+  /// True when the pool was constructed over an existing backing file
+  /// (PMemConfig::BackingPath): the volatile view already holds the last
+  /// persisted image and the owner should recover rather than format.
+  bool attachedFromImage() const { return AttachedFromImage; }
 
   /// True if \p Addr lies inside the pool.
   bool contains(const void *Addr) const {
@@ -304,7 +320,12 @@ private:
   size_t NumLines;
   PMemObserver *Observer = nullptr;
   uint8_t *Base = nullptr;
-  std::unique_ptr<uint8_t[]> Image; // Tracked mode only.
+  /// Persistent image (Tracked mode only): either HeapImage or a
+  /// MAP_SHARED file mapping (Config.BackingPath).
+  uint8_t *Image = nullptr;
+  std::unique_ptr<uint8_t[]> HeapImage;
+  int BackingFd = -1;
+  bool AttachedFromImage = false;
   std::unique_ptr<std::atomic<uint8_t>[]> Dirty;
   std::atomic<size_t> CarveOffset{0};
 

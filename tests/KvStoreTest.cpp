@@ -1,0 +1,473 @@
+//===- tests/KvStoreTest.cpp - KV service tests ---------------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests the sharded durable KV service (src/kv/): engine semantics,
+// recoverable full/too-big conditions, the wire protocol's incremental
+// parser, a crash-property sweep (crash at every operation boundary on a
+// multi-shard store with cache-eviction chaos and both dynamic checkers
+// attached), file-backed reopen across store instances, and an in-process
+// server/client smoke over loopback TCP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvClient.h"
+#include "kv/KvServer.h"
+#include "kv/KvStore.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <unistd.h>
+
+using namespace crafty;
+using namespace crafty::kv;
+
+namespace {
+
+KvConfig smallConfig(unsigned Shards = 2) {
+  KvConfig KC;
+  KC.NumShards = Shards;
+  KC.SlotsPerShard = 256;
+  KC.MaxValueBytes = 120;
+  KC.ThreadsPerShard = 2;
+  KC.LogEntriesPerThread = 1 << 12;
+  KC.Mode = PMemMode::Tracked;
+  KC.DrainLatencyNs = 0;
+  return KC;
+}
+
+std::string valueFor(uint64_t Key, uint64_t Seq) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "value-%llu-%llu-",
+                (unsigned long long)Key, (unsigned long long)Seq);
+  std::string V = Buf;
+  V.append(32 + Key % 29, (char)('a' + Seq % 26));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+TEST(KvStore, BasicOps) {
+  KvStore Store(smallConfig());
+  std::string Out;
+
+  EXPECT_EQ(Store.get(0, 7, Out), KvStatus::NotFound);
+  EXPECT_EQ(Store.set(0, 7, "hello"), KvStatus::Ok);
+  EXPECT_EQ(Store.get(0, 7, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "hello");
+
+  // Overwrite, including size changes in both directions.
+  EXPECT_EQ(Store.set(0, 7, "a much longer value than before"),
+            KvStatus::Ok);
+  EXPECT_EQ(Store.get(0, 7, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "a much longer value than before");
+  EXPECT_EQ(Store.set(0, 7, ""), KvStatus::Ok);
+  EXPECT_EQ(Store.get(0, 7, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "");
+
+  EXPECT_EQ(Store.del(0, 7), KvStatus::Ok);
+  EXPECT_EQ(Store.del(0, 7), KvStatus::NotFound);
+  EXPECT_EQ(Store.get(0, 7, Out), KvStatus::NotFound);
+
+  // CAS.
+  EXPECT_EQ(Store.cas(0, 9, "x", "y"), KvStatus::NotFound);
+  EXPECT_EQ(Store.set(0, 9, "x"), KvStatus::Ok);
+  EXPECT_EQ(Store.cas(0, 9, "wrong", "y"), KvStatus::Mismatch);
+  EXPECT_EQ(Store.cas(0, 9, "x", "y"), KvStatus::Ok);
+  EXPECT_EQ(Store.get(0, 9, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "y");
+
+  // Values over MaxValueBytes are rejected recoverably.
+  std::string Huge(200, 'z');
+  EXPECT_EQ(Store.set(0, 9, Huge), KvStatus::TooBig);
+  EXPECT_EQ(Store.get(0, 9, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "y"); // Unchanged.
+}
+
+TEST(KvStore, MgetAndBatchedMset) {
+  KvStore Store(smallConfig());
+  std::vector<KvBatchItem> Items;
+  std::vector<std::string> Vals;
+  for (uint64_t K = 0; K != 100; ++K)
+    Vals.push_back(valueFor(K, 1));
+  for (uint64_t K = 0; K != 100; ++K)
+    Items.push_back(KvBatchItem{K, Vals[K], KvStatus::Err});
+  Store.msetBatch(0, Items);
+  for (const KvBatchItem &Item : Items)
+    EXPECT_EQ(Item.Status, KvStatus::Ok);
+
+  std::vector<uint64_t> Keys;
+  for (uint64_t K = 0; K != 110; ++K)
+    Keys.push_back(K);
+  std::vector<KvResult> Results = Store.mget(0, Keys);
+  ASSERT_EQ(Results.size(), Keys.size());
+  for (uint64_t K = 0; K != 100; ++K) {
+    EXPECT_EQ(Results[K].Status, KvStatus::Ok);
+    EXPECT_EQ(Results[K].Value, Vals[K]);
+  }
+  for (uint64_t K = 100; K != 110; ++K)
+    EXPECT_EQ(Results[K].Status, KvStatus::NotFound);
+
+  KvOpStats Stats = Store.opStats();
+  EXPECT_EQ(Stats.BatchedSets, 100u);
+}
+
+TEST(KvStore, FullShardIsRecoverable) {
+  KvConfig KC = smallConfig(1);
+  KC.SlotsPerShard = 16; // Rounds to 16 cells/slots.
+  KvStore Store(KC);
+  // Fill beyond capacity: the first failures must be ERR full, and the
+  // store must stay fully usable afterwards.
+  unsigned Stored = 0, Full = 0;
+  for (uint64_t K = 0; K != 32; ++K) {
+    KvStatus St = Store.set(0, K, "v");
+    if (St == KvStatus::Ok)
+      ++Stored;
+    else if (St == KvStatus::Full)
+      ++Full;
+  }
+  EXPECT_EQ(Stored, 16u);
+  EXPECT_EQ(Full, 16u);
+  // Deleting frees capacity again; the freed cell is reused.
+  EXPECT_EQ(Store.del(0, 0), KvStatus::Ok);
+  EXPECT_EQ(Store.set(0, 100, "w"), KvStatus::Ok);
+  std::string Out;
+  EXPECT_EQ(Store.get(0, 100, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "w");
+}
+
+TEST(KvStore, ShardRoutingCoversAllShards) {
+  KvStore Store(smallConfig(4));
+  std::vector<unsigned> Hits(4, 0);
+  for (uint64_t K = 0; K != 1000; ++K)
+    ++Hits[Store.shardOf(K)];
+  for (unsigned S = 0; S != 4; ++S)
+    EXPECT_GT(Hits[S], 100u) << "shard " << S << " starved";
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(KvProtocol, ParsesIncrementally) {
+  std::string Wire;
+  appendSet(Wire, 42, "hello\nworld"); // Embedded newline in the value.
+  appendGet(Wire, 42);
+
+  // Every split point of the byte stream must frame identically.
+  for (size_t Split = 0; Split != Wire.size(); ++Split) {
+    std::string Buf = Wire.substr(0, Split);
+    KvRequest Req;
+    ParseResult R = parseRequest(Buf, Req);
+    if (R.St == ParseResult::Ok) {
+      ASSERT_EQ(Req.Op, KvOp::Set);
+      EXPECT_EQ(Req.Key, 42u);
+      EXPECT_EQ(Req.Val, "hello\nworld");
+    } else {
+      EXPECT_EQ(R.St, ParseResult::NeedMore);
+    }
+  }
+  KvRequest Req;
+  ParseResult R = parseRequest(Wire, Req);
+  ASSERT_EQ(R.St, ParseResult::Ok);
+  EXPECT_EQ(Req.Op, KvOp::Set);
+  ParseResult R2 =
+      parseRequest(std::string_view(Wire).substr(R.Consumed), Req);
+  ASSERT_EQ(R2.St, ParseResult::Ok);
+  EXPECT_EQ(Req.Op, KvOp::Get);
+  EXPECT_EQ(R.Consumed + R2.Consumed, Wire.size());
+}
+
+TEST(KvProtocol, ParsesMultiKeyRequests) {
+  std::string Wire;
+  appendMset(Wire, {{1, "a"}, {2, "bb"}, {3, std::string(100, 'c')}});
+  appendMget(Wire, {1, 2, 3});
+  KvRequest Req;
+  ParseResult R = parseRequest(Wire, Req);
+  ASSERT_EQ(R.St, ParseResult::Ok);
+  ASSERT_EQ(Req.Op, KvOp::Mset);
+  ASSERT_EQ(Req.Pairs.size(), 3u);
+  EXPECT_EQ(Req.Pairs[2].second, std::string(100, 'c'));
+  ParseResult R2 =
+      parseRequest(std::string_view(Wire).substr(R.Consumed), Req);
+  ASSERT_EQ(R2.St, ParseResult::Ok);
+  ASSERT_EQ(Req.Op, KvOp::Mget);
+  EXPECT_EQ(Req.Keys, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(KvProtocol, RejectsMalformedRequests) {
+  KvRequest Req;
+  for (const char *Bad :
+       {"BOGUS 1\n", "GET\n", "GET notakey\n", "SET 1\n", "SET 1 5\nab\n",
+        "MGET 2 7\n", "CAS 1 2\n"}) {
+    ParseResult R = parseRequest(Bad, Req);
+    EXPECT_NE(R.St, ParseResult::Ok) << Bad;
+  }
+  // A SET whose payload terminator is wrong is malformed, not NeedMore.
+  EXPECT_EQ(parseRequest("SET 1 2\nabX", Req).St, ParseResult::Malformed);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-property sweep
+//===----------------------------------------------------------------------===//
+
+/// One scripted operation of the crash sweep.
+struct SweepOp {
+  uint64_t Key;
+  bool IsDelete;
+  std::string Val;
+};
+
+std::vector<SweepOp> sweepScript(size_t N) {
+  std::vector<SweepOp> Ops;
+  for (size_t I = 0; I != N; ++I) {
+    SweepOp Op;
+    Op.Key = (I * 7) % 48;
+    Op.IsDelete = I % 5 == 4;
+    if (!Op.IsDelete)
+      Op.Val = valueFor(Op.Key, I);
+    Ops.push_back(std::move(Op));
+  }
+  return Ops;
+}
+
+/// Runs the script's first \p RunOps operations, with a persist barrier
+/// after every \p AckEvery-th op. Returns the index one past the last
+/// op covered by a barrier (everything before it is durable).
+size_t runScript(KvStore &Store, const std::vector<SweepOp> &Ops,
+                 size_t RunOps, size_t AckEvery) {
+  size_t Durable = 0;
+  for (size_t I = 0; I != RunOps; ++I) {
+    const SweepOp &Op = Ops[I];
+    if (Op.IsDelete)
+      Store.del(0, Op.Key);
+    else
+      EXPECT_EQ(Store.set(0, Op.Key, Op.Val), KvStatus::Ok);
+    if (I % AckEvery == AckEvery - 1) {
+      Store.persistAck(0);
+      Durable = I + 1;
+    }
+  }
+  return Durable;
+}
+
+/// Audits a recovered store: each key must hold the state left by some
+/// script prefix that includes every durable op (acked writes survive;
+/// the undurable tail may roll back atomically per key, but values are
+/// never torn or fabricated).
+void auditRecovered(KvStore &Store, const std::vector<SweepOp> &Ops,
+                    size_t RunOps, size_t Durable) {
+  // Per-key state timeline: state after each of the key's ops.
+  std::map<uint64_t, std::vector<std::pair<size_t, std::optional<std::string>>>>
+      Timeline;
+  for (size_t I = 0; I != RunOps; ++I) {
+    const SweepOp &Op = Ops[I];
+    Timeline[Op.Key].emplace_back(
+        I, Op.IsDelete ? std::nullopt
+                       : std::optional<std::string>(Op.Val));
+  }
+  for (const auto &[Key, States] : Timeline) {
+    std::string Got;
+    bool Present = Store.shard(Store.shardOf(Key)).peek(Key, Got);
+    std::optional<std::string> Actual =
+        Present ? std::optional<std::string>(Got) : std::nullopt;
+    // Acceptable states: initial absence if no op is durable for this
+    // key, or the state after any op at index >= the key's last durable
+    // op (per-key rollback can only drop an undurable suffix).
+    size_t FirstAcceptable = 0;
+    bool InitialOk = true;
+    for (size_t J = 0; J != States.size(); ++J)
+      if (States[J].first < Durable) {
+        FirstAcceptable = J;
+        InitialOk = false;
+      }
+    bool Ok = InitialOk && !Actual.has_value();
+    for (size_t J = FirstAcceptable; J != States.size() && !Ok; ++J)
+      Ok = States[J].second == Actual;
+    EXPECT_TRUE(Ok) << "key " << Key << " holds "
+                    << (Actual ? *Actual : std::string("<absent>"))
+                    << " which matches no acceptable state (durable up to "
+                    << Durable << ")";
+  }
+}
+
+TEST(KvCrash, SweepCrashAtEveryOpBoundary) {
+  const std::vector<SweepOp> Ops = sweepScript(60);
+  for (size_t CrashAt = 1; CrashAt <= Ops.size(); ++CrashAt) {
+    KvConfig KC = smallConfig(2);
+    KC.EnablePersistCheck = true;
+    KC.EnableTxRaceCheck = true;
+    KC.EvictionPerMillion = 20000; // Cache-eviction chaos.
+    KC.EvictionSeed = 77 + CrashAt;
+    KvStore Store(KC);
+    size_t Durable = runScript(Store, Ops, CrashAt, /*AckEvery=*/8);
+
+    Store.simulateCrash();
+    Store.recover();
+    auditRecovered(Store, Ops, CrashAt, Durable);
+    EXPECT_EQ(Store.checkerViolations(), 0u) << "crash at " << CrashAt;
+
+    // Recovery must be idempotent: a second crash with no new work
+    // recovers to the identical state.
+    std::map<uint64_t, std::optional<std::string>> Before;
+    for (uint64_t Key = 0; Key != 48; ++Key) {
+      std::string V;
+      Before[Key] = Store.shard(Store.shardOf(Key)).peek(Key, V)
+                        ? std::optional<std::string>(V)
+                        : std::nullopt;
+    }
+    Store.simulateCrash();
+    Store.recover();
+    for (uint64_t Key = 0; Key != 48; ++Key) {
+      std::string V;
+      std::optional<std::string> Now =
+          Store.shard(Store.shardOf(Key)).peek(Key, V)
+              ? std::optional<std::string>(V)
+              : std::nullopt;
+      EXPECT_EQ(Now, Before[Key]) << "fixpoint broken at key " << Key;
+    }
+
+    // The recovered store must remain fully operational.
+    EXPECT_EQ(Store.set(0, 1000, "post-recovery"), KvStatus::Ok);
+    std::string Out;
+    EXPECT_EQ(Store.get(0, 1000, Out), KvStatus::Ok);
+    EXPECT_EQ(Out, "post-recovery");
+    EXPECT_EQ(Store.checkerViolations(), 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// File-backed reopen
+//===----------------------------------------------------------------------===//
+
+TEST(KvCrash, FileBackedStoreSurvivesReopen) {
+  char Tmpl[] = "/tmp/kv_store_test.XXXXXX";
+  ASSERT_NE(mkdtemp(Tmpl), nullptr);
+  std::string Dir = Tmpl;
+
+  KvConfig KC = smallConfig(2);
+  KC.DataDir = Dir;
+  {
+    KvStore Store(KC);
+    EXPECT_FALSE(Store.recoveredOnOpen());
+    for (uint64_t K = 0; K != 40; ++K)
+      EXPECT_EQ(Store.set(0, K, valueFor(K, 1)), KvStatus::Ok);
+    Store.persistAll();
+  }
+  {
+    // Second generation: attaches to the images, replays, serves, and
+    // layers more writes on top.
+    KvStore Store(KC);
+    EXPECT_TRUE(Store.recoveredOnOpen());
+    std::string Out;
+    for (uint64_t K = 0; K != 40; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok) << "lost key " << K;
+      EXPECT_EQ(Out, valueFor(K, 1));
+    }
+    for (uint64_t K = 40; K != 60; ++K)
+      EXPECT_EQ(Store.set(0, K, valueFor(K, 2)), KvStatus::Ok);
+    Store.persistAll();
+  }
+  {
+    KvStore Store(KC);
+    EXPECT_TRUE(Store.recoveredOnOpen());
+    std::string Out;
+    for (uint64_t K = 0; K != 40; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok);
+      EXPECT_EQ(Out, valueFor(K, 1));
+    }
+    for (uint64_t K = 40; K != 60; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok);
+      EXPECT_EQ(Out, valueFor(K, 2));
+    }
+  }
+  for (unsigned S = 0; S != KC.NumShards; ++S)
+    std::remove((Dir + "/shard" + std::to_string(S) + ".img").c_str());
+  std::remove(Dir.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Server / client smoke
+//===----------------------------------------------------------------------===//
+
+TEST(KvServerSmoke, EndToEndOverLoopback) {
+  KvStore Store(smallConfig(2));
+  KvServer Server(Store, KvServerConfig{});
+  Server.start();
+  ASSERT_NE(Server.port(), 0);
+
+  KvClient Client;
+  ASSERT_TRUE(Client.connect(Server.port()));
+  EXPECT_TRUE(Client.ping());
+
+  std::string Out;
+  EXPECT_EQ(Client.get(5, Out), KvStatus::NotFound);
+  EXPECT_EQ(Client.set(5, "net-value\nwith newline"), KvStatus::Ok);
+  EXPECT_EQ(Client.get(5, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "net-value\nwith newline");
+  EXPECT_EQ(Client.cas(5, "wrong", "x"), KvStatus::Mismatch);
+  EXPECT_EQ(Client.cas(5, "net-value\nwith newline", "swapped"),
+            KvStatus::Ok);
+  EXPECT_EQ(Client.get(5, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "swapped");
+
+  std::vector<std::pair<uint64_t, std::string>> Pairs;
+  for (uint64_t K = 10; K != 42; ++K)
+    Pairs.emplace_back(K, valueFor(K, 3));
+  std::vector<KvStatus> Statuses;
+  ASSERT_TRUE(Client.mset(Pairs, Statuses));
+  ASSERT_EQ(Statuses.size(), Pairs.size());
+  for (KvStatus St : Statuses)
+    EXPECT_EQ(St, KvStatus::Ok);
+
+  std::vector<uint64_t> Keys{10, 11, 999};
+  std::vector<std::pair<KvStatus, std::string>> Results;
+  ASSERT_TRUE(Client.mget(Keys, Results));
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_EQ(Results[0].first, KvStatus::Ok);
+  EXPECT_EQ(Results[0].second, valueFor(10, 3));
+  EXPECT_EQ(Results[2].first, KvStatus::NotFound);
+
+  EXPECT_EQ(Client.del(5), KvStatus::Ok);
+  EXPECT_EQ(Client.get(5, Out), KvStatus::NotFound);
+
+  // A second concurrent connection sees the same data.
+  KvClient Client2;
+  ASSERT_TRUE(Client2.connect(Server.port()));
+  EXPECT_EQ(Client2.get(11, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, valueFor(11, 3));
+  Client2.quit();
+
+  Client.quit();
+  EXPECT_GT(Server.requestsServed(), 5u);
+  Server.stop();
+  EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+TEST(KvServerSmoke, MalformedRequestClosesConnection) {
+  KvStore Store(smallConfig(1));
+  KvServer Server(Store, KvServerConfig{});
+  Server.start();
+  KvClient Client;
+  ASSERT_TRUE(Client.connect(Server.port()));
+  // Raw garbage through the pipeline path.
+  Client.sendGet(1); // Valid...
+  ASSERT_TRUE(Client.flush());
+  std::string Out;
+  EXPECT_EQ(Client.recvValue(Out), KvStatus::NotFound);
+  // ...then garbage: the server answers ERR and closes.
+  Client.sendRaw("NONSENSE COMMAND\n");
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Client.recvStatus(), KvStatus::Err);
+  Server.stop();
+}
+
+} // namespace

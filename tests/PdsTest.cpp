@@ -94,6 +94,43 @@ TEST(DurableHashMap, FullTableRejectsNewKeys) {
   EXPECT_TRUE(Map.put(*F.Backend, 0, 3, 33)) << "overwrites still work";
 }
 
+TEST(DurableHashMap, NonPowerOfTwoSlotCountsRoundUp) {
+  static_assert(DurableHashMap::roundUpPow2(1) == 2);
+  static_assert(DurableHashMap::roundUpPow2(2) == 2);
+  static_assert(DurableHashMap::roundUpPow2(3) == 4);
+  static_assert(DurableHashMap::roundUpPow2(64) == 64);
+  static_assert(DurableHashMap::roundUpPow2(65) == 128);
+  static_assert(DurableHashMap::bytesFor(100) ==
+                128 * 16 + CacheLineBytes);
+  // A non-power-of-two request is usable, not fatal.
+  PdsFixture F;
+  DurableHashMap Map(F.Pool, 100);
+  EXPECT_EQ(Map.capacity(), 128u);
+  for (uint64_t K = 0; K != 100; ++K)
+    ASSERT_TRUE(Map.put(*F.Backend, 0, K, K * 3));
+  for (uint64_t K = 0; K != 100; ++K)
+    EXPECT_EQ(Map.get(*F.Backend, 0, K).value(), K * 3);
+}
+
+TEST(DurableHashMap, PeekMatchesTransactionalReads) {
+  PdsFixture F;
+  DurableHashMap Map(F.Pool, 128);
+  for (uint64_t K = 0; K != 80; ++K)
+    ASSERT_TRUE(Map.put(*F.Backend, 0, K, K + 7));
+  ASSERT_TRUE(Map.erase(*F.Backend, 0, 40));
+  F.Backend->quiesce();
+  for (uint64_t K = 0; K != 80; ++K) {
+    std::optional<uint64_t> V = Map.peek(K);
+    if (K == 40) {
+      EXPECT_FALSE(V.has_value());
+    } else {
+      ASSERT_TRUE(V.has_value()) << K;
+      EXPECT_EQ(*V, K + 7);
+    }
+  }
+  EXPECT_FALSE(Map.peek(999).has_value());
+}
+
 TEST(DurableHashMap, ConcurrentDisjointPuts) {
   PdsFixture F(SystemKind::Crafty, 4);
   DurableHashMap Map(F.Pool, 4096);
