@@ -25,6 +25,7 @@
 #define CRAFTY_BASELINES_NVHTM_H
 
 #include "baselines/BaselineCommon.h"
+#include "support/Annotations.h"
 #include "baselines/NvHtmRecovery.h"
 #include "baselines/RedoPipeline.h"
 
@@ -43,7 +44,10 @@ public:
   ~NvHtmBackend() override;
 
   const char *name() const override { return "NV-HTM"; }
-  void run(unsigned ThreadId, TxnBody Body) override;
+  /// The COMMIT marker is CLWB'd with no drain: NV-HTM recovery
+  /// tolerates missing markers via the stop-timestamp rule, so the
+  /// next fence (any later commit) is the drain.
+  CRAFTY_DRAIN_DEFERRED void run(unsigned ThreadId, TxnBody Body) override;
   void quiesce() override { Pipeline.quiesce(); }
 
   /// Offset of the persistent layout header within the pool; pass to

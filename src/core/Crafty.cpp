@@ -633,8 +633,12 @@ CraftyThread::PhaseOutcome CraftyThread::redoPhase() {
     // transaction committed writes since our Log phase.
     if (T.load(&Rt.GLastRedoTs) >= LastTs)
       T.abortExplicit(AbortUserRedoCheck);
-    for (const MirrorEntry &E : Mirror) // Program order.
+    for (const MirrorEntry &E : Mirror) { // Program order.
+      // Bounded by construction: this exact write set already fit in
+      // one hardware transaction during the Log phase.
+      CRAFTY_TX_BOUND(Mirror.size());
       T.store(E.Addr, E.New);
+    }
     T.storeCommitVersion(&Rt.GLastRedoTs);
     // Merged LOGGED/COMMITTED entry: overwrite the timestamp (Section 6).
     T.storeCommitVersion(Log.valWordAt(Log.slotFor(TagAbs)),

@@ -52,6 +52,7 @@
 #include "log/RedoLog.h"
 #include "pmem/PMemAllocator.h"
 #include "pmem/PMemPool.h"
+#include "support/Annotations.h"
 #include "support/Compiler.h"
 
 #include <memory>
@@ -114,10 +115,16 @@ private:
   // Thread-safe mode phases. tryThreadSafe returns false when the
   // transaction should fall back to the SGL.
   bool tryThreadSafe(TxnBody Body);
-  LogOutcome logPhase(TxnBody Body);
-  PhaseOutcome redoPhase();
-  PhaseOutcome validatePhase(TxnBody Body);
-  void finishCommit(bool ViaRedo);
+  /// The Log phase flushes its undo entries with *no* drain: the Redo or
+  /// Validate phase commits inside a hardware transaction whose commit
+  /// fence is the drain (the paper's flush-without-drain optimization).
+  CRAFTY_TX_BODY CRAFTY_DRAIN_DEFERRED LogOutcome logPhase(TxnBody Body);
+  CRAFTY_TX_BODY PhaseOutcome redoPhase();
+  CRAFTY_TX_BODY PhaseOutcome validatePhase(TxnBody Body);
+  /// Flushes the program writes and COMMITTED timestamp with no drain;
+  /// the next transaction's commit fence (or recovery) covers the rest
+  /// (Section 4.2).
+  CRAFTY_DRAIN_DEFERRED void finishCommit(bool ViaRedo);
 
   // Chunked flow (SGL fallback and thread-unsafe mode).
   void runChunkedSection(TxnBody Body, bool AcquireSgl);
@@ -125,10 +132,18 @@ private:
   void acquireSgl() CRAFTY_ACQUIRE(Rt.SglCap);
   void releaseSgl() CRAFTY_RELEASE(Rt.SglCap);
   bool chunkedAttempt(TxnBody Body);
-  void chunkedStore(uint64_t *Addr, uint64_t Val);
-  void closeChunk();
-  void writeEntryDirect(uint64_t AbsPos, uint64_t *Addr, uint64_t Old);
-  void writeTagDirect(uint64_t Tag, uint64_t Ts);
+  /// k = 1 path: the data word's CLWB is deferred to the next tag write's
+  /// drain or the next chunk's commit fence.
+  CRAFTY_TX_BODY CRAFTY_DRAIN_DEFERRED void chunkedStore(uint64_t *Addr,
+                                                         uint64_t Val);
+  /// Applies the chunk's writes after its commit and flushes them as one
+  /// batch without drain (thread-unsafe Redo, Algorithm 2).
+  CRAFTY_TX_BODY CRAFTY_DRAIN_DEFERRED void closeChunk();
+  /// Writes and flushes one undo entry; the caller drains (writeTagDirect
+  /// or the next commit fence).
+  CRAFTY_FLUSH_API void writeEntryDirect(uint64_t AbsPos, uint64_t *Addr,
+                                         uint64_t Old);
+  CRAFTY_DRAIN_API void writeTagDirect(uint64_t Tag, uint64_t Ts);
 
   /// Section 5.2 cheap checks, run between hardware transactions before
   /// appending up to \p EntriesNeeded log entries; escalates to
@@ -145,10 +160,10 @@ private:
 
   // Undo-log staging helpers.
   void stageUndoEntry(uint64_t AbsPos, uint64_t *Addr, uint64_t Old);
-  void flushStagedEntries(uint64_t FromAbs, uint64_t ToAbs);
+  CRAFTY_FLUSH_API void flushStagedEntries(uint64_t FromAbs, uint64_t ToAbs);
   /// Flushes the data lines of \p Entries (plus \p ExtraWord's line when
   /// non-null) as one line-sorted clwbLines batch; no drain.
-  void flushDataLines(const std::vector<MirrorEntry> &Entries,
+  CRAFTY_FLUSH_API void flushDataLines(const std::vector<MirrorEntry> &Entries,
                       void *ExtraWord);
   void noteTagWritten(uint64_t TagAbs, uint64_t Ts);
   uint64_t sharedHead() const;
@@ -262,7 +277,7 @@ public:
   /// On-demand immediate persistence (Section 5.2 extension): after this
   /// returns, every transaction that committed before the call survives
   /// recovery. Call before externally visible, irrevocable actions.
-  void persistBarrier(unsigned CallerThreadId);
+  CRAFTY_DRAIN_API void persistBarrier(unsigned CallerThreadId);
 
   // PtmBackend interface.
   const char *name() const override;
@@ -287,7 +302,9 @@ private:
 
   /// Appends an empty committed transaction to \p Victim's log from
   /// \p Forcer's hardware-transaction context. Returns true on success.
-  bool forceEmptyCommit(CraftyThread &Forcer, CraftyThread &Victim);
+  /// The forced tag's CLWB drains at the forcer's next commit fence.
+  CRAFTY_TX_BODY CRAFTY_DRAIN_DEFERRED bool
+  forceEmptyCommit(CraftyThread &Forcer, CraftyThread &Victim);
 
   PMemPool &Pool;
   HtmRuntime &Htm;

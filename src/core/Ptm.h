@@ -26,6 +26,7 @@
 #define CRAFTY_CORE_PTM_H
 
 #include "htm/Htm.h"
+#include "support/Annotations.h"
 #include "support/FunctionRef.h"
 
 #include <cstddef>
@@ -80,10 +81,11 @@ struct PtmStats {
 class TxnContext {
 public:
   /// Reads the 8-byte word at \p Addr.
-  virtual uint64_t load(const uint64_t *Addr) = 0;
+  CRAFTY_TX_SAFE virtual uint64_t load(const uint64_t *Addr) = 0;
 
   /// Writes the 8-byte word at \p Addr.
-  virtual void store(uint64_t *Addr, uint64_t Val) = 0;
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API virtual void store(uint64_t *Addr,
+                                                       uint64_t Val) = 0;
 
   /// Allocates \p Bytes of persistent memory. The allocation is logged:
   /// if the body re-executes (Crafty's Validate phase), the same pointer
@@ -96,14 +98,15 @@ public:
   virtual void dealloc(void *Ptr) = 0;
 
   /// Convenience typed accessors for word-sized values.
-  template <typename T> T loadAs(const T *Addr) {
+  template <typename T> CRAFTY_TX_SAFE T loadAs(const T *Addr) {
     static_assert(sizeof(T) == 8, "transactional accesses are 8-byte words");
     uint64_t V = load(reinterpret_cast<const uint64_t *>(Addr));
     T Out;
     __builtin_memcpy(&Out, &V, sizeof(T));
     return Out;
   }
-  template <typename T> void storeAs(T *Addr, T Val) {
+  template <typename T>
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API void storeAs(T *Addr, T Val) {
     static_assert(sizeof(T) == 8, "transactional accesses are 8-byte words");
     uint64_t V;
     __builtin_memcpy(&V, &Val, sizeof(Val));
@@ -131,8 +134,11 @@ public:
 
   /// Executes \p Body as one persistent transaction on behalf of worker
   /// \p ThreadId. Blocks until the transaction has committed (durability
-  /// semantics beyond that point are backend-specific, as in the paper).
-  virtual void run(unsigned ThreadId, TxnBody Body) = 0;
+  /// semantics beyond that point are backend-specific, as in the paper);
+  /// the commit fence gives it drain semantics for any flush the caller
+  /// issued before entering.
+  CRAFTY_TX_SAFE CRAFTY_DRAIN_API virtual void run(unsigned ThreadId,
+                                                   TxnBody Body) = 0;
 
   /// Drains background work (checkpointers, log appliers). Called before
   /// reading final statistics or simulating a clean shutdown.

@@ -43,6 +43,7 @@
 #ifndef CRAFTY_HTM_HTM_H
 #define CRAFTY_HTM_HTM_H
 
+#include "support/Annotations.h"
 #include "support/CacheLine.h"
 #include "support/Compiler.h"
 #include "support/Rng.h"
@@ -224,11 +225,12 @@ public:
   /// advanced so conflicting transactional readers abort or fail
   /// validation. This emulates HTM's strong isolation for the SGL path,
   /// recovery, and initialization done while transactions may run.
-  void nonTxStore(uint64_t *Addr, uint64_t Val);
+  CRAFTY_TX_SAFE void nonTxStore(uint64_t *Addr, uint64_t Val);
 
   /// Atomic compare-and-swap with the same strong-isolation guarantee as
   /// nonTxStore. Returns true if the swap happened.
-  bool nonTxCas(uint64_t *Addr, uint64_t Expected, uint64_t Desired);
+  CRAFTY_TX_SAFE bool nonTxCas(uint64_t *Addr, uint64_t Expected,
+                               uint64_t Desired);
 
   /// Non-transactional load with strong-isolation semantics: waits out a
   /// concurrent committer's write-back of the word's stripe and re-checks
@@ -238,7 +240,7 @@ public:
   /// so its loads must serialize against in-flight write-backs (a plain
   /// load could read a pre-commit value whose transaction then finishes
   /// write-back, losing the SGL section's update).
-  uint64_t nonTxLoad(const uint64_t *Addr) {
+  CRAFTY_TX_SAFE uint64_t nonTxLoad(const uint64_t *Addr) {
     std::atomic<uint64_t> &Stripe = stripeFor(Addr);
     uint64_t Val;
     SpinBackoff Backoff;
@@ -265,7 +267,7 @@ public:
 
   /// Plain atomic load with no consistency guarantee: only for spin-wait
   /// monitoring where a stale value merely retries the loop.
-  static uint64_t plainLoad(const uint64_t *Addr) {
+  CRAFTY_TX_SAFE static uint64_t plainLoad(const uint64_t *Addr) {
     return __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
   }
 
@@ -323,7 +325,7 @@ public:
 
   /// Starts a transaction: captures the snapshot version and resets the
   /// read/write sets.
-  void begin();
+  CRAFTY_TX_SAFE void begin();
 
   /// True between begin() and commit()/abort.
   bool inTransaction() const { return Active; }
@@ -331,24 +333,26 @@ public:
   /// Transactional load of an 8-byte word. Returns the transaction's own
   /// buffered value if the word was written. Aborts (longjmp) on conflict,
   /// capacity overflow, or injected spurious events.
-  uint64_t load(const uint64_t *Addr);
+  CRAFTY_TX_SAFE uint64_t load(const uint64_t *Addr);
 
   /// Transactional store of an 8-byte word; buffered until commit.
-  void store(uint64_t *Addr, uint64_t Val);
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
 
   /// Like store(), additionally associating the caller tag \p Tag with the
   /// buffered word. The tag is retrievable through writtenWordTag() until
   /// commit or abort; a later untagged store() to the word preserves it.
   /// Undo-log coalescing uses this to map a written word back to its undo
   /// entry without a second hash table.
-  void storeTagged(uint64_t *Addr, uint64_t Val, uint32_t Tag);
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API void storeTagged(uint64_t *Addr,
+                                                      uint64_t Val,
+                                                      uint32_t Tag);
 
   /// If the current transaction has a buffered write of \p Addr (via
   /// store, storeTagged, or storeCommitVersion), returns a pointer to the
   /// word's caller tag; otherwise null. The pointer is valid until the
   /// next store into the buffer. storeStream words are never found (they
   /// are not read-your-write).
-  uint32_t *writtenWordTag(uint64_t *Addr) {
+  CRAFTY_TX_SAFE uint32_t *writtenWordTag(uint64_t *Addr) {
     uint64_t Hash = addrHash(Addr);
     if (CRAFTY_LIKELY((WriteFilter & filterBit(Hash)) == 0))
       return nullptr;
@@ -363,7 +367,8 @@ public:
   /// detection, capacity accounting, atomicity and abort semantics are
   /// identical to store(). Storing the same word again within the
   /// transaction (via either API) is unsupported.
-  void storeStream(uint64_t *Addr, uint64_t Val);
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API void storeStream(uint64_t *Addr,
+                                                      uint64_t Val);
 
   /// Like store, except the value written at commit is derived from the
   /// transaction's commit version V as (V << Shift) | OrMask. Reading the
@@ -373,16 +378,18 @@ public:
   /// COMMITTED timestamps and gLastRedoTS) with timestamps that are
   /// exactly serialization-consistent; Shift/OrMask support the undo log's
   /// stolen-bit timestamp encoding.
-  void storeCommitVersion(uint64_t *Addr, unsigned Shift = 0,
-                          uint64_t OrMask = 0);
+  CRAFTY_TX_SAFE CRAFTY_TX_STORE_API void
+  storeCommitVersion(uint64_t *Addr, unsigned Shift = 0, uint64_t OrMask = 0);
 
   /// Explicit abort (XABORT) carrying \p UserCode; does not return.
-  [[noreturn]] void abortExplicit(uint32_t UserCode);
+  CRAFTY_TX_SAFE [[noreturn]] void abortExplicit(uint32_t UserCode);
 
   /// Attempts to commit. On success returns the commit version (writing
   /// transactions) or the snapshot version (read-only transactions). On
-  /// validation/lock failure, aborts via longjmp.
-  uint64_t commit();
+  /// validation/lock failure, aborts via longjmp. Commit has SFENCE
+  /// semantics (the registered commit-fence hook completes this thread's
+  /// pending CLWBs), so it counts as a drain point.
+  CRAFTY_TX_SAFE CRAFTY_DRAIN_API uint64_t commit();
 
   /// Abort cause of the most recent abort.
   AbortCode abortCode() const { return LastAbort; }

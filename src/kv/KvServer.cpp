@@ -261,7 +261,7 @@ void KvServer::dispatch(const std::shared_ptr<Conn> &C, KvRequest &&Req) {
   }
   Worker &Wk = *Workers[W];
   {
-    std::lock_guard<std::mutex> Lk(Wk.Mu);
+    MutexLock Lk(Wk.Mu);
     Wk.Queue.push_back(Work{C, Seq, std::move(Req)});
   }
   Wk.Cv.notify_one();
@@ -314,7 +314,7 @@ void KvServer::deliver(Completion &Comp) {
 void KvServer::drainCompletions() {
   std::vector<Completion> Batch;
   {
-    std::lock_guard<std::mutex> Lk(CompMu);
+    MutexLock Lk(CompMu);
     Batch.swap(Completions);
   }
   for (Completion &Comp : Batch)
@@ -335,7 +335,7 @@ void KvServer::closeConn(const std::shared_ptr<Conn> &C) {
 
 void KvServer::postCompletion(Completion &&Comp) {
   {
-    std::lock_guard<std::mutex> Lk(CompMu);
+    MutexLock Lk(CompMu);
     Completions.push_back(std::move(Comp));
   }
   uint64_t One = 1;
@@ -349,10 +349,12 @@ void KvServer::workerLoop(unsigned W) {
   while (true) {
     Batch.clear();
     {
-      std::unique_lock<std::mutex> Lk(Wk.Mu);
-      Wk.Cv.wait(Lk, [&] {
-        return !Wk.Queue.empty() || Stopping.load(std::memory_order_acquire);
-      });
+      MutexUniqueLock Lk(Wk.Mu);
+      // Explicit wait loop (not the predicate overload): the analysis
+      // sees the capability held for the whole scope, so the Queue
+      // check stays inside it rather than in an unannotated lambda.
+      while (Wk.Queue.empty() && !Stopping.load(std::memory_order_acquire))
+        Wk.Cv.wait(Lk.raw());
       if (Wk.Queue.empty() && Stopping.load(std::memory_order_acquire))
         return;
       Batch.swap(Wk.Queue);

@@ -43,13 +43,13 @@
 
 #include "kv/KvProtocol.h"
 #include "kv/KvStore.h"
+#include "support/Mutex.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -115,9 +115,9 @@ private:
   };
 
   struct Worker {
-    std::mutex Mu;
+    Mutex Mu;
     std::condition_variable Cv;
-    std::vector<Work> Queue;
+    std::vector<Work> Queue CRAFTY_GUARDED_BY(Mu);
     std::thread Thread;
   };
 
@@ -150,8 +150,8 @@ private:
   std::thread IoThread;
   std::vector<std::unique_ptr<Worker>> Workers;
 
-  std::mutex CompMu;
-  std::vector<Completion> Completions;
+  Mutex CompMu;
+  std::vector<Completion> Completions CRAFTY_GUARDED_BY(CompMu);
 
   /// Live connections, keyed by fd (IO thread only).
   std::map<int, std::shared_ptr<Conn>> Conns;

@@ -158,6 +158,9 @@ void KvShard::writeCellTx(TxnContext &Tx, uint64_t CellIdx,
   uint64_t *Cell = cellAt(CellIdx);
   Tx.store(Cell, Val.size());
   for (size_t W = 0; W * 8 < Val.size(); ++W) {
+    // Val.size() <= Cfg.MaxValueBytes (checked before the transaction),
+    // so one cell write is at most 1 + MaxValueBytes/8 stores.
+    CRAFTY_TX_BOUND(Cfg.MaxValueBytes / 8 + 1);
     uint64_t Word = 0;
     size_t N = std::min<size_t>(8, Val.size() - W * 8);
     std::memcpy(&Word, Val.data() + W * 8, N);

@@ -35,6 +35,7 @@
 
 #include "kv/KvTypes.h"
 #include "pds/DurableHashMap.h"
+#include "support/Annotations.h"
 #include "recovery/Recovery.h"
 
 #include <memory>
@@ -79,16 +80,18 @@ public:
 
   // Engine operations. \p Tid selects a backend worker context
   // (< KvConfig::ThreadsPerShard); use each Tid from one thread at a time.
-  KvStatus get(unsigned Tid, uint64_t Key, std::string &Out);
-  KvStatus set(unsigned Tid, uint64_t Key, std::string_view Val);
-  KvStatus del(unsigned Tid, uint64_t Key);
-  KvStatus cas(unsigned Tid, uint64_t Key, std::string_view Expect,
-               std::string_view Desired);
+  CRAFTY_TX_BODY KvStatus get(unsigned Tid, uint64_t Key, std::string &Out);
+  CRAFTY_TX_BODY KvStatus set(unsigned Tid, uint64_t Key,
+                              std::string_view Val);
+  CRAFTY_TX_BODY KvStatus del(unsigned Tid, uint64_t Key);
+  CRAFTY_TX_BODY KvStatus cas(unsigned Tid, uint64_t Key,
+                              std::string_view Expect,
+                              std::string_view Desired);
   /// Batched SET pipeline: runs \p Items in transactions of up to
   /// KvConfig::BatchTxnLimit SETs each -- one undo-log sequence and one
   /// flush per chunk instead of one per key -- filling in each item's
   /// Status. Call persistAck afterwards before acknowledging.
-  void setBatch(unsigned Tid, KvBatchItem *Items, size_t N);
+  CRAFTY_TX_BODY void setBatch(unsigned Tid, KvBatchItem *Items, size_t N);
 
   /// Makes every transaction committed so far durable (Crafty: the
   /// Section 5.2 on-demand persist barrier). Acknowledgements must not be
@@ -129,12 +132,15 @@ private:
                                               CellIdx * CellBytes);
   }
   /// Writes len + value bytes into a cell inside an open transaction.
-  void writeCellTx(TxnContext &Tx, uint64_t CellIdx, std::string_view Val);
+  CRAFTY_TX_BODY void writeCellTx(TxnContext &Tx, uint64_t CellIdx,
+                                  std::string_view Val);
   /// Reads a cell's value inside an open transaction; false on corrupt
   /// length metadata.
-  bool readCellTx(TxnContext &Tx, uint64_t CellIdx, std::string &Out);
+  CRAFTY_TX_BODY bool readCellTx(TxnContext &Tx, uint64_t CellIdx,
+                                 std::string &Out);
   /// The SET engine shared by set/setBatch; runs inside an open txn.
-  KvStatus setInTx(TxnContext &Tx, uint64_t Key, std::string_view Val);
+  CRAFTY_TX_BODY KvStatus setInTx(TxnContext &Tx, uint64_t Key,
+                                  std::string_view Val);
 
   KvConfig Cfg;
   unsigned ShardIdx;
@@ -145,9 +151,9 @@ private:
   std::unique_ptr<HtmRuntime> Htm;
   std::unique_ptr<PtmBackend> Backend;
   std::unique_ptr<DurableHashMap> Map;
-  uint8_t *CellsBase = nullptr;
-  uint64_t *NextFree = nullptr; // NumCells words; idx+1 encoding, 0 = end.
-  uint64_t *FreeHead = nullptr; // One word; idx+1 encoding, 0 = empty.
+  CRAFTY_PMEM uint8_t *CellsBase = nullptr;
+  CRAFTY_PMEM uint64_t *NextFree = nullptr; // NumCells words; idx+1, 0 = end.
+  CRAFTY_PMEM uint64_t *FreeHead = nullptr; // One word; idx+1, 0 = empty.
 
   bool RecoveredOnOpen = false;
   RecoveryReport LastRecovery;

@@ -18,6 +18,7 @@
 
 #include "log/LogEntry.h"
 #include "pmem/PMemPool.h"
+#include "support/Annotations.h"
 
 #include <cstdint>
 
@@ -27,16 +28,16 @@ inline constexpr uint64_t PoolMagic = 0xC7AF77F0C7AF77F0ull;
 
 /// Pool header, at pool offset zero. All offsets are from the pool base.
 struct PoolHeader {
-  uint64_t Magic = 0;
-  uint32_t NumThreads = 0;
-  uint32_t LogEntriesPerThread = 0; // Power of two.
-  uint64_t LogsOffset = 0;          // NumThreads consecutive log regions.
-  uint64_t HeapOffset = 0;
-  uint64_t HeapBytes = 0;
+  CRAFTY_PMEM uint64_t Magic = 0;
+  CRAFTY_PMEM uint32_t NumThreads = 0;
+  CRAFTY_PMEM uint32_t LogEntriesPerThread = 0; // Power of two.
+  CRAFTY_PMEM uint64_t LogsOffset = 0; // NumThreads consecutive log regions.
+  CRAFTY_PMEM uint64_t HeapOffset = 0;
+  CRAFTY_PMEM uint64_t HeapBytes = 0;
   /// Virtual address the pool was mapped at when the logs were written.
   /// Undo-log entries hold virtual addresses; a recovery observer working
   /// on a crash image mapped elsewhere translates through this base.
-  uint64_t MappedBase = 0;
+  CRAFTY_PMEM uint64_t MappedBase = 0;
 };
 
 /// Geometry of one thread's circular undo-log region (2 words per entry).
@@ -46,7 +47,7 @@ struct UndoLogRegion {
   /// contiguous byte range.
   static constexpr size_t EntryBytes = 2 * sizeof(uint64_t);
 
-  uint64_t *Slots = nullptr;
+  CRAFTY_PMEM uint64_t *Slots = nullptr; // Pointee is in-pool log memory.
   size_t NumEntries = 0; // Power of two.
 
   uint64_t *addrWordAt(size_t Slot) const { return Slots + 2 * Slot; }

@@ -19,6 +19,7 @@
 #define CRAFTY_PDS_DURABLEBTREE_H
 
 #include "core/Ptm.h"
+#include "support/Annotations.h"
 #include "pmem/PMemPool.h"
 #include "support/Compiler.h"
 
@@ -81,6 +82,7 @@ public:
     if (Pos < Count && Tx.load(keyWord(Cur, Pos)) == Key)
       return false;
     for (unsigned I = Count; I > Pos; --I) {
+      CRAFTY_TX_BOUND(Order); // Count <= Order: one node's entries.
       Tx.store(keyWord(Cur, I), Tx.load(keyWord(Cur, I - 1)));
       Tx.store(slotWord(Cur, I), Tx.load(slotWord(Cur, I - 1)));
     }
@@ -126,9 +128,11 @@ public:
     }
     unsigned Count = countOf(Meta);
     for (unsigned I = 0; I != Count; ++I) {
+      CRAFTY_TX_BOUND(Order); // Count <= Order: one node's entries.
       if (Tx.load(keyWord(Cur, I)) != Key)
         continue;
       for (unsigned J = I; J + 1 < Count; ++J) {
+        CRAFTY_TX_BOUND(Order);
         Tx.store(keyWord(Cur, J), Tx.load(keyWord(Cur, J + 1)));
         Tx.store(slotWord(Cur, J), Tx.load(slotWord(Cur, J + 1)));
       }
@@ -222,6 +226,7 @@ private:
     uint64_t ParentMeta = Tx.load(metaWord(Parent));
     unsigned PCount = countOf(ParentMeta);
     for (unsigned I = PCount; I > Idx; --I) {
+      CRAFTY_TX_BOUND(Order); // PCount < Order (parent is not full).
       Tx.store(keyWord(Parent, I), Tx.load(keyWord(Parent, I - 1)));
       Tx.store(slotWord(Parent, I + 1), Tx.load(slotWord(Parent, I)));
     }

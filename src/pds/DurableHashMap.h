@@ -20,6 +20,7 @@
 #define CRAFTY_PDS_DURABLEHASHMAP_H
 
 #include "core/Ptm.h"
+#include "support/Annotations.h"
 #include "pmem/PMemPool.h"
 #include "support/Compiler.h"
 
@@ -72,6 +73,9 @@ public:
   bool putTx(TxnContext &Tx, uint64_t Key, uint64_t Value) {
     size_t Tomb = NumSlots;
     for (size_t P = 0; P != NumSlots; ++P) {
+      // The probe itself only reads; each branch below stores at most
+      // key+value+meta once, then returns.
+      CRAFTY_TX_BOUND(3);
       size_t I = slotOf(Key, P);
       uint64_t K = Tx.load(keyWord(I));
       if (K == encode(Key)) {
@@ -113,6 +117,8 @@ public:
   /// Erases a key inside an open transaction; returns true if present.
   bool eraseTx(TxnContext &Tx, uint64_t Key) {
     for (size_t P = 0; P != NumSlots; ++P) {
+      // Read-only probe; the hit stores tombstone+meta once and returns.
+      CRAFTY_TX_BOUND(2);
       size_t I = slotOf(Key, P);
       uint64_t K = Tx.load(keyWord(I));
       if (K == encode(Key)) {

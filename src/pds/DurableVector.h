@@ -17,6 +17,7 @@
 #define CRAFTY_PDS_DURABLEVECTOR_H
 
 #include "core/Ptm.h"
+#include "support/Annotations.h"
 #include "pmem/PMemPool.h"
 #include "support/Compiler.h"
 
@@ -52,8 +53,12 @@ public:
     uint64_t N = Tx.load(Meta);
     if (N + Len > Cap)
       return false;
-    for (size_t I = 0; I != Len; ++I)
+    for (size_t I = 0; I != Len; ++I) {
+      // Caller contract: records are sized to fit one hardware
+      // transaction (Len words plus the Meta bump).
+      CRAFTY_TX_BOUND(Len);
       Tx.store(&Data[N + I], Words[I]);
+    }
     Tx.store(Meta, N + Len);
     return true;
   }

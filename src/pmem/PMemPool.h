@@ -37,6 +37,7 @@
 #define CRAFTY_PMEM_PMEMPOOL_H
 
 #include "htm/Htm.h"
+#include "support/Annotations.h"
 #include "support/CacheLine.h"
 #include "support/Mutex.h"
 #include "support/Rng.h"
@@ -201,22 +202,24 @@ public:
   /// PMemStats::ClwbCalls but not LinesScheduled. A line re-dirtied after
   /// its CLWB always re-arms (tracked per-line store generations; see
   /// DESIGN.md section 7.2 for the epoch rules).
-  void clwb(uint32_t ThreadId, const void *Addr);
+  CRAFTY_FLUSH_API void clwb(uint32_t ThreadId, const void *Addr);
 
   /// Schedules write-backs for every line of [Addr, Addr + Len) under one
   /// queue-lock acquisition and one shared issue timestamp (the batched
   /// fast path; same coalescing rules as clwb).
-  void clwbRange(uint32_t ThreadId, const void *Addr, size_t Len);
+  CRAFTY_FLUSH_API void clwbRange(uint32_t ThreadId, const void *Addr,
+                                  size_t Len);
 
   /// Schedules write-backs for the lines containing each of \p Addrs[0 ..
   /// \p N) as one batch (one lock acquisition, one issue timestamp).
   /// Addresses may repeat and may alias lines freely; the pending-line
   /// filter coalesces duplicates.
-  void clwbLines(uint32_t ThreadId, const void *const *Addrs, size_t N);
+  CRAFTY_FLUSH_API void clwbLines(uint32_t ThreadId,
+                                  const void *const *Addrs, size_t N);
 
   /// Completes \p ThreadId's scheduled write-backs (SFENCE after CLWBs).
   /// Charges DrainLatencyNs if any work was pending.
-  void drain(uint32_t ThreadId);
+  CRAFTY_DRAIN_API void drain(uint32_t ThreadId);
 
   /// Completes another thread's scheduled write-backs without latency.
   /// Models the hardware fact that CLWBs issued long ago have finished on
@@ -226,7 +229,8 @@ public:
   void drainRemote(uint32_t ThreadId);
 
   /// clwbRange followed by drain: a full persist operation.
-  void persist(uint32_t ThreadId, const void *Addr, size_t Len) {
+  CRAFTY_DRAIN_API void persist(uint32_t ThreadId, const void *Addr,
+                                size_t Len) {
     clwbRange(ThreadId, Addr, Len);
     drain(ThreadId);
   }
@@ -261,7 +265,8 @@ public:
   /// the NVM heap (a *separate* physical copy from the DRAM snapshot the
   /// program runs on) with values taken from the redo log. Costs like a
   /// CLWB; completion requires \p ThreadId's drain.
-  void persistImageWord(uint32_t ThreadId, uint64_t *Addr, uint64_t Val);
+  CRAFTY_FLUSH_API void persistImageWord(uint32_t ThreadId, uint64_t *Addr,
+                                         uint64_t Val);
 
   /// Batched persistImageWord: applies \p Writes[0 .. \p N) under one
   /// lock acquisition and one issue timestamp. Word order is preserved
@@ -269,8 +274,9 @@ public:
   /// reaches the observer, and ClwbCalls counts one request per word
   /// while LinesScheduled counts the batch's line-deduplicated flush
   /// traffic -- the same accounting the coalesced CLWB paths use.
-  void persistImageWords(uint32_t ThreadId, const PMemWordWrite *Writes,
-                         size_t N);
+  CRAFTY_FLUSH_API void persistImageWords(uint32_t ThreadId,
+                                          const PMemWordWrite *Writes,
+                                          size_t N);
 
   /// Tracked mode: copies up to \p MaxLines random dirty lines to the
   /// image. Test hook for adversarial persist orderings.
@@ -279,7 +285,7 @@ public:
   /// Persists every dirty line (models writing back the entire cache).
   /// Used by on-demand immediate persistence. In LatencyOnly mode this
   /// just charges one drain latency.
-  void flushEverything();
+  CRAFTY_DRAIN_API void flushEverything();
 
   /// Tracked mode: simulates a power failure: the volatile view is
   /// replaced with the persistent image (every non-persisted store is

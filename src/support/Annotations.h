@@ -1,0 +1,83 @@
+//===- support/Annotations.h - crafty-lint annotation vocabulary -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source annotations consumed by the compile-time persistence and
+/// HTM-discipline analyzer (tools/crafty-lint). Crafty's correctness rests
+/// on rules the compiler never sees: every store to persistent memory must
+/// go through the transactional API so the undo log can roll it back, a
+/// flush must be followed by a drain (or deliberately deferred to the next
+/// HTM commit fence) before durability is claimed, code reachable from a
+/// hardware-transaction body must avoid HTM-aborting operations, and loops
+/// issuing transactional stores must carry a visible bound so they stay
+/// inside HTM write capacity. These macros make that discipline explicit
+/// in the source so the analyzer can enforce it on every path, in CI.
+///
+/// Under Clang each macro expands to a [[clang::annotate("crafty::...")]]
+/// attribute, so an AST-based frontend (or clang-query) sees the same
+/// vocabulary; under other compilers they expand to nothing. crafty-lint's
+/// built-in frontend recognizes the macro spellings directly and therefore
+/// works with any toolchain.
+///
+/// Vocabulary:
+///  - CRAFTY_PMEM           pointer whose pointee (or field whose storage)
+///                          lives in persistent memory. Raw stores through
+///                          it bypass the undo log: rule pm-raw-store.
+///  - CRAFTY_TX_SAFE        function is safe inside a hardware transaction;
+///                          the call-graph traversal of htm-unsafe-call
+///                          trusts it and does not descend.
+///  - CRAFTY_HTM_UNSAFE     function must never execute inside a hardware
+///                          transaction (syscalls, I/O, unbounded locking).
+///  - CRAFTY_TX_BODY        transaction-body entry point: a root for the
+///                          htm-unsafe-call reachability analysis.
+///  - CRAFTY_TX_STORE_API   a transactional store primitive: the legal way
+///                          to write persistent memory, and the event the
+///                          unbounded-tx-writes loop rule counts.
+///  - CRAFTY_FLUSH_API      schedules cache-line write-backs (clwb family);
+///                          arms the flush-without-drain CFG rule.
+///  - CRAFTY_DRAIN_API      completes the calling thread's write-backs
+///                          (drain/persist barrier); clears the rule.
+///  - CRAFTY_DRAIN_DEFERRED function deliberately returns with scheduled
+///                          but undrained flushes -- Crafty's signature
+///                          flush-without-drain optimization, where the
+///                          next hardware transaction's commit fence is
+///                          the drain (paper Section 4.1).
+///  - CRAFTY_TX_BOUND(N)    statement macro asserting the enclosing loop's
+///                          transactional writes are bounded by N, which
+///                          the author has checked against HTM capacity.
+///
+/// A finding on a deliberate pattern can be silenced in place with
+///   // crafty-lint: suppress(<rule>) <justification>
+/// on the diagnosed line or the line above it, or accepted into the
+/// committed baseline (tools/crafty-lint/baseline.json). See DESIGN.md
+/// Section 5.3 for rule semantics and the baseline workflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_SUPPORT_ANNOTATIONS_H
+#define CRAFTY_SUPPORT_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define CRAFTY_ANNOTATE(x) [[clang::annotate(x)]]
+#else
+#define CRAFTY_ANNOTATE(x)
+#endif
+
+#define CRAFTY_PMEM CRAFTY_ANNOTATE("crafty::pmem")
+#define CRAFTY_TX_SAFE CRAFTY_ANNOTATE("crafty::tx_safe")
+#define CRAFTY_HTM_UNSAFE CRAFTY_ANNOTATE("crafty::htm_unsafe")
+#define CRAFTY_TX_BODY CRAFTY_ANNOTATE("crafty::tx_body")
+#define CRAFTY_TX_STORE_API CRAFTY_ANNOTATE("crafty::tx_store_api")
+#define CRAFTY_FLUSH_API CRAFTY_ANNOTATE("crafty::flush_api")
+#define CRAFTY_DRAIN_API CRAFTY_ANNOTATE("crafty::drain_api")
+#define CRAFTY_DRAIN_DEFERRED CRAFTY_ANNOTATE("crafty::drain_deferred")
+
+/// Evaluates nothing at run time; the operand is unevaluated, so runtime
+/// expressions (config fields, locals) are legal bounds.
+#define CRAFTY_TX_BOUND(n) ((void)sizeof((n)))
+
+#endif // CRAFTY_SUPPORT_ANNOTATIONS_H

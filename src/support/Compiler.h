@@ -13,6 +13,8 @@
 #ifndef CRAFTY_SUPPORT_COMPILER_H
 #define CRAFTY_SUPPORT_COMPILER_H
 
+#include "support/Annotations.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -71,7 +73,12 @@ namespace crafty {
 /// Aborts the process after printing \p Msg. Used for invariant violations
 /// that must be diagnosable even in release builds (the library is built
 /// without exceptions in spirit; fatal errors terminate).
-[[noreturn]] inline void fatalError(const char *Msg) {
+///
+/// CRAFTY_TX_SAFE: deliberate HTM boundary. fprintf/abort would abort a
+/// hardware transaction, but every call site is a fatal invariant
+/// violation -- the retry path re-executes under the SGL fallback where
+/// the report runs outside HTM, and the process terminates either way.
+CRAFTY_TX_SAFE [[noreturn]] inline void fatalError(const char *Msg) {
   std::fprintf(stderr, "crafty fatal error: %s\n", Msg);
   std::abort();
 }

@@ -34,6 +34,10 @@ public:
   void lock() CRAFTY_ACQUIRE() { M.lock(); }
   void unlock() CRAFTY_RELEASE() { M.unlock(); }
 
+  /// The wrapped std::mutex, for std::condition_variable interop only
+  /// (MutexUniqueLock::raw()). Locking through it bypasses the analysis.
+  std::mutex &native() { return M; }
+
 private:
   std::mutex M;
 };
@@ -48,6 +52,25 @@ public:
 
 private:
   Mutex &M;
+};
+
+/// Annotated unique lock over Mutex for condition-variable waits:
+/// std::condition_variable requires a std::unique_lock<std::mutex>, which
+/// raw() exposes. The wait's internal unlock/relock is invisible to the
+/// analysis, which treats the capability as held for the whole scope --
+/// the right model for the guarded data, since the lock is always re-held
+/// whenever control is in this scope.
+class CRAFTY_SCOPED_CAPABILITY MutexUniqueLock {
+public:
+  explicit MutexUniqueLock(Mutex &M) CRAFTY_ACQUIRE(M) : Lk(M.native()) {}
+  ~MutexUniqueLock() CRAFTY_RELEASE() = default;
+  MutexUniqueLock(const MutexUniqueLock &) = delete;
+  MutexUniqueLock &operator=(const MutexUniqueLock &) = delete;
+
+  std::unique_lock<std::mutex> &raw() { return Lk; }
+
+private:
+  std::unique_lock<std::mutex> Lk;
 };
 
 /// An annotated test-and-set spin lock (used where the critical section is

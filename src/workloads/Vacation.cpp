@@ -7,6 +7,8 @@
 
 #include "workloads/Vacation.h"
 
+#include "support/Annotations.h"
+
 #include <string>
 
 using namespace crafty;
@@ -63,6 +65,7 @@ void VacationWorkload::runOp(PtmBackend &Backend, unsigned Tid, Rng &R) {
     uint64_t Charged = 0;
     uint64_t Booked = 0;
     for (unsigned I = 0; I != Bookings; ++I) {
+      CRAFTY_TX_BOUND(8); // Bookings <= 6, scratch arrays hold 8.
       uint64_t *Res = rowWord(Table[I], Row[I]);
       uint64_t Free = Tx.load(&Res[0]);
       if (Free == 0)

@@ -1,0 +1,119 @@
+//===- tests/LintFixtureTest.cpp - crafty-lint fixture corpus -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden tests for the crafty-lint analyzer (tools/crafty-lint). Each
+/// fixture under tests/lint/fixtures/ is one translation unit with either
+/// seeded violations of a single rule or the clean counterparts that must
+/// stay silent; the expected diagnostics live beside them in
+/// tests/lint/expected/ as `line:rule` pairs. A final test runs the tool
+/// over the real src/ tree against the committed baseline, pinning the
+/// "tree is clean" property CI enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+LintRun runLint(const std::string &Args) {
+  LintRun R;
+  std::string Cmd = std::string(CRAFTY_LINT_BIN) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Rc = pclose(P);
+  R.ExitCode = WIFEXITED(Rc) ? WEXITSTATUS(Rc) : -1;
+  return R;
+}
+
+/// Reduces tool output ("file:line: rule: message [in func]") to the
+/// golden form: one "line:rule" entry per finding, in output order.
+std::vector<std::string> findings(const std::string &Out) {
+  std::vector<std::string> F;
+  std::istringstream In(Out);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind("crafty-lint:", 0) == 0 || Line.empty())
+      continue;
+    size_t C1 = Line.find(':');
+    if (C1 == std::string::npos)
+      continue;
+    size_t C2 = Line.find(':', C1 + 1);
+    size_t C3 = Line.find(':', C2 + 2);
+    if (C2 == std::string::npos || C3 == std::string::npos)
+      continue;
+    std::string LineNo = Line.substr(C1 + 1, C2 - C1 - 1);
+    std::string Rule = Line.substr(C2 + 2, C3 - C2 - 2);
+    F.push_back(LineNo + ":" + Rule);
+  }
+  return F;
+}
+
+std::vector<std::string> golden(const std::string &Name) {
+  std::ifstream In(std::string(CRAFTY_LINT_EXPECTED_DIR) + "/" + Name +
+                   ".txt");
+  EXPECT_TRUE(In.good()) << "missing golden file for " << Name;
+  std::vector<std::string> G;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      G.push_back(Line);
+  return G;
+}
+
+class LintFixture : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(LintFixture, MatchesGolden) {
+  const std::string Name = GetParam();
+  LintRun R = runLint(std::string(CRAFTY_LINT_FIXTURE_DIR) + "/" + Name +
+                      ".cpp --root " CRAFTY_LINT_FIXTURE_DIR
+                      " --include-dir " CRAFTY_LINT_SRC_DIR);
+  std::vector<std::string> Expected = golden(Name);
+  EXPECT_EQ(findings(R.Output), Expected) << R.Output;
+  // Exit code contract: 1 when findings exist, 0 when clean.
+  EXPECT_EQ(R.ExitCode, Expected.empty() ? 0 : 1) << R.Output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LintFixture,
+    ::testing::Values("pm_raw_store_pos", "pm_raw_store_neg",
+                      "htm_unsafe_call_pos", "htm_unsafe_call_neg",
+                      "flush_without_drain_pos", "flush_without_drain_neg",
+                      "unbounded_tx_writes_pos", "unbounded_tx_writes_neg",
+                      "suppression"),
+    [](const ::testing::TestParamInfo<const char *> &I) {
+      return std::string(I.param);
+    });
+
+/// The property the CI lint lane enforces: the real tree produces no
+/// findings beyond the committed baseline.
+TEST(LintTree, SrcIsCleanAgainstBaseline) {
+  LintRun R = runLint("--scan " CRAFTY_LINT_SRC_DIR
+                      " --restrict src/ --root " CRAFTY_LINT_REPO_ROOT
+                      " --baseline " CRAFTY_LINT_REPO_ROOT
+                      "/tools/crafty-lint/baseline.json");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+}
+
+} // namespace

@@ -1,0 +1,30 @@
+// Clean counterpart of flush_without_drain_pos.cpp: every path drains,
+// or the function is a deliberate deferred-drain site (the Crafty
+// pattern where the next HTM commit fence completes the write-back).
+#include "support/Annotations.h"
+
+struct Pool {
+  CRAFTY_FLUSH_API void clwb(const void *Line);
+  CRAFTY_DRAIN_API void drain();
+};
+
+void drainedOnAllPaths(Pool &P, const void *Line, bool Fast) {
+  P.clwb(Line);
+  if (Fast) {
+    P.drain(); // Clean: this path drains...
+    return;
+  }
+  P.drain(); // ...and so does this one.
+}
+
+void drainedInLoop(Pool &P, const void *Line, int N) {
+  for (int I = 0; I != N; ++I)
+    P.clwb(Line); // Clean: drained after the batch.
+  P.drain();
+}
+
+/// Crafty Section 4.2: the Log phase flushes undo entries and lets the
+/// Redo/Validate commit fence drain them.
+CRAFTY_DRAIN_DEFERRED void logPhaseStyle(Pool &P, const void *Line) {
+  P.clwb(Line); // Clean: annotated deferred-drain function.
+}

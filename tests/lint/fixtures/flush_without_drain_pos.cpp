@@ -1,0 +1,20 @@
+// Seeded violations for the flush-without-drain rule: CLWBs that can
+// leave the function with the write-back still pending.
+// Golden: tests/lint/expected/flush_without_drain_pos.txt
+#include "support/Annotations.h"
+
+struct Pool {
+  CRAFTY_FLUSH_API void clwb(const void *Line);
+  CRAFTY_DRAIN_API void drain();
+};
+
+void leakAtEnd(Pool &P, const void *Line) {
+  P.clwb(Line); // VIOLATION: reaches the end with no drain.
+}
+
+void leakThroughReturn(Pool &P, const void *Line, bool Fast) {
+  P.clwb(Line); // VIOLATION: the Fast path returns before the drain.
+  if (Fast)
+    return;
+  P.drain();
+}

@@ -1,0 +1,22 @@
+// Clean counterpart of htm_unsafe_call_pos.cpp: allocation outside tx
+// bodies and trusted CRAFTY_TX_SAFE boundaries must stay silent.
+#include "support/Annotations.h"
+
+extern "C" void *malloc(unsigned long);
+
+/// Pre-sized pool allocator: trusted not to abort hardware transactions.
+CRAFTY_TX_SAFE void *pooledAlloc(unsigned long Bytes);
+
+static void *viaBarrier(unsigned long Bytes) {
+  return pooledAlloc(Bytes); // Walk stops at the TX_SAFE boundary.
+}
+
+CRAFTY_TX_BODY void txPooled(unsigned long Bytes) {
+  void *P = viaBarrier(Bytes); // Clean: barrier before anything unsafe.
+  (void)P;
+}
+
+void setupPhase(unsigned long Bytes) {
+  void *P = malloc(Bytes); // Clean: not reachable from any tx body.
+  (void)P;
+}

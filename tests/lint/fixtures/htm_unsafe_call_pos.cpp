@@ -1,0 +1,27 @@
+// Seeded violations for the htm-unsafe-call rule: HTM-unsafe operations
+// reachable from a CRAFTY_TX_BODY root, directly and through a helper.
+// Golden: tests/lint/expected/htm_unsafe_call_pos.txt
+#include "support/Annotations.h"
+
+extern "C" void *malloc(unsigned long);
+extern "C" void free(void *);
+
+struct Node {
+  unsigned long Value;
+};
+
+static void *grabBuffer(unsigned long Bytes) {
+  return malloc(Bytes); // VIOLATION when reached from a tx body.
+}
+
+CRAFTY_TX_BODY void txIndirectAlloc(unsigned long Bytes) {
+  void *P = grabBuffer(Bytes); // Chain: txIndirectAlloc -> grabBuffer.
+  free(P); // VIOLATION: direct free() inside the tx body.
+}
+
+CRAFTY_TX_BODY unsigned long txKeywordAlloc() {
+  Node *N = new Node(); // VIOLATION: operator new aborts HTM.
+  unsigned long V = N->Value;
+  delete N; // VIOLATION: operator delete aborts HTM.
+  return V;
+}

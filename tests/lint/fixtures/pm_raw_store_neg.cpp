@@ -1,0 +1,27 @@
+// Clean counterpart of pm_raw_store_pos.cpp: patterns that look like
+// persistent stores but are not, and must stay silent.
+#include "support/Annotations.h"
+
+struct Header {
+  CRAFTY_PMEM unsigned long Magic;
+};
+
+struct Region {
+  CRAFTY_PMEM unsigned long *Slots;
+  unsigned long *Scratch;
+};
+
+void mapRegion(Region &R, unsigned long *Base) {
+  R.Slots = Base;   // Clean: re-pointing the (volatile) pointer itself.
+  R.Scratch = Base; // Clean: plain DRAM pointer.
+}
+
+void formatHeader() {
+  Header H;            // Stack staging copy (the formatPool pattern):
+  H.Magic = 0x43524654; // Clean: '.' access on a local, persisted later
+  (void)H;              // via persistDirect, not a raw pm store.
+}
+
+void dramOnly(Region &R) {
+  R.Scratch[3] = 11; // Clean: not a persistent-annotated pointer.
+}

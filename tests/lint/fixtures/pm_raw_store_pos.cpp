@@ -1,0 +1,22 @@
+// Seeded violations for the pm-raw-store rule: raw stores that reach
+// persistent memory without going through the transactional store API.
+// Golden: tests/lint/expected/pm_raw_store_pos.txt
+#include "support/Annotations.h"
+
+struct Region {
+  CRAFTY_PMEM unsigned long *Slots; // Pointee is persistent.
+  unsigned long *Scratch;           // DRAM.
+};
+
+void writeSlots(Region &R) {
+  *R.Slots = 1;  // VIOLATION: deref store through a persistent pointer.
+  R.Slots[2] = 7; // VIOLATION: indexed store through a persistent pointer.
+}
+
+void writeParam(CRAFTY_PMEM unsigned long *Cell) {
+  Cell[0] = 9; // VIOLATION: persistent-annotated parameter.
+}
+
+void bulkWrite(Region &R, const unsigned long *Src) {
+  __builtin_memcpy(R.Slots, Src, 64); // VIOLATION: memcpy into pm.
+}

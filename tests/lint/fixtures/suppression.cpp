@@ -1,0 +1,13 @@
+// The inline suppression mechanism: a finding silenced by a
+// `crafty-lint: suppress(<rule>)` comment with a justification, on the
+// line above the flagged store. Must produce no findings.
+#include "support/Annotations.h"
+
+struct Region {
+  CRAFTY_PMEM unsigned long *Slots;
+};
+
+void recoveryRepair(Region &R) {
+  // crafty-lint: suppress(pm-raw-store) recovery-only repair; the pool is quiesced and re-flushed wholesale afterwards.
+  R.Slots[0] = 0; // Clean: suppressed with justification.
+}

@@ -1,0 +1,40 @@
+// Clean counterpart of unbounded_tx_writes_pos.cpp: visibly bounded
+// loops, asserted bounds, and std::atomic stores (which share the
+// `store` spelling but are not transactional writes).
+#include "support/Annotations.h"
+
+struct Tx {
+  CRAFTY_TX_STORE_API void store(unsigned long *Addr, unsigned long Val);
+};
+
+inline constexpr unsigned long kChunkWords = 32;
+
+void literalBound(Tx &T, unsigned long *W) {
+  for (int I = 0; I < 8; ++I) // Clean: literal bound.
+    T.store(W + I, (unsigned long)I);
+}
+
+void constNameBound(Tx &T, unsigned long *W) {
+  for (unsigned long I = 0; I != kChunkWords; ++I) // Clean: const bound.
+    T.store(W + I, I);
+}
+
+void assertedBound(Tx &T, unsigned long *W, unsigned long N) {
+  for (unsigned long I = 0; I != N; ++I) {
+    CRAFTY_TX_BOUND(kChunkWords); // Clean: bound asserted by the author.
+    T.store(W + I, I);
+  }
+}
+
+namespace std {
+enum memory_order { memory_order_relaxed };
+}
+
+struct AtomicFlag {
+  void store(bool V, std::memory_order O);
+};
+
+void atomicReset(AtomicFlag *Flags, unsigned long N) {
+  for (unsigned long I = 0; I != N; ++I) // Clean: atomic, not tx, store.
+    Flags[I].store(false, std::memory_order_relaxed);
+}

@@ -1,0 +1,19 @@
+// Seeded violations for the unbounded-tx-writes rule: loops issuing
+// transactional stores with no visible iteration bound (the hazard that
+// forced KvConfig::BatchTxnLimit).
+// Golden: tests/lint/expected/unbounded_tx_writes_pos.txt
+#include "support/Annotations.h"
+
+struct Tx {
+  CRAFTY_TX_STORE_API void store(unsigned long *Addr, unsigned long Val);
+};
+
+void variableCount(Tx &T, unsigned long *W, unsigned long N) {
+  for (unsigned long I = 0; I != N; ++I) // VIOLATION: N is unbounded.
+    T.store(W + I, I);
+}
+
+void pointerChase(Tx &T, unsigned long *W, unsigned long *End) {
+  while (W != End) // VIOLATION: distance to End is unbounded.
+    T.store(W++, 0);
+}

@@ -1,0 +1,1158 @@
+//===- tools/crafty-lint/Checks.cpp - The four analyzer rules -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace craftylint {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+const char *const RulePmRawStore = "pm-raw-store";
+const char *const RuleHtmUnsafeCall = "htm-unsafe-call";
+const char *const RuleFlushWithoutDrain = "flush-without-drain";
+const char *const RuleUnboundedTxWrites = "unbounded-tx-writes";
+
+/// Free functions that abort hardware transactions (syscalls, page faults
+/// from the allocator, unbounded blocking) regardless of annotation. Only
+/// consulted for *unresolved free* calls -- methods go through annotation
+/// lookup and call-graph descent instead.
+const std::set<std::string> &builtinUnsafe() {
+  static const std::set<std::string> S = {
+      // Allocation (may mmap / take locks / fault).
+      "malloc", "calloc", "realloc", "free", "aligned_alloc",
+      "posix_memalign",
+      // stdio / I/O.
+      "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+      "puts", "putchar", "fputs", "fputc", "fwrite", "fread", "fopen",
+      "fclose", "fflush", "getline", "scanf", "fscanf", "perror",
+      // POSIX I/O and memory syscalls.
+      "open", "close", "read", "write", "pread", "pwrite", "lseek", "mmap",
+      "munmap", "msync", "mprotect", "ftruncate", "fsync", "fdatasync",
+      "ioctl", "syscall",
+      // Sockets.
+      "socket", "send", "recv", "sendto", "recvfrom", "accept", "connect",
+      "bind", "listen",
+      // Scheduling / blocking.
+      "sleep", "usleep", "nanosleep", "sched_yield",
+      "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_cond_wait",
+      "pthread_cond_signal", "pthread_cond_broadcast", "pthread_create",
+      "pthread_join",
+      // Process control.
+      "abort", "exit", "_exit", "quick_exit", "atexit", "fork", "execve",
+      "system",
+  };
+  return S;
+}
+
+/// memcpy-family sinks whose first argument is a write destination.
+const std::set<std::string> &memWriteFns() {
+  static const std::set<std::string> S = {
+      "memcpy",  "memmove", "memset",  "strcpy",
+      "strncpy", "strcat",  "strncat", "__builtin_memcpy",
+      "__builtin_memmove", "__builtin_memset",
+  };
+  return S;
+}
+
+/// Raw flush/drain intrinsic spellings, recognized alongside the annotated
+/// wrappers so hand-rolled code does not slip past flush-without-drain.
+bool isRawFlushName(const std::string &N) {
+  return N == "_mm_clwb" || N == "_mm_clflushopt" || N == "_mm_clflush" ||
+         N == "__builtin_ia32_clwb" || N == "__builtin_ia32_clflushopt";
+}
+bool isRawDrainName(const std::string &N) {
+  return N == "_mm_sfence" || N == "__builtin_ia32_sfence";
+}
+
+bool isKeyword(const std::string &S) {
+  static const std::set<std::string> K = {
+      "if",       "else",    "for",      "while",   "do",       "switch",
+      "case",     "default", "return",   "break",   "continue", "sizeof",
+      "alignof",  "new",     "delete",   "throw",   "try",      "catch",
+      "goto",     "const",   "constexpr", "static",  "auto",     "struct",
+      "class",    "enum",    "union",    "typename", "template", "using",
+      "namespace", "public",  "private",  "protected", "noexcept", "co_await",
+      "co_return", "co_yield", "static_assert", "decltype", "assert",
+  };
+  return K.count(S) > 0;
+}
+
+bool isAllCapsName(const std::string &S) {
+  if (S.size() < 2)
+    return false;
+  bool HasAlpha = false;
+  for (char C : S) {
+    if (std::islower((unsigned char)C))
+      return false;
+    if (std::isupper((unsigned char)C))
+      HasAlpha = true;
+  }
+  return HasAlpha;
+}
+
+bool isKConstName(const std::string &S) {
+  return S.size() >= 2 && S[0] == 'k' && std::isupper((unsigned char)S[1]);
+}
+
+/// A call site or HTM-hostile keyword inside a function body.
+struct CallSite {
+  enum SiteKind { Call, KwNew, KwDelete, KwThrow } Kind = Call;
+  std::string Name;      // Callee simple name (Call only).
+  std::string ClassHint; // Qualifier before :: if present, else "".
+  bool IsFree = false;   // No . / -> / :: receiver.
+  size_t TokIdx = 0;
+  int Line = 0;
+};
+
+/// Extracts every call site / hostile keyword in [B, E) of \p T.
+std::vector<CallSite> collectSites(const std::vector<Token> &T, size_t B,
+                                   size_t E) {
+  std::vector<CallSite> Sites;
+  for (size_t I = B; I < E; ++I) {
+    const Token &Tk = T[I];
+    if (!Tk.isIdent())
+      continue;
+    if (Tk.Text == "new" || Tk.Text == "delete" || Tk.Text == "throw") {
+      // `throw;` rethrow counts too; `= delete` never appears inside a body.
+      CallSite S;
+      S.Kind = Tk.Text == "new"      ? CallSite::KwNew
+               : Tk.Text == "delete" ? CallSite::KwDelete
+                                     : CallSite::KwThrow;
+      S.TokIdx = I;
+      S.Line = Tk.Line;
+      Sites.push_back(S);
+      continue;
+    }
+    if (I + 1 >= E || !T[I + 1].isPunct("(") || isKeyword(Tk.Text))
+      continue;
+    if (Tk.Text.rfind("CRAFTY_", 0) == 0) // Annotation / bound macros.
+      continue;
+    CallSite S;
+    S.Name = Tk.Text;
+    S.TokIdx = I;
+    S.Line = Tk.Line;
+    if (I >= B + 1 && (T[I - 1].isPunct(".") || T[I - 1].isPunct("->"))) {
+      S.IsFree = false;
+    } else if (I >= B + 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent()) {
+      S.ClassHint = T[I - 2].Text;
+      // std-qualified calls behave like free calls for the builtin list
+      // (std::malloc, std::fopen, ...).
+      S.IsFree = (S.ClassHint == "std");
+    } else {
+      S.IsFree = true;
+    }
+    Sites.push_back(S);
+  }
+  return Sites;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement tree (for flush-without-drain and unbounded-tx-writes)
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum StmtKind {
+    Seq,
+    If,
+    Loop,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    Expr,
+    Lambda, // A braced body embedded in an expression: lambda or init-list.
+  } Kind = Seq;
+  int Line = 0;
+  bool PostCond = false;      // do/while: body runs before the condition.
+  size_t HdrB = 0, HdrE = 0;  // Condition/header tokens (If/Loop/Switch).
+  size_t ExprB = 0, ExprE = 0; // Token range (Expr/Return), incl. holes.
+  std::vector<std::pair<size_t, size_t>> Holes; // Embedded-body subranges.
+  std::vector<Stmt> Kids;
+};
+
+class StmtParser {
+public:
+  explicit StmtParser(const std::vector<Token> &T) : T(T) {}
+
+  Stmt parseSeq(size_t B, size_t E) {
+    Stmt S;
+    S.Kind = Stmt::Seq;
+    S.Line = B < E ? T[B].Line : 0;
+    size_t I = B;
+    while (I < E) {
+      size_t Prev = I;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I <= Prev) // Safety: never loop without progress.
+        I = Prev + 1;
+    }
+    return S;
+  }
+
+private:
+  const std::vector<Token> &T;
+
+  /// Parses the parenthesized header following the keyword at \p I (which
+  /// is advanced past the closing paren). Returns {B, E} of the contents.
+  std::pair<size_t, size_t> parseHeader(size_t &I, size_t E) {
+    while (I < E && !T[I].isPunct("("))
+      ++I;
+    if (I >= E)
+      return {E, E};
+    size_t Close = matchForward(T, I, E);
+    std::pair<size_t, size_t> R{I + 1, Close};
+    I = Close < E ? Close + 1 : E;
+    return R;
+  }
+
+  Stmt parseStmt(size_t &I, size_t E) {
+    Stmt S;
+    S.Line = T[I].Line;
+    const std::string &W = T[I].Text;
+
+    if (T[I].isPunct("{")) {
+      size_t Close = matchForward(T, I, E);
+      S = parseSeq(I + 1, Close);
+      S.Line = T[I].Line;
+      I = Close < E ? Close + 1 : E;
+      return S;
+    }
+    if (T[I].isIdent() && W == "if") {
+      S.Kind = Stmt::If;
+      ++I;
+      if (I < E && T[I].isIdent() && T[I].Text == "constexpr")
+        ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I < E && T[I].isIdent() && T[I].Text == "else") {
+        ++I;
+        S.Kids.push_back(parseStmt(I, E));
+      }
+      return S;
+    }
+    if (T[I].isIdent() && (W == "while" || W == "for")) {
+      S.Kind = Stmt::Loop;
+      ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      return S;
+    }
+    if (T[I].isIdent() && W == "do") {
+      S.Kind = Stmt::Loop;
+      S.PostCond = true;
+      ++I;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I < E && T[I].isIdent() && T[I].Text == "while") {
+        ++I;
+        auto H = parseHeader(I, E);
+        S.HdrB = H.first;
+        S.HdrE = H.second;
+      }
+      if (I < E && T[I].isPunct(";"))
+        ++I;
+      return S;
+    }
+    if (T[I].isIdent() && W == "switch") {
+      S.Kind = Stmt::Switch;
+      ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      return S;
+    }
+    if (T[I].isIdent() && (W == "case" || W == "default")) {
+      ++I;
+      while (I < E && !T[I].isPunct(":")) {
+        if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{"))
+          I = matchForward(T, I, E);
+        ++I;
+      }
+      if (I < E)
+        ++I; // The ':'.
+      S.Kind = Stmt::Expr;
+      return S;
+    }
+    if (T[I].isIdent() && W == "return") {
+      S.Kind = Stmt::Return;
+      ++I;
+      S.ExprB = I;
+      S.ExprE = scanToSemi(I, E, S);
+      return S;
+    }
+    if (T[I].isIdent() && (W == "break" || W == "continue")) {
+      S.Kind = W == "break" ? Stmt::Break : Stmt::Continue;
+      ++I;
+      if (I < E && T[I].isPunct(";"))
+        ++I;
+      return S;
+    }
+    if (T[I].isIdent() && W == "try") {
+      // try/catch approximated as straight-line composition of the blocks.
+      S.Kind = Stmt::Seq;
+      ++I;
+      S.Kids.push_back(parseStmt(I, E));
+      while (I < E && T[I].isIdent() && T[I].Text == "catch") {
+        ++I;
+        parseHeader(I, E);
+        S.Kids.push_back(parseStmt(I, E));
+      }
+      return S;
+    }
+    if (T[I].isPunct(";")) { // Empty statement.
+      ++I;
+      S.Kind = Stmt::Expr;
+      return S;
+    }
+    // Label?  ident ':' (not '::', which is one token).
+    if (T[I].isIdent() && I + 1 < E && T[I + 1].isPunct(":") &&
+        !isKeyword(W)) {
+      I += 2;
+      return parseStmt(I, E);
+    }
+    // Expression statement (includes declarations).
+    S.Kind = Stmt::Expr;
+    S.ExprB = I;
+    S.ExprE = scanToSemi(I, E, S);
+    return S;
+  }
+
+  /// Advances \p I to just past the terminating ';' of an expression
+  /// statement, recording each top-level braced region as a Lambda kid of
+  /// \p S and as a hole in S's token range. Parens are NOT jumped: a ';'
+  /// can only hide inside braces (lambda bodies), which are.
+  size_t scanToSemi(size_t &I, size_t E, Stmt &S) {
+    while (I < E) {
+      if (T[I].isPunct(";")) {
+        size_t SemIdx = I;
+        ++I;
+        return SemIdx;
+      }
+      if (T[I].isPunct("{")) {
+        size_t Close = matchForward(T, I, E);
+        Stmt L;
+        L.Kind = Stmt::Lambda;
+        L.Line = T[I].Line;
+        L.Kids.push_back(parseSeq(I + 1, Close));
+        S.Kids.push_back(std::move(L));
+        S.Holes.push_back({I, Close + 1});
+        I = Close < E ? Close + 1 : E;
+        continue;
+      }
+      ++I;
+    }
+    return E;
+  }
+};
+
+/// Iterates tokens of [B, E) minus \p Holes, invoking \p Fn(index).
+void forEachTok(size_t B, size_t E,
+                const std::vector<std::pair<size_t, size_t>> &Holes,
+                const std::function<void(size_t)> &Fn) {
+  size_t H = 0;
+  for (size_t I = B; I < E; ++I) {
+    while (H < Holes.size() && Holes[H].second <= I)
+      ++H;
+    if (H < Holes.size() && I >= Holes[H].first) {
+      I = Holes[H].second - 1; // Loop ++ lands on the first post-hole token.
+      continue;
+    }
+    Fn(I);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Check engine
+//===----------------------------------------------------------------------===//
+
+class Checker {
+public:
+  Checker(const std::vector<const ParsedFile *> &Targets, const Registry &Reg)
+      : Targets(Targets), Reg(Reg) {}
+
+  std::vector<Diagnostic> run() {
+    for (const ParsedFile *PF : Targets)
+      for (const FunctionInfo &F : PF->Funcs)
+        if (F.hasBody())
+          checkFunction(*PF, F);
+    finalize();
+    return std::move(Diags);
+  }
+
+private:
+  const std::vector<const ParsedFile *> &Targets;
+  const Registry &Reg;
+  std::vector<Diagnostic> Diags;
+  std::set<std::string> Emitted; // rule|file|line|func dedup.
+
+  // Per-function scratch, rebuilt by checkFunction.
+  const ParsedFile *PF = nullptr;
+  const FunctionInfo *F = nullptr;
+  Annotations FAnn; // Effective annotations: definition + header decls.
+  std::map<std::string, bool> PmVars; // name -> IsPtr (params + locals).
+  std::set<std::string> LocalConsts;
+
+  /// Annotations usually live on the in-class declaration, not the
+  /// out-of-line definition; union the definition's own set with every
+  /// declaration registered under the same qualified name.
+  Annotations effectiveAnn(const FunctionInfo &Fn) const {
+    Annotations A = Fn.Ann;
+    auto It = Reg.AnnByQual.find(Fn.QualName);
+    if (It != Reg.AnnByQual.end())
+      A.merge(It->second);
+    return A;
+  }
+
+  void checkFunction(const ParsedFile &File, const FunctionInfo &Fn) {
+    PF = &File;
+    F = &Fn;
+    FAnn = effectiveAnn(Fn);
+    collectLocals();
+
+    StmtParser P(File.Lex.Toks);
+    Stmt Body = P.parseSeq(Fn.BodyBegin, Fn.BodyEnd);
+
+    checkPmRawStore();
+    checkHtmUnsafe();
+    checkFlushWithoutDrain(Body);
+    checkUnboundedTxWrites(Body, /*InLambda=*/false);
+  }
+
+  void diag(const char *Rule, const LexedFile &Where, int Line,
+            const std::string &Func, std::string Msg) {
+    if (isSuppressed(Where, Rule, Line))
+      return;
+    std::string Key = std::string(Rule) + "|" + Where.Path + "|" +
+                      std::to_string(Line) + "|" + Func;
+    if (!Emitted.insert(Key).second)
+      return;
+    Diags.push_back(Diagnostic{Rule, Where.Path, Line, Func, std::move(Msg),
+                               /*Baselined=*/false});
+  }
+
+  /// `// crafty-lint: suppress(<rule>) <why>` on the same line or the line
+  /// directly above silences the finding.
+  bool isSuppressed(const LexedFile &Where, const char *Rule, int Line) const {
+    const std::string Needle = std::string("crafty-lint: suppress(") + Rule +
+                               ")";
+    for (const Comment &C : Where.Comments) {
+      if (C.Line != Line && C.Line != Line - 1)
+        continue;
+      if (C.Text.find(Needle) != std::string::npos)
+        return true;
+    }
+    return false;
+  }
+
+  void finalize() {
+    std::sort(Diags.begin(), Diags.end(),
+              [](const Diagnostic &A, const Diagnostic &B) {
+                if (A.File != B.File)
+                  return A.File < B.File;
+                if (A.Line != B.Line)
+                  return A.Line < B.Line;
+                return A.Rule < B.Rule;
+              });
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Local declaration scan
+  //===--------------------------------------------------------------------===//
+
+  void collectLocals() {
+    PmVars.clear();
+    LocalConsts.clear();
+    for (const PmVar &V : F->PmParams)
+      PmVars[V.Name] = V.IsPtr;
+
+    const std::vector<Token> &T = PF->Lex.Toks;
+    for (size_t I = F->BodyBegin; I < F->BodyEnd; ++I) {
+      if (!T[I].isIdent())
+        continue;
+      if (T[I].Text == "CRAFTY_PMEM") {
+        bool IsPtr = false;
+        std::string Name;
+        for (size_t J = I + 1; J < F->BodyEnd; ++J) {
+          if (T[J].isPunct(";") || T[J].isPunct("=") || T[J].isPunct("{") ||
+              T[J].isPunct("("))
+            break;
+          if (T[J].isPunct("*"))
+            IsPtr = true;
+          if (T[J].isIdent() && !isKeyword(T[J].Text))
+            Name = T[J].Text;
+        }
+        if (!Name.empty())
+          PmVars[Name] = IsPtr;
+      } else if (T[I].Text == "const" || T[I].Text == "constexpr") {
+        std::string Name;
+        for (size_t J = I + 1; J < F->BodyEnd; ++J) {
+          if (T[J].isPunct(";") || T[J].isPunct("=") || T[J].isPunct("(") ||
+              T[J].isPunct("{") || T[J].isPunct(":") || T[J].isPunct(")"))
+            break;
+          if (T[J].isIdent() && !isKeyword(T[J].Text))
+            Name = T[J].Text;
+        }
+        if (!Name.empty())
+          LocalConsts.insert(Name);
+      }
+    }
+  }
+
+  bool isConstName(const std::string &N) const {
+    return LocalConsts.count(N) || PF->ConstNames.count(N) ||
+           Reg.ConstNames.count(N) || isAllCapsName(N) || isKConstName(N);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 1: pm-raw-store
+  //===--------------------------------------------------------------------===//
+
+  /// One member/subscript step in an lvalue chain.
+  struct Access {
+    enum Op { Dot, Arrow, Index } Kind;
+    std::string Field; // Empty for Index.
+  };
+
+  struct Lvalue {
+    bool Valid = false;
+    int Derefs = 0; // Leading '*' count.
+    std::string Root;
+    std::vector<Access> Chain;
+  };
+
+  Lvalue parseLvalue(const std::vector<Token> &T, size_t B, size_t E) const {
+    Lvalue L;
+    size_t I = B;
+    while (I < E && (T[I].isPunct("*") || T[I].isPunct("(") ||
+                     T[I].isPunct("&"))) {
+      if (T[I].isPunct("*"))
+        ++L.Derefs;
+      ++I;
+    }
+    if (I >= E || !T[I].isIdent())
+      return L;
+    L.Root = T[I].Text;
+    ++I;
+    while (I < E) {
+      if (T[I].isPunct("->") || T[I].isPunct(".")) {
+        Access A;
+        A.Kind = T[I].isPunct("->") ? Access::Arrow : Access::Dot;
+        if (I + 1 < E && T[I + 1].isIdent()) {
+          A.Field = T[I + 1].Text;
+          I += 2;
+        } else {
+          ++I;
+        }
+        L.Chain.push_back(A);
+      } else if (T[I].isPunct("[")) {
+        L.Chain.push_back(Access{Access::Index, ""});
+        size_t Close = matchForward(T, I, E);
+        I = Close < E ? Close + 1 : E;
+      } else {
+        ++I; // ')' closers from stripped '(' prefixes, etc.
+      }
+    }
+    L.Valid = true;
+    return L;
+  }
+
+  /// Decides whether storing into \p L hits persistent memory, and why.
+  /// \p ForMemWrite relaxes the pointer rules: a pm pointer passed as a
+  /// memcpy/memset destination is written through even with no deref.
+  std::string classifyPmStore(const Lvalue &L, bool ForMemWrite) const {
+    if (!L.Valid)
+      return "";
+    auto PV = PmVars.find(L.Root);
+    if (PV != PmVars.end()) {
+      if (!PV->second) // Whole variable is persistent.
+        return "CRAFTY_PMEM variable '" + L.Root + "'";
+      bool Through = L.Derefs > 0 || ForMemWrite;
+      if (!Through && !L.Chain.empty() &&
+          (L.Chain[0].Kind == Access::Index ||
+           L.Chain[0].Kind == Access::Arrow))
+        Through = true;
+      if (Through)
+        return "CRAFTY_PMEM pointer '" + L.Root + "'";
+      return ""; // Re-pointing the variable itself is a volatile store.
+    }
+    for (size_t I = 0; I < L.Chain.size(); ++I) {
+      const Access &A = L.Chain[I];
+      if (A.Kind == Access::Index || A.Field.empty())
+        continue;
+      if (!Reg.PmFieldNames.count(A.Field))
+        continue;
+      auto FP = Reg.PmFieldIsPtr.find(A.Field);
+      bool FieldIsPtr = FP != Reg.PmFieldIsPtr.end() && FP->second;
+      if (FieldIsPtr) {
+        // Writing *through* the pointer field: a later chain step
+        // dereferences it, a leading '*' applies to it as the final
+        // element (e.g. `*R.Slots = v`), or it is a memcpy destination.
+        if (I + 1 < L.Chain.size() || ForMemWrite ||
+            (L.Derefs > 0 && I + 1 == L.Chain.size()))
+          return "CRAFTY_PMEM pointer field '" + A.Field + "'";
+        continue; // Re-pointing the field via '.', volatile struct copy etc.
+      }
+      // Non-pointer persistent field: only '->' access proves the object
+      // lives in the pool (a '.' store may target a stack copy).
+      if (A.Kind == Access::Arrow && I + 1 >= L.Chain.size())
+        return "persistent field '" + A.Field + "'";
+    }
+    return "";
+  }
+
+  void checkPmRawStore() {
+    const std::vector<Token> &T = PF->Lex.Toks;
+    static const std::set<std::string> AssignOps = {
+        "=",  "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "<<=", ">>=",
+    };
+    for (size_t I = F->BodyBegin; I < F->BodyEnd; ++I) {
+      const Token &Tk = T[I];
+      // memcpy-family destination argument.
+      if (Tk.isIdent() && memWriteFns().count(Tk.Text) && I + 1 < F->BodyEnd &&
+          T[I + 1].isPunct("(")) {
+        size_t ArgB = I + 2;
+        size_t Depth = 0;
+        size_t ArgE = ArgB;
+        while (ArgE < F->BodyEnd) {
+          if (T[ArgE].isPunct("(") || T[ArgE].isPunct("[")) {
+            ++Depth;
+          } else if (T[ArgE].isPunct(")") || T[ArgE].isPunct("]")) {
+            if (Depth == 0)
+              break;
+            --Depth;
+          } else if (T[ArgE].isPunct(",") && Depth == 0) {
+            break;
+          }
+          ++ArgE;
+        }
+        size_t LvB = ArgB;
+        while (LvB < ArgE && T[LvB].isPunct("&"))
+          ++LvB; // &obj->field is the same lvalue with an explicit &.
+        Lvalue L = parseLvalue(T, LvB, ArgE);
+        std::string What = classifyPmStore(L, /*ForMemWrite=*/true);
+        if (!What.empty())
+          diag(RulePmRawStore, PF->Lex, Tk.Line, F->QualName,
+               Tk.Text + " into " + What +
+                   " bypasses the Crafty undo log; persistent writes must go "
+                   "through the transactional store API (HtmTx::store / "
+                   "TxnContext::store) or persistDirect during "
+                   "format/recovery");
+        continue;
+      }
+      if (!AssignOps.count(Tk.Text) || Tk.Kind != TokKind::Punct)
+        continue;
+      // Skip lambda-capture '[=]' and defaulted-parameter '=' noise.
+      if (I > F->BodyBegin &&
+          (T[I - 1].isPunct("[") || T[I - 1].isPunct(",")) )
+        continue;
+      // Walk the left-hand side back to the nearest statement boundary.
+      size_t B = I;
+      while (B > F->BodyBegin) {
+        const Token &Pt = T[B - 1];
+        if (Pt.isPunct(";") || Pt.isPunct("{") || Pt.isPunct("}") ||
+            Pt.isPunct("(") || Pt.isPunct(")") || Pt.isPunct(",") ||
+            (Pt.Kind == TokKind::Punct && AssignOps.count(Pt.Text)))
+          break;
+        --B;
+      }
+      // A declaration with CRAFTY_PMEM on the left is initializing the
+      // annotated variable itself, not storing through it.
+      bool IsPmDecl = false;
+      for (size_t J = B; J < I; ++J)
+        if (T[J].isIdent() && T[J].Text == "CRAFTY_PMEM")
+          IsPmDecl = true;
+      if (IsPmDecl)
+        continue;
+      Lvalue L = parseLvalue(T, B, I);
+      std::string What = classifyPmStore(L, /*ForMemWrite=*/false);
+      if (!What.empty())
+        diag(RulePmRawStore, PF->Lex, Tk.Line, F->QualName,
+             "raw store through " + What +
+                 " bypasses the Crafty undo log; persistent writes must go "
+                 "through the transactional store API (HtmTx::store / "
+                 "TxnContext::store) or persistDirect during "
+                 "format/recovery");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 2: htm-unsafe-call
+  //===--------------------------------------------------------------------===//
+
+  void checkHtmUnsafe() {
+    if (!FAnn.TxBody)
+      return;
+    std::set<const FunctionInfo *> Visited;
+    std::vector<std::string> Chain{F->QualName};
+    walkTx(*F, Visited, Chain, /*Depth=*/0);
+  }
+
+  void walkTx(const FunctionInfo &Fn, std::set<const FunctionInfo *> &Visited,
+              std::vector<std::string> &Chain, int Depth) {
+    if (Depth > 32 || !Visited.insert(&Fn).second)
+      return;
+    const std::vector<Token> &T = Fn.Owner->Toks;
+    // Owner LexedFile belongs to some ParsedFile; comments for suppression
+    // come from it directly.
+    for (const CallSite &S : collectSites(T, Fn.BodyBegin, Fn.BodyEnd)) {
+      if (S.Kind != CallSite::Call) {
+        const char *What = S.Kind == CallSite::KwNew      ? "operator new"
+                           : S.Kind == CallSite::KwDelete ? "operator delete"
+                                                          : "throw";
+        emitUnsafe(Fn, S.Line, What,
+                   std::string(What) +
+                       " allocates or unwinds, which aborts hardware "
+                       "transactions",
+                   Chain);
+        continue;
+      }
+      Annotations Ann =
+          Reg.lookupCall(!S.ClassHint.empty() ? S.ClassHint : Fn.ClassName,
+                         S.Name);
+      if (Ann.HtmUnsafe) {
+        emitUnsafe(Fn, S.Line, S.Name,
+                   "'" + S.Name + "' is annotated CRAFTY_HTM_UNSAFE", Chain);
+        continue;
+      }
+      if (Ann.TxSafe || Ann.TxStoreApi || Ann.DrainApi)
+        continue; // Trusted barrier; do not descend.
+      // Descend into known definitions. Without a `Class::` qualifier the
+      // receiver's type is unknown at token level, so descend only into
+      // same-class methods and free functions -- a bare `insert(...)` in
+      // class A must not pull in B::insert just because the names match.
+      auto DIt = Reg.DefsBySimple.find(S.Name);
+      if (DIt != Reg.DefsBySimple.end()) {
+        std::vector<const FunctionInfo *> Cands;
+        for (const FunctionInfo *D : DIt->second)
+          if (!S.ClassHint.empty()
+                  ? D->ClassName == S.ClassHint
+                  : (D->ClassName.empty() || D->ClassName == Fn.ClassName))
+            Cands.push_back(D);
+        if (!Cands.empty()) {
+          for (const FunctionInfo *D : Cands) {
+            Chain.push_back(D->QualName);
+            walkTx(*D, Visited, Chain, Depth + 1);
+            Chain.pop_back();
+          }
+          continue;
+        }
+      }
+      if (S.IsFree && builtinUnsafe().count(S.Name))
+        emitUnsafe(Fn, S.Line, S.Name,
+                   "'" + S.Name +
+                       "' may allocate, block or enter the kernel, any of "
+                       "which aborts hardware transactions",
+                   Chain);
+    }
+  }
+
+  void emitUnsafe(const FunctionInfo &Site, int Line, const std::string &What,
+                  const std::string &Why, const std::vector<std::string> &Chain) {
+    std::ostringstream Msg;
+    Msg << "transaction body '" << Chain.front() << "' reaches HTM-unsafe "
+        << "operation '" << What << "'";
+    if (Chain.size() > 1) {
+      Msg << " via ";
+      for (size_t I = 0; I < Chain.size(); ++I) {
+        if (I)
+          Msg << " -> ";
+        Msg << Chain[I];
+      }
+    }
+    Msg << ": " << Why
+        << "; hoist it out of the transaction or mark an intentional "
+           "boundary CRAFTY_TX_SAFE";
+    // Attribute to the tx-body root, locate at the offending call site.
+    diagAt(Site, RuleHtmUnsafeCall, Line, Chain.front(), Msg.str());
+  }
+
+  /// diag() variant that resolves the LexedFile from a (possibly non-target)
+  /// function's Owner pointer.
+  void diagAt(const FunctionInfo &Site, const char *Rule, int Line,
+              const std::string &Func, std::string Msg) {
+    diag(Rule, *Site.Owner, Line, Func, std::move(Msg));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 3: flush-without-drain
+  //===--------------------------------------------------------------------===//
+
+  struct FState {
+    bool Reach = true;
+    bool Pending = false;
+    int FlushLine = 0;
+    std::string FlushName;
+  };
+
+  static FState joinF(const FState &A, const FState &B) {
+    if (!A.Reach)
+      return B;
+    if (!B.Reach)
+      return A;
+    FState R;
+    R.Pending = A.Pending || B.Pending;
+    const FState &Src = A.Pending ? A : B;
+    R.FlushLine = Src.FlushLine;
+    R.FlushName = Src.FlushName;
+    return R;
+  }
+
+  struct LoopCtx {
+    std::vector<FState> Breaks;
+    std::vector<FState> Continues;
+  };
+
+  void checkFlushWithoutDrain(const Stmt &Body) {
+    if (FAnn.DrainDeferred || FAnn.FlushApi || FAnn.DrainApi)
+      return; // Primitive or deliberately-deferred (HTM commit fences).
+    std::vector<LoopCtx *> Loops;
+    FState Out = flowStmt(Body, FState{}, Loops);
+    if (Out.Reach && Out.Pending)
+      diag(RuleFlushWithoutDrain, PF->Lex, Out.FlushLine, F->QualName,
+           "cache-line write-back '" + Out.FlushName + "' (line " +
+               std::to_string(Out.FlushLine) +
+               ") can reach the end of '" + F->QualName +
+               "' with no drain; clwb only *schedules* the write-back -- "
+               "call drain()/persistBarrier(), or mark the function "
+               "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is the "
+               "drain");
+  }
+
+  FState applyFlow(FState S, size_t B, size_t E,
+                   const std::vector<std::pair<size_t, size_t>> &Holes) {
+    const std::vector<Token> &T = PF->Lex.Toks;
+    forEachTok(B, E, Holes, [&](size_t I) {
+      if (!T[I].isIdent() || I + 1 >= PF->Lex.Toks.size() ||
+          !T[I + 1].isPunct("("))
+        return;
+      if (isKeyword(T[I].Text))
+        return;
+      std::string ClassHint;
+      if (I >= 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent())
+        ClassHint = T[I - 2].Text;
+      Annotations Ann = Reg.lookupCall(
+          !ClassHint.empty() ? ClassHint : F->ClassName, T[I].Text);
+      bool Flush = Ann.FlushApi || isRawFlushName(T[I].Text);
+      bool Drain = Ann.DrainApi || isRawDrainName(T[I].Text);
+      if (Flush) {
+        S.Pending = true;
+        S.FlushLine = T[I].Line;
+        S.FlushName = T[I].Text;
+      }
+      if (Drain)
+        S.Pending = false;
+    });
+    return S;
+  }
+
+  FState flowStmt(const Stmt &S, FState In, std::vector<LoopCtx *> &Loops) {
+    switch (S.Kind) {
+    case Stmt::Seq: {
+      FState Cur = In;
+      for (const Stmt &K : S.Kids)
+        Cur = flowStmt(K, Cur, Loops);
+      return Cur;
+    }
+    case Stmt::Expr:
+      return applyFlow(In, S.ExprB, S.ExprE, S.Holes);
+    case Stmt::Return: {
+      FState R = applyFlow(In, S.ExprB, S.ExprE, S.Holes);
+      if (R.Reach && R.Pending)
+        diag(RuleFlushWithoutDrain, PF->Lex, R.FlushLine, F->QualName,
+             "cache-line write-back '" + R.FlushName + "' (line " +
+                 std::to_string(R.FlushLine) + ") can leave '" +
+                 F->QualName + "' through the return at line " +
+                 std::to_string(S.Line) +
+                 " with no drain; clwb only *schedules* the write-back -- "
+                 "call drain()/persistBarrier(), or mark the function "
+                 "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is "
+                 "the drain");
+      R.Reach = false;
+      return R;
+    }
+    case Stmt::Break: {
+      if (!Loops.empty())
+        Loops.back()->Breaks.push_back(In);
+      FState R = In;
+      R.Reach = false;
+      return R;
+    }
+    case Stmt::Continue: {
+      if (!Loops.empty())
+        Loops.back()->Continues.push_back(In);
+      FState R = In;
+      R.Reach = false;
+      return R;
+    }
+    case Stmt::If: {
+      FState H = applyFlow(In, S.HdrB, S.HdrE, {});
+      FState A = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
+      FState B = S.Kids.size() > 1 ? flowStmt(S.Kids[1], H, Loops) : H;
+      return joinF(A, B);
+    }
+    case Stmt::Switch: {
+      FState H = applyFlow(In, S.HdrB, S.HdrE, {});
+      LoopCtx Ctx; // Breaks inside a switch exit the switch.
+      Loops.push_back(&Ctx);
+      FState B = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
+      Loops.pop_back();
+      FState Out = joinF(H, B);
+      for (const FState &BS : Ctx.Breaks)
+        Out = joinF(Out, BS);
+      return Out;
+    }
+    case Stmt::Loop: {
+      LoopCtx Ctx;
+      Loops.push_back(&Ctx);
+      FState Out;
+      if (!S.PostCond) {
+        FState H = applyFlow(In, S.HdrB, S.HdrE, {});
+        FState B1 = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
+        for (const FState &CS : Ctx.Continues)
+          B1 = joinF(B1, CS);
+        Ctx.Continues.clear();
+        // Second pass so a flush late in iteration N reaches the header
+        // and body of iteration N+1 (fixpoint for a boolean lattice).
+        FState H2 = applyFlow(B1, S.HdrB, S.HdrE, {});
+        FState B2 = S.Kids.empty() ? H2
+                                   : flowStmt(S.Kids[0], joinF(H, H2), Loops);
+        for (const FState &CS : Ctx.Continues)
+          B2 = joinF(B2, CS);
+        Out = joinF(H, applyFlow(joinF(B1, B2), S.HdrB, S.HdrE, {}));
+      } else {
+        FState B1 = S.Kids.empty() ? In : flowStmt(S.Kids[0], In, Loops);
+        for (const FState &CS : Ctx.Continues)
+          B1 = joinF(B1, CS);
+        Ctx.Continues.clear();
+        FState H1 = applyFlow(B1, S.HdrB, S.HdrE, {});
+        FState B2 = S.Kids.empty() ? H1 : flowStmt(S.Kids[0], H1, Loops);
+        for (const FState &CS : Ctx.Continues)
+          B2 = joinF(B2, CS);
+        Out = applyFlow(joinF(B1, B2), S.HdrB, S.HdrE, {});
+      }
+      Loops.pop_back();
+      for (const FState &BS : Ctx.Breaks)
+        Out = joinF(Out, BS);
+      return Out;
+    }
+    case Stmt::Lambda:
+      // A lambda body executes elsewhere (often as the transaction body
+      // under an HTM commit fence); its flushes are not part of this
+      // function's flow. Rules 1, 2 and 4 still see inside it.
+      return In;
+    }
+    return In;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 4: unbounded-tx-writes
+  //===--------------------------------------------------------------------===//
+
+  void checkUnboundedTxWrites(const Stmt &S, bool InLambda) {
+    if (S.Kind == Stmt::Loop && !S.Kids.empty()) {
+      if (subtreeHasTxStore(S.Kids[0]) && !loopBounded(S) &&
+          !subtreeHasTxBound(S))
+        diag(RuleUnboundedTxWrites, PF->Lex, S.Line, F->QualName,
+             "loop at line " + std::to_string(S.Line) +
+                 " issues transactional stores with no visible iteration "
+                 "bound; HTM write capacity is finite (the reason for "
+                 "KvConfig::BatchTxnLimit) -- chunk the loop or assert the "
+                 "bound with CRAFTY_TX_BOUND(n)");
+    }
+    for (const Stmt &K : S.Kids)
+      checkUnboundedTxWrites(K, InLambda || S.Kind == Stmt::Lambda);
+  }
+
+  /// `std::atomic<T>::store` collides with the TX-store simple name; it is
+  /// recognized (and ignored) by the std::memory_order argument every
+  /// atomic store in this codebase spells out.
+  static bool isAtomicStoreCall(const std::vector<Token> &T, size_t LParen) {
+    size_t Close = matchForward(T, LParen, T.size());
+    for (size_t J = LParen + 1; J < Close && J < T.size(); ++J)
+      if (T[J].isIdent() && T[J].Text.rfind("memory_order", 0) == 0)
+        return true;
+    return false;
+  }
+
+  /// Does this subtree directly issue CRAFTY_TX_STORE_API calls? Lambda
+  /// bodies are excluded: a lambda is a transaction-body boundary (the
+  /// enclosing loop typically spans *multiple* transactions, as in
+  /// KvShard::setBatch), and its own loops are visited separately.
+  bool subtreeHasTxStore(const Stmt &S) const {
+    if (S.Kind == Stmt::Lambda)
+      return false;
+    if (S.Kind == Stmt::Expr || S.Kind == Stmt::Return) {
+      const std::vector<Token> &T = PF->Lex.Toks;
+      bool Found = false;
+      forEachTok(S.ExprB, S.ExprE, S.Holes, [&](size_t I) {
+        if (Found || !T[I].isIdent() || I + 1 >= T.size() ||
+            !T[I + 1].isPunct("("))
+          return;
+        std::string ClassHint;
+        if (I >= 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent())
+          ClassHint = T[I - 2].Text;
+        Annotations Ann = Reg.lookupCall(
+            !ClassHint.empty() ? ClassHint : F->ClassName, T[I].Text);
+        if (Ann.TxStoreApi && !isAtomicStoreCall(T, I + 1))
+          Found = true;
+      });
+      if (Found)
+        return true;
+    }
+    for (const Stmt &K : S.Kids)
+      if (subtreeHasTxStore(K))
+        return true;
+    return false;
+  }
+
+  bool subtreeHasTxBound(const Stmt &S) const {
+    const std::vector<Token> &T = PF->Lex.Toks;
+    if (S.Kind == Stmt::Lambda)
+      return false;
+    auto RangeHas = [&](size_t B, size_t E,
+                        const std::vector<std::pair<size_t, size_t>> &Holes) {
+      bool Found = false;
+      forEachTok(B, E, Holes, [&](size_t I) {
+        if (T[I].isIdent() && T[I].Text == "CRAFTY_TX_BOUND")
+          Found = true;
+      });
+      return Found;
+    };
+    if (RangeHas(S.HdrB, S.HdrE, {}) || RangeHas(S.ExprB, S.ExprE, S.Holes))
+      return true;
+    for (const Stmt &K : S.Kids)
+      if (subtreeHasTxBound(K))
+        return true;
+    return false;
+  }
+
+  /// A loop is visibly bounded when its condition compares against a
+  /// compile-time-constant-looking expression: a literal, a known
+  /// const/constexpr/enum name, kCamelCase or ALL_CAPS.
+  bool loopBounded(const Stmt &S) const {
+    const std::vector<Token> &T = PF->Lex.Toks;
+    size_t B = S.HdrB, E = S.HdrE;
+    if (B >= E)
+      return false; // for(;;) / empty condition: unbounded.
+    // For a `for`, isolate the condition between the depth-0 semicolons;
+    // for a range-for, the range expression after the depth-0 ':'.
+    std::vector<size_t> Semis;
+    size_t Colon = 0;
+    size_t Depth = 0;
+    for (size_t I = B; I < E; ++I) {
+      if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{")) {
+        ++Depth;
+      } else if (T[I].isPunct(")") || T[I].isPunct("]") || T[I].isPunct("}")) {
+        if (Depth)
+          --Depth;
+      } else if (Depth == 0 && T[I].isPunct(";")) {
+        Semis.push_back(I);
+      } else if (Depth == 0 && T[I].isPunct(":") && !Colon) {
+        Colon = I;
+      }
+    }
+    if (Semis.size() >= 2) {
+      B = Semis[0] + 1;
+      E = Semis[1];
+    } else if (Semis.empty() && Colon) {
+      // Range-for: bounded iff the range expression itself is const-like
+      // (e.g. a fixed std::array constant) -- rarely provable; usually the
+      // fix is CRAFTY_TX_BOUND.
+      return constLikeRange(Colon + 1, E);
+    }
+    if (B >= E)
+      return false;
+    // Any depth-0 comparison with a const-like side counts as a bound.
+    Depth = 0;
+    size_t SideB = B;
+    static const std::set<std::string> CmpOps = {"<", "<=", ">", ">=", "!="};
+    static const std::set<std::string> SplitOps = {"&&", "||", ","};
+    for (size_t I = B; I <= E; ++I) {
+      bool AtEnd = I == E;
+      if (!AtEnd) {
+        if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{")) {
+          ++Depth;
+          continue;
+        }
+        if (T[I].isPunct(")") || T[I].isPunct("]") || T[I].isPunct("}")) {
+          if (Depth)
+            --Depth;
+          continue;
+        }
+        if (Depth != 0)
+          continue;
+      }
+      bool IsCmp = !AtEnd && T[I].Kind == TokKind::Punct &&
+                   CmpOps.count(T[I].Text);
+      bool IsSplit = AtEnd || (T[I].Kind == TokKind::Punct &&
+                               SplitOps.count(T[I].Text));
+      if (IsCmp) {
+        if (constLikeRange(SideB, I))
+          return true;
+        SideB = I + 1;
+      } else if (IsSplit) {
+        if (SideB > B && constLikeRange(SideB, I))
+          return true; // Right side of the last comparison in this clause.
+        SideB = I + 1;
+      }
+    }
+    return false;
+  }
+
+  /// Every identifier is const-like and only arithmetic/grouping appears.
+  bool constLikeRange(size_t B, size_t E) const {
+    const std::vector<Token> &T = PF->Lex.Toks;
+    if (B >= E)
+      return false;
+    static const std::set<std::string> OkPunct = {"+", "-", "*", "/", "%",
+                                                  "(", ")", "<<", ">>", "::"};
+    bool SawOperand = false;
+    for (size_t I = B; I < E; ++I) {
+      const Token &Tk = T[I];
+      if (Tk.Kind == TokKind::Number) {
+        SawOperand = true;
+        continue;
+      }
+      if (Tk.isIdent()) {
+        if (Tk.Text == "sizeof" || isConstName(Tk.Text)) {
+          SawOperand = true;
+          continue;
+        }
+        return false;
+      }
+      if (Tk.Kind == TokKind::Punct && OkPunct.count(Tk.Text))
+        continue;
+      return false;
+    }
+    return SawOperand;
+  }
+};
+
+} // namespace
+
+std::vector<Diagnostic> runChecks(const std::vector<const ParsedFile *> &Targets,
+                                  const Registry &Reg) {
+  Checker C(Targets, Reg);
+  return C.run();
+}
+
+} // namespace craftylint

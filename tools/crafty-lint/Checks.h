@@ -1,0 +1,64 @@
+//===- tools/crafty-lint/Checks.h - The four analyzer rules ----*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crafty-lint rules (see DESIGN.md Section 5.3 for full semantics):
+///
+///  - pm-raw-store: an assignment (or memcpy/memset-family write) through
+///    a CRAFTY_PMEM pointer or into a CRAFTY_PMEM field bypasses the undo
+///    log; persistent stores must go through the transactional store APIs
+///    (or persistDirect during setup/recovery).
+///
+///  - htm-unsafe-call: call-graph reachability from CRAFTY_TX_BODY entry
+///    points to functions marked CRAFTY_HTM_UNSAFE or to intrinsically
+///    HTM-aborting operations (malloc family, operator new/delete, I/O,
+///    syscalls, sleeps, throw). CRAFTY_TX_SAFE functions are trusted
+///    barriers the traversal does not descend into.
+///
+///  - flush-without-drain: an intra-procedural CFG path from a
+///    CRAFTY_FLUSH_API call to function exit with no CRAFTY_DRAIN_API call
+///    claims durability that was never established. Functions that defer
+///    the drain to the next HTM commit fence by design carry
+///    CRAFTY_DRAIN_DEFERRED.
+///
+///  - unbounded-tx-writes: a loop issuing CRAFTY_TX_STORE_API stores with
+///    no visible compile-time bound in its condition and no CRAFTY_TX_BOUND
+///    assertion risks exceeding HTM write capacity (the hazard that forced
+///    KvConfig::BatchTxnLimit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_CHECKS_H
+#define CRAFTY_LINT_CHECKS_H
+
+#include "Model.h"
+
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+struct Diagnostic {
+  std::string Rule;
+  std::string File; // Normalized (root-relative) path.
+  int Line = 0;
+  std::string Func; // Qualified name of the attributed function.
+  std::string Message;
+  bool Baselined = false;
+};
+
+/// Runs all four rules over every function defined in \p Targets, using
+/// \p Reg (built from targets plus their include closure) for annotation
+/// and call resolution. In-source `// crafty-lint: suppress(<rule>)`
+/// comments on the diagnosed line or the line above it silence a finding
+/// before it is returned. Diagnostics are sorted by (file, line, rule).
+std::vector<Diagnostic> runChecks(const std::vector<const ParsedFile *> &Targets,
+                                  const Registry &Reg);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_CHECKS_H

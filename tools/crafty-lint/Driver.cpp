@@ -1,0 +1,734 @@
+//===- tools/crafty-lint/Driver.cpp - crafty-lint entry point -------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver: loads the requested translation units (explicit
+/// files, --scan directories, or a compile_commands.json via -p) plus
+/// their project-local include closure, builds the cross-file Registry,
+/// runs the four rules, filters against a committed baseline, and emits
+/// text plus an optional CheckReport-style JSON artifact.
+///
+/// Exit codes: 0 clean (baselined findings allowed), 1 new findings,
+/// 2 usage or I/O error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Checks.h"
+#include "Model.h"
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace craftylint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader (for compile_commands.json and the baseline file)
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Type { Null, Bool, Num, Str, Arr, Obj } T = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JsonValue> A;
+  std::map<std::string, JsonValue> O;
+
+  const JsonValue *get(const std::string &Key) const {
+    auto It = O.find(Key);
+    return It == O.end() ? nullptr : &It->second;
+  }
+  std::string str(const std::string &Key) const {
+    const JsonValue *V = get(Key);
+    return V && V->T == Str ? V->S : "";
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : P(Text.c_str()),
+                                                 End(P + Text.size()) {}
+
+  bool parse(JsonValue &Out) { return value(Out) && (ws(), P == End); }
+
+private:
+  const char *P;
+  const char *End;
+
+  void ws() {
+    while (P < End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+  bool lit(const char *L) {
+    size_t N = std::strlen(L);
+    if (P + N <= End && std::memcmp(P, L, N) == 0) {
+      P += N;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string &S) {
+    ws();
+    if (P >= End || *P != '"')
+      return false;
+    ++P;
+    S.clear();
+    while (P < End && *P != '"') {
+      if (*P == '\\' && P + 1 < End) {
+        ++P;
+        switch (*P) {
+        case 'n': S.push_back('\n'); break;
+        case 't': S.push_back('\t'); break;
+        case 'r': S.push_back('\r'); break;
+        case 'b': S.push_back('\b'); break;
+        case 'f': S.push_back('\f'); break;
+        case 'u': // Keep the escape verbatim; paths never need it.
+          S += "\\u";
+          break;
+        default: S.push_back(*P); break;
+        }
+        ++P;
+      } else {
+        S.push_back(*P++);
+      }
+    }
+    if (P >= End)
+      return false;
+    ++P;
+    return true;
+  }
+  bool value(JsonValue &V) {
+    ws();
+    if (P >= End)
+      return false;
+    if (*P == '"') {
+      V.T = JsonValue::Str;
+      return string(V.S);
+    }
+    if (*P == '{') {
+      ++P;
+      V.T = JsonValue::Obj;
+      ws();
+      if (P < End && *P == '}') {
+        ++P;
+        return true;
+      }
+      while (P < End) {
+        std::string Key;
+        if (!string(Key))
+          return false;
+        ws();
+        if (P >= End || *P != ':')
+          return false;
+        ++P;
+        JsonValue Sub;
+        if (!value(Sub))
+          return false;
+        V.O.emplace(std::move(Key), std::move(Sub));
+        ws();
+        if (P < End && *P == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (P >= End || *P != '}')
+        return false;
+      ++P;
+      return true;
+    }
+    if (*P == '[') {
+      ++P;
+      V.T = JsonValue::Arr;
+      ws();
+      if (P < End && *P == ']') {
+        ++P;
+        return true;
+      }
+      while (P < End) {
+        JsonValue Sub;
+        if (!value(Sub))
+          return false;
+        V.A.push_back(std::move(Sub));
+        ws();
+        if (P < End && *P == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      ws();
+      if (P >= End || *P != ']')
+        return false;
+      ++P;
+      return true;
+    }
+    if (lit("true")) {
+      V.T = JsonValue::Bool;
+      V.B = true;
+      return true;
+    }
+    if (lit("false")) {
+      V.T = JsonValue::Bool;
+      V.B = false;
+      return true;
+    }
+    if (lit("null")) {
+      V.T = JsonValue::Null;
+      return true;
+    }
+    // Number.
+    const char *S = P;
+    if (P < End && (*P == '-' || *P == '+'))
+      ++P;
+    while (P < End && (std::isdigit((unsigned char)*P) || *P == '.' ||
+                       *P == 'e' || *P == 'E' || *P == '-' || *P == '+'))
+      ++P;
+    if (P == S)
+      return false;
+    V.T = JsonValue::Num;
+    V.N = std::strtod(std::string(S, P).c_str(), nullptr);
+    return true;
+  }
+};
+
+std::string jsonEscape(const std::string &S) {
+  std::string R;
+  for (char C : S) {
+    switch (C) {
+    case '"': R += "\\\""; break;
+    case '\\': R += "\\\\"; break;
+    case '\n': R += "\\n"; break;
+    case '\t': R += "\\t"; break;
+    case '\r': R += "\\r"; break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        R += Buf;
+      } else {
+        R.push_back(C);
+      }
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// File loading
+//===----------------------------------------------------------------------===//
+
+bool readFile(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool isSourceFile(const fs::path &P) {
+  std::string E = P.extension().string();
+  return E == ".h" || E == ".hpp" || E == ".cc" || E == ".cpp" || E == ".cxx";
+}
+
+/// \p P normalized to a root-relative generic path, or its absolute form
+/// when it lives outside \p Root.
+std::string normPathTo(const fs::path &P, const fs::path &Root) {
+  std::error_code EC;
+  fs::path Canon = fs::weakly_canonical(fs::absolute(P), EC);
+  if (EC)
+    Canon = fs::absolute(P);
+  fs::path CRoot = fs::weakly_canonical(fs::absolute(Root), EC);
+  fs::path Rel = Canon.lexically_relative(CRoot);
+  std::string S = Rel.generic_string();
+  if (S.empty() || S[0] == '.')
+    return Canon.generic_string();
+  return S;
+}
+
+struct Options {
+  fs::path Root = fs::current_path();
+  std::vector<fs::path> IncludeDirs;
+  std::vector<fs::path> ScanDirs;
+  std::vector<fs::path> Files;
+  fs::path CompDb;       // Directory holding compile_commands.json.
+  fs::path BaselinePath;
+  fs::path WriteBaselinePath;
+  fs::path JsonPath;
+  std::string Restrict; // Normalized-path prefix filter for diagnosis.
+  bool Verbose = false;
+};
+
+/// Loads, lexes and parses every requested file plus the project-local
+/// include closure, keeping ParsedFiles at stable addresses.
+class Corpus {
+public:
+  Corpus(const Options &Opt) : Opt(Opt) {}
+
+  /// Canonical-path keyed; returns nullptr if unreadable.
+  const ParsedFile *load(const fs::path &P, bool IsTarget) {
+    std::error_code EC;
+    fs::path Canon = fs::weakly_canonical(fs::absolute(P), EC);
+    if (EC)
+      Canon = fs::absolute(P);
+    std::string Key = Canon.generic_string();
+    auto It = ByPath.find(Key);
+    if (It != ByPath.end()) {
+      if (IsTarget)
+        TargetSet.insert(It->second);
+      return It->second;
+    }
+    std::string Text;
+    if (!readFile(Canon, Text))
+      return nullptr;
+    Files.emplace_back();
+    ParsedFile &PF = Files.back();
+    PF.Lex = lexFile(normPath(Canon), Text);
+    parseFile(PF);
+    ByPath[Key] = &PF;
+    if (IsTarget)
+      TargetSet.insert(&PF);
+    // Project-local include closure (registry context only).
+    for (const std::string &Inc : PF.Lex.Includes) {
+      fs::path Resolved = resolveInclude(Canon.parent_path(), Inc);
+      if (!Resolved.empty())
+        load(Resolved, /*IsTarget=*/false);
+    }
+    return &PF;
+  }
+
+  std::string normPath(const fs::path &Canon) const {
+    return normPathTo(Canon, Opt.Root);
+  }
+
+  std::vector<const ParsedFile *> targets(const std::string &Restrict) const {
+    std::vector<const ParsedFile *> Out;
+    for (const ParsedFile &PF : Files) {
+      if (!TargetSet.count(&PF))
+        continue;
+      if (!Restrict.empty() && PF.Lex.Path.rfind(Restrict, 0) != 0)
+        continue;
+      Out.push_back(&PF);
+    }
+    return Out;
+  }
+
+  Registry buildRegistry() const {
+    Registry Reg;
+    for (const ParsedFile &PF : Files)
+      Reg.add(PF);
+    return Reg;
+  }
+
+  size_t size() const { return Files.size(); }
+
+private:
+  const Options &Opt;
+  std::deque<ParsedFile> Files; // Deque: stable addresses (Owner pointers).
+  std::map<std::string, ParsedFile *> ByPath;
+  std::set<const ParsedFile *> TargetSet;
+
+  fs::path resolveInclude(const fs::path &IncluderDir,
+                          const std::string &Name) const {
+    std::vector<fs::path> Dirs;
+    Dirs.push_back(IncluderDir);
+    for (const fs::path &D : Opt.IncludeDirs)
+      Dirs.push_back(D);
+    std::error_code EC;
+    fs::path Root = fs::weakly_canonical(fs::absolute(Opt.Root), EC);
+    for (const fs::path &D : Dirs) {
+      fs::path Cand = fs::weakly_canonical(D / Name, EC);
+      if (EC || !fs::exists(Cand, EC))
+        continue;
+      // Stay inside the project: never chase system headers.
+      if (Cand.generic_string().rfind(Root.generic_string(), 0) != 0)
+        continue;
+      return Cand;
+    }
+    return {};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Baseline
+//===----------------------------------------------------------------------===//
+
+struct BaselineEntry {
+  std::string Rule;
+  std::string File;
+  std::string Function; // Empty matches any function in File.
+  std::string Justification;
+  int Matched = 0;
+};
+
+bool loadBaseline(const fs::path &Path, std::vector<BaselineEntry> &Out) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return false;
+  JsonValue Root;
+  if (!JsonParser(Text).parse(Root) || Root.T != JsonValue::Obj)
+    return false;
+  const JsonValue *Entries = Root.get("entries");
+  if (!Entries || Entries->T != JsonValue::Arr)
+    return false;
+  for (const JsonValue &E : Entries->A) {
+    if (E.T != JsonValue::Obj)
+      continue;
+    BaselineEntry B;
+    B.Rule = E.str("rule");
+    B.File = E.str("file");
+    B.Function = E.str("function");
+    B.Justification = E.str("justification");
+    if (!B.Rule.empty() && !B.File.empty())
+      Out.push_back(std::move(B));
+  }
+  return true;
+}
+
+void applyBaseline(std::vector<Diagnostic> &Diags,
+                   std::vector<BaselineEntry> &Baseline) {
+  for (Diagnostic &D : Diags) {
+    for (BaselineEntry &B : Baseline) {
+      if (B.Rule != D.Rule || B.File != D.File)
+        continue;
+      if (!B.Function.empty() && B.Function != D.Func)
+        continue;
+      D.Baselined = true;
+      ++B.Matched;
+      break;
+    }
+  }
+}
+
+bool writeBaseline(const fs::path &Path, const std::vector<Diagnostic> &Diags) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << "{\n  \"tool\": \"crafty-lint\",\n  \"entries\": [";
+  std::set<std::string> Seen;
+  bool First = true;
+  for (const Diagnostic &D : Diags) {
+    std::string Key = D.Rule + "|" + D.File + "|" + D.Func;
+    if (!Seen.insert(Key).second)
+      continue;
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n    { \"rule\": \"" << jsonEscape(D.Rule) << "\", \"file\": \""
+        << jsonEscape(D.File) << "\", \"function\": \"" << jsonEscape(D.Func)
+        << "\",\n      \"justification\": \"TODO: justify or fix\" }";
+  }
+  Out << "\n  ]\n}\n";
+  return Out.good();
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+bool writeJsonReport(const fs::path &Path,
+                     const std::vector<Diagnostic> &Diags) {
+  size_t NewCount = 0, BaseCount = 0;
+  std::map<std::string, uint64_t> Counts;
+  for (const Diagnostic &D : Diags) {
+    ++Counts[D.Rule];
+    (D.Baselined ? BaseCount : NewCount)++;
+  }
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  // Mirrors src/check/CheckReport.h: checker/violations/lints/counts/reports.
+  Out << "{ \"checker\": \"crafty-lint\", \"violations\": " << NewCount
+      << ", \"lints\": " << BaseCount << ",\n  \"counts\": {";
+  bool First = true;
+  for (const auto &KV : Counts) {
+    if (!First)
+      Out << ", ";
+    First = false;
+    Out << "\"" << jsonEscape(KV.first) << "\": " << KV.second;
+  }
+  Out << "},\n  \"reports\": [";
+  First = true;
+  for (const Diagnostic &D : Diags) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n    { \"kind\": \"" << jsonEscape(D.Rule)
+        << "\", \"violation\": " << (D.Baselined ? "false" : "true")
+        << ", \"file\": \"" << jsonEscape(D.File) << "\", \"line\": " << D.Line
+        << ",\n      \"function\": \"" << jsonEscape(D.Func)
+        << "\", \"baselined\": " << (D.Baselined ? "true" : "false")
+        << ",\n      \"message\": \"" << jsonEscape(D.Message) << "\" }";
+  }
+  Out << "\n  ]\n}\n";
+  return Out.good();
+}
+
+//===----------------------------------------------------------------------===//
+// main
+//===----------------------------------------------------------------------===//
+
+int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [files...]\n"
+      "\n"
+      "Crafty persistence & HTM-discipline analyzer. Options:\n"
+      "  -p <dir>              read targets from <dir>/compile_commands.json\n"
+      "  --scan <dir>          recursively lint *.h/*.hpp/*.cc/*.cpp/*.cxx\n"
+      "  --restrict <prefix>   only diagnose files under this (root-relative)\n"
+      "                        prefix; others still feed the call graph\n"
+      "  --root <dir>          path-normalization base (default: cwd)\n"
+      "  --include-dir <dir>   include-closure search dir (repeatable;\n"
+      "                        default: root and root/src)\n"
+      "  --baseline <file>     accepted-findings file; matches are reported\n"
+      "                        as baselined, not as new findings\n"
+      "  --write-baseline <f>  write current findings as a baseline and exit\n"
+      "  --json <file>         CheckReport-style JSON artifact\n"
+      "  --verbose             loading/statistics chatter on stderr\n"
+      "\n"
+      "Suppress one finding in source with:\n"
+      "  // crafty-lint: suppress(<rule>) <justification>\n"
+      "on the diagnosed line or the line above it.\n"
+      "Exit: 0 clean, 1 new findings, 2 usage/IO error.\n",
+      Prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "crafty-lint: %s requires an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (A == "-p") {
+      const char *V = Next("-p");
+      if (!V)
+        return 2;
+      Opt.CompDb = V;
+    } else if (A == "--scan") {
+      const char *V = Next("--scan");
+      if (!V)
+        return 2;
+      Opt.ScanDirs.push_back(V);
+    } else if (A == "--restrict") {
+      const char *V = Next("--restrict");
+      if (!V)
+        return 2;
+      Opt.Restrict = V;
+    } else if (A == "--root") {
+      const char *V = Next("--root");
+      if (!V)
+        return 2;
+      Opt.Root = V;
+    } else if (A == "--include-dir") {
+      const char *V = Next("--include-dir");
+      if (!V)
+        return 2;
+      Opt.IncludeDirs.push_back(V);
+    } else if (A == "--baseline") {
+      const char *V = Next("--baseline");
+      if (!V)
+        return 2;
+      Opt.BaselinePath = V;
+    } else if (A == "--write-baseline") {
+      const char *V = Next("--write-baseline");
+      if (!V)
+        return 2;
+      Opt.WriteBaselinePath = V;
+    } else if (A == "--json") {
+      const char *V = Next("--json");
+      if (!V)
+        return 2;
+      Opt.JsonPath = V;
+    } else if (A == "--verbose") {
+      Opt.Verbose = true;
+    } else if (A == "--help" || A == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "crafty-lint: unknown option '%s'\n", A.c_str());
+      return usage(argv[0]);
+    } else {
+      Opt.Files.push_back(A);
+    }
+  }
+  if (Opt.IncludeDirs.empty()) {
+    Opt.IncludeDirs.push_back(Opt.Root);
+    Opt.IncludeDirs.push_back(Opt.Root / "src");
+  }
+
+  // Gather target files.
+  std::vector<fs::path> TargetPaths = Opt.Files;
+  std::error_code EC;
+  for (const fs::path &Dir : Opt.ScanDirs) {
+    if (!fs::is_directory(Dir, EC)) {
+      std::fprintf(stderr, "crafty-lint: --scan '%s' is not a directory\n",
+                   Dir.string().c_str());
+      return 2;
+    }
+    for (auto It = fs::recursive_directory_iterator(Dir, EC);
+         It != fs::recursive_directory_iterator(); It.increment(EC)) {
+      if (EC)
+        break;
+      const fs::directory_entry &E = *It;
+      std::string Name = E.path().filename().string();
+      if (E.is_directory(EC) &&
+          (Name == "build" || (!Name.empty() && Name[0] == '.'))) {
+        It.disable_recursion_pending();
+        continue;
+      }
+      if (E.is_regular_file(EC) && isSourceFile(E.path()))
+        TargetPaths.push_back(E.path());
+    }
+  }
+  if (!Opt.CompDb.empty()) {
+    fs::path DbPath = Opt.CompDb / "compile_commands.json";
+    std::string Text;
+    if (!readFile(DbPath, Text)) {
+      std::fprintf(stderr, "crafty-lint: cannot read %s\n",
+                   DbPath.string().c_str());
+      return 2;
+    }
+    JsonValue Db;
+    if (!JsonParser(Text).parse(Db) || Db.T != JsonValue::Arr) {
+      std::fprintf(stderr, "crafty-lint: cannot parse %s\n",
+                   DbPath.string().c_str());
+      return 2;
+    }
+    for (const JsonValue &Entry : Db.A) {
+      if (Entry.T != JsonValue::Obj)
+        continue;
+      std::string File = Entry.str("file");
+      if (File.empty())
+        continue;
+      fs::path FP = File;
+      if (FP.is_relative())
+        FP = fs::path(Entry.str("directory")) / FP;
+      TargetPaths.push_back(FP);
+    }
+  }
+  if (TargetPaths.empty()) {
+    std::fprintf(stderr, "crafty-lint: no input files\n");
+    return usage(argv[0]);
+  }
+  if (!Opt.Restrict.empty()) {
+    // Don't even load out-of-scope TUs (e.g. third-party sources a compdb
+    // drags in); the in-scope files' include closure is all the registry
+    // context the checks need.
+    std::vector<fs::path> Kept;
+    for (const fs::path &P : TargetPaths)
+      if (normPathTo(P, Opt.Root).rfind(Opt.Restrict, 0) == 0)
+        Kept.push_back(P);
+    TargetPaths.swap(Kept);
+    if (TargetPaths.empty()) {
+      std::fprintf(stderr, "crafty-lint: no input files under --restrict "
+                           "prefix '%s'\n",
+                   Opt.Restrict.c_str());
+      return 2;
+    }
+  }
+
+  // Load everything (targets + include closure) and analyze.
+  Corpus C(Opt);
+  size_t Unreadable = 0;
+  for (const fs::path &P : TargetPaths)
+    if (!C.load(P, /*IsTarget=*/true))
+      ++Unreadable;
+  if (Unreadable)
+    std::fprintf(stderr, "crafty-lint: warning: %zu input file(s) unreadable\n",
+                 Unreadable);
+  std::vector<const ParsedFile *> Targets = C.targets(Opt.Restrict);
+  if (Targets.empty()) {
+    std::fprintf(stderr, "crafty-lint: no target files after --restrict\n");
+    return 2;
+  }
+  Registry Reg = C.buildRegistry();
+  if (Opt.Verbose)
+    std::fprintf(stderr,
+                 "crafty-lint: %zu file(s) loaded, %zu target(s), "
+                 "%zu annotated name(s)\n",
+                 C.size(), Targets.size(), Reg.AnnBySimple.size());
+
+  std::vector<Diagnostic> Diags = runChecks(Targets, Reg);
+
+  if (!Opt.WriteBaselinePath.empty()) {
+    if (!writeBaseline(Opt.WriteBaselinePath, Diags)) {
+      std::fprintf(stderr, "crafty-lint: cannot write %s\n",
+                   Opt.WriteBaselinePath.string().c_str());
+      return 2;
+    }
+    std::printf("crafty-lint: wrote %zu baseline entr%s to %s\n", Diags.size(),
+                Diags.size() == 1 ? "y" : "ies",
+                Opt.WriteBaselinePath.string().c_str());
+    return 0;
+  }
+
+  std::vector<BaselineEntry> Baseline;
+  if (!Opt.BaselinePath.empty()) {
+    if (!loadBaseline(Opt.BaselinePath, Baseline)) {
+      std::fprintf(stderr, "crafty-lint: cannot read baseline %s\n",
+                   Opt.BaselinePath.string().c_str());
+      return 2;
+    }
+    applyBaseline(Diags, Baseline);
+  }
+
+  size_t NewCount = 0, BaseCount = 0;
+  for (const Diagnostic &D : Diags) {
+    if (D.Baselined) {
+      ++BaseCount;
+      continue;
+    }
+    ++NewCount;
+    std::printf("%s:%d: %s: %s [in %s]\n", D.File.c_str(), D.Line,
+                D.Rule.c_str(), D.Message.c_str(), D.Func.c_str());
+  }
+  size_t Stale = 0;
+  for (const BaselineEntry &B : Baseline) {
+    if (B.Matched)
+      continue;
+    ++Stale;
+    std::fprintf(stderr,
+                 "crafty-lint: warning: stale baseline entry %s %s %s "
+                 "(no longer fires -- remove it)\n",
+                 B.Rule.c_str(), B.File.c_str(), B.Function.c_str());
+  }
+
+  if (!Opt.JsonPath.empty() && !writeJsonReport(Opt.JsonPath, Diags)) {
+    std::fprintf(stderr, "crafty-lint: cannot write %s\n",
+                 Opt.JsonPath.string().c_str());
+    return 2;
+  }
+
+  std::printf("crafty-lint: %zu finding(s): %zu new, %zu baselined, "
+              "%zu stale baseline entr%s, %zu file(s) analyzed\n",
+              NewCount + BaseCount, NewCount, BaseCount, Stale,
+              Stale == 1 ? "y" : "ies", Targets.size());
+  return NewCount ? 1 : 0;
+}

@@ -1,0 +1,198 @@
+//===- tools/crafty-lint/Lexer.cpp - C++ token scanner --------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace craftylint {
+
+namespace {
+
+bool isIdentStart(char C) { return std::isalpha((unsigned char)C) || C == '_'; }
+bool isIdentChar(char C) { return std::isalnum((unsigned char)C) || C == '_'; }
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const char *const MultiPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+std::string trimmed(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+} // namespace
+
+LexedFile lexFile(const std::string &Path, const std::string &Content) {
+  LexedFile F;
+  F.Path = Path;
+  const char *P = Content.c_str();
+  const char *End = P + Content.size();
+  int Line = 1;
+  bool AtLineStart = true; // Only whitespace seen since the last newline.
+
+  auto push = [&](TokKind K, std::string Text, int L) {
+    F.Toks.push_back(Token{K, std::move(Text), L});
+  };
+
+  while (P < End) {
+    char C = *P;
+    if (C == '\n') {
+      ++Line;
+      ++P;
+      AtLineStart = true;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      ++P;
+      continue;
+    }
+
+    // Comments.
+    if (C == '/' && P + 1 < End && P[1] == '/') {
+      const char *S = P + 2;
+      while (P < End && *P != '\n')
+        ++P;
+      F.Comments.push_back(Comment{trimmed(std::string(S, P)), Line});
+      continue;
+    }
+    if (C == '/' && P + 1 < End && P[1] == '*') {
+      int StartLine = Line;
+      const char *S = P + 2;
+      P += 2;
+      while (P + 1 < End && !(P[0] == '*' && P[1] == '/')) {
+        if (*P == '\n')
+          ++Line;
+        ++P;
+      }
+      F.Comments.push_back(
+          Comment{trimmed(std::string(S, P < End ? P : End)), StartLine});
+      P = (P + 1 < End) ? P + 2 : End;
+      AtLineStart = false;
+      continue;
+    }
+
+    // Preprocessor directive: record quoted includes, drop the rest
+    // (honoring line continuations).
+    if (C == '#' && AtLineStart) {
+      const char *S = P;
+      while (P < End) {
+        if (*P == '\\' && P + 1 < End && P[1] == '\n') {
+          Line += 1;
+          P += 2;
+          continue;
+        }
+        if (*P == '\n')
+          break;
+        // Comments inside directives would confuse the continuation scan;
+        // a // comment ends the directive's interesting part anyway.
+        ++P;
+      }
+      std::string Directive(S, P);
+      size_t Inc = Directive.find("include");
+      if (Inc != std::string::npos) {
+        size_t Q1 = Directive.find('"', Inc);
+        if (Q1 != std::string::npos) {
+          size_t Q2 = Directive.find('"', Q1 + 1);
+          if (Q2 != std::string::npos)
+            F.Includes.push_back(Directive.substr(Q1 + 1, Q2 - Q1 - 1));
+        }
+      }
+      continue;
+    }
+    AtLineStart = false;
+
+    // Raw string literal.
+    if (C == 'R' && P + 1 < End && P[1] == '"') {
+      const char *S = P;
+      P += 2;
+      std::string Delim;
+      while (P < End && *P != '(')
+        Delim.push_back(*P++);
+      std::string Close = ")" + Delim + "\"";
+      const char *Found = nullptr;
+      for (const char *Q = P; Q + Close.size() <= End; ++Q) {
+        if (std::memcmp(Q, Close.c_str(), Close.size()) == 0) {
+          Found = Q + Close.size();
+          break;
+        }
+        if (*Q == '\n')
+          ++Line;
+      }
+      P = Found ? Found : End;
+      push(TokKind::String, std::string(S, P), Line);
+      continue;
+    }
+
+    // String / char literal.
+    if (C == '"' || C == '\'') {
+      const char *S = P;
+      char Quote = C;
+      ++P;
+      while (P < End && *P != Quote) {
+        if (*P == '\\' && P + 1 < End)
+          ++P;
+        if (*P == '\n')
+          ++Line;
+        ++P;
+      }
+      if (P < End)
+        ++P;
+      push(TokKind::String, std::string(S, P), Line);
+      continue;
+    }
+
+    // Number.
+    if (std::isdigit((unsigned char)C) ||
+        (C == '.' && P + 1 < End && std::isdigit((unsigned char)P[1]))) {
+      const char *S = P;
+      while (P < End &&
+             (std::isalnum((unsigned char)*P) || *P == '.' || *P == '\'' ||
+              ((*P == '+' || *P == '-') && P > S &&
+               (P[-1] == 'e' || P[-1] == 'E' || P[-1] == 'p' ||
+                P[-1] == 'P'))))
+        ++P;
+      push(TokKind::Number, std::string(S, P), Line);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (isIdentStart(C)) {
+      const char *S = P;
+      while (P < End && isIdentChar(*P))
+        ++P;
+      push(TokKind::Ident, std::string(S, P), Line);
+      continue;
+    }
+
+    // Punctuation: longest multi-char match first.
+    bool Matched = false;
+    for (const char *Op : MultiPuncts) {
+      size_t N = std::strlen(Op);
+      if (P + N <= End && std::memcmp(P, Op, N) == 0) {
+        push(TokKind::Punct, Op, Line);
+        P += N;
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched) {
+      push(TokKind::Punct, std::string(1, C), Line);
+      ++P;
+    }
+  }
+  return F;
+}
+
+} // namespace craftylint

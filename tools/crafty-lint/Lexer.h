@@ -1,0 +1,64 @@
+//===- tools/crafty-lint/Lexer.h - C++ token scanner -----------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ tokenizer for crafty-lint's built-in frontend. It produces a
+/// comment-free token stream (comments are kept on the side so suppression
+/// directives stay addressable by line), records quoted #include targets
+/// for project-local include-closure loading, and strips all other
+/// preprocessor directives. String/char/raw-string literals are single
+/// tokens, so downstream brace/paren matching is reliable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_LEXER_H
+#define CRAFTY_LINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+enum class TokKind : unsigned char {
+  Ident,   // Identifiers and keywords.
+  Number,  // Numeric literals (integer and floating).
+  String,  // "...", R"(...)", '...'.
+  Punct,   // Operators and punctuation (multi-char ops are one token).
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int Line = 0;
+
+  bool is(const char *T) const { return Text == T; }
+  bool isIdent() const { return Kind == TokKind::Ident; }
+  bool isPunct(const char *T) const {
+    return Kind == TokKind::Punct && Text == T;
+  }
+};
+
+struct Comment {
+  std::string Text; // Without the // or /* */ delimiters, trimmed.
+  int Line = 0;     // Line the comment starts on.
+};
+
+/// One lexed source file.
+struct LexedFile {
+  std::string Path;                  // As given to the lexer.
+  std::vector<Token> Toks;
+  std::vector<Comment> Comments;
+  std::vector<std::string> Includes; // Quoted-form #include targets only.
+};
+
+/// Tokenizes \p Content (the text of \p Path). Never fails: unrecognized
+/// bytes become single-character punct tokens.
+LexedFile lexFile(const std::string &Path, const std::string &Content);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_LEXER_H

@@ -1,0 +1,528 @@
+//===- tools/crafty-lint/Model.cpp - Lightweight C++ source model ---------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace craftylint {
+
+namespace {
+
+bool isOpener(const Token &T) {
+  return T.Kind == TokKind::Punct &&
+         (T.Text == "(" || T.Text == "[" || T.Text == "{");
+}
+bool isCloser(const Token &T) {
+  return T.Kind == TokKind::Punct &&
+         (T.Text == ")" || T.Text == "]" || T.Text == "}");
+}
+
+/// Annotation macro spellings (support/Annotations.h).
+bool applyAnnotationMacro(const std::string &Name, Annotations &A) {
+  if (Name == "CRAFTY_PMEM")
+    A.Pmem = true;
+  else if (Name == "CRAFTY_TX_SAFE")
+    A.TxSafe = true;
+  else if (Name == "CRAFTY_HTM_UNSAFE")
+    A.HtmUnsafe = true;
+  else if (Name == "CRAFTY_TX_BODY")
+    A.TxBody = true;
+  else if (Name == "CRAFTY_TX_STORE_API")
+    A.TxStoreApi = true;
+  else if (Name == "CRAFTY_FLUSH_API")
+    A.FlushApi = true;
+  else if (Name == "CRAFTY_DRAIN_API")
+    A.DrainApi = true;
+  else if (Name == "CRAFTY_DRAIN_DEFERRED")
+    A.DrainDeferred = true;
+  else
+    return false;
+  return true;
+}
+
+bool isAllCapsIdent(const std::string &S) {
+  bool SawAlpha = false;
+  for (char C : S) {
+    if (std::isupper((unsigned char)C))
+      SawAlpha = true;
+    else if (!std::isdigit((unsigned char)C) && C != '_')
+      return false;
+  }
+  return SawAlpha;
+}
+
+const char *const NotAFunctionName[] = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "new", "delete", "throw", "co_return", "co_await", "assert",
+    "static_assert", "defined",
+};
+
+bool isDisqualifiedName(const std::string &S) {
+  for (const char *K : NotAFunctionName)
+    if (S == K)
+      return true;
+  return false;
+}
+
+} // namespace
+
+size_t matchForward(const std::vector<Token> &T, size_t I, size_t End) {
+  int Depth = 0;
+  for (size_t J = I; J < End; ++J) {
+    if (isOpener(T[J]))
+      ++Depth;
+    else if (isCloser(T[J])) {
+      --Depth;
+      if (Depth == 0)
+        return J;
+      if (Depth < 0)
+        return End;
+    }
+  }
+  return End;
+}
+
+Annotations Registry::lookupCall(const std::string &ClassName,
+                                 const std::string &Name) const {
+  if (!ClassName.empty()) {
+    auto It = AnnByQual.find(ClassName + "::" + Name);
+    if (It != AnnByQual.end())
+      return It->second;
+  }
+  auto It = AnnBySimple.find(Name);
+  if (It != AnnBySimple.end())
+    return It->second;
+  return Annotations();
+}
+
+void Registry::add(const ParsedFile &PF) {
+  for (const FunctionInfo &F : PF.Funcs) {
+    if (F.Ann.any()) {
+      AnnByQual[F.QualName].merge(F.Ann);
+      AnnBySimple[F.Name].merge(F.Ann);
+    }
+    if (F.hasBody())
+      DefsBySimple[F.Name].push_back(&F);
+  }
+  for (const PmVar &V : PF.PmFields) {
+    auto It = PmFieldIsPtr.find(V.Name);
+    if (It == PmFieldIsPtr.end())
+      PmFieldIsPtr[V.Name] = V.IsPtr;
+    PmFieldNames.insert(V.Name);
+  }
+  ConstNames.insert(PF.ConstNames.begin(), PF.ConstNames.end());
+}
+
+namespace {
+
+/// Scope scanner building the ParsedFile model. Chunks the token stream at
+/// declaration granularity and classifies each chunk.
+class ScopeScanner {
+public:
+  ScopeScanner(const LexedFile &Lex, ParsedFile &Out) : T(Lex.Toks), Out(Out) {}
+
+  void run() { scanScope(0, T.size(), /*ClassName=*/""); }
+
+private:
+  const std::vector<Token> &T;
+  ParsedFile &Out;
+
+  /// Scans declarations in [I, End). \p ClassName is the innermost class
+  /// whose body this is ("" at namespace scope).
+  void scanScope(size_t I, size_t End, const std::string &ClassName) {
+    while (I < End) {
+      // Access labels.
+      if (T[I].isIdent() &&
+          (T[I].is("public") || T[I].is("private") || T[I].is("protected")) &&
+          I + 1 < End && T[I + 1].isPunct(":")) {
+        I += 2;
+        continue;
+      }
+      if (T[I].isPunct(";")) {
+        ++I;
+        continue;
+      }
+      if (T[I].isPunct("}")) {
+        ++I;
+        continue;
+      }
+      I = scanDeclaration(I, End, ClassName);
+    }
+  }
+
+  /// Collects one declaration chunk starting at \p I; returns the index
+  /// just past it.
+  size_t scanDeclaration(size_t Start, size_t End, const std::string &Class) {
+    // Find the chunk terminator: first ';' or '{' at joint depth 0.
+    size_t I = Start;
+    int Depth = 0;
+    size_t Term = End;
+    for (; I < End; ++I) {
+      if (isOpener(T[I])) {
+        if (T[I].isPunct("{") && Depth == 0) {
+          Term = I;
+          break;
+        }
+        ++Depth;
+      } else if (isCloser(T[I])) {
+        if (Depth == 0) { // Stray scope close: let the caller handle it.
+          return I;
+        }
+        --Depth;
+      } else if (T[I].isPunct(";") && Depth == 0) {
+        Term = I;
+        break;
+      }
+    }
+    if (Term == End)
+      return End;
+
+    bool EndsWithBrace = T[Term].isPunct("{");
+    size_t ChunkBegin = Start;
+
+    // Strip a leading template<...> header.
+    if (T[ChunkBegin].is("template") && ChunkBegin + 1 < Term &&
+        T[ChunkBegin + 1].isPunct("<")) {
+      int Angle = 0;
+      size_t J = ChunkBegin + 1;
+      for (; J < Term; ++J) {
+        if (T[J].isPunct("<"))
+          ++Angle;
+        else if (T[J].isPunct(">")) {
+          if (--Angle == 0) {
+            ++J;
+            break;
+          }
+        } else if (T[J].isPunct(">>")) {
+          Angle -= 2;
+          if (Angle <= 0) {
+            ++J;
+            break;
+          }
+        }
+      }
+      ChunkBegin = J;
+      if (ChunkBegin >= Term)
+        return skipPastChunk(Term, End, EndsWithBrace);
+    }
+
+    const std::string &Lead =
+        T[ChunkBegin].isIdent() ? T[ChunkBegin].Text : std::string();
+
+    if (Lead == "namespace" || (Lead == "extern" && EndsWithBrace)) {
+      if (!EndsWithBrace)
+        return Term + 1; // namespace alias
+      size_t Close = matchForward(T, Term, End);
+      scanScope(Term + 1, Close, Class);
+      return Close + 1;
+    }
+
+    if (Lead == "using" || Lead == "typedef" || Lead == "friend" ||
+        Lead == "static_assert")
+      return skipPastChunk(Term, End, EndsWithBrace);
+
+    if (Lead == "enum") {
+      if (EndsWithBrace) {
+        size_t Close = matchForward(T, Term, End);
+        collectEnumerators(Term + 1, Close);
+        // Consume a trailing ';' (and any variable name before it).
+        size_t J = Close + 1;
+        while (J < End && !T[J].isPunct(";"))
+          ++J;
+        return J + 1;
+      }
+      return Term + 1;
+    }
+
+    if (Lead == "class" || Lead == "struct" || Lead == "union") {
+      if (!EndsWithBrace)
+        return handleSimpleDecl(ChunkBegin, Term, Class);
+      std::string Name = classNameOf(ChunkBegin, Term);
+      size_t Close = matchForward(T, Term, End);
+      scanScope(Term + 1, Close, Name);
+      size_t J = Close + 1;
+      while (J < End && !T[J].isPunct(";"))
+        ++J;
+      return J + 1;
+    }
+
+    // Function definition or prototype?
+    if (tryFunction(ChunkBegin, Term, End, Class, EndsWithBrace)) {
+      if (!EndsWithBrace)
+        return Term + 1;
+      size_t Close = matchForward(T, Term, End);
+      return Close + 1;
+    }
+
+    if (!EndsWithBrace)
+      return handleSimpleDecl(ChunkBegin, Term, Class);
+
+    // Unclassified brace (aggregate initializer, lambda initializer...):
+    // note any field/const declared before it, then skip to the ';'.
+    handleSimpleDecl(ChunkBegin, Term, Class);
+    return skipPastChunk(Term, End, EndsWithBrace);
+  }
+
+  size_t skipPastChunk(size_t Term, size_t End, bool EndsWithBrace) {
+    if (!EndsWithBrace)
+      return Term + 1;
+    size_t J = matchForward(T, Term, End) + 1;
+    while (J < End && !T[J].isPunct(";") && !T[J].isPunct("}"))
+      J = isOpener(T[J]) ? matchForward(T, J, End) + 1 : J + 1;
+    return J < End && T[J].isPunct(";") ? J + 1 : J;
+  }
+
+  void collectEnumerators(size_t Begin, size_t End) {
+    int Depth = 0;
+    bool ExpectName = true;
+    for (size_t J = Begin; J < End; ++J) {
+      if (isOpener(T[J]))
+        ++Depth;
+      else if (isCloser(T[J]))
+        --Depth;
+      else if (Depth == 0 && T[J].isPunct(","))
+        ExpectName = true;
+      else if (Depth == 0 && ExpectName && T[J].isIdent()) {
+        Out.ConstNames.insert(T[J].Text);
+        ExpectName = false;
+      }
+    }
+  }
+
+  /// Class-head name: the identifier before the base-clause ':' if there
+  /// is one, else the last identifier before the '{' (skipping "final").
+  std::string classNameOf(size_t Begin, size_t Term) {
+    int Depth = 0;
+    for (size_t J = Begin; J < Term; ++J) {
+      if (isOpener(T[J]))
+        ++Depth;
+      else if (isCloser(T[J]))
+        --Depth;
+      else if (Depth == 0 && T[J].isPunct(":")) {
+        for (size_t K = J; K > Begin; --K)
+          if (T[K - 1].isIdent() && !T[K - 1].is("final"))
+            return T[K - 1].Text;
+        return "";
+      }
+    }
+    for (size_t K = Term; K > Begin; --K)
+      if (T[K - 1].isIdent() && !T[K - 1].is("final"))
+        return T[K - 1].Text;
+    return "";
+  }
+
+  /// Attempts to read [Begin, Term) as a function header. On success
+  /// records a FunctionInfo (with body [Term+1, close) when \p IsDef).
+  bool tryFunction(size_t Begin, size_t Term, size_t End,
+                   const std::string &Class, bool IsDef) {
+    // Find the parameter-list '(': the first depth-0 '(' preceded by a
+    // usable name, with no depth-0 '=' before it.
+    int Depth = 0;
+    size_t ParamOpen = 0;
+    for (size_t J = Begin; J < Term; ++J) {
+      if (T[J].isPunct("=") && Depth == 0)
+        return false;
+      if (T[J].isPunct("(") && Depth == 0 && J > Begin) {
+        const Token &Prev = T[J - 1];
+        if (Prev.isIdent() && !isDisqualifiedName(Prev.Text)) {
+          ParamOpen = J;
+          break;
+        }
+        // "operator==(" and friends: treat as a function named by the
+        // operator tokens so the body is skipped correctly.
+        size_t K = J;
+        while (K > Begin && T[K - 1].Kind == TokKind::Punct &&
+               !isCloser(T[K - 1]) && !T[K - 1].isPunct("("))
+          --K;
+        if (K > Begin && T[K - 1].is("operator")) {
+          ParamOpen = J;
+          break;
+        }
+      }
+      if (isOpener(T[J]))
+        ++Depth;
+      else if (isCloser(T[J]))
+        --Depth;
+    }
+    if (ParamOpen == 0)
+      return false;
+    size_t ParamClose = matchForward(T, ParamOpen, Term);
+    if (ParamClose >= Term && IsDef) {
+      // Parameter list runs to the '{': only legal for a function def
+      // whose last param has a brace default? Not in this codebase.
+      return false;
+    }
+
+    // Validate the tokens between ')' and the chunk end.
+    for (size_t J = ParamClose + 1; J < Term; ++J) {
+      const Token &Tk = T[J];
+      if (Tk.isIdent()) {
+        if (Tk.is("const") || Tk.is("noexcept") || Tk.is("override") ||
+            Tk.is("final") || Tk.is("mutable") || Tk.is("try") ||
+            isAllCapsIdent(Tk.Text))
+          continue;
+        return false;
+      }
+      if (Tk.isPunct("&") || Tk.isPunct("&&") || Tk.isPunct("[") ||
+          Tk.isPunct("]"))
+        continue;
+      if (Tk.isPunct("(")) { // noexcept(...) / macro(...) arguments.
+        J = matchForward(T, J, Term);
+        continue;
+      }
+      if (Tk.isPunct("->") || Tk.isPunct(":")) {
+        // Trailing return type / ctor initializer: everything to the
+        // body is part of the header.
+        J = Term;
+        break;
+      }
+      if (Tk.isPunct("=")) {
+        // "= default" / "= delete" / "= 0" prototypes.
+        J = Term;
+        break;
+      }
+      return false;
+    }
+
+    FunctionInfo F;
+    F.Owner = &Out.Lex;
+    F.Line = T[ParamOpen].Line;
+
+    // Name (walking back over A::B:: qualifiers).
+    size_t NameIdx = ParamOpen - 1;
+    if (T[NameIdx].isIdent()) {
+      F.Name = T[NameIdx].Text;
+      std::vector<std::string> Quals;
+      size_t K = NameIdx;
+      while (K >= 2 && T[K - 1].isPunct("::") && T[K - 2].isIdent()) {
+        Quals.push_back(T[K - 2].Text);
+        K -= 2;
+      }
+      if (!Quals.empty())
+        F.ClassName = Quals.front(); // Innermost qualifier.
+    } else {
+      F.Name = "operator?";
+    }
+    if (F.ClassName.empty())
+      F.ClassName = Class;
+    F.QualName = F.ClassName.empty() ? F.Name : F.ClassName + "::" + F.Name;
+
+    // Annotations: chunk tokens outside the parameter list.
+    for (size_t J = Begin; J < Term; ++J) {
+      if (J == ParamOpen) {
+        J = ParamClose;
+        continue;
+      }
+      if (T[J].isIdent())
+        applyAnnotationMacro(T[J].Text, F.Ann);
+    }
+
+    // CRAFTY_PMEM parameters.
+    size_t PStart = ParamOpen + 1;
+    int PDepth = 0;
+    bool PmHere = false, PtrHere = false;
+    std::string LastIdent;
+    auto flushParam = [&]() {
+      if (PmHere && !LastIdent.empty())
+        F.PmParams.push_back(PmVar{LastIdent, PtrHere});
+      PmHere = PtrHere = false;
+      LastIdent.clear();
+    };
+    for (size_t J = PStart; J < ParamClose; ++J) {
+      if (isOpener(T[J]))
+        ++PDepth;
+      else if (isCloser(T[J]))
+        --PDepth;
+      else if (PDepth == 0 && T[J].isPunct(","))
+        flushParam();
+      else if (PDepth == 0 && T[J].isPunct("="))
+        PDepth = 1000; // Ignore default-argument tokens (until ',').
+      else if (PDepth >= 1000 && T[J].isPunct(","))
+        PDepth = 0, flushParam();
+      else if (PDepth == 0 && T[J].isIdent()) {
+        if (T[J].is("CRAFTY_PMEM"))
+          PmHere = true;
+        else
+          LastIdent = T[J].Text;
+      } else if (PDepth == 0 && T[J].isPunct("*"))
+        PtrHere = true;
+    }
+    flushParam();
+
+    if (IsDef) {
+      size_t Close = matchForward(T, Term, End);
+      F.BodyBegin = Term + 1;
+      F.BodyEnd = Close;
+      Out.Funcs.push_back(std::move(F));
+      return true;
+    }
+    // Prototype: only interesting when annotated.
+    if (F.Ann.any() || !F.PmParams.empty())
+      Out.Funcs.push_back(std::move(F));
+    return true;
+  }
+
+  /// Field / variable / constant declaration (chunk without a function
+  /// header). Records CRAFTY_PMEM fields and compile-time-constant names.
+  size_t handleSimpleDecl(size_t Begin, size_t Term, const std::string &) {
+    bool Pm = false, Ptr = false, Const = false, SawAssign = false;
+    std::string Name;
+    int Depth = 0;
+    for (size_t J = Begin; J < Term; ++J) {
+      const Token &Tk = T[J];
+      if (isOpener(Tk)) {
+        ++Depth;
+        continue;
+      }
+      if (isCloser(Tk)) {
+        --Depth;
+        continue;
+      }
+      if (Depth != 0)
+        continue;
+      if (Tk.isPunct("=")) {
+        SawAssign = true;
+        break;
+      }
+      if (Tk.isPunct("[") || Tk.isPunct(":"))
+        break;
+      if (Tk.isIdent()) {
+        if (Tk.is("CRAFTY_PMEM"))
+          Pm = true;
+        else if (Tk.is("constexpr"))
+          Const = true;
+        else if (Tk.is("const"))
+          Const = true;
+        else
+          Name = Tk.Text;
+      } else if (Tk.isPunct("*"))
+        Ptr = true;
+    }
+    if (!Name.empty()) {
+      if (Pm)
+        Out.PmFields.push_back(PmVar{Name, Ptr});
+      if (Const)
+        Out.ConstNames.insert(Name);
+    }
+    (void)SawAssign;
+    return Term + 1;
+  }
+};
+
+} // namespace
+
+void parseFile(ParsedFile &PF) {
+  // The scanner reads tokens from PF.Lex in place; FunctionInfo::Owner and
+  // body indices refer to PF's own storage, so PF must not be moved after
+  // parsing (callers keep ParsedFiles at stable addresses).
+  ScopeScanner S(PF.Lex, PF);
+  S.run();
+}
+
+} // namespace craftylint

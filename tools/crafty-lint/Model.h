@@ -1,0 +1,127 @@
+//===- tools/crafty-lint/Model.h - Lightweight C++ source model -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight declaration-level model of a C++ translation unit, built
+/// from the token stream: function definitions and prototypes with their
+/// crafty-lint annotations (support/Annotations.h), persistent-annotated
+/// fields and parameters, and compile-time-constant names. It is not a
+/// full parser -- templates, operators and exotic declarators are handled
+/// conservatively (skipped rather than misread) -- but it is precise
+/// enough to drive the four analyzer rules over this codebase and the
+/// fixture corpus, with the annotation macros carrying the semantic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_MODEL_H
+#define CRAFTY_LINT_MODEL_H
+
+#include "Lexer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+/// The crafty-lint annotation set attached to a declaration.
+struct Annotations {
+  bool Pmem = false;
+  bool TxSafe = false;
+  bool HtmUnsafe = false;
+  bool TxBody = false;
+  bool TxStoreApi = false;
+  bool FlushApi = false;
+  bool DrainApi = false;
+  bool DrainDeferred = false;
+
+  void merge(const Annotations &O) {
+    Pmem |= O.Pmem;
+    TxSafe |= O.TxSafe;
+    HtmUnsafe |= O.HtmUnsafe;
+    TxBody |= O.TxBody;
+    TxStoreApi |= O.TxStoreApi;
+    FlushApi |= O.FlushApi;
+    DrainApi |= O.DrainApi;
+    DrainDeferred |= O.DrainDeferred;
+  }
+  bool any() const {
+    return Pmem || TxSafe || HtmUnsafe || TxBody || TxStoreApi || FlushApi ||
+           DrainApi || DrainDeferred;
+  }
+};
+
+/// A CRAFTY_PMEM-annotated variable (parameter, local or field).
+struct PmVar {
+  std::string Name;
+  /// True when the declarator is a pointer: the *pointee* is persistent,
+  /// so only stores through the pointer (deref/index/arrow) are flagged;
+  /// re-pointing the variable itself is volatile. False means the
+  /// variable's own storage is persistent.
+  bool IsPtr = false;
+};
+
+struct FunctionInfo {
+  const LexedFile *Owner = nullptr;
+  int Line = 0;
+  std::string Name;      // Simple name.
+  std::string ClassName; // Innermost enclosing (or qualifying) class, "".
+  std::string QualName;  // ClassName::Name, or Name for free functions.
+  Annotations Ann;
+  std::vector<PmVar> PmParams;
+  /// Token index range of the body's contents (exclusive of braces);
+  /// BodyBegin == BodyEnd == 0 for a prototype.
+  size_t BodyBegin = 0;
+  size_t BodyEnd = 0;
+
+  bool hasBody() const { return BodyEnd > BodyBegin; }
+};
+
+/// One parsed file: its lexed form plus the declaration model.
+struct ParsedFile {
+  LexedFile Lex;
+  std::vector<FunctionInfo> Funcs; // Definitions and prototypes.
+  std::vector<PmVar> PmFields;     // CRAFTY_PMEM fields, any class.
+  std::set<std::string> ConstNames; // const/constexpr/enum value names.
+};
+
+/// The cross-file model the checks run against.
+struct Registry {
+  /// Annotation union per qualified name ("Class::name") and simple name.
+  std::map<std::string, Annotations> AnnByQual;
+  std::map<std::string, Annotations> AnnBySimple;
+  /// Function *definitions* (bodies) by simple name, for call-graph walks.
+  std::map<std::string, std::vector<const FunctionInfo *>> DefsBySimple;
+  /// CRAFTY_PMEM fields by name; value IsPtr. A name annotated as both
+  /// pointer and non-pointer anywhere is treated as both.
+  std::map<std::string, bool> PmFieldIsPtr;
+  std::set<std::string> PmFieldNames;
+  /// Compile-time-constant names from every scanned file.
+  std::set<std::string> ConstNames;
+
+  /// Merged annotations for a call to \p Name, optionally qualified by
+  /// \p ClassName (tried first). Returns a default (empty) set when the
+  /// name is unknown.
+  Annotations lookupCall(const std::string &ClassName,
+                         const std::string &Name) const;
+
+  void add(const ParsedFile &PF);
+};
+
+/// Parses \p PF.Lex into the declaration model, in place. \p PF must stay
+/// at a stable address afterwards (FunctionInfo::Owner points into it).
+void parseFile(ParsedFile &PF);
+
+/// Finds the matching closer for the opener at \p I ('(' / '[' / '{' / any
+/// token opening a balanced region) scanning [I, End); returns End if
+/// unbalanced. Openers and closers of all three bracket kinds nest jointly.
+size_t matchForward(const std::vector<Token> &T, size_t I, size_t End);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_MODEL_H
