@@ -594,8 +594,12 @@ CraftyThread::LogOutcome CraftyThread::logPhase(TxnBody Body) {
     // Nondestructive undo logging: roll the writes back in reverse order.
     // At each reverse step the location's current value equals that
     // mirror entry's New, so the redo values are already in hand.
-    for (size_t I = Mirror.size(); I-- > 0;)
+    for (size_t I = Mirror.size(); I-- > 0;) {
+      // Bounded by the HTM capacity abort itself: the body's stores and
+      // this rollback together fit or the transaction never commits.
+      CRAFTY_TX_BOUND(Mirror.size());
       T.store(Mirror[I].Addr, Mirror[I].Old);
+    }
     TagAbs = HeadAtStart + Mirror.size();
     size_t Slot = Log.slotFor(TagAbs);
     TagPass = Log.passFor(TagAbs);
@@ -849,8 +853,10 @@ void CraftyThread::chunkedStore(uint64_t *Addr, uint64_t Val) {
 
 void CraftyThread::closeChunk() {
   // Still inside the chunk's hardware transaction: roll back, tag, commit.
-  for (size_t I = ChunkMirror.size(); I-- > 0;)
+  for (size_t I = ChunkMirror.size(); I-- > 0;) {
+    CRAFTY_TX_BOUND(ChunkMirror.size()); // <= ChunkK by construction.
     Tx.store(ChunkMirror[I].Addr, ChunkMirror[I].Old);
+  }
   uint64_t TagA = ChunkStartAbs + ChunkMirror.size();
   size_t Slot = Log.slotFor(TagA);
   EncodedEntry E = encodeTagEntry(TagLogged, SectionTs, Log.passFor(TagA));

@@ -312,5 +312,8 @@ uint64_t HtmTx::commit() {
   PreLockVersions.clear();
   Active = false;
   ++Stats.Commits;
+  uint64_t Words = writeSetWords();
+  Stats.WriteWordsTotal += Words;
+  Stats.MaxWriteWordsPerTxn = std::max(Stats.MaxWriteWordsPerTxn, Words);
   return CommitVersion;
 }

@@ -49,6 +49,7 @@
 #include "support/Rng.h"
 #include "support/Spin.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <csetjmp>
@@ -109,6 +110,11 @@ struct HtmStats {
   /// stripe read, per validating commit). With the dense occupied-slot
   /// index this grows with reads performed, not with read-set table size.
   uint64_t ValidatedReadSlots = 0;
+  /// Distinct words written by committed transactions, total and the
+  /// single-transaction maximum -- the dynamic counterpart of crafty-lint's
+  /// static tx-capacity bound (both count 8-byte words).
+  uint64_t WriteWordsTotal = 0;
+  uint64_t MaxWriteWordsPerTxn = 0;
 
   uint64_t aborts() const {
     return AbortConflict + AbortCapacity + AbortExplicit + AbortZero;
@@ -122,6 +128,8 @@ struct HtmStats {
     AbortExplicit += O.AbortExplicit;
     AbortZero += O.AbortZero;
     ValidatedReadSlots += O.ValidatedReadSlots;
+    WriteWordsTotal += O.WriteWordsTotal;
+    MaxWriteWordsPerTxn = std::max(MaxWriteWordsPerTxn, O.MaxWriteWordsPerTxn);
     return *this;
   }
 };

@@ -278,6 +278,8 @@ void KvShard::setBatch(unsigned Tid, KvBatchItem *Items, size_t N) {
     size_t End = std::min(N, Begin + Limit);
     Backend->run(Tid, [&](TxnContext &Tx) {
       for (size_t I = Begin; I != End; ++I) {
+        // End - Begin <= Limit: one transaction covers one batch chunk.
+        CRAFTY_TX_BOUND(Cfg.BatchTxnLimit);
         KvBatchItem &Item = Items[I];
         Item.Status = Item.Val.size() > Cfg.MaxValueBytes
                           ? KvStatus::TooBig

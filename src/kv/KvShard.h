@@ -132,6 +132,8 @@ private:
                                               CellIdx * CellBytes);
   }
   /// Writes len + value bytes into a cell inside an open transaction.
+  /// Worst case: the length word plus MaxValueBytes / 8 value words.
+  CRAFTY_TX_CAPACITY(33)
   CRAFTY_TX_BODY void writeCellTx(TxnContext &Tx, uint64_t CellIdx,
                                   std::string_view Val);
   /// Reads a cell's value inside an open transaction; false on corrupt
@@ -139,6 +141,8 @@ private:
   CRAFTY_TX_BODY bool readCellTx(TxnContext &Tx, uint64_t CellIdx,
                                  std::string &Out);
   /// The SET engine shared by set/setBatch; runs inside an open txn.
+  /// writeCellTx's budget plus the map-slot words (key publish + chains).
+  CRAFTY_TX_CAPACITY(51)
   CRAFTY_TX_BODY KvStatus setInTx(TxnContext &Tx, uint64_t Key,
                                   std::string_view Val);
 

@@ -28,7 +28,11 @@ inline constexpr uint64_t PoolMagic = 0xC7AF77F0C7AF77F0ull;
 
 /// Pool header, at pool offset zero. All offsets are from the pool base.
 struct PoolHeader {
-  CRAFTY_PMEM uint64_t Magic = 0;
+  /// The format-time commit marker: recovery trusts the rest of the
+  /// header (and everything it locates) only once Magic is durable, so
+  /// stores to the other fields must be flushed and drained before any
+  /// store publishing Magic.
+  CRAFTY_PMEM CRAFTY_PM_PUBLISH uint64_t Magic = 0;
   CRAFTY_PMEM uint32_t NumThreads = 0;
   CRAFTY_PMEM uint32_t LogEntriesPerThread = 0; // Power of two.
   CRAFTY_PMEM uint64_t LogsOffset = 0; // NumThreads consecutive log regions.

@@ -60,6 +60,10 @@ public:
       Meta = Tx.load(metaWord(Cur));
     }
     while (!isLeaf(Meta)) {
+      // Descent depth is the tree height: <= log_{Order/2}(keys), far
+      // under 64 levels for a 64-bit keyspace. Each level writes at most
+      // one split (3 nodes + parent links).
+      CRAFTY_TX_BOUND(64);
       unsigned Count = countOf(Meta);
       unsigned Idx = 0;
       while (Idx < Count && Key >= Tx.load(keyWord(Cur, Idx)))

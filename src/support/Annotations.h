@@ -49,6 +49,14 @@
 ///  - CRAFTY_TX_BOUND(N)    statement macro asserting the enclosing loop's
 ///                          transactional writes are bounded by N, which
 ///                          the author has checked against HTM capacity.
+///  - CRAFTY_PM_PUBLISH     commit-marker / pointer-publish field: a store
+///                          to it makes earlier persistent stores reachable
+///                          after a crash, so those stores must be flushed
+///                          AND drained first (rule persist-ordering).
+///  - CRAFTY_TX_CAPACITY(N) declares a transaction body's per-transaction
+///                          write budget in 8-byte words; tx-capacity
+///                          cross-checks the interprocedural static bound
+///                          against it (and against the HTM budget).
 ///
 /// A finding on a deliberate pattern can be silenced in place with
 ///   // crafty-lint: suppress(<rule>) <justification>
@@ -76,8 +84,18 @@
 #define CRAFTY_DRAIN_API CRAFTY_ANNOTATE("crafty::drain_api")
 #define CRAFTY_DRAIN_DEFERRED CRAFTY_ANNOTATE("crafty::drain_deferred")
 
+#define CRAFTY_PM_PUBLISH CRAFTY_ANNOTATE("crafty::pm_publish")
+
 /// Evaluates nothing at run time; the operand is unevaluated, so runtime
 /// expressions (config fields, locals) are legal bounds.
 #define CRAFTY_TX_BOUND(n) ((void)sizeof((n)))
+
+/// Declaration annotation (place before the function like the other
+/// macros); the operand is unevaluated.
+#if defined(__clang__)
+#define CRAFTY_TX_CAPACITY(n) [[clang::annotate("crafty::tx_capacity")]]
+#else
+#define CRAFTY_TX_CAPACITY(n)
+#endif
 
 #endif // CRAFTY_SUPPORT_ANNOTATIONS_H

@@ -16,6 +16,7 @@
 
 #include "kv/KvClient.h"
 #include "kv/KvServer.h"
+#include "kv/KvShard.h"
 #include "kv/KvStore.h"
 
 #include "gtest/gtest.h"
@@ -450,6 +451,48 @@ TEST(KvServerSmoke, EndToEndOverLoopback) {
   EXPECT_GT(Server.requestsServed(), 5u);
   Server.stop();
   EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Static/dynamic capacity consistency
+//===----------------------------------------------------------------------===//
+
+// crafty-lint's tx-capacity rule computes interprocedural static
+// write-set bounds for the shard's transaction bodies, cross-checked
+// in-source against the CRAFTY_TX_CAPACITY declarations in KvShard.h:
+//   KvShard::writeCellTx  33 words (len word + MaxValueBytes / 8)
+//   KvShard::setInTx      51 words (writeCellTx + map-slot publishes)
+// This test pins the dynamic side of that contract: the largest write
+// set any committed SET transaction actually produced (HtmStats, same
+// 8-byte-word unit) must stay within the static bound, and a full-size
+// value must come close enough to show the bound is not vacuous. The
+// Non-durable backend runs transactions bare -- no undo-log stream
+// inflating the write set -- so its figure is writeCellTx/setInTx alone.
+TEST(KvStore, TxCapacityStaticBoundCoversDynamicWrites) {
+  constexpr uint64_t StaticBoundSetInTx = 51;   // = CRAFTY_TX_CAPACITY
+  constexpr uint64_t MinFullValueWords = 32;    // 1 len + 248 / 8 value.
+
+  KvConfig KC;
+  KC.NumShards = 1;
+  KC.SlotsPerShard = 256;
+  KC.MaxValueBytes = 248;
+  KC.ThreadsPerShard = 1;
+  KC.Backend = SystemKind::NonDurable;
+  KC.DrainLatencyNs = 0;
+  KvShard Shard(KC, 0);
+
+  const std::string Full(KC.MaxValueBytes, 'x');
+  for (uint64_t Key = 1; Key <= 64; ++Key)
+    ASSERT_EQ(Shard.set(0, Key, Full), KvStatus::Ok);
+
+  HtmStats Hw = Shard.backend().htmStats();
+  ASSERT_GT(Hw.Commits, 0u);
+  EXPECT_GE(Hw.MaxWriteWordsPerTxn, MinFullValueWords)
+      << "a full-size SET must write at least the value cell";
+  EXPECT_LE(Hw.MaxWriteWordsPerTxn, StaticBoundSetInTx)
+      << "dynamic write set exceeds the static tx-capacity bound that "
+         "crafty-lint certifies for KvShard::setInTx";
+  EXPECT_GE(Hw.WriteWordsTotal, 64 * MinFullValueWords);
 }
 
 TEST(KvServerSmoke, MalformedRequestClosesConnection) {

@@ -1,0 +1,167 @@
+//===- tests/LintCfgTest.cpp - crafty-lint CFG construction ---------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for crafty-lint's control-flow-graph construction
+/// (tools/crafty-lint/Cfg.cpp), pinned with golden block/edge dumps.
+/// Each case lexes a statement sequence, parses the Stmt tree, lowers it
+/// to a CFG and compares Cfg::dump() -- block membership (as atom kinds
+/// with source lines), successor lists, and the synthetic entry/exit
+/// blocks -- against the expected text. These goldens are what the
+/// dataflow rules (flush-without-drain, persist-ordering) solve over, so
+/// an edge regression here is a soundness regression there.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Cfg.h"
+#include "Lexer.h"
+#include "Stmt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace craftylint;
+
+std::string dumpOf(const char *Src) {
+  LexedFile L = lexFile("cfg_test.cpp", Src);
+  Stmt Tree = parseStmtTree(L.Toks, 0, L.Toks.size());
+  return buildCfg(Tree).dump();
+}
+
+TEST(LintCfg, BranchDiamond) {
+  const char *Src = "a = 1;\n"
+                    "if (c) {\n"
+                    "  b = 2;\n"
+                    "} else {\n"
+                    "  b = 3;\n"
+                    "}\n"
+                    "d = 4;\n";
+  // Straight-line prefix and the condition share the entry block; then
+  // and else each get a block; both rejoin before the trailing store.
+  EXPECT_EQ(dumpOf(Src), "B0(entry) [code@1 hdr@2] -> 2 3\n"
+                         "B1(exit)\n"
+                         "B2 [code@3] -> 4\n"
+                         "B3 [code@5] -> 4\n"
+                         "B4 [code@7] -> 1\n");
+}
+
+TEST(LintCfg, LoopWithBreakAndContinue) {
+  const char *Src = "s = 0;\n"
+                    "for (i = 0; i < n; ++i) {\n"
+                    "  if (skip(i))\n"
+                    "    continue;\n"
+                    "  if (bad(i))\n"
+                    "    break;\n"
+                    "  s += i;\n"
+                    "}\n"
+                    "t = s;\n";
+  // B3 is the loop header (condition re-evaluated on the back edge);
+  // continue (B5) jumps to it, break (B8) jumps to the loop-exit block
+  // B2, and the body tail (B10) closes the back edge.
+  EXPECT_EQ(dumpOf(Src), "B0(entry) [code@1] -> 3\n"
+                         "B1(exit)\n"
+                         "B2 [code@9] -> 1\n"
+                         "B3 [hdr@2] -> 2 4\n"
+                         "B4 [hdr@3] -> 5 7\n"
+                         "B5 -> 3\n"
+                         "B6 -> 7\n"
+                         "B7 [hdr@5] -> 8 10\n"
+                         "B8 -> 2\n"
+                         "B9 -> 10\n"
+                         "B10 [code@7] -> 3\n");
+}
+
+TEST(LintCfg, EarlyReturn) {
+  const char *Src = "if (!p)\n"
+                    "  return 0;\n"
+                    "x = p;\n"
+                    "return x;\n";
+  // Both returns edge directly into the synthetic exit block; the guard's
+  // fall-through path continues into the tail block.
+  EXPECT_EQ(dumpOf(Src), "B0(entry) [hdr@1] -> 2 4\n"
+                         "B1(exit)\n"
+                         "B2 [ret@2] -> 1\n"
+                         "B3 -> 4\n"
+                         "B4 [code@3 ret@4] -> 1\n"
+                         "B5 -> 1\n");
+}
+
+TEST(LintCfg, SwitchWithFallthrough) {
+  const char *Src = "switch (k) {\n"
+                    "case 0:\n"
+                    "  a = 1;\n"
+                    "  break;\n"
+                    "case 1:\n"
+                    "  a = 2;\n"
+                    "default:\n"
+                    "  a = 3;\n"
+                    "  break;\n"
+                    "}\n"
+                    "z = a;\n";
+  // Dispatch fans out to every case label (plus the conservative
+  // fall-out edge to B2); case 1 falls through into default; breaks
+  // edge to the switch-exit block.
+  EXPECT_EQ(dumpOf(Src), "B0(entry) [hdr@1] -> 2 4 6 7\n"
+                         "B1(exit)\n"
+                         "B2 [code@11] -> 1\n"
+                         "B3 -> 4\n"
+                         "B4 [code@3] -> 2\n"
+                         "B5 -> 6\n"
+                         "B6 [code@6] -> 7\n"
+                         "B7 [code@8] -> 2\n"
+                         "B8 -> 2\n");
+}
+
+TEST(LintCfg, DoWhilePostCondition) {
+  const char *Src = "n = 0;\n"
+                    "do {\n"
+                    "  n += step();\n"
+                    "} while (n < lim);\n"
+                    "done(n);\n";
+  // Post-condition loop: the entry edge goes to the *body* (B3), which
+  // always runs once before the condition (B4) decides exit vs back edge.
+  EXPECT_EQ(dumpOf(Src), "B0(entry) [code@1] -> 3\n"
+                         "B1(exit)\n"
+                         "B2 [code@5] -> 1\n"
+                         "B3 [code@3] -> 4\n"
+                         "B4 [hdr@2] -> 2 3\n");
+}
+
+/// Structural invariants every dump relies on: preds mirror succs, and
+/// every non-exit block reaches somewhere.
+TEST(LintCfg, EdgeConsistency) {
+  const char *Src = "s = 0;\n"
+                    "for (i = 0; i < n; ++i) {\n"
+                    "  if (skip(i))\n"
+                    "    continue;\n"
+                    "  s += i;\n"
+                    "}\n"
+                    "return s;\n";
+  LexedFile L = lexFile("cfg_test.cpp", Src);
+  Stmt Tree = parseStmtTree(L.Toks, 0, L.Toks.size());
+  Cfg G = buildCfg(Tree);
+  for (size_t B = 0; B < G.Blocks.size(); ++B) {
+    for (int S : G.Blocks[B].Succs) {
+      ASSERT_GE(S, 0);
+      ASSERT_LT((size_t)S, G.Blocks.size());
+      const std::vector<int> &P = G.Blocks[S].Preds;
+      EXPECT_NE(std::find(P.begin(), P.end(), (int)B), P.end())
+          << "B" << B << " -> " << S << " missing reverse edge";
+    }
+    if ((int)B != G.Exit && !(G.Blocks[B].Atoms.empty() &&
+                              G.Blocks[B].Preds.empty() &&
+                              G.Blocks[B].Succs.empty())) {
+      EXPECT_FALSE(G.Blocks[B].Succs.empty() && !G.Blocks[B].FallsToExit)
+          << "B" << B << " dangles";
+    }
+  }
+}
+
+} // namespace

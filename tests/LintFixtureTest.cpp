@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
@@ -101,10 +102,40 @@ INSTANTIATE_TEST_SUITE_P(
                       "htm_unsafe_call_pos", "htm_unsafe_call_neg",
                       "flush_without_drain_pos", "flush_without_drain_neg",
                       "unbounded_tx_writes_pos", "unbounded_tx_writes_neg",
+                      "persist_ordering_pos", "persist_ordering_neg",
+                      "pm_escape_pos", "pm_escape_neg",
+                      "tx_capacity_pos", "tx_capacity_neg",
                       "suppression"),
     [](const ::testing::TestParamInfo<const char *> &I) {
       return std::string(I.param);
     });
+
+/// The SARIF artifact the CI code-scanning upload consumes: well-formed,
+/// carries all seven rule metadata entries, and locates each finding.
+TEST(LintSarif, EmitsFindingsWithRuleMetadata) {
+  std::string Path = ::testing::TempDir() + "/crafty_lint_fixture.sarif";
+  std::remove(Path.c_str());
+  LintRun R = runLint(std::string(CRAFTY_LINT_FIXTURE_DIR) +
+                      "/pm_raw_store_pos.cpp --root " CRAFTY_LINT_FIXTURE_DIR
+                      " --include-dir " CRAFTY_LINT_SRC_DIR " --sarif " +
+                      Path);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << R.Output;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string S = SS.str();
+  EXPECT_NE(S.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\": \"crafty-lint\""), std::string::npos);
+  for (const char *Rule :
+       {"pm-raw-store", "htm-unsafe-call", "flush-without-drain",
+        "unbounded-tx-writes", "persist-ordering", "pm-escape",
+        "tx-capacity"})
+    EXPECT_NE(S.find(std::string("\"id\": \"") + Rule + "\""),
+              std::string::npos)
+        << "missing rule metadata for " << Rule;
+  EXPECT_NE(S.find("pm_raw_store_pos.cpp"), std::string::npos);
+  EXPECT_NE(S.find("\"startLine\""), std::string::npos);
+}
 
 /// The property the CI lint lane enforces: the real tree produces no
 /// findings beyond the committed baseline.
@@ -114,6 +145,63 @@ TEST(LintTree, SrcIsCleanAgainstBaseline) {
                       " --baseline " CRAFTY_LINT_REPO_ROOT
                       "/tools/crafty-lint/baseline.json");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
+}
+
+/// Baseline hygiene contract: an entry the tree no longer produces is a
+/// hard failure, and --prune-baseline is the escape hatch that rewrites
+/// the file keeping only entries that still match.
+TEST(LintBaseline, StaleEntryFailsAndPruneRemovesIt) {
+  std::string Path = ::testing::TempDir() + "/crafty_lint_stale.json";
+  {
+    std::ofstream Out(Path);
+    Out << "{ \"tool\": \"crafty-lint\", \"entries\": [\n"
+           "  { \"rule\": \"pm-raw-store\", \"file\": \"no_such_file.cpp\",\n"
+           "    \"function\": \"ghost\", \"justification\": \"obsolete\" }\n"
+           "] }\n";
+  }
+  const std::string Args = std::string(CRAFTY_LINT_FIXTURE_DIR) +
+                           "/pm_raw_store_neg.cpp --root "
+                           CRAFTY_LINT_FIXTURE_DIR
+                           " --include-dir " CRAFTY_LINT_SRC_DIR
+                           " --baseline " + Path;
+  LintRun Stale = runLint(Args);
+  EXPECT_EQ(Stale.ExitCode, 1) << Stale.Output;
+  EXPECT_NE(Stale.Output.find("stale baseline entry"), std::string::npos)
+      << Stale.Output;
+
+  LintRun Pruned = runLint(Args + " --prune-baseline");
+  EXPECT_EQ(Pruned.ExitCode, 0) << Pruned.Output;
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str().find("ghost"), std::string::npos)
+      << "pruned baseline still holds the stale entry: " << SS.str();
+}
+
+/// The static side of the capacity contract that
+/// KvStore.TxCapacityStaticBoundCoversDynamicWrites pins dynamically:
+/// the analyzer's interprocedural bounds for the shard's annotated
+/// transaction bodies equal the CRAFTY_TX_CAPACITY declarations in
+/// KvShard.h (33 / 51 words).
+TEST(LintTree, CapacityReportMatchesDeclaredShardBudgets) {
+  std::string Path = ::testing::TempDir() + "/crafty_lint_capacity.txt";
+  std::remove(Path.c_str());
+  LintRun R = runLint("--scan " CRAFTY_LINT_SRC_DIR
+                      " --restrict src/ --root " CRAFTY_LINT_REPO_ROOT
+                      " --baseline " CRAFTY_LINT_REPO_ROOT
+                      "/tools/crafty-lint/baseline.json --capacity-report " +
+                      Path);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << R.Output;
+  std::map<std::string, std::string> Bounds;
+  std::string Bound, Name;
+  while (In >> Bound >> Name)
+    Bounds[Name] = Bound;
+  EXPECT_EQ(Bounds["KvShard::writeCellTx"], "33");
+  EXPECT_EQ(Bounds["KvShard::setInTx"], "51");
+  // The batched pipeline stays finite only through its CRAFTY_TX_BOUND
+  // chunk annotation; a regression there shows up as "unbounded" here.
+  EXPECT_EQ(Bounds["KvShard::setBatch"], "1632");
 }
 
 } // namespace

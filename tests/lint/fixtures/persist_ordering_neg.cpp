@@ -1,0 +1,45 @@
+// Clean counterparts for the persist-ordering rule: publishes whose
+// covered stores are durable first, and the contexts the rule must trust.
+// Must produce no findings.
+// Golden: tests/lint/expected/persist_ordering_neg.txt
+#include "support/Annotations.h"
+
+#include <cstdint>
+
+struct Pool {
+  CRAFTY_FLUSH_API void clwb(const void *Line);
+  CRAFTY_DRAIN_API void drain();
+};
+
+struct TxnContext {
+  CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
+};
+
+struct Ledger {
+  CRAFTY_PMEM uint64_t Balance = 0;
+  CRAFTY_PMEM CRAFTY_PM_PUBLISH uint64_t Committed = 0;
+};
+
+// The correct ordering: flush AND drain the data, then publish.
+void publishAfterDrain(Pool &P, Ledger *L, uint64_t V) {
+  L->Balance = V; // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Balance);
+  P.drain();
+  L->Committed = 1; // Clean: nothing pending. // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Committed);
+  P.drain();
+}
+
+// Publish with no earlier persistent store at all.
+void publishAlone(Pool &P, Ledger *L) {
+  L->Committed = 1; // Clean. // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Committed);
+  P.drain();
+}
+
+// Inside a transaction body the HTM commit fence orders the stores; the
+// rule must stay silent there.
+CRAFTY_TX_BODY void publishInTxn(TxnContext &Tx, Ledger *L, uint64_t V) {
+  Tx.store(&L->Balance, V);
+  Tx.store(&L->Committed, 1);
+}

@@ -1,0 +1,44 @@
+// Seeded violations for the persist-ordering rule: a commit-marker
+// (CRAFTY_PM_PUBLISH) store that can become durable before the data it
+// covers. The raw stores themselves are deliberate recovery-path writes,
+// suppressed for pm-raw-store so only the ordering hazard is seeded.
+// Golden: tests/lint/expected/persist_ordering_pos.txt
+#include "support/Annotations.h"
+
+#include <cstdint>
+
+struct Pool {
+  CRAFTY_FLUSH_API void clwb(const void *Line);
+  CRAFTY_DRAIN_API void drain();
+};
+
+struct Ledger {
+  CRAFTY_PMEM uint64_t Balance = 0;
+  CRAFTY_PMEM uint64_t Seq = 0;
+  CRAFTY_PMEM CRAFTY_PM_PUBLISH uint64_t Committed = 0;
+};
+
+void publishUnflushed(Pool &P, Ledger *L, uint64_t V) {
+  L->Balance = V; // crafty-lint: suppress(pm-raw-store) recovery-path raw store; ordering is the hazard under test.
+  L->Committed = 1; // VIOLATION: Balance is not even flushed. // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Committed);
+  P.drain();
+}
+
+void publishUndrained(Pool &P, Ledger *L, uint64_t V) {
+  L->Balance = V; // crafty-lint: suppress(pm-raw-store) recovery-path raw store; ordering is the hazard under test.
+  P.clwb(&L->Balance);
+  L->Committed = 1; // VIOLATION: clwb only schedules; no drain yet. // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Committed);
+  P.drain();
+}
+
+void publishDrainOnOnePath(Pool &P, Ledger *L, uint64_t V, bool Fast) {
+  L->Seq = V; // crafty-lint: suppress(pm-raw-store) recovery-path raw store; ordering is the hazard under test.
+  P.clwb(&L->Seq);
+  if (!Fast)
+    P.drain();
+  L->Committed = 1; // VIOLATION: the Fast path reaches here undrained. // crafty-lint: suppress(pm-raw-store) recovery-path raw store.
+  P.clwb(&L->Committed);
+  P.drain();
+}

@@ -1,0 +1,41 @@
+// Clean counterparts for the pm-escape rule. Must produce no findings.
+// Golden: tests/lint/expected/pm_escape_neg.txt
+#include "support/Annotations.h"
+
+#include <cstdint>
+
+struct TxnContext {
+  CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
+  CRAFTY_TX_SAFE uint64_t load(const uint64_t *Addr);
+};
+
+struct Node {
+  CRAFTY_PMEM uint64_t *Words;
+};
+
+struct Engine {
+  uint64_t *Scratch = nullptr;
+  uint64_t LastValue = 0;
+
+  // Pointer stays inside the transaction scope: locals only.
+  CRAFTY_TX_BODY void txLocalOnly(TxnContext &Tx, Node *N, uint64_t V) {
+    uint64_t *P = N->Words;
+    Tx.store(P, V);
+    Tx.store(P + 1, V + 1);
+  }
+
+  // Copying the *value* out is fine; only the address is hazardous.
+  CRAFTY_TX_BODY void txCopyValue(TxnContext &Tx, Node *N) {
+    LastValue = Tx.load(N->Words);
+  }
+
+  // Passing the address to the trusted transactional API is the
+  // sanctioned path, not an escape.
+  CRAFTY_TX_BODY void txTrustedSink(TxnContext &Tx, Node *N, uint64_t V) {
+    Tx.store(N->Words, V);
+  }
+
+  // Outside the transaction cone (setup/recovery), stashing pool
+  // pointers is ordinary bookkeeping.
+  void setupStash(Node *N) { Scratch = N->Words; }
+};

@@ -1,0 +1,46 @@
+// Seeded violations for the pm-escape rule: addresses of CRAFTY_PMEM data
+// flowing, inside the transaction cone, into storage that outlives the
+// transaction scope (volatile fields/members, out-parameters, callees
+// that stash their argument).
+// Golden: tests/lint/expected/pm_escape_pos.txt
+#include "support/Annotations.h"
+
+#include <cstdint>
+
+struct TxnContext {
+  CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
+};
+
+struct Node {
+  CRAFTY_PMEM uint64_t *Words;
+};
+
+struct SideTable {
+  uint64_t *Hot; // Volatile (DRAM) cache slot.
+};
+
+struct Engine {
+  uint64_t *LastCell = nullptr; // Volatile member.
+
+  // Not itself diagnosed (no pm data here), but its summary records that
+  // parameter 1 escapes into a member.
+  void stash(uint64_t *P) { LastCell = P; }
+
+  CRAFTY_TX_BODY void txCacheMember(TxnContext &Tx, Node *N, uint64_t V) {
+    uint64_t *P = N->Words;
+    Tx.store(P, V); // Sanctioned: the write-set records it by design.
+    LastCell = P;   // VIOLATION: volatile member outlives the txn.
+  }
+
+  CRAFTY_TX_BODY void txCacheField(TxnContext &Tx, SideTable &S, Node *N) {
+    S.Hot = N->Words; // VIOLATION: volatile field store.
+  }
+
+  CRAFTY_TX_BODY void txOutParam(TxnContext &Tx, Node *N, uint64_t **Out) {
+    *Out = N->Words; // VIOLATION: out-parameter escape.
+  }
+
+  CRAFTY_TX_BODY void txViaCallee(TxnContext &Tx, Node *N) {
+    stash(N->Words); // VIOLATION: callee stores its argument beyond the call.
+  }
+};

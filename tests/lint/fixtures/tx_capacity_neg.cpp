@@ -1,0 +1,48 @@
+// Clean counterparts for the tx-capacity rule. Must produce no findings.
+// Golden: tests/lint/expected/tx_capacity_neg.txt
+#include "support/Annotations.h"
+
+#include <cstddef>
+#include <cstdint>
+
+struct TxnContext {
+  CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
+};
+
+constexpr size_t SmallRows = 64;
+
+// 64 stores: comfortably inside the 4096-word budget.
+CRAFTY_TX_BODY void txSmall(TxnContext &Tx, uint64_t *A) {
+  for (size_t I = 0; I < SmallRows; ++I)
+    Tx.store(A + I, I);
+}
+
+// Declared capacity that the static bound respects (2 stores <= 4).
+CRAFTY_TX_CAPACITY(4)
+CRAFTY_TX_BODY void txDeclaredOk(TxnContext &Tx, uint64_t *A, uint64_t V) {
+  Tx.store(A, V);
+  Tx.store(A + 1, V + 1);
+}
+
+// An author-asserted bound: the rule records it and trusts the author.
+CRAFTY_TX_BODY void txAsserted(TxnContext &Tx, uint64_t *A, size_t N) {
+  for (size_t I = 0; I < N; ++I) {
+    // Callers cap N at one cache line of words.
+    CRAFTY_TX_BOUND(8);
+    Tx.store(A + I, I);
+  }
+}
+
+// A TX_BODY callee *without* a TxnContext parameter begins its own
+// transaction; its cost must not be charged to the caller.
+CRAFTY_TX_BODY void txOwnTxn(uint64_t *A) {
+  TxnContext Tx; // Its own transaction scope.
+  for (size_t I = 0; I < 32; ++I)
+    Tx.store(A + I, I);
+}
+
+CRAFTY_TX_BODY void txCallsOwnTxn(TxnContext &Tx, uint64_t *A) {
+  Tx.store(A, 1);
+  for (size_t R = 0; R < 100000; ++R)
+    txOwnTxn(A + R);
+}

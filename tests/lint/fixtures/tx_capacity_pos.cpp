@@ -1,0 +1,42 @@
+// Seeded violations for the tx-capacity rule: transaction bodies whose
+// interprocedural static write-set bound exceeds the HTM write-capacity
+// budget (default 4096 words) or their own CRAFTY_TX_CAPACITY declaration.
+// Loops carry visible constant bounds so unbounded-tx-writes stays quiet;
+// the *magnitude* is the hazard seeded here.
+// Golden: tests/lint/expected/tx_capacity_pos.txt
+#include "support/Annotations.h"
+
+#include <cstddef>
+#include <cstdint>
+
+struct TxnContext {
+  CRAFTY_TX_STORE_API void store(uint64_t *Addr, uint64_t Val);
+};
+
+constexpr size_t HugeRows = 8192;
+constexpr size_t ChunkWords = 16;
+
+// 8192 stores: over the 4096-word HTM budget.
+CRAFTY_TX_BODY void txOverBudget(TxnContext &Tx, uint64_t *A) { // VIOLATION
+  for (size_t I = 0; I < HugeRows; ++I)
+    Tx.store(A + I, I);
+}
+
+// Declared budget of 4 words, but the body can issue 16.
+CRAFTY_TX_CAPACITY(4)
+CRAFTY_TX_BODY void txOverDeclared(TxnContext &Tx, uint64_t *A) { // VIOLATION
+  for (size_t I = 0; I < ChunkWords; ++I)
+    Tx.store(A + I, 0);
+}
+
+// The callee takes the caller's TxnContext, so its stores count toward
+// the caller's write set: 128 * 64 = 8192, over budget interprocedurally.
+void writeRow(TxnContext &Tx, uint64_t *Row) {
+  for (size_t I = 0; I < 64; ++I)
+    Tx.store(Row + I, I);
+}
+
+CRAFTY_TX_BODY void txOverViaCallee(TxnContext &Tx, uint64_t *A) { // VIOLATION
+  for (size_t R = 0; R < 128; ++R)
+    writeRow(Tx, A + R * 64);
+}

@@ -1,0 +1,243 @@
+//===- tools/crafty-lint/Cfg.cpp - Basic-block control-flow graph ---------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Cfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace craftylint {
+
+namespace {
+
+class CfgBuilder {
+public:
+  Cfg build(const Stmt &Body) {
+    G.Entry = newBlock(); // 0
+    G.Exit = newBlock();  // 1
+    Cur = G.Entry;
+    buildStmt(Body);
+    edge(Cur, G.Exit);
+    G.Blocks[Cur].FallsToExit = true;
+    finalize();
+    return std::move(G);
+  }
+
+private:
+  Cfg G;
+  int Cur = 0;
+  std::vector<int> BreakTargets;
+  std::vector<int> ContinueTargets;
+
+  int newBlock() {
+    G.Blocks.emplace_back();
+    return (int)G.Blocks.size() - 1;
+  }
+
+  void edge(int From, int To) { G.Blocks[From].Succs.push_back(To); }
+
+  void atom(CfgAtom::AtomKind K, size_t B, size_t E,
+            const std::vector<std::pair<size_t, size_t>> *Holes, int Line) {
+    G.Blocks[Cur].Atoms.push_back(CfgAtom{K, B, E, Holes, Line});
+  }
+
+  void buildStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case Stmt::Seq:
+      for (const Stmt &K : S.Kids)
+        buildStmt(K);
+      return;
+    case Stmt::Case:
+      // A case label outside switch-body position (nested oddity): no-op.
+      return;
+    case Stmt::Lambda:
+      // Not part of this function's flow.
+      return;
+    case Stmt::Expr:
+      if (S.ExprB < S.ExprE)
+        atom(CfgAtom::Code, S.ExprB, S.ExprE, &S.Holes, S.Line);
+      return;
+    case Stmt::Return: {
+      atom(CfgAtom::Ret, S.ExprB, S.ExprE, &S.Holes, S.Line);
+      edge(Cur, G.Exit);
+      Cur = newBlock(); // Unreachable continuation.
+      return;
+    }
+    case Stmt::Break: {
+      if (!BreakTargets.empty()) {
+        edge(Cur, BreakTargets.back());
+      } else {
+        edge(Cur, G.Exit);
+        G.Blocks[Cur].FallsToExit = true;
+      }
+      Cur = newBlock();
+      return;
+    }
+    case Stmt::Continue: {
+      if (!ContinueTargets.empty()) {
+        edge(Cur, ContinueTargets.back());
+      } else {
+        edge(Cur, G.Exit);
+        G.Blocks[Cur].FallsToExit = true;
+      }
+      Cur = newBlock();
+      return;
+    }
+    case Stmt::If: {
+      atom(CfgAtom::Header, S.HdrB, S.HdrE, nullptr, S.Line);
+      int Cond = Cur;
+      int Then = newBlock();
+      edge(Cond, Then);
+      Cur = Then;
+      if (!S.Kids.empty())
+        buildStmt(S.Kids[0]);
+      int ThenEnd = Cur;
+      int ElseEnd = -1;
+      if (S.Kids.size() > 1) {
+        int Else = newBlock();
+        edge(Cond, Else);
+        Cur = Else;
+        buildStmt(S.Kids[1]);
+        ElseEnd = Cur;
+      }
+      int Join = newBlock();
+      edge(ThenEnd, Join);
+      if (ElseEnd >= 0)
+        edge(ElseEnd, Join);
+      else
+        edge(Cond, Join); // Condition false: straight through.
+      Cur = Join;
+      return;
+    }
+    case Stmt::Loop: {
+      int ExitB = newBlock();
+      if (!S.PostCond) {
+        // while / for: header evaluated first; back edge from body end.
+        int Hdr = newBlock();
+        edge(Cur, Hdr);
+        Cur = Hdr;
+        atom(CfgAtom::Header, S.HdrB, S.HdrE, nullptr, S.Line);
+        int BodyB = newBlock();
+        edge(Hdr, BodyB);
+        edge(Hdr, ExitB);
+        BreakTargets.push_back(ExitB);
+        ContinueTargets.push_back(Hdr);
+        Cur = BodyB;
+        if (!S.Kids.empty())
+          buildStmt(S.Kids[0]);
+        edge(Cur, Hdr); // Back edge.
+        BreakTargets.pop_back();
+        ContinueTargets.pop_back();
+      } else {
+        // do/while: body first, condition after; back edge from header.
+        int BodyB = newBlock();
+        edge(Cur, BodyB);
+        int Hdr = newBlock();
+        BreakTargets.push_back(ExitB);
+        ContinueTargets.push_back(Hdr);
+        Cur = BodyB;
+        if (!S.Kids.empty())
+          buildStmt(S.Kids[0]);
+        edge(Cur, Hdr);
+        Cur = Hdr;
+        atom(CfgAtom::Header, S.HdrB, S.HdrE, nullptr, S.Line);
+        edge(Hdr, BodyB); // Back edge.
+        edge(Hdr, ExitB);
+        BreakTargets.pop_back();
+        ContinueTargets.pop_back();
+      }
+      Cur = ExitB;
+      return;
+    }
+    case Stmt::Switch: {
+      atom(CfgAtom::Header, S.HdrB, S.HdrE, nullptr, S.Line);
+      int Cond = Cur;
+      int ExitB = newBlock();
+      BreakTargets.push_back(ExitB);
+      // Pre-case code is unreachable; give it a block with no preds.
+      Cur = newBlock();
+      bool SawCase = false;
+      const Stmt *Body = S.Kids.empty() ? nullptr : &S.Kids[0];
+      if (Body && Body->Kind == Stmt::Seq) {
+        for (const Stmt &K : Body->Kids) {
+          if (K.Kind == Stmt::Case) {
+            int Label = newBlock();
+            edge(Cond, Label);   // Dispatch from the switch head.
+            edge(Cur, Label);    // Fallthrough from the previous case.
+            Cur = Label;
+            SawCase = true;
+          } else {
+            buildStmt(K);
+          }
+        }
+      } else if (Body) {
+        buildStmt(*Body);
+      }
+      (void)SawCase;
+      BreakTargets.pop_back();
+      edge(Cur, ExitB); // Fallthrough off the last case.
+      // Without (visible) default coverage the condition may skip the
+      // whole switch; keep the conservative may-path.
+      edge(Cond, ExitB);
+      Cur = ExitB;
+      return;
+    }
+    }
+  }
+
+  void finalize() {
+    for (CfgBlock &B : G.Blocks) {
+      std::sort(B.Succs.begin(), B.Succs.end());
+      B.Succs.erase(std::unique(B.Succs.begin(), B.Succs.end()),
+                    B.Succs.end());
+    }
+    for (size_t I = 0; I < G.Blocks.size(); ++I)
+      for (int S : G.Blocks[I].Succs)
+        G.Blocks[S].Preds.push_back((int)I);
+  }
+};
+
+} // namespace
+
+Cfg buildCfg(const Stmt &Body) { return CfgBuilder().build(Body); }
+
+std::string Cfg::dump() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    const CfgBlock &B = Blocks[I];
+    if ((int)I != Entry && (int)I != Exit && B.Atoms.empty() &&
+        B.Preds.empty() && B.Succs.empty())
+      continue; // Dead filler block.
+    OS << "B" << I;
+    if ((int)I == Entry)
+      OS << "(entry)";
+    if ((int)I == Exit)
+      OS << "(exit)";
+    if (!B.Atoms.empty()) {
+      OS << " [";
+      for (size_t A = 0; A < B.Atoms.size(); ++A) {
+        if (A)
+          OS << " ";
+        const CfgAtom &At = B.Atoms[A];
+        OS << (At.Kind == CfgAtom::Header ? "hdr"
+               : At.Kind == CfgAtom::Ret  ? "ret"
+                                          : "code")
+           << "@" << At.Line;
+      }
+      OS << "]";
+    }
+    if (!B.Succs.empty()) {
+      OS << " ->";
+      for (int S : B.Succs)
+        OS << " " << S;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace craftylint

@@ -1,0 +1,69 @@
+//===- tools/crafty-lint/Cfg.h - Basic-block control-flow graph -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Stmt tree into a per-function control-flow graph of basic
+/// blocks. Blocks hold *atoms* -- token subranges (expression statements,
+/// branch/loop headers, return expressions) in execution order -- and the
+/// edges realize branches, loop back edges, switch dispatch with
+/// fallthrough, break/continue, and early returns into a synthetic exit
+/// block. Lambda bodies are excluded (they execute elsewhere, typically as
+/// the transaction body under an HTM commit fence); rules that must see
+/// inside them walk the Stmt tree directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_CFG_H
+#define CRAFTY_LINT_CFG_H
+
+#include "Stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+struct CfgAtom {
+  enum AtomKind {
+    Code,   // Expression statement (range may contain holes).
+    Header, // if/loop/switch condition tokens.
+    Ret,    // Return expression; control leaves to the exit block after it.
+  } Kind = Code;
+  size_t B = 0, E = 0;
+  /// Embedded-body holes of the originating statement (null when none).
+  const std::vector<std::pair<size_t, size_t>> *Holes = nullptr;
+  int Line = 0;
+};
+
+struct CfgBlock {
+  std::vector<CfgAtom> Atoms;
+  std::vector<int> Succs;
+  std::vector<int> Preds;
+  /// True when this block has an implicit (non-return) edge to the exit
+  /// block: end-of-function fallthrough or a stray break/continue.
+  bool FallsToExit = false;
+};
+
+struct Cfg {
+  std::vector<CfgBlock> Blocks;
+  int Entry = 0;
+  int Exit = 1;
+
+  /// Compact textual form for golden tests:
+  ///   B0(entry) -> 2
+  ///   B2 [hdr@4 code@5] -> 3 1
+  ///   B1(exit)
+  std::string dump() const;
+};
+
+/// Builds the CFG for \p Body (a Stmt::Seq as returned by parseStmtTree).
+/// The Stmt tree must outlive the graph: atoms alias its Holes storage.
+Cfg buildCfg(const Stmt &Body);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_CFG_H

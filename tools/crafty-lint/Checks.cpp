@@ -1,4 +1,4 @@
-//===- tools/crafty-lint/Checks.cpp - The four analyzer rules -------------===//
+//===- tools/crafty-lint/Checks.cpp - The analyzer rules ------------------===//
 //
 // Part of the Crafty reproduction project.
 // SPDX-License-Identifier: MIT
@@ -7,9 +7,13 @@
 
 #include "Checks.h"
 
+#include "Cfg.h"
+#include "Dataflow.h"
+#include "Stmt.h"
+#include "Syntax.h"
+
 #include <algorithm>
 #include <cctype>
-#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -18,366 +22,39 @@ namespace craftylint {
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Shared helpers
-//===----------------------------------------------------------------------===//
-
 const char *const RulePmRawStore = "pm-raw-store";
 const char *const RuleHtmUnsafeCall = "htm-unsafe-call";
 const char *const RuleFlushWithoutDrain = "flush-without-drain";
 const char *const RuleUnboundedTxWrites = "unbounded-tx-writes";
-
-/// Free functions that abort hardware transactions (syscalls, page faults
-/// from the allocator, unbounded blocking) regardless of annotation. Only
-/// consulted for *unresolved free* calls -- methods go through annotation
-/// lookup and call-graph descent instead.
-const std::set<std::string> &builtinUnsafe() {
-  static const std::set<std::string> S = {
-      // Allocation (may mmap / take locks / fault).
-      "malloc", "calloc", "realloc", "free", "aligned_alloc",
-      "posix_memalign",
-      // stdio / I/O.
-      "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
-      "puts", "putchar", "fputs", "fputc", "fwrite", "fread", "fopen",
-      "fclose", "fflush", "getline", "scanf", "fscanf", "perror",
-      // POSIX I/O and memory syscalls.
-      "open", "close", "read", "write", "pread", "pwrite", "lseek", "mmap",
-      "munmap", "msync", "mprotect", "ftruncate", "fsync", "fdatasync",
-      "ioctl", "syscall",
-      // Sockets.
-      "socket", "send", "recv", "sendto", "recvfrom", "accept", "connect",
-      "bind", "listen",
-      // Scheduling / blocking.
-      "sleep", "usleep", "nanosleep", "sched_yield",
-      "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_cond_wait",
-      "pthread_cond_signal", "pthread_cond_broadcast", "pthread_create",
-      "pthread_join",
-      // Process control.
-      "abort", "exit", "_exit", "quick_exit", "atexit", "fork", "execve",
-      "system",
-  };
-  return S;
-}
-
-/// memcpy-family sinks whose first argument is a write destination.
-const std::set<std::string> &memWriteFns() {
-  static const std::set<std::string> S = {
-      "memcpy",  "memmove", "memset",  "strcpy",
-      "strncpy", "strcat",  "strncat", "__builtin_memcpy",
-      "__builtin_memmove", "__builtin_memset",
-  };
-  return S;
-}
-
-/// Raw flush/drain intrinsic spellings, recognized alongside the annotated
-/// wrappers so hand-rolled code does not slip past flush-without-drain.
-bool isRawFlushName(const std::string &N) {
-  return N == "_mm_clwb" || N == "_mm_clflushopt" || N == "_mm_clflush" ||
-         N == "__builtin_ia32_clwb" || N == "__builtin_ia32_clflushopt";
-}
-bool isRawDrainName(const std::string &N) {
-  return N == "_mm_sfence" || N == "__builtin_ia32_sfence";
-}
-
-bool isKeyword(const std::string &S) {
-  static const std::set<std::string> K = {
-      "if",       "else",    "for",      "while",   "do",       "switch",
-      "case",     "default", "return",   "break",   "continue", "sizeof",
-      "alignof",  "new",     "delete",   "throw",   "try",      "catch",
-      "goto",     "const",   "constexpr", "static",  "auto",     "struct",
-      "class",    "enum",    "union",    "typename", "template", "using",
-      "namespace", "public",  "private",  "protected", "noexcept", "co_await",
-      "co_return", "co_yield", "static_assert", "decltype", "assert",
-  };
-  return K.count(S) > 0;
-}
-
-bool isAllCapsName(const std::string &S) {
-  if (S.size() < 2)
-    return false;
-  bool HasAlpha = false;
-  for (char C : S) {
-    if (std::islower((unsigned char)C))
-      return false;
-    if (std::isupper((unsigned char)C))
-      HasAlpha = true;
-  }
-  return HasAlpha;
-}
-
-bool isKConstName(const std::string &S) {
-  return S.size() >= 2 && S[0] == 'k' && std::isupper((unsigned char)S[1]);
-}
-
-/// A call site or HTM-hostile keyword inside a function body.
-struct CallSite {
-  enum SiteKind { Call, KwNew, KwDelete, KwThrow } Kind = Call;
-  std::string Name;      // Callee simple name (Call only).
-  std::string ClassHint; // Qualifier before :: if present, else "".
-  bool IsFree = false;   // No . / -> / :: receiver.
-  size_t TokIdx = 0;
-  int Line = 0;
-};
-
-/// Extracts every call site / hostile keyword in [B, E) of \p T.
-std::vector<CallSite> collectSites(const std::vector<Token> &T, size_t B,
-                                   size_t E) {
-  std::vector<CallSite> Sites;
-  for (size_t I = B; I < E; ++I) {
-    const Token &Tk = T[I];
-    if (!Tk.isIdent())
-      continue;
-    if (Tk.Text == "new" || Tk.Text == "delete" || Tk.Text == "throw") {
-      // `throw;` rethrow counts too; `= delete` never appears inside a body.
-      CallSite S;
-      S.Kind = Tk.Text == "new"      ? CallSite::KwNew
-               : Tk.Text == "delete" ? CallSite::KwDelete
-                                     : CallSite::KwThrow;
-      S.TokIdx = I;
-      S.Line = Tk.Line;
-      Sites.push_back(S);
-      continue;
-    }
-    if (I + 1 >= E || !T[I + 1].isPunct("(") || isKeyword(Tk.Text))
-      continue;
-    if (Tk.Text.rfind("CRAFTY_", 0) == 0) // Annotation / bound macros.
-      continue;
-    CallSite S;
-    S.Name = Tk.Text;
-    S.TokIdx = I;
-    S.Line = Tk.Line;
-    if (I >= B + 1 && (T[I - 1].isPunct(".") || T[I - 1].isPunct("->"))) {
-      S.IsFree = false;
-    } else if (I >= B + 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent()) {
-      S.ClassHint = T[I - 2].Text;
-      // std-qualified calls behave like free calls for the builtin list
-      // (std::malloc, std::fopen, ...).
-      S.IsFree = (S.ClassHint == "std");
-    } else {
-      S.IsFree = true;
-    }
-    Sites.push_back(S);
-  }
-  return Sites;
-}
+const char *const RulePersistOrdering = "persist-ordering";
+const char *const RulePmEscape = "pm-escape";
+const char *const RuleTxCapacity = "tx-capacity";
 
 //===----------------------------------------------------------------------===//
-// Statement tree (for flush-without-drain and unbounded-tx-writes)
+// flush-without-drain dataflow state
 //===----------------------------------------------------------------------===//
 
-struct Stmt {
-  enum StmtKind {
-    Seq,
-    If,
-    Loop,
-    Switch,
-    Return,
-    Break,
-    Continue,
-    Expr,
-    Lambda, // A braced body embedded in an expression: lambda or init-list.
-  } Kind = Seq;
+/// "A write-back was scheduled and no fence has retired it yet", with the
+/// scheduling site for the diagnostic.
+struct FlushState {
+  bool Pending = false;
+  int FlushLine = 0;
+  std::string FlushName;
+};
+
+//===----------------------------------------------------------------------===//
+// persist-ordering dataflow state
+//===----------------------------------------------------------------------===//
+
+/// One not-yet-durable persistent store: where it happened and whether its
+/// line has at least been flushed (scheduled) since.
+struct PendEntry {
   int Line = 0;
-  bool PostCond = false;      // do/while: body runs before the condition.
-  size_t HdrB = 0, HdrE = 0;  // Condition/header tokens (If/Loop/Switch).
-  size_t ExprB = 0, ExprE = 0; // Token range (Expr/Return), incl. holes.
-  std::vector<std::pair<size_t, size_t>> Holes; // Embedded-body subranges.
-  std::vector<Stmt> Kids;
+  bool Flushed = false;
 };
 
-class StmtParser {
-public:
-  explicit StmtParser(const std::vector<Token> &T) : T(T) {}
-
-  Stmt parseSeq(size_t B, size_t E) {
-    Stmt S;
-    S.Kind = Stmt::Seq;
-    S.Line = B < E ? T[B].Line : 0;
-    size_t I = B;
-    while (I < E) {
-      size_t Prev = I;
-      S.Kids.push_back(parseStmt(I, E));
-      if (I <= Prev) // Safety: never loop without progress.
-        I = Prev + 1;
-    }
-    return S;
-  }
-
-private:
-  const std::vector<Token> &T;
-
-  /// Parses the parenthesized header following the keyword at \p I (which
-  /// is advanced past the closing paren). Returns {B, E} of the contents.
-  std::pair<size_t, size_t> parseHeader(size_t &I, size_t E) {
-    while (I < E && !T[I].isPunct("("))
-      ++I;
-    if (I >= E)
-      return {E, E};
-    size_t Close = matchForward(T, I, E);
-    std::pair<size_t, size_t> R{I + 1, Close};
-    I = Close < E ? Close + 1 : E;
-    return R;
-  }
-
-  Stmt parseStmt(size_t &I, size_t E) {
-    Stmt S;
-    S.Line = T[I].Line;
-    const std::string &W = T[I].Text;
-
-    if (T[I].isPunct("{")) {
-      size_t Close = matchForward(T, I, E);
-      S = parseSeq(I + 1, Close);
-      S.Line = T[I].Line;
-      I = Close < E ? Close + 1 : E;
-      return S;
-    }
-    if (T[I].isIdent() && W == "if") {
-      S.Kind = Stmt::If;
-      ++I;
-      if (I < E && T[I].isIdent() && T[I].Text == "constexpr")
-        ++I;
-      auto H = parseHeader(I, E);
-      S.HdrB = H.first;
-      S.HdrE = H.second;
-      S.Kids.push_back(parseStmt(I, E));
-      if (I < E && T[I].isIdent() && T[I].Text == "else") {
-        ++I;
-        S.Kids.push_back(parseStmt(I, E));
-      }
-      return S;
-    }
-    if (T[I].isIdent() && (W == "while" || W == "for")) {
-      S.Kind = Stmt::Loop;
-      ++I;
-      auto H = parseHeader(I, E);
-      S.HdrB = H.first;
-      S.HdrE = H.second;
-      S.Kids.push_back(parseStmt(I, E));
-      return S;
-    }
-    if (T[I].isIdent() && W == "do") {
-      S.Kind = Stmt::Loop;
-      S.PostCond = true;
-      ++I;
-      S.Kids.push_back(parseStmt(I, E));
-      if (I < E && T[I].isIdent() && T[I].Text == "while") {
-        ++I;
-        auto H = parseHeader(I, E);
-        S.HdrB = H.first;
-        S.HdrE = H.second;
-      }
-      if (I < E && T[I].isPunct(";"))
-        ++I;
-      return S;
-    }
-    if (T[I].isIdent() && W == "switch") {
-      S.Kind = Stmt::Switch;
-      ++I;
-      auto H = parseHeader(I, E);
-      S.HdrB = H.first;
-      S.HdrE = H.second;
-      S.Kids.push_back(parseStmt(I, E));
-      return S;
-    }
-    if (T[I].isIdent() && (W == "case" || W == "default")) {
-      ++I;
-      while (I < E && !T[I].isPunct(":")) {
-        if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{"))
-          I = matchForward(T, I, E);
-        ++I;
-      }
-      if (I < E)
-        ++I; // The ':'.
-      S.Kind = Stmt::Expr;
-      return S;
-    }
-    if (T[I].isIdent() && W == "return") {
-      S.Kind = Stmt::Return;
-      ++I;
-      S.ExprB = I;
-      S.ExprE = scanToSemi(I, E, S);
-      return S;
-    }
-    if (T[I].isIdent() && (W == "break" || W == "continue")) {
-      S.Kind = W == "break" ? Stmt::Break : Stmt::Continue;
-      ++I;
-      if (I < E && T[I].isPunct(";"))
-        ++I;
-      return S;
-    }
-    if (T[I].isIdent() && W == "try") {
-      // try/catch approximated as straight-line composition of the blocks.
-      S.Kind = Stmt::Seq;
-      ++I;
-      S.Kids.push_back(parseStmt(I, E));
-      while (I < E && T[I].isIdent() && T[I].Text == "catch") {
-        ++I;
-        parseHeader(I, E);
-        S.Kids.push_back(parseStmt(I, E));
-      }
-      return S;
-    }
-    if (T[I].isPunct(";")) { // Empty statement.
-      ++I;
-      S.Kind = Stmt::Expr;
-      return S;
-    }
-    // Label?  ident ':' (not '::', which is one token).
-    if (T[I].isIdent() && I + 1 < E && T[I + 1].isPunct(":") &&
-        !isKeyword(W)) {
-      I += 2;
-      return parseStmt(I, E);
-    }
-    // Expression statement (includes declarations).
-    S.Kind = Stmt::Expr;
-    S.ExprB = I;
-    S.ExprE = scanToSemi(I, E, S);
-    return S;
-  }
-
-  /// Advances \p I to just past the terminating ';' of an expression
-  /// statement, recording each top-level braced region as a Lambda kid of
-  /// \p S and as a hole in S's token range. Parens are NOT jumped: a ';'
-  /// can only hide inside braces (lambda bodies), which are.
-  size_t scanToSemi(size_t &I, size_t E, Stmt &S) {
-    while (I < E) {
-      if (T[I].isPunct(";")) {
-        size_t SemIdx = I;
-        ++I;
-        return SemIdx;
-      }
-      if (T[I].isPunct("{")) {
-        size_t Close = matchForward(T, I, E);
-        Stmt L;
-        L.Kind = Stmt::Lambda;
-        L.Line = T[I].Line;
-        L.Kids.push_back(parseSeq(I + 1, Close));
-        S.Kids.push_back(std::move(L));
-        S.Holes.push_back({I, Close + 1});
-        I = Close < E ? Close + 1 : E;
-        continue;
-      }
-      ++I;
-    }
-    return E;
-  }
-};
-
-/// Iterates tokens of [B, E) minus \p Holes, invoking \p Fn(index).
-void forEachTok(size_t B, size_t E,
-                const std::vector<std::pair<size_t, size_t>> &Holes,
-                const std::function<void(size_t)> &Fn) {
-  size_t H = 0;
-  for (size_t I = B; I < E; ++I) {
-    while (H < Holes.size() && Holes[H].second <= I)
-      ++H;
-    if (H < Holes.size() && I >= Holes[H].first) {
-      I = Holes[H].second - 1; // Loop ++ lands on the first post-hole token.
-      continue;
-    }
-    Fn(I);
-  }
-}
+/// Entity key (printable lvalue spelling) -> pending store.
+using PersistState = std::map<std::string, PendEntry>;
 
 //===----------------------------------------------------------------------===//
 // Check engine
@@ -385,22 +62,29 @@ void forEachTok(size_t B, size_t E,
 
 class Checker {
 public:
-  Checker(const std::vector<const ParsedFile *> &Targets, const Registry &Reg)
-      : Targets(Targets), Reg(Reg) {}
+  Checker(const std::vector<const ParsedFile *> &Targets,
+          const Summaries &Sums, const CheckOptions &Opt)
+      : Targets(Targets), Sums(Sums), Reg(Sums.registry()), Opt(Opt) {}
 
-  std::vector<Diagnostic> run() {
+  CheckResult run() {
     for (const ParsedFile *PF : Targets)
       for (const FunctionInfo &F : PF->Funcs)
         if (F.hasBody())
           checkFunction(*PF, F);
     finalize();
-    return std::move(Diags);
+    CheckResult R;
+    R.Diags = std::move(Diags);
+    R.Capacities = std::move(Capacities);
+    return R;
   }
 
 private:
   const std::vector<const ParsedFile *> &Targets;
+  const Summaries &Sums;
   const Registry &Reg;
+  const CheckOptions &Opt;
   std::vector<Diagnostic> Diags;
+  std::vector<CapacityEntry> Capacities;
   std::set<std::string> Emitted; // rule|file|line|func dedup.
 
   // Per-function scratch, rebuilt by checkFunction.
@@ -410,30 +94,31 @@ private:
   std::map<std::string, bool> PmVars; // name -> IsPtr (params + locals).
   std::set<std::string> LocalConsts;
 
-  /// Annotations usually live on the in-class declaration, not the
-  /// out-of-line definition; union the definition's own set with every
-  /// declaration registered under the same qualified name.
-  Annotations effectiveAnn(const FunctionInfo &Fn) const {
-    Annotations A = Fn.Ann;
-    auto It = Reg.AnnByQual.find(Fn.QualName);
-    if (It != Reg.AnnByQual.end())
-      A.merge(It->second);
-    return A;
+  StoreContext storeCtx() const {
+    StoreContext Ctx;
+    Ctx.Reg = &Reg;
+    Ctx.PmVars = &PmVars;
+    Ctx.ClassName = F->ClassName;
+    return Ctx;
   }
 
   void checkFunction(const ParsedFile &File, const FunctionInfo &Fn) {
     PF = &File;
     F = &Fn;
-    FAnn = effectiveAnn(Fn);
+    FAnn = Sums.effectiveAnn(Fn);
     collectLocals();
 
-    StmtParser P(File.Lex.Toks);
-    Stmt Body = P.parseSeq(Fn.BodyBegin, Fn.BodyEnd);
+    const FuncIR *IR = Sums.ir(&Fn);
+    if (!IR)
+      return; // Parsed after summaries were computed; cannot happen here.
 
     checkPmRawStore();
     checkHtmUnsafe();
-    checkFlushWithoutDrain(Body);
-    checkUnboundedTxWrites(Body, /*InLambda=*/false);
+    checkFlushWithoutDrain(*IR);
+    checkUnboundedTxWrites(IR->Tree, /*InLambda=*/false);
+    checkPersistOrdering(*IR);
+    checkPmEscape();
+    checkTxCapacity();
   }
 
   void diag(const char *Rule, const LexedFile &Where, int Line,
@@ -525,105 +210,8 @@ private:
   // Rule 1: pm-raw-store
   //===--------------------------------------------------------------------===//
 
-  /// One member/subscript step in an lvalue chain.
-  struct Access {
-    enum Op { Dot, Arrow, Index } Kind;
-    std::string Field; // Empty for Index.
-  };
-
-  struct Lvalue {
-    bool Valid = false;
-    int Derefs = 0; // Leading '*' count.
-    std::string Root;
-    std::vector<Access> Chain;
-  };
-
-  Lvalue parseLvalue(const std::vector<Token> &T, size_t B, size_t E) const {
-    Lvalue L;
-    size_t I = B;
-    while (I < E && (T[I].isPunct("*") || T[I].isPunct("(") ||
-                     T[I].isPunct("&"))) {
-      if (T[I].isPunct("*"))
-        ++L.Derefs;
-      ++I;
-    }
-    if (I >= E || !T[I].isIdent())
-      return L;
-    L.Root = T[I].Text;
-    ++I;
-    while (I < E) {
-      if (T[I].isPunct("->") || T[I].isPunct(".")) {
-        Access A;
-        A.Kind = T[I].isPunct("->") ? Access::Arrow : Access::Dot;
-        if (I + 1 < E && T[I + 1].isIdent()) {
-          A.Field = T[I + 1].Text;
-          I += 2;
-        } else {
-          ++I;
-        }
-        L.Chain.push_back(A);
-      } else if (T[I].isPunct("[")) {
-        L.Chain.push_back(Access{Access::Index, ""});
-        size_t Close = matchForward(T, I, E);
-        I = Close < E ? Close + 1 : E;
-      } else {
-        ++I; // ')' closers from stripped '(' prefixes, etc.
-      }
-    }
-    L.Valid = true;
-    return L;
-  }
-
-  /// Decides whether storing into \p L hits persistent memory, and why.
-  /// \p ForMemWrite relaxes the pointer rules: a pm pointer passed as a
-  /// memcpy/memset destination is written through even with no deref.
-  std::string classifyPmStore(const Lvalue &L, bool ForMemWrite) const {
-    if (!L.Valid)
-      return "";
-    auto PV = PmVars.find(L.Root);
-    if (PV != PmVars.end()) {
-      if (!PV->second) // Whole variable is persistent.
-        return "CRAFTY_PMEM variable '" + L.Root + "'";
-      bool Through = L.Derefs > 0 || ForMemWrite;
-      if (!Through && !L.Chain.empty() &&
-          (L.Chain[0].Kind == Access::Index ||
-           L.Chain[0].Kind == Access::Arrow))
-        Through = true;
-      if (Through)
-        return "CRAFTY_PMEM pointer '" + L.Root + "'";
-      return ""; // Re-pointing the variable itself is a volatile store.
-    }
-    for (size_t I = 0; I < L.Chain.size(); ++I) {
-      const Access &A = L.Chain[I];
-      if (A.Kind == Access::Index || A.Field.empty())
-        continue;
-      if (!Reg.PmFieldNames.count(A.Field))
-        continue;
-      auto FP = Reg.PmFieldIsPtr.find(A.Field);
-      bool FieldIsPtr = FP != Reg.PmFieldIsPtr.end() && FP->second;
-      if (FieldIsPtr) {
-        // Writing *through* the pointer field: a later chain step
-        // dereferences it, a leading '*' applies to it as the final
-        // element (e.g. `*R.Slots = v`), or it is a memcpy destination.
-        if (I + 1 < L.Chain.size() || ForMemWrite ||
-            (L.Derefs > 0 && I + 1 == L.Chain.size()))
-          return "CRAFTY_PMEM pointer field '" + A.Field + "'";
-        continue; // Re-pointing the field via '.', volatile struct copy etc.
-      }
-      // Non-pointer persistent field: only '->' access proves the object
-      // lives in the pool (a '.' store may target a stack copy).
-      if (A.Kind == Access::Arrow && I + 1 >= L.Chain.size())
-        return "persistent field '" + A.Field + "'";
-    }
-    return "";
-  }
-
   void checkPmRawStore() {
     const std::vector<Token> &T = PF->Lex.Toks;
-    static const std::set<std::string> AssignOps = {
-        "=",  "+=", "-=", "*=", "/=", "%=",
-        "&=", "|=", "^=", "<<=", ">>=",
-    };
     for (size_t I = F->BodyBegin; I < F->BodyEnd; ++I) {
       const Token &Tk = T[I];
       // memcpy-family destination argument.
@@ -648,7 +236,7 @@ private:
         while (LvB < ArgE && T[LvB].isPunct("&"))
           ++LvB; // &obj->field is the same lvalue with an explicit &.
         Lvalue L = parseLvalue(T, LvB, ArgE);
-        std::string What = classifyPmStore(L, /*ForMemWrite=*/true);
+        std::string What = classifyPmStore(storeCtx(), L, /*ForMemWrite=*/true);
         if (!What.empty())
           diag(RulePmRawStore, PF->Lex, Tk.Line, F->QualName,
                Tk.Text + " into " + What +
@@ -658,11 +246,11 @@ private:
                    "format/recovery");
         continue;
       }
-      if (!AssignOps.count(Tk.Text) || Tk.Kind != TokKind::Punct)
+      if (Tk.Kind != TokKind::Punct || !assignOps().count(Tk.Text))
         continue;
       // Skip lambda-capture '[=]' and defaulted-parameter '=' noise.
       if (I > F->BodyBegin &&
-          (T[I - 1].isPunct("[") || T[I - 1].isPunct(",")) )
+          (T[I - 1].isPunct("[") || T[I - 1].isPunct(",")))
         continue;
       // Walk the left-hand side back to the nearest statement boundary.
       size_t B = I;
@@ -670,7 +258,7 @@ private:
         const Token &Pt = T[B - 1];
         if (Pt.isPunct(";") || Pt.isPunct("{") || Pt.isPunct("}") ||
             Pt.isPunct("(") || Pt.isPunct(")") || Pt.isPunct(",") ||
-            (Pt.Kind == TokKind::Punct && AssignOps.count(Pt.Text)))
+            (Pt.Kind == TokKind::Punct && assignOps().count(Pt.Text)))
           break;
         --B;
       }
@@ -683,7 +271,7 @@ private:
       if (IsPmDecl)
         continue;
       Lvalue L = parseLvalue(T, B, I);
-      std::string What = classifyPmStore(L, /*ForMemWrite=*/false);
+      std::string What = classifyPmStore(storeCtx(), L, /*ForMemWrite=*/false);
       if (!What.empty())
         diag(RulePmRawStore, PF->Lex, Tk.Line, F->QualName,
              "raw store through " + What +
@@ -711,8 +299,6 @@ private:
     if (Depth > 32 || !Visited.insert(&Fn).second)
       return;
     const std::vector<Token> &T = Fn.Owner->Toks;
-    // Owner LexedFile belongs to some ParsedFile; comments for suppression
-    // come from it directly.
     for (const CallSite &S : collectSites(T, Fn.BodyBegin, Fn.BodyEnd)) {
       if (S.Kind != CallSite::Call) {
         const char *What = S.Kind == CallSite::KwNew      ? "operator new"
@@ -735,26 +321,15 @@ private:
       }
       if (Ann.TxSafe || Ann.TxStoreApi || Ann.DrainApi)
         continue; // Trusted barrier; do not descend.
-      // Descend into known definitions. Without a `Class::` qualifier the
-      // receiver's type is unknown at token level, so descend only into
-      // same-class methods and free functions -- a bare `insert(...)` in
-      // class A must not pull in B::insert just because the names match.
-      auto DIt = Reg.DefsBySimple.find(S.Name);
-      if (DIt != Reg.DefsBySimple.end()) {
-        std::vector<const FunctionInfo *> Cands;
-        for (const FunctionInfo *D : DIt->second)
-          if (!S.ClassHint.empty()
-                  ? D->ClassName == S.ClassHint
-                  : (D->ClassName.empty() || D->ClassName == Fn.ClassName))
-            Cands.push_back(D);
-        if (!Cands.empty()) {
-          for (const FunctionInfo *D : Cands) {
-            Chain.push_back(D->QualName);
-            walkTx(*D, Visited, Chain, Depth + 1);
-            Chain.pop_back();
-          }
-          continue;
+      std::vector<const FunctionInfo *> Cands =
+          Sums.resolveCallees(Fn.ClassName, S);
+      if (!Cands.empty()) {
+        for (const FunctionInfo *D : Cands) {
+          Chain.push_back(D->QualName);
+          walkTx(*D, Visited, Chain, Depth + 1);
+          Chain.pop_back();
         }
+        continue;
       }
       if (S.IsFree && builtinUnsafe().count(S.Name))
         emitUnsafe(Fn, S.Line, S.Name,
@@ -766,7 +341,8 @@ private:
   }
 
   void emitUnsafe(const FunctionInfo &Site, int Line, const std::string &What,
-                  const std::string &Why, const std::vector<std::string> &Chain) {
+                  const std::string &Why,
+                  const std::vector<std::string> &Chain) {
     std::ostringstream Msg;
     Msg << "transaction body '" << Chain.front() << "' reaches HTM-unsafe "
         << "operation '" << What << "'";
@@ -782,77 +358,36 @@ private:
         << "; hoist it out of the transaction or mark an intentional "
            "boundary CRAFTY_TX_SAFE";
     // Attribute to the tx-body root, locate at the offending call site.
-    diagAt(Site, RuleHtmUnsafeCall, Line, Chain.front(), Msg.str());
-  }
-
-  /// diag() variant that resolves the LexedFile from a (possibly non-target)
-  /// function's Owner pointer.
-  void diagAt(const FunctionInfo &Site, const char *Rule, int Line,
-              const std::string &Func, std::string Msg) {
-    diag(Rule, *Site.Owner, Line, Func, std::move(Msg));
+    diag(RuleHtmUnsafeCall, *Site.Owner, Line, Chain.front(), Msg.str());
   }
 
   //===--------------------------------------------------------------------===//
-  // Rule 3: flush-without-drain
+  // Rule 3: flush-without-drain (forward may-analysis over the CFG)
   //===--------------------------------------------------------------------===//
 
-  struct FState {
-    bool Reach = true;
-    bool Pending = false;
-    int FlushLine = 0;
-    std::string FlushName;
-  };
-
-  static FState joinF(const FState &A, const FState &B) {
-    if (!A.Reach)
-      return B;
-    if (!B.Reach)
-      return A;
-    FState R;
-    R.Pending = A.Pending || B.Pending;
-    const FState &Src = A.Pending ? A : B;
-    R.FlushLine = Src.FlushLine;
-    R.FlushName = Src.FlushName;
-    return R;
-  }
-
-  struct LoopCtx {
-    std::vector<FState> Breaks;
-    std::vector<FState> Continues;
-  };
-
-  void checkFlushWithoutDrain(const Stmt &Body) {
-    if (FAnn.DrainDeferred || FAnn.FlushApi || FAnn.DrainApi)
-      return; // Primitive or deliberately-deferred (HTM commit fences).
-    std::vector<LoopCtx *> Loops;
-    FState Out = flowStmt(Body, FState{}, Loops);
-    if (Out.Reach && Out.Pending)
-      diag(RuleFlushWithoutDrain, PF->Lex, Out.FlushLine, F->QualName,
-           "cache-line write-back '" + Out.FlushName + "' (line " +
-               std::to_string(Out.FlushLine) +
-               ") can reach the end of '" + F->QualName +
-               "' with no drain; clwb only *schedules* the write-back -- "
-               "call drain()/persistBarrier(), or mark the function "
-               "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is the "
-               "drain");
-  }
-
-  FState applyFlow(FState S, size_t B, size_t E,
-                   const std::vector<std::pair<size_t, size_t>> &Holes) {
+  /// Applies the flush/drain calls in [B, E) to \p S in token order. A
+  /// callee known to drain on every path (AlwaysDrains summary) counts as
+  /// a drain, so `persist()`-style wrappers are understood without a raw
+  /// fence at the call site.
+  void applyFlushEvents(FlushState &S, size_t B, size_t E,
+                        const std::vector<std::pair<size_t, size_t>> *Holes)
+      const {
+    static const std::vector<std::pair<size_t, size_t>> NoHoles;
     const std::vector<Token> &T = PF->Lex.Toks;
-    forEachTok(B, E, Holes, [&](size_t I) {
-      if (!T[I].isIdent() || I + 1 >= PF->Lex.Toks.size() ||
-          !T[I + 1].isPunct("("))
+    forEachTok(B, E, Holes ? *Holes : NoHoles, [&](size_t I) {
+      if (!T[I].isIdent() || I + 1 >= T.size() || !T[I + 1].isPunct("("))
         return;
       if (isKeyword(T[I].Text))
         return;
-      std::string ClassHint;
-      if (I >= 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent())
-        ClassHint = T[I - 2].Text;
+      CallSite CS;
+      CS.Name = T[I].Text;
+      classifyReceiver(T, I, B, CS);
       Annotations Ann = Reg.lookupCall(
-          !ClassHint.empty() ? ClassHint : F->ClassName, T[I].Text);
+          !CS.ClassHint.empty() ? CS.ClassHint : F->ClassName, CS.Name);
       bool Flush = Ann.FlushApi || isRawFlushName(T[I].Text);
       bool Drain = Ann.DrainApi || isRawDrainName(T[I].Text);
+      if (!Flush && !Drain && calleeAlwaysDrains(CS))
+        Drain = true;
       if (Flush) {
         S.Pending = true;
         S.FlushLine = T[I].Line;
@@ -861,106 +396,87 @@ private:
       if (Drain)
         S.Pending = false;
     });
-    return S;
   }
 
-  FState flowStmt(const Stmt &S, FState In, std::vector<LoopCtx *> &Loops) {
-    switch (S.Kind) {
-    case Stmt::Seq: {
-      FState Cur = In;
-      for (const Stmt &K : S.Kids)
-        Cur = flowStmt(K, Cur, Loops);
-      return Cur;
-    }
-    case Stmt::Expr:
-      return applyFlow(In, S.ExprB, S.ExprE, S.Holes);
-    case Stmt::Return: {
-      FState R = applyFlow(In, S.ExprB, S.ExprE, S.Holes);
-      if (R.Reach && R.Pending)
-        diag(RuleFlushWithoutDrain, PF->Lex, R.FlushLine, F->QualName,
-             "cache-line write-back '" + R.FlushName + "' (line " +
-                 std::to_string(R.FlushLine) + ") can leave '" +
-                 F->QualName + "' through the return at line " +
-                 std::to_string(S.Line) +
-                 " with no drain; clwb only *schedules* the write-back -- "
-                 "call drain()/persistBarrier(), or mark the function "
-                 "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is "
-                 "the drain");
-      R.Reach = false;
-      return R;
-    }
-    case Stmt::Break: {
-      if (!Loops.empty())
-        Loops.back()->Breaks.push_back(In);
-      FState R = In;
-      R.Reach = false;
-      return R;
-    }
-    case Stmt::Continue: {
-      if (!Loops.empty())
-        Loops.back()->Continues.push_back(In);
-      FState R = In;
-      R.Reach = false;
-      return R;
-    }
-    case Stmt::If: {
-      FState H = applyFlow(In, S.HdrB, S.HdrE, {});
-      FState A = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
-      FState B = S.Kids.size() > 1 ? flowStmt(S.Kids[1], H, Loops) : H;
-      return joinF(A, B);
-    }
-    case Stmt::Switch: {
-      FState H = applyFlow(In, S.HdrB, S.HdrE, {});
-      LoopCtx Ctx; // Breaks inside a switch exit the switch.
-      Loops.push_back(&Ctx);
-      FState B = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
-      Loops.pop_back();
-      FState Out = joinF(H, B);
-      for (const FState &BS : Ctx.Breaks)
-        Out = joinF(Out, BS);
-      return Out;
-    }
-    case Stmt::Loop: {
-      LoopCtx Ctx;
-      Loops.push_back(&Ctx);
-      FState Out;
-      if (!S.PostCond) {
-        FState H = applyFlow(In, S.HdrB, S.HdrE, {});
-        FState B1 = S.Kids.empty() ? H : flowStmt(S.Kids[0], H, Loops);
-        for (const FState &CS : Ctx.Continues)
-          B1 = joinF(B1, CS);
-        Ctx.Continues.clear();
-        // Second pass so a flush late in iteration N reaches the header
-        // and body of iteration N+1 (fixpoint for a boolean lattice).
-        FState H2 = applyFlow(B1, S.HdrB, S.HdrE, {});
-        FState B2 = S.Kids.empty() ? H2
-                                   : flowStmt(S.Kids[0], joinF(H, H2), Loops);
-        for (const FState &CS : Ctx.Continues)
-          B2 = joinF(B2, CS);
-        Out = joinF(H, applyFlow(joinF(B1, B2), S.HdrB, S.HdrE, {}));
-      } else {
-        FState B1 = S.Kids.empty() ? In : flowStmt(S.Kids[0], In, Loops);
-        for (const FState &CS : Ctx.Continues)
-          B1 = joinF(B1, CS);
-        Ctx.Continues.clear();
-        FState H1 = applyFlow(B1, S.HdrB, S.HdrE, {});
-        FState B2 = S.Kids.empty() ? H1 : flowStmt(S.Kids[0], H1, Loops);
-        for (const FState &CS : Ctx.Continues)
-          B2 = joinF(B2, CS);
-        Out = applyFlow(joinF(B1, B2), S.HdrB, S.HdrE, {});
+  bool calleeAlwaysDrains(const CallSite &CS) const {
+    std::vector<const FunctionInfo *> Cands =
+        Sums.resolveCallees(F->ClassName, CS);
+    if (Cands.empty())
+      return false;
+    for (const FunctionInfo *D : Cands)
+      if (!Sums.get(D).AlwaysDrains)
+        return false;
+    return true;
+  }
+
+  struct FlushAnalysis {
+    using State = FlushState;
+    const Checker &C;
+    const Cfg &G;
+
+    State boundary() const { return State{}; }
+    bool join(State &Dst, const State &Src) const {
+      if (Src.Pending && !Dst.Pending) {
+        Dst = Src;
+        return true;
       }
-      Loops.pop_back();
-      for (const FState &BS : Ctx.Breaks)
-        Out = joinF(Out, BS);
-      return Out;
+      return false;
     }
-    case Stmt::Lambda:
-      // A lambda body executes elsewhere (often as the transaction body
-      // under an HTM commit fence); its flushes are not part of this
-      // function's flow. Rules 1, 2 and 4 still see inside it.
+    State transfer(int B, State In) const {
+      for (const CfgAtom &A : G.Blocks[B].Atoms)
+        C.applyFlushEvents(In, A.B, A.E, A.Holes);
       return In;
     }
-    return In;
+  };
+
+  void checkFlushWithoutDrain(const FuncIR &IR) {
+    if (FAnn.DrainDeferred || FAnn.FlushApi || FAnn.DrainApi)
+      return; // Primitive or deliberately-deferred (HTM commit fences).
+    const Cfg &G = IR.G;
+    FlushAnalysis A{*this, G};
+    DataflowResult<FlushState> R = solveForward(G, A);
+
+    // Returns: replay each reached block and look at the state right
+    // after each Ret atom's expression.
+    for (size_t B = 0; B < G.Blocks.size(); ++B) {
+      if (!R.Reached[B])
+        continue;
+      FlushState S = R.In[B];
+      for (const CfgAtom &At : G.Blocks[B].Atoms) {
+        applyFlushEvents(S, At.B, At.E, At.Holes);
+        if (At.Kind == CfgAtom::Ret && S.Pending)
+          diag(RuleFlushWithoutDrain, PF->Lex, S.FlushLine, F->QualName,
+               "cache-line write-back '" + S.FlushName + "' (line " +
+                   std::to_string(S.FlushLine) + ") can leave '" +
+                   F->QualName + "' through the return at line " +
+                   std::to_string(At.Line) +
+                   " with no drain; clwb only *schedules* the write-back -- "
+                   "call drain()/persistBarrier(), or mark the function "
+                   "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is "
+                   "the drain");
+      }
+    }
+    // End of function: join the out-states of blocks that fall through to
+    // the synthetic exit (returns already reported above).
+    FlushState End;
+    for (int P : G.Blocks[G.Exit].Preds) {
+      if (!G.Blocks[P].FallsToExit || !R.Reached[P])
+        continue;
+      FlushState S = R.In[P];
+      for (const CfgAtom &At : G.Blocks[P].Atoms)
+        applyFlushEvents(S, At.B, At.E, At.Holes);
+      if (S.Pending && !End.Pending)
+        End = S;
+    }
+    if (End.Pending)
+      diag(RuleFlushWithoutDrain, PF->Lex, End.FlushLine, F->QualName,
+           "cache-line write-back '" + End.FlushName + "' (line " +
+               std::to_string(End.FlushLine) +
+               ") can reach the end of '" + F->QualName +
+               "' with no drain; clwb only *schedules* the write-back -- "
+               "call drain()/persistBarrier(), or mark the function "
+               "CRAFTY_DRAIN_DEFERRED if the next HTM commit fence is the "
+               "drain");
   }
 
   //===--------------------------------------------------------------------===//
@@ -982,21 +498,11 @@ private:
       checkUnboundedTxWrites(K, InLambda || S.Kind == Stmt::Lambda);
   }
 
-  /// `std::atomic<T>::store` collides with the TX-store simple name; it is
-  /// recognized (and ignored) by the std::memory_order argument every
-  /// atomic store in this codebase spells out.
-  static bool isAtomicStoreCall(const std::vector<Token> &T, size_t LParen) {
-    size_t Close = matchForward(T, LParen, T.size());
-    for (size_t J = LParen + 1; J < Close && J < T.size(); ++J)
-      if (T[J].isIdent() && T[J].Text.rfind("memory_order", 0) == 0)
-        return true;
-    return false;
-  }
-
-  /// Does this subtree directly issue CRAFTY_TX_STORE_API calls? Lambda
-  /// bodies are excluded: a lambda is a transaction-body boundary (the
-  /// enclosing loop typically spans *multiple* transactions, as in
-  /// KvShard::setBatch), and its own loops are visited separately.
+  /// Does this subtree issue CRAFTY_TX_STORE_API calls, directly or
+  /// through a resolvable callee whose summary says it does? Lambda bodies
+  /// are excluded: a lambda is a transaction-body boundary (the enclosing
+  /// loop typically spans *multiple* transactions, as in KvShard::setBatch),
+  /// and its own loops are visited separately.
   bool subtreeHasTxStore(const Stmt &S) const {
     if (S.Kind == Stmt::Lambda)
       return false;
@@ -1005,15 +511,28 @@ private:
       bool Found = false;
       forEachTok(S.ExprB, S.ExprE, S.Holes, [&](size_t I) {
         if (Found || !T[I].isIdent() || I + 1 >= T.size() ||
-            !T[I + 1].isPunct("("))
+            !T[I + 1].isPunct("(") || isKeyword(T[I].Text))
           return;
         std::string ClassHint;
         if (I >= 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent())
           ClassHint = T[I - 2].Text;
         Annotations Ann = Reg.lookupCall(
             !ClassHint.empty() ? ClassHint : F->ClassName, T[I].Text);
-        if (Ann.TxStoreApi && !isAtomicStoreCall(T, I + 1))
+        if (Ann.TxStoreApi && !isAtomicStoreCall(T, I + 1)) {
           Found = true;
+          return;
+        }
+        if (Ann.TxSafe || Ann.FlushApi || Ann.DrainApi)
+          return;
+        // Interprocedural: the callee's own (non-lambda) stores execute
+        // inside whatever transaction surrounds this loop.
+        CallSite CS;
+        CS.Name = T[I].Text;
+        classifyReceiver(T, I, S.ExprB, CS);
+        for (const FunctionInfo *D : Sums.resolveCallees(F->ClassName, CS))
+          if (!(Sums.effectiveAnn(*D).TxBody && !D->TakesTxContext) &&
+              Sums.get(D).MayTxStore)
+            Found = true;
       });
       if (Found)
         return true;
@@ -1145,13 +664,271 @@ private:
     }
     return SawOperand;
   }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 5: persist-ordering (forward may-analysis over the CFG)
+  //===--------------------------------------------------------------------===//
+
+  /// Printable key for a store target, e.g. "hdr->Magic" or "pool.Gen".
+  static std::string lvalueKey(const Lvalue &L) {
+    std::string K = L.Root;
+    for (const Access &A : L.Chain) {
+      if (A.Kind == Access::Index)
+        K += "[]";
+      else
+        K += (A.Kind == Access::Arrow ? "->" : ".") + A.Field;
+    }
+    return K;
+  }
+
+  /// Applies the persistent-store / flush / drain / publish events in
+  /// [B, E) to \p S in token order. With \p Emit set, a publish store
+  /// executed while some earlier store is not yet durable is diagnosed.
+  void applyPersistEvents(PersistState &S, size_t B, size_t E,
+                          const std::vector<std::pair<size_t, size_t>>
+                              *Holes,
+                          bool Emit) {
+    static const std::vector<std::pair<size_t, size_t>> NoHoles;
+    const std::vector<Token> &T = PF->Lex.Toks;
+    forEachTok(B, E, Holes ? *Holes : NoHoles, [&](size_t I) {
+      // Calls: flush schedules matched (or, unmatched, all) entries;
+      // drain retires everything pending.
+      if (T[I].isIdent() && I + 1 < T.size() && T[I + 1].isPunct("(") &&
+          !isKeyword(T[I].Text)) {
+        CallSite CS;
+        CS.Name = T[I].Text;
+        classifyReceiver(T, I, B, CS);
+        Annotations Ann = Reg.lookupCall(
+            !CS.ClassHint.empty() ? CS.ClassHint : F->ClassName, CS.Name);
+        bool Drain = Ann.DrainApi || isRawDrainName(T[I].Text) ||
+                     calleeAlwaysDrains(CS);
+        if (Drain) {
+          S.clear();
+          return;
+        }
+        if (Ann.FlushApi || isRawFlushName(T[I].Text)) {
+          std::set<std::string> ArgIds;
+          for (auto &R : callArgRanges(T, I + 1, T.size()))
+            for (size_t J = R.first; J < R.second; ++J)
+              if (T[J].isIdent())
+                ArgIds.insert(T[J].Text);
+          bool Matched = false;
+          for (auto &KV : S) {
+            if (keyMatchesIds(KV.first, ArgIds)) {
+              KV.second.Flushed = true;
+              Matched = true;
+            }
+          }
+          if (!Matched) // Bulk or unrecognized flush: assume it covers all.
+            for (auto &KV : S)
+              KV.second.Flushed = true;
+          return;
+        }
+        // memcpy-family destination: a persistent store.
+        if (memWriteFns().count(T[I].Text)) {
+          auto Args = callArgRanges(T, I + 1, T.size());
+          if (!Args.empty()) {
+            size_t LvB = Args[0].first;
+            while (LvB < Args[0].second && T[LvB].isPunct("&"))
+              ++LvB;
+            Lvalue L = parseLvalue(T, LvB, Args[0].second);
+            if (!classifyPmStore(storeCtx(), L, /*ForMemWrite=*/true)
+                     .empty())
+              S[lvalueKey(L)] = PendEntry{T[I].Line, false};
+          }
+          return;
+        }
+        return;
+      }
+      // Assignments.
+      if (T[I].Kind != TokKind::Punct || !assignOps().count(T[I].Text))
+        return;
+      if (I > B && (T[I - 1].isPunct("[") || T[I - 1].isPunct(",")))
+        return;
+      size_t LvB = I;
+      while (LvB > B) {
+        const Token &Pt = T[LvB - 1];
+        if (Pt.isPunct(";") || Pt.isPunct("{") || Pt.isPunct("}") ||
+            Pt.isPunct("(") || Pt.isPunct(")") || Pt.isPunct(",") ||
+            (Pt.Kind == TokKind::Punct && assignOps().count(Pt.Text)))
+          break;
+        --LvB;
+      }
+      bool IsPmDecl = false;
+      for (size_t J = LvB; J < I; ++J)
+        if (T[J].isIdent() && T[J].Text == "CRAFTY_PMEM")
+          IsPmDecl = true;
+      if (IsPmDecl)
+        return;
+      Lvalue L = parseLvalue(T, LvB, I);
+      if (!L.Valid)
+        return;
+      bool Publish = isPublishStore(storeCtx(), L);
+      std::string PubKey = lvalueKey(L);
+      if (Publish && Emit && !S.empty()) {
+        // Report against the oldest pending store (ignoring the publish
+        // target itself, which may legitimately be rewritten).
+        const std::string *Key = nullptr;
+        const PendEntry *Ent = nullptr;
+        for (const auto &KV : S) {
+          if (KV.first == PubKey)
+            continue;
+          if (!Ent || KV.second.Line < Ent->Line) {
+            Key = &KV.first;
+            Ent = &KV.second;
+          }
+        }
+        if (Ent) {
+          std::string Why =
+              Ent->Flushed
+                  ? "is flushed but not drained; clwb only *schedules* the "
+                    "write-back -- drain (persistBarrier) before publishing"
+                  : "is not even flushed; flush and drain it before "
+                    "publishing";
+          diag(RulePersistOrdering, PF->Lex, T[I].Line, F->QualName,
+               "publish store to '" + PubKey + "' can execute while the "
+                   "persistent store to '" + *Key + "' (line " +
+                   std::to_string(Ent->Line) + ") " + Why +
+                   ", or a crash makes the commit marker durable before "
+                   "the data it covers");
+        }
+      }
+      if (!classifyPmStore(storeCtx(), L, /*ForMemWrite=*/false).empty())
+        S[PubKey] = PendEntry{T[I].Line, false};
+    });
+  }
+
+  static bool keyMatchesIds(const std::string &Key,
+                            const std::set<std::string> &Ids) {
+    // Split the key back into identifiers and match any of them.
+    std::string Cur;
+    for (char C : Key + "\n") {
+      if (std::isalnum((unsigned char)C) || C == '_') {
+        Cur.push_back(C);
+      } else {
+        if (!Cur.empty() && Ids.count(Cur))
+          return true;
+        Cur.clear();
+      }
+    }
+    return false;
+  }
+
+  struct PersistAnalysis {
+    using State = PersistState;
+    Checker &C;
+    const Cfg &G;
+
+    State boundary() const { return State{}; }
+    bool join(State &Dst, const State &Src) const {
+      bool Changed = false;
+      for (const auto &KV : Src) {
+        auto It = Dst.find(KV.first);
+        if (It == Dst.end()) {
+          Dst.insert(KV);
+          Changed = true;
+        } else if (It->second.Flushed && !KV.second.Flushed) {
+          // Unflushed-on-some-path is the more hazardous fact.
+          It->second.Flushed = false;
+          Changed = true;
+        }
+      }
+      return Changed;
+    }
+    State transfer(int B, State In) {
+      for (const CfgAtom &A : G.Blocks[B].Atoms)
+        C.applyPersistEvents(In, A.B, A.E, A.Holes, /*Emit=*/false);
+      return In;
+    }
+  };
+
+  void checkPersistOrdering(const FuncIR &IR) {
+    // Transaction bodies order their stores through the HTM commit fence;
+    // deferred-drain and trusted primitives are the mechanism itself.
+    if (FAnn.TxBody || FAnn.DrainDeferred || FAnn.FlushApi || FAnn.DrainApi ||
+        FAnn.TxSafe || FAnn.TxStoreApi)
+      return;
+    if (Reg.PublishFieldNames.empty())
+      return; // Nothing to order against.
+    const Cfg &G = IR.G;
+    PersistAnalysis A{*this, G};
+    DataflowResult<PersistState> R = solveForward(G, A);
+    for (size_t B = 0; B < G.Blocks.size(); ++B) {
+      if (!R.Reached[B])
+        continue;
+      PersistState S = R.In[B];
+      for (const CfgAtom &At : G.Blocks[B].Atoms)
+        applyPersistEvents(S, At.B, At.E, At.Holes, /*Emit=*/true);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 6: pm-escape
+  //===--------------------------------------------------------------------===//
+
+  void checkPmEscape() {
+    // Outside the transaction cone a stashed pm pointer is ordinary
+    // (recovery/setup code passes pool pointers around freely); inside it,
+    // the pointer outlives the undo log's protection.
+    if (!Sums.inTxCone(F))
+      return;
+    if (FAnn.TxSafe || FAnn.TxStoreApi || FAnn.FlushApi || FAnn.DrainApi)
+      return;
+    diagnoseEscapes(*F, Sums, [&](int Line, const std::string &What) {
+      diag(RulePmEscape, PF->Lex, Line, F->QualName,
+           What + "; a raw pointer into the pool that outlives the "
+                  "transaction bypasses undo logging -- copy the value out, "
+                  "or keep the pointer inside the transaction scope");
+    });
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rule 7: tx-capacity
+  //===--------------------------------------------------------------------===//
+
+  void checkTxCapacity() {
+    if (!FAnn.TxBody)
+      return;
+    TxBound Bound = Sums.get(F).TxnBound;
+    CapacityEntry CE;
+    CE.QualName = F->QualName;
+    CE.File = PF->Lex.Path;
+    CE.Line = F->Line;
+    CE.Bound = Bound.str();
+    Capacities.push_back(CE);
+
+    if (Bound.K == TxBound::Unbounded) {
+      diag(RuleTxCapacity, PF->Lex, F->Line, F->QualName,
+           "no static write-set bound for transaction body '" + F->QualName +
+               "': a store-issuing path has no visible iteration bound, so "
+               "the transaction can exceed HTM write capacity -- bound every "
+               "loop (CRAFTY_TX_BOUND) or split the transaction");
+      return;
+    }
+    if (Bound.K != TxBound::Finite)
+      return; // Asserted: the author vouches, nothing to compare.
+    if (Bound.N > Opt.TxCapacityBudget)
+      diag(RuleTxCapacity, PF->Lex, F->Line, F->QualName,
+           "transaction body '" + F->QualName + "' can issue up to " +
+               std::to_string(Bound.N) +
+               " transactional stores, over the HTM write-capacity budget "
+               "of " + std::to_string(Opt.TxCapacityBudget) +
+               " words -- split the transaction or chunk its loops");
+    auto Declared = Sums.declaredCapacity(*F);
+    if (Declared && Bound.N > *Declared)
+      diag(RuleTxCapacity, PF->Lex, F->Line, F->QualName,
+           "transaction body '" + F->QualName + "' can issue up to " +
+               std::to_string(Bound.N) +
+               " transactional stores, over its declared "
+               "CRAFTY_TX_CAPACITY(" + std::to_string(*Declared) + ")");
+  }
 };
 
 } // namespace
 
-std::vector<Diagnostic> runChecks(const std::vector<const ParsedFile *> &Targets,
-                                  const Registry &Reg) {
-  Checker C(Targets, Reg);
+CheckResult runChecks(const std::vector<const ParsedFile *> &Targets,
+                      const Summaries &Sums, const CheckOptions &Opt) {
+  Checker C(Targets, Sums, Opt);
   return C.run();
 }
 

@@ -1,4 +1,4 @@
-//===- tools/crafty-lint/Checks.h - The four analyzer rules ----*- C++ -*-===//
+//===- tools/crafty-lint/Checks.h - The analyzer rules ---------*- C++ -*-===//
 //
 // Part of the Crafty reproduction project.
 // SPDX-License-Identifier: MIT
@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The crafty-lint rules (see DESIGN.md Section 5.3 for full semantics):
+/// The crafty-lint rules (see DESIGN.md Sections 5.3/5.4 for semantics):
 ///
 ///  - pm-raw-store: an assignment (or memcpy/memset-family write) through
 ///    a CRAFTY_PMEM pointer or into a CRAFTY_PMEM field bypasses the undo
@@ -19,16 +19,32 @@
 ///    syscalls, sleeps, throw). CRAFTY_TX_SAFE functions are trusted
 ///    barriers the traversal does not descend into.
 ///
-///  - flush-without-drain: an intra-procedural CFG path from a
-///    CRAFTY_FLUSH_API call to function exit with no CRAFTY_DRAIN_API call
-///    claims durability that was never established. Functions that defer
-///    the drain to the next HTM commit fence by design carry
-///    CRAFTY_DRAIN_DEFERRED.
+///  - flush-without-drain: a CFG path from a CRAFTY_FLUSH_API call to
+///    function exit with no CRAFTY_DRAIN_API call (and no call to a
+///    function that drains on every path) claims durability that was never
+///    established. Functions that defer the drain to the next HTM commit
+///    fence by design carry CRAFTY_DRAIN_DEFERRED.
 ///
-///  - unbounded-tx-writes: a loop issuing CRAFTY_TX_STORE_API stores with
-///    no visible compile-time bound in its condition and no CRAFTY_TX_BOUND
-///    assertion risks exceeding HTM write capacity (the hazard that forced
-///    KvConfig::BatchTxnLimit).
+///  - unbounded-tx-writes: a loop issuing CRAFTY_TX_STORE_API stores (or
+///    calling functions that do) with no visible compile-time bound in its
+///    condition and no CRAFTY_TX_BOUND assertion risks exceeding HTM write
+///    capacity (the hazard that forced KvConfig::BatchTxnLimit).
+///
+///  - persist-ordering: a CFG path on which a persistent store's cache
+///    line has not been drained (flushed-but-not-fenced, or never flushed)
+///    when a CRAFTY_PM_PUBLISH commit-marker / pointer-publish store
+///    executes. Crash between the two leaves the marker durable while the
+///    data it covers is not.
+///
+///  - pm-escape: the address of CRAFTY_PMEM data flows into a volatile
+///    location that outlives the transaction scope (a volatile field, an
+///    out-parameter, an escaping callee argument). Tracked with gen/kill
+///    taint masks and interprocedural escape summaries; diagnosed in
+///    functions reachable from CRAFTY_TX_BODY roots.
+///
+///  - tx-capacity: the interprocedural static upper bound on transactional
+///    stores reachable from each CRAFTY_TX_BODY root, checked against the
+///    HTM write-capacity budget and any CRAFTY_TX_CAPACITY declaration.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +52,7 @@
 #define CRAFTY_LINT_CHECKS_H
 
 #include "Model.h"
+#include "Summary.h"
 
 #include <string>
 #include <vector>
@@ -51,13 +68,36 @@ struct Diagnostic {
   bool Baselined = false;
 };
 
-/// Runs all four rules over every function defined in \p Targets, using
-/// \p Reg (built from targets plus their include closure) for annotation
-/// and call resolution. In-source `// crafty-lint: suppress(<rule>)`
-/// comments on the diagnosed line or the line above it silence a finding
-/// before it is returned. Diagnostics are sorted by (file, line, rule).
-std::vector<Diagnostic> runChecks(const std::vector<const ParsedFile *> &Targets,
-                                  const Registry &Reg);
+struct CheckOptions {
+  /// HTM write-capacity budget for tx-capacity, in 8-byte words. Default
+  /// matches HtmConfig::MaxWriteSetLines (512 cache lines) at 8 words per
+  /// line.
+  long long TxCapacityBudget = 4096;
+};
+
+/// The static write-set bound of one CRAFTY_TX_BODY root (reported for
+/// every root, violation or not, so tests can cross-check the static
+/// figure against dynamic HtmStats).
+struct CapacityEntry {
+  std::string QualName;
+  std::string File;
+  int Line = 0;
+  std::string Bound; // TxBound::str(): a number, "asserted" or "unbounded".
+};
+
+struct CheckResult {
+  std::vector<Diagnostic> Diags;
+  std::vector<CapacityEntry> Capacities;
+};
+
+/// Runs all seven rules over every function defined in \p Targets, using
+/// \p Sums (computed over targets plus their include closure) for
+/// annotation lookup, callee resolution and interprocedural summaries.
+/// In-source `// crafty-lint: suppress(<rule>)` comments on the diagnosed
+/// line or the line above it silence a finding before it is returned.
+/// Diagnostics are sorted by (file, line, rule).
+CheckResult runChecks(const std::vector<const ParsedFile *> &Targets,
+                      const Summaries &Sums, const CheckOptions &Opt);
 
 } // namespace craftylint
 

@@ -1,0 +1,83 @@
+//===- tools/crafty-lint/Dataflow.h - Worklist dataflow solver -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward worklist solver over the Cfg. An Analysis supplies:
+///
+///   using State = ...;               // copyable lattice element
+///   State boundary();                // entry-block input
+///   bool  join(State &Dst, const State &Src);  // Dst |= Src; changed?
+///   State transfer(int BlockId, State In);     // flow through the block
+///
+/// The solver propagates to fixpoint from the entry block; blocks never
+/// reached keep Reached == 0 and their In state is meaningless. After the
+/// fixpoint the caller typically makes one reporting pass, re-running its
+/// transfer over each reached block's atoms with the final In state to
+/// emit diagnostics at the precise program points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_DATAFLOW_H
+#define CRAFTY_LINT_DATAFLOW_H
+
+#include "Cfg.h"
+
+#include <deque>
+#include <vector>
+
+namespace craftylint {
+
+template <class State> struct DataflowResult {
+  std::vector<State> In;
+  std::vector<char> Reached;
+};
+
+template <class Analysis>
+DataflowResult<typename Analysis::State> solveForward(const Cfg &G,
+                                                      Analysis &A) {
+  using State = typename Analysis::State;
+  DataflowResult<State> R;
+  R.In.assign(G.Blocks.size(), State{});
+  R.Reached.assign(G.Blocks.size(), 0);
+  if (G.Blocks.empty())
+    return R;
+  R.In[G.Entry] = A.boundary();
+  R.Reached[G.Entry] = 1;
+
+  std::deque<int> Worklist{G.Entry};
+  std::vector<char> Queued(G.Blocks.size(), 0);
+  Queued[G.Entry] = 1;
+  // Safety valve: a correct monotone analysis converges far below this;
+  // a buggy non-monotone transfer must not hang the analyzer.
+  size_t Steps = 0, MaxSteps = G.Blocks.size() * 64 + 1024;
+
+  while (!Worklist.empty() && Steps++ < MaxSteps) {
+    int B = Worklist.front();
+    Worklist.pop_front();
+    Queued[B] = 0;
+    State Out = A.transfer(B, R.In[B]);
+    for (int S : G.Blocks[B].Succs) {
+      bool Changed = false;
+      if (!R.Reached[S]) {
+        R.In[S] = Out;
+        R.Reached[S] = 1;
+        Changed = true;
+      } else {
+        Changed = A.join(R.In[S], Out);
+      }
+      if (Changed && !Queued[S]) {
+        Worklist.push_back(S);
+        Queued[S] = 1;
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_DATAFLOW_H

@@ -8,18 +8,22 @@
 /// \file
 /// Command-line driver: loads the requested translation units (explicit
 /// files, --scan directories, or a compile_commands.json via -p) plus
-/// their project-local include closure, builds the cross-file Registry,
-/// runs the four rules, filters against a committed baseline, and emits
-/// text plus an optional CheckReport-style JSON artifact.
+/// their project-local include closure -- in parallel across a small
+/// thread pool -- builds the cross-file Registry and interprocedural
+/// summaries, runs the seven rules (also parallel, partitioned by file),
+/// filters against a committed baseline, and emits text plus optional
+/// CheckReport-style JSON, SARIF 2.1.0, and a static-capacity report.
 ///
-/// Exit codes: 0 clean (baselined findings allowed), 1 new findings,
-/// 2 usage or I/O error.
+/// Exit codes: 0 clean (baselined findings allowed), 1 new findings or
+/// stale baseline entries, 2 usage or I/O error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "Checks.h"
 #include "Model.h"
+#include "Summary.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -27,9 +31,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fs = std::filesystem;
@@ -273,68 +279,144 @@ struct Options {
   fs::path BaselinePath;
   fs::path WriteBaselinePath;
   fs::path JsonPath;
+  fs::path SarifPath;
+  fs::path CapacityReportPath;
   std::string Restrict; // Normalized-path prefix filter for diagnosis.
+  long long TxCapacityBudget = 4096; // 8-byte words per transaction.
+  int Jobs = 0;          // 0: pick from hardware_concurrency.
+  bool PruneBaseline = false;
   bool Verbose = false;
 };
 
 /// Loads, lexes and parses every requested file plus the project-local
-/// include closure, keeping ParsedFiles at stable addresses.
+/// include closure, keeping ParsedFiles at stable addresses. Files within
+/// one closure round are parsed concurrently; registration (and therefore
+/// the Registry) is order-independent by construction, and file iteration
+/// is sorted by path so results do not depend on scheduling.
 class Corpus {
 public:
   Corpus(const Options &Opt) : Opt(Opt) {}
 
-  /// Canonical-path keyed; returns nullptr if unreadable.
-  const ParsedFile *load(const fs::path &P, bool IsTarget) {
-    std::error_code EC;
-    fs::path Canon = fs::weakly_canonical(fs::absolute(P), EC);
-    if (EC)
-      Canon = fs::absolute(P);
-    std::string Key = Canon.generic_string();
-    auto It = ByPath.find(Key);
-    if (It != ByPath.end()) {
-      if (IsTarget)
-        TargetSet.insert(It->second);
-      return It->second;
+  /// Loads \p Paths (as targets) plus their include closure. Returns the
+  /// number of unreadable inputs.
+  size_t loadAll(const std::vector<fs::path> &Paths) {
+    std::atomic<size_t> Unreadable{0};
+    std::vector<std::pair<fs::path, bool>> Round; // (canon, isTarget)
+    for (const fs::path &P : Paths)
+      Round.push_back({canon(P), true});
+
+    while (!Round.empty()) {
+      // Drop paths already loaded or duplicated within the round.
+      std::vector<std::pair<fs::path, bool>> Batch;
+      std::set<std::string> InBatch;
+      for (auto &PB : Round) {
+        std::string Key = PB.first.generic_string();
+        auto It = ByPath.find(Key);
+        if (It != ByPath.end()) {
+          if (PB.second)
+            TargetSet.insert(It->second);
+          continue;
+        }
+        if (InBatch.insert(Key).second)
+          Batch.push_back(PB);
+        else if (PB.second)
+          for (auto &QB : Batch)
+            if (QB.first.generic_string() == Key)
+              QB.second = true;
+      }
+      Round.clear();
+      if (Batch.empty())
+        break;
+
+      // Parse the batch concurrently into detached ParsedFiles.
+      std::vector<std::unique_ptr<ParsedFile>> Parsed(Batch.size());
+      std::atomic<size_t> Next{0};
+      auto Work = [&]() {
+        for (size_t I = Next.fetch_add(1); I < Batch.size();
+             I = Next.fetch_add(1)) {
+          std::string Text;
+          if (!readFile(Batch[I].first, Text)) {
+            if (Batch[I].second)
+              ++Unreadable;
+            continue;
+          }
+          auto PF = std::make_unique<ParsedFile>();
+          PF->Lex = lexFile(normPath(Batch[I].first), Text);
+          parseFile(*PF);
+          Parsed[I] = std::move(PF);
+        }
+      };
+      size_t NThreads = std::min<size_t>(jobs(), Batch.size());
+      if (NThreads <= 1) {
+        Work();
+      } else {
+        std::vector<std::thread> Pool;
+        for (size_t I = 0; I < NThreads; ++I)
+          Pool.emplace_back(Work);
+        for (std::thread &Th : Pool)
+          Th.join();
+      }
+
+      // Register sequentially and queue the next closure round.
+      for (size_t I = 0; I < Batch.size(); ++I) {
+        if (!Parsed[I])
+          continue;
+        Files.push_back(std::move(Parsed[I]));
+        ParsedFile *PF = Files.back().get();
+        ByPath[Batch[I].first.generic_string()] = PF;
+        if (Batch[I].second)
+          TargetSet.insert(PF);
+        for (const std::string &Inc : PF->Lex.Includes) {
+          fs::path Resolved =
+              resolveInclude(Batch[I].first.parent_path(), Inc);
+          if (!Resolved.empty())
+            Round.push_back({Resolved, false});
+        }
+      }
     }
-    std::string Text;
-    if (!readFile(Canon, Text))
-      return nullptr;
-    Files.emplace_back();
-    ParsedFile &PF = Files.back();
-    PF.Lex = lexFile(normPath(Canon), Text);
-    parseFile(PF);
-    ByPath[Key] = &PF;
-    if (IsTarget)
-      TargetSet.insert(&PF);
-    // Project-local include closure (registry context only).
-    for (const std::string &Inc : PF.Lex.Includes) {
-      fs::path Resolved = resolveInclude(Canon.parent_path(), Inc);
-      if (!Resolved.empty())
-        load(Resolved, /*IsTarget=*/false);
-    }
-    return &PF;
+    return Unreadable.load();
   }
 
   std::string normPath(const fs::path &Canon) const {
     return normPathTo(Canon, Opt.Root);
   }
 
+  size_t jobs() const {
+    if (Opt.Jobs > 0)
+      return (size_t)Opt.Jobs;
+    unsigned HW = std::thread::hardware_concurrency();
+    return HW ? std::min(HW, 8u) : 1;
+  }
+
   std::vector<const ParsedFile *> targets(const std::string &Restrict) const {
     std::vector<const ParsedFile *> Out;
-    for (const ParsedFile &PF : Files) {
-      if (!TargetSet.count(&PF))
+    for (const auto &PF : sorted()) {
+      if (!TargetSet.count(PF))
         continue;
-      if (!Restrict.empty() && PF.Lex.Path.rfind(Restrict, 0) != 0)
+      if (!Restrict.empty() && PF->Lex.Path.rfind(Restrict, 0) != 0)
         continue;
-      Out.push_back(&PF);
+      Out.push_back(PF);
     }
+    return Out;
+  }
+
+  /// All parsed files in path order (deterministic regardless of the load
+  /// schedule).
+  std::vector<const ParsedFile *> sorted() const {
+    std::vector<const ParsedFile *> Out;
+    for (const auto &PF : Files)
+      Out.push_back(PF.get());
+    std::sort(Out.begin(), Out.end(),
+              [](const ParsedFile *A, const ParsedFile *B) {
+                return A->Lex.Path < B->Lex.Path;
+              });
     return Out;
   }
 
   Registry buildRegistry() const {
     Registry Reg;
-    for (const ParsedFile &PF : Files)
-      Reg.add(PF);
+    for (const ParsedFile *PF : sorted())
+      Reg.add(*PF);
     return Reg;
   }
 
@@ -342,9 +424,15 @@ public:
 
 private:
   const Options &Opt;
-  std::deque<ParsedFile> Files; // Deque: stable addresses (Owner pointers).
+  std::vector<std::unique_ptr<ParsedFile>> Files; // Stable addresses.
   std::map<std::string, ParsedFile *> ByPath;
   std::set<const ParsedFile *> TargetSet;
+
+  fs::path canon(const fs::path &P) const {
+    std::error_code EC;
+    fs::path C = fs::weakly_canonical(fs::absolute(P), EC);
+    return EC ? fs::absolute(P) : C;
+  }
 
   fs::path resolveInclude(const fs::path &IncluderDir,
                           const std::string &Name) const {
@@ -440,12 +528,36 @@ bool writeBaseline(const fs::path &Path, const std::vector<Diagnostic> &Diags) {
   return Out.good();
 }
 
+/// Rewrites the baseline keeping only entries that still matched a
+/// finding, preserving their justifications.
+bool pruneBaseline(const fs::path &Path,
+                   const std::vector<BaselineEntry> &Baseline) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << "{\n  \"tool\": \"crafty-lint\",\n  \"entries\": [";
+  bool First = true;
+  for (const BaselineEntry &B : Baseline) {
+    if (!B.Matched)
+      continue;
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n    { \"rule\": \"" << jsonEscape(B.Rule) << "\", \"file\": \""
+        << jsonEscape(B.File) << "\", \"function\": \""
+        << jsonEscape(B.Function) << "\",\n      \"justification\": \""
+        << jsonEscape(B.Justification) << "\" }";
+  }
+  Out << "\n  ]\n}\n";
+  return Out.good();
+}
+
 //===----------------------------------------------------------------------===//
 // Reports
 //===----------------------------------------------------------------------===//
 
-bool writeJsonReport(const fs::path &Path,
-                     const std::vector<Diagnostic> &Diags) {
+bool writeJsonReport(const fs::path &Path, const CheckResult &Result) {
+  const std::vector<Diagnostic> &Diags = Result.Diags;
   size_t NewCount = 0, BaseCount = 0;
   std::map<std::string, uint64_t> Counts;
   for (const Diagnostic &D : Diags) {
@@ -478,7 +590,99 @@ bool writeJsonReport(const fs::path &Path,
         << "\", \"baselined\": " << (D.Baselined ? "true" : "false")
         << ",\n      \"message\": \"" << jsonEscape(D.Message) << "\" }";
   }
+  Out << "\n  ],\n  \"capacities\": [";
+  First = true;
+  for (const CapacityEntry &C : Result.Capacities) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n    { \"function\": \"" << jsonEscape(C.QualName)
+        << "\", \"file\": \"" << jsonEscape(C.File)
+        << "\", \"line\": " << C.Line << ", \"bound\": \""
+        << jsonEscape(C.Bound) << "\" }";
+  }
   Out << "\n  ]\n}\n";
+  return Out.good();
+}
+
+struct RuleDoc {
+  const char *Id;
+  const char *Short;
+};
+
+const RuleDoc RuleDocs[] = {
+    {"pm-raw-store",
+     "Persistent store bypasses the transactional store API / undo log"},
+    {"htm-unsafe-call",
+     "Transaction body reaches an operation that aborts hardware "
+     "transactions"},
+    {"flush-without-drain",
+     "Cache-line write-back can reach function exit without a drain fence"},
+    {"unbounded-tx-writes",
+     "Loop issues transactional stores with no visible iteration bound"},
+    {"persist-ordering",
+     "Commit-marker/publish store not ordered after its data is durable"},
+    {"pm-escape",
+     "Address of persistent memory escapes the transaction scope"},
+    {"tx-capacity",
+     "Static transaction write-set bound exceeds the HTM capacity budget"},
+};
+
+/// SARIF 2.1.0, one run, results carrying root-relative artifact URIs --
+/// the layout GitHub code scanning ingests.
+bool writeSarif(const fs::path &Path, const std::vector<Diagnostic> &Diags) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [ {\n"
+      << "    \"tool\": { \"driver\": {\n"
+      << "      \"name\": \"crafty-lint\",\n"
+      << "      \"informationUri\": "
+         "\"https://example.invalid/crafty/tools/crafty-lint\",\n"
+      << "      \"rules\": [";
+  bool First = true;
+  for (const RuleDoc &R : RuleDocs) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n        { \"id\": \"" << R.Id
+        << "\", \"shortDescription\": { \"text\": \"" << jsonEscape(R.Short)
+        << "\" } }";
+  }
+  Out << "\n      ]\n    } },\n    \"results\": [";
+  First = true;
+  for (const Diagnostic &D : Diags) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\n      {\n        \"ruleId\": \"" << jsonEscape(D.Rule)
+        << "\",\n        \"level\": \"" << (D.Baselined ? "note" : "error")
+        << "\",\n        \"message\": { \"text\": \""
+        << jsonEscape(D.Message + " [in " + D.Func + "]")
+        << "\" },\n        \"locations\": [ { \"physicalLocation\": {\n"
+        << "          \"artifactLocation\": { \"uri\": \""
+        << jsonEscape(D.File) << "\" },\n          \"region\": { "
+        << "\"startLine\": " << (D.Line > 0 ? D.Line : 1)
+        << " }\n        } } ]\n      }";
+  }
+  Out << "\n    ]\n  } ]\n}\n";
+  return Out.good();
+}
+
+/// `<bound> <qualified-name>` per CRAFTY_TX_BODY root, sorted by name:
+/// consumed by tests that cross-check the static bound against dynamic
+/// HtmStats counters.
+bool writeCapacityReport(const fs::path &Path,
+                         const std::vector<CapacityEntry> &Capacities) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  for (const CapacityEntry &C : Capacities)
+    Out << C.Bound << " " << C.QualName << "\n";
   return Out.good();
 }
 
@@ -493,6 +697,7 @@ int usage(const char *Prog) {
       "\n"
       "Crafty persistence & HTM-discipline analyzer. Options:\n"
       "  -p <dir>              read targets from <dir>/compile_commands.json\n"
+      "                        (missing db: warn and fall back to --scan)\n"
       "  --scan <dir>          recursively lint *.h/*.hpp/*.cc/*.cpp/*.cxx\n"
       "  --restrict <prefix>   only diagnose files under this (root-relative)\n"
       "                        prefix; others still feed the call graph\n"
@@ -500,15 +705,24 @@ int usage(const char *Prog) {
       "  --include-dir <dir>   include-closure search dir (repeatable;\n"
       "                        default: root and root/src)\n"
       "  --baseline <file>     accepted-findings file; matches are reported\n"
-      "                        as baselined, not as new findings\n"
+      "                        as baselined, not as new findings. Entries\n"
+      "                        that no longer fire FAIL the run (stale)\n"
+      "  --prune-baseline      rewrite --baseline dropping stale entries\n"
+      "                        instead of failing on them\n"
       "  --write-baseline <f>  write current findings as a baseline and exit\n"
       "  --json <file>         CheckReport-style JSON artifact\n"
+      "  --sarif <file>        SARIF 2.1.0 artifact (GitHub code scanning)\n"
+      "  --capacity-report <f> write `<bound> <function>` per CRAFTY_TX_BODY\n"
+      "  --tx-capacity-budget <n>  HTM write budget in 8-byte words for the\n"
+      "                        tx-capacity rule (default 4096 = 512 lines)\n"
+      "  --jobs <n>            parser/checker thread count (default: cores,\n"
+      "                        capped at 8)\n"
       "  --verbose             loading/statistics chatter on stderr\n"
       "\n"
       "Suppress one finding in source with:\n"
       "  // crafty-lint: suppress(<rule>) <justification>\n"
       "on the diagnosed line or the line above it.\n"
-      "Exit: 0 clean, 1 new findings, 2 usage/IO error.\n",
+      "Exit: 0 clean, 1 new findings or stale baseline, 2 usage/IO error.\n",
       Prog);
   return 2;
 }
@@ -556,6 +770,8 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       Opt.BaselinePath = V;
+    } else if (A == "--prune-baseline") {
+      Opt.PruneBaseline = true;
     } else if (A == "--write-baseline") {
       const char *V = Next("--write-baseline");
       if (!V)
@@ -566,6 +782,35 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       Opt.JsonPath = V;
+    } else if (A == "--sarif") {
+      const char *V = Next("--sarif");
+      if (!V)
+        return 2;
+      Opt.SarifPath = V;
+    } else if (A == "--capacity-report") {
+      const char *V = Next("--capacity-report");
+      if (!V)
+        return 2;
+      Opt.CapacityReportPath = V;
+    } else if (A == "--tx-capacity-budget") {
+      const char *V = Next("--tx-capacity-budget");
+      if (!V)
+        return 2;
+      Opt.TxCapacityBudget = std::strtoll(V, nullptr, 10);
+      if (Opt.TxCapacityBudget <= 0) {
+        std::fprintf(stderr,
+                     "crafty-lint: --tx-capacity-budget must be positive\n");
+        return 2;
+      }
+    } else if (A == "--jobs") {
+      const char *V = Next("--jobs");
+      if (!V)
+        return 2;
+      Opt.Jobs = std::atoi(V);
+      if (Opt.Jobs < 1) {
+        std::fprintf(stderr, "crafty-lint: --jobs must be >= 1\n");
+        return 2;
+      }
     } else if (A == "--verbose") {
       Opt.Verbose = true;
     } else if (A == "--help" || A == "-h") {
@@ -611,26 +856,31 @@ int main(int argc, char **argv) {
     fs::path DbPath = Opt.CompDb / "compile_commands.json";
     std::string Text;
     if (!readFile(DbPath, Text)) {
-      std::fprintf(stderr, "crafty-lint: cannot read %s\n",
+      // A missing database downgrades to the --scan/file list so `lint`
+      // keeps working in build trees configured without
+      // CMAKE_EXPORT_COMPILE_COMMANDS.
+      std::fprintf(stderr,
+                   "crafty-lint: warning: cannot read %s; falling back to "
+                   "--scan/file arguments\n",
                    DbPath.string().c_str());
-      return 2;
-    }
-    JsonValue Db;
-    if (!JsonParser(Text).parse(Db) || Db.T != JsonValue::Arr) {
-      std::fprintf(stderr, "crafty-lint: cannot parse %s\n",
-                   DbPath.string().c_str());
-      return 2;
-    }
-    for (const JsonValue &Entry : Db.A) {
-      if (Entry.T != JsonValue::Obj)
-        continue;
-      std::string File = Entry.str("file");
-      if (File.empty())
-        continue;
-      fs::path FP = File;
-      if (FP.is_relative())
-        FP = fs::path(Entry.str("directory")) / FP;
-      TargetPaths.push_back(FP);
+    } else {
+      JsonValue Db;
+      if (!JsonParser(Text).parse(Db) || Db.T != JsonValue::Arr) {
+        std::fprintf(stderr, "crafty-lint: cannot parse %s\n",
+                     DbPath.string().c_str());
+        return 2;
+      }
+      for (const JsonValue &Entry : Db.A) {
+        if (Entry.T != JsonValue::Obj)
+          continue;
+        std::string File = Entry.str("file");
+        if (File.empty())
+          continue;
+        fs::path FP = File;
+        if (FP.is_relative())
+          FP = fs::path(Entry.str("directory")) / FP;
+        TargetPaths.push_back(FP);
+      }
     }
   }
   if (TargetPaths.empty()) {
@@ -656,10 +906,7 @@ int main(int argc, char **argv) {
 
   // Load everything (targets + include closure) and analyze.
   Corpus C(Opt);
-  size_t Unreadable = 0;
-  for (const fs::path &P : TargetPaths)
-    if (!C.load(P, /*IsTarget=*/true))
-      ++Unreadable;
+  size_t Unreadable = C.loadAll(TargetPaths);
   if (Unreadable)
     std::fprintf(stderr, "crafty-lint: warning: %zu input file(s) unreadable\n",
                  Unreadable);
@@ -669,13 +916,64 @@ int main(int argc, char **argv) {
     return 2;
   }
   Registry Reg = C.buildRegistry();
+  Summaries Sums(Reg);
+  Sums.compute(C.sorted());
   if (Opt.Verbose)
     std::fprintf(stderr,
                  "crafty-lint: %zu file(s) loaded, %zu target(s), "
-                 "%zu annotated name(s)\n",
-                 C.size(), Targets.size(), Reg.AnnBySimple.size());
+                 "%zu annotated name(s), %zu thread(s)\n",
+                 C.size(), Targets.size(), Reg.AnnBySimple.size(), C.jobs());
 
-  std::vector<Diagnostic> Diags = runChecks(Targets, Reg);
+  CheckOptions CheckOpt;
+  CheckOpt.TxCapacityBudget = Opt.TxCapacityBudget;
+
+  // Partition the targets across the pool; summaries are immutable now and
+  // each Checker only touches its own files' diagnostics.
+  CheckResult Result;
+  {
+    size_t NThreads = std::min(C.jobs(), Targets.size());
+    if (NThreads <= 1) {
+      Result = runChecks(Targets, Sums, CheckOpt);
+    } else {
+      std::vector<std::vector<const ParsedFile *>> Parts(NThreads);
+      for (size_t I = 0; I < Targets.size(); ++I)
+        Parts[I % NThreads].push_back(Targets[I]);
+      std::vector<CheckResult> PartResults(NThreads);
+      std::vector<std::thread> Pool;
+      for (size_t I = 0; I < NThreads; ++I)
+        Pool.emplace_back([&, I]() {
+          PartResults[I] = runChecks(Parts[I], Sums, CheckOpt);
+        });
+      for (std::thread &Th : Pool)
+        Th.join();
+      std::set<std::string> Seen; // Cross-partition dedup (htm-unsafe can
+                                  // land the same site via two roots).
+      for (CheckResult &PR : PartResults) {
+        for (Diagnostic &D : PR.Diags) {
+          std::string Key =
+              D.Rule + "|" + D.File + "|" + std::to_string(D.Line) + "|" +
+              D.Func;
+          if (Seen.insert(Key).second)
+            Result.Diags.push_back(std::move(D));
+        }
+        for (CapacityEntry &CE : PR.Capacities)
+          Result.Capacities.push_back(std::move(CE));
+      }
+      std::sort(Result.Diags.begin(), Result.Diags.end(),
+                [](const Diagnostic &A, const Diagnostic &B) {
+                  if (A.File != B.File)
+                    return A.File < B.File;
+                  if (A.Line != B.Line)
+                    return A.Line < B.Line;
+                  return A.Rule < B.Rule;
+                });
+    }
+    std::sort(Result.Capacities.begin(), Result.Capacities.end(),
+              [](const CapacityEntry &A, const CapacityEntry &B) {
+                return A.QualName < B.QualName;
+              });
+  }
+  std::vector<Diagnostic> &Diags = Result.Diags;
 
   if (!Opt.WriteBaselinePath.empty()) {
     if (!writeBaseline(Opt.WriteBaselinePath, Diags)) {
@@ -715,14 +1013,38 @@ int main(int argc, char **argv) {
       continue;
     ++Stale;
     std::fprintf(stderr,
-                 "crafty-lint: warning: stale baseline entry %s %s %s "
-                 "(no longer fires -- remove it)\n",
-                 B.Rule.c_str(), B.File.c_str(), B.Function.c_str());
+                 "crafty-lint: %s: stale baseline entry %s %s %s "
+                 "(no longer fires -- remove it or rerun with "
+                 "--prune-baseline)\n",
+                 Opt.PruneBaseline ? "pruning" : "error", B.Rule.c_str(),
+                 B.File.c_str(), B.Function.c_str());
+  }
+  if (Stale && Opt.PruneBaseline) {
+    if (!pruneBaseline(Opt.BaselinePath, Baseline)) {
+      std::fprintf(stderr, "crafty-lint: cannot rewrite %s\n",
+                   Opt.BaselinePath.string().c_str());
+      return 2;
+    }
+    std::printf("crafty-lint: pruned %zu stale entr%s from %s\n", Stale,
+                Stale == 1 ? "y" : "ies",
+                Opt.BaselinePath.string().c_str());
+    Stale = 0;
   }
 
-  if (!Opt.JsonPath.empty() && !writeJsonReport(Opt.JsonPath, Diags)) {
+  if (!Opt.JsonPath.empty() && !writeJsonReport(Opt.JsonPath, Result)) {
     std::fprintf(stderr, "crafty-lint: cannot write %s\n",
                  Opt.JsonPath.string().c_str());
+    return 2;
+  }
+  if (!Opt.SarifPath.empty() && !writeSarif(Opt.SarifPath, Diags)) {
+    std::fprintf(stderr, "crafty-lint: cannot write %s\n",
+                 Opt.SarifPath.string().c_str());
+    return 2;
+  }
+  if (!Opt.CapacityReportPath.empty() &&
+      !writeCapacityReport(Opt.CapacityReportPath, Result.Capacities)) {
+    std::fprintf(stderr, "crafty-lint: cannot write %s\n",
+                 Opt.CapacityReportPath.string().c_str());
     return 2;
   }
 
@@ -730,5 +1052,5 @@ int main(int argc, char **argv) {
               "%zu stale baseline entr%s, %zu file(s) analyzed\n",
               NewCount + BaseCount, NewCount, BaseCount, Stale,
               Stale == 1 ? "y" : "ies", Targets.size());
-  return NewCount ? 1 : 0;
+  return (NewCount || Stale) ? 1 : 0;
 }

@@ -7,6 +7,8 @@
 
 #include "Model.h"
 
+#include "Syntax.h"
+
 #include <algorithm>
 #include <cctype>
 
@@ -41,6 +43,8 @@ bool applyAnnotationMacro(const std::string &Name, Annotations &A) {
     A.DrainApi = true;
   else if (Name == "CRAFTY_DRAIN_DEFERRED")
     A.DrainDeferred = true;
+  else if (Name == "CRAFTY_PM_PUBLISH")
+    A.PmPublish = true;
   else
     return false;
   return true;
@@ -114,9 +118,29 @@ void Registry::add(const ParsedFile &PF) {
     auto It = PmFieldIsPtr.find(V.Name);
     if (It == PmFieldIsPtr.end())
       PmFieldIsPtr[V.Name] = V.IsPtr;
+    else
+      It->second = It->second || V.IsPtr;
     PmFieldNames.insert(V.Name);
+    if (!V.ClassName.empty()) {
+      std::string Q = V.ClassName + "::" + V.Name;
+      PmFieldQual.insert(Q);
+      auto QIt = PmFieldQualIsPtr.find(Q);
+      if (QIt == PmFieldQualIsPtr.end())
+        PmFieldQualIsPtr[Q] = V.IsPtr;
+      else
+        QIt->second = QIt->second || V.IsPtr;
+    }
   }
+  for (const PmVar &V : PF.PublishFields) {
+    PublishFieldNames.insert(V.Name);
+    if (!V.ClassName.empty())
+      PublishFieldQual.insert(V.ClassName + "::" + V.Name);
+  }
+  for (const auto &CF : PF.FieldsByClass)
+    ClassFields[CF.first].insert(CF.second.begin(), CF.second.end());
   ConstNames.insert(PF.ConstNames.begin(), PF.ConstNames.end());
+  for (const auto &KV : PF.IntConsts)
+    IntConstValues.emplace(KV.first, KV.second);
 }
 
 namespace {
@@ -322,10 +346,23 @@ private:
   bool tryFunction(size_t Begin, size_t Term, size_t End,
                    const std::string &Class, bool IsDef) {
     // Find the parameter-list '(': the first depth-0 '(' preceded by a
-    // usable name, with no depth-0 '=' before it.
+    // usable name, with no depth-0 '=' before it. Annotation macros that
+    // take arguments (CRAFTY_TX_CAPACITY(n)) are skipped as a group so
+    // their '(' is not mistaken for the parameter list.
     int Depth = 0;
     size_t ParamOpen = 0;
+    size_t CapB = 0, CapE = 0;
     for (size_t J = Begin; J < Term; ++J) {
+      if (T[J].isPunct("(") && Depth == 0 && J > Begin &&
+          T[J - 1].isIdent() && T[J - 1].Text.rfind("CRAFTY_", 0) == 0) {
+        size_t Close = matchForward(T, J, Term);
+        if (T[J - 1].is("CRAFTY_TX_CAPACITY")) {
+          CapB = J + 1;
+          CapE = Close;
+        }
+        J = Close;
+        continue;
+      }
       if (T[J].isPunct("=") && Depth == 0)
         return false;
       if (T[J].isPunct("(") && Depth == 0 && J > Begin) {
@@ -423,14 +460,19 @@ private:
         applyAnnotationMacro(T[J].Text, F.Ann);
     }
 
-    // CRAFTY_PMEM parameters.
+    if (CapB < CapE)
+      F.CapacityToks.assign(T.begin() + CapB, T.begin() + CapE);
+
+    // Parameters: names of all of them, plus the CRAFTY_PMEM subset.
     size_t PStart = ParamOpen + 1;
     int PDepth = 0;
     bool PmHere = false, PtrHere = false;
     std::string LastIdent;
     auto flushParam = [&]() {
+      if (!LastIdent.empty())
+        F.Params.push_back(LastIdent);
       if (PmHere && !LastIdent.empty())
-        F.PmParams.push_back(PmVar{LastIdent, PtrHere});
+        F.PmParams.push_back(PmVar{LastIdent, PtrHere, ""});
       PmHere = PtrHere = false;
       LastIdent.clear();
     };
@@ -448,8 +490,11 @@ private:
       else if (PDepth == 0 && T[J].isIdent()) {
         if (T[J].is("CRAFTY_PMEM"))
           PmHere = true;
-        else
+        else {
+          if (T[J].is("TxnContext") || T[J].is("HtmTx"))
+            F.TakesTxContext = true;
           LastIdent = T[J].Text;
+        }
       } else if (PDepth == 0 && T[J].isPunct("*"))
         PtrHere = true;
     }
@@ -469,9 +514,13 @@ private:
   }
 
   /// Field / variable / constant declaration (chunk without a function
-  /// header). Records CRAFTY_PMEM fields and compile-time-constant names.
-  size_t handleSimpleDecl(size_t Begin, size_t Term, const std::string &) {
-    bool Pm = false, Ptr = false, Const = false, SawAssign = false;
+  /// header). Records CRAFTY_PMEM / CRAFTY_PM_PUBLISH fields (scoped by
+  /// \p Class), compile-time-constant names with their integer values
+  /// when the initializer is evaluable, and every class field name for
+  /// scoped lookups.
+  size_t handleSimpleDecl(size_t Begin, size_t Term, const std::string &Class) {
+    bool Pm = false, Ptr = false, Const = false, Publish = false;
+    size_t AssignIdx = 0;
     std::string Name;
     int Depth = 0;
     for (size_t J = Begin; J < Term; ++J) {
@@ -487,7 +536,7 @@ private:
       if (Depth != 0)
         continue;
       if (Tk.isPunct("=")) {
-        SawAssign = true;
+        AssignIdx = J;
         break;
       }
       if (Tk.isPunct("[") || Tk.isPunct(":"))
@@ -495,6 +544,8 @@ private:
       if (Tk.isIdent()) {
         if (Tk.is("CRAFTY_PMEM"))
           Pm = true;
+        else if (Tk.is("CRAFTY_PM_PUBLISH"))
+          Publish = true;
         else if (Tk.is("constexpr"))
           Const = true;
         else if (Tk.is("const"))
@@ -506,11 +557,21 @@ private:
     }
     if (!Name.empty()) {
       if (Pm)
-        Out.PmFields.push_back(PmVar{Name, Ptr});
+        Out.PmFields.push_back(PmVar{Name, Ptr, Class});
+      if (Publish)
+        Out.PublishFields.push_back(PmVar{Name, Ptr, Class});
       if (Const)
         Out.ConstNames.insert(Name);
+      if (!Class.empty())
+        Out.FieldsByClass[Class].insert(Name);
+      if (AssignIdx && AssignIdx + 1 < Term) {
+        // `size_t MaxValueBytes = 248;` / `Magic = 0xC7AF...;` -- record
+        // the value for the static tx-capacity evaluator.
+        auto V = evalConstExpr(T, AssignIdx + 1, Term, Out.IntConsts);
+        if (V)
+          Out.IntConsts.emplace(Name, *V);
+      }
     }
-    (void)SawAssign;
     return Term + 1;
   }
 };

@@ -39,6 +39,9 @@ struct Annotations {
   bool FlushApi = false;
   bool DrainApi = false;
   bool DrainDeferred = false;
+  /// CRAFTY_PM_PUBLISH: a commit-marker / pointer-publish store target
+  /// (field) or a function performing such a publish.
+  bool PmPublish = false;
 
   void merge(const Annotations &O) {
     Pmem |= O.Pmem;
@@ -49,10 +52,11 @@ struct Annotations {
     FlushApi |= O.FlushApi;
     DrainApi |= O.DrainApi;
     DrainDeferred |= O.DrainDeferred;
+    PmPublish |= O.PmPublish;
   }
   bool any() const {
     return Pmem || TxSafe || HtmUnsafe || TxBody || TxStoreApi || FlushApi ||
-           DrainApi || DrainDeferred;
+           DrainApi || DrainDeferred || PmPublish;
   }
 };
 
@@ -64,6 +68,8 @@ struct PmVar {
   /// re-pointing the variable itself is volatile. False means the
   /// variable's own storage is persistent.
   bool IsPtr = false;
+  /// Enclosing class for fields ("" for parameters/locals/globals).
+  std::string ClassName;
 };
 
 struct FunctionInfo {
@@ -74,6 +80,18 @@ struct FunctionInfo {
   std::string QualName;  // ClassName::Name, or Name for free functions.
   Annotations Ann;
   std::vector<PmVar> PmParams;
+  /// Every parameter name, in declaration order (best effort: for unnamed
+  /// prototype parameters the last type token stands in). Positional
+  /// param<->argument matching in the interprocedural summaries.
+  std::vector<std::string> Params;
+  /// Takes a TxnContext& / HtmTx& parameter: a CRAFTY_TX_BODY function
+  /// with one runs inside its *caller's* transaction (its stores add to
+  /// that write set); without one it begins a transaction of its own.
+  bool TakesTxContext = false;
+  /// CRAFTY_TX_CAPACITY(expr): declared per-transaction write budget.
+  /// The expression tokens are kept for evaluation against the registry's
+  /// constant pool at check time; empty when unannotated.
+  std::vector<Token> CapacityToks;
   /// Token index range of the body's contents (exclusive of braces);
   /// BodyBegin == BodyEnd == 0 for a prototype.
   size_t BodyBegin = 0;
@@ -87,7 +105,12 @@ struct ParsedFile {
   LexedFile Lex;
   std::vector<FunctionInfo> Funcs; // Definitions and prototypes.
   std::vector<PmVar> PmFields;     // CRAFTY_PMEM fields, any class.
+  std::vector<PmVar> PublishFields; // CRAFTY_PM_PUBLISH fields.
   std::set<std::string> ConstNames; // const/constexpr/enum value names.
+  /// Every field name declared per class (pm or not), for scoped lookup.
+  std::map<std::string, std::set<std::string>> FieldsByClass;
+  /// Integer values of constants with evaluable initializers.
+  std::map<std::string, long long> IntConsts;
 };
 
 /// The cross-file model the checks run against.
@@ -97,12 +120,24 @@ struct Registry {
   std::map<std::string, Annotations> AnnBySimple;
   /// Function *definitions* (bodies) by simple name, for call-graph walks.
   std::map<std::string, std::vector<const FunctionInfo *>> DefsBySimple;
-  /// CRAFTY_PMEM fields by name; value IsPtr. A name annotated as both
-  /// pointer and non-pointer anywhere is treated as both.
+  /// CRAFTY_PMEM fields by name; value IsPtr (OR over all declarations,
+  /// so the merge is order-independent under parallel loading).
   std::map<std::string, bool> PmFieldIsPtr;
   std::set<std::string> PmFieldNames;
+  /// Class-scoped field model: every declared field per class, plus the
+  /// pm subset as "Class::Field" qualified names. Lets `this->f` stores
+  /// resolve against the enclosing class instead of the global name pool.
+  std::map<std::string, std::set<std::string>> ClassFields;
+  std::set<std::string> PmFieldQual;
+  std::map<std::string, bool> PmFieldQualIsPtr;
+  /// CRAFTY_PM_PUBLISH commit-marker / pointer-publish fields.
+  std::set<std::string> PublishFieldNames;
+  std::set<std::string> PublishFieldQual;
   /// Compile-time-constant names from every scanned file.
   std::set<std::string> ConstNames;
+  /// Integer values for constants with evaluable initializers (first
+  /// registration wins; files are registered in sorted path order).
+  std::map<std::string, long long> IntConstValues;
 
   /// Merged annotations for a call to \p Name, optionally qualified by
   /// \p ClassName (tried first). Returns a default (empty) set when the

@@ -1,0 +1,217 @@
+//===- tools/crafty-lint/Stmt.cpp - Statement tree over tokens ------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Stmt.h"
+
+#include "Model.h"
+#include "Syntax.h"
+
+namespace craftylint {
+
+namespace {
+
+class StmtParser {
+public:
+  explicit StmtParser(const std::vector<Token> &T) : T(T) {}
+
+  Stmt parseSeq(size_t B, size_t E) {
+    Stmt S;
+    S.Kind = Stmt::Seq;
+    S.Line = B < E ? T[B].Line : 0;
+    size_t I = B;
+    while (I < E) {
+      size_t Prev = I;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I <= Prev) // Safety: never loop without progress.
+        I = Prev + 1;
+    }
+    return S;
+  }
+
+private:
+  const std::vector<Token> &T;
+
+  /// Parses the parenthesized header following the keyword at \p I (which
+  /// is advanced past the closing paren). Returns {B, E} of the contents.
+  std::pair<size_t, size_t> parseHeader(size_t &I, size_t E) {
+    while (I < E && !T[I].isPunct("("))
+      ++I;
+    if (I >= E)
+      return {E, E};
+    size_t Close = matchForward(T, I, E);
+    std::pair<size_t, size_t> R{I + 1, Close};
+    I = Close < E ? Close + 1 : E;
+    return R;
+  }
+
+  Stmt parseStmt(size_t &I, size_t E) {
+    Stmt S;
+    S.Line = T[I].Line;
+    const std::string &W = T[I].Text;
+
+    if (T[I].isPunct("{")) {
+      size_t Close = matchForward(T, I, E);
+      S = parseSeq(I + 1, Close);
+      S.Line = T[I].Line;
+      I = Close < E ? Close + 1 : E;
+      return S;
+    }
+    if (T[I].isIdent() && W == "if") {
+      S.Kind = Stmt::If;
+      ++I;
+      if (I < E && T[I].isIdent() && T[I].Text == "constexpr")
+        ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I < E && T[I].isIdent() && T[I].Text == "else") {
+        ++I;
+        S.Kids.push_back(parseStmt(I, E));
+      }
+      return S;
+    }
+    if (T[I].isIdent() && (W == "while" || W == "for")) {
+      S.Kind = Stmt::Loop;
+      ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      return S;
+    }
+    if (T[I].isIdent() && W == "do") {
+      S.Kind = Stmt::Loop;
+      S.PostCond = true;
+      ++I;
+      S.Kids.push_back(parseStmt(I, E));
+      if (I < E && T[I].isIdent() && T[I].Text == "while") {
+        ++I;
+        auto H = parseHeader(I, E);
+        S.HdrB = H.first;
+        S.HdrE = H.second;
+      }
+      if (I < E && T[I].isPunct(";"))
+        ++I;
+      return S;
+    }
+    if (T[I].isIdent() && W == "switch") {
+      S.Kind = Stmt::Switch;
+      ++I;
+      auto H = parseHeader(I, E);
+      S.HdrB = H.first;
+      S.HdrE = H.second;
+      S.Kids.push_back(parseStmt(I, E));
+      return S;
+    }
+    if (T[I].isIdent() && (W == "case" || W == "default")) {
+      ++I;
+      while (I < E && !T[I].isPunct(":")) {
+        if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{"))
+          I = matchForward(T, I, E);
+        ++I;
+      }
+      if (I < E)
+        ++I; // The ':'.
+      S.Kind = Stmt::Case;
+      return S;
+    }
+    if (T[I].isIdent() && W == "return") {
+      S.Kind = Stmt::Return;
+      ++I;
+      S.ExprB = I;
+      S.ExprE = scanToSemi(I, E, S);
+      return S;
+    }
+    if (T[I].isIdent() && (W == "break" || W == "continue")) {
+      S.Kind = W == "break" ? Stmt::Break : Stmt::Continue;
+      ++I;
+      if (I < E && T[I].isPunct(";"))
+        ++I;
+      return S;
+    }
+    if (T[I].isIdent() && W == "try") {
+      // try/catch approximated as straight-line composition of the blocks.
+      S.Kind = Stmt::Seq;
+      ++I;
+      S.Kids.push_back(parseStmt(I, E));
+      while (I < E && T[I].isIdent() && T[I].Text == "catch") {
+        ++I;
+        parseHeader(I, E);
+        S.Kids.push_back(parseStmt(I, E));
+      }
+      return S;
+    }
+    if (T[I].isPunct(";")) { // Empty statement.
+      ++I;
+      S.Kind = Stmt::Expr;
+      return S;
+    }
+    // Label?  ident ':' (not '::', which is one token).
+    if (T[I].isIdent() && I + 1 < E && T[I + 1].isPunct(":") &&
+        !isKeyword(W)) {
+      I += 2;
+      return parseStmt(I, E);
+    }
+    // Expression statement (includes declarations).
+    S.Kind = Stmt::Expr;
+    S.ExprB = I;
+    S.ExprE = scanToSemi(I, E, S);
+    return S;
+  }
+
+  /// Advances \p I to just past the terminating ';' of an expression
+  /// statement, recording each top-level braced region as a Lambda kid of
+  /// \p S and as a hole in S's token range. Parens are NOT jumped: a ';'
+  /// can only hide inside braces (lambda bodies), which are.
+  size_t scanToSemi(size_t &I, size_t E, Stmt &S) {
+    while (I < E) {
+      if (T[I].isPunct(";")) {
+        size_t SemIdx = I;
+        ++I;
+        return SemIdx;
+      }
+      if (T[I].isPunct("{")) {
+        size_t Close = matchForward(T, I, E);
+        Stmt L;
+        L.Kind = Stmt::Lambda;
+        L.Line = T[I].Line;
+        L.Kids.push_back(parseSeq(I + 1, Close));
+        S.Kids.push_back(std::move(L));
+        S.Holes.push_back({I, Close + 1});
+        I = Close < E ? Close + 1 : E;
+        continue;
+      }
+      ++I;
+    }
+    return E;
+  }
+};
+
+} // namespace
+
+Stmt parseStmtTree(const std::vector<Token> &T, size_t B, size_t E) {
+  StmtParser P(T);
+  return P.parseSeq(B, E);
+}
+
+void forEachTok(size_t B, size_t E,
+                const std::vector<std::pair<size_t, size_t>> &Holes,
+                const std::function<void(size_t)> &Fn) {
+  size_t H = 0;
+  for (size_t I = B; I < E; ++I) {
+    while (H < Holes.size() && Holes[H].second <= I)
+      ++H;
+    if (H < Holes.size() && I >= Holes[H].first) {
+      I = Holes[H].second - 1; // Loop ++ lands on the first post-hole token.
+      continue;
+    }
+    Fn(I);
+  }
+}
+
+} // namespace craftylint

@@ -1,0 +1,59 @@
+//===- tools/crafty-lint/Stmt.h - Statement tree over tokens ---*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured statement tree over a function body's token range: the
+/// common frontend for the control-flow graph (Cfg.h) and the tree-walking
+/// rules. Statements keep token subranges (with "holes" for embedded
+/// lambda/init-list bodies) rather than a real AST; that is all the rules
+/// need, and it keeps the frontend compiler-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_STMT_H
+#define CRAFTY_LINT_STMT_H
+
+#include "Lexer.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace craftylint {
+
+struct Stmt {
+  enum StmtKind {
+    Seq,
+    If,
+    Loop,
+    Switch,
+    Case, // A `case x:` / `default:` label (block leader inside a switch).
+    Return,
+    Break,
+    Continue,
+    Expr,
+    Lambda, // A braced body embedded in an expression: lambda or init-list.
+  } Kind = Seq;
+  int Line = 0;
+  bool PostCond = false;       // do/while: body runs before the condition.
+  size_t HdrB = 0, HdrE = 0;   // Condition/header tokens (If/Loop/Switch).
+  size_t ExprB = 0, ExprE = 0; // Token range (Expr/Return), incl. holes.
+  std::vector<std::pair<size_t, size_t>> Holes; // Embedded-body subranges.
+  std::vector<Stmt> Kids;
+};
+
+/// Parses the token range [B, E) of \p T as a statement sequence.
+Stmt parseStmtTree(const std::vector<Token> &T, size_t B, size_t E);
+
+/// Iterates tokens of [B, E) minus \p Holes, invoking \p Fn(index).
+void forEachTok(size_t B, size_t E,
+                const std::vector<std::pair<size_t, size_t>> &Holes,
+                const std::function<void(size_t)> &Fn);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_STMT_H

@@ -1,0 +1,179 @@
+//===- tools/crafty-lint/Summary.h - Call-graph summaries ------*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural layer over the Registry's call graph: per-function
+/// summaries computed to fixpoint before the rules run, shared read-only
+/// by every Checker thread.
+///
+///   - TxBound: static upper bound on transactional stores (tx-capacity).
+///   - AlwaysDrains: every path through the callee performs a full drain
+///     (kills pending write-backs in flush-without-drain/persist-ordering).
+///   - Escape masks: which pointer parameters may be stored to memory that
+///     outlives the call (pm-escape), and whether the return value aliases
+///     a parameter or a pm-derived address.
+///   - The transaction cone: functions reachable from CRAFTY_TX_BODY roots.
+///
+/// Summaries also centralize callee resolution. On top of the class-scoped
+/// rules from the token model (a bare `insert(...)` in class A must not
+/// bind to B::insert), a simple name with exactly one definition in the
+/// whole program resolves to it even through an unknown receiver
+/// (`Map->putTx(...)`): required for capacity bounds to compose across
+/// subsystem boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_SUMMARY_H
+#define CRAFTY_LINT_SUMMARY_H
+
+#include "Cfg.h"
+#include "Model.h"
+#include "Syntax.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+/// Lattice for static transactional-store counts.
+struct TxBound {
+  enum BoundKind {
+    Finite,    // Known upper bound N.
+    Asserted,  // A CRAFTY_TX_BOUND whose expression is not evaluable:
+               // the author asserts boundedness, the value is unknown.
+    Unbounded, // No visible bound.
+  } K = Finite;
+  long long N = 0;
+
+  static TxBound finite(long long V) { return TxBound{Finite, V}; }
+  static TxBound asserted() { return TxBound{Asserted, 0}; }
+  static TxBound unbounded() { return TxBound{Unbounded, 0}; }
+
+  TxBound operator+(const TxBound &O) const {
+    if (K == Unbounded || O.K == Unbounded)
+      return unbounded();
+    if (K == Asserted || O.K == Asserted)
+      return asserted();
+    return finite(N + O.N);
+  }
+  static TxBound max(const TxBound &A, const TxBound &B) {
+    if (A.K == Unbounded || B.K == Unbounded)
+      return unbounded();
+    if (A.K == Asserted || B.K == Asserted)
+      return asserted();
+    return finite(A.N > B.N ? A.N : B.N);
+  }
+  /// Loop scaling: \p Iters iterations of this per-iteration bound.
+  TxBound scaled(long long Iters) const {
+    if (K == Finite)
+      return finite(N * (Iters < 0 ? 0 : Iters));
+    return *this;
+  }
+  bool isZero() const { return K == Finite && N == 0; }
+  std::string str() const;
+};
+
+/// Cached per-function IR: statement tree plus its CFG. The tree owns the
+/// token ranges the CFG atoms alias, so both live together.
+struct FuncIR {
+  Stmt Tree;
+  Cfg G;
+};
+
+struct FuncSummary {
+  /// Trusted primitive (TX_SAFE / TX_STORE_API / FLUSH_API / DRAIN_API):
+  /// annotation carries the semantics, the body is not analyzed.
+  bool Trusted = false;
+  /// Every path through the function executes a full persist drain.
+  bool AlwaysDrains = false;
+  /// Tx stores per invocation, lambda bodies excluded (a lambda is a
+  /// transaction boundary).
+  TxBound InlineBound;
+  /// Per-hardware-transaction bound: the max of InlineBound, any embedded
+  /// lambda body (e.g. the `Backend->run(..., [&](TxnContext &Tx) {...})`
+  /// pattern), and the same measure over callees.
+  TxBound TxnBound;
+  bool MayTxStore = false;
+  /// Bit i set: parameter i may be stored to memory outliving the call.
+  uint32_t EscapesParam = 0;
+  /// Bit i set: the return value may alias parameter i.
+  uint32_t ReturnsParam = 0;
+  /// The return value may be a pm-derived address.
+  bool ReturnsPmAddr = false;
+};
+
+class Summaries {
+public:
+  explicit Summaries(const Registry &Reg) : Reg(Reg) {}
+
+  /// Computes every summary to fixpoint over \p Files (the full parsed
+  /// corpus, not just the lint targets). Single-threaded; afterwards the
+  /// object is immutable and safe to share across Checker threads.
+  void compute(const std::vector<const ParsedFile *> &Files);
+
+  const Registry &registry() const { return Reg; }
+  const FuncSummary &get(const FunctionInfo *F) const;
+  /// The function's annotations unioned with any same-qualified-name
+  /// declaration (annotations usually live on the in-class declaration).
+  Annotations effectiveAnn(const FunctionInfo &F) const;
+
+  /// Callee definitions the call site \p S may bind to, from a function
+  /// of class \p CallerClass.
+  std::vector<const FunctionInfo *>
+  resolveCallees(const std::string &CallerClass, const CallSite &S) const;
+
+  /// True when \p F is reachable from a CRAFTY_TX_BODY root (including
+  /// the roots themselves).
+  bool inTxCone(const FunctionInfo *F) const { return TxCone.count(F) > 0; }
+
+  /// Cached statement tree + CFG for a definition (null for prototypes).
+  const FuncIR *ir(const FunctionInfo *F) const;
+
+  /// Declared CRAFTY_TX_CAPACITY budget of \p F, if present and evaluable.
+  std::optional<long long> declaredCapacity(const FunctionInfo &F) const;
+
+private:
+  const Registry &Reg;
+  std::vector<const FunctionInfo *> Defs;
+  std::map<const FunctionInfo *, FuncSummary> Map;
+  std::map<const FunctionInfo *, std::unique_ptr<FuncIR>> IRs;
+  std::set<const FunctionInfo *> TxCone;
+  /// QualName -> the FunctionInfo (definition or prototype) carrying its
+  /// CRAFTY_TX_CAPACITY annotation.
+  std::map<std::string, const FunctionInfo *> CapacityByQual;
+
+  // Capacity computation (memoized; Visiting detects recursion cycles).
+  std::map<const FunctionInfo *, TxBound> InlineMemo;
+  std::map<const FunctionInfo *, TxBound> TxnMemo;
+  std::set<const FunctionInfo *> Visiting;
+  std::set<const FunctionInfo *> CycleHit; // Back-edge targets seen.
+
+  TxBound inlineBoundOf(const FunctionInfo *F);
+  TxBound txnBoundOf(const FunctionInfo *F);
+  TxBound costStmt(const FunctionInfo &F, const Stmt &S);
+  TxBound costRange(const FunctionInfo &F, size_t B, size_t E,
+                    const std::vector<std::pair<size_t, size_t>> *Holes);
+  TxBound lambdaMax(const FunctionInfo &F, const Stmt &S);
+  void computeDrains();
+  void computeEscapes();
+  void computeTxCone();
+};
+
+/// Runs the gen/kill pointer-escape engine over \p F in diagnosis mode:
+/// \p Diag is invoked at each sink where a pm-derived address flows into
+/// memory that outlives the transaction scope. (Summary mode -- parameter
+/// escape masks -- runs inside Summaries::compute.)
+void diagnoseEscapes(const FunctionInfo &F, const Summaries &Sums,
+                     const std::function<void(int, const std::string &)> &Diag);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_SUMMARY_H

@@ -1,0 +1,468 @@
+//===- tools/crafty-lint/Syntax.cpp - Token-level syntax helpers ----------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "Syntax.h"
+
+#include "Model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace craftylint {
+
+bool isKeyword(const std::string &S) {
+  static const std::set<std::string> K = {
+      "if",       "else",    "for",      "while",   "do",       "switch",
+      "case",     "default", "return",   "break",   "continue", "sizeof",
+      "alignof",  "new",     "delete",   "throw",   "try",      "catch",
+      "goto",     "const",   "constexpr", "static",  "auto",     "struct",
+      "class",    "enum",    "union",    "typename", "template", "using",
+      "namespace", "public",  "private",  "protected", "noexcept", "co_await",
+      "co_return", "co_yield", "static_assert", "decltype", "assert",
+  };
+  return K.count(S) > 0;
+}
+
+bool isAllCapsName(const std::string &S) {
+  if (S.size() < 2)
+    return false;
+  bool HasAlpha = false;
+  for (char C : S) {
+    if (std::islower((unsigned char)C))
+      return false;
+    if (std::isupper((unsigned char)C))
+      HasAlpha = true;
+  }
+  return HasAlpha;
+}
+
+bool isKConstName(const std::string &S) {
+  return S.size() >= 2 && S[0] == 'k' && std::isupper((unsigned char)S[1]);
+}
+
+const std::set<std::string> &builtinUnsafe() {
+  static const std::set<std::string> S = {
+      // Allocation (may mmap / take locks / fault).
+      "malloc", "calloc", "realloc", "free", "aligned_alloc",
+      "posix_memalign",
+      // stdio / I/O.
+      "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+      "puts", "putchar", "fputs", "fputc", "fwrite", "fread", "fopen",
+      "fclose", "fflush", "getline", "scanf", "fscanf", "perror",
+      // POSIX I/O and memory syscalls.
+      "open", "close", "read", "write", "pread", "pwrite", "lseek", "mmap",
+      "munmap", "msync", "mprotect", "ftruncate", "fsync", "fdatasync",
+      "ioctl", "syscall",
+      // Sockets.
+      "socket", "send", "recv", "sendto", "recvfrom", "accept", "connect",
+      "bind", "listen",
+      // Scheduling / blocking.
+      "sleep", "usleep", "nanosleep", "sched_yield",
+      "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_cond_wait",
+      "pthread_cond_signal", "pthread_cond_broadcast", "pthread_create",
+      "pthread_join",
+      // Process control.
+      "abort", "exit", "_exit", "quick_exit", "atexit", "fork", "execve",
+      "system",
+  };
+  return S;
+}
+
+const std::set<std::string> &memWriteFns() {
+  static const std::set<std::string> S = {
+      "memcpy",  "memmove", "memset",  "strcpy",
+      "strncpy", "strcat",  "strncat", "__builtin_memcpy",
+      "__builtin_memmove", "__builtin_memset",
+  };
+  return S;
+}
+
+bool isRawFlushName(const std::string &N) {
+  return N == "_mm_clwb" || N == "_mm_clflushopt" || N == "_mm_clflush" ||
+         N == "__builtin_ia32_clwb" || N == "__builtin_ia32_clflushopt";
+}
+bool isRawDrainName(const std::string &N) {
+  return N == "_mm_sfence" || N == "__builtin_ia32_sfence";
+}
+
+const std::set<std::string> &assignOps() {
+  static const std::set<std::string> S = {
+      "=",  "+=", "-=", "*=", "/=", "%=",
+      "&=", "|=", "^=", "<<=", ">>=",
+  };
+  return S;
+}
+
+void classifyReceiver(const std::vector<Token> &T, size_t I, size_t B,
+                      CallSite &S) {
+  if (I >= B + 1 && (T[I - 1].isPunct(".") || T[I - 1].isPunct("->"))) {
+    // `this->f()` is an unqualified same-class call; any other receiver
+    // expression leaves the class unknown at token level.
+    S.IsFree = I >= B + 2 && T[I - 1].isPunct("->") && T[I - 2].isIdent() &&
+               T[I - 2].Text == "this";
+  } else if (I >= B + 2 && T[I - 1].isPunct("::") && T[I - 2].isIdent()) {
+    S.ClassHint = T[I - 2].Text;
+    // std-qualified calls behave like free calls for the builtin list
+    // (std::malloc, std::fopen, ...).
+    S.IsFree = (S.ClassHint == "std");
+  } else if (I >= B + 1 && T[I - 1].isPunct("::")) {
+    S.IsFree = true;
+    S.GlobalScope = true;
+  } else {
+    S.IsFree = true;
+  }
+}
+
+std::vector<CallSite>
+collectSites(const std::vector<Token> &T, size_t B, size_t E,
+             const std::vector<std::pair<size_t, size_t>> *Holes) {
+  std::vector<CallSite> Sites;
+  size_t H = 0;
+  for (size_t I = B; I < E; ++I) {
+    if (Holes) {
+      while (H < Holes->size() && (*Holes)[H].second <= I)
+        ++H;
+      if (H < Holes->size() && I >= (*Holes)[H].first) {
+        I = (*Holes)[H].second - 1;
+        continue;
+      }
+    }
+    const Token &Tk = T[I];
+    if (!Tk.isIdent())
+      continue;
+    if (Tk.Text == "new" || Tk.Text == "delete" || Tk.Text == "throw") {
+      // `throw;` rethrow counts too; `= delete` never appears inside a body.
+      CallSite S;
+      S.Kind = Tk.Text == "new"      ? CallSite::KwNew
+               : Tk.Text == "delete" ? CallSite::KwDelete
+                                     : CallSite::KwThrow;
+      S.TokIdx = I;
+      S.Line = Tk.Line;
+      Sites.push_back(S);
+      continue;
+    }
+    if (I + 1 >= E || !T[I + 1].isPunct("(") || isKeyword(Tk.Text))
+      continue;
+    if (Tk.Text.rfind("CRAFTY_", 0) == 0) // Annotation / bound macros.
+      continue;
+    CallSite S;
+    S.Name = Tk.Text;
+    S.TokIdx = I;
+    S.Line = Tk.Line;
+    classifyReceiver(T, I, B, S);
+    Sites.push_back(S);
+  }
+  return Sites;
+}
+
+std::vector<std::pair<size_t, size_t>>
+callArgRanges(const std::vector<Token> &T, size_t LParen, size_t End) {
+  std::vector<std::pair<size_t, size_t>> Args;
+  if (LParen >= End || !T[LParen].isPunct("("))
+    return Args;
+  size_t Close = matchForward(T, LParen, End);
+  size_t ArgB = LParen + 1;
+  int Depth = 0;
+  for (size_t I = LParen + 1; I < Close; ++I) {
+    if (T[I].isPunct("(") || T[I].isPunct("[") || T[I].isPunct("{")) {
+      ++Depth;
+    } else if (T[I].isPunct(")") || T[I].isPunct("]") || T[I].isPunct("}")) {
+      if (Depth)
+        --Depth;
+    } else if (Depth == 0 && T[I].isPunct(",")) {
+      Args.push_back({ArgB, I});
+      ArgB = I + 1;
+    }
+  }
+  if (ArgB < Close)
+    Args.push_back({ArgB, Close});
+  return Args;
+}
+
+bool isAtomicStoreCall(const std::vector<Token> &T, size_t LParen) {
+  size_t Close = matchForward(T, LParen, T.size());
+  for (size_t J = LParen + 1; J < Close && J < T.size(); ++J)
+    if (T[J].isIdent() && T[J].Text.rfind("memory_order", 0) == 0)
+      return true;
+  return false;
+}
+
+Lvalue parseLvalue(const std::vector<Token> &T, size_t B, size_t E) {
+  Lvalue L;
+  size_t I = B;
+  while (I < E && (T[I].isPunct("*") || T[I].isPunct("(") ||
+                   T[I].isPunct("&"))) {
+    if (T[I].isPunct("*"))
+      ++L.Derefs;
+    ++I;
+  }
+  if (I >= E || !T[I].isIdent())
+    return L;
+  L.Root = T[I].Text;
+  ++I;
+  while (I < E) {
+    if (T[I].isPunct("->") || T[I].isPunct(".")) {
+      Access A;
+      A.Kind = T[I].isPunct("->") ? Access::Arrow : Access::Dot;
+      if (I + 1 < E && T[I + 1].isIdent()) {
+        A.Field = T[I + 1].Text;
+        I += 2;
+      } else {
+        ++I;
+      }
+      L.Chain.push_back(A);
+    } else if (T[I].isPunct("[")) {
+      L.Chain.push_back(Access{Access::Index, ""});
+      size_t Close = matchForward(T, I, E);
+      I = Close < E ? Close + 1 : E;
+    } else {
+      ++I; // ')' closers from stripped '(' prefixes, etc.
+    }
+  }
+  L.Valid = true;
+  return L;
+}
+
+namespace {
+
+/// Scoped field-pm lookup. \p OwnerClass is the class the receiver is
+/// known to be ("" when unknown). Returns: 1 = pm, 0 = definitely not pm
+/// (the class declares a non-pm field of that name), -1 = unknown (fall
+/// back to the global field-name pool).
+int fieldPmInClass(const Registry &Reg, const std::string &OwnerClass,
+                   const std::string &Field, bool &IsPtr) {
+  if (OwnerClass.empty())
+    return -1;
+  if (Reg.PmFieldQual.count(OwnerClass + "::" + Field)) {
+    auto It = Reg.PmFieldQualIsPtr.find(OwnerClass + "::" + Field);
+    IsPtr = It != Reg.PmFieldQualIsPtr.end() && It->second;
+    return 1;
+  }
+  auto CI = Reg.ClassFields.find(OwnerClass);
+  if (CI != Reg.ClassFields.end() && CI->second.count(Field))
+    return 0; // Declared here, and not CRAFTY_PMEM.
+  return -1; // Not visibly declared here (base class, template...).
+}
+
+} // namespace
+
+std::string classifyPmStore(const StoreContext &Ctx, const Lvalue &L,
+                            bool ForMemWrite) {
+  if (!L.Valid || !Ctx.Reg)
+    return "";
+  const Registry &Reg = *Ctx.Reg;
+  if (Ctx.PmVars) {
+    auto PV = Ctx.PmVars->find(L.Root);
+    if (PV != Ctx.PmVars->end()) {
+      if (!PV->second) // Whole variable is persistent.
+        return "CRAFTY_PMEM variable '" + L.Root + "'";
+      bool Through = L.Derefs > 0 || ForMemWrite;
+      if (!Through && !L.Chain.empty() &&
+          (L.Chain[0].Kind == Access::Index ||
+           L.Chain[0].Kind == Access::Arrow))
+        Through = true;
+      if (Through)
+        return "CRAFTY_PMEM pointer '" + L.Root + "'";
+      return ""; // Re-pointing the variable itself is a volatile store.
+    }
+  }
+  for (size_t I = 0; I < L.Chain.size(); ++I) {
+    const Access &A = L.Chain[I];
+    if (A.Kind == Access::Index || A.Field.empty())
+      continue;
+    // Scoped resolution: a `this->f` (or bare-member) access is resolved
+    // against the enclosing class before consulting the global pool, so
+    // an unrelated class's CRAFTY_PMEM field with the same name does not
+    // produce a false positive (the Bank.cpp NumThreads collision).
+    std::string OwnerClass;
+    if (I == 0 && L.Root == "this")
+      OwnerClass = Ctx.ClassName;
+    bool FieldIsPtr = false;
+    int Scoped = fieldPmInClass(Reg, OwnerClass, A.Field, FieldIsPtr);
+    if (Scoped == 0)
+      continue; // Known volatile field of the enclosing class.
+    if (Scoped < 0) {
+      if (!Reg.PmFieldNames.count(A.Field))
+        continue;
+      auto FP = Reg.PmFieldIsPtr.find(A.Field);
+      FieldIsPtr = FP != Reg.PmFieldIsPtr.end() && FP->second;
+    }
+    if (FieldIsPtr) {
+      // Writing *through* the pointer field: a later chain step
+      // dereferences it, a leading '*' applies to it as the final
+      // element (e.g. `*R.Slots = v`), or it is a memcpy destination.
+      if (I + 1 < L.Chain.size() || ForMemWrite ||
+          (L.Derefs > 0 && I + 1 == L.Chain.size()))
+        return "CRAFTY_PMEM pointer field '" + A.Field + "'";
+      continue; // Re-pointing the field via '.', volatile struct copy etc.
+    }
+    // Non-pointer persistent field: only '->' access proves the object
+    // lives in the pool (a '.' store may target a stack copy).
+    if (A.Kind == Access::Arrow && I + 1 >= L.Chain.size())
+      return "persistent field '" + A.Field + "'";
+  }
+  return "";
+}
+
+bool isPublishStore(const StoreContext &Ctx, const Lvalue &L) {
+  if (!L.Valid || !Ctx.Reg || L.Chain.empty())
+    return false;
+  const Registry &Reg = *Ctx.Reg;
+  const Access &Last = L.Chain.back();
+  if (Last.Kind == Access::Index || Last.Field.empty())
+    return false;
+  if (!Reg.PublishFieldNames.count(Last.Field))
+    return false;
+  // Same pool-residency proof as classifyPmStore: an '->' access, or a
+  // chain hanging off a CRAFTY_PMEM variable. A '.' store into a stack
+  // copy is not a publish.
+  if (Last.Kind == Access::Arrow)
+    return true;
+  return Ctx.PmVars && Ctx.PmVars->count(L.Root) > 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Integer constant expression evaluator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ConstEval {
+public:
+  ConstEval(const std::vector<Token> &T, size_t B, size_t E,
+            const std::map<std::string, long long> &Consts)
+      : T(T), I(B), E(E), Consts(Consts) {}
+
+  std::optional<long long> eval() {
+    auto V = parseShift();
+    if (!V || I != E)
+      return std::nullopt;
+    return V;
+  }
+
+private:
+  const std::vector<Token> &T;
+  size_t I, E;
+  const std::map<std::string, long long> &Consts;
+
+  bool atPunct(const char *P) const { return I < E && T[I].isPunct(P); }
+
+  std::optional<long long> parseShift() {
+    auto L = parseAdd();
+    while (L && (atPunct("<<") || atPunct(">>"))) {
+      bool Left = T[I].isPunct("<<");
+      ++I;
+      auto R = parseAdd();
+      if (!R || *R < 0 || *R > 62)
+        return std::nullopt;
+      L = Left ? (*L << *R) : (*L >> *R);
+    }
+    return L;
+  }
+
+  std::optional<long long> parseAdd() {
+    auto L = parseMul();
+    while (L && (atPunct("+") || atPunct("-"))) {
+      bool Add = T[I].isPunct("+");
+      ++I;
+      auto R = parseMul();
+      if (!R)
+        return std::nullopt;
+      L = Add ? *L + *R : *L - *R;
+    }
+    return L;
+  }
+
+  std::optional<long long> parseMul() {
+    auto L = parseUnary();
+    while (L && (atPunct("*") || atPunct("/") || atPunct("%"))) {
+      char Op = T[I].Text[0];
+      ++I;
+      auto R = parseUnary();
+      if (!R || ((Op == '/' || Op == '%') && *R == 0))
+        return std::nullopt;
+      L = Op == '*' ? *L * *R : Op == '/' ? *L / *R : *L % *R;
+    }
+    return L;
+  }
+
+  std::optional<long long> parseUnary() {
+    if (atPunct("-")) {
+      ++I;
+      auto V = parseUnary();
+      return V ? std::optional<long long>(-*V) : std::nullopt;
+    }
+    if (atPunct("+")) {
+      ++I;
+      return parseUnary();
+    }
+    return parsePrimary();
+  }
+
+  std::optional<long long> parsePrimary() {
+    if (atPunct("(")) {
+      ++I;
+      auto V = parseShift();
+      if (!V || !atPunct(")"))
+        return std::nullopt;
+      ++I;
+      return V;
+    }
+    if (I >= E)
+      return std::nullopt;
+    if (T[I].Kind == TokKind::Number)
+      return parseNumber(T[I++].Text);
+    if (T[I].isIdent() && !isKeyword(T[I].Text)) {
+      // Qualified chains (`Cfg.MaxValueBytes`, `KvConfig::BatchTxnLimit`)
+      // resolve through the last component; the receiver only names the
+      // object holding the constant.
+      std::string Name = T[I].Text;
+      ++I;
+      while (I + 1 < E &&
+             (T[I].isPunct("::") || T[I].isPunct(".") || T[I].isPunct("->")) &&
+             T[I + 1].isIdent()) {
+        Name = T[I + 1].Text;
+        I += 2;
+      }
+      auto It = Consts.find(Name);
+      if (It == Consts.end())
+        return std::nullopt;
+      return It->second;
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<long long> parseNumber(const std::string &S) {
+    if (S.find('.') != std::string::npos) // Float literal.
+      return std::nullopt;
+    char *End = nullptr;
+    std::string Clean = S;
+    // Strip digit separators.
+    Clean.erase(std::remove(Clean.begin(), Clean.end(), '\''), Clean.end());
+    long long V = std::strtoll(Clean.c_str(), &End, 0);
+    // Allow integer-suffix letters only.
+    for (const char *P = End; P && *P; ++P)
+      if (*P != 'u' && *P != 'U' && *P != 'l' && *P != 'L')
+        return std::nullopt;
+    if (End == Clean.c_str())
+      return std::nullopt;
+    return V;
+  }
+};
+
+} // namespace
+
+std::optional<long long>
+evalConstExpr(const std::vector<Token> &T, size_t B, size_t E,
+              const std::map<std::string, long long> &Consts) {
+  if (B >= E)
+    return std::nullopt;
+  return ConstEval(T, B, E, Consts).eval();
+}
+
+} // namespace craftylint

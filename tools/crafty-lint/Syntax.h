@@ -1,0 +1,137 @@
+//===- tools/crafty-lint/Syntax.h - Token-level syntax helpers -*- C++ -*-===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-level syntactic utilities shared by the rules, the statement
+/// parser and the summary layer: call-site extraction, lvalue chains,
+/// persistent-store classification with class-scoped field resolution, and
+/// a small integer-constant-expression evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CRAFTY_LINT_SYNTAX_H
+#define CRAFTY_LINT_SYNTAX_H
+
+#include "Lexer.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace craftylint {
+
+struct Registry;
+
+bool isKeyword(const std::string &S);
+bool isAllCapsName(const std::string &S);
+bool isKConstName(const std::string &S);
+
+/// Free functions that abort hardware transactions (syscalls, page faults
+/// from the allocator, unbounded blocking) regardless of annotation. Only
+/// consulted for *unresolved free* calls -- methods go through annotation
+/// lookup and call-graph descent instead.
+const std::set<std::string> &builtinUnsafe();
+
+/// memcpy-family sinks whose first argument is a write destination.
+const std::set<std::string> &memWriteFns();
+
+/// Raw flush/drain intrinsic spellings, recognized alongside the annotated
+/// wrappers so hand-rolled code does not slip past flush-without-drain.
+bool isRawFlushName(const std::string &N);
+bool isRawDrainName(const std::string &N);
+
+/// Compound/simple assignment operator spellings.
+const std::set<std::string> &assignOps();
+
+/// A call site or HTM-hostile keyword inside a function body.
+struct CallSite {
+  enum SiteKind { Call, KwNew, KwDelete, KwThrow } Kind = Call;
+  std::string Name;      // Callee simple name (Call only).
+  std::string ClassHint; // Qualifier before :: if present, else "".
+  bool IsFree = false;   // No . / -> / :: receiver (this-> counts as free).
+  bool GlobalScope = false; // `::name(...)`: explicitly a free function.
+  size_t TokIdx = 0;
+  int Line = 0;
+
+  size_t lparen() const { return TokIdx + 1; }
+};
+
+/// Fills \p S's receiver classification (IsFree / ClassHint / GlobalScope)
+/// from the tokens preceding the callee name at index \p I; \p B is the
+/// first index it may look at. `this->f()` classifies as a free
+/// (same-class) call; `x.f()` / `p->f()` as a member call with unknown
+/// receiver; `K::f()` carries the class hint; `::f()` is global scope.
+void classifyReceiver(const std::vector<Token> &T, size_t I, size_t B,
+                      CallSite &S);
+
+/// Extracts every call site / hostile keyword in [B, E) of \p T. When
+/// \p Holes is given, tokens inside the holes (embedded lambda bodies)
+/// are skipped.
+std::vector<CallSite>
+collectSites(const std::vector<Token> &T, size_t B, size_t E,
+             const std::vector<std::pair<size_t, size_t>> *Holes = nullptr);
+
+/// Token ranges of the arguments of the call whose '(' is at \p LParen,
+/// split at depth-0 commas. Empty for `()`.
+std::vector<std::pair<size_t, size_t>>
+callArgRanges(const std::vector<Token> &T, size_t LParen, size_t End);
+
+/// `std::atomic<T>::store` collides with the TX-store simple name; it is
+/// recognized (and ignored) by the std::memory_order argument every atomic
+/// store in this codebase spells out.
+bool isAtomicStoreCall(const std::vector<Token> &T, size_t LParen);
+
+/// One member/subscript step in an lvalue chain.
+struct Access {
+  enum Op { Dot, Arrow, Index } Kind;
+  std::string Field; // Empty for Index.
+};
+
+struct Lvalue {
+  bool Valid = false;
+  int Derefs = 0; // Leading '*' count.
+  std::string Root;
+  std::vector<Access> Chain;
+};
+
+Lvalue parseLvalue(const std::vector<Token> &T, size_t B, size_t E);
+
+/// Resolution context for store classification: the registry's cross-file
+/// field model plus the enclosing function's pm-annotated variables and
+/// class (for scoped `this->field` lookups).
+struct StoreContext {
+  const Registry *Reg = nullptr;
+  const std::map<std::string, bool> *PmVars = nullptr; // name -> IsPtr
+  std::string ClassName; // Enclosing class, for this-> resolution.
+};
+
+/// Decides whether storing into \p L hits persistent memory, and why
+/// (empty string when it does not). \p ForMemWrite relaxes the pointer
+/// rules: a pm pointer passed as a memcpy/memset destination is written
+/// through even with no deref. Field lookups are scoped: a `this->f` store
+/// resolves `f` against the enclosing class first, so an unrelated
+/// CRAFTY_PMEM field of the same name elsewhere does not taint it.
+std::string classifyPmStore(const StoreContext &Ctx, const Lvalue &L,
+                            bool ForMemWrite);
+
+/// True when \p L targets a CRAFTY_PM_PUBLISH-annotated field through
+/// pool-resident access (an '->' step, or a pm variable root) -- i.e. a
+/// commit-marker / pointer-publish store for the persist-ordering rule.
+bool isPublishStore(const StoreContext &Ctx, const Lvalue &L);
+
+/// Evaluates [B, E) as an integer constant expression over literals and
+/// the names in \p Consts (qualified chains `A::B` / `x.B` resolve through
+/// their last component). Supports + - * / % << >> and parentheses.
+std::optional<long long>
+evalConstExpr(const std::vector<Token> &T, size_t B, size_t E,
+              const std::map<std::string, long long> &Consts);
+
+} // namespace craftylint
+
+#endif // CRAFTY_LINT_SYNTAX_H
