@@ -86,6 +86,10 @@ HtmStats BaselineBackend::htmStats() const {
   return S;
 }
 
+HtmStats BaselineBackend::htmStatsFor(unsigned Tid) const {
+  return Threads[Tid]->Tx.stats();
+}
+
 void BaselineBackend::resetAttempt(unsigned Tid, ThreadState &TS) {
   TS.WriteLog.clear();
   if (Alloc)

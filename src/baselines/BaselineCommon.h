@@ -41,6 +41,7 @@ public:
   unsigned maxThreads() const override { return NumThreads; }
   PtmStats txnStats() const override;
   HtmStats htmStats() const override;
+  HtmStats htmStatsFor(unsigned Tid) const override;
 
   PMemPool &pool() { return Pool; }
 

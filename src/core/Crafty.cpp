@@ -136,9 +136,17 @@ HtmStats CraftyRuntime::htmStats() const {
   return S;
 }
 
+HtmStats CraftyRuntime::htmStatsFor(unsigned ThreadId) const {
+  HtmStats S = Threads[ThreadId]->htmStats();
+  S += Threads[ThreadId]->ForceTx.stats();
+  return S;
+}
+
 bool CraftyRuntime::forceEmptyCommit(CraftyThread &Forcer,
-                                     CraftyThread &Victim) {
+                                     CraftyThread &Victim,
+                                     uint64_t *ForcedHeadOut) {
   size_t TagSlot = 0;
+  uint64_t ForcedHead = 0;
   TxResult R = runHtmTx(Forcer.ForceTx, [&](HtmTx &T) {
     uint64_t Abs = T.load(&Victim.HeadShared);
     TagSlot = Victim.Log.slotFor(Abs);
@@ -148,9 +156,12 @@ bool CraftyRuntime::forceEmptyCommit(CraftyThread &Forcer,
                          TagTsCommitVersionShift, Pass);
     T.store(&Victim.HeadShared, Abs + 1);
     T.storeCommitVersion(&Victim.LastCommittedTs);
+    ForcedHead = Abs + 1;
   });
   if (!R.Committed)
     return false;
+  if (ForcedHeadOut)
+    *ForcedHeadOut = ForcedHead;
   // Flushed by the forcer; drained at the forcer's next commit fence,
   // i.e. before any entry the forcer may then overwrite can persist.
   Pool.clwb(Forcer.ThreadId, Victim.Log.addrWordAt(TagSlot));
@@ -198,19 +209,60 @@ void CraftyRuntime::runExpensiveChecks(CraftyThread &Forcer,
 }
 
 void CraftyRuntime::persistBarrier(unsigned CallerThreadId) {
+  PersistBarrierTicket T;
+  persistBarrierBegin(CallerThreadId, T);
+  persistBarrierEnd(CallerThreadId, T);
+}
+
+void CraftyRuntime::persistBarrierBegin(unsigned CallerThreadId,
+                                        PersistBarrierTicket &T) {
   // Persist every committed write (models a full cache write-back), then
   // move every thread's last sequence past all prior transactions so
   // recovery's rollback threshold lands after them.
-  Pool.flushEverything();
+  // Fast path: if every context's head still equals the value a previous
+  // barrier published after its drain, no transaction has committed
+  // anywhere since a fully persisted barrier, so its horizon -- and every
+  // flush it performed -- still covers the pool. The check must hold for
+  // all contexts at once; see CraftyThread::ForcedUpTo.
+  T.Pending = false;
+  bool Quiet = true;
+  for (auto &Th : Threads)
+    if (Htm.nonTxLoad(&Th->HeadShared) !=
+        Th->ForcedUpTo.load(std::memory_order_acquire)) {
+      Quiet = false;
+      break;
+    }
+  if (Quiet)
+    return;
+  // The write-back latency is charged to the caller's drain deadline;
+  // persistBarrierEnd's drain waits it out together with the forced
+  // tags' CLWBs below.
+  Pool.flushEverythingDeferred(CallerThreadId);
   CraftyThread &Caller = *Threads[CallerThreadId];
-  for (auto &VictimPtr : Threads) {
+  T.Pending = true;
+  T.ForcedHeads.assign(Threads.size(), 0);
+  for (size_t I = 0; I != Threads.size(); ++I) {
     for (unsigned Try = 0; Try != Config.ForceRetryLimit; ++Try) {
-      if (forceEmptyCommit(Caller, *VictimPtr))
+      if (forceEmptyCommit(Caller, *Threads[I], &T.ForcedHeads[I]))
         break;
       std::this_thread::yield();
     }
   }
-  Pool.drain(CallerThreadId); // Persist the freshly forced tags.
+}
+
+void CraftyRuntime::persistBarrierEnd(unsigned CallerThreadId,
+                                      PersistBarrierTicket &T) {
+  if (!T.Pending)
+    return;
+  T.Pending = false;
+  Pool.drain(CallerThreadId); // Persist the write-back + the forced tags.
+  // Publish the forced heads only now that the tags have drained; a 0
+  // means the force lost every retry to an actively committing context,
+  // whose moving head would fail the fast-path check anyway.
+  for (size_t I = 0; I != Threads.size(); ++I)
+    if (T.ForcedHeads[I])
+      Threads[I]->ForcedUpTo.store(T.ForcedHeads[I],
+                                   std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//

@@ -193,6 +193,16 @@ private:
   /// threads' forced-commit transactions (Section 5.2).
   alignas(CacheLineBytes) uint64_t HeadShared = 0;
   uint64_t LastCommittedTs = 0;
+  /// Log head right after the tag a *completed* persistBarrier forced
+  /// into this context (~0 until one completes). Published only after
+  /// that barrier's final drain, so when every context's HeadShared still
+  /// equals its ForcedUpTo, nothing has committed anywhere since a fully
+  /// persisted barrier and its recovery horizon still stands -- the next
+  /// barrier can return immediately. The check must span all contexts:
+  /// skipping one idle context alone would leave its newest tag with a
+  /// stale timestamp, dragging recovery's min-over-threads rollback
+  /// threshold below transactions the barrier just persisted.
+  std::atomic<uint64_t> ForcedUpTo{~0ull};
 
   // Current-transaction volatile state.
   Context Ctx{*this};
@@ -232,6 +242,18 @@ private:
   uint64_t FirstTsHalfIdx[2] = {~0ull, ~0ull};
 
   PtmStats Stats;
+};
+
+/// In-flight state of a two-phase persist barrier (see
+/// CraftyRuntime::persistBarrierBegin). Reusable across barriers.
+struct PersistBarrierTicket {
+  /// Begin took the slow path; End must drain and publish. A quiet
+  /// barrier (nothing committed since the last one) leaves this false
+  /// and End is free.
+  bool Pending = false;
+  /// Per-context forced log heads, published as ForcedUpTo by End once
+  /// the forced tags have drained (0 = force lost every retry).
+  std::vector<uint64_t> ForcedHeads;
 };
 
 /// The Crafty runtime: shared state, the thread registry, and the
@@ -279,6 +301,20 @@ public:
   /// recovery. Call before externally visible, irrevocable actions.
   CRAFTY_DRAIN_API void persistBarrier(unsigned CallerThreadId);
 
+  /// Two-phase persistBarrier for callers persisting several runtimes
+  /// back to back (one KV worker committing a multi-shard cycle): call
+  /// persistBarrierBegin on every runtime first, then persistBarrierEnd
+  /// on every runtime. Begin writes the pool back and forces the empty
+  /// commits but does not wait out the write-back latency; End drains
+  /// and publishes the barrier horizon. The fixed drain waits of all the
+  /// runtimes then overlap in the End pass instead of serializing --
+  /// like issuing every CLWB before a single SFENCE. Begin/End pairs
+  /// must not be interleaved with other barriers from the same caller.
+  CRAFTY_DRAIN_DEFERRED void persistBarrierBegin(unsigned CallerThreadId,
+                                                 PersistBarrierTicket &T);
+  CRAFTY_DRAIN_API void persistBarrierEnd(unsigned CallerThreadId,
+                                          PersistBarrierTicket &T);
+
   // PtmBackend interface.
   const char *name() const override;
   unsigned maxThreads() const override { return Config.NumThreads; }
@@ -287,6 +323,7 @@ public:
   }
   PtmStats txnStats() const override;
   HtmStats htmStats() const override;
+  HtmStats htmStatsFor(unsigned ThreadId) const override;
 
 private:
   friend class CraftyThread;
@@ -304,7 +341,8 @@ private:
   /// \p Forcer's hardware-transaction context. Returns true on success.
   /// The forced tag's CLWB drains at the forcer's next commit fence.
   CRAFTY_TX_BODY CRAFTY_DRAIN_DEFERRED bool
-  forceEmptyCommit(CraftyThread &Forcer, CraftyThread &Victim);
+  forceEmptyCommit(CraftyThread &Forcer, CraftyThread &Victim,
+                   uint64_t *ForcedHeadOut = nullptr);
 
   PMemPool &Pool;
   HtmRuntime &Htm;

@@ -149,6 +149,16 @@ public:
 
   /// Aggregated hardware-transaction statistics.
   virtual HtmStats htmStats() const = 0;
+
+  /// Hardware-transaction statistics of \p ThreadId's context alone.
+  /// Unlike htmStats(), this reads only state owned by that context, so
+  /// the thread currently driving \p ThreadId may call it concurrently
+  /// with other threads' transactions (the KV server's STATS command
+  /// collects per-worker contributions this way).
+  virtual HtmStats htmStatsFor(unsigned ThreadId) const {
+    (void)ThreadId;
+    return HtmStats();
+  }
 };
 
 } // namespace crafty

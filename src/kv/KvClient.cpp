@@ -228,6 +228,17 @@ bool KvClient::mset(
   return recvStatuses(Pairs.size(), Statuses);
 }
 
+bool KvClient::stats(std::string &JsonOut) {
+  appendStatsRequest(SendBuf);
+  if (!flush())
+    return false;
+  std::string Line;
+  if (!readLine(Line) || Line.rfind("STATS ", 0) != 0)
+    return false;
+  size_t Len = std::strtoull(Line.c_str() + 6, nullptr, 10);
+  return readBlock(Len, JsonOut);
+}
+
 bool KvClient::ping() {
   SendBuf += "PING\n";
   if (!flush())

@@ -49,6 +49,10 @@ public:
   bool mset(const std::vector<std::pair<uint64_t, std::string>> &Pairs,
             std::vector<KvStatus> &Statuses);
   bool ping();
+  /// STATS: fetches the server's JSON statistics document (per-worker
+  /// timing breakdown, per-shard throughput and runtime counters). False
+  /// on transport error.
+  bool stats(std::string &JsonOut);
   void quit();
 
   // Pipeline mode: queue requests, flush, then collect responses in

@@ -185,6 +185,10 @@ ParseResult kv::parseRequest(std::string_view Buf, KvRequest &Out) {
     Out.Op = KvOp::Ping;
     return Done();
   }
+  if (Cmd == "STATS" && Rest.empty()) {
+    Out.Op = KvOp::Stats;
+    return Done();
+  }
   if (Cmd == "QUIT" && Rest.empty()) {
     Out.Op = KvOp::Quit;
     return Done();
@@ -220,6 +224,16 @@ void kv::appendStatusesHeader(std::string &Out, size_t K) {
 }
 
 void kv::appendPong(std::string &Out) { Out += "PONG\n"; }
+
+void kv::appendStatsPayload(std::string &Out, std::string_view Json) {
+  Out += "STATS ";
+  appendU64(Out, Json.size());
+  Out += '\n';
+  Out.append(Json.data(), Json.size());
+  Out += '\n';
+}
+
+void kv::appendStatsRequest(std::string &Out) { Out += "STATS\n"; }
 
 void kv::appendProtocolError(std::string &Out) { Out += "ERR proto\n"; }
 

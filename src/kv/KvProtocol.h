@@ -20,6 +20,7 @@
 ///   MSET <k>\n then k of
 ///        <key> <n>\n<bytes>\n      -> STATUSES <k>\n then k status lines
 ///   PING                           -> PONG
+///   STATS                          -> STATS <n>\n<json bytes>\n
 ///   QUIT                           -> OK (server closes after flushing)
 ///
 /// Keys are decimal uint64. The parser is incremental: it consumes
@@ -41,7 +42,17 @@
 namespace crafty {
 namespace kv {
 
-enum class KvOp : uint8_t { Get, Set, Del, Cas, Mget, Mset, Ping, Quit };
+enum class KvOp : uint8_t {
+  Get,
+  Set,
+  Del,
+  Cas,
+  Mget,
+  Mset,
+  Ping,
+  Stats,
+  Quit
+};
 
 /// One parsed request.
 struct KvRequest {
@@ -75,6 +86,8 @@ void appendValuesHeader(std::string &Out, size_t K);
 void appendStatusesHeader(std::string &Out, size_t K);
 void appendPong(std::string &Out);
 void appendProtocolError(std::string &Out);
+/// STATS response: `STATS <n>\n` followed by \p Json and a terminator.
+void appendStatsPayload(std::string &Out, std::string_view Json);
 
 // Request formatting (client side).
 void appendGet(std::string &Out, uint64_t Key);
@@ -83,6 +96,7 @@ void appendDel(std::string &Out, uint64_t Key);
 void appendCas(std::string &Out, uint64_t Key, std::string_view Expect,
                std::string_view Desired);
 void appendMget(std::string &Out, const std::vector<uint64_t> &Keys);
+void appendStatsRequest(std::string &Out);
 void appendMset(std::string &Out,
                 const std::vector<std::pair<uint64_t, std::string>> &Pairs);
 

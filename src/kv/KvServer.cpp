@@ -1,4 +1,4 @@
-//===- kv/KvServer.cpp - Networked KV front end ---------------------------===//
+//===- kv/KvServer.cpp - Share-nothing networked KV front end -------------===//
 //
 // Part of the Crafty reproduction project.
 // SPDX-License-Identifier: MIT
@@ -7,8 +7,11 @@
 
 #include "kv/KvServer.h"
 
+#include "core/Crafty.h"
+#include "support/Clock.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
@@ -18,6 +21,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 using namespace crafty;
@@ -25,18 +29,44 @@ using namespace crafty::kv;
 
 namespace {
 
+/// epoll payload tags below FirstConnId address the worker's own fds.
+constexpr uint64_t WakeTag = 0;
+constexpr uint64_t ListenTag = 1;
+constexpr uint64_t FirstConnId = 2;
+
 void setNonBlocking(int Fd) {
   int Flags = ::fcntl(Fd, F_GETFL, 0);
   ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
 }
 
+void appendJsonU64(std::string &Out, const char *Key, uint64_t V,
+                   bool Comma = true) {
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  Out += Buf;
+  if (Comma)
+    Out += ',';
+}
+
 } // namespace
 
+unsigned KvServer::autoWorkerCount(unsigned Shards) {
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores == 0)
+    Cores = 1;
+  return std::min(Shards, Cores);
+}
+
 KvServer::KvServer(KvStore &Store, const KvServerConfig &Cfg)
-    : Store(Store), Cfg(Cfg) {
-  if (Store.config().ThreadsPerShard < Store.numShards())
-    fatalError("KvServer: the store needs ThreadsPerShard >= numShards so "
-               "each worker owns a Tid on every shard");
+    : Store(Store), Cfg(Cfg),
+      NumWorkers(Cfg.Workers ? std::min(Cfg.Workers, Store.numShards())
+                             : autoWorkerCount(Store.numShards())) {
+  if (Store.config().ThreadsPerShard < NumWorkers)
+    fatalError("KvServer: the store needs ThreadsPerShard >= the worker "
+               "count so each worker owns a Tid on every shard");
 }
 
 KvServer::~KvServer() { stop(); }
@@ -64,113 +94,142 @@ void KvServer::start() {
     fatalError("KvServer: listen() failed");
   setNonBlocking(ListenFd);
 
-  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
-  WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (EpollFd < 0 || WakeFd < 0)
-    fatalError("KvServer: epoll/eventfd setup failed");
+  // Populate Workers fully before spawning any thread: workerLoop and
+  // postMsg index the vector, and a later push_back would reallocate it
+  // under a running worker.
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    auto Wk = std::make_unique<Worker>();
+    Wk->Idx = W;
+    Wk->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    Wk->WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (Wk->EpollFd < 0 || Wk->WakeFd < 0)
+      fatalError("KvServer: epoll/eventfd setup failed");
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = WakeTag;
+    ::epoll_ctl(Wk->EpollFd, EPOLL_CTL_ADD, Wk->WakeFd, &Ev);
+    Wk->NextConnId = FirstConnId;
+    Wk->Touched.assign(Store.numShards(), 0);
+    Wk->StagedOps.assign(Store.numShards(), {});
+    Wk->S.OpsPerShard.assign(Store.numShards(), 0);
+    Workers.push_back(std::move(Wk));
+  }
+  // Worker 0 owns the listener; accepted fds are handed round-robin.
   epoll_event Ev{};
   Ev.events = EPOLLIN;
-  Ev.data.fd = ListenFd;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
-  Ev.data.fd = WakeFd;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+  Ev.data.u64 = ListenTag;
+  ::epoll_ctl(Workers[0]->EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
 
-  // Populate Workers fully before spawning any thread: workerLoop indexes
-  // the vector, and a later push_back would reallocate it under a running
-  // worker.
-  for (unsigned W = 0; W != Store.numShards(); ++W)
-    Workers.push_back(std::make_unique<Worker>());
-  for (unsigned W = 0; W != Store.numShards(); ++W)
+  for (unsigned W = 0; W != NumWorkers; ++W)
     Workers[W]->Thread = std::thread([this, W] { workerLoop(W); });
-  IoThread = std::thread([this] { ioLoop(); });
 }
 
 void KvServer::stop() {
   if (!Started.load() || Stopping.exchange(true))
     return;
-  // Workers first: they drain their queues and post their last
-  // completions; the IO thread then flushes everything and exits.
-  for (auto &W : Workers)
-    W->Cv.notify_all();
-  for (auto &W : Workers)
-    if (W->Thread.joinable())
-      W->Thread.join();
-  uint64_t One = 1;
-  (void)!::write(WakeFd, &One, sizeof(One));
-  if (IoThread.joinable())
-    IoThread.join();
+  for (auto &Wk : Workers) {
+    uint64_t One = 1;
+    (void)!::write(Wk->WakeFd, &One, sizeof(One));
+  }
+  for (auto &Wk : Workers)
+    if (Wk->Thread.joinable())
+      Wk->Thread.join();
+  for (auto &Wk : Workers) {
+    if (Wk->EpollFd >= 0)
+      ::close(Wk->EpollFd);
+    if (Wk->WakeFd >= 0)
+      ::close(Wk->WakeFd);
+    Wk->EpollFd = Wk->WakeFd = -1;
+  }
   if (ListenFd >= 0)
     ::close(ListenFd);
-  if (EpollFd >= 0)
-    ::close(EpollFd);
-  if (WakeFd >= 0)
-    ::close(WakeFd);
-  ListenFd = EpollFd = WakeFd = -1;
+  ListenFd = -1;
 }
 
 //===----------------------------------------------------------------------===//
-// IO thread
+// Worker event loop
 //===----------------------------------------------------------------------===//
 
-void KvServer::ioLoop() {
-  std::vector<epoll_event> Events(64);
+void KvServer::workerLoop(unsigned W) {
+  Worker &Wk = *Workers[W];
+  std::vector<epoll_event> Events(128);
+  bool ListenerArmed = (W == 0);
   while (true) {
-    int N = ::epoll_wait(EpollFd, Events.data(), (int)Events.size(), 100);
+    bool Stop = Stopping.load(std::memory_order_acquire);
+    if (Stop && ListenerArmed) {
+      ::epoll_ctl(Wk.EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+      ListenerArmed = false;
+    }
+    int N = ::epoll_wait(Wk.EpollFd, Events.data(), (int)Events.size(),
+                         Stop ? 5 : -1);
     if (N < 0 && errno != EINTR)
       break;
     for (int I = 0; I < N; ++I) {
-      int Fd = Events[I].data.fd;
+      uint64_t Tag = Events[I].data.u64;
       uint32_t Mask = Events[I].events;
-      if (Fd == WakeFd) {
+      if (Tag == WakeTag) {
         uint64_t Junk;
-        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0)
+        while (::read(Wk.WakeFd, &Junk, sizeof(Junk)) > 0)
           ;
-        drainCompletions();
         continue;
       }
-      if (Fd == ListenFd) {
-        acceptReady();
+      if (Tag == ListenTag) {
+        if (!Stop)
+          acceptReady(Wk);
         continue;
       }
-      auto It = Conns.find(Fd);
-      if (It == Conns.end())
+      auto It = Wk.Conns.find(Tag);
+      if (It == Wk.Conns.end())
         continue;
-      std::shared_ptr<Conn> C = It->second;
       if (Mask & (EPOLLHUP | EPOLLERR)) {
-        closeConn(C);
+        closeConn(Wk, *It->second);
         continue;
       }
-      if (Mask & EPOLLIN)
-        readReady(C);
-      if (!C->Closed.load(std::memory_order_relaxed) && (Mask & EPOLLOUT))
-        writeReady(C);
-    }
-    if (Stopping.load(std::memory_order_acquire)) {
-      // Workers are joined before the wake that lands us here, so every
-      // completion is already posted; deliver them, flush, and leave.
-      drainCompletions();
-      for (auto &[Fd, C] : Conns) {
-        int Spins = 0;
-        while (!C->Closed.load(std::memory_order_relaxed) &&
-               !C->OutBuf.empty() && Spins++ < 100) {
-          writeReady(C);
-          if (!C->OutBuf.empty()) {
-            pollfd P{C->Fd, POLLOUT, 0};
-            ::poll(&P, 1, 50);
-          }
-        }
-        if (!C->Closed.load(std::memory_order_relaxed)) {
-          ::close(C->Fd);
-          C->Closed.store(true, std::memory_order_relaxed);
-        }
+      if ((Mask & EPOLLIN) && !Stop) {
+        readReady(Wk, *It->second);
+        It = Wk.Conns.find(Tag); // readReady may close the connection.
+        if (It == Wk.Conns.end())
+          continue;
       }
-      Conns.clear();
-      return;
+      if (Mask & EPOLLOUT)
+        flushConn(Wk, *It->second);
+    }
+    processInbox(Wk);
+    commitCycle(Wk);
+    if (Stop) {
+      // Exit only once no cross-worker work can still land in the inbox:
+      // scatter-gather pieces and their completions are all counted.
+      MutexLock Lk(Wk.InboxMu);
+      if (Wk.Inbox.empty() &&
+          CrossInFlight.load(std::memory_order_acquire) == 0)
+        break;
     }
   }
+  // Final flush: every releasable response was marked Ready by the last
+  // commitCycle; push the bytes out (bounded) and close. flushConn can
+  // closeConn (QUIT slots), which erases the entry -- advance first.
+  for (auto It = Wk.Conns.begin(); It != Wk.Conns.end();) {
+    Conn &C = *It->second;
+    ++It;
+    for (int Spin = 0; Spin != 100; ++Spin) {
+      flushConn(Wk, C);
+      if (C.Fd < 0 || (C.OutBuf.empty() &&
+                       (C.Pending.empty() ||
+                        C.Pending.front().St != Slot::Ready)))
+        break;
+      pollfd P{C.Fd, POLLOUT, 0};
+      ::poll(&P, 1, 50);
+    }
+    if (C.Fd >= 0) {
+      ::close(C.Fd);
+      C.Fd = -1;
+    }
+  }
+  Wk.Conns.clear();
+  Wk.Doomed.clear();
 }
 
-void KvServer::acceptReady() {
+void KvServer::acceptReady(Worker &Wk) {
   while (true) {
     int Fd = ::accept4(ListenFd, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -178,272 +237,738 @@ void KvServer::acceptReady() {
       return;
     int One = 1;
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
-    auto C = std::make_shared<Conn>();
-    C->Fd = Fd;
-    epoll_event Ev{};
-    Ev.events = EPOLLIN;
-    Ev.data.fd = Fd;
-    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
-    Conns[Fd] = std::move(C);
+    unsigned Target = NextAcceptWorker;
+    NextAcceptWorker = (NextAcceptWorker + 1) % NumWorkers;
+    if (Target == Wk.Idx) {
+      adoptConn(Wk, Fd);
+    } else {
+      InboxMsg Msg;
+      Msg.K = InboxMsg::NewConn;
+      Msg.Fd = Fd;
+      postMsg(Target, std::move(Msg));
+    }
   }
 }
 
-void KvServer::readReady(const std::shared_ptr<Conn> &C) {
+void KvServer::adoptConn(Worker &Wk, int Fd) {
+  auto C = std::make_unique<Conn>();
+  C->Fd = Fd;
+  C->Id = Wk.NextConnId++;
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = C->Id;
+  ::epoll_ctl(Wk.EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+  ++Wk.S.ConnsAccepted;
+  Wk.Conns.emplace(C->Id, std::move(C));
+}
+
+void KvServer::closeConn(Worker &Wk, Conn &C) {
+  ::epoll_ctl(Wk.EpollFd, EPOLL_CTL_DEL, C.Fd, nullptr);
+  ::close(C.Fd);
+  C.Fd = -1;
+  // Outstanding scatter-gather requests keep their SgRequest alive via
+  // shared_ptr; their completions will find no connection and drop.
+  // The Conn object itself must outlive the cycle: staged operations may
+  // hold destinations inside its slots, so it moves to the graveyard and
+  // dies at the commit point.
+  auto It = Wk.Conns.find(C.Id);
+  if (It != Wk.Conns.end()) {
+    Wk.Doomed.push_back(std::move(It->second));
+    Wk.Conns.erase(It);
+  }
+}
+
+void KvServer::markDirty(Worker &Wk, Conn &C) {
+  if (std::find(Wk.DirtyConns.begin(), Wk.DirtyConns.end(), C.Id) ==
+      Wk.DirtyConns.end())
+    Wk.DirtyConns.push_back(C.Id);
+}
+
+KvServer::Slot &KvServer::appendSlot(Worker &Wk, Conn &C) {
+  C.Pending.emplace_back();
+  Slot &S = C.Pending.back();
+  S.SlotSeq = C.NextSlotSeq++;
+  markDirty(Wk, C);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Request path (single worker, no handoffs)
+//===----------------------------------------------------------------------===//
+
+void KvServer::readReady(Worker &Wk, Conn &C) {
   char Buf[16384];
   while (true) {
-    ssize_t N = ::recv(C->Fd, Buf, sizeof(Buf), 0);
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
-      C->In.append(Buf, (size_t)N);
-      if (C->In.size() > Cfg.MaxBufferedBytes)
-        return closeConn(C);
+      C.In.append(Buf, (size_t)N);
+      if (C.In.size() > Cfg.MaxBufferedBytes)
+        return closeConn(Wk, C);
       continue;
     }
     if (N == 0)
-      return closeConn(C);
+      return closeConn(Wk, C);
     if (errno == EAGAIN || errno == EWOULDBLOCK)
       break;
     if (errno == EINTR)
       continue;
-    return closeConn(C);
+    return closeConn(Wk, C);
   }
-  // Frame and dispatch every complete request at the buffer front.
+  if (C.Draining) {
+    C.In.clear();
+    return;
+  }
+  uint64_t ArrivalNs = monotonicNanos();
   size_t Off = 0;
-  while (Off < C->In.size()) {
+  while (Off < C.In.size()) {
     KvRequest Req;
-    ParseResult R = parseRequest(
-        std::string_view(C->In).substr(Off), Req);
+    ParseResult R =
+        parseRequest(std::string_view(C.In).substr(Off), Req);
     if (R.St == ParseResult::NeedMore)
       break;
     if (R.St == ParseResult::Malformed) {
-      uint64_t Seq = C->NextSeq++;
-      std::string Resp;
-      appendProtocolError(Resp);
-      Completion Comp{C, Seq, std::move(Resp), /*CloseAfter=*/true};
-      deliver(Comp);
-      C->In.clear();
+      Slot &S = appendSlot(Wk, C);
+      appendProtocolError(S.Resp);
+      S.St = Slot::Ready;
+      S.CloseAfter = true;
+      C.Draining = true;
+      C.In.clear();
       return;
     }
     Off += R.Consumed;
-    dispatch(C, std::move(Req));
+    handleRequest(Wk, C, std::move(Req), ArrivalNs);
   }
-  C->In.erase(0, Off);
+  C.In.erase(0, Off);
 }
 
-void KvServer::dispatch(const std::shared_ptr<Conn> &C, KvRequest &&Req) {
-  uint64_t Seq = C->NextSeq++;
-  if (Req.Op == KvOp::Ping || Req.Op == KvOp::Quit) {
-    std::string Resp;
-    if (Req.Op == KvOp::Ping)
-      appendPong(Resp);
-    else
-      appendStatus(Resp, KvStatus::Ok);
-    Served.fetch_add(1, std::memory_order_relaxed);
-    Completion Comp{C, Seq, std::move(Resp), Req.Op == KvOp::Quit};
-    deliver(Comp);
+void KvServer::handleRequest(Worker &Wk, Conn &C, KvRequest &&Req,
+                             uint64_t NowNs) {
+  // A request behind an in-flight cross-shard operation of the same
+  // connection waits for it: its effects must be visible (and durable)
+  // before anything later executes. Parked before a slot exists --
+  // finishSg replays in FIFO order, so slot order stays request order.
+  if (C.SgInFlight) {
+    C.Parked.push_back(ParkedReq{std::move(Req), NowNs});
     return;
   }
-  unsigned W = 0;
+  dispatchRequest(Wk, C, std::move(Req), NowNs);
+}
+
+void KvServer::dispatchRequest(Worker &Wk, Conn &C, KvRequest &&Req,
+                               uint64_t NowNs) {
+  Slot &S = appendSlot(Wk, C);
+  ++Wk.S.Requests;
   switch (Req.Op) {
+  case KvOp::Ping:
+    appendPong(S.Resp);
+    S.St = Slot::Ready;
+    Served.fetch_add(1, std::memory_order_relaxed);
+    return;
+  case KvOp::Quit:
+    appendStatus(S.Resp, KvStatus::Ok);
+    S.St = Slot::Ready;
+    S.CloseAfter = true;
+    Served.fetch_add(1, std::memory_order_relaxed);
+    return;
+  case KvOp::Stats:
+    startStats(Wk, C, S);
+    return;
   case KvOp::Get:
   case KvOp::Set:
   case KvOp::Del:
+  case KvOp::Cas: {
+    // Stage the operation; the commit point executes it inside the
+    // shard's cycle batch. The slot owns the payload the views target.
+    unsigned Shard = Store.shardOf(Req.Key);
+    S.Op = Req.Op;
+    S.ArrivalNs = NowNs;
+    S.Val = std::move(Req.Val);
+    S.Expect = std::move(Req.Expect);
+    KvCycleOp Op;
+    Op.Key = Req.Key;
+    if (Req.Op == KvOp::Get) {
+      Op.K = KvCycleOp::Get;
+      S.Results.resize(1);
+      Op.Result = &S.Results[0];
+    } else {
+      Op.K = Req.Op == KvOp::Set   ? KvCycleOp::Set
+             : Req.Op == KvOp::Del ? KvCycleOp::Del
+                                   : KvCycleOp::Cas;
+      Op.Val = S.Val;
+      Op.Expect = S.Expect;
+      S.Statuses.assign(1, KvStatus::Err);
+      Op.Status = &S.Statuses[0];
+    }
+    // A single-shard request runs locally even on a foreign shard: the
+    // handoff would cost more than shard affinity buys.
+    Wk.StagedOps[Shard].push_back(Op);
+    ++Wk.S.OpsPerShard[Shard];
+    Served.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  case KvOp::Mget:
+  case KvOp::Mset:
+    break;
+  }
+
+  // Multi-key: stage on this worker unless the keys span shards owned
+  // by other workers (then scatter-gather).
+  size_t N = Req.Op == KvOp::Mget ? Req.Keys.size() : Req.Pairs.size();
+  if (N == 0) {
+    if (Req.Op == KvOp::Mget)
+      appendValuesHeader(S.Resp, 0);
+    else
+      appendStatusesHeader(S.Resp, 0);
+    S.St = Slot::Ready;
+    Served.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::vector<std::vector<uint32_t>> ByShard(Store.numShards());
+  bool Local = true;
+  for (uint32_t I = 0; I != (uint32_t)N; ++I) {
+    uint64_t Key =
+        Req.Op == KvOp::Mget ? Req.Keys[I] : Req.Pairs[I].first;
+    unsigned Shard = Store.shardOf(Key);
+    if (ByShard[Shard].empty())
+      Local &= shardWorker(Shard) == Wk.Idx;
+    ByShard[Shard].push_back(I);
+  }
+  unsigned Groups = 0;
+  for (const auto &G : ByShard)
+    Groups += !G.empty();
+  if (!Local && Groups > 1)
+    return startScatterGather(Wk, C, S, std::move(Req), ByShard, NowNs);
+
+  // Local multi-key: stage each key on its shard in request order. The
+  // per-shard lists keep arrival order, so the rendered response is
+  // consistent with every earlier staged operation.
+  S.Op = Req.Op;
+  S.ArrivalNs = NowNs;
+  if (Req.Op == KvOp::Mget) {
+    std::vector<uint64_t> Keys = std::move(Req.Keys);
+    S.Results.resize(N);
+    for (uint32_t I = 0; I != (uint32_t)N; ++I) {
+      KvCycleOp Op;
+      Op.K = KvCycleOp::Get;
+      Op.Key = Keys[I];
+      Op.Result = &S.Results[I];
+      unsigned Shard = Store.shardOf(Op.Key);
+      Wk.StagedOps[Shard].push_back(Op);
+      ++Wk.S.OpsPerShard[Shard];
+    }
+  } else {
+    S.Pairs = std::move(Req.Pairs);
+    S.Statuses.assign(N, KvStatus::Err);
+    for (uint32_t I = 0; I != (uint32_t)N; ++I) {
+      KvCycleOp Op;
+      Op.K = KvCycleOp::Set;
+      Op.Key = S.Pairs[I].first;
+      Op.Val = S.Pairs[I].second;
+      Op.Status = &S.Statuses[I];
+      unsigned Shard = Store.shardOf(Op.Key);
+      Wk.StagedOps[Shard].push_back(Op);
+      ++Wk.S.OpsPerShard[Shard];
+    }
+  }
+  Served.fetch_add(1, std::memory_order_relaxed);
+}
+
+void KvServer::executeStaged(Worker &Wk) {
+  bool Any = false;
+  for (const auto &Ops : Wk.StagedOps)
+    if (!Ops.empty()) {
+      Any = true;
+      break;
+    }
+  if (!Any)
+    return;
+  uint64_t T1 = monotonicNanos();
+  for (unsigned S = 0; S != (unsigned)Wk.StagedOps.size(); ++S) {
+    std::vector<KvCycleOp> &Ops = Wk.StagedOps[S];
+    if (Ops.empty())
+      continue;
+    if (Store.shard(S).runCycle(Wk.Idx, Ops.data(), Ops.size()))
+      Wk.Touched[S] = 1;
+    Ops.clear();
+  }
+  uint64_t T2 = monotonicNanos();
+  Wk.S.ExecuteNs += T2 - T1;
+  // Stamp the slots this execution covered: queue wait is arrival to
+  // first execution, and ExecEndNs anchors commit-wait at release.
+  for (uint64_t Id : Wk.DirtyConns) {
+    auto It = Wk.Conns.find(Id);
+    if (It == Wk.Conns.end())
+      continue;
+    for (Slot &S : It->second->Pending) {
+      if (S.St != Slot::Staged || S.ExecEndNs)
+        continue;
+      S.ExecEndNs = T2;
+      Wk.S.QueueWaitNs += T1 - std::min(S.ArrivalNs, T1);
+      S.ArrivalNs = 0;
+    }
+  }
+}
+
+void KvServer::renderSlotResponse(Slot &S) {
+  switch (S.Op) {
+  case KvOp::Get: {
+    const KvResult &R = S.Results[0];
+    if (R.Status == KvStatus::Ok)
+      appendValue(S.Resp, R.Value);
+    else
+      appendStatus(S.Resp, R.Status);
+    break;
+  }
+  case KvOp::Set:
+  case KvOp::Del:
   case KvOp::Cas:
-    W = Store.shardOf(Req.Key);
+    appendStatus(S.Resp, S.Statuses[0]);
     break;
   case KvOp::Mget:
-    W = Req.Keys.empty() ? 0 : Store.shardOf(Req.Keys[0]);
+    appendValuesHeader(S.Resp, S.Results.size());
+    for (const KvResult &R : S.Results) {
+      if (R.Status == KvStatus::Ok)
+        appendValue(S.Resp, R.Value);
+      else
+        appendNotFound(S.Resp);
+    }
     break;
   case KvOp::Mset:
-    W = Req.Pairs.empty() ? 0 : Store.shardOf(Req.Pairs[0].first);
+    appendStatusesHeader(S.Resp, S.Statuses.size());
+    for (KvStatus St : S.Statuses)
+      appendStatus(S.Resp, St);
     break;
   default:
+    appendProtocolError(S.Resp);
     break;
   }
+  // Drop the staged payload; the rendered bytes are all that's left.
+  S.Val.clear();
+  S.Expect.clear();
+  S.Pairs.clear();
+  S.Results.clear();
+  S.Statuses.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Scatter-gather (cross-shard MGET/MSET, STATS)
+//===----------------------------------------------------------------------===//
+
+void KvServer::startScatterGather(
+    Worker &Wk, Conn &C, Slot &S, KvRequest &&Req,
+    const std::vector<std::vector<uint32_t>> &ByShard, uint64_t NowNs) {
+  // Flush the staged batches first: pieces posted to other workers must
+  // not overtake operations staged before this request (a pipelined SET
+  // of a key this MGET reads, for instance). The executed slots stay
+  // Staged and release at the commit point as usual.
+  executeStaged(Wk);
+  auto Sg = std::make_shared<SgRequest>();
+  Sg->Op = Req.Op;
+  Sg->OwnerWorker = Wk.Idx;
+  Sg->ConnId = C.Id;
+  Sg->SlotSeq = S.SlotSeq;
+  Sg->PostedNs = NowNs;
+  if (Req.Op == KvOp::Mget) {
+    Sg->Keys = std::move(Req.Keys);
+    Sg->Results.resize(Sg->Keys.size());
+  } else {
+    Sg->Pairs = std::move(Req.Pairs);
+    Sg->Statuses.assign(Sg->Pairs.size(), KvStatus::Err);
+  }
+  for (unsigned Shard = 0; Shard != ByShard.size(); ++Shard) {
+    if (ByShard[Shard].empty())
+      continue;
+    Sg->Pieces.emplace_back();
+    Sg->Pieces.back().Shard = Shard;
+    Sg->Pieces.back().Idx = ByShard[Shard];
+  }
+  Sg->Remaining.store((unsigned)Sg->Pieces.size(),
+                      std::memory_order_relaxed);
+  S.St = Slot::WaitingSg;
+  S.Sg = Sg;
+  ++Wk.S.SgRequests;
+  ++C.SgInFlight; // Later requests on this connection park behind it.
+  CrossInFlight.fetch_add(1, std::memory_order_acq_rel);
+  for (unsigned P = 0; P != Sg->Pieces.size(); ++P) {
+    unsigned Target = shardWorker(Sg->Pieces[P].Shard);
+    if (Target == Wk.Idx) {
+      stageSgPiece(Wk, Sg, P, NowNs);
+    } else {
+      InboxMsg Msg;
+      Msg.K = InboxMsg::SgPiece;
+      Msg.Piece = P;
+      Msg.Sg = Sg;
+      postMsg(Target, std::move(Msg));
+    }
+  }
+}
+
+void KvServer::stageSgPiece(Worker &Wk,
+                            const std::shared_ptr<SgRequest> &Sg,
+                            unsigned Piece, uint64_t NowNs) {
+  // Stage the piece's keys onto the shard's cycle batch; destinations
+  // live in the shared SgRequest, disjoint per piece. Execution happens
+  // at this worker's commit point, inside its group-commit batch.
+  const SgRequest::Piece &P = Sg->Pieces[Piece];
+  Wk.S.QueueWaitNs += NowNs - std::min(Sg->PostedNs, NowNs);
+  ++Wk.S.SgPieces;
+  for (uint32_t I : P.Idx) {
+    KvCycleOp Op;
+    if (Sg->Op == KvOp::Mget) {
+      Op.K = KvCycleOp::Get;
+      Op.Key = Sg->Keys[I];
+      Op.Result = &Sg->Results[I];
+    } else {
+      Op.K = KvCycleOp::Set;
+      Op.Key = Sg->Pairs[I].first;
+      Op.Val = Sg->Pairs[I].second;
+      Op.Status = &Sg->Statuses[I];
+    }
+    Wk.StagedOps[P.Shard].push_back(Op);
+  }
+  Wk.S.OpsPerShard[P.Shard] += P.Idx.size();
+  // The completion decrement waits for this cycle's execution and
+  // barrier: a piece is reported done only once its writes are durable.
+  Wk.PieceDecs.push_back(Sg);
+}
+
+void KvServer::finishSg(Worker &Wk, const std::shared_ptr<SgRequest> &Sg) {
+  CrossInFlight.fetch_sub(1, std::memory_order_acq_rel);
+  auto It = Wk.Conns.find(Sg->ConnId);
+  if (It == Wk.Conns.end())
+    return; // Connection closed while the request was in flight.
+  Conn &C = *It->second;
+  for (Slot &S : C.Pending) {
+    if (S.SlotSeq != Sg->SlotSeq)
+      continue;
+    if (Sg->Op == KvOp::Mget) {
+      appendValuesHeader(S.Resp, Sg->Results.size());
+      for (const KvResult &R : Sg->Results) {
+        if (R.Status == KvStatus::Ok)
+          appendValue(S.Resp, R.Value);
+        else
+          appendNotFound(S.Resp);
+      }
+    } else {
+      appendStatusesHeader(S.Resp, Sg->Statuses.size());
+      for (KvStatus St : Sg->Statuses)
+        appendStatus(S.Resp, St);
+    }
+    S.St = Slot::Ready;
+    S.Sg.reset();
+    Wk.S.CommitWaitNs += monotonicNanos() - Sg->PostedNs;
+    Served.fetch_add(1, std::memory_order_relaxed);
+    markDirty(Wk, C);
+    break;
+  }
+  // Replay requests parked behind this scatter-gather, in order. A
+  // replayed cross-shard request re-parks whatever is still behind it.
+  --C.SgInFlight;
+  while (!C.Parked.empty() && C.SgInFlight == 0 && C.Fd >= 0) {
+    ParkedReq P = std::move(C.Parked.front());
+    C.Parked.pop_front();
+    dispatchRequest(Wk, C, std::move(P.Req), P.ArrivalNs);
+  }
+}
+
+void KvServer::startStats(Worker &Wk, Conn &C, Slot &S) {
+  auto St = std::make_shared<StatsRequest>();
+  St->OwnerWorker = Wk.Idx;
+  St->ConnId = C.Id;
+  St->SlotSeq = S.SlotSeq;
+  St->PerWorker.resize(NumWorkers);
+  St->Htm.assign(NumWorkers,
+                 std::vector<HtmStats>(Store.numShards()));
+  St->Remaining.store(NumWorkers, std::memory_order_relaxed);
+  S.St = Slot::WaitingSg;
+  S.Stats = St;
+  CrossInFlight.fetch_add(1, std::memory_order_acq_rel);
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    if (W == Wk.Idx)
+      continue;
+    InboxMsg Msg;
+    Msg.K = InboxMsg::StatsPiece;
+    Msg.Stats = St;
+    postMsg(W, std::move(Msg));
+  }
+  fillStatsContribution(Wk, St);
+}
+
+void KvServer::fillStatsContribution(
+    Worker &Wk, const std::shared_ptr<StatsRequest> &St) {
+  St->PerWorker[Wk.Idx] = Wk.S;
+  for (unsigned S = 0; S != Store.numShards(); ++S)
+    St->Htm[Wk.Idx][S] = Store.shard(S).htmStatsFor(Wk.Idx);
+  if (St->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (St->OwnerWorker == Wk.Idx) {
+      finishStats(Wk, St);
+    } else {
+      InboxMsg Msg;
+      Msg.K = InboxMsg::StatsDone;
+      Msg.Stats = St;
+      postMsg(St->OwnerWorker, std::move(Msg));
+    }
+  }
+}
+
+std::string KvServer::formatStatsJson(const StatsRequest &St) {
+  std::string J = "{\"version\":\"crafty-kv-stats-v1\",\"workers\":[";
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    const WorkerStats &S = St.PerWorker[W];
+    if (W)
+      J += ',';
+    J += '{';
+    appendJsonU64(J, "worker", W);
+    appendJsonU64(J, "requests", S.Requests);
+    appendJsonU64(J, "conns_accepted", S.ConnsAccepted);
+    appendJsonU64(J, "queue_wait_ns", S.QueueWaitNs);
+    appendJsonU64(J, "execute_ns", S.ExecuteNs);
+    appendJsonU64(J, "commit_wait_ns", S.CommitWaitNs);
+    appendJsonU64(J, "barriers", S.Barriers);
+    appendJsonU64(J, "barrier_ns", S.BarrierNs);
+    appendJsonU64(J, "sg_requests", S.SgRequests);
+    appendJsonU64(J, "sg_pieces", S.SgPieces);
+    J += "\"ops_per_shard\":[";
+    for (unsigned Sh = 0; Sh != Store.numShards(); ++Sh) {
+      if (Sh)
+        J += ',';
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    (unsigned long long)S.OpsPerShard[Sh]);
+      J += Buf;
+    }
+    J += "]}";
+  }
+  J += "],\"shards\":[";
+  for (unsigned Sh = 0; Sh != Store.numShards(); ++Sh) {
+    uint64_t Ops = 0;
+    HtmStats H;
+    for (unsigned W = 0; W != NumWorkers; ++W) {
+      Ops += St.PerWorker[W].OpsPerShard[Sh];
+      H += St.Htm[W][Sh];
+    }
+    PMemStats P = Store.shard(Sh).pool().stats();
+    if (Sh)
+      J += ',';
+    J += '{';
+    appendJsonU64(J, "shard", Sh);
+    appendJsonU64(J, "ops", Ops);
+    appendJsonU64(J, "htm_commits", H.Commits);
+    appendJsonU64(J, "htm_aborts", H.aborts());
+    appendJsonU64(J, "htm_abort_capacity", H.AbortCapacity);
+    appendJsonU64(J, "clwb_calls", P.ClwbCalls);
+    appendJsonU64(J, "lines_scheduled", P.LinesScheduled);
+    appendJsonU64(J, "drains", P.Drains);
+    appendJsonU64(J, "empty_drains", P.EmptyDrains);
+    appendJsonU64(J, "evicted_lines", P.EvictedLines, /*Comma=*/false);
+    J += '}';
+  }
+  J += "]}";
+  return J;
+}
+
+void KvServer::finishStats(Worker &Wk,
+                           const std::shared_ptr<StatsRequest> &St) {
+  CrossInFlight.fetch_sub(1, std::memory_order_acq_rel);
+  auto It = Wk.Conns.find(St->ConnId);
+  if (It == Wk.Conns.end())
+    return;
+  Conn &C = *It->second;
+  for (Slot &S : C.Pending) {
+    if (S.SlotSeq != St->SlotSeq)
+      continue;
+    appendStatsPayload(S.Resp, formatStatsJson(*St));
+    S.St = Slot::Ready;
+    S.Stats.reset();
+    Served.fetch_add(1, std::memory_order_relaxed);
+    markDirty(Wk, C);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inbox, group commit and response flushing
+//===----------------------------------------------------------------------===//
+
+void KvServer::postMsg(unsigned W, InboxMsg &&Msg) {
   Worker &Wk = *Workers[W];
   {
-    MutexLock Lk(Wk.Mu);
-    Wk.Queue.push_back(Work{C, Seq, std::move(Req)});
-  }
-  Wk.Cv.notify_one();
-}
-
-void KvServer::writeReady(const std::shared_ptr<Conn> &C) {
-  while (!C->OutBuf.empty()) {
-    ssize_t N = ::send(C->Fd, C->OutBuf.data(), C->OutBuf.size(),
-                       MSG_NOSIGNAL);
-    if (N > 0) {
-      C->OutBuf.erase(0, (size_t)N);
-      continue;
-    }
-    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-      break;
-    if (N < 0 && errno == EINTR)
-      continue;
-    return closeConn(C);
-  }
-  if (C->OutBuf.empty() && C->CloseAfterFlush)
-    return closeConn(C);
-  updateWriteInterest(*C);
-}
-
-void KvServer::updateWriteInterest(Conn &C) {
-  epoll_event Ev{};
-  Ev.events = EPOLLIN | (C.OutBuf.empty() ? 0u : (uint32_t)EPOLLOUT);
-  Ev.data.fd = C.Fd;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
-}
-
-void KvServer::deliver(Completion &Comp) {
-  Conn &C = *Comp.C;
-  if (C.Closed.load(std::memory_order_relaxed))
-    return;
-  C.Ready.emplace(Comp.Seq, std::move(Comp.Resp));
-  if (Comp.CloseAfter)
-    C.CloseAfterSeq = Comp.Seq;
-  // Transmit strictly in request order.
-  for (auto It = C.Ready.begin();
-       It != C.Ready.end() && It->first == C.NextSend;
-       It = C.Ready.erase(It), ++C.NextSend) {
-    C.OutBuf += It->second;
-    if (C.CloseAfterSeq == It->first)
-      C.CloseAfterFlush = true;
-  }
-  writeReady(Comp.C);
-}
-
-void KvServer::drainCompletions() {
-  std::vector<Completion> Batch;
-  {
-    MutexLock Lk(CompMu);
-    Batch.swap(Completions);
-  }
-  for (Completion &Comp : Batch)
-    deliver(Comp);
-}
-
-void KvServer::closeConn(const std::shared_ptr<Conn> &C) {
-  if (C->Closed.exchange(true, std::memory_order_relaxed))
-    return;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
-  ::close(C->Fd);
-  Conns.erase(C->Fd);
-}
-
-//===----------------------------------------------------------------------===//
-// Workers
-//===----------------------------------------------------------------------===//
-
-void KvServer::postCompletion(Completion &&Comp) {
-  {
-    MutexLock Lk(CompMu);
-    Completions.push_back(std::move(Comp));
+    MutexLock Lk(Wk.InboxMu);
+    Wk.Inbox.push_back(std::move(Msg));
   }
   uint64_t One = 1;
-  (void)!::write(WakeFd, &One, sizeof(One));
+  (void)!::write(Wk.WakeFd, &One, sizeof(One));
 }
 
-void KvServer::workerLoop(unsigned W) {
-  Worker &Wk = *Workers[W];
-  std::vector<Work> Batch;
-  std::vector<bool> Touched(Store.numShards(), false);
+void KvServer::processInbox(Worker &Wk) {
+  std::vector<InboxMsg> Batch;
+  {
+    MutexLock Lk(Wk.InboxMu);
+    Batch.swap(Wk.Inbox);
+  }
+  uint64_t NowNs = Batch.empty() ? 0 : monotonicNanos();
+  for (InboxMsg &Msg : Batch) {
+    switch (Msg.K) {
+    case InboxMsg::NewConn:
+      adoptConn(Wk, Msg.Fd);
+      break;
+    case InboxMsg::SgPiece:
+      stageSgPiece(Wk, Msg.Sg, Msg.Piece, NowNs);
+      break;
+    case InboxMsg::SgDone:
+      finishSg(Wk, Msg.Sg);
+      break;
+    case InboxMsg::StatsPiece:
+      fillStatsContribution(Wk, Msg.Stats);
+      break;
+    case InboxMsg::StatsDone:
+      finishStats(Wk, Msg.Stats);
+      break;
+    }
+  }
+}
+
+void KvServer::commitCycle(Worker &Wk) {
+  // Rounds: completing scatter-gather pieces can unpark requests that
+  // stage more work (finishSg replay), so repeat until quiescent before
+  // releasing responses.
   while (true) {
-    Batch.clear();
-    {
-      MutexUniqueLock Lk(Wk.Mu);
-      // Explicit wait loop (not the predicate overload): the analysis
-      // sees the capability held for the whole scope, so the Queue
-      // check stays inside it rather than in an unannotated lambda.
-      while (Wk.Queue.empty() && !Stopping.load(std::memory_order_acquire))
-        Wk.Cv.wait(Lk.raw());
-      if (Wk.Queue.empty() && Stopping.load(std::memory_order_acquire))
-        return;
-      Batch.swap(Wk.Queue);
+    bool Any = false;
+    for (const auto &Ops : Wk.StagedOps)
+      if (!Ops.empty()) {
+        Any = true;
+        break;
+      }
+    if (!Any && Wk.PieceDecs.empty())
+      break;
+    // 1. Execute this round's staged batches (one runCycle per shard).
+    executeStaged(Wk);
+    // 2. Group commit, two-phase: begin the barrier on every shard this
+    //    round wrote (cache write-back + forced commits), then end them
+    //    all -- the per-shard fixed drain latencies overlap in the end
+    //    pass instead of serializing.
+    uint64_t T0 = monotonicNanos();
+    std::vector<std::pair<unsigned, PersistBarrierTicket>> Open;
+    for (unsigned S = 0; S != (unsigned)Wk.Touched.size(); ++S) {
+      if (!Wk.Touched[S])
+        continue;
+      Wk.Touched[S] = 0;
+      Open.emplace_back(S, PersistBarrierTicket{});
+      Store.shard(S).persistAckBegin(Wk.Idx, Open.back().second);
     }
-    // Execute the whole drained batch, then make it durable with one
-    // persist barrier per touched shard, then publish every response:
-    // group commit -- no acknowledgement precedes durability.
-    std::fill(Touched.begin(), Touched.end(), false);
-    std::vector<Completion> Comps;
-    Comps.reserve(Batch.size());
-    for (Work &Item : Batch) {
-      std::string Resp;
-      execute(W, Item.Req, Resp, Touched);
-      Comps.push_back(Completion{std::move(Item.C), Item.Seq,
-                                 std::move(Resp), false});
+    for (auto &[S, T] : Open)
+      Store.shard(S).persistAckEnd(Wk.Idx, T);
+    if (!Open.empty()) {
+      Wk.S.Barriers += Open.size();
+      Wk.S.BarrierNs += monotonicNanos() - T0;
     }
-    for (unsigned S = 0; S != Touched.size(); ++S)
-      if (Touched[S])
-        Store.shard(S).persistAck(W);
-    Served.fetch_add(Comps.size(), std::memory_order_relaxed);
-    for (Completion &Comp : Comps)
-      postCompletion(std::move(Comp));
+    // 3. Report scatter-gather pieces done -- only now that their writes
+    //    are durable. The last piece routes completion to the owner;
+    //    finishSg may replay parked requests, staging the next round.
+    std::vector<std::shared_ptr<SgRequest>> Decs;
+    Decs.swap(Wk.PieceDecs);
+    for (auto &Sg : Decs) {
+      if (Sg->Remaining.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        continue;
+      if (Sg->OwnerWorker == Wk.Idx) {
+        finishSg(Wk, Sg);
+      } else {
+        InboxMsg Msg;
+        Msg.K = InboxMsg::SgDone;
+        Msg.Sg = Sg;
+        postMsg(Sg->OwnerWorker, std::move(Msg));
+      }
+    }
   }
+  // 4. Release every response staged this cycle (ack follows
+  //    durability): render it from its executed destinations, then
+  //    transmit ready runs with writev.
+  if (!Wk.DirtyConns.empty()) {
+    uint64_t CommitNs = monotonicNanos();
+    std::vector<uint64_t> Dirty;
+    Dirty.swap(Wk.DirtyConns);
+    for (uint64_t Id : Dirty) {
+      auto It = Wk.Conns.find(Id);
+      if (It == Wk.Conns.end())
+        continue;
+      Conn &C = *It->second;
+      for (Slot &S : C.Pending) {
+        if (S.St != Slot::Staged)
+          continue;
+        renderSlotResponse(S);
+        S.St = Slot::Ready;
+        if (S.ExecEndNs)
+          Wk.S.CommitWaitNs += CommitNs - std::min(S.ExecEndNs, CommitNs);
+      }
+      flushConn(Wk, C);
+    }
+  }
+  // 5. Closed connections can die now: no staged operation can still
+  //    point into their slots.
+  Wk.Doomed.clear();
 }
 
-void KvServer::execute(unsigned W, const KvRequest &Req, std::string &Resp,
-                       std::vector<bool> &Touched) {
-  switch (Req.Op) {
-  case KvOp::Get: {
-    std::string Val;
-    KvStatus St = Store.get(W, Req.Key, Val);
-    if (St == KvStatus::Ok)
-      appendValue(Resp, Val);
-    else
-      appendStatus(Resp, St);
-    break;
-  }
-  case KvOp::Set: {
-    KvStatus St = Store.set(W, Req.Key, Req.Val);
-    if (St == KvStatus::Ok)
-      Touched[Store.shardOf(Req.Key)] = true;
-    appendStatus(Resp, St);
-    break;
-  }
-  case KvOp::Del: {
-    KvStatus St = Store.del(W, Req.Key);
-    if (St == KvStatus::Ok)
-      Touched[Store.shardOf(Req.Key)] = true;
-    appendStatus(Resp, St);
-    break;
-  }
-  case KvOp::Cas: {
-    KvStatus St = Store.cas(W, Req.Key, Req.Expect, Req.Val);
-    if (St == KvStatus::Ok)
-      Touched[Store.shardOf(Req.Key)] = true;
-    appendStatus(Resp, St);
-    break;
-  }
-  case KvOp::Mget: {
-    std::vector<KvResult> Results = Store.mget(W, Req.Keys);
-    appendValuesHeader(Resp, Results.size());
-    for (const KvResult &R : Results) {
-      if (R.Status == KvStatus::Ok)
-        appendValue(Resp, R.Value);
-      else
-        appendNotFound(Resp);
+void KvServer::updateWriteInterest(Worker &Wk, Conn &C) {
+  bool Want = !C.OutBuf.empty() ||
+              (!C.Pending.empty() && C.Pending.front().St == Slot::Ready);
+  if (Want == C.WantWrite)
+    return;
+  C.WantWrite = Want;
+  epoll_event Ev{};
+  Ev.events = EPOLLIN | (Want ? (uint32_t)EPOLLOUT : 0u);
+  Ev.data.u64 = C.Id;
+  ::epoll_ctl(Wk.EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+void KvServer::flushConn(Worker &Wk, Conn &C) {
+  if (C.Fd < 0)
+    return;
+  constexpr int MaxIov = 64;
+  while (true) {
+    iovec Iov[MaxIov];
+    int N = 0;
+    if (!C.OutBuf.empty()) {
+      Iov[N].iov_base = C.OutBuf.data();
+      Iov[N].iov_len = C.OutBuf.size();
+      ++N;
     }
-    break;
-  }
-  case KvOp::Mset: {
-    std::vector<KvBatchItem> Items;
-    Items.reserve(Req.Pairs.size());
-    for (const auto &[Key, Val] : Req.Pairs)
-      Items.push_back(KvBatchItem{Key, Val, KvStatus::Err});
-    // Durability comes from the group-commit barrier after the batch.
-    Store.msetBatch(W, Items, /*Durable=*/false);
-    appendStatusesHeader(Resp, Items.size());
-    for (const KvBatchItem &Item : Items) {
-      if (Item.Status == KvStatus::Ok)
-        Touched[Store.shardOf(Item.Key)] = true;
-      appendStatus(Resp, Item.Status);
+    for (Slot &S : C.Pending) {
+      if (S.St != Slot::Ready || N == MaxIov)
+        break;
+      Iov[N].iov_base = S.Resp.data();
+      Iov[N].iov_len = S.Resp.size();
+      ++N;
     }
-    break;
+    if (N == 0)
+      break;
+    ssize_t Sent = ::writev(C.Fd, Iov, N);
+    if (Sent < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      return closeConn(Wk, C);
+    }
+    size_t Rem = (size_t)Sent;
+    if (!C.OutBuf.empty()) {
+      size_t Take = std::min(Rem, C.OutBuf.size());
+      C.OutBuf.erase(0, Take);
+      Rem -= Take;
+    }
+    while (!C.Pending.empty() && C.Pending.front().St == Slot::Ready) {
+      Slot &S = C.Pending.front();
+      if (Rem >= S.Resp.size()) {
+        Rem -= S.Resp.size();
+        bool Close = S.CloseAfter;
+        C.Pending.pop_front();
+        if (Close)
+          return closeConn(Wk, C);
+      } else {
+        S.Resp.erase(0, Rem);
+        Rem = 0;
+        break;
+      }
+    }
   }
-  case KvOp::Ping:
-    appendPong(Resp);
-    break;
-  case KvOp::Quit:
-    appendStatus(Resp, KvStatus::Ok);
-    break;
-  }
+  updateWriteInterest(Wk, C);
 }

@@ -1,4 +1,4 @@
-//===- kv/KvServer.h - Networked KV front end ------------------*- C++ -*-===//
+//===- kv/KvServer.h - Share-nothing networked KV front end ----*- C++ -*-===//
 //
 // Part of the Crafty reproduction project.
 // SPDX-License-Identifier: MIT
@@ -7,34 +7,72 @@
 ///
 /// \file
 /// The KV service front end: a loopback TCP server speaking the
-/// kv/KvProtocol.h line protocol over a KvStore.
+/// kv/KvProtocol.h line protocol over a KvStore, structured as a
+/// share-nothing worker model (one worker per shard).
 ///
 /// Threading model:
 ///
-///  - One IO thread runs an epoll event loop: accepts connections, reads
-///    into per-connection buffers, frames complete requests with the
-///    incremental parser, and writes queued responses (non-blocking, with
-///    per-connection output buffering and EPOLLOUT backpressure).
+///  - One worker thread per shard, capped at the machine's core count
+///    (KvServerConfig::Workers overrides; shard S belongs to worker
+///    S % workers). Each worker owns its slice of the network outright:
+///    its own epoll loop, its own connections, its own buffers. Worker 0
+///    additionally owns the listening socket and hands accepted fds to
+///    workers round-robin -- the handoff at accept time is the only
+///    moment a connection ever crosses threads. The cap matters on small
+///    machines: more workers than cores just converts group-commit
+///    batching into context switches.
 ///
-///  - One worker thread per shard executes transactions. A request is
-///    dispatched to the worker of its key's shard (multi-key requests to
-///    the first key's shard worker); worker W uses transaction context
-///    Tid = W on every shard it touches, so contexts are never shared
-///    (this is why the store must be built with ThreadsPerShard >= the
-///    shard count).
+///  - A single-shard request (GET/SET/DEL/CAS, and any MGET/MSET whose
+///    keys all land on one shard) is parsed, executed, group-committed
+///    and answered entirely on the worker owning its connection, which
+///    uses transaction context Tid = its worker index on whatever shard
+///    the key routes to. Contexts are never shared (hence the store must
+///    be built with ThreadsPerShard >= the shard count), and the request
+///    never crosses a thread: no dispatch queue, no completion queue, no
+///    wakeup syscalls on the request path.
 ///
-///  - Group commit: a worker drains its whole queue, executes every
-///    request, then runs ONE persist barrier per touched shard before
-///    publishing any response (writes are never acknowledged before they
-///    are durable; the barrier cost amortizes over the drained batch).
+///  - Only an MGET/MSET whose keys span shards owned by OTHER workers
+///    scatter-gathers: the owning worker splits it into per-shard pieces
+///    posted to each shard's worker, and a per-request atomic completion
+///    counter -- decremented by each piece worker only after its
+///    group-commit barrier -- triggers the response. There is no global
+///    re-sequencing queue. A multi-shard request whose shards all map to
+///    the connection's worker (always, when one worker owns every shard)
+///    executes inline like the single-shard case.
 ///
-///  - Responses flow back to the IO thread through a completion queue +
-///    eventfd wakeup. Each connection's responses carry the request
-///    sequence number and are transmitted strictly in request order.
+///  - Group commit per worker, at the transaction level too: requests
+///    are not executed as they parse. Each one *stages* its operations
+///    onto its shard's per-cycle list, and the cycle's commit point runs
+///    one chunked transaction batch per shard (KvShard::runCycle) --
+///    the whole cycle costs a handful of transactions instead of one
+///    per request, which is what lets N shards on one core match one
+///    shard. Then ONE persist barrier per touched shard runs in two
+///    phases (begin all, then end all), so the shards' fixed drain
+///    latencies overlap instead of serializing, and only then are the
+///    cycle's responses released (writes are never acknowledged before
+///    they are durable).
 ///
-/// Shutdown is graceful: stop() closes the listener, lets workers drain
-/// their queues, flushes every connection's pending output, then joins
-/// all threads.
+///  - Response ordering is per-connection and trivially correct: a
+///    connection lives on exactly one worker, which appends one response
+///    slot per request to the connection's pending deque in parse order
+///    and transmits ready slots strictly from the front (batched with
+///    writev). A slot awaiting scatter-gather completion simply holds
+///    the line. Execution order matches too: staged operations run in
+///    arrival order within each shard, a scatter-gather first flushes
+///    the staged batches so its pieces cannot overtake earlier staged
+///    writes, and requests arriving behind an in-flight scatter-gather
+///    on the same connection are parked until it completes -- so a
+///    pipelined GET always sees the pipelined SET before it, even
+///    across the cross-shard path.
+///
+///  - STATS requests scatter to every worker too: each worker reports
+///    counters only it writes (its request timing breakdown, its per-
+///    shard op counts, its transaction contexts' HTM statistics), so the
+///    document is assembled without cross-thread reads of hot state.
+///
+/// Shutdown is graceful: stop() wakes every worker; each drains its
+/// inbox until no scatter-gather work is in flight anywhere, flushes
+/// every connection's pending output, then exits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,8 +84,8 @@
 #include "support/Mutex.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <thread>
@@ -62,21 +100,32 @@ struct KvServerConfig {
   int ListenBacklog = 128;
   /// Read-buffer bytes above which a connection is dropped as abusive.
   size_t MaxBufferedBytes = 4 << 20;
+  /// Worker threads; 0 means autoWorkerCount(). More workers than shards
+  /// never helps and is clamped down; fewer concentrates several shards
+  /// on one worker (tests set this explicitly to force the cross-worker
+  /// scatter-gather paths regardless of the machine).
+  unsigned Workers = 0;
 };
 
 class KvServer {
 public:
-  /// \p Store must be built with ThreadsPerShard >= numShards() (each
-  /// worker uses its own Tid on every shard) and outlive the server.
+  /// The worker count a zero KvServerConfig::Workers resolves to:
+  /// min(\p Shards, hardware cores). Exposed so load generators can size
+  /// the store's ThreadsPerShard to match.
+  static unsigned autoWorkerCount(unsigned Shards);
+
+  /// \p Store must be built with ThreadsPerShard >= the worker count
+  /// (each worker uses its own Tid on every shard) and outlive the
+  /// server.
   KvServer(KvStore &Store, const KvServerConfig &Cfg);
   ~KvServer();
   KvServer(const KvServer &) = delete;
   KvServer &operator=(const KvServer &) = delete;
 
-  /// Binds, listens and launches the IO + worker threads.
+  /// Binds, listens and launches the worker threads.
   void start();
-  /// Graceful shutdown: stop accepting, drain workers, flush and close
-  /// every connection, join all threads. Idempotent.
+  /// Graceful shutdown: stop accepting, drain in-flight scatter-gather
+  /// work, flush and close every connection, join all threads. Idempotent.
   void stop();
 
   /// The bound port (valid after start()).
@@ -86,75 +135,214 @@ public:
   }
 
 private:
+  /// Counters a worker updates as it serves requests. Written only by
+  /// the owning worker; other threads see them only through the STATS
+  /// scatter, where the owner itself copies them out.
+  struct WorkerStats {
+    uint64_t Requests = 0;     ///< Requests whose response this worker built.
+    uint64_t QueueWaitNs = 0;  ///< Arrival (or piece post) to execution start.
+    uint64_t ExecuteNs = 0;    ///< Inside store transactions.
+    uint64_t CommitWaitNs = 0; ///< Execution end to response release.
+    uint64_t Barriers = 0;     ///< persistAck calls issued.
+    uint64_t BarrierNs = 0;    ///< Time inside persistAck.
+    uint64_t SgRequests = 0;   ///< Cross-shard requests this worker owned.
+    uint64_t SgPieces = 0;     ///< Scatter-gather pieces executed here.
+    uint64_t ConnsAccepted = 0;
+    std::vector<uint64_t> OpsPerShard; ///< Executions against each shard.
+  };
+
+  /// One cross-shard MGET/MSET in flight. Shared by the owner's response
+  /// slot and every piece message; disjoint Results/Statuses indices are
+  /// written by distinct piece workers, and Remaining's release/acquire
+  /// ordering publishes them to the owner.
+  struct SgRequest {
+    KvOp Op = KvOp::Mget;
+    unsigned OwnerWorker = 0;
+    uint64_t ConnId = 0;
+    uint64_t SlotSeq = 0;
+    uint64_t PostedNs = 0;
+    std::vector<uint64_t> Keys;                          // Mget.
+    std::vector<std::pair<uint64_t, std::string>> Pairs; // Mset.
+    struct Piece {
+      unsigned Shard = 0;
+      std::vector<uint32_t> Idx; // Original positions of this shard's keys.
+    };
+    std::vector<Piece> Pieces;
+    std::vector<KvResult> Results;  // Mget, by original position.
+    std::vector<KvStatus> Statuses; // Mset, by original position.
+    std::atomic<unsigned> Remaining{0};
+  };
+
+  /// One STATS request in flight: every worker deposits its contribution
+  /// at its own index, the last decrement routes the document back.
+  struct StatsRequest {
+    unsigned OwnerWorker = 0;
+    uint64_t ConnId = 0;
+    uint64_t SlotSeq = 0;
+    std::vector<WorkerStats> PerWorker;
+    /// [Worker][Shard] HTM statistics of that worker's context.
+    std::vector<std::vector<HtmStats>> Htm;
+    std::atomic<unsigned> Remaining{0};
+  };
+
+  /// One queued response: slots join a connection's Pending deque in
+  /// request order and leave from the front once Ready. A Staged slot
+  /// owns its request's payload bytes and result destinations; the
+  /// staged per-shard KvCycleOps point into them until the cycle's
+  /// commit point executes the batch and renders the response.
+  struct Slot {
+    enum State : uint8_t {
+      Staged,    ///< Ops staged; executed + released at the commit point.
+      WaitingSg, ///< Awaiting scatter-gather completion.
+      Ready      ///< Transmittable.
+    };
+    State St = Staged;
+    bool CloseAfter = false; ///< QUIT / protocol error: close once sent.
+    KvOp Op = KvOp::Ping;    ///< Renders a Staged slot's response.
+    uint64_t SlotSeq = 0;
+    uint64_t ArrivalNs = 0; ///< Queue-wait accounting (0 = accounted).
+    uint64_t ExecEndNs = 0; ///< For commit-wait accounting (0 = not run).
+    std::string Resp;
+    std::string Val;    ///< SET value / CAS desired (staged view target).
+    std::string Expect; ///< CAS expected value.
+    std::vector<std::pair<uint64_t, std::string>> Pairs; ///< MSET payload.
+    std::vector<KvResult> Results;  ///< GET/MGET destinations.
+    std::vector<KvStatus> Statuses; ///< SET/DEL/CAS/MSET destinations.
+    std::shared_ptr<SgRequest> Sg;
+    std::shared_ptr<StatsRequest> Stats;
+  };
+
+  /// A request parked behind an in-flight scatter-gather on the same
+  /// connection (see Conn::Parked).
+  struct ParkedReq {
+    KvRequest Req;
+    uint64_t ArrivalNs = 0;
+  };
+
   struct Conn {
     int Fd = -1;
-    std::string In;        // Unparsed request bytes.
-    std::string OutBuf;    // Bytes queued for transmission.
-    uint64_t NextSeq = 0;  // Next request sequence to assign.
-    uint64_t NextSend = 0; // Next sequence to transmit.
-    /// Out-of-order completions waiting for their turn (IO thread only).
-    std::map<uint64_t, std::string> Ready;
-    /// Sequence whose transmission should end the connection (QUIT /
-    /// protocol error), or ~0 for none.
-    uint64_t CloseAfterSeq = ~0ull;
-    bool CloseAfterFlush = false;
-    std::atomic<bool> Closed{false};
+    uint64_t Id = 0;
+    std::string In;     ///< Unparsed request bytes.
+    std::string OutBuf; ///< Partially transmitted bytes (writev carry).
+    std::deque<Slot> Pending;
+    uint64_t NextSlotSeq = 0;
+    /// Cross-shard requests of this connection still in flight. While
+    /// nonzero, later requests are parked (Parked) and replayed once the
+    /// scatter-gather completes: a pipelined operation behind a
+    /// cross-shard write must not execute until that write is durable
+    /// everywhere, preserving per-connection program order.
+    unsigned SgInFlight = 0;
+    std::deque<ParkedReq> Parked;
+    bool Draining = false;  ///< Stop parsing (fatal protocol error seen).
+    bool WantWrite = false; ///< EPOLLOUT currently armed.
   };
 
-  struct Work {
-    std::shared_ptr<Conn> C;
-    uint64_t Seq = 0;
-    KvRequest Req;
-  };
-
-  struct Completion {
-    std::shared_ptr<Conn> C;
-    uint64_t Seq = 0;
-    std::string Resp;
-    bool CloseAfter = false;
+  /// Cross-worker message. NewConn carries a just-accepted fd; SgPiece /
+  /// SgDone / StatsPiece / StatsDone move scatter-gather work and its
+  /// completions (always to the shard owner resp. the request owner).
+  struct InboxMsg {
+    enum Kind : uint8_t {
+      NewConn,
+      SgPiece,
+      SgDone,
+      StatsPiece,
+      StatsDone
+    };
+    Kind K = Kind::NewConn;
+    int Fd = -1;
+    unsigned Piece = 0;
+    std::shared_ptr<SgRequest> Sg;
+    std::shared_ptr<StatsRequest> Stats;
   };
 
   struct Worker {
-    Mutex Mu;
-    std::condition_variable Cv;
-    std::vector<Work> Queue CRAFTY_GUARDED_BY(Mu);
+    unsigned Idx = 0;
+    int EpollFd = -1;
+    int WakeFd = -1;
+    Mutex InboxMu;
+    std::vector<InboxMsg> Inbox CRAFTY_GUARDED_BY(InboxMu);
+    /// Connections owned by this worker, keyed by worker-local id (the
+    /// epoll payload; ids are never reused, unlike fds).
+    std::map<uint64_t, std::unique_ptr<Conn>> Conns;
+    uint64_t NextConnId = 0;
+    /// Shards written during the current cycle (group-commit set).
+    std::vector<uint8_t> Touched;
+    /// Per-shard operations staged during the current cycle, executed as
+    /// one chunked transaction batch per shard at the commit point (or
+    /// earlier, if a scatter-gather must see them first) -- the cycle
+    /// costs a handful of transactions instead of one per request.
+    std::vector<std::vector<KvCycleOp>> StagedOps;
+    /// Scatter-gather pieces staged this cycle whose completion
+    /// decrement must wait for the commit barrier.
+    std::vector<std::shared_ptr<SgRequest>> PieceDecs;
+    /// Connections whose Pending deque changed this cycle.
+    std::vector<uint64_t> DirtyConns;
+    /// Connections closed mid-cycle: staged operations hold pointers
+    /// into their slots, so destruction waits for the commit point.
+    std::vector<std::unique_ptr<Conn>> Doomed;
+    WorkerStats S;
     std::thread Thread;
   };
 
-  void ioLoop();
+  /// The worker owning shard \p S (executes its scatter-gather pieces).
+  unsigned shardWorker(unsigned S) const { return S % NumWorkers; }
+
   void workerLoop(unsigned W);
-  void execute(unsigned W, const KvRequest &Req, std::string &Resp,
-               std::vector<bool> &TouchedShards);
-  void dispatch(const std::shared_ptr<Conn> &C, KvRequest &&Req);
-  void postCompletion(Completion &&Comp);
-  void acceptReady();
-  void readReady(const std::shared_ptr<Conn> &C);
-  void writeReady(const std::shared_ptr<Conn> &C);
-  void deliver(Completion &Comp);
-  void drainCompletions();
-  void closeConn(const std::shared_ptr<Conn> &C);
-  void updateWriteInterest(Conn &C);
+  void acceptReady(Worker &Wk);
+  void adoptConn(Worker &Wk, int Fd);
+  void readReady(Worker &Wk, Conn &C);
+  /// Parks the request if the connection has a scatter-gather in flight,
+  /// otherwise dispatches it.
+  void handleRequest(Worker &Wk, Conn &C, KvRequest &&Req, uint64_t NowNs);
+  /// Appends the request's response slot and stages (or scatters) its
+  /// operations.
+  void dispatchRequest(Worker &Wk, Conn &C, KvRequest &&Req,
+                       uint64_t NowNs);
+  /// Executes every staged per-shard batch (one runCycle per shard),
+  /// marks the shards that took writes and stamps the covered slots'
+  /// timing. Called at the commit point, and early by
+  /// startScatterGather so pieces posted to other workers cannot
+  /// overtake operations staged before them.
+  void executeStaged(Worker &Wk);
+  /// Renders a Staged slot's response from its executed destinations.
+  void renderSlotResponse(Slot &S);
+  void startScatterGather(Worker &Wk, Conn &C, Slot &S, KvRequest &&Req,
+                          const std::vector<std::vector<uint32_t>> &ByShard,
+                          uint64_t NowNs);
+  void startStats(Worker &Wk, Conn &C, Slot &S);
+  void stageSgPiece(Worker &Wk, const std::shared_ptr<SgRequest> &Sg,
+                    unsigned Piece, uint64_t NowNs);
+  void fillStatsContribution(Worker &Wk,
+                             const std::shared_ptr<StatsRequest> &St);
+  void finishSg(Worker &Wk, const std::shared_ptr<SgRequest> &Sg);
+  void finishStats(Worker &Wk, const std::shared_ptr<StatsRequest> &St);
+  std::string formatStatsJson(const StatsRequest &St);
+  void processInbox(Worker &Wk);
+  void commitCycle(Worker &Wk);
+  void flushConn(Worker &Wk, Conn &C);
+  void markDirty(Worker &Wk, Conn &C);
+  void updateWriteInterest(Worker &Wk, Conn &C);
+  void closeConn(Worker &Wk, Conn &C);
+  void postMsg(unsigned W, InboxMsg &&Msg);
+  Slot &appendSlot(Worker &Wk, Conn &C);
 
   KvStore &Store;
   KvServerConfig Cfg;
+  unsigned NumWorkers = 0;
   uint16_t BoundPort = 0;
 
   int ListenFd = -1;
-  int EpollFd = -1;
-  int WakeFd = -1; // eventfd: completions posted / stop requested.
+  /// Round-robin accept cursor (worker 0 only).
+  unsigned NextAcceptWorker = 0;
 
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Started{false};
   std::atomic<uint64_t> Served{0};
+  /// Cross-worker requests (scatter-gather + STATS) not yet completed;
+  /// workers may not exit while any remain.
+  std::atomic<uint64_t> CrossInFlight{0};
 
-  std::thread IoThread;
   std::vector<std::unique_ptr<Worker>> Workers;
-
-  Mutex CompMu;
-  std::vector<Completion> Completions CRAFTY_GUARDED_BY(CompMu);
-
-  /// Live connections, keyed by fd (IO thread only).
-  std::map<int, std::shared_ptr<Conn>> Conns;
 };
 
 } // namespace kv

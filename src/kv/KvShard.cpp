@@ -230,18 +230,33 @@ KvStatus KvShard::set(unsigned Tid, uint64_t Key, std::string_view Val) {
   return St;
 }
 
+KvStatus KvShard::delInTx(TxnContext &Tx, uint64_t Key) {
+  std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
+  if (!Cell)
+    return KvStatus::NotFound;
+  Map->eraseTx(Tx, Key);
+  Tx.store(&NextFree[*Cell], Tx.load(FreeHead));
+  Tx.store(FreeHead, *Cell + 1);
+  return KvStatus::Ok;
+}
+
+KvStatus KvShard::casInTx(TxnContext &Tx, uint64_t Key,
+                          std::string_view Expect, std::string_view Desired,
+                          std::string &Scratch) {
+  std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
+  if (!Cell)
+    return KvStatus::NotFound;
+  if (!readCellTx(Tx, *Cell, Scratch))
+    return KvStatus::Err;
+  if (Scratch != Expect)
+    return KvStatus::Mismatch;
+  writeCellTx(Tx, *Cell, Desired);
+  return KvStatus::Ok;
+}
+
 KvStatus KvShard::del(unsigned Tid, uint64_t Key) {
   KvStatus St = KvStatus::NotFound;
-  Backend->run(Tid, [&](TxnContext &Tx) {
-    St = KvStatus::NotFound;
-    std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
-    if (!Cell)
-      return;
-    Map->eraseTx(Tx, Key);
-    Tx.store(&NextFree[*Cell], Tx.load(FreeHead));
-    Tx.store(FreeHead, *Cell + 1);
-    St = KvStatus::Ok;
-  });
+  Backend->run(Tid, [&](TxnContext &Tx) { St = delInTx(Tx, Key); });
   ++Stats[Tid].Dels;
   return St;
 }
@@ -253,20 +268,7 @@ KvStatus KvShard::cas(unsigned Tid, uint64_t Key, std::string_view Expect,
   KvStatus St = KvStatus::NotFound;
   std::string Cur;
   Backend->run(Tid, [&](TxnContext &Tx) {
-    St = KvStatus::NotFound;
-    std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
-    if (!Cell)
-      return;
-    if (!readCellTx(Tx, *Cell, Cur)) {
-      St = KvStatus::Err;
-      return;
-    }
-    if (Cur != Expect) {
-      St = KvStatus::Mismatch;
-      return;
-    }
-    writeCellTx(Tx, *Cell, Desired);
-    St = KvStatus::Ok;
+    St = casInTx(Tx, Key, Expect, Desired, Cur);
   });
   ++Stats[Tid].Cas;
   return St;
@@ -292,11 +294,114 @@ void KvShard::setBatch(unsigned Tid, KvBatchItem *Items, size_t N) {
   }
 }
 
+void KvShard::getBatch(unsigned Tid, const uint64_t *Keys, size_t N,
+                       KvResult *Results) {
+  size_t Limit = Cfg.BatchTxnLimit ? Cfg.BatchTxnLimit : 1;
+  for (size_t Begin = 0; Begin != N;) {
+    size_t End = std::min(N, Begin + Limit);
+    Backend->run(Tid, [&](TxnContext &Tx) {
+      for (size_t I = Begin; I != End; ++I) {
+        // End - Begin <= Limit: one transaction covers one batch chunk
+        // (reads only; the bound keeps the HTM read set per chunk flat).
+        CRAFTY_TX_BOUND(Cfg.BatchTxnLimit);
+        KvResult &R = Results[I];
+        R.Status = KvStatus::NotFound; // Bodies may re-execute.
+        R.Value.clear();
+        if (std::optional<uint64_t> Cell = Map->getTx(Tx, Keys[I]))
+          R.Status = readCellTx(Tx, *Cell, R.Value) ? KvStatus::Ok
+                                                    : KvStatus::Err;
+      }
+    });
+    for (size_t I = Begin; I != End; ++I)
+      ++(Results[I].Status == KvStatus::Ok ? Stats[Tid].Hits
+                                           : Stats[Tid].Misses);
+    Stats[Tid].Gets += End - Begin;
+    Begin = End;
+  }
+}
+
+bool KvShard::runCycle(unsigned Tid, KvCycleOp *Ops, size_t N) {
+  size_t Limit = Cfg.BatchTxnLimit ? Cfg.BatchTxnLimit : 1;
+  bool Wrote = false;
+  std::string Scratch;
+  for (size_t Begin = 0; Begin != N;) {
+    size_t End = std::min(N, Begin + Limit);
+    Backend->run(Tid, [&](TxnContext &Tx) {
+      for (size_t I = Begin; I != End; ++I) {
+        // End - Begin <= Limit: one transaction covers one cycle chunk.
+        CRAFTY_TX_BOUND(Cfg.BatchTxnLimit);
+        KvCycleOp &Op = Ops[I];
+        switch (Op.K) {
+        case KvCycleOp::Get: {
+          KvResult &R = *Op.Result;
+          R.Status = KvStatus::NotFound; // Bodies may re-execute.
+          R.Value.clear();
+          if (std::optional<uint64_t> Cell = Map->getTx(Tx, Op.Key))
+            R.Status = readCellTx(Tx, *Cell, R.Value) ? KvStatus::Ok
+                                                      : KvStatus::Err;
+          break;
+        }
+        case KvCycleOp::Set:
+          *Op.Status = Op.Val.size() > Cfg.MaxValueBytes
+                           ? KvStatus::TooBig
+                           : setInTx(Tx, Op.Key, Op.Val);
+          break;
+        case KvCycleOp::Del:
+          *Op.Status = delInTx(Tx, Op.Key);
+          break;
+        case KvCycleOp::Cas:
+          *Op.Status = Op.Val.size() > Cfg.MaxValueBytes
+                           ? KvStatus::TooBig
+                           : casInTx(Tx, Op.Key, Op.Expect, Op.Val, Scratch);
+          break;
+        }
+      }
+    });
+    for (size_t I = Begin; I != End; ++I) {
+      const KvCycleOp &Op = Ops[I];
+      switch (Op.K) {
+      case KvCycleOp::Get:
+        ++Stats[Tid].Gets;
+        ++(Op.Result->Status == KvStatus::Ok ? Stats[Tid].Hits
+                                             : Stats[Tid].Misses);
+        break;
+      case KvCycleOp::Set:
+        ++Stats[Tid].Sets;
+        ++Stats[Tid].BatchedSets;
+        Wrote |= *Op.Status == KvStatus::Ok;
+        break;
+      case KvCycleOp::Del:
+        ++Stats[Tid].Dels;
+        Wrote |= *Op.Status == KvStatus::Ok;
+        break;
+      case KvCycleOp::Cas:
+        ++Stats[Tid].Cas;
+        Wrote |= *Op.Status == KvStatus::Ok;
+        break;
+      }
+    }
+    Begin = End;
+  }
+  return Wrote;
+}
+
 void KvShard::persistAck(unsigned Tid) {
   if (CraftyRuntime *Rt = crafty())
     Rt->persistBarrier(Tid);
   // NV-HTM / DudeTM persist their redo log inside run(); Non-durable
   // promises nothing. Neither needs (or has) an on-demand barrier.
+}
+
+void KvShard::persistAckBegin(unsigned Tid, PersistBarrierTicket &T) {
+  if (CraftyRuntime *Rt = crafty())
+    Rt->persistBarrierBegin(Tid, T);
+  else
+    T.Pending = false;
+}
+
+void KvShard::persistAckEnd(unsigned Tid, PersistBarrierTicket &T) {
+  if (CraftyRuntime *Rt = crafty())
+    Rt->persistBarrierEnd(Tid, T);
 }
 
 void KvShard::simulateCrash() { Pool->crash(); }

@@ -48,6 +48,7 @@ namespace crafty {
 
 class CraftyRuntime;
 class HtmRuntime;
+struct PersistBarrierTicket;
 
 namespace kv {
 
@@ -57,6 +58,19 @@ struct KvBatchItem {
   uint64_t Key = 0;
   std::string_view Val;
   KvStatus Status = KvStatus::Err;
+};
+
+/// One operation of a server event-loop cycle, batched per shard and
+/// executed in arrival order by KvShard::runCycle. The value views and
+/// the Result/Status destinations must stay valid until runCycle
+/// returns (the server parks them in the request's response slot).
+struct KvCycleOp {
+  enum Kind : uint8_t { Get, Set, Del, Cas } K = Get;
+  uint64_t Key = 0;
+  std::string_view Val;       ///< Set: value; Cas: desired value.
+  std::string_view Expect;    ///< Cas: expected current value.
+  KvResult *Result = nullptr; ///< Get destination.
+  KvStatus *Status = nullptr; ///< Set/Del/Cas destination.
 };
 
 class KvShard {
@@ -92,6 +106,20 @@ public:
   /// flush per chunk instead of one per key -- filling in each item's
   /// Status. Call persistAck afterwards before acknowledging.
   CRAFTY_TX_BODY void setBatch(unsigned Tid, KvBatchItem *Items, size_t N);
+  /// Batched GET pipeline: looks \p Keys up in transactions of up to
+  /// KvConfig::BatchTxnLimit keys each (one HTM commit per chunk instead
+  /// of one per key), writing each key's outcome into \p Results.
+  CRAFTY_TX_BODY void getBatch(unsigned Tid, const uint64_t *Keys, size_t N,
+                               KvResult *Results);
+  /// Group-commit execution engine: runs one event-loop cycle's worth of
+  /// operations against this shard -- any mix of GET/SET/DEL/CAS, in
+  /// array order -- in transactions of up to KvConfig::BatchTxnLimit
+  /// operations each. Arrival order is preserved exactly (a pipelined
+  /// GET after a SET of the same key sees the SET), and the whole cycle
+  /// costs a handful of transactions instead of one per request. Returns
+  /// true if any operation mutated the shard (the caller then owes a
+  /// persistAck before acknowledging).
+  CRAFTY_TX_BODY bool runCycle(unsigned Tid, KvCycleOp *Ops, size_t N);
 
   /// Makes every transaction committed so far durable (Crafty: the
   /// Section 5.2 on-demand persist barrier). Acknowledgements must not be
@@ -99,6 +127,16 @@ public:
   /// commit already persists their redo log (their ack-durability story),
   /// and for Non-durable, which makes no durability promise at all.
   void persistAck(unsigned Tid);
+
+  /// Two-phase persistAck for a worker committing several shards in one
+  /// cycle: persistAckBegin on every touched shard first (cache
+  /// write-backs and forced commits), then persistAckEnd on every shard
+  /// (the fixed drain latencies overlap instead of serializing). The
+  /// pair is equivalent to persistAck; non-Crafty backends no-op.
+  CRAFTY_DRAIN_DEFERRED void persistAckBegin(unsigned Tid,
+                                             PersistBarrierTicket &T);
+  CRAFTY_DRAIN_API void persistAckEnd(unsigned Tid,
+                                      PersistBarrierTicket &T);
 
   /// Simulated power failure (Tracked pools; quiesce all workers first).
   void simulateCrash();
@@ -117,6 +155,13 @@ public:
   /// The backend as a CraftyRuntime, or null for non-Crafty backends.
   CraftyRuntime *crafty();
   KvOpStats opStats() const;
+  /// Counters of \p Tid's context alone: owned by the thread driving that
+  /// Tid, so it may read them while other workers run transactions.
+  const KvOpStats &opStats(unsigned Tid) const { return Stats[Tid]; }
+  /// See PtmBackend::htmStatsFor (same single-context safety contract).
+  HtmStats htmStatsFor(unsigned Tid) const {
+    return Backend->htmStatsFor(Tid);
+  }
 
 private:
   void openFresh();
@@ -145,6 +190,17 @@ private:
   CRAFTY_TX_CAPACITY(51)
   CRAFTY_TX_BODY KvStatus setInTx(TxnContext &Tx, uint64_t Key,
                                   std::string_view Val);
+  /// The DEL engine shared by del/runCycle: map tombstone + meta plus
+  /// the two freelist words.
+  CRAFTY_TX_CAPACITY(8)
+  CRAFTY_TX_BODY KvStatus delInTx(TxnContext &Tx, uint64_t Key);
+  /// The CAS engine shared by cas/runCycle; \p Scratch receives the
+  /// current value. Only writeCellTx's budget (the cell is reused).
+  CRAFTY_TX_CAPACITY(33)
+  CRAFTY_TX_BODY KvStatus casInTx(TxnContext &Tx, uint64_t Key,
+                                  std::string_view Expect,
+                                  std::string_view Desired,
+                                  std::string &Scratch);
 
   KvConfig Cfg;
   unsigned ShardIdx;

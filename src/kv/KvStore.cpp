@@ -73,9 +73,27 @@ KvStatus KvStore::cas(unsigned Tid, uint64_t Key, std::string_view Expect,
 
 std::vector<KvResult> KvStore::mget(unsigned Tid,
                                     const std::vector<uint64_t> &Keys) {
+  // Group by shard and run each group through the batched GET pipeline
+  // (few transactions per shard instead of one per key), then scatter
+  // the results back to the caller's order.
   std::vector<KvResult> Out(Keys.size());
+  std::vector<std::vector<size_t>> ByShard(Shards.size());
   for (size_t I = 0; I != Keys.size(); ++I)
-    Out[I].Status = get(Tid, Keys[I], Out[I].Value);
+    ByShard[shardOf(Keys[I])].push_back(I);
+  std::vector<uint64_t> GroupKeys;
+  std::vector<KvResult> Group;
+  for (size_t S = 0; S != Shards.size(); ++S) {
+    if (ByShard[S].empty())
+      continue;
+    GroupKeys.clear();
+    for (size_t I : ByShard[S])
+      GroupKeys.push_back(Keys[I]);
+    Group.assign(GroupKeys.size(), KvResult());
+    Shards[S]->getBatch(Tid, GroupKeys.data(), GroupKeys.size(),
+                        Group.data());
+    for (size_t G = 0; G != Group.size(); ++G)
+      Out[ByShard[S][G]] = std::move(Group[G]);
+  }
   return Out;
 }
 

@@ -32,12 +32,6 @@
 namespace crafty {
 namespace kv {
 
-/// Result of one element of a multi-key operation.
-struct KvResult {
-  KvStatus Status = KvStatus::Err;
-  std::string Value; // GET/MGET payload when Status == Ok.
-};
-
 class KvStore {
 public:
   /// Opens (and, for existing file-backed shard images, recovers) all
@@ -68,7 +62,8 @@ public:
   KvStatus cas(unsigned Tid, uint64_t Key, std::string_view Expect,
                std::string_view Desired);
 
-  /// MGET: looks every key up (one transaction each, grouped by shard).
+  /// MGET: groups \p Keys by shard and runs each group through
+  /// KvShard::getBatch (transactions of up to BatchTxnLimit keys).
   std::vector<KvResult> mget(unsigned Tid,
                              const std::vector<uint64_t> &Keys);
 

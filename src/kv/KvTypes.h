@@ -107,6 +107,12 @@ struct KvConfig {
   }
 };
 
+/// Result of one element of a multi-key operation.
+struct KvResult {
+  KvStatus Status = KvStatus::Err;
+  std::string Value; // GET/MGET payload when Status == Ok.
+};
+
 /// Cumulative per-store operation counters (volatile; reporting only).
 struct KvOpStats {
   uint64_t Gets = 0;

@@ -71,6 +71,10 @@ PMemPool::PMemPool(PMemConfig Config) : Config(Config) {
     Dirty = std::make_unique<std::atomic<uint8_t>[]>(NumLines);
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
+    DirtySummaryWords = (NumLines + 63) / 64;
+    DirtySummary = std::make_unique<std::atomic<uint64_t>[]>(DirtySummaryWords);
+    for (size_t I = 0; I != DirtySummaryWords; ++I)
+      DirtySummary[I].store(0, std::memory_order_relaxed);
   } else if (!Config.BackingPath.empty()) {
     fatalError("PMemPool: BackingPath requires Tracked mode");
   }
@@ -309,6 +313,13 @@ void PMemPool::committedStoreCommon(void *Addr) {
   if (Config.Mode != PMemMode::Tracked)
     return;
   Dirty[Line].store(1, std::memory_order_relaxed);
+  // Publish to the coarse summary only when the bit is not already set:
+  // the common case (a hot line re-dirtied within one barrier window) is
+  // then a single relaxed load with no write traffic.
+  std::atomic<uint64_t> &Word = DirtySummary[Line >> 6];
+  uint64_t Bit = 1ull << (Line & 63);
+  if (!(Word.load(std::memory_order_relaxed) & Bit))
+    Word.fetch_or(Bit, std::memory_order_relaxed);
   if (Config.EvictionPerMillion == 0)
     return;
   if (!EvictionRngPtr) {
@@ -401,17 +412,50 @@ void PMemPool::evictRandomLines(size_t MaxLines) {
 }
 
 void PMemPool::flushEverything() {
+  flushEverythingNoWait();
+  spinForNanos(Config.DrainLatencyNs);
+}
+
+void PMemPool::flushEverythingDeferred(uint32_t ThreadId) {
+  assert(ThreadId < Config.MaxThreads && "thread id out of range");
+  flushEverythingNoWait();
+  if (!Config.DrainLatencyNs)
+    return;
+  // Arm the caller's drain deadline in place of the inline wait. Any
+  // existing deadline was set earlier, so "now + latency" never shortens
+  // the wait already owed.
+  ThreadSlot &Slot = Threads[ThreadId];
+  Slot.lock();
+  Slot.HasPending = true;
+  Slot.PendingDeadline = monotonicNanos() + Config.DrainLatencyNs;
+  Slot.unlock();
+}
+
+void PMemPool::flushEverythingNoWait() {
   if (Config.Mode == PMemMode::Tracked) {
-    for (size_t Line = 0; Line != NumLines; ++Line)
-      if (Dirty[Line].load(std::memory_order_relaxed)) {
-        copyLineToImage(Line);
-        EvictCount.fetch_add(1, std::memory_order_relaxed);
+    // Scan the coarse summary, not every line: a persist barrier right
+    // after another one (or over a lightly-written pool) touches only the
+    // words that saw stores. A store racing with the exchange re-sets its
+    // bit and is picked up by the next barrier -- same ordering contract
+    // as the per-line scan (concurrent stores are unordered vs the
+    // barrier either way).
+    for (size_t W = 0; W != DirtySummaryWords; ++W) {
+      if (!DirtySummary[W].load(std::memory_order_relaxed))
+        continue;
+      uint64_t Bits = DirtySummary[W].exchange(0, std::memory_order_relaxed);
+      while (Bits) {
+        size_t Line = W * 64 + (size_t)__builtin_ctzll(Bits);
+        Bits &= Bits - 1;
+        if (Dirty[Line].load(std::memory_order_relaxed)) {
+          copyLineToImage(Line);
+          EvictCount.fetch_add(1, std::memory_order_relaxed);
+        }
       }
+    }
   }
   DrainCount.fetch_add(1, std::memory_order_relaxed);
   if (CRAFTY_UNLIKELY(Observer != nullptr))
     Observer->onFlushEverything();
-  spinForNanos(Config.DrainLatencyNs);
 }
 
 void PMemPool::crash() {
@@ -421,6 +465,8 @@ void PMemPool::crash() {
   std::memcpy(Base, Image, Bytes);
   for (size_t I = 0; I != NumLines; ++I)
     Dirty[I].store(0, std::memory_order_relaxed);
+  for (size_t I = 0; I != DirtySummaryWords; ++I)
+    DirtySummary[I].store(0, std::memory_order_relaxed);
   for (unsigned I = 0; I != Config.MaxThreads; ++I) {
     ThreadSlot &Slot = Threads[I];
     Slot.lock();
@@ -462,6 +508,8 @@ void PMemPool::reset() {
     std::memset(Image, 0, Bytes);
     for (size_t I = 0; I != NumLines; ++I)
       Dirty[I].store(0, std::memory_order_relaxed);
+    for (size_t I = 0; I != DirtySummaryWords; ++I)
+      DirtySummary[I].store(0, std::memory_order_relaxed);
   }
   if (LineGen)
     for (size_t I = 0; I != NumLines; ++I)

@@ -287,6 +287,14 @@ public:
   /// just charges one drain latency.
   CRAFTY_DRAIN_API void flushEverything();
 
+  /// flushEverything without the inline latency wait: the write-back
+  /// delay is charged to \p ThreadId's pending-drain deadline instead,
+  /// so the caller's next drain() pays whatever remains of it. A caller
+  /// persisting several pools back to back can flush them all first and
+  /// then drain them all -- the fixed latencies overlap instead of
+  /// serializing, exactly like issuing all the CLWBs before one SFENCE.
+  CRAFTY_DRAIN_DEFERRED void flushEverythingDeferred(uint32_t ThreadId);
+
   /// Tracked mode: simulates a power failure: the volatile view is
   /// replaced with the persistent image (every non-persisted store is
   /// lost) and all pending CLWBs and dirty state are discarded. The
@@ -333,6 +341,12 @@ private:
   int BackingFd = -1;
   bool AttachedFromImage = false;
   std::unique_ptr<std::atomic<uint8_t>[]> Dirty;
+  /// Coarse may-be-dirty bitmap over Dirty, one bit per line grouped 64
+  /// lines per word, so flushEverything scans NumLines/64 words instead
+  /// of every line. A set bit whose line is clean is self-cleaning (the
+  /// scan drops it); a dirty line always has its bit set.
+  std::unique_ptr<std::atomic<uint64_t>[]> DirtySummary;
+  size_t DirtySummaryWords = 0;
   std::atomic<size_t> CarveOffset{0};
 
   /// One pending-line filter entry: line \p Line is armed in epoch
@@ -366,6 +380,10 @@ private:
   /// Arms a write-back of the line containing \p Addr in \p Slot's queue,
   /// or coalesces it into an in-flight one (see clwb). Returns true when
   /// the line was armed (the caller then refreshes the issue deadline).
+  /// The shared flushEverything body: writes back every dirty line but
+  /// does not wait out the latency (callers either spin or defer it).
+  void flushEverythingNoWait();
+
   bool armLineLocked(ThreadSlot &Slot, uint32_t ThreadId, const void *Addr)
       CRAFTY_REQUIRES(Slot.Lock);
 

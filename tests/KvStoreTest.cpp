@@ -21,9 +21,13 @@
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <optional>
+#include <signal.h>
+#include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace crafty;
@@ -511,6 +515,342 @@ TEST(KvServerSmoke, MalformedRequestClosesConnection) {
   ASSERT_TRUE(Client.flush());
   EXPECT_EQ(Client.recvStatus(), KvStatus::Err);
   Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Share-nothing server under concurrent load
+//===----------------------------------------------------------------------===//
+
+/// Four connections drive mixed operations against a 4-shard server with
+/// four forced workers and both dynamic checkers attached. Each
+/// connection owns a disjoint key partition (keys == T mod 4), so every
+/// response is exactly predictable against a local model, while the
+/// group-commit cycles interleave requests from all connections across
+/// all shards.
+TEST(KvServerConcurrent, FourShardMixedLoadWithCheckers) {
+  KvConfig KC = smallConfig(4);
+  KC.ThreadsPerShard = 4;
+  KC.EnablePersistCheck = true;
+  KC.EnableTxRaceCheck = true;
+  KvStore Store(KC);
+  KvServerConfig SC;
+  SC.Workers = 4;
+  KvServer Server(Store, SC);
+  Server.start();
+  ASSERT_NE(Server.port(), 0);
+
+  constexpr unsigned NumConns = 4;
+  constexpr uint64_t OpsPerConn = 400;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumConns; ++T) {
+    Threads.emplace_back([&, T] {
+      KvClient Client;
+      if (!Client.connect(Server.port())) {
+        ++Failures;
+        return;
+      }
+      std::map<uint64_t, std::string> Model;
+      auto Check = [&](bool Ok, const char *What) {
+        if (!Ok) {
+          ++Failures;
+          ADD_FAILURE() << "conn " << T << ": " << What;
+        }
+      };
+      std::string Out;
+      for (uint64_t I = 0; I != OpsPerConn; ++I) {
+        uint64_t Key = T + 4 * ((I * 13) % 48); // T's partition only.
+        switch (I % 10) {
+        case 3: { // Delete (present or not -- the model knows which).
+          KvStatus Want =
+              Model.count(Key) ? KvStatus::Ok : KvStatus::NotFound;
+          Check(Client.del(Key) == Want, "DEL status");
+          Model.erase(Key);
+          break;
+        }
+        case 6: { // CAS from the model's value.
+          auto It = Model.find(Key);
+          if (It == Model.end()) {
+            Check(Client.cas(Key, "x", "y") == KvStatus::NotFound,
+                  "CAS on absent key");
+          } else {
+            std::string Next = valueFor(Key, I);
+            Check(Client.cas(Key, It->second, Next) == KvStatus::Ok,
+                  "CAS status");
+            It->second = Next;
+          }
+          break;
+        }
+        case 9: { // Cross-shard MSET + MGET round trip.
+          std::vector<std::pair<uint64_t, std::string>> Pairs;
+          std::vector<uint64_t> Keys;
+          for (uint64_t J = 0; J != 8; ++J) {
+            uint64_t K = T + 4 * ((I + J * 7) % 48);
+            Pairs.emplace_back(K, valueFor(K, I + J));
+            Keys.push_back(K);
+          }
+          std::vector<KvStatus> Statuses;
+          Check(Client.mset(Pairs, Statuses) &&
+                    Statuses.size() == Pairs.size(),
+                "MSET transport");
+          for (const auto &P : Pairs)
+            Model[P.first] = P.second;
+          // Later pairs win duplicate keys; the model map replays that.
+          for (auto &P : Pairs)
+            P.second = Model[P.first];
+          std::vector<std::pair<KvStatus, std::string>> Results;
+          Check(Client.mget(Keys, Results) && Results.size() == Keys.size(),
+                "MGET transport");
+          for (size_t J = 0; J != Results.size(); ++J)
+            Check(Results[J].first == KvStatus::Ok &&
+                      Results[J].second == Model[Keys[J]],
+                  "MGET value");
+          break;
+        }
+        default: {
+          if (I % 2) {
+            std::string Val = valueFor(Key, I);
+            Check(Client.set(Key, Val) == KvStatus::Ok, "SET status");
+            Model[Key] = Val;
+          } else {
+            KvStatus St = Client.get(Key, Out);
+            auto It = Model.find(Key);
+            if (It == Model.end())
+              Check(St == KvStatus::NotFound, "GET absent");
+            else
+              Check(St == KvStatus::Ok && Out == It->second, "GET value");
+          }
+          break;
+        }
+        }
+      }
+      Client.quit();
+    });
+  }
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_GT(Server.requestsServed(), NumConns * OpsPerConn / 2);
+  Server.stop();
+  EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+/// Cross-shard scatter-gather correctness, including the per-connection
+/// ordering guarantee for requests pipelined behind an in-flight
+/// scatter-gather: a GET queued after a cross-shard MSET on the same
+/// connection must observe the MSET, and a cross-shard MSET must observe
+/// (i.e. overwrite) a single-key SET queued just before it.
+TEST(KvServerConcurrent, CrossShardScatterGatherPipelinedOrdering) {
+  KvConfig KC = smallConfig(4);
+  KC.ThreadsPerShard = 4;
+  KvStore Store(KC);
+  KvServerConfig SC;
+  SC.Workers = 4; // Force one worker per shard: every multi-shard
+                  // request takes the scatter-gather path.
+  KvServer Server(Store, SC);
+  Server.start();
+  ASSERT_NE(Server.port(), 0);
+
+  // One key per shard, so the MSETs below span all four workers.
+  std::vector<uint64_t> KeyOnShard(4, ~0ull);
+  for (uint64_t K = 0; K != 1000 && (KeyOnShard[0] == ~0ull ||
+                                     KeyOnShard[1] == ~0ull ||
+                                     KeyOnShard[2] == ~0ull ||
+                                     KeyOnShard[3] == ~0ull);
+       ++K)
+    if (KeyOnShard[Store.shardOf(K)] == ~0ull)
+      KeyOnShard[Store.shardOf(K)] = K;
+
+  KvClient Client;
+  ASSERT_TRUE(Client.connect(Server.port()));
+
+  // SET then cross-shard MSET of the same key, then GET, all in one
+  // flush: the staged SET must execute before the scatter-gather's
+  // pieces, and the GET must wait for the scatter-gather to finish.
+  uint64_t Hot = KeyOnShard[0];
+  Client.sendSet(Hot, "pre-sg");
+  std::vector<std::pair<uint64_t, std::string>> Pairs;
+  for (unsigned S = 0; S != 4; ++S)
+    Pairs.emplace_back(KeyOnShard[S], "sg-" + std::to_string(S));
+  Client.sendMset(Pairs);
+  Client.sendGet(Hot);
+  Client.sendSet(Hot, "post-sg");
+  Client.sendGet(Hot);
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Client.recvStatus(), KvStatus::Ok); // SET pre-sg.
+  std::vector<KvStatus> Statuses;
+  ASSERT_TRUE(Client.recvStatuses(Pairs.size(), Statuses));
+  for (KvStatus St : Statuses)
+    EXPECT_EQ(St, KvStatus::Ok);
+  std::string Out;
+  EXPECT_EQ(Client.recvValue(Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "sg-0"); // The MSET overwrote the pipelined SET.
+  EXPECT_EQ(Client.recvStatus(), KvStatus::Ok);
+  EXPECT_EQ(Client.recvValue(Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "post-sg"); // The parked SET ran after the sg.
+
+  // Cross-shard MGET sees every piece of the cross-shard MSET, in
+  // request order, with misses interleaved.
+  std::vector<uint64_t> Keys{KeyOnShard[3], 999983, KeyOnShard[1],
+                             KeyOnShard[0], KeyOnShard[2]};
+  std::vector<std::pair<KvStatus, std::string>> Results;
+  ASSERT_TRUE(Client.mget(Keys, Results));
+  ASSERT_EQ(Results.size(), Keys.size());
+  EXPECT_EQ(Results[0].second, "sg-3");
+  EXPECT_EQ(Results[1].first, KvStatus::NotFound);
+  EXPECT_EQ(Results[2].second, "sg-1");
+  EXPECT_EQ(Results[3].second, "post-sg");
+  EXPECT_EQ(Results[4].second, "sg-2");
+
+  // Two back-to-back cross-shard MSETs of the same keys, then an MGET:
+  // the second MSET's values must win on every shard.
+  for (auto &P : Pairs)
+    P.second += "-v2";
+  Client.sendMset(Pairs);
+  for (auto &P : Pairs)
+    P.second = P.second.substr(0, P.second.size() - 3) + "-v3";
+  Client.sendMset(Pairs);
+  ASSERT_TRUE(Client.flush());
+  ASSERT_TRUE(Client.recvStatuses(Pairs.size(), Statuses));
+  ASSERT_TRUE(Client.recvStatuses(Pairs.size(), Statuses));
+  for (unsigned S = 0; S != 4; ++S) {
+    ASSERT_EQ(Client.get(KeyOnShard[S], Out), KvStatus::Ok);
+    EXPECT_EQ(Out, "sg-" + std::to_string(S) + "-v3");
+  }
+
+  Client.quit();
+  Server.stop();
+  EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SIGKILL under load
+//===----------------------------------------------------------------------===//
+
+/// Real process death: fork a file-backed 4-shard server, drive
+/// write-heavy load from two connections, SIGKILL the child mid-flight,
+/// then reopen the images in-process and audit acked-durability (every
+/// acknowledged write survives; the unacked tail is absent or complete,
+/// never torn).
+TEST(KvCrash, SigkillUnderFourShardLoadRecoversAcked) {
+  char Tmpl[] = "/tmp/kv_sigkill_test.XXXXXX";
+  ASSERT_NE(mkdtemp(Tmpl), nullptr);
+  KvConfig KC = smallConfig(4);
+  KC.ThreadsPerShard = 4;
+  KC.DataDir = Tmpl;
+
+  int PortPipe[2];
+  ASSERT_EQ(pipe(PortPipe), 0);
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    close(PortPipe[0]);
+    {
+      KvStore Store(KC);
+      KvServerConfig SC;
+      SC.Workers = 4;
+      KvServer Server(Store, SC);
+      Server.start();
+      char Msg[16];
+      int N = std::snprintf(Msg, sizeof(Msg), "%u\n", Server.port());
+      if (write(PortPipe[1], Msg, (size_t)N) != N)
+        _exit(1);
+      close(PortPipe[1]);
+      // Serve until SIGKILLed -- that is the whole point.
+      for (;;)
+        pause();
+    }
+    _exit(0);
+  }
+  close(PortPipe[1]);
+  std::string PortStr;
+  char C;
+  while (read(PortPipe[0], &C, 1) == 1 && C != '\n')
+    PortStr += C;
+  close(PortPipe[0]);
+  uint16_t Port = (uint16_t)std::atoi(PortStr.c_str());
+  ASSERT_NE(Port, 0);
+
+  // Write-heavy load; connection T owns keys with Key % 2 == T, so each
+  // key's write order is one connection's FIFO.
+  struct Ledger {
+    uint64_t Key;
+    std::string Val;
+    bool Acked;
+  };
+  constexpr unsigned NumConns = 2;
+  std::atomic<uint64_t> Acked{0};
+  std::atomic<bool> Killed{false};
+  std::vector<std::vector<Ledger>> Ledgers(NumConns);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumConns; ++T) {
+    Threads.emplace_back([&, T] {
+      KvClient Client;
+      if (!Client.connect(Port))
+        return;
+      uint64_t Seq = 0;
+      while (!Killed.load(std::memory_order_relaxed)) {
+        uint64_t Key = T + 2 * ((Seq * 11) % 40);
+        Ledgers[T].push_back(Ledger{Key, valueFor(Key, Seq++), false});
+        Ledger &E = Ledgers[T].back();
+        if (Client.set(Key, E.Val) != KvStatus::Ok)
+          break; // Transport death: unacknowledged.
+        E.Acked = true;
+        Acked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (Acked.load(std::memory_order_relaxed) < 300)
+    std::this_thread::yield();
+  kill(Pid, SIGKILL);
+  int St = 0;
+  waitpid(Pid, &St, 0);
+  ASSERT_TRUE(WIFSIGNALED(St));
+  Killed.store(true);
+  for (auto &Th : Threads)
+    Th.join();
+
+  // Reopen the images in-process: attach + undo-log replay, then audit
+  // against the ledgers with quiesced peeks.
+  KvStore Store(KC);
+  EXPECT_TRUE(Store.recoveredOnOpen());
+  for (unsigned T = 0; T != NumConns; ++T) {
+    std::map<uint64_t, std::vector<const Ledger *>> PerKey;
+    for (const Ledger &E : Ledgers[T])
+      PerKey[E.Key].push_back(&E);
+    for (const auto &[Key, Writes] : PerKey) {
+      size_t LastAcked = Writes.size();
+      for (size_t I = Writes.size(); I-- > 0;)
+        if (Writes[I]->Acked) {
+          LastAcked = I;
+          break;
+        }
+      std::string Got;
+      bool Present = Store.shard(Store.shardOf(Key)).peek(Key, Got);
+      bool Ok = false;
+      if (LastAcked == Writes.size()) {
+        Ok = !Present; // Nothing acked: absent or any complete value.
+        for (const Ledger *W : Writes)
+          Ok = Ok || (Present && W->Val == Got);
+      } else {
+        for (size_t I = LastAcked; I != Writes.size(); ++I)
+          Ok = Ok || (Present && Writes[I]->Val == Got);
+      }
+      EXPECT_TRUE(Ok) << "key " << Key << " violates acked-durability ("
+                      << (Present ? "present" : "absent") << ", last acked "
+                      << (LastAcked == Writes.size() ? "none" : "exists")
+                      << ")";
+    }
+  }
+  // The recovered store still serves.
+  EXPECT_EQ(Store.set(0, 5000, "post-recovery"), KvStatus::Ok);
+  std::string Out;
+  EXPECT_EQ(Store.get(0, 5000, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "post-recovery");
+
+  for (unsigned S = 0; S != KC.NumShards; ++S)
+    std::remove((KC.DataDir + "/shard" + std::to_string(S) + ".img").c_str());
+  std::remove(KC.DataDir.c_str());
 }
 
 } // namespace
