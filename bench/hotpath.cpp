@@ -88,14 +88,16 @@ struct Cell {
 };
 
 // Crafty + baselines single-threaded; Crafty again with both dynamic
-// checkers attached (their "on" cost is part of the trajectory) and at
-// two threads, where commit-time read-set validation actually runs
-// (single-threaded commits are serialization-adjacent to their snapshot
-// and skip it).
+// checkers attached (their "on" cost is part of the trajectory) and on a
+// 1/2/4/8-thread sweep, where commit-time read-set validation and the
+// contention machinery (backoff, snapshot extension, clock elision)
+// actually run (single-threaded commits are serialization-adjacent to
+// their snapshot and skip validation).
 const Cell Cells[] = {
     {SystemKind::NonDurable, 1, false}, {SystemKind::DudeTm, 1, false},
     {SystemKind::NvHtm, 1, false},      {SystemKind::Crafty, 1, false},
     {SystemKind::Crafty, 1, true},      {SystemKind::Crafty, 2, false},
+    {SystemKind::Crafty, 4, false},     {SystemKind::Crafty, 8, false},
 };
 
 double opsScale() {
@@ -120,6 +122,14 @@ struct CellResult {
   /// requests vs write-backs actually scheduled after coalescing, and
   /// drain traffic split into useful and empty fences.
   PMemStats Flush;
+  /// Aggregated hardware-transaction and persistent-transaction counters
+  /// (abort causes, clock bumps, SGL waits) for the contention columns of
+  /// the --stats-out report.
+  HtmStats Htm;
+  PtmStats Txn;
+  /// Global-clock advances taken outside hardware transactions (chunked
+  /// writebacks, rollbacks, SGL release) over the cell.
+  uint64_t NonTxClockBumps;
 };
 
 CellResult runCell(const Shape &S, const Cell &C, uint64_t Ops) {
@@ -212,6 +222,9 @@ CellResult runCell(const Shape &S, const Cell &C, uint64_t Ops) {
   R.NsPerOp = R.Ops ? (double)(T1 - T0) / (double)R.Ops : 0;
   R.OpsPerSec = T1 > T0 ? (double)R.Ops * 1e9 / (double)(T1 - T0) : 0;
   R.Flush = Pool.stats();
+  R.Htm = Backend->htmStats();
+  R.Txn = Backend->txnStats();
+  R.NonTxClockBumps = Htm.nonTxClockBumps();
   return R;
 }
 
@@ -245,9 +258,10 @@ std::string formatPoint(const std::string &Label, double Scale,
   return Out.str();
 }
 
-/// Standalone flush-counter report (--stats-out): the same cells with
-/// per-operation flush rates and the coalescing ratio, for the CI
-/// artifact alongside the trajectory point.
+/// Standalone flush- and contention-counter report (--stats-out): the
+/// same cells with per-operation flush rates, the coalescing ratio,
+/// per-cause abort counts and the clock-bump-per-commit ratio, for the
+/// CI artifact alongside the trajectory point.
 std::string formatStats(const std::string &Label, double Scale,
                         const std::vector<CellResult> &Results) {
   std::ostringstream Out;
@@ -269,18 +283,68 @@ std::string formatStats(const std::string &Label, double Scale,
         "\"checkers\": %s, \"clwb_calls\": %llu, \"lines_scheduled\": "
         "%llu, \"drains\": %llu, \"empty_drains\": %llu, "
         "\"clwb_calls_per_op\": %.2f, \"lines_scheduled_per_op\": %.2f, "
-        "\"coalesced_fraction\": %.3f}%s\n",
+        "\"coalesced_fraction\": %.3f,\n",
         R.ShapeName, R.SystemName, R.Threads, R.Checkers ? "true" : "false",
         (unsigned long long)R.Flush.ClwbCalls,
         (unsigned long long)R.Flush.LinesScheduled,
         (unsigned long long)R.Flush.Drains,
         (unsigned long long)R.Flush.EmptyDrains,
         (double)R.Flush.ClwbCalls / Ops, (double)R.Flush.LinesScheduled / Ops,
-        Coalesced, I + 1 == Results.size() ? "" : ",");
+        Coalesced);
+    Out << Buf;
+    // Contention columns: abort taxonomy, fallback serialization and
+    // clock pressure. Clock bumps count both in-transaction commit bumps
+    // and the non-transactional ones (chunked batches, SGL release);
+    // read-only clock elision shows up as a ratio below 1.
+    uint64_t Txns = R.Txn.transactions();
+    double BumpsPerCommit =
+        Txns ? (double)(R.Htm.ClockBumps + R.NonTxClockBumps) / (double)Txns
+             : 0.0;
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "     \"aborts_conflict\": %llu, \"aborts_capacity\": %llu, "
+        "\"aborts_explicit\": %llu, \"aborts_zero\": %llu, "
+        "\"sgl_commits\": %llu, \"sgl_waits\": %llu, "
+        "\"snapshot_extensions\": %llu, \"clock_bumps\": %llu, "
+        "\"nontx_clock_bumps\": %llu, \"clock_bumps_per_commit\": %.3f}%s\n",
+        (unsigned long long)R.Htm.AbortConflict,
+        (unsigned long long)R.Htm.AbortCapacity,
+        (unsigned long long)R.Htm.AbortExplicit,
+        (unsigned long long)R.Htm.AbortZero,
+        (unsigned long long)R.Txn.Sgl, (unsigned long long)R.Txn.SglWaits,
+        (unsigned long long)R.Htm.SnapshotExtensions,
+        (unsigned long long)R.Htm.ClockBumps,
+        (unsigned long long)R.NonTxClockBumps, BumpsPerCommit,
+        I + 1 == Results.size() ? "" : ",");
     Out << Buf;
   }
   Out << "  ]\n}\n";
   return Out.str();
+}
+
+/// Report-only scaling sanity check (the CI perf-smoke gate): 2-thread
+/// Crafty bank_10w throughput should not fall below 1-thread. On 1-core
+/// runners oversubscription makes this expected, so the check warns
+/// rather than fails.
+void checkScaling(const std::vector<CellResult> &Results) {
+  for (const char *ShapeName : {"bank_10w"}) {
+    double Ops1 = 0, Ops2 = 0;
+    for (const CellResult &R : Results) {
+      if (std::strcmp(R.ShapeName, ShapeName) != 0 || R.Checkers ||
+          std::strcmp(R.SystemName, "Crafty") != 0)
+        continue;
+      if (R.Threads == 1)
+        Ops1 = R.OpsPerSec;
+      else if (R.Threads == 2)
+        Ops2 = R.OpsPerSec;
+    }
+    if (Ops1 > 0 && Ops2 > 0 && Ops2 < Ops1)
+      std::fprintf(stderr,
+                   "hotpath: SCALING-WARNING %s: 2-thread Crafty "
+                   "%.0f ops/s < 1-thread %.0f ops/s (report-only; "
+                   "expected on single-core runners)\n",
+                   ShapeName, Ops2, Ops1);
+  }
 }
 
 std::string trajectoryFile(const std::string &PointJson) {
@@ -367,6 +431,7 @@ int main(int argc, char **argv) {
       Results.push_back(R);
     }
   }
+  checkScaling(Results);
 
   if (!StatsPath.empty()) {
     if (!writeFile(StatsPath, formatStats(Label, Scale, Results)))

@@ -54,6 +54,13 @@ CraftyRuntime::CraftyRuntime(PMemPool &Pool, HtmRuntime &Htm,
       (Config.LogEntriesPerThread & (Config.LogEntriesPerThread - 1)) != 0)
     fatalError("CraftyRuntime: log size must be a power of two >= 64");
   Htm.setMemoryHooks(Pool.htmHooks());
+  // Forward the contention knobs into the HTM engine before any context
+  // (and thus any transaction) exists.
+  HtmTuning Tuning;
+  Tuning.SnapshotExtension = Config.SnapshotExtension;
+  Tuning.SortWriteSet = Config.SortWriteSet;
+  Tuning.WriteSetHashThreshold = Config.WriteSetHashThreshold;
+  Htm.setTuning(Tuning);
   if (Attach) {
     Header = reinterpret_cast<PoolHeader *>(Pool.base());
     if (Header->Magic != PoolMagic ||
@@ -274,7 +281,9 @@ CraftyThread::CraftyThread(CraftyRuntime &Rt, unsigned ThreadId)
       Race(Rt.RaceChecker.get()),
       Tx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1),
       ForceTx(Rt.Htm, ThreadId, /*RngSeed=*/ThreadId + 1000003),
-      Log(logRegionFor(Rt.Pool.base(), *Rt.Header, ThreadId)) {
+      Log(logRegionFor(Rt.Pool.base(), *Rt.Header, ThreadId)),
+      RetryBackoff(Rt.Config.BackoffMinSpins, Rt.Config.BackoffMaxSpins,
+                   /*Seed=*/ThreadId + 7) {
   Mirror.reserve(1024);
   SectionMirror.reserve(1024);
   ChunkMirror.reserve(Rt.Config.InitialChunkK + 1);
@@ -414,9 +423,18 @@ void CraftyThread::performDeferredFrees() {
 }
 
 void CraftyThread::waitSglFree() {
-  SpinBackoff Backoff;
-  while (HtmRuntime::plainLoad(&Rt.SglWord) != 0)
-    Backoff.pause();
+  ++Stats.SglWaits;
+  // Capped spin: past the bound, yield on every iteration. The SGL
+  // holder may be descheduled (a loaded or oversubscribed box), and an
+  // unbounded pause-heavy spin would burn this thread's quantum without
+  // letting the holder run.
+  unsigned Spins = 0;
+  while (HtmRuntime::plainLoad(&Rt.SglWord) != 0) {
+    if (++Spins > Rt.Config.SglWaitSpinBound)
+      std::this_thread::yield();
+    else
+      cpuPause();
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -542,6 +560,7 @@ void CraftyThread::run(TxnBody Body) {
 
 bool CraftyThread::tryThreadSafe(TxnBody Body) {
   unsigned Attempts = 0;
+  RetryBackoff.reset();
   for (;;) {
     resetAttemptState();
     LogOutcome LO = logPhase(Body);
@@ -550,14 +569,26 @@ bool CraftyThread::tryThreadSafe(TxnBody Body) {
       continue;
     }
     if (LO == LogOutcome::Aborted) {
+      // Abort-cause-aware policy: a Capacity abort is deterministic for
+      // this body (the footprint will not fit next time either), so go
+      // straight to the chunked fallback instead of burning the retry
+      // budget; Conflict and Zero aborts back off -- bounded exponential
+      // with jitter, yielding past the cap -- before retrying, giving the
+      // conflicting committer (often descheduled mid-commit on a loaded
+      // box) time to finish instead of re-aborting instantly.
       if (Tx.abortUserCode() == AbortUserSeqOverflow)
         return false; // Too large for one sequence; the chunked mode
                       // splits it (Figure 4).
+      if (Tx.abortCode() == AbortCode::Capacity)
+        return false;
       if (++Attempts >= Rt.Config.SglAttemptThreshold)
         return false;
+      RetryBackoff.backoff();
       continue;
     }
     if (LO == LogOutcome::ReadOnly) {
+      if (CRAFTY_UNLIKELY(!Rt.Config.ReadOnlyClockElision))
+        Rt.Htm.advanceClock(); // Ablation: the naive bump-per-commit.
       ++Stats.ReadOnly;
       performDeferredFrees();
       return true;
@@ -589,6 +620,7 @@ bool CraftyThread::tryThreadSafe(TxnBody Body) {
           TryValidate = true;
           break;
         }
+        RetryBackoff.backoff(); // Conflict abort: let the committer finish.
       }
     }
 
@@ -611,6 +643,7 @@ bool CraftyThread::tryThreadSafe(TxnBody Body) {
         }
         if (++Attempts >= Rt.Config.SglAttemptThreshold)
           return false;
+        RetryBackoff.backoff(); // Conflict abort: let the committer finish.
       }
       (void)Restart;
     }
@@ -791,9 +824,10 @@ void CraftyThread::runChunkedSection(TxnBody Body, bool AcquireSgl) {
 }
 
 void CraftyThread::acquireSgl() {
-  SpinBackoff Backoff;
+  ExpBackoff Backoff(Rt.Config.BackoffMinSpins, Rt.Config.BackoffMaxSpins,
+                     /*Seed=*/ThreadId + 0x51);
   while (!Rt.Htm.nonTxCas(&Rt.SglWord, 0, 1))
-    Backoff.pause();
+    Backoff.backoff();
   if (CRAFTY_UNLIKELY(Race != nullptr))
     Race->sglAcquired(ThreadId);
 }
@@ -802,6 +836,22 @@ void CraftyThread::releaseSgl() {
   if (CRAFTY_UNLIKELY(Race != nullptr))
     Race->sglReleased(ThreadId);
   Rt.Htm.nonTxStore(&Rt.SglWord, 0);
+}
+
+void CraftyThread::applyMirrorBatch(const std::vector<MirrorEntry> &Entries,
+                                    bool UseNew, bool Reverse) {
+  BatchAddrScratch.clear();
+  BatchValScratch.clear();
+  BatchAddrScratch.reserve(Entries.size());
+  BatchValScratch.reserve(Entries.size());
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    CRAFTY_TX_BOUND(Entries.size()); // Mirror of one chunk/section.
+    const MirrorEntry &E = Entries[Reverse ? Entries.size() - 1 - I : I];
+    BatchAddrScratch.push_back(E.Addr);
+    BatchValScratch.push_back(UseNew ? E.New : E.Old);
+  }
+  Rt.Htm.nonTxStoreBatch(BatchAddrScratch.data(), BatchValScratch.data(),
+                         BatchAddrScratch.size());
 }
 
 void CraftyThread::chunkedSectionBody(TxnBody Body) {
@@ -822,8 +872,10 @@ void CraftyThread::chunkedSectionBody(TxnBody Body) {
     // overwrites the aborted attempt's log entries, so the old values
     // must be back in place durably before the entries that could
     // restore them are gone.
-    for (size_t I = SectionMirror.size(); I-- > 0;)
-      Rt.Htm.nonTxStore(SectionMirror[I].Addr, SectionMirror[I].Old);
+    // Batched: one clock bump for the whole rollback instead of one per
+    // word; last-submitted store wins, so reverse order leaves each word
+    // at its earliest Old value.
+    applyMirrorBatch(SectionMirror, /*UseNew=*/false, /*Reverse=*/true);
     flushDataLines(SectionMirror, nullptr);
     Rt.Pool.drain(ThreadId);
     Rt.Htm.nonTxStore(&HeadShared, SectionStartAbs);
@@ -923,8 +975,8 @@ void CraftyThread::closeChunk() {
   Rt.Pool.drain(ThreadId);
   // Thread-unsafe Redo (Algorithm 2): perform the writes directly, then
   // flush their lines as one batch without drain.
-  for (const MirrorEntry &E : ChunkMirror) // Program order.
-    Rt.Htm.nonTxStore(E.Addr, E.New);
+  // Program order; batched so the whole chunk costs one clock bump.
+  applyMirrorBatch(ChunkMirror, /*UseNew=*/true, /*Reverse=*/false);
   flushDataLines(ChunkMirror, nullptr);
   for (const MirrorEntry &M : ChunkMirror)
     SectionMirror.push_back(M);

@@ -54,6 +54,7 @@
 #include "pmem/PMemPool.h"
 #include "support/Annotations.h"
 #include "support/Compiler.h"
+#include "support/Spin.h"
 
 #include <memory>
 #include <vector>
@@ -173,6 +174,14 @@ private:
   void performDeferredFrees();
   void waitSglFree();
 
+  /// Applies \p Entries' Old (or New) values as one nonTxStoreBatch --
+  /// one clock bump and one stripe pass for the whole mirror instead of
+  /// per word. \p Reverse submits the entries last-to-first so a word
+  /// written in several chunks ends at its earliest Old value (stepwise
+  /// rollback order).
+  void applyMirrorBatch(const std::vector<MirrorEntry> &Entries, bool UseNew,
+                        bool Reverse);
+
   CraftyRuntime &Rt;
   unsigned ThreadId;
   /// Non-null when Config.EnablePersistCheck: the runtime's checker, to
@@ -219,6 +228,13 @@ private:
   /// Scratch for batched data-line flushes (flushDataLines): reused so
   /// the commit path never allocates.
   std::vector<const void *> FlushLineScratch;
+  /// Scratch for applyMirrorBatch (chunked write-back/rollback).
+  std::vector<uint64_t *> BatchAddrScratch;
+  std::vector<uint64_t> BatchValScratch;
+  /// Bounded exponential backoff with jitter between aborted attempts
+  /// (CraftyConfig::BackoffMinSpins/BackoffMaxSpins); reset per
+  /// transaction, escalated per abort.
+  ExpBackoff RetryBackoff;
   size_t ValidateCursor = 0;
   std::vector<void *> AllocLog;
   size_t AllocCursor = 0;

@@ -50,6 +50,10 @@ struct PtmStats {
   uint64_t Sgl = 0;
   /// Total persistent writes executed by committed transactions.
   uint64_t Writes = 0;
+  /// Crafty: attempts that observed the SGL held and waited it out
+  /// (waitSglFree) before retrying -- the fallback-path serialization the
+  /// contention work drives down.
+  uint64_t SglWaits = 0;
   /// Wall-clock nanoseconds spent in each Crafty phase (including aborted
   /// attempts); populated only when phase timing is enabled
   /// (CraftyConfig::CollectPhaseTimings) and zero for the baselines.
@@ -69,6 +73,7 @@ struct PtmStats {
     Validate += O.Validate;
     Sgl += O.Sgl;
     Writes += O.Writes;
+    SglWaits += O.SglWaits;
     LogPhaseNs += O.LogPhaseNs;
     RedoPhaseNs += O.RedoPhaseNs;
     ValidatePhaseNs += O.ValidatePhaseNs;

@@ -60,6 +60,7 @@ void HtmRuntime::nonTxStore(uint64_t *Addr, uint64_t Val) {
       break;
     Backoff.pause();
   }
+  NonTxClockBumps.fetch_add(1, std::memory_order_relaxed);
   uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
   uint64_t Old = __atomic_load_n(Addr, __ATOMIC_RELAXED);
   __atomic_store_n(Addr, Val, __ATOMIC_RELEASE);
@@ -68,6 +69,56 @@ void HtmRuntime::nonTxStore(uint64_t *Addr, uint64_t Val) {
   if (CRAFTY_UNLIKELY(AHooks.OnNonTxStore != nullptr))
     AHooks.OnNonTxStore(AHooks.Ctx, Addr, Version);
   Stripe.store(Version << 1, std::memory_order_release);
+}
+
+void HtmRuntime::nonTxStoreBatch(uint64_t *const *Addrs, const uint64_t *Vals,
+                                 size_t Count) {
+  if (Count == 0)
+    return;
+  if (Count == 1) {
+    nonTxStore(Addrs[0], Vals[0]);
+    return;
+  }
+  // Per-thread scratch: the runtime is shared, the batch path is not
+  // reentrant within a thread.
+  static thread_local std::vector<std::atomic<uint64_t> *> Stripes;
+  Stripes.clear();
+  Stripes.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Stripes.push_back(&stripeFor(Addrs[I]));
+  std::sort(Stripes.begin(), Stripes.end());
+  Stripes.erase(std::unique(Stripes.begin(), Stripes.end()), Stripes.end());
+
+  // Lock every distinct stripe (sorted order: deadlock-free against
+  // committers and other batches). These stores must happen, so spin out
+  // conflicts rather than failing.
+  uint64_t OwnedTag = reinterpret_cast<uintptr_t>(this) | 1;
+  for (std::atomic<uint64_t> *Stripe : Stripes) {
+    SpinBackoff Backoff;
+    for (;;) {
+      uint64_t Cur = Stripe->load(std::memory_order_acquire);
+      if ((Cur & 1) == 0 &&
+          Stripe->compare_exchange_weak(Cur, OwnedTag,
+                                        std::memory_order_acq_rel))
+        break;
+      Backoff.pause();
+    }
+  }
+
+  NonTxClockBumps.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (size_t I = 0; I != Count; ++I) {
+    CRAFTY_TX_BOUND(Count); // Caller-sized batch; not inside an HTM tx.
+    uint64_t Old = __atomic_load_n(Addrs[I], __ATOMIC_RELAXED);
+    __atomic_store_n(Addrs[I], Vals[I], __ATOMIC_RELEASE);
+    if (Hooks.OnStore)
+      Hooks.OnStore(Hooks.Ctx, Addrs[I], Old, Vals[I]);
+    if (CRAFTY_UNLIKELY(AHooks.OnNonTxStore != nullptr))
+      AHooks.OnNonTxStore(AHooks.Ctx, Addrs[I], Version);
+  }
+  uint64_t NewStripeVersion = Version << 1;
+  for (std::atomic<uint64_t> *Stripe : Stripes)
+    Stripe->store(NewStripeVersion, std::memory_order_release);
 }
 
 bool HtmRuntime::nonTxCas(uint64_t *Addr, uint64_t Expected,
@@ -93,6 +144,7 @@ bool HtmRuntime::nonTxCas(uint64_t *Addr, uint64_t Expected,
       AHooks.OnNonTxLoad(AHooks.Ctx, Addr);
     return false;
   }
+  NonTxClockBumps.fetch_add(1, std::memory_order_relaxed);
   uint64_t Version = Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
   __atomic_store_n(Addr, Desired, __ATOMIC_RELEASE);
   if (Hooks.OnStore)
@@ -126,6 +178,12 @@ HtmTx::HtmTx(HtmRuntime &Runtime, uint32_t ThreadId, uint64_t RngSeed)
   ReadOrder.reserve(C.MaxReadSetLines);
   LockedStripes.reserve(MaxWords);
   PreLockVersions.reserve(MaxWords);
+  // Reserve past the spill threshold so writtenWordTag pointers stay
+  // stable across dense inserts (they are only contractually valid until
+  // the next store, but avoiding reallocation keeps the path cheap).
+  DenseWrites.reserve(
+      std::min(Runtime.tuning().WriteSetHashThreshold, MaxWords) + 1);
+  DenseAddrs.reserve(DenseWrites.capacity());
 }
 
 HtmTx::~HtmTx() = default;
@@ -136,6 +194,10 @@ void HtmTx::begin() {
   Active = true;
   SnapshotVersion = Runtime.Clock.load(std::memory_order_acquire);
   WriteOrder.clear();
+  DenseWrites.clear();
+  DenseAddrs.clear();
+  DenseLimit = Runtime.tuning().WriteSetHashThreshold;
+  DenseMode = DenseLimit > 0;
   WriteFilter = 0;
   StreamWrites.clear();
   LastWrittenLine = ~(uintptr_t)0;
@@ -185,6 +247,76 @@ void HtmTx::abortTx(AbortCode Code, uint32_t UserCode) {
   longjmp(Env, 1);
 }
 
+HtmTx::WriteSlot *HtmTx::spillDenseWrites(uint64_t *Addr, uint64_t Hash) {
+  // The write set outgrew the dense array: migrate it into the hash
+  // table in insertion order (WriteOrder preserves the write-back order)
+  // and continue in hash mode for the rest of the transaction.
+  DenseMode = false;
+  for (const WriteSlot &Dense : DenseWrites) {
+    WriteSlot *Slot =
+        findWriteSlotHash(Dense.Addr, addrHash(Dense.Addr), /*Insert=*/true);
+    Slot->Val = Dense.Val;
+    Slot->OrMask = Dense.OrMask;
+    Slot->UserTag = Dense.UserTag;
+    Slot->Shift = Dense.Shift;
+    Slot->IsCommitVersion = Dense.IsCommitVersion;
+  }
+  DenseWrites.clear();
+  DenseAddrs.clear();
+  return findWriteSlotHash(Addr, Hash, /*Insert=*/true);
+}
+
+bool HtmTx::tryExtendSnapshot() {
+  // TinySTM-style timestamp extension: sample the clock first, then
+  // verify every read stripe is exactly as first read (same version,
+  // unlocked). The read set was then stable through the validation, so
+  // the reads are consistent at the sample and the snapshot may advance
+  // to it. Stamped stripe versions never exceed the clock, so a
+  // successful extension always covers the version that triggered it.
+  uint64_t NewSnap = Runtime.Clock.load(std::memory_order_acquire);
+  if (NewSnap == SnapshotVersion)
+    return false;
+  Stats.ValidatedReadSlots += ReadOrder.size();
+  for (uint32_t Idx : ReadOrder) {
+    ReadSlot &Slot = ReadSet[Idx];
+    if (Slot.Stripe->load(std::memory_order_acquire) != Slot.Version)
+      return false;
+  }
+  SnapshotVersion = NewSnap;
+  ++Stats.SnapshotExtensions;
+  return true;
+}
+
+uint64_t HtmTx::loadStripeSlow(std::atomic<uint64_t> &Stripe) {
+  for (;;) {
+    uint64_t V = Stripe.load(std::memory_order_acquire);
+    if (CRAFTY_LIKELY((V & 1) == 0 && (V >> 1) <= SnapshotVersion))
+      return V;
+    // A locked stripe is a committer mid-write-back: no consistent
+    // version to extend to. Otherwise the stripe outran our snapshot;
+    // try to catch the snapshot up instead of aborting. The loop
+    // terminates: each pass either returns, aborts, or strictly raises
+    // the snapshot.
+    if ((V & 1) || !Runtime.tuning().SnapshotExtension ||
+        !tryExtendSnapshot())
+      abortTx(AbortCode::Conflict);
+  }
+}
+
+uint64_t HtmTx::preLockVersionOf(std::atomic<uint64_t> *Stripe) {
+  if (Runtime.tuning().SortWriteSet) {
+    auto It = std::lower_bound(LockedStripes.begin(), LockedStripes.end(),
+                               Stripe);
+    assert(It != LockedStripes.end() && *It == Stripe &&
+           "owned tag without a lock record");
+    return PreLockVersions[It - LockedStripes.begin()];
+  }
+  for (size_t I = 0, E = LockedStripes.size(); I != E; ++I)
+    if (LockedStripes[I] == Stripe)
+      return PreLockVersions[I];
+  CRAFTY_UNREACHABLE("owned tag without a lock record");
+}
+
 bool HtmTx::validateReadSet(uint64_t OwnedTag) {
   // Walk only the occupied slots (dense index), not the whole table: the
   // table is sized for the capacity limit (16K slots by default), while a
@@ -195,11 +327,7 @@ bool HtmTx::validateReadSet(uint64_t OwnedTag) {
     uint64_t Cur = Slot.Stripe->load(std::memory_order_acquire);
     if (Cur == OwnedTag) {
       // We hold this stripe's lock; judge by its pre-lock version.
-      auto It = std::lower_bound(LockedStripes.begin(), LockedStripes.end(),
-                                 Slot.Stripe);
-      assert(It != LockedStripes.end() && *It == Slot.Stripe &&
-             "owned tag without a lock record");
-      Cur = PreLockVersions[It - LockedStripes.begin()];
+      Cur = preLockVersionOf(Slot.Stripe);
     }
     if (Cur & 1)
       return false; // Locked by a concurrent committer.
@@ -214,8 +342,9 @@ uint64_t HtmTx::commit() {
   maybeInjectSpuriousAbort();
   const MemoryHooks &Hooks = Runtime.memoryHooks();
   const AccessHooks &AHooks = Runtime.accessHooks();
-  if (WriteOrder.empty() && StreamWrites.empty()) {
-    // Read-only: reads were validated at access time against the snapshot.
+  if (writeSetWords() == 0) {
+    // Read-only: reads were validated at access time against the
+    // snapshot (sample-and-validate); the global clock is not bumped.
     Active = false;
     ++Stats.Commits;
     if (Hooks.OnCommitFence)
@@ -226,13 +355,17 @@ uint64_t HtmTx::commit() {
     return SnapshotVersion;
   }
 
-  // Gather and lock the distinct write stripes in address order (avoids
-  // deadlock between committers). Consecutive writes usually land on the
-  // same stripe (adjacent words of an undo-log entry, fields of one
-  // object), so drop consecutive duplicates before the sort.
+  // Gather and lock the distinct write stripes. Consecutive writes
+  // usually land on the same stripe (adjacent words of an undo-log
+  // entry, fields of one object), so drop consecutive duplicates before
+  // deduplicating fully.
+  const size_t NumBuf = DenseMode ? DenseWrites.size() : WriteOrder.size();
+  auto bufSlot = [&](size_t I) -> WriteSlot & {
+    return DenseMode ? DenseWrites[I] : WriteBuf[WriteOrder[I]];
+  };
   std::atomic<uint64_t> *PrevStripe = nullptr;
-  for (uint32_t Idx : WriteOrder) {
-    std::atomic<uint64_t> *Stripe = &Runtime.stripeFor(WriteBuf[Idx].Addr);
+  for (size_t I = 0; I != NumBuf; ++I) {
+    std::atomic<uint64_t> *Stripe = &Runtime.stripeFor(bufSlot(I).Addr);
     if (Stripe != PrevStripe)
       LockedStripes.push_back(Stripe);
     PrevStripe = Stripe;
@@ -243,10 +376,28 @@ uint64_t HtmTx::commit() {
       LockedStripes.push_back(Stripe);
     PrevStripe = Stripe;
   }
-  std::sort(LockedStripes.begin(), LockedStripes.end());
-  LockedStripes.erase(
-      std::unique(LockedStripes.begin(), LockedStripes.end()),
-      LockedStripes.end());
+  if (CRAFTY_LIKELY(Runtime.tuning().SortWriteSet)) {
+    // Address order: deadlock-free between committers (STO_SORT_WRITESET).
+    std::sort(LockedStripes.begin(), LockedStripes.end());
+    LockedStripes.erase(
+        std::unique(LockedStripes.begin(), LockedStripes.end()),
+        LockedStripes.end());
+  } else {
+    // Insertion order (the ablation's off position): a lock-order cycle
+    // between committers is broken by the bounded commit spin aborting.
+    size_t Out = 0;
+    for (size_t I = 0, E = LockedStripes.size(); I != E; ++I) {
+      bool Dup = false;
+      for (size_t J = 0; J != Out; ++J)
+        if (LockedStripes[J] == LockedStripes[I]) {
+          Dup = true;
+          break;
+        }
+      if (!Dup)
+        LockedStripes[Out++] = LockedStripes[I];
+    }
+    LockedStripes.resize(Out);
+  }
 
   uint64_t OwnedTag = reinterpret_cast<uintptr_t>(this) | 1;
   size_t NumLocked = 0;
@@ -273,6 +424,12 @@ uint64_t HtmTx::commit() {
 
   uint64_t CommitVersion =
       Runtime.Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ++Stats.ClockBumps;
+  // CommitVersion == SnapshotVersion + 1 proves no writing commit
+  // serialized since the snapshot (which access-time checks -- and any
+  // timestamp extension -- already validated against), so the read-set
+  // walk is skipped. Extension raises the snapshot toward the clock, so
+  // under contention more commits hit this fast path, not fewer.
   if (CommitVersion != SnapshotVersion + 1 && !validateReadSet(OwnedTag))
     abortTx(AbortCode::Conflict);
 
@@ -281,8 +438,8 @@ uint64_t HtmTx::commit() {
   if (Hooks.OnCommitFence)
     Hooks.OnCommitFence(Hooks.Ctx, ThreadId);
 
-  for (uint32_t Idx : WriteOrder) {
-    WriteSlot &Slot = WriteBuf[Idx];
+  for (size_t I = 0; I != NumBuf; ++I) {
+    WriteSlot &Slot = bufSlot(I);
     uint64_t Val = Slot.IsCommitVersion
                        ? (CommitVersion << Slot.Shift) | Slot.OrMask
                        : Slot.Val;

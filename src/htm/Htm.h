@@ -99,6 +99,33 @@ struct HtmConfig {
   unsigned CommitLockSpinLimit = 64;
 };
 
+/// Contention-tuning knobs, mutable after construction (install before
+/// transactions run; CraftyRuntime forwards the matching CraftyConfig
+/// fields here). Split from HtmConfig so a backend can tune a shared
+/// HtmRuntime without re-deriving the lock-table geometry.
+struct HtmTuning {
+  /// On a read of a stripe newer than the snapshot, try to extend the
+  /// snapshot to the current clock by revalidating the read set (TinySTM
+  /// timestamp extension) instead of aborting. Turns the common
+  /// stale-snapshot abort -- every transaction that resumes after another
+  /// thread's commit, i.e. nearly every transaction on an oversubscribed
+  /// host -- into an O(reads) revalidation.
+  bool SnapshotExtension = true;
+  /// Lock commit stripes in sorted address order (deadlock-free ordering;
+  /// STO_SORT_WRITESET). When off, stripes are locked in insertion order
+  /// and the bounded commit spin breaks deadlocks by aborting.
+  bool SortWriteSet = true;
+  /// Buffered writes up to this count are kept in a dense array with
+  /// linear read-your-write lookup; past the threshold the write set
+  /// spills into the hash table. 0 disables the dense path entirely --
+  /// and is the default: on the emulated HTM the open-addressed table's
+  /// probed lines stay cache-resident across transactions, so the O(1)
+  /// probe beats the linear scan at every write-set size measured
+  /// (2..40 writes; see DESIGN.md 7.3). The dense mode is kept as an
+  /// ablation position and for hosts where the table is genuinely cold.
+  size_t WriteSetHashThreshold = 0;
+};
+
 /// Per-transaction-context statistics (cumulative across transactions).
 struct HtmStats {
   uint64_t Commits = 0;
@@ -115,6 +142,15 @@ struct HtmStats {
   /// static tx-capacity bound (both count 8-byte words).
   uint64_t WriteWordsTotal = 0;
   uint64_t MaxWriteWordsPerTxn = 0;
+  /// Successful snapshot extensions (HtmTuning::SnapshotExtension): reads
+  /// that would have been stale-snapshot Conflict aborts but revalidated
+  /// and continued.
+  uint64_t SnapshotExtensions = 0;
+  /// Global-version-clock advances performed by this context's commits.
+  /// Read-only commits never bump (sample-and-validate); together with
+  /// HtmRuntime::nonTxClockBumps this gives the clock-bumps-per-commit
+  /// ratio the contention work tracks.
+  uint64_t ClockBumps = 0;
 
   uint64_t aborts() const {
     return AbortConflict + AbortCapacity + AbortExplicit + AbortZero;
@@ -130,6 +166,8 @@ struct HtmStats {
     ValidatedReadSlots += O.ValidatedReadSlots;
     WriteWordsTotal += O.WriteWordsTotal;
     MaxWriteWordsPerTxn = std::max(MaxWriteWordsPerTxn, O.MaxWriteWordsPerTxn);
+    SnapshotExtensions += O.SnapshotExtensions;
+    ClockBumps += O.ClockBumps;
     return *this;
   }
 };
@@ -202,6 +240,11 @@ public:
 
   const HtmConfig &config() const { return Config; }
 
+  /// Installs contention-tuning knobs. Not thread-safe: install before
+  /// transactions run (transactions read the knobs per access/commit).
+  void setTuning(const HtmTuning &T) { Tuning = T; }
+  const HtmTuning &tuning() const { return Tuning; }
+
   /// Installs the persistent-memory observation hooks. Must be called
   /// before any transaction runs.
   void setMemoryHooks(const MemoryHooks &Hooks) { this->Hooks = Hooks; }
@@ -225,7 +268,15 @@ public:
   /// later one. Used by the SGL path, which commits outside hardware
   /// transactions.
   uint64_t advanceClock() {
+    NonTxClockBumps.fetch_add(1, std::memory_order_relaxed);
     return Clock.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Clock advances performed outside transactional commits (nonTxStore,
+  /// nonTxCas, nonTxStoreBatch, advanceClock) since construction. The
+  /// transactional-commit bumps are in each context's HtmStats::ClockBumps.
+  uint64_t nonTxClockBumps() const {
+    return NonTxClockBumps.load(std::memory_order_relaxed);
   }
 
   /// Stores \p Val to \p Addr outside any transaction while keeping
@@ -239,6 +290,17 @@ public:
   /// nonTxStore. Returns true if the swap happened.
   CRAFTY_TX_SAFE bool nonTxCas(uint64_t *Addr, uint64_t Expected,
                                uint64_t Desired);
+
+  /// Stores \p Count (Addrs[i], Vals[i]) pairs with nonTxStore's strong
+  /// isolation as one batch: every distinct stripe is locked (in sorted
+  /// order, deadlock-free against committers), the clock advances *once*,
+  /// all words are stored in array order (a repeated address keeps the
+  /// last value), and the stripes are stamped with the single version.
+  /// One clock bump and one lock pass per batch instead of per word --
+  /// the contention fix for the chunked/SGL write-back, which previously
+  /// hammered the shared clock line once per persistent word.
+  CRAFTY_TX_SAFE void nonTxStoreBatch(uint64_t *const *Addrs,
+                                      const uint64_t *Vals, size_t Count);
 
   /// Non-transactional load with strong-isolation semantics: waits out a
   /// concurrent committer's write-back of the word's stripe and re-checks
@@ -292,11 +354,19 @@ private:
   }
 
   HtmConfig Config;
+  HtmTuning Tuning;
   MemoryHooks Hooks;
   AccessHooks AHooks;
   size_t TableMask;
   std::unique_ptr<std::atomic<uint64_t>[]> Table;
+  /// The two hottest shared words, each alone on its cache line (the
+  /// trailing padding keeps whatever the allocator places next off the
+  /// clock's line): every writing commit CASes the clock, and sharing its
+  /// line with anything else turns unrelated writes into clock-line
+  /// invalidations on every core.
   alignas(CacheLineBytes) std::atomic<uint64_t> Clock{0};
+  alignas(CacheLineBytes) std::atomic<uint64_t> NonTxClockBumps{0};
+  char ClockPad[CacheLineBytes - sizeof(std::atomic<uint64_t>)];
 };
 
 /// Outcome of runHtmTx.
@@ -409,7 +479,8 @@ public:
 
   /// Number of distinct words written by the current transaction.
   size_t writeSetWords() const {
-    return WriteOrder.size() + StreamWrites.size();
+    return (DenseMode ? DenseWrites.size() : WriteOrder.size()) +
+           StreamWrites.size();
   }
 
 private:
@@ -443,9 +514,24 @@ private:
   [[noreturn]] void abortTx(AbortCode Code, uint32_t UserCode = 0);
   void maybeInjectSpuriousAbort();
   WriteSlot *findWriteSlot(uint64_t *Addr, uint64_t Hash, bool Insert);
+  WriteSlot *findWriteSlotHash(uint64_t *Addr, uint64_t Hash, bool Insert);
+  /// Cold: migrates the dense write set into the hash table (the write
+  /// set crossed HtmTuning::WriteSetHashThreshold) and inserts \p Addr.
+  WriteSlot *spillDenseWrites(uint64_t *Addr, uint64_t Hash);
   void noteWrittenLine(const void *Addr);
   void recordRead(std::atomic<uint64_t> *Stripe, uint64_t Version);
   bool validateReadSet(uint64_t OwnedTag);
+  /// Pre-lock version of a stripe this commit owns (sorted or linear
+  /// lookup depending on HtmTuning::SortWriteSet).
+  uint64_t preLockVersionOf(std::atomic<uint64_t> *Stripe);
+  /// Cold path of load(): the stripe is locked or newer than the
+  /// snapshot. Attempts timestamp extension; returns a consistent stripe
+  /// version to proceed with or aborts.
+  CRAFTY_TX_SAFE uint64_t loadStripeSlow(std::atomic<uint64_t> &Stripe);
+  /// Re-samples the clock and revalidates the read set against the
+  /// recorded per-stripe versions; on success the snapshot advances to
+  /// the sample (TL2/TinySTM timestamp extension).
+  CRAFTY_TX_SAFE bool tryExtendSnapshot();
 
   HtmRuntime &Runtime;
   uint32_t ThreadId;
@@ -462,6 +548,19 @@ private:
   std::vector<WriteSlot> WriteBuf;
   std::vector<uint32_t> WriteOrder;
   size_t WriteBufMask;
+  // Dense small-write-set mode (HtmTuning::WriteSetHashThreshold, off by
+  // default -- see the threshold's comment): the first DenseLimit
+  // distinct writes live here in insertion order and are found by linear
+  // scan instead of a probe into the capacity-sized WriteBuf. Crossing
+  // the limit spills into WriteBuf/WriteOrder (DenseMode flips off) for
+  // the rest of the transaction.
+  std::vector<WriteSlot> DenseWrites;
+  // Parallel address array for the dense scan: 8 bytes per entry keeps
+  // the whole threshold's worth of keys in one or two cache lines, where
+  // scanning the 48-byte slots directly would touch one line per entry.
+  std::vector<uint64_t *> DenseAddrs;
+  size_t DenseLimit = 0;
+  bool DenseMode = false;
   // 64-bit summary of buffered-write addresses (bit filterBit(addrHash)).
   // Zero means no buffered writes; a clear bit proves the address was not
   // written by store/storeCommitVersion, so load skips the write-buffer
@@ -507,8 +606,8 @@ inline void HtmTx::maybeInjectSpuriousAbort() {
     abortTx(AbortCode::Zero);
 }
 
-inline HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, uint64_t Hash,
-                                              bool Insert) {
+inline HtmTx::WriteSlot *HtmTx::findWriteSlotHash(uint64_t *Addr,
+                                                  uint64_t Hash, bool Insert) {
   size_t Idx = (Hash >> 32) & WriteBufMask;
   for (;;) {
     WriteSlot &Slot = WriteBuf[Idx];
@@ -522,7 +621,7 @@ inline HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, uint64_t Hash,
       return nullptr;
     // Empty slot: claim it. The buffer is sized 2x the word capacity and
     // the capacity check below keeps the load factor bounded.
-    if (WriteOrder.size() + StreamWrites.size() >=
+    if (writeSetWords() >=
         Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
       abortTx(AbortCode::Capacity);
     Slot.Addr = Addr;
@@ -533,6 +632,30 @@ inline HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, uint64_t Hash,
     WriteOrder.push_back((uint32_t)Idx);
     return &Slot;
   }
+}
+
+inline HtmTx::WriteSlot *HtmTx::findWriteSlot(uint64_t *Addr, uint64_t Hash,
+                                              bool Insert) {
+  if (CRAFTY_UNLIKELY(DenseMode)) {
+    for (size_t I = 0, N = DenseAddrs.size(); I != N; ++I)
+      if (DenseAddrs[I] == Addr)
+        return &DenseWrites[I];
+    if (!Insert)
+      return nullptr;
+    if (CRAFTY_UNLIKELY(DenseAddrs.size() >= DenseLimit))
+      return spillDenseWrites(Addr, Hash);
+    if (writeSetWords() >=
+        Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
+      abortTx(AbortCode::Capacity);
+    DenseAddrs.push_back(Addr);
+    DenseWrites.emplace_back();
+    WriteSlot &Slot = DenseWrites.back();
+    Slot.Addr = Addr;
+    Slot.Epoch = Epoch;
+    Slot.UserTag = ~0u;
+    return &Slot;
+  }
+  return findWriteSlotHash(Addr, Hash, Insert);
 }
 
 inline void HtmTx::noteWrittenLine(const void *Addr) {
@@ -595,10 +718,8 @@ inline uint64_t HtmTx::load(const uint64_t *Addr) {
   }
   std::atomic<uint64_t> &Stripe = Runtime.stripeFor(Addr);
   uint64_t V1 = Stripe.load(std::memory_order_acquire);
-  if (CRAFTY_UNLIKELY(V1 & 1))
-    abortTx(AbortCode::Conflict);
-  if (CRAFTY_UNLIKELY((V1 >> 1) > SnapshotVersion))
-    abortTx(AbortCode::Conflict);
+  if (CRAFTY_UNLIKELY((V1 & 1) || (V1 >> 1) > SnapshotVersion))
+    V1 = loadStripeSlow(Stripe); // Timestamp extension, or abort.
   uint64_t Val = __atomic_load_n(Addr, __ATOMIC_ACQUIRE);
   std::atomic_thread_fence(std::memory_order_acquire);
   uint64_t V2 = Stripe.load(std::memory_order_acquire);
@@ -642,7 +763,7 @@ inline void HtmTx::storeTagged(uint64_t *Addr, uint64_t Val, uint32_t Tag) {
 
 inline void HtmTx::storeStream(uint64_t *Addr, uint64_t Val) {
   assert(Active && "transactional store outside a transaction");
-  if (WriteOrder.size() + StreamWrites.size() >=
+  if (writeSetWords() >=
       Runtime.config().MaxWriteSetLines * (CacheLineBytes / 8))
     abortTx(AbortCode::Capacity);
   StreamWrites.emplace_back(Addr, Val);

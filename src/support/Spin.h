@@ -21,14 +21,21 @@
 
 namespace crafty {
 
+/// One CPU pause (x86 PAUSE); a compiler barrier elsewhere.
+inline void cpuPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
 /// Cooperative exponential-ish backoff: pause a few times, then yield.
 class SpinBackoff {
 public:
   void pause() {
     if (++Count < 16) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
+      cpuPause();
       return;
     }
     Count = 0;
@@ -39,6 +46,57 @@ public:
 
 private:
   uint32_t Count = 0;
+};
+
+/// Bounded exponential backoff with jitter for abort-retry loops (the
+/// STO_SPIN_EXPBACKOFF discipline): each call pauses for a jittered window
+/// that doubles up to a cap, and once the window is capped every further
+/// call also yields to the scheduler. The jitter desynchronizes threads
+/// that aborted on the same conflict; the yield keeps an oversubscribed
+/// host from burning a waiter's whole quantum while the conflicting
+/// committer is descheduled (the dominant multi-thread failure mode on a
+/// host with fewer cores than threads).
+class ExpBackoff {
+public:
+  /// \p MinSpins is the first window, \p MaxSpins the cap; \p Seed
+  /// decorrelates the jitter streams of different threads. MaxSpins == 0
+  /// degenerates to yield-per-call (no pausing).
+  ExpBackoff(uint32_t MinSpins, uint32_t MaxSpins, uint64_t Seed)
+      : MinSpins(MinSpins ? MinSpins : 1), MaxSpins(MaxSpins),
+        Window(this->MinSpins),
+        RngState(Seed * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull) {}
+
+  /// Escalating wait: call once after each failed attempt.
+  void backoff() {
+    if (Window > MaxSpins) {
+      std::this_thread::yield();
+      return;
+    }
+    // Jitter uniformly over [Window/2, Window].
+    uint32_t Spins = Window / 2 + (uint32_t)(nextRand() % (Window / 2 + 1));
+    for (uint32_t I = 0; I != Spins; ++I)
+      cpuPause();
+    if (Window == MaxSpins)
+      Window = MaxSpins + 1; // Saturated: yield from now on.
+    else
+      Window = Window * 2 < MaxSpins ? Window * 2 : MaxSpins;
+  }
+
+  void reset() { Window = MinSpins; }
+
+private:
+  uint64_t nextRand() {
+    // xorshift64*: cheap thread-local jitter, no shared state.
+    RngState ^= RngState >> 12;
+    RngState ^= RngState << 25;
+    RngState ^= RngState >> 27;
+    return RngState * 0x2545f4914f6cdd1dull;
+  }
+
+  uint32_t MinSpins;
+  uint32_t MaxSpins;
+  uint32_t Window;
+  uint64_t RngState;
 };
 
 } // namespace crafty

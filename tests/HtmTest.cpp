@@ -108,8 +108,11 @@ TEST_F(HtmTest, ConflictingCommitAbortsReader) {
   EXPECT_EQ(Out, 0u);
 }
 
-TEST_F(HtmTest, StaleReadAbortsImmediately) {
+TEST_F(HtmTest, StaleReadAbortsImmediatelyWithoutExtension) {
   makeRuntime();
+  HtmTuning Tuning;
+  Tuning.SnapshotExtension = false;
+  Rt->setTuning(Tuning);
   HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
   alignas(64) uint64_t X = 0;
   TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
@@ -123,6 +126,127 @@ TEST_F(HtmTest, StaleReadAbortsImmediately) {
   });
   EXPECT_FALSE(RA.Committed);
   EXPECT_EQ(RA.Code, AbortCode::Conflict);
+}
+
+TEST_F(HtmTest, StaleReadRecoveredBySnapshotExtension) {
+  // Same interleaving as above, but with snapshot extension (the default):
+  // the prior read set (Dummy) is still valid at the current clock, so the
+  // snapshot advances past B's commit and the load returns B's value.
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) uint64_t X = 0;
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    alignas(64) static uint64_t Dummy = 0;
+    T.load(&Dummy);
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) { T2.store(&X, 1); });
+    ASSERT_TRUE(RB.Committed);
+    EXPECT_EQ(T.load(&X), 1u); // Extended snapshot sees the new value.
+  });
+  EXPECT_TRUE(RA.Committed);
+  EXPECT_EQ(TxA.stats().SnapshotExtensions, 1u);
+}
+
+TEST_F(HtmTest, SnapshotExtensionFailsWhenReadSetChanged) {
+  // If a word already read changes, extension must not succeed: the stale
+  // read aborts exactly as without extension.
+  makeRuntime();
+  HtmTx TxA(*Rt, 0), TxB(*Rt, 1);
+  alignas(64) uint64_t X = 0, Y = 0;
+  TxResult RA = runHtmTx(TxA, [&](HtmTx &T) {
+    EXPECT_EQ(T.load(&Y), 0u); // Y joins the read set.
+    TxResult RB = runHtmTx(TxB, [&](HtmTx &T2) {
+      T2.store(&X, 1);
+      T2.store(&Y, 1); // Invalidates A's read of Y.
+    });
+    ASSERT_TRUE(RB.Committed);
+    T.load(&X); // Extension revalidates Y, fails, aborts.
+    FAIL() << "extension over a changed read set must abort";
+  });
+  EXPECT_FALSE(RA.Committed);
+  EXPECT_EQ(RA.Code, AbortCode::Conflict);
+}
+
+TEST_F(HtmTest, DenseWriteSetSpillsToHashCorrectly) {
+  // Cross the dense->hash threshold mid-transaction: reads-own-writes and
+  // the committed values must be identical on both sides of the spill.
+  makeRuntime();
+  HtmTuning Tuning;
+  Tuning.WriteSetHashThreshold = 4;
+  Rt->setTuning(Tuning);
+  HtmTx Tx(*Rt, 0);
+  constexpr size_t N = 16; // 4x the threshold.
+  alignas(64) uint64_t Words[N] = {};
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    for (size_t I = 0; I != N; ++I)
+      T.store(&Words[I], I + 1);
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(T.load(&Words[I]), I + 1); // Read-own-write after spill.
+    T.store(&Words[0], 100); // Update a pre-spill slot post-spill.
+    EXPECT_EQ(T.load(&Words[0]), 100u);
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(Words[0], 100u);
+  for (size_t I = 1; I != N; ++I)
+    EXPECT_EQ(Words[I], I + 1);
+}
+
+TEST_F(HtmTest, AlwaysHashWriteSetCommits) {
+  // Threshold 0 = dense mode disabled entirely.
+  makeRuntime();
+  HtmTuning Tuning;
+  Tuning.WriteSetHashThreshold = 0;
+  Rt->setTuning(Tuning);
+  HtmTx Tx(*Rt, 0);
+  alignas(64) uint64_t X = 1, Y = 2;
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    T.store(&X, 10);
+    T.store(&Y, T.load(&X) + 10);
+  });
+  ASSERT_TRUE(R.Committed);
+  EXPECT_EQ(X, 10u);
+  EXPECT_EQ(Y, 20u);
+}
+
+TEST_F(HtmTest, UnsortedWriteSetCommitsAndValidates) {
+  // SortWriteSet off: commit locks stripes in insertion order and
+  // validation must still recognize self-owned stripes.
+  makeRuntime();
+  HtmTuning Tuning;
+  Tuning.SortWriteSet = false;
+  Rt->setTuning(Tuning);
+  HtmTx Tx(*Rt, 0);
+  constexpr size_t N = 24;
+  alignas(64) uint64_t Words[N] = {};
+  TxResult R = runHtmTx(Tx, [&](HtmTx &T) {
+    for (size_t I = N; I-- > 0;) { // Descending insertion order.
+      T.load(&Words[I]);           // Read-then-write: validation must see
+      T.store(&Words[I], I + 1);   // the stripe as self-owned at commit.
+    }
+  });
+  ASSERT_TRUE(R.Committed);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Words[I], I + 1);
+}
+
+TEST_F(HtmTest, NonTxStoreBatchPublishesAllWordsOneBump) {
+  makeRuntime();
+  constexpr size_t N = 9;
+  alignas(64) uint64_t Words[N] = {};
+  uint64_t *Addrs[N];
+  uint64_t Vals[N];
+  for (size_t I = 0; I != N; ++I) {
+    Addrs[I] = &Words[I];
+    Vals[I] = I + 1;
+  }
+  // Repeat a word: the last submitted store must win.
+  Addrs[N - 1] = &Words[0];
+  Vals[N - 1] = 42;
+  uint64_t BumpsBefore = Rt->nonTxClockBumps();
+  Rt->nonTxStoreBatch(Addrs, Vals, N);
+  EXPECT_EQ(Rt->nonTxClockBumps(), BumpsBefore + 1);
+  EXPECT_EQ(Words[0], 42u);
+  for (size_t I = 1; I != N - 1; ++I)
+    EXPECT_EQ(Words[I], I + 1);
 }
 
 TEST_F(HtmTest, NonTxStoreAbortsConflictingReader) {
