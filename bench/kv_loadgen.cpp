@@ -34,6 +34,16 @@
 // execution start, time inside store transactions, execution end to
 // group-commit release) rather than a client-side approximation.
 //
+// Large-value mode (--large-values): for each value size from 64 B to
+// 64 KiB x {Crafty, NV-HTM, Non-durable}, drive the same read/write mix
+// against a heap-enabled single-shard server. Values above the inline
+// cell ceiling (248 B) route through the page-managed durable heap
+// (heap/DurableHeap.h) via stage-then-publish, so the sweep measures
+// the inline-vs-heap crossover and the heap pipeline's value-size
+// envelope. Per-cell op counts scale down with value size to hold the
+// byte volume roughly constant; the keyspace shrinks to 512 so the
+// heap footprint stays bounded.
+//
 // --scaling-gate R turns the shard-scaling claim into an exit status:
 // at the deepest batch size in the sweep (where group commit matters
 // most and run-to-run noise matters least), Crafty 4-shard throughput
@@ -63,6 +73,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "heap/DurableHeap.h"
 #include "kv/KvClient.h"
 #include "kv/KvServer.h"
 #include "support/Clock.h"
@@ -99,6 +110,7 @@ struct Options {
   uint64_t CrashAfter = 0;  // 0 = bench mode.
   unsigned CrashShards = 4; // Shard count for crash mode.
   unsigned Repeats = 1;     // Runs per cell; the median sample is kept.
+  bool LargeValues = false; // Value-size sweep instead of the shard sweep.
   std::string DataDir;
   /// When > 0: fail the run unless Crafty 4-shard >= Gate x 1-shard
   /// ops/s at the deepest batch size in the sweep.
@@ -227,7 +239,8 @@ double opsScale() {
 }
 
 KvConfig storeConfig(SystemKind System, unsigned Shards,
-                     const std::string &DataDir) {
+                     const std::string &DataDir, size_t ValueBytes = 0,
+                     uint64_t Keyspace = 0) {
   KvConfig KC;
   KC.NumShards = Shards;
   // Constant total capacity: the 1-shard vs N-shard comparison holds the
@@ -238,6 +251,17 @@ KvConfig storeConfig(SystemKind System, unsigned Shards,
   // beyond the worker count would only add persist-barrier force work.
   KC.ThreadsPerShard = KvServer::autoWorkerCount(Shards);
   KC.DataDir = DataDir;
+  if (ValueBytes > KC.MaxValueBytes) {
+    // Values exceed the inline cell ceiling: size the durable heap for
+    // the whole keyspace live at once, plus one overwrite generation
+    // (freed extents stay barrier-deferred for up to a commit cycle)
+    // and staging slack.
+    size_t PagesPer = (ValueBytes + heap::DurableHeap::PageBytes - 1) /
+                      heap::DurableHeap::PageBytes;
+    size_t KeysPerShard = Keyspace / Shards + 1;
+    KC.HeapPages = 2 * PagesPer * KeysPerShard + 256;
+    KC.HeapWalSlots = 128;
+  }
   return KC;
 }
 
@@ -350,7 +374,8 @@ std::string makeValue(uint64_t Key, uint64_t Seq, size_t Bytes) {
 
 CellResult runBenchCell(const Options &Opt, const BenchCell &Cell,
                         uint64_t Ops) {
-  ServerProc Server = spawnServer(storeConfig(Cell.System, Cell.Shards, ""));
+  ServerProc Server = spawnServer(storeConfig(
+      Cell.System, Cell.Shards, "", Opt.ValueBytes, Opt.Keyspace));
 
   std::atomic<uint64_t> OpsIssued{0};
   std::atomic<bool> Failed{false};
@@ -577,8 +602,8 @@ int runCrashAudit(const Options &Opt) {
                DataDir.c_str(), Shards, Opt.Conns,
                (unsigned long long)Opt.CrashAfter);
 
-  ServerProc Server =
-      spawnServer(storeConfig(SystemKind::Crafty, Shards, DataDir));
+  ServerProc Server = spawnServer(storeConfig(
+      SystemKind::Crafty, Shards, DataDir, Opt.ValueBytes, Opt.Keyspace));
 
   // Phase 1: write-heavy load until the kill threshold. The keyspace is
   // partitioned: connection T owns keys {T, T + Conns, T + 2*Conns, ...},
@@ -624,8 +649,8 @@ int runCrashAudit(const Options &Opt) {
 
   // Phase 2: restart over the same images; the store attaches and
   // replays every shard's undo log before serving.
-  ServerProc Server2 =
-      spawnServer(storeConfig(SystemKind::Crafty, Shards, DataDir));
+  ServerProc Server2 = spawnServer(storeConfig(
+      SystemKind::Crafty, Shards, DataDir, Opt.ValueBytes, Opt.Keyspace));
 
   // Phase 3: audit. For each key, the recovered value must be a complete
   // value from the suffix of its write sequence starting at the last
@@ -730,6 +755,8 @@ int main(int argc, char **argv) {
       Opt.DataDir = Next();
     else if (Arg == "--scaling-gate")
       Opt.ScalingGate = std::atof(Next());
+    else if (Arg == "--large-values")
+      Opt.LargeValues = true;
     else {
       std::fprintf(
           stderr,
@@ -738,7 +765,7 @@ int main(int argc, char **argv) {
           "                  [--read-pct P] [--keyspace K]\n"
           "                  [--crash-after N] [--crash-shards S]\n"
           "                  [--datadir DIR] [--scaling-gate R]\n"
-          "                  [--repeats K]\n");
+          "                  [--repeats K] [--large-values]\n");
       return 2;
     }
   }
@@ -755,6 +782,39 @@ int main(int argc, char **argv) {
   if (Ops == 0)
     Ops = 1;
   std::vector<CellResult> Results;
+  if (Opt.LargeValues) {
+    // Value-size sweep: one shard, single-op requests, sizes from 64 B
+    // (inline cell) to 64 KiB (a 16-page heap extent). Per-cell op
+    // counts shrink with value size so every cell moves a comparable
+    // byte volume; the keyspace shrinks so the heap footprint stays
+    // bounded (storeConfig sizes the heap from keyspace x value size).
+    Opt.Keyspace = std::min<uint64_t>(Opt.Keyspace, 512);
+    const size_t Sizes[] = {64, 256, 1024, 4096, 16384, 65536};
+    const SystemKind Systems[] = {SystemKind::Crafty, SystemKind::NvHtm,
+                                  SystemKind::NonDurable};
+    for (SystemKind System : Systems)
+      for (size_t VB : Sizes) {
+        Options CellOpt = Opt;
+        CellOpt.ValueBytes = VB;
+        uint64_t CellOps =
+            VB > 256 ? std::max<uint64_t>(Ops * 256 / VB, 256) : Ops;
+        BenchCell Cell{System, 1, 1};
+        std::vector<CellResult> Samples;
+        for (unsigned Rep = 0; Rep != Opt.Repeats; ++Rep)
+          Samples.push_back(runBenchCell(CellOpt, Cell, CellOps));
+        std::sort(Samples.begin(), Samples.end(),
+                  [](const CellResult &A, const CellResult &B) {
+                    return A.OpsPerSec < B.OpsPerSec;
+                  });
+        CellResult R = Samples[Samples.size() / 2];
+        std::fprintf(stderr,
+                     "%-12s value=%6zuB  %9.0f ops/s  p50 %6.1fus  "
+                     "p99 %6.1fus%s\n",
+                     R.SystemName, R.ValueBytes, R.OpsPerSec, R.P50Us,
+                     R.P99Us, Opt.Repeats > 1 ? "  (median)" : "");
+        Results.push_back(R);
+      }
+  } else
   for (const BenchCell &Cell : Cells) {
     // --repeats R: fork a fresh server per repeat and keep the
     // median-throughput sample. Loopback service throughput on a shared

@@ -166,6 +166,18 @@ public:
   }
 };
 
+/// Runs \p Body as a *publish* transaction: the small pointer-swing
+/// transaction of the stage-then-publish large-object discipline
+/// (heap/DurableHeap.h). Behaviorally identical to Backend.run; it exists
+/// to name the ordering contract that discipline leans on: any writeback
+/// the caller scheduled before entering (CRAFTY_DRAIN_DEFERRED staging)
+/// is completed by this transaction's commit fence, so staged bytes are
+/// persistent no later than the pointer swing that makes them reachable.
+CRAFTY_TX_SAFE CRAFTY_DRAIN_API inline void
+runPublish(PtmBackend &Backend, unsigned ThreadId, TxnBody Body) {
+  Backend.run(ThreadId, Body);
+}
+
 } // namespace crafty
 
 #endif // CRAFTY_CORE_PTM_H

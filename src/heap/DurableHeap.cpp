@@ -1,0 +1,289 @@
+//===- heap/DurableHeap.cpp - Page-managed durable heap -------------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/DurableHeap.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace crafty {
+namespace heap {
+
+namespace {
+/// Bitmap mask for the pages of word \p W covered by the extent
+/// [PageStart, PageStart+Pages).
+uint64_t wordMask(uint64_t PageStart, uint64_t Pages, uint64_t W) {
+  uint64_t First = PageStart, Last = PageStart + Pages - 1;
+  uint64_t Lo = W == First >> 6 ? (First & 63) : 0;
+  uint64_t Hi = W == Last >> 6 ? (Last & 63) : 63;
+  uint64_t High = Hi == 63 ? ~0ull : ((1ull << (Hi + 1)) - 1);
+  return High & ~((1ull << Lo) - 1);
+}
+} // namespace
+
+size_t DurableHeap::bytesFor(size_t NumPages, size_t WalSlots) {
+  auto Align = [](size_t B) { return (B + 63) & ~size_t(63); };
+  size_t BitmapWords = (NumPages + 63) / 64;
+  return Align(BitmapWords * 8) + Align(NumPages * 8) + 64 /* epoch ctr */ +
+         Align(WalSlots * WalRecordWords * 8) + NumPages * PageBytes +
+         PageBytes /* page-alignment slack */;
+}
+
+DurableHeap::DurableHeap(PMemPool &P, size_t NPages, size_t NWalSlots,
+                         bool Attach)
+    : Pool(P), NumPages(NPages), WalSlots(NWalSlots),
+      BitmapWords((NPages + 63) / 64) {
+  // Carve order is part of the durable layout: openFresh and openAttached
+  // must produce identical offsets, so both run exactly this sequence.
+  DeferredPages = std::make_unique<std::atomic<uint64_t>[]>(BitmapWords);
+  DeferredWal = std::make_unique<std::atomic<uint8_t>[]>(WalSlots);
+  for (size_t W = 0; W < BitmapWords; ++W)
+    DeferredPages[W].store(0, std::memory_order_relaxed);
+  for (size_t S = 0; S < WalSlots; ++S)
+    DeferredWal[S].store(0, std::memory_order_relaxed);
+  Bitmap = static_cast<uint64_t *>(Pool.carve(BitmapWords * 8));
+  PageEpochs = static_cast<uint64_t *>(Pool.carve(NumPages * 8));
+  EpochCounter = static_cast<uint64_t *>(Pool.carve(sizeof(uint64_t)));
+  Wal = static_cast<uint64_t *>(Pool.carve(WalSlots * WalRecordWords * 8));
+  Pages = static_cast<uint8_t *>(Pool.carve(NumPages * PageBytes, PageBytes));
+  if (!Bitmap || !PageEpochs || !EpochCounter || !Wal || !Pages) {
+    std::fprintf(stderr, "DurableHeap: pool too small for %zu pages\n",
+                 NumPages);
+    std::abort();
+  }
+  if (Attach)
+    return;
+  // Fresh format: empty bitmap, zero epochs, free WAL, epoch counter 1
+  // (so epoch 0 unambiguously means "never allocated").
+  static const uint8_t Zeros[4096] = {};
+  auto ZeroDirect = [&](void *Addr, size_t Len) {
+    auto *Dst = static_cast<uint8_t *>(Addr);
+    while (Len) {
+      size_t Chunk = Len < sizeof(Zeros) ? Len : sizeof(Zeros);
+      Pool.persistDirect(Dst, Zeros, Chunk);
+      Dst += Chunk;
+      Len -= Chunk;
+    }
+  };
+  ZeroDirect(Bitmap, BitmapWords * 8);
+  ZeroDirect(PageEpochs, NumPages * 8);
+  ZeroDirect(Wal, WalSlots * WalRecordWords * 8);
+  uint64_t One = 1;
+  Pool.persistDirect(EpochCounter, &One, sizeof(One));
+}
+
+bool DurableHeap::findRun(uint64_t Need, uint64_t &PageStart) {
+  // Next-fit over the raw bitmap. The scan is only a heuristic: another
+  // thread can win the pages between this scan and our transaction, which
+  // allocInTx detects (verify-and-set) so the caller rescans.
+  uint64_t Start = NextFitCursor.load(std::memory_order_relaxed) % NumPages;
+  auto Scan = [&](uint64_t From, uint64_t To) {
+    uint64_t Run = 0, RunStart = 0;
+    for (uint64_t Pg = From; Pg < To; ++Pg) {
+      // Occupied = allocated in the bitmap OR freed since the last
+      // persist barrier (deferred reuse; see the file comment).
+      uint64_t Occ = Bitmap[Pg >> 6] |
+                     DeferredPages[Pg >> 6].load(std::memory_order_relaxed);
+      if ((Occ >> (Pg & 63)) & 1) {
+        Run = 0;
+        continue;
+      }
+      if (Run == 0)
+        RunStart = Pg;
+      if (++Run == Need) {
+        PageStart = RunStart;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!Scan(Start, NumPages) && !Scan(0, NumPages))
+    return false;
+  NextFitCursor.store(PageStart + Need, std::memory_order_relaxed);
+  return true;
+}
+
+bool DurableHeap::findWalSlot(uint64_t &Slot) {
+  for (uint64_t S = 0; S < WalSlots; ++S)
+    if (walRecord(S)[0] == WalFree &&
+        !DeferredWal[S].load(std::memory_order_relaxed)) {
+      Slot = S;
+      return true;
+    }
+  return false;
+}
+
+void DurableHeap::allocInTx(TxnContext &Tx, uint64_t PageStart, uint64_t Need,
+                            uint64_t WalSlot, bool &Ok) {
+  Ok = false;
+  uint64_t *Rec = walRecord(WalSlot);
+  if (Tx.load(&Rec[0]) != WalFree)
+    return; // Slot claimed since the raw scan; caller rescans.
+  uint64_t W0 = PageStart >> 6, W1 = (PageStart + Need - 1) >> 6;
+  for (uint64_t W = W0; W <= W1; ++W) {
+    // MaxExtentPages <= 64, so an extent's bits span at most 2 words.
+    CRAFTY_TX_BOUND(2);
+    uint64_t Mask = wordMask(PageStart, Need, W);
+    uint64_t Cur = Tx.load(&Bitmap[W]);
+    if (Cur & Mask)
+      return; // Pages claimed since the raw scan; caller rescans.
+    Tx.store(&Bitmap[W], Cur | Mask);
+  }
+  uint64_t Epoch = Tx.load(EpochCounter);
+  Tx.store(EpochCounter, Epoch + 1);
+  for (uint64_t Pg = PageStart; Pg < PageStart + Need; ++Pg) {
+    // One epoch stamp per extent page.
+    CRAFTY_TX_BOUND(MaxExtentPages);
+    Tx.store(&PageEpochs[Pg], Epoch);
+  }
+  Tx.store(&Rec[1], PageStart);
+  Tx.store(&Rec[2], Need);
+  Tx.store(&Rec[0], WalStaged);
+  Ok = true;
+}
+
+HeapStaged DurableHeap::allocAndStage(PtmBackend &Backend, unsigned Tid,
+                                      std::string_view Bytes) {
+  if (Bytes.size() > MaxObjectBytes)
+    return {};
+  uint64_t Need = pagesFor(Bytes.size());
+  for (unsigned Attempt = 0; Attempt < 32; ++Attempt) {
+    uint64_t PageStart = 0, Slot = 0;
+    if (!findRun(Need, PageStart) || !findWalSlot(Slot))
+      return {}; // Genuinely out of pages / WAL slots.
+    bool Ok = false;
+    Backend.run(Tid, [&](TxnContext &Tx) {
+      allocInTx(Tx, PageStart, Need, Slot, Ok);
+    });
+    if (!Ok)
+      continue; // Lost the claim race; rescan with fresh state.
+    // Stage: copy into the volatile view and schedule the image words.
+    // Raw stores are safe here -- the extent is invisible to every other
+    // thread until the publish transaction stores its ref.
+    uint8_t *Dst = pageData(PageStart);
+    if (!Bytes.empty())
+      std::memcpy(Dst, Bytes.data(), Bytes.size());
+    size_t Tail = Bytes.size() % 8;
+    if (Tail)
+      std::memset(Dst + Bytes.size(), 0, 8 - Tail);
+    size_t Words = (Bytes.size() + 7) / 8;
+    if (Words) {
+      std::vector<PMemWordWrite> Writes(Words);
+      auto *Src = reinterpret_cast<uint64_t *>(Dst);
+      for (size_t I = 0; I < Words; ++I)
+        Writes[I] = {&Src[I], Src[I]};
+      Pool.persistImageWords(Tid, Writes.data(), Words);
+      // No drain: the publish transaction's commit fence completes these
+      // writebacks (flush-without-drain, as in Crafty's Redo phase).
+    }
+    return {packRef(PageStart, Bytes.size()), Slot};
+  }
+  return {};
+}
+
+void DurableHeap::stageDrain(unsigned Tid) { Pool.drain(Tid); }
+
+void DurableHeap::freeExtentInTx(TxnContext &Tx, uint64_t Ref) {
+  uint64_t PageStart = refPage(Ref);
+  uint64_t Need = pagesFor(refLen(Ref));
+  uint64_t W0 = PageStart >> 6, W1 = (PageStart + Need - 1) >> 6;
+  for (uint64_t W = W0; W <= W1; ++W) {
+    // MaxExtentPages <= 64, so an extent's bits span at most 2 words.
+    CRAFTY_TX_BOUND(2);
+    uint64_t Mask = wordMask(PageStart, Need, W);
+    Tx.store(&Bitmap[W], Tx.load(&Bitmap[W]) & ~Mask);
+    // Defer reuse until the free is barrier-durable: if recovery rolls
+    // this transaction back, the resurrected extent must still hold its
+    // bytes. fetch_or is idempotent across body re-execution.
+    DeferredPages[W].fetch_or(Mask, std::memory_order_relaxed);
+  }
+}
+
+void DurableHeap::closeWalInTx(TxnContext &Tx, uint64_t WalSlot) {
+  Tx.store(&walRecord(WalSlot)[0], WalFree);
+  // Same deferral as pages: a rolled-back close must not find its slot
+  // re-staged by a different extent.
+  DeferredWal[WalSlot].store(1, std::memory_order_relaxed);
+}
+
+void DurableHeap::barrierReached() {
+  for (size_t W = 0; W < BitmapWords; ++W)
+    DeferredPages[W].store(0, std::memory_order_relaxed);
+  for (size_t S = 0; S < WalSlots; ++S)
+    DeferredWal[S].store(0, std::memory_order_relaxed);
+}
+
+void DurableHeap::abandon(PtmBackend &Backend, unsigned Tid,
+                          const HeapStaged &S) {
+  if (!S)
+    return;
+  Backend.run(Tid, [&](TxnContext &Tx) {
+    freeExtentInTx(Tx, S.Ref);
+    closeWalInTx(Tx, S.WalSlot);
+  });
+}
+
+bool DurableHeap::readExtent(uint64_t Ref, std::string &Out) const {
+  if (Ref == 0)
+    return false;
+  uint64_t Page = refPage(Ref), Len = refLen(Ref);
+  if (Len > MaxObjectBytes || Page >= NumPages ||
+      Page + pagesFor(Len) > NumPages)
+    return false;
+  Out.assign(reinterpret_cast<const char *>(pageData(Page)), Len);
+  return true;
+}
+
+size_t DurableHeap::recoverReclaim() {
+  size_t Reclaimed = 0;
+  for (uint64_t S = 0; S < WalSlots; ++S) {
+    uint64_t *Rec = walRecord(S);
+    if (Rec[0] != WalStaged)
+      continue;
+    uint64_t PageStart = Rec[1], Need = Rec[2];
+    if (Need >= 1 && Need <= MaxExtentPages && PageStart < NumPages &&
+        PageStart + Need <= NumPages) {
+      uint64_t W0 = PageStart >> 6, W1 = (PageStart + Need - 1) >> 6;
+      for (uint64_t W = W0; W <= W1; ++W) {
+        uint64_t Val = Bitmap[W] & ~wordMask(PageStart, Need, W);
+        Pool.persistDirect(&Bitmap[W], &Val, sizeof(Val));
+      }
+      ++Reclaimed;
+    }
+    uint64_t Free = WalFree;
+    Pool.persistDirect(&Rec[0], &Free, sizeof(Free));
+  }
+  // Post-recovery state is by definition barrier-durable (there is
+  // nothing left to roll back), so all deferrals lift.
+  barrierReached();
+  return Reclaimed;
+}
+
+uint64_t DurableHeap::allocatedPages() const {
+  uint64_t N = 0;
+  for (size_t W = 0; W < BitmapWords; ++W)
+    N += static_cast<uint64_t>(__builtin_popcountll(Bitmap[W]));
+  return N;
+}
+
+uint64_t DurableHeap::stagedWalRecords() const {
+  uint64_t N = 0;
+  for (uint64_t S = 0; S < WalSlots; ++S)
+    N += walRecord(S)[0] == WalStaged;
+  return N;
+}
+
+uint64_t DurableHeap::pageEpoch(size_t Page) const {
+  return Page < NumPages ? PageEpochs[Page] : 0;
+}
+
+uint64_t DurableHeap::currentEpoch() const { return *EpochCounter; }
+
+} // namespace heap
+} // namespace crafty

@@ -17,6 +17,12 @@ namespace {
 /// Hard cap on any length field: a malformed line must not make the
 /// server buffer gigabytes waiting for a block that never arrives.
 constexpr uint64_t MaxBlockBytes = 1 << 20;
+/// Blocks declared larger than MaxBlockBytes but at most this are
+/// *skimmed*: the bytes are consumed and discarded and the request is
+/// flagged too-large, so the server can answer `ERR toobig` and keep the
+/// connection (KvServer::MaxBufferedBytes accommodates the wait). Beyond
+/// this the client is abusive and the request is Malformed.
+constexpr uint64_t MaxOversizeSkimBytes = 2 << 20;
 constexpr uint64_t MaxMultiKeys = 1 << 16;
 
 /// Splits the token up to the next space (or end) off the front of \p S.
@@ -55,11 +61,26 @@ void appendU64(std::string &Out, uint64_t V) {
 }
 
 /// Consumes a length-prefixed block of \p Len bytes plus its '\n'
-/// terminator starting at \p Pos. Returns Ok/NeedMore/Malformed.
+/// terminator starting at \p Pos. Returns Ok/NeedMore/Malformed. With
+/// \p TooLarge non-null, lengths in (MaxBlockBytes, MaxOversizeSkimBytes]
+/// are skimmed -- consumed and discarded with *TooLarge set -- so the
+/// request still frames cleanly and the server answers `ERR toobig`
+/// without dropping the connection.
 ParseResult::Kind takeBlock(std::string_view Buf, size_t &Pos, uint64_t Len,
-                            std::string &Out) {
-  if (Len > MaxBlockBytes)
-    return ParseResult::Malformed;
+                            std::string &Out, bool *TooLarge = nullptr) {
+  if (Len > MaxBlockBytes) {
+    if (!TooLarge || Len > MaxOversizeSkimBytes)
+      return ParseResult::Malformed;
+    if (Buf.size() - Pos < Len + 1)
+      return ParseResult::NeedMore;
+    Pos += Len;
+    if (Buf[Pos] != '\n')
+      return ParseResult::Malformed;
+    ++Pos;
+    *TooLarge = true;
+    Out.clear();
+    return ParseResult::Ok;
+  }
   if (Buf.size() - Pos < Len + 1)
     return ParseResult::NeedMore;
   Out.assign(Buf.data() + Pos, Len);
@@ -113,7 +134,7 @@ ParseResult kv::parseRequest(std::string_view Buf, KvRequest &Out) {
     if (!parseU64(nextToken(Rest), Out.Key) ||
         !parseU64(nextToken(Rest), Len) || !nextToken(Rest).empty())
       return Fail();
-    K = takeBlock(Buf, Pos, Len, Out.Val);
+    K = takeBlock(Buf, Pos, Len, Out.Val, &Out.ValTooLarge);
     if (K != ParseResult::Ok)
       return {K, 0};
     Out.Op = KvOp::Set;
@@ -125,13 +146,18 @@ ParseResult kv::parseRequest(std::string_view Buf, KvRequest &Out) {
         !parseU64(nextToken(Rest), ELen) ||
         !parseU64(nextToken(Rest), DLen) || !nextToken(Rest).empty())
       return Fail();
-    if (ELen > MaxBlockBytes || DLen > MaxBlockBytes)
+    if (ELen > MaxOversizeSkimBytes || DLen > MaxOversizeSkimBytes)
       return Fail();
     // Both blocks share one terminator: <expect><desired>\n.
     if (Buf.size() - Pos < ELen + DLen + 1)
       return {ParseResult::NeedMore, 0};
-    Out.Expect.assign(Buf.data() + Pos, ELen);
-    Out.Val.assign(Buf.data() + Pos + ELen, DLen);
+    if (ELen > MaxBlockBytes || DLen > MaxBlockBytes) {
+      // Skim: frame the request but keep nothing; `ERR toobig` reply.
+      Out.ValTooLarge = true;
+    } else {
+      Out.Expect.assign(Buf.data() + Pos, ELen);
+      Out.Val.assign(Buf.data() + Pos + ELen, DLen);
+    }
     Pos += ELen + DLen;
     if (Buf[Pos] != '\n')
       return Fail();
@@ -173,10 +199,12 @@ ParseResult kv::parseRequest(std::string_view Buf, KvRequest &Out) {
           !nextToken(ItemRest).empty())
         return Fail();
       std::string Val;
-      K = takeBlock(Buf, Pos, Len, Val);
+      bool TooLarge = false;
+      K = takeBlock(Buf, Pos, Len, Val, &TooLarge);
       if (K != ParseResult::Ok)
         return {K, 0};
       Out.Pairs.emplace_back(Key, std::move(Val));
+      Out.PairTooLarge.push_back(TooLarge);
     }
     Out.Op = KvOp::Mset;
     return Done();

@@ -62,6 +62,12 @@ struct KvRequest {
   std::string Expect; // CAS expected value.
   std::vector<uint64_t> Keys;                           // MGET.
   std::vector<std::pair<uint64_t, std::string>> Pairs;  // MSET.
+  /// SET/CAS: the declared block length exceeded the parser's cap; the
+  /// bytes were consumed (skimmed) but not kept, so the server answers
+  /// `ERR toobig` without touching a shard or dropping the connection.
+  bool ValTooLarge = false;
+  /// MSET: parallel to Pairs; nonzero entries were skimmed as above.
+  std::vector<uint8_t> PairTooLarge;
 };
 
 /// Outcome of one parse attempt over the front of a read buffer.

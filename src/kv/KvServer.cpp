@@ -377,6 +377,15 @@ void KvServer::dispatchRequest(Worker &Wk, Conn &C, KvRequest &&Req,
   case KvOp::Set:
   case KvOp::Del:
   case KvOp::Cas: {
+    if (Req.ValTooLarge) {
+      // The parser skimmed an oversize payload: answer `ERR toobig`
+      // immediately without staging anything. The connection stays
+      // healthy -- the request framed cleanly, it was just too big.
+      appendStatus(S.Resp, KvStatus::TooBig);
+      S.St = Slot::Ready;
+      Served.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     // Stage the operation; the commit point executes it inside the
     // shard's cycle batch. The slot owns the payload the views target.
     unsigned Shard = Store.shardOf(Req.Key);
@@ -426,6 +435,11 @@ void KvServer::dispatchRequest(Worker &Wk, Conn &C, KvRequest &&Req,
   std::vector<std::vector<uint32_t>> ByShard(Store.numShards());
   bool Local = true;
   for (uint32_t I = 0; I != (uint32_t)N; ++I) {
+    // Skimmed MSET pairs are answered `ERR toobig` in place and never
+    // staged (their payload was discarded by the parser).
+    if (Req.Op == KvOp::Mset && I < Req.PairTooLarge.size() &&
+        Req.PairTooLarge[I])
+      continue;
     uint64_t Key =
         Req.Op == KvOp::Mget ? Req.Keys[I] : Req.Pairs[I].first;
     unsigned Shard = Store.shardOf(Key);
@@ -460,6 +474,10 @@ void KvServer::dispatchRequest(Worker &Wk, Conn &C, KvRequest &&Req,
     S.Pairs = std::move(Req.Pairs);
     S.Statuses.assign(N, KvStatus::Err);
     for (uint32_t I = 0; I != (uint32_t)N; ++I) {
+      if (I < Req.PairTooLarge.size() && Req.PairTooLarge[I]) {
+        S.Statuses[I] = KvStatus::TooBig;
+        continue;
+      }
       KvCycleOp Op;
       Op.K = KvCycleOp::Set;
       Op.Key = S.Pairs[I].first;
@@ -574,6 +592,11 @@ void KvServer::startScatterGather(
   } else {
     Sg->Pairs = std::move(Req.Pairs);
     Sg->Statuses.assign(Sg->Pairs.size(), KvStatus::Err);
+    // Skimmed pairs were excluded from every piece; answer them here.
+    for (size_t I = 0;
+         I != Req.PairTooLarge.size() && I != Sg->Statuses.size(); ++I)
+      if (Req.PairTooLarge[I])
+        Sg->Statuses[I] = KvStatus::TooBig;
   }
   for (unsigned Shard = 0; Shard != ByShard.size(); ++Shard) {
     if (ByShard[Shard].empty())

@@ -24,6 +24,8 @@ size_t poolBytesFor(const KvConfig &Cfg) {
   size_t Cells = DurableHashMap::roundUpPow2(Cfg.SlotsPerShard);
   size_t Kv = DurableHashMap::bytesFor(Cfg.SlotsPerShard) +
               Cells * Cfg.cellBytes() + Cells * 8 + CacheLineBytes;
+  if (Cfg.HeapPages)
+    Kv += heap::DurableHeap::bytesFor(Cfg.HeapPages, Cfg.HeapWalSlots);
   size_t Backend = 0;
   switch (Cfg.Backend) {
   case SystemKind::Crafty:
@@ -113,6 +115,10 @@ void KvShard::openAttached() {
   if (H != Pool->base())
     fatalError("KvShard: attach carve layout does not match the image");
   carveKvRegions(/*Attach=*/true);
+  // Undo replay restored bitmap/WAL consistency; now reclaim extents that
+  // were staged (allocated + WAL intent durable) but never published.
+  if (Heap)
+    HeapReclaimed = Heap->recoverReclaim();
 }
 
 void KvShard::attachBackend() {
@@ -129,12 +135,15 @@ void KvShard::attachBackend() {
 
 void KvShard::carveKvRegions(bool Attach) {
   // Fixed carve order (format and attach must match): map, cells,
-  // freelist links, freelist head. The backend carved its own regions
-  // (header, logs) first in both paths.
+  // freelist links, freelist head, heap. The backend carved its own
+  // regions (header, logs) first in both paths.
   Map = std::make_unique<DurableHashMap>(*Pool, Cfg.SlotsPerShard, Attach);
   CellsBase = static_cast<uint8_t *>(Pool->carve(NumCells * CellBytes));
   NextFree = static_cast<uint64_t *>(Pool->carve(NumCells * 8));
   FreeHead = static_cast<uint64_t *>(Pool->carve(CacheLineBytes));
+  if (Cfg.HeapPages)
+    Heap = std::make_unique<heap::DurableHeap>(*Pool, Cfg.HeapPages,
+                                               Cfg.HeapWalSlots, Attach);
   if (!Attach) {
     // Chain every cell onto the freelist; setup-time direct persists.
     std::vector<uint64_t> Links(NumCells);
@@ -168,10 +177,31 @@ void KvShard::writeCellTx(TxnContext &Tx, uint64_t CellIdx,
   }
 }
 
+void KvShard::writeHeapCellTx(TxnContext &Tx, uint64_t CellIdx,
+                              uint64_t Ref) {
+  uint64_t *Cell = cellAt(CellIdx);
+  Tx.store(Cell, HeapLenTag);
+  Tx.store(Cell + 1, Ref);
+}
+
+void KvShard::freeCellExtentTx(TxnContext &Tx, uint64_t CellIdx) {
+  if (!Heap)
+    return;
+  uint64_t *Cell = cellAt(CellIdx);
+  if (Tx.load(Cell) != HeapLenTag)
+    return;
+  Heap->freeExtentInTx(Tx, Tx.load(Cell + 1));
+}
+
 bool KvShard::readCellTx(TxnContext &Tx, uint64_t CellIdx,
                          std::string &Out) {
   uint64_t *Cell = cellAt(CellIdx);
   uint64_t Len = Tx.load(Cell);
+  if (Len == HeapLenTag)
+    // Tag and ref were loaded transactionally: a concurrent free of this
+    // extent rewrites these words and aborts us, so the raw extent copy
+    // below can never commit torn.
+    return Heap && Heap->readExtent(Tx.load(Cell + 1), Out);
   if (Len > Cfg.MaxValueBytes)
     return false;
   Out.resize(Len);
@@ -183,8 +213,8 @@ bool KvShard::readCellTx(TxnContext &Tx, uint64_t CellIdx,
   return true;
 }
 
-KvStatus KvShard::setInTx(TxnContext &Tx, uint64_t Key,
-                          std::string_view Val) {
+KvStatus KvShard::setInTx(TxnContext &Tx, uint64_t Key, std::string_view Val,
+                          const heap::HeapStaged &S) {
   std::optional<uint64_t> Existing = Map->getTx(Tx, Key);
   uint64_t CellIdx;
   if (Existing) {
@@ -204,8 +234,47 @@ KvStatus KvShard::setInTx(TxnContext &Tx, uint64_t Key,
       return KvStatus::Full;
     }
   }
-  writeCellTx(Tx, CellIdx, Val);
+  // Whatever extent the cell owned is displaced either way; freeing it
+  // here keeps pointer swing + free in one atomic publish transaction.
+  freeCellExtentTx(Tx, CellIdx);
+  if (S) {
+    writeHeapCellTx(Tx, CellIdx, S.Ref);
+    Heap->closeWalInTx(Tx, S.WalSlot);
+  } else {
+    writeCellTx(Tx, CellIdx, Val);
+  }
   return KvStatus::Ok;
+}
+
+bool KvShard::prepareValue(unsigned Tid, std::string_view Val,
+                           heap::HeapStaged &S, KvStatus &St) {
+  S = {};
+  size_t Threshold = Heap ? Cfg.heapThreshold() : Cfg.MaxValueBytes;
+  if (Val.size() <= Threshold)
+    return true; // Inline cell fast path.
+  if (!Heap || Val.size() > heap::DurableHeap::MaxObjectBytes) {
+    St = KvStatus::TooBig;
+    return false;
+  }
+  S = Heap->allocAndStage(*Backend, Tid, Val);
+  if (!S) {
+    // Exhaustion may be only barrier-deferred reuse (pages/WAL slots
+    // freed since the last barrier are held back so rollback cannot
+    // resurrect clobbered extents). Force a barrier and retry once
+    // before reporting the shard genuinely full.
+    persistAck(Tid);
+    S = Heap->allocAndStage(*Backend, Tid, Val);
+  }
+  if (!S) {
+    St = KvStatus::Full; // Pages or WAL records exhausted.
+    return false;
+  }
+  // Crafty's next HTM commit (the publish transaction) fences the staged
+  // writebacks; backends without that flush-without-drain trick pay an
+  // explicit drain here, as the paper's baselines would.
+  if (!crafty())
+    Heap->stageDrain(Tid);
+  return true;
 }
 
 KvStatus KvShard::get(unsigned Tid, uint64_t Key, std::string &Out) {
@@ -222,10 +291,13 @@ KvStatus KvShard::get(unsigned Tid, uint64_t Key, std::string &Out) {
 }
 
 KvStatus KvShard::set(unsigned Tid, uint64_t Key, std::string_view Val) {
-  if (Val.size() > Cfg.MaxValueBytes)
-    return KvStatus::TooBig;
+  heap::HeapStaged S;
   KvStatus St = KvStatus::Err;
-  Backend->run(Tid, [&](TxnContext &Tx) { St = setInTx(Tx, Key, Val); });
+  if (!prepareValue(Tid, Val, S, St))
+    return St;
+  Backend->run(Tid, [&](TxnContext &Tx) { St = setInTx(Tx, Key, Val, S); });
+  if (S && St != KvStatus::Ok)
+    Heap->abandon(*Backend, Tid, S);
   ++Stats[Tid].Sets;
   return St;
 }
@@ -235,6 +307,7 @@ KvStatus KvShard::delInTx(TxnContext &Tx, uint64_t Key) {
   if (!Cell)
     return KvStatus::NotFound;
   Map->eraseTx(Tx, Key);
+  freeCellExtentTx(Tx, *Cell);
   Tx.store(&NextFree[*Cell], Tx.load(FreeHead));
   Tx.store(FreeHead, *Cell + 1);
   return KvStatus::Ok;
@@ -242,7 +315,7 @@ KvStatus KvShard::delInTx(TxnContext &Tx, uint64_t Key) {
 
 KvStatus KvShard::casInTx(TxnContext &Tx, uint64_t Key,
                           std::string_view Expect, std::string_view Desired,
-                          std::string &Scratch) {
+                          std::string &Scratch, const heap::HeapStaged &S) {
   std::optional<uint64_t> Cell = Map->getTx(Tx, Key);
   if (!Cell)
     return KvStatus::NotFound;
@@ -250,7 +323,13 @@ KvStatus KvShard::casInTx(TxnContext &Tx, uint64_t Key,
     return KvStatus::Err;
   if (Scratch != Expect)
     return KvStatus::Mismatch;
-  writeCellTx(Tx, *Cell, Desired);
+  freeCellExtentTx(Tx, *Cell);
+  if (S) {
+    writeHeapCellTx(Tx, *Cell, S.Ref);
+    Heap->closeWalInTx(Tx, S.WalSlot);
+  } else {
+    writeCellTx(Tx, *Cell, Desired);
+  }
   return KvStatus::Ok;
 }
 
@@ -263,31 +342,45 @@ KvStatus KvShard::del(unsigned Tid, uint64_t Key) {
 
 KvStatus KvShard::cas(unsigned Tid, uint64_t Key, std::string_view Expect,
                       std::string_view Desired) {
-  if (Desired.size() > Cfg.MaxValueBytes)
-    return KvStatus::TooBig;
+  heap::HeapStaged S;
   KvStatus St = KvStatus::NotFound;
+  if (!prepareValue(Tid, Desired, S, St))
+    return St;
   std::string Cur;
   Backend->run(Tid, [&](TxnContext &Tx) {
-    St = casInTx(Tx, Key, Expect, Desired, Cur);
+    St = casInTx(Tx, Key, Expect, Desired, Cur, S);
   });
+  if (S && St != KvStatus::Ok)
+    Heap->abandon(*Backend, Tid, S);
   ++Stats[Tid].Cas;
   return St;
 }
 
 void KvShard::setBatch(unsigned Tid, KvBatchItem *Items, size_t N) {
   size_t Limit = Cfg.BatchTxnLimit ? Cfg.BatchTxnLimit : 1;
+  std::vector<heap::HeapStaged> Staged(Limit);
+  std::vector<uint8_t> Skip(Limit);
   for (size_t Begin = 0; Begin != N;) {
     size_t End = std::min(N, Begin + Limit);
+    // Stage the chunk's heap-bound values before its transaction; items
+    // that fail routing get their terminal status here and are skipped.
+    // Limit <= HeapWalSlots keeps every chunk's staging within the WAL.
+    for (size_t I = Begin; I != End; ++I)
+      Skip[I - Begin] = !prepareValue(Tid, Items[I].Val, Staged[I - Begin],
+                                      Items[I].Status);
     Backend->run(Tid, [&](TxnContext &Tx) {
       for (size_t I = Begin; I != End; ++I) {
         // End - Begin <= Limit: one transaction covers one batch chunk.
         CRAFTY_TX_BOUND(Cfg.BatchTxnLimit);
         KvBatchItem &Item = Items[I];
-        Item.Status = Item.Val.size() > Cfg.MaxValueBytes
-                          ? KvStatus::TooBig
-                          : setInTx(Tx, Item.Key, Item.Val);
+        if (Skip[I - Begin])
+          continue; // Routing failed before the transaction.
+        Item.Status = setInTx(Tx, Item.Key, Item.Val, Staged[I - Begin]);
       }
     });
+    for (size_t I = Begin; I != End; ++I)
+      if (Staged[I - Begin] && Items[I].Status != KvStatus::Ok)
+        Heap->abandon(*Backend, Tid, Staged[I - Begin]);
     Stats[Tid].Sets += End - Begin;
     Stats[Tid].BatchedSets += End - Begin;
     Begin = End;
@@ -324,13 +417,26 @@ bool KvShard::runCycle(unsigned Tid, KvCycleOp *Ops, size_t N) {
   size_t Limit = Cfg.BatchTxnLimit ? Cfg.BatchTxnLimit : 1;
   bool Wrote = false;
   std::string Scratch;
+  std::vector<heap::HeapStaged> Staged(Limit);
+  std::vector<uint8_t> Skip(Limit);
   for (size_t Begin = 0; Begin != N;) {
     size_t End = std::min(N, Begin + Limit);
+    // Pre-stage the chunk's heap-bound SET/CAS values (see setBatch).
+    for (size_t I = Begin; I != End; ++I) {
+      KvCycleOp &Op = Ops[I];
+      Staged[I - Begin] = {};
+      Skip[I - Begin] = false;
+      if (Op.K == KvCycleOp::Set || Op.K == KvCycleOp::Cas)
+        Skip[I - Begin] =
+            !prepareValue(Tid, Op.Val, Staged[I - Begin], *Op.Status);
+    }
     Backend->run(Tid, [&](TxnContext &Tx) {
       for (size_t I = Begin; I != End; ++I) {
         // End - Begin <= Limit: one transaction covers one cycle chunk.
         CRAFTY_TX_BOUND(Cfg.BatchTxnLimit);
         KvCycleOp &Op = Ops[I];
+        if (Skip[I - Begin])
+          continue; // Routing failed before the transaction.
         switch (Op.K) {
         case KvCycleOp::Get: {
           KvResult &R = *Op.Result;
@@ -342,21 +448,21 @@ bool KvShard::runCycle(unsigned Tid, KvCycleOp *Ops, size_t N) {
           break;
         }
         case KvCycleOp::Set:
-          *Op.Status = Op.Val.size() > Cfg.MaxValueBytes
-                           ? KvStatus::TooBig
-                           : setInTx(Tx, Op.Key, Op.Val);
+          *Op.Status = setInTx(Tx, Op.Key, Op.Val, Staged[I - Begin]);
           break;
         case KvCycleOp::Del:
           *Op.Status = delInTx(Tx, Op.Key);
           break;
         case KvCycleOp::Cas:
-          *Op.Status = Op.Val.size() > Cfg.MaxValueBytes
-                           ? KvStatus::TooBig
-                           : casInTx(Tx, Op.Key, Op.Expect, Op.Val, Scratch);
+          *Op.Status = casInTx(Tx, Op.Key, Op.Expect, Op.Val, Scratch,
+                               Staged[I - Begin]);
           break;
         }
       }
     });
+    for (size_t I = Begin; I != End; ++I)
+      if (Staged[I - Begin] && *Ops[I].Status != KvStatus::Ok)
+        Heap->abandon(*Backend, Tid, Staged[I - Begin]);
     for (size_t I = Begin; I != End; ++I) {
       const KvCycleOp &Op = Ops[I];
       switch (Op.K) {
@@ -390,6 +496,8 @@ void KvShard::persistAck(unsigned Tid) {
     Rt->persistBarrier(Tid);
   // NV-HTM / DudeTM persist their redo log inside run(); Non-durable
   // promises nothing. Neither needs (or has) an on-demand barrier.
+  if (Heap)
+    Heap->barrierReached();
 }
 
 void KvShard::persistAckBegin(unsigned Tid, PersistBarrierTicket &T) {
@@ -402,6 +510,8 @@ void KvShard::persistAckBegin(unsigned Tid, PersistBarrierTicket &T) {
 void KvShard::persistAckEnd(unsigned Tid, PersistBarrierTicket &T) {
   if (CraftyRuntime *Rt = crafty())
     Rt->persistBarrierEnd(Tid, T);
+  if (Heap)
+    Heap->barrierReached();
 }
 
 void KvShard::simulateCrash() { Pool->crash(); }
@@ -413,6 +523,8 @@ void KvShard::recoverInPlace() {
   Backend.reset();
   LastRecovery = RecoveryObserver::recoverPool(*Pool);
   attachBackend();
+  if (Heap)
+    HeapReclaimed = Heap->recoverReclaim();
 }
 
 bool KvShard::peek(uint64_t Key, std::string &Out) const {
@@ -421,10 +533,28 @@ bool KvShard::peek(uint64_t Key, std::string &Out) const {
     return false;
   const uint64_t *C = cellAt(*Cell);
   uint64_t Len = C[0];
+  if (Len == HeapLenTag)
+    return Heap && Heap->readExtent(C[1], Out);
   if (Len > Cfg.MaxValueBytes)
     return false;
   Out.assign(reinterpret_cast<const char *>(C + 1), Len);
   return true;
+}
+
+KvHeapAudit KvShard::auditHeap() const {
+  KvHeapAudit A;
+  if (!Heap)
+    return A;
+  A.Enabled = true;
+  A.BitmapPages = Heap->allocatedPages();
+  A.StagedWal = Heap->stagedWalRecords();
+  Map->forEachPeek([&](uint64_t, uint64_t CellIdx) {
+    const uint64_t *C = cellAt(CellIdx);
+    if (C[0] == HeapLenTag)
+      A.LivePages +=
+          heap::DurableHeap::pagesFor(heap::DurableHeap::refLen(C[1]));
+  });
+  return A;
 }
 
 KvOpStats KvShard::opStats() const {

@@ -22,6 +22,15 @@
 /// recovery free: rolling back the undo log restores map, cells and
 /// freelist to one consistent snapshot, with no allocator rebuild.
 ///
+/// With KvConfig::HeapPages set, values above KvConfig::heapThreshold()
+/// route through the shard's heap::DurableHeap: the bytes are staged to
+/// fresh pages *before* the mutation's transaction (allocAndStage), and
+/// the transaction itself only swings the cell to a heap-tagged ref
+/// ([0] = HeapLenTag, [1] = packed extent ref), frees the extent the
+/// cell previously owned, and closes the staging WAL record. That keeps
+/// every transaction's write set small regardless of value size, lifting
+/// the MaxValueBytes ceiling to the heap extent cap (64 KiB).
+///
 /// Durability of acknowledgements is explicit: commit alone does not make
 /// a Crafty transaction durable (recovery may roll back a tail of
 /// committed transactions, bounded by MAX_LAG). persistAck() runs the
@@ -149,6 +158,15 @@ public:
   bool peek(uint64_t Key, std::string &Out) const;
   /// Quiesced raw live-key count; ~0ull if map metadata is corrupt.
   uint64_t auditCount() const { return Map->auditCount(); }
+  /// Quiesced heap leak audit: bitmap pages vs pages owned by live
+  /// heap-tagged cells, plus in-flight WAL records. Enabled=false (and
+  /// trivially consistent) when the heap is off.
+  KvHeapAudit auditHeap() const;
+  /// The shard's large-object heap, or null when HeapPages is 0.
+  heap::DurableHeap *heap() { return Heap.get(); }
+  /// Extents the last open-from-image recovery reclaimed from the heap
+  /// WAL (staged but never published before the crash).
+  size_t heapExtentsReclaimed() const { return HeapReclaimed; }
 
   PMemPool &pool() { return *Pool; }
   PtmBackend &backend() { return *Backend; }
@@ -176,31 +194,57 @@ private:
     return reinterpret_cast<const uint64_t *>(CellsBase +
                                               CellIdx * CellBytes);
   }
+  /// Cell[0] value marking a heap-routed cell: Cell[1] then holds the
+  /// packed extent ref. Never a valid inline length (inline lengths are
+  /// <= MaxValueBytes).
+  static constexpr uint64_t HeapLenTag = ~0ull;
+
+  /// Pre-transaction arm of the large-value pipeline: routes \p Val
+  /// (inline vs heap) and, for heap-bound values, reserves and stages an
+  /// extent. Returns false with \p St set (TooBig / Full) when the value
+  /// cannot be stored; the caller must not enter its transaction. On a
+  /// non-Ok transaction outcome the caller abandons \p S.
+  CRAFTY_DRAIN_DEFERRED bool prepareValue(unsigned Tid, std::string_view Val,
+                                          heap::HeapStaged &S, KvStatus &St);
   /// Writes len + value bytes into a cell inside an open transaction.
   /// Worst case: the length word plus MaxValueBytes / 8 value words.
   CRAFTY_TX_CAPACITY(33)
   CRAFTY_TX_BODY void writeCellTx(TxnContext &Tx, uint64_t CellIdx,
                                   std::string_view Val);
+  /// Publishes a staged heap extent into a cell: tag + packed ref.
+  CRAFTY_TX_CAPACITY(2)
+  CRAFTY_TX_BODY void writeHeapCellTx(TxnContext &Tx, uint64_t CellIdx,
+                                      uint64_t Ref);
+  /// Frees the heap extent a cell currently owns, if any (the
+  /// overwrite/delete half of the publish transaction).
+  CRAFTY_TX_CAPACITY(2)
+  CRAFTY_TX_BODY void freeCellExtentTx(TxnContext &Tx, uint64_t CellIdx);
   /// Reads a cell's value inside an open transaction; false on corrupt
-  /// length metadata.
+  /// length metadata. Heap-tagged cells are followed through the heap
+  /// (raw extent copy; safe because the tag/ref loads above went through
+  /// \p Tx -- see heap::DurableHeap::readExtent).
   CRAFTY_TX_BODY bool readCellTx(TxnContext &Tx, uint64_t CellIdx,
                                  std::string &Out);
   /// The SET engine shared by set/setBatch; runs inside an open txn.
-  /// writeCellTx's budget plus the map-slot words (key publish + chains).
-  CRAFTY_TX_CAPACITY(51)
+  /// writeCellTx's budget plus the map-slot words (key publish + chains)
+  /// plus freeing a displaced heap extent.
+  CRAFTY_TX_CAPACITY(53)
   CRAFTY_TX_BODY KvStatus setInTx(TxnContext &Tx, uint64_t Key,
-                                  std::string_view Val);
+                                  std::string_view Val,
+                                  const heap::HeapStaged &S);
   /// The DEL engine shared by del/runCycle: map tombstone + meta plus
-  /// the two freelist words.
-  CRAFTY_TX_CAPACITY(8)
+  /// the two freelist words plus freeing the cell's heap extent.
+  CRAFTY_TX_CAPACITY(10)
   CRAFTY_TX_BODY KvStatus delInTx(TxnContext &Tx, uint64_t Key);
   /// The CAS engine shared by cas/runCycle; \p Scratch receives the
-  /// current value. Only writeCellTx's budget (the cell is reused).
-  CRAFTY_TX_CAPACITY(33)
+  /// current value. writeCellTx's budget (the cell is reused) plus
+  /// freeing a displaced heap extent.
+  CRAFTY_TX_CAPACITY(35)
   CRAFTY_TX_BODY KvStatus casInTx(TxnContext &Tx, uint64_t Key,
                                   std::string_view Expect,
                                   std::string_view Desired,
-                                  std::string &Scratch);
+                                  std::string &Scratch,
+                                  const heap::HeapStaged &S);
 
   KvConfig Cfg;
   unsigned ShardIdx;
@@ -211,12 +255,16 @@ private:
   std::unique_ptr<HtmRuntime> Htm;
   std::unique_ptr<PtmBackend> Backend;
   std::unique_ptr<DurableHashMap> Map;
+  /// Large-object heap (carved after the freelist head); null when
+  /// KvConfig::HeapPages is 0.
+  std::unique_ptr<heap::DurableHeap> Heap;
   CRAFTY_PMEM uint8_t *CellsBase = nullptr;
   CRAFTY_PMEM uint64_t *NextFree = nullptr; // NumCells words; idx+1, 0 = end.
   CRAFTY_PMEM uint64_t *FreeHead = nullptr; // One word; idx+1, 0 = empty.
 
   bool RecoveredOnOpen = false;
   RecoveryReport LastRecovery;
+  size_t HeapReclaimed = 0;
 
   /// Per-worker op counters (each Tid is single-threaded by contract).
   std::vector<KvOpStats> Stats;

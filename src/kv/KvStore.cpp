@@ -158,6 +158,13 @@ uint64_t KvStore::checkerViolations() {
   return N;
 }
 
+KvHeapAudit KvStore::auditHeap() const {
+  KvHeapAudit A;
+  for (const auto &Shard : Shards)
+    A += Shard->auditHeap();
+  return A;
+}
+
 KvOpStats KvStore::opStats() const {
   KvOpStats S;
   for (const auto &Shard : Shards)

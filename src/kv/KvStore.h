@@ -90,6 +90,11 @@ public:
   /// checkers are disabled or clean).
   uint64_t checkerViolations();
 
+  /// Quiesced heap leak audit summed over all shards: allocated bitmap
+  /// pages must equal pages owned by live heap-routed values, with no
+  /// in-flight staging WAL records (see KvHeapAudit::consistent).
+  KvHeapAudit auditHeap() const;
+
   KvOpStats opStats() const;
 
 private:

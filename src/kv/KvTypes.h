@@ -13,7 +13,9 @@
 /// The service stores ⟨uint64_t key → byte-string value⟩ pairs. Keys are
 /// 64-bit integers (the reserved DurableHashMap encodings exclude the two
 /// largest values); values are opaque byte strings up to
-/// KvConfig::MaxValueBytes. Every mutation is one persistent transaction
+/// KvConfig::activeValueLimit() -- MaxValueBytes inline, or the durable
+/// heap's extent cap (64 KiB) when KvConfig::HeapPages enables the
+/// large-object path. Every mutation is one persistent transaction
 /// on the owning shard's backend, so a value is never torn across a
 /// crash, and acknowledgements are withheld until the write is durable
 /// (see KvShard::persistAck).
@@ -24,6 +26,7 @@
 #define CRAFTY_KV_KVTYPES_H
 
 #include "baselines/Factory.h"
+#include "heap/DurableHeap.h"
 #include "pmem/PMemPool.h"
 
 #include <cstdint>
@@ -38,8 +41,8 @@ enum class KvStatus : uint8_t {
   Ok,
   NotFound,
   Mismatch, // CAS expectation failed.
-  Full,     // Shard table or value-cell freelist exhausted.
-  TooBig,   // Value exceeds KvConfig::MaxValueBytes.
+  Full,     // Shard table, value-cell freelist, or heap pages exhausted.
+  TooBig,   // Value exceeds KvConfig::activeValueLimit().
   Err,      // Malformed request / internal error.
 };
 
@@ -100,10 +103,58 @@ struct KvConfig {
   bool EnablePersistCheck = false;
   bool EnableTxRaceCheck = false;
 
+  /// Pages of the per-shard durable large-object heap
+  /// (heap/DurableHeap.h); 0 disables the heap, confining values to the
+  /// inline cell arena (the pre-heap behavior).
+  size_t HeapPages = 0;
+  /// Values strictly larger than this route through the heap (heap
+  /// enabled only); 0 means MaxValueBytes, i.e. inline cells stay the
+  /// small-value fast path and only values that cannot fit inline pay
+  /// the stage-then-publish pipeline.
+  size_t HeapValueThreshold = 0;
+  /// WAL records for in-flight heap extents. Bounds concurrently staged
+  /// but unpublished extents; keep >= BatchTxnLimit so one batch chunk
+  /// can pre-stage entirely.
+  size_t HeapWalSlots = 64;
+
   /// Bytes of one value cell: length word + padded value bytes.
   size_t cellBytes() const {
     return (8 + MaxValueBytes + CacheLineBytes - 1) &
            ~(size_t)(CacheLineBytes - 1);
+  }
+
+  /// Largest value the store accepts under this configuration: the heap
+  /// extent cap when the heap is enabled, MaxValueBytes otherwise.
+  size_t activeValueLimit() const {
+    return HeapPages ? heap::DurableHeap::MaxObjectBytes : MaxValueBytes;
+  }
+
+  /// Inline/heap routing threshold actually applied (clamped so inline
+  /// values always fit a cell).
+  size_t heapThreshold() const {
+    size_t T = HeapValueThreshold ? HeapValueThreshold : MaxValueBytes;
+    return T < MaxValueBytes ? T : MaxValueBytes;
+  }
+};
+
+/// Result of a quiesced heap leak audit (KvShard::auditHeap /
+/// KvStore::auditHeap): the allocator's bitmap page count must equal the
+/// pages owned by live heap-routed values, with no in-flight WAL records.
+struct KvHeapAudit {
+  bool Enabled = false;    ///< Any shard has a heap configured.
+  uint64_t BitmapPages = 0; ///< Pages marked allocated in the bitmaps.
+  uint64_t LivePages = 0;  ///< Pages owned by live heap-tagged cells.
+  uint64_t StagedWal = 0;  ///< WAL records still in the Staged state.
+
+  bool consistent() const {
+    return !Enabled || (BitmapPages == LivePages && StagedWal == 0);
+  }
+  KvHeapAudit &operator+=(const KvHeapAudit &O) {
+    Enabled |= O.Enabled;
+    BitmapPages += O.BitmapPages;
+    LivePages += O.LivePages;
+    StagedWal += O.StagedWal;
+    return *this;
   }
 };
 

@@ -171,6 +171,17 @@ public:
     return std::nullopt;
   }
 
+  /// Non-transactional raw-memory iteration over live entries for
+  /// quiesced audits (the KV layer's heap leak accounting walks every
+  /// live cell this way). Calls \p F(Key, Value) for each live pair.
+  template <typename Fn> void forEachPeek(Fn F) const {
+    for (size_t I = 0; I != NumSlots; ++I) {
+      uint64_t K = Table[2 * I];
+      if (K != Empty && K != Tombstone)
+        F(K - 2, Table[2 * I + 1]);
+    }
+  }
+
   /// Non-transactional audit over raw memory (post-recovery checks):
   /// returns the live-key count or ~0ull if the slot states are corrupt.
   uint64_t auditCount() const {

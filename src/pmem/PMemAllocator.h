@@ -19,6 +19,17 @@
 /// from their own persistent structures at recovery, as our crash tests
 /// do.
 ///
+/// Contrast with heap/DurableHeap.h, the *crash-consistent* allocator:
+/// there the free-space bitmap itself lives in persistent memory and
+/// every alloc/free mutates it inside a small Crafty transaction, so
+/// recovery needs no rebuild scan -- the undo log rolls partial
+/// allocations back and a tiny WAL reclaims staged-but-unpublished
+/// extents. The two serve different regimes: this allocator is for
+/// cache-line-sized nodes allocated *inside* transactions (speed,
+/// HTM-friendliness); the page heap is for multi-KiB objects staged
+/// *outside* transactions and published by pointer swing (capacity,
+/// leak-freedom).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CRAFTY_PMEM_PMEMALLOCATOR_H

@@ -1,0 +1,436 @@
+//===- tests/HeapTest.cpp - Page-managed durable heap tests ---------------===//
+//
+// Part of the Crafty reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests src/heap/DurableHeap: ref packing, the alloc -> stage -> publish
+// pipeline, bitmap alloc/free/reopen properties under random workloads,
+// barrier-deferred reuse, and a crash sweep at every pipeline boundary.
+// Every fixture runs with both dynamic checkers (PersistCheck persist
+// ordering, TxRaceCheck isolation) attached and asserts zero violations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Factory.h"
+#include "check/PersistCheck.h"
+#include "check/TxRaceCheck.h"
+#include "core/Crafty.h"
+#include "heap/DurableHeap.h"
+#include "recovery/Recovery.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+#include <map>
+
+using namespace crafty;
+using namespace crafty::heap;
+
+namespace {
+
+/// Deterministic self-validating payload: the first bytes carry the seed,
+/// the rest an LCG stream from it, so a payload read back after any crash
+/// prefix can be checked against nothing but itself and its length.
+std::string payloadFor(uint64_t Seed, size_t Len) {
+  std::string P(Len, '\0');
+  size_t Head = Len < 8 ? Len : 8;
+  std::memcpy(P.data(), &Seed, Head);
+  uint64_t X = Seed * 0x9e3779b97f4a7c15ull + Len;
+  for (size_t I = Head; I < Len; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    P[I] = (char)(X >> 56);
+  }
+  return P;
+}
+
+bool verifyPayload(const std::string &P) {
+  uint64_t Seed = 0;
+  std::memcpy(&Seed, P.data(), P.size() < 8 ? P.size() : 8);
+  return P == payloadFor(Seed, P.size());
+}
+
+/// Crafty over a Tracked pool with both checkers attached, plus a heap
+/// and a small carved region of "owning cells" for publish targets.
+struct HeapFixture {
+  PMemPool Pool;
+  HtmRuntime Htm;
+  std::unique_ptr<PtmBackend> Backend;
+  std::unique_ptr<DurableHeap> Heap;
+  uint64_t *Cells = nullptr;
+  size_t NumCells;
+
+  explicit HeapFixture(size_t HeapPages = 128, size_t WalSlots = 8,
+                       size_t Cells = 8)
+      : Pool(poolConfig(HeapPages, WalSlots)), Htm(HtmConfig()),
+        NumCells(Cells) {
+    BackendOptions O;
+    O.NumThreads = 2;
+    O.LogEntriesPerThread = 1 << 12;
+    O.EnablePersistCheck = true;
+    O.EnableTxRaceCheck = true;
+    Backend = createBackend(SystemKind::Crafty, Pool, Htm, O);
+    Heap = std::make_unique<DurableHeap>(Pool, HeapPages, WalSlots,
+                                         /*Attach=*/false);
+    this->Cells = static_cast<uint64_t *>(Pool.carve(NumCells * 8));
+    static const uint64_t Zero[64] = {};
+    Pool.persistDirect(this->Cells, Zero, NumCells * 8);
+  }
+
+  static PMemConfig poolConfig(size_t HeapPages, size_t WalSlots) {
+    PMemConfig PC;
+    PC.PoolBytes = DurableHeap::bytesFor(HeapPages, WalSlots) + (8 << 20);
+    PC.Mode = PMemMode::Tracked;
+    PC.DrainLatencyNs = 0;
+    return PC;
+  }
+
+  CraftyRuntime &rt() { return *static_cast<CraftyRuntime *>(Backend.get()); }
+
+  /// Publishes a staged extent into cell \p I: the pipeline's one atomic
+  /// commit (pointer swing + displaced-extent free + WAL close).
+  void publish(unsigned Tid, size_t I, const HeapStaged &S) {
+    runPublish(*Backend, Tid, [&](TxnContext &Tx) {
+      uint64_t Old = Tx.load(&Cells[I]);
+      if (Old)
+        Heap->freeExtentInTx(Tx, Old);
+      Tx.store(&Cells[I], S.Ref);
+      Heap->closeWalInTx(Tx, S.WalSlot);
+    });
+  }
+
+  /// Transactionally clears cell \p I and frees its extent.
+  void erase(unsigned Tid, size_t I) {
+    Backend->run(Tid, [&](TxnContext &Tx) {
+      uint64_t Old = Tx.load(&Cells[I]);
+      if (Old)
+        Heap->freeExtentInTx(Tx, Old);
+      Tx.store(&Cells[I], 0);
+    });
+  }
+
+  /// Persist barrier + deferred-reuse release, as KvShard::persistAck.
+  void barrier(unsigned Tid) {
+    rt().persistBarrier(Tid);
+    Heap->barrierReached();
+  }
+
+  uint64_t checkerViolations() {
+    uint64_t N = 0;
+    if (PersistCheck *PC = rt().persistCheck())
+      N += PC->violationCount();
+    if (TxRaceCheck *RC = rt().raceCheck())
+      N += RC->violationCount();
+    return N;
+  }
+
+  /// The leak-audit invariant that must hold at rest and after recovery:
+  /// bitmap population equals exactly the pages owned by live cells, no
+  /// WAL record is left Staged, and every live payload validates.
+  void auditConsistent(const char *Where) {
+    EXPECT_EQ(Heap->stagedWalRecords(), 0u) << Where;
+    uint64_t CellPages = 0;
+    for (size_t I = 0; I != NumCells; ++I) {
+      if (!Cells[I])
+        continue;
+      CellPages += DurableHeap::pagesFor(DurableHeap::refLen(Cells[I]));
+      std::string V;
+      ASSERT_TRUE(Heap->readExtent(Cells[I], V)) << Where;
+      EXPECT_TRUE(verifyPayload(V)) << Where << " cell " << I;
+    }
+    EXPECT_EQ(Heap->allocatedPages(), CellPages) << Where;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statics
+//===----------------------------------------------------------------------===//
+
+TEST(HeapStatics, RefPackingAndSizing) {
+  uint64_t R = DurableHeap::packRef(7, 60000);
+  EXPECT_NE(R, 0u);
+  EXPECT_EQ(DurableHeap::refPage(R), 7u);
+  EXPECT_EQ(DurableHeap::refLen(R), 60000u);
+  // Page 0 must still pack to a nonzero ref (null means "no extent").
+  EXPECT_NE(DurableHeap::packRef(0, 0), 0u);
+  EXPECT_EQ(DurableHeap::pagesFor(0), 1u);
+  EXPECT_EQ(DurableHeap::pagesFor(1), 1u);
+  EXPECT_EQ(DurableHeap::pagesFor(4096), 1u);
+  EXPECT_EQ(DurableHeap::pagesFor(4097), 2u);
+  EXPECT_EQ(DurableHeap::pagesFor(DurableHeap::MaxObjectBytes),
+            DurableHeap::MaxExtentPages);
+  // bytesFor covers metadata + pages + alignment slack.
+  EXPECT_GE(DurableHeap::bytesFor(128, 8), 128u * DurableHeap::PageBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(HeapPipeline, AllocPublishReadFreeRoundTrip) {
+  HeapFixture F;
+  for (size_t Len : {size_t(0), size_t(1), size_t(100), size_t(4096),
+                     size_t(4097), size_t(60000),
+                     DurableHeap::MaxObjectBytes}) {
+    std::string P = payloadFor(Len * 7 + 3, Len);
+    HeapStaged S = F.Heap->allocAndStage(*F.Backend, 0, P);
+    ASSERT_TRUE(S) << Len;
+    EXPECT_EQ(F.Heap->stagedWalRecords(), 1u);
+    F.publish(0, 0, S);
+    EXPECT_EQ(F.Heap->stagedWalRecords(), 0u);
+    std::string Out;
+    ASSERT_TRUE(F.Heap->readExtent(F.Cells[0], Out));
+    EXPECT_EQ(Out, P) << Len;
+    EXPECT_EQ(F.Heap->allocatedPages(), DurableHeap::pagesFor(Len));
+    F.barrier(0);
+  }
+  F.erase(0, 0);
+  EXPECT_EQ(F.Heap->allocatedPages(), 0u);
+  // Over-max objects are rejected, not split.
+  HeapStaged S =
+      F.Heap->allocAndStage(*F.Backend, 0,
+                            payloadFor(1, DurableHeap::MaxObjectBytes + 1));
+  EXPECT_FALSE(S);
+  EXPECT_EQ(F.checkerViolations(), 0u);
+}
+
+TEST(HeapPipeline, AbandonReturnsExtentAndWalSlot) {
+  HeapFixture F(/*HeapPages=*/64, /*WalSlots=*/2);
+  HeapStaged A = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(1, 9000));
+  HeapStaged B = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(2, 9000));
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(B);
+  // Both WAL slots staged: a third stage must fail cleanly.
+  EXPECT_FALSE(F.Heap->allocAndStage(*F.Backend, 0, payloadFor(3, 10)));
+  F.Heap->abandon(*F.Backend, 0, A);
+  F.Heap->abandon(*F.Backend, 0, B);
+  EXPECT_EQ(F.Heap->stagedWalRecords(), 0u);
+  // Abandoned resources stay barrier-deferred, then return.
+  F.barrier(0);
+  EXPECT_EQ(F.Heap->allocatedPages(), 0u);
+  HeapStaged C = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(4, 9000));
+  EXPECT_TRUE(C);
+  F.Heap->abandon(*F.Backend, 0, C);
+  EXPECT_EQ(F.checkerViolations(), 0u);
+}
+
+TEST(HeapPipeline, EpochsAdvancePerAllocation) {
+  HeapFixture F;
+  uint64_t E0 = F.Heap->currentEpoch();
+  HeapStaged S = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(1, 10000));
+  ASSERT_TRUE(S);
+  F.publish(0, 0, S);
+  uint64_t Page = DurableHeap::refPage(F.Cells[0]);
+  // All three pages of the extent carry the same (new) epoch.
+  EXPECT_EQ(F.Heap->pageEpoch(Page), E0);
+  EXPECT_EQ(F.Heap->pageEpoch(Page + 1), E0);
+  EXPECT_EQ(F.Heap->pageEpoch(Page + 2), E0);
+  EXPECT_EQ(F.Heap->currentEpoch(), E0 + 1);
+  // The snapshot seam: pages untouched since epoch E keep epoch < E.
+  F.barrier(0);
+  HeapStaged T = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(2, 100));
+  ASSERT_TRUE(T);
+  F.publish(0, 1, T);
+  EXPECT_EQ(F.Heap->pageEpoch(DurableHeap::refPage(F.Cells[1])), E0 + 1);
+  EXPECT_EQ(F.Heap->pageEpoch(Page), E0) << "old extent epoch unchanged";
+  EXPECT_EQ(F.checkerViolations(), 0u);
+}
+
+/// Barrier-deferred reuse: freed pages must NOT be reallocated before a
+/// persist barrier (recovery could roll the free back and resurrect a
+/// pointer to clobbered bytes), and must become allocatable after one.
+TEST(HeapPipeline, FreedPagesDeferUntilBarrier) {
+  // 4 pages total: one 3-page extent leaves no room for a second.
+  HeapFixture F(/*HeapPages=*/4, /*WalSlots=*/4);
+  HeapStaged S = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(1, 9000));
+  ASSERT_TRUE(S);
+  F.publish(0, 0, S);
+  F.barrier(0);
+  F.erase(0, 0);
+  // Pages are free in the bitmap but the free is not yet barrier-durable.
+  EXPECT_EQ(F.Heap->allocatedPages(), 0u);
+  EXPECT_FALSE(F.Heap->allocAndStage(*F.Backend, 0, payloadFor(2, 9000)))
+      << "deferred pages reused before the barrier";
+  F.barrier(0);
+  HeapStaged T = F.Heap->allocAndStage(*F.Backend, 0, payloadFor(2, 9000));
+  EXPECT_TRUE(T) << "deferral not lifted by the barrier";
+  F.Heap->abandon(*F.Backend, 0, T);
+  EXPECT_EQ(F.checkerViolations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bitmap property tests
+//===----------------------------------------------------------------------===//
+
+/// Random publish/overwrite/erase rounds against a shadow model: the
+/// bitmap population, WAL state and every payload must track the model
+/// exactly, including across a crash + reopen of the same image.
+TEST(HeapProperty, RandomAllocFreeMatchesShadowAndSurvivesReopen) {
+  HeapFixture F(/*HeapPages=*/96, /*WalSlots=*/8, /*Cells=*/12);
+  Rng R(42);
+  std::map<size_t, std::string> Shadow; // cell -> payload
+  uint64_t Seq = 1;
+  for (int Op = 0; Op != 300; ++Op) {
+    size_t I = R.nextBounded(F.NumCells);
+    if (R.chance(1, 4) && Shadow.count(I)) {
+      F.erase(0, I);
+      Shadow.erase(I);
+    } else {
+      size_t Len = 1 + R.nextBounded(3 * DurableHeap::PageBytes);
+      std::string P = payloadFor(Seq++, Len);
+      HeapStaged S = F.Heap->allocAndStage(*F.Backend, 0, P);
+      if (!S) {
+        // Fragmentation/deferral pressure: a barrier must make progress
+        // possible again unless the heap is genuinely full.
+        F.barrier(0);
+        S = F.Heap->allocAndStage(*F.Backend, 0, P);
+      }
+      if (!S)
+        continue; // Genuinely full; the audit below still must hold.
+      F.publish(0, I, S);
+      Shadow[I] = std::move(P);
+    }
+    if (Op % 16 == 0)
+      F.barrier(0);
+  }
+  // Quiesced in-session state matches the shadow exactly.
+  uint64_t ShadowPages = 0;
+  for (auto &[I, P] : Shadow) {
+    ShadowPages += DurableHeap::pagesFor(P.size());
+    std::string Out;
+    ASSERT_TRUE(F.Heap->readExtent(F.Cells[I], Out));
+    EXPECT_EQ(Out, P) << "cell " << I;
+  }
+  EXPECT_EQ(F.Heap->allocatedPages(), ShadowPages);
+  EXPECT_EQ(F.Heap->stagedWalRecords(), 0u);
+  EXPECT_EQ(F.checkerViolations(), 0u);
+
+  // Reopen: barrier everything durable, crash, replay logs, reclaim.
+  // The same image must reproduce the exact shadow state.
+  F.barrier(0);
+  F.Pool.crash();
+  RecoveryObserver::recoverPool(F.Pool);
+  EXPECT_EQ(F.Heap->recoverReclaim(), 0u);
+  for (auto &[I, P] : Shadow) {
+    std::string Out;
+    ASSERT_TRUE(F.Heap->readExtent(F.Cells[I], Out)) << "cell " << I;
+    EXPECT_EQ(Out, P) << "cell " << I;
+  }
+  EXPECT_EQ(F.Heap->allocatedPages(), ShadowPages);
+  F.auditConsistent("after reopen");
+}
+
+/// Exhaustion behaves as a clean failure: a heap with N pages serves at
+/// most N pages, rejects the overflow allocation, and recovers full
+/// capacity once everything is freed and barriered.
+TEST(HeapProperty, ExhaustionAndFullRecovery) {
+  HeapFixture F(/*HeapPages=*/8, /*WalSlots=*/8, /*Cells=*/8);
+  std::vector<size_t> Published;
+  for (size_t I = 0; I != 8; ++I) {
+    HeapStaged S =
+        F.Heap->allocAndStage(*F.Backend, 0, payloadFor(I + 1, 4096));
+    if (!S)
+      break;
+    F.publish(0, I, S);
+    Published.push_back(I);
+  }
+  EXPECT_EQ(Published.size(), 8u);
+  EXPECT_EQ(F.Heap->allocatedPages(), 8u);
+  EXPECT_FALSE(F.Heap->allocAndStage(*F.Backend, 0, payloadFor(99, 1)));
+  for (size_t I : Published)
+    F.erase(0, I);
+  F.barrier(0);
+  EXPECT_EQ(F.Heap->allocatedPages(), 0u);
+  HeapStaged S = F.Heap->allocAndStage(
+      *F.Backend, 0, payloadFor(100, 8 * DurableHeap::PageBytes));
+  EXPECT_TRUE(S) << "full capacity not recovered";
+  F.Heap->abandon(*F.Backend, 0, S);
+  EXPECT_EQ(F.checkerViolations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash sweep
+//===----------------------------------------------------------------------===//
+
+/// One scripted run of the pipeline, broken into micro-steps so a crash
+/// can be injected at *every* boundary: after an alloc+stage (WAL record
+/// live, extent unpublished), after a publish, after an erase, after an
+/// abandon, and after a barrier. Whatever prefix executed, recovery must
+/// land on a consistent heap: no staged WAL records, bitmap population
+/// exactly the live cells' pages (nothing leaked, nothing double-owned),
+/// and every live payload intact -- the undo log may roll unbarriered
+/// suffixes back, and barrier-deferred reuse guarantees the resurrected
+/// extents still hold their bytes.
+TEST(HeapCrash, EveryBoundarySweep) {
+  // Script: enough traffic to cover publish-over-old (displaced-extent
+  // free), erase, abandon and barrier boundaries, on a heap small enough
+  // that reuse pressure is real.
+  struct Step {
+    enum K { Stage, Publish, Erase, Abandon, Barrier } Kind;
+    size_t Cell;   // Stage/Publish/Erase target.
+    size_t Len;    // Stage length.
+  };
+  std::vector<Step> Script;
+  uint64_t Seq = 1;
+  auto publishTo = [&](size_t Cell, size_t Len) {
+    Script.push_back({Step::Stage, Cell, Len});
+    Script.push_back({Step::Publish, Cell, 0});
+  };
+  publishTo(0, 100);
+  publishTo(1, 9000);
+  Script.push_back({Step::Barrier, 0, 0});
+  publishTo(0, 5000); // Overwrite: displaced-extent free inside publish.
+  Script.push_back({Step::Stage, 2, 12000});
+  Script.push_back({Step::Abandon, 2, 0});
+  Script.push_back({Step::Erase, 1, 0});
+  Script.push_back({Step::Barrier, 0, 0});
+  publishTo(1, 16000);
+  publishTo(2, 60000);
+  Script.push_back({Step::Erase, 0, 0});
+  publishTo(0, 4097);
+
+  for (size_t CrashAt = 0; CrashAt <= Script.size(); ++CrashAt) {
+    HeapFixture F(/*HeapPages=*/32, /*WalSlots=*/4, /*Cells=*/4);
+    HeapStaged Pending; // The script stages at most one extent at a time.
+    for (size_t I = 0; I != CrashAt; ++I) {
+      const Step &S = Script[I];
+      switch (S.Kind) {
+      case Step::Stage:
+        Pending =
+            F.Heap->allocAndStage(*F.Backend, 0, payloadFor(Seq++, S.Len));
+        ASSERT_TRUE(Pending) << "script oversubscribed the heap at " << I;
+        break;
+      case Step::Publish:
+        F.publish(0, S.Cell, Pending);
+        Pending = {};
+        break;
+      case Step::Erase:
+        F.erase(0, S.Cell);
+        break;
+      case Step::Abandon:
+        F.Heap->abandon(*F.Backend, 0, Pending);
+        Pending = {};
+        break;
+      case Step::Barrier:
+        F.barrier(0);
+        break;
+      }
+    }
+    EXPECT_EQ(F.checkerViolations(), 0u) << "crash at " << CrashAt;
+    F.Pool.crash();
+    RecoveryObserver::recoverPool(F.Pool);
+    F.Heap->recoverReclaim();
+    F.auditConsistent(
+        (std::string("crash at ") + std::to_string(CrashAt)).c_str());
+    // Recovery is a fixpoint: a second crash+recover changes nothing.
+    uint64_t Pages = F.Heap->allocatedPages();
+    F.Pool.crash();
+    RecoveryObserver::recoverPool(F.Pool);
+    EXPECT_EQ(F.Heap->recoverReclaim(), 0u) << "crash at " << CrashAt;
+    EXPECT_EQ(F.Heap->allocatedPages(), Pages) << "crash at " << CrashAt;
+  }
+}
+
+} // namespace

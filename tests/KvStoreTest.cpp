@@ -56,6 +56,29 @@ std::string valueFor(uint64_t Key, uint64_t Seq) {
   return V;
 }
 
+/// smallConfig plus a durable page heap: values above MaxValueBytes (120)
+/// route through the heap up to its 64 KiB extent cap.
+KvConfig heapConfig(unsigned Shards = 2) {
+  KvConfig KC = smallConfig(Shards);
+  KC.HeapPages = 256;
+  // WAL slots bound how many extents can be staged at once; a batched
+  // cycle pre-stages up to BatchTxnLimit values per chunk, so keep the
+  // default headroom.
+  KC.HeapWalSlots = 64;
+  return KC;
+}
+
+/// valueFor stretched to exactly \p Len bytes (prefix identifies
+/// key/seq; tail is a deterministic pad), for heap-sized payloads.
+std::string bigValueFor(uint64_t Key, uint64_t Seq, size_t Len) {
+  std::string V = valueFor(Key, Seq);
+  if (V.size() > Len)
+    V.resize(Len);
+  while (V.size() < Len)
+    V.push_back((char)('A' + (V.size() * 31 + Key + Seq) % 26));
+  return V;
+}
+
 //===----------------------------------------------------------------------===//
 // Engine
 //===----------------------------------------------------------------------===//
@@ -400,6 +423,200 @@ TEST(KvCrash, FileBackedStoreSurvivesReopen) {
 }
 
 //===----------------------------------------------------------------------===//
+// Durable page heap (large values)
+//===----------------------------------------------------------------------===//
+
+/// Values from 1 byte to the 64 KiB extent cap round-trip through the
+/// store, crossing the inline/heap boundary in both directions, with the
+/// heap audit (bitmap population == live heap cells, no staged WAL
+/// records) holding at every rest point.
+TEST(KvHeap, LargeValuesRoundTripThroughHeap) {
+  KvConfig KC = heapConfig(2);
+  KC.EnablePersistCheck = true;
+  KC.EnableTxRaceCheck = true;
+  KvStore Store(KC);
+  EXPECT_EQ(KC.activeValueLimit(), heap::DurableHeap::MaxObjectBytes);
+
+  std::string Out;
+  const std::vector<size_t> Sizes = {1,    120,  121,   4096,
+                                     4097, 60000, 65536};
+  for (size_t I = 0; I != Sizes.size(); ++I) {
+    std::string V = bigValueFor(I, 1, Sizes[I]);
+    ASSERT_EQ(Store.set(0, I, V), KvStatus::Ok) << Sizes[I];
+    ASSERT_EQ(Store.get(0, I, Out), KvStatus::Ok) << Sizes[I];
+    EXPECT_EQ(Out, V) << Sizes[I];
+  }
+  KvHeapAudit A = Store.auditHeap();
+  EXPECT_TRUE(A.Enabled);
+  EXPECT_TRUE(A.consistent()) << A.BitmapPages << " bitmap vs "
+                              << A.LivePages << " live";
+  EXPECT_GT(A.LivePages, 0u);
+
+  // Beyond the extent cap: typed rejection, value untouched.
+  EXPECT_EQ(Store.set(0, 6, std::string(65537, 'z')), KvStatus::TooBig);
+  ASSERT_EQ(Store.get(0, 6, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, bigValueFor(6, 1, 65536));
+
+  // CAS against a heap value, replacing it with another heap value.
+  std::string New = bigValueFor(6, 2, 30000);
+  EXPECT_EQ(Store.cas(0, 6, "wrong", New), KvStatus::Mismatch);
+  EXPECT_EQ(Store.cas(0, 6, bigValueFor(6, 1, 65536), New), KvStatus::Ok);
+  ASSERT_EQ(Store.get(0, 6, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, New);
+
+  // Overwrite transitions: heap -> inline frees the extent, inline ->
+  // heap allocates one; DEL frees.
+  ASSERT_EQ(Store.set(0, 5, "tiny"), KvStatus::Ok); // 60000 -> inline.
+  ASSERT_EQ(Store.get(0, 5, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, "tiny");
+  ASSERT_EQ(Store.set(0, 0, bigValueFor(0, 3, 8000)), KvStatus::Ok);
+  for (size_t I = 0; I != Sizes.size(); ++I)
+    EXPECT_EQ(Store.del(0, I), KvStatus::Ok);
+  A = Store.auditHeap();
+  EXPECT_TRUE(A.consistent());
+  EXPECT_EQ(A.LivePages, 0u);
+  EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+/// The batched MSET pipeline routes heap-sized values through per-chunk
+/// pre-staging (allocAndStage before the transaction, publish inside it,
+/// abandon on failure) without leaking.
+TEST(KvHeap, BatchedMsetWithHeapValues) {
+  KvConfig KC = heapConfig(2);
+  KC.EnablePersistCheck = true;
+  KC.EnableTxRaceCheck = true;
+  KvStore Store(KC);
+  // KvBatchItem::Val is a view; the strings must outlive the batch call.
+  std::vector<std::string> Vals;
+  for (uint64_t K = 0; K != 40; ++K) {
+    size_t Len = K % 3 == 0 ? 80 : (K % 3 == 1 ? 5000 : 20000);
+    Vals.push_back(bigValueFor(K, 1, Len));
+  }
+  std::vector<KvBatchItem> Items;
+  for (uint64_t K = 0; K != 40; ++K)
+    Items.push_back(KvBatchItem{K, Vals[K], KvStatus::Err});
+  Store.msetBatch(0, Items);
+  for (const KvBatchItem &Item : Items)
+    EXPECT_EQ(Item.Status, KvStatus::Ok);
+  std::string Out;
+  for (uint64_t K = 0; K != 40; ++K) {
+    size_t Len = K % 3 == 0 ? 80 : (K % 3 == 1 ? 5000 : 20000);
+    ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok) << K;
+    EXPECT_EQ(Out, bigValueFor(K, 1, Len)) << K;
+  }
+  KvHeapAudit A = Store.auditHeap();
+  EXPECT_TRUE(A.consistent());
+  EXPECT_EQ(Store.checkerViolations(), 0u);
+}
+
+/// The heap-enabled twin of SweepCrashAtEveryOpBoundary: a script mixing
+/// inline and heap-sized values (so the stage -> publish -> free pipeline
+/// is live at most boundaries) crashes at every op boundary; after
+/// recovery the ledger audit must pass, the heap audit must balance
+/// (zero leaked pages, zero staged WAL records), and both checkers must
+/// stay silent.
+TEST(KvHeapCrash, SweepCrashAtEveryOpBoundaryWithHeapValues) {
+  std::vector<SweepOp> Ops;
+  for (size_t I = 0; I != 36; ++I) {
+    SweepOp Op;
+    Op.Key = (I * 5) % 12;
+    Op.IsDelete = I % 6 == 5;
+    if (!Op.IsDelete) {
+      size_t Len = I % 3 == 0 ? 80 : (I % 3 == 1 ? 5000 : 20000);
+      Op.Val = bigValueFor(Op.Key, I, Len);
+    }
+    Ops.push_back(std::move(Op));
+  }
+  for (size_t CrashAt = 1; CrashAt <= Ops.size(); ++CrashAt) {
+    KvConfig KC = heapConfig(2);
+    KC.EnablePersistCheck = true;
+    KC.EnableTxRaceCheck = true;
+    KC.EvictionPerMillion = 20000;
+    KC.EvictionSeed = 31 + CrashAt;
+    KvStore Store(KC);
+    size_t Durable = runScript(Store, Ops, CrashAt, /*AckEvery=*/8);
+
+    Store.simulateCrash();
+    Store.recover();
+    auditRecovered(Store, Ops, CrashAt, Durable);
+    KvHeapAudit A = Store.auditHeap();
+    EXPECT_TRUE(A.consistent())
+        << "crash at " << CrashAt << ": " << A.BitmapPages
+        << " bitmap pages vs " << A.LivePages << " live, " << A.StagedWal
+        << " staged WAL records";
+    EXPECT_EQ(Store.checkerViolations(), 0u) << "crash at " << CrashAt;
+
+    // The recovered store still serves heap-sized values.
+    std::string Big = bigValueFor(1000, CrashAt, 30000), Out;
+    EXPECT_EQ(Store.set(0, 1000, Big), KvStatus::Ok);
+    ASSERT_EQ(Store.get(0, 1000, Out), KvStatus::Ok);
+    EXPECT_EQ(Out, Big);
+    EXPECT_EQ(Store.checkerViolations(), 0u);
+  }
+}
+
+/// Heap values persist across process-style reopens of the same images:
+/// three store generations layer writes, overwrites and deletes of
+/// 64 KiB-class values, each generation auditing zero leaked pages.
+TEST(KvHeapCrash, FileBackedHeapValuesSurviveReopen) {
+  char Tmpl[] = "/tmp/kv_heap_test.XXXXXX";
+  ASSERT_NE(mkdtemp(Tmpl), nullptr);
+  std::string Dir = Tmpl;
+
+  KvConfig KC = heapConfig(2);
+  KC.DataDir = Dir;
+  {
+    KvStore Store(KC);
+    EXPECT_FALSE(Store.recoveredOnOpen());
+    for (uint64_t K = 0; K != 16; ++K)
+      ASSERT_EQ(Store.set(0, K, bigValueFor(K, 1, 1000 * (K + 1))),
+                KvStatus::Ok);
+    ASSERT_EQ(Store.set(0, 99, bigValueFor(99, 1, 65536)), KvStatus::Ok);
+    Store.persistAll();
+  }
+  {
+    KvStore Store(KC);
+    EXPECT_TRUE(Store.recoveredOnOpen());
+    KvHeapAudit A = Store.auditHeap();
+    EXPECT_TRUE(A.consistent()) << A.BitmapPages << " vs " << A.LivePages;
+    std::string Out;
+    for (uint64_t K = 0; K != 16; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok) << "lost key " << K;
+      EXPECT_EQ(Out, bigValueFor(K, 1, 1000 * (K + 1)));
+    }
+    ASSERT_EQ(Store.get(0, 99, Out), KvStatus::Ok);
+    EXPECT_EQ(Out, bigValueFor(99, 1, 65536));
+    // Layer: overwrite half, delete a quarter.
+    for (uint64_t K = 0; K != 8; ++K)
+      ASSERT_EQ(Store.set(0, K, bigValueFor(K, 2, 7777)), KvStatus::Ok);
+    for (uint64_t K = 12; K != 16; ++K)
+      ASSERT_EQ(Store.del(0, K), KvStatus::Ok);
+    Store.persistAll();
+  }
+  {
+    KvStore Store(KC);
+    EXPECT_TRUE(Store.recoveredOnOpen());
+    KvHeapAudit A = Store.auditHeap();
+    EXPECT_TRUE(A.consistent());
+    EXPECT_EQ(A.StagedWal, 0u);
+    std::string Out;
+    for (uint64_t K = 0; K != 8; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok);
+      EXPECT_EQ(Out, bigValueFor(K, 2, 7777));
+    }
+    for (uint64_t K = 8; K != 12; ++K) {
+      ASSERT_EQ(Store.get(0, K, Out), KvStatus::Ok);
+      EXPECT_EQ(Out, bigValueFor(K, 1, 1000 * (K + 1)));
+    }
+    for (uint64_t K = 12; K != 16; ++K)
+      EXPECT_EQ(Store.get(0, K, Out), KvStatus::NotFound);
+  }
+  for (unsigned S = 0; S != KC.NumShards; ++S)
+    std::remove((Dir + "/shard" + std::to_string(S) + ".img").c_str());
+  std::remove(Dir.c_str());
+}
+
+//===----------------------------------------------------------------------===//
 // Server / client smoke
 //===----------------------------------------------------------------------===//
 
@@ -465,7 +682,8 @@ TEST(KvServerSmoke, EndToEndOverLoopback) {
 // write-set bounds for the shard's transaction bodies, cross-checked
 // in-source against the CRAFTY_TX_CAPACITY declarations in KvShard.h:
 //   KvShard::writeCellTx  33 words (len word + MaxValueBytes / 8)
-//   KvShard::setInTx      51 words (writeCellTx + map-slot publishes)
+//   KvShard::setInTx      53 words (writeCellTx + map-slot publishes
+//                                   + displaced-heap-extent free)
 // This test pins the dynamic side of that contract: the largest write
 // set any committed SET transaction actually produced (HtmStats, same
 // 8-byte-word unit) must stay within the static bound, and a full-size
@@ -473,7 +691,7 @@ TEST(KvServerSmoke, EndToEndOverLoopback) {
 // Non-durable backend runs transactions bare -- no undo-log stream
 // inflating the write set -- so its figure is writeCellTx/setInTx alone.
 TEST(KvStore, TxCapacityStaticBoundCoversDynamicWrites) {
-  constexpr uint64_t StaticBoundSetInTx = 51;   // = CRAFTY_TX_CAPACITY
+  constexpr uint64_t StaticBoundSetInTx = 53;   // = CRAFTY_TX_CAPACITY
   constexpr uint64_t MinFullValueWords = 32;    // 1 len + 248 / 8 value.
 
   KvConfig KC;
@@ -515,6 +733,71 @@ TEST(KvServerSmoke, MalformedRequestClosesConnection) {
   ASSERT_TRUE(Client.flush());
   EXPECT_EQ(Client.recvStatus(), KvStatus::Err);
   Server.stop();
+}
+
+/// The oversize-value protocol contract: a 64 KiB value is served through
+/// the heap; a value above the active limit but within the parser's skim
+/// cap gets a *clean* `ERR toobig` -- the request frames, the connection
+/// survives; only beyond the skim cap does the server treat the client
+/// as abusive (ERR proto + close).
+TEST(KvServerSmoke, OversizeValueAnswersToobigAndKeepsConnection) {
+  KvStore Store(heapConfig(1));
+  KvServer Server(Store, KvServerConfig{});
+  Server.start();
+  KvClient Client;
+  ASSERT_TRUE(Client.connect(Server.port()));
+
+  // Inside the heap's envelope: full 64 KiB round trip over the wire.
+  std::string Big(65536, 'q');
+  EXPECT_EQ(Client.set(7, Big), KvStatus::Ok);
+  std::string Out;
+  ASSERT_EQ(Client.get(7, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, Big);
+
+  // Above the active limit, below the wire cap: shard-level rejection.
+  EXPECT_EQ(Client.set(8, std::string(100000, 'x')), KvStatus::TooBig);
+
+  // Above the 1 MiB wire cap, below the 2 MiB skim cap: the parser skims
+  // the payload, the server answers toobig, and the connection lives.
+  EXPECT_EQ(Client.set(9, std::string((1 << 20) + 5000, 'y')),
+            KvStatus::TooBig);
+  EXPECT_TRUE(Client.ping()) << "connection must survive a skimmed value";
+
+  // CAS with an oversize desired value short-circuits to toobig before
+  // any shard sees it (no Mismatch even though the expect is wrong).
+  EXPECT_EQ(Client.cas(7, "wrong", std::string((1 << 20) + 1, 'c')),
+            KvStatus::TooBig);
+  EXPECT_TRUE(Client.ping());
+  ASSERT_EQ(Client.get(7, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, Big) << "skimmed CAS must not touch the value";
+
+  // MSET: per-pair verdicts; the oversize pair is skimmed, its neighbors
+  // commit.
+  std::vector<std::pair<uint64_t, std::string>> Pairs;
+  Pairs.emplace_back(20, std::string(2000, 'a'));
+  Pairs.emplace_back(21, std::string((1 << 20) + 9, 'b'));
+  Pairs.emplace_back(22, std::string(30, 'c'));
+  std::vector<KvStatus> Statuses;
+  ASSERT_TRUE(Client.mset(Pairs, Statuses));
+  ASSERT_EQ(Statuses.size(), 3u);
+  EXPECT_EQ(Statuses[0], KvStatus::Ok);
+  EXPECT_EQ(Statuses[1], KvStatus::TooBig);
+  EXPECT_EQ(Statuses[2], KvStatus::Ok);
+  ASSERT_EQ(Client.get(20, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, std::string(2000, 'a'));
+  EXPECT_EQ(Client.get(21, Out), KvStatus::NotFound);
+  ASSERT_EQ(Client.get(22, Out), KvStatus::Ok);
+  EXPECT_EQ(Out, std::string(30, 'c'));
+
+  // Beyond the skim cap: malformed, ERR proto, close.
+  Client.sendRaw("SET 30 3000000\n");
+  ASSERT_TRUE(Client.flush());
+  EXPECT_EQ(Client.recvStatus(), KvStatus::Err);
+
+  KvHeapAudit A = Store.auditHeap();
+  EXPECT_TRUE(A.consistent());
+  Server.stop();
+  EXPECT_EQ(Store.checkerViolations(), 0u);
 }
 
 //===----------------------------------------------------------------------===//

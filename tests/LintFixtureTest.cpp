@@ -198,10 +198,17 @@ TEST(LintTree, CapacityReportMatchesDeclaredShardBudgets) {
   while (In >> Bound >> Name)
     Bounds[Name] = Bound;
   EXPECT_EQ(Bounds["KvShard::writeCellTx"], "33");
-  EXPECT_EQ(Bounds["KvShard::setInTx"], "51");
+  // 33 + map-slot words + displaced-heap-extent free (freeCellExtentTx).
+  EXPECT_EQ(Bounds["KvShard::setInTx"], "53");
   // The batched pipeline stays finite only through its CRAFTY_TX_BOUND
   // chunk annotation; a regression there shows up as "unbounded" here.
-  EXPECT_EQ(Bounds["KvShard::setBatch"], "1632");
+  EXPECT_EQ(Bounds["KvShard::setBatch"], "1696");
+  // The heap's metadata transactions must stay tiny regardless of object
+  // size -- that is the whole point of stage-then-publish: 2 bitmap
+  // words + epoch counter + 16 page epochs + 3 WAL words.
+  EXPECT_EQ(Bounds["DurableHeap::allocInTx"], "22");
+  EXPECT_EQ(Bounds["DurableHeap::freeExtentInTx"], "2");
+  EXPECT_EQ(Bounds["DurableHeap::closeWalInTx"], "1");
 }
 
 } // namespace
